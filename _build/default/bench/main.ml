@@ -1,0 +1,104 @@
+(* The benchmark harness: regenerate every table and figure of the
+   paper, then run a Bechamel micro-suite timing the harness itself.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe fig5b      # one figure
+     dune exec bench/main.exe -- --full  # full-size Fig. 5(b) runs
+     dune exec bench/main.exe bechamel   # only the Bechamel suite
+
+   Simulated results are deterministic; Bechamel times the real cost of
+   regenerating each artifact on the host. *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline "Bechamel - host-time cost of regenerating each artifact";
+  print_endline (String.make 78 '=');
+  (* One Test.make per table/figure.  Small iteration counts: these
+     measure harness cost, not simulated results (which are exact). *)
+  let tests =
+    [
+      Test.make ~name:"fig1_probe_matrix"
+        (Staged.stage (fun () -> ignore (Idbox_accounts.Probe.rows ())));
+      Test.make ~name:"fig4_trap_accounting"
+        (Staged.stage (fun () -> ignore (Idbox_workload.Microbench.fig4 ())));
+      Test.make ~name:"fig5a_syscall_latency"
+        (Staged.stage (fun () ->
+             ignore (Idbox_workload.Microbench.fig5a ~iters:100 ())));
+      Test.make ~name:"fig5b_app_runtimes"
+        (Staged.stage (fun () ->
+             ignore (Idbox_workload.Runner.fig5b ~scale:0.002 ())));
+      Test.make ~name:"fig6_kernel_ablation"
+        (Staged.stage (fun () ->
+             ignore
+               (Idbox_workload.Runner.fig6_ablation ~scale:0.002
+                  ~apps:[ Idbox_workload.Apps.ibis ] ())));
+    ]
+  in
+  let test = Test.make_grouped ~name:"idbox" ~fmt:"%s/%s" tests in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+    in
+    let raw_results = Benchmark.all cfg instances test in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  Printf.printf "%-38s %18s\n" "artifact" "host time/run";
+  print_endline (String.make 58 '-');
+  Hashtbl.iter
+    (fun _instance table ->
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) table []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols) ->
+             match Bechamel.Analyze.OLS.estimates ols with
+             | Some (est :: _) ->
+               let pretty =
+                 if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+                 else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+                 else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+                 else Printf.sprintf "%.0f ns" est
+               in
+               Printf.printf "%-38s %18s\n" name pretty
+             | Some [] | None -> Printf.printf "%-38s %18s\n" name "(n/a)"))
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let scale = if full then 1.0 else 0.1 in
+  let figures = List.filter (fun a -> a <> "--full") args in
+  match figures with
+  | [] ->
+    Idbox_report.Report.all ~scale ();
+    bechamel_suite ()
+  | names ->
+    List.iter
+      (fun name ->
+        match name with
+        | "fig1" -> Idbox_report.Report.fig1 ()
+        | "fig2" -> Idbox_report.Report.fig2 ()
+        | "fig3" -> Idbox_report.Report.fig3 ()
+        | "fig4" -> Idbox_report.Report.fig4 ()
+        | "fig5a" -> Idbox_report.Report.fig5a ()
+        | "fig5b" -> Idbox_report.Report.fig5b ~scale ()
+        | "fig6" -> Idbox_report.Report.fig6 ()
+        | "ablation" | "ablations" -> Idbox_report.Report.ablations ()
+        | "bechamel" -> bechamel_suite ()
+        | other ->
+          Printf.eprintf
+            "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
+             ablation bechamel)\n"
+            other;
+          exit 2)
+      names

@@ -1,0 +1,229 @@
+(* The idbox command-line tool.
+
+   Subcommands:
+     idbox report [ARTIFACT...] [--full]   regenerate paper tables/figures
+     idbox schemes                         the Figure 1 matrix only
+     idbox session NAME [--files P...]     an ad-hoc identity-box session
+     idbox acl check ENTRY... --who P --right R
+                                           evaluate an ACL from the shell *)
+
+open Cmdliner
+
+(* --- report ----------------------------------------------------------- *)
+
+let artifacts =
+  let doc =
+    "Artifacts to regenerate: fig1 fig2 fig3 fig4 fig5a fig5b fig6 ablation \
+     (default: all)."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"ARTIFACT" ~doc)
+
+let full =
+  let doc = "Run Figure 5(b) at the paper's full workload size (slow)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let report_cmd =
+  let run artifacts full =
+    let scale = if full then 1.0 else 0.1 in
+    match artifacts with
+    | [] -> `Ok (Idbox_report.Report.all ~scale ())
+    | names ->
+      let step name =
+        match name with
+        | "fig1" -> Ok (Idbox_report.Report.fig1 ())
+        | "fig2" -> Ok (Idbox_report.Report.fig2 ())
+        | "fig3" -> Ok (Idbox_report.Report.fig3 ())
+        | "fig4" -> Ok (Idbox_report.Report.fig4 ())
+        | "fig5a" -> Ok (Idbox_report.Report.fig5a ())
+        | "fig5b" -> Ok (Idbox_report.Report.fig5b ~scale ())
+        | "fig6" -> Ok (Idbox_report.Report.fig6 ())
+        | "ablation" | "ablations" -> Ok (Idbox_report.Report.ablations ())
+        | other -> Error other
+      in
+      let rec go = function
+        | [] -> `Ok ()
+        | name :: rest ->
+          (match step name with
+           | Ok () -> go rest
+           | Error other -> `Error (false, Printf.sprintf "unknown artifact %S" other))
+      in
+      go names
+  in
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ artifacts $ full))
+
+(* --- schemes ----------------------------------------------------------- *)
+
+let schemes_cmd =
+  let run () = print_string (Idbox_accounts.Probe.render_table (Idbox_accounts.Probe.rows ())) in
+  let doc = "Print the derived Figure 1 identity-mapping matrix." in
+  Cmd.v (Cmd.info "schemes" ~doc) Term.(const run $ const ())
+
+(* --- session ----------------------------------------------------------- *)
+
+let identity_arg =
+  let doc = "The visiting identity (any string, e.g. Freddy or a subject DN)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"IDENTITY" ~doc)
+
+let files_arg =
+  let doc = "Supervisor files to create before the session (PATH=CONTENTS)." in
+  Arg.(value & opt_all string [] & info [ "file" ] ~docv:"PATH=TEXT" ~doc)
+
+let session_cmd =
+  let run identity files =
+    let module Kernel = Idbox_kernel.Kernel in
+    let module Libc = Idbox_kernel.Libc in
+    let module Fs = Idbox_vfs.Fs in
+    let kernel = Kernel.create () in
+    let sup =
+      match Kernel.add_user kernel "supervisor" with
+      | Ok e -> e
+      | Error m -> failwith m
+    in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None -> failwith (Printf.sprintf "bad --file %S (want PATH=TEXT)" spec)
+        | Some i ->
+          let path = String.sub spec 0 i in
+          let text = String.sub spec (i + 1) (String.length spec - i - 1) in
+          (match
+             Fs.write_file (Kernel.fs kernel) ~uid:0 ~mode:0o600 path text
+           with
+           | Ok () -> Printf.printf "staged %s (0600, supervisor-owned)\n" path
+           | Error e -> failwith (Idbox_vfs.Errno.message e)))
+      files;
+    let box =
+      match
+        Idbox.Box.create kernel ~supervisor_uid:sup.Idbox_kernel.Account.uid
+          ~identity:(Idbox_identity.Principal.of_string identity) ()
+      with
+      | Ok b -> b
+      | Error e -> failwith (Idbox_vfs.Errno.message e)
+    in
+    Printf.printf "identity box for %S: home=%s\n" identity (Idbox.Box.home box);
+    let pid =
+      Idbox.Box.spawn_main box
+        ~main:(fun _ ->
+          let home = Option.get (Libc.getenv "HOME") in
+          Printf.printf "[box] whoami -> %s\n" (Libc.get_user_name ());
+          Printf.printf "[box] pwd    -> %s\n" (Libc.getcwd ());
+          List.iter
+            (fun spec ->
+              match String.index_opt spec '=' with
+              | None -> ()
+              | Some i ->
+                let path = String.sub spec 0 i in
+                (match Libc.read_file path with
+                 | Ok text -> Printf.printf "[box] read %s -> %S (!)\n" path text
+                 | Error e ->
+                   Printf.printf "[box] read %s -> %s\n" path
+                     (Idbox_vfs.Errno.to_string e)))
+            files;
+          (match Libc.write_file (home ^ "/notes") ~contents:"visitor data" with
+           | Ok () -> Printf.printf "[box] write ~/notes -> ok\n"
+           | Error e ->
+             Printf.printf "[box] write ~/notes -> %s\n" (Idbox_vfs.Errno.to_string e));
+          (match Libc.getacl home with
+           | Ok acl -> Printf.printf "[box] getacl ~ ->\n%s" acl
+           | Error _ -> ());
+          0)
+        ~args:[ "session" ]
+    in
+    Kernel.run kernel;
+    Printf.printf "session exited %s; %d syscalls trapped\n"
+      (match Kernel.exit_code kernel pid with
+       | Some c -> string_of_int c
+       | None -> "?")
+      (Kernel.stats kernel).Idbox_kernel.Kernel.trapped
+  in
+  let doc = "Run a demonstration identity-box session for an arbitrary identity." in
+  Cmd.v (Cmd.info "session" ~doc) Term.(const run $ identity_arg $ files_arg)
+
+(* --- shell -------------------------------------------------------------- *)
+
+let shell_identity_arg =
+  let doc = "The visiting identity." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"IDENTITY" ~doc)
+
+let commands_arg =
+  let doc = "Shell commands to run in sequence inside the box." in
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"COMMAND" ~doc)
+
+let shell_cmd =
+  let run identity commands =
+    let module Kernel = Idbox_kernel.Kernel in
+    let kernel = Kernel.create () in
+    (match Idbox_apps.Coreutils.install kernel with
+     | Ok () -> ()
+     | Error e -> failwith (Idbox_vfs.Errno.message e));
+    (match Idbox_apps.Shell.install kernel with
+     | Ok () -> ()
+     | Error e -> failwith (Idbox_vfs.Errno.message e));
+    let sup =
+      match Kernel.add_user kernel "supervisor" with
+      | Ok e -> e
+      | Error m -> failwith m
+    in
+    let box =
+      match
+        Idbox.Box.create kernel ~supervisor_uid:sup.Idbox_kernel.Account.uid
+          ~identity:(Idbox_identity.Principal.of_string identity) ()
+      with
+      | Ok b -> b
+      | Error e -> failwith (Idbox_vfs.Errno.message e)
+    in
+    let commands =
+      if commands = [] then [ "whoami"; "pwd"; "ls"; "getacl ." ] else commands
+    in
+    match
+      Idbox_apps.Shell.run_script kernel
+        ~spawn:(fun ~main ~args -> Idbox.Box.spawn_main box ~main ~args)
+        ~output:(Idbox.Box.home box ^ "/.transcript")
+        commands
+    with
+    | Ok (code, transcript) ->
+      print_string transcript;
+      Printf.printf "(session exited %d; %d syscalls trapped)\n" code
+        (Kernel.stats kernel).Idbox_kernel.Kernel.trapped
+    | Error e -> failwith (Idbox_vfs.Errno.message e)
+  in
+  let doc = "Run shell commands inside an identity box (scripted session)." in
+  Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ shell_identity_arg $ commands_arg)
+
+(* --- acl check --------------------------------------------------------- *)
+
+let entries_arg =
+  let doc = "ACL entries, e.g. 'globus:/O=X/* rl' (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "entry" ] ~docv:"ENTRY" ~doc)
+
+let who_arg =
+  let doc = "Principal to evaluate." in
+  Arg.(required & opt (some string) None & info [ "who" ] ~docv:"PRINCIPAL" ~doc)
+
+let acl_cmd =
+  let run entries who =
+    let acl =
+      List.fold_left
+        (fun acc line ->
+          match Idbox_acl.Entry.of_line line with
+          | Ok e -> Idbox_acl.Acl.set_entry acc e
+          | Error m -> failwith m)
+        Idbox_acl.Acl.empty entries
+    in
+    let principal = Idbox_identity.Principal.of_string who in
+    let rights = Idbox_acl.Acl.rights_of acl principal in
+    Printf.printf "%s holds: %s\n" who (Idbox_acl.Rights.to_string rights);
+    match Idbox_acl.Acl.reserve_for acl principal with
+    | Some grant ->
+      Printf.printf "%s may reserve directories with: %s\n" who
+        (Idbox_acl.Rights.to_string grant)
+    | None -> ()
+  in
+  let doc = "Evaluate an ACL against a principal from the command line." in
+  Cmd.v (Cmd.info "acl" ~doc) Term.(const run $ entries_arg $ who_arg)
+
+let () =
+  let doc = "identity boxing: consistent global identity without local accounts" in
+  let info = Cmd.info "idbox" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ report_cmd; schemes_cmd; session_cmd; shell_cmd; acl_cmd ]))

@@ -1,0 +1,1 @@
+examples/campus_grid.ml: Idbox_acl Idbox_auth Idbox_chirp Idbox_identity Idbox_kernel Idbox_net Idbox_vfs Int64 List Printf String

@@ -1,0 +1,1 @@
+examples/chirp_remote_exec.mli:

@@ -1,0 +1,1 @@
+examples/hierarchy_demo.ml: Format Idbox Idbox_identity Idbox_kernel Idbox_workload List Printf Result

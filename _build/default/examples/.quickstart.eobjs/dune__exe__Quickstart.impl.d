@@ -1,0 +1,1 @@
+examples/quickstart.ml: Idbox Idbox_apps Idbox_identity Idbox_kernel Idbox_vfs Int64 Printf

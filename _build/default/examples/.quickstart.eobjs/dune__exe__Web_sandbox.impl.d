@@ -1,0 +1,1 @@
+examples/web_sandbox.ml: Idbox Idbox_identity Idbox_kernel Idbox_vfs List Option Printf

@@ -1,0 +1,165 @@
+(* A campus storage co-op: the sharing story of paper §4.
+
+   One Chirp server, many users, no administrator in the loop:
+   - anybody at nowhere.edu (hostname identity) may browse and run
+     pre-installed tools (rlx);
+   - certificate holders from two departments reserve private
+     directories (v) and selectively grant access to collaborators
+     across departments with plain setacl calls.
+
+   Run with:  dune exec examples/campus_grid.exe *)
+
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Program = Idbox_kernel.Program
+module Clock = Idbox_kernel.Clock
+module Network = Idbox_net.Network
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+module Subject = Idbox_identity.Subject
+module Errno = Idbox_vfs.Errno
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> failwith (ctx ^ ": " ^ Errno.message e)
+
+let () =
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let kernel = Kernel.create ~clock () in
+  let owner =
+    match Kernel.add_user kernel "coop" with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  let ca = Ca.create ~name:"Nowhere Campus CA" in
+  let root_acl =
+    Acl.of_entries
+      [
+        Entry.make ~pattern:"hostname:*.nowhere.edu" (Rights.of_string_exn "rlx");
+        Entry.make ~pattern:"globus:/O=Nowhere/*"
+          ~reserve:(Rights.of_string_exn "rwlaxd")
+          (Rights.of_string_exn "rlx");
+      ]
+  in
+  let acceptor =
+    Negotiate.acceptor ~trusted_cas:[ ca ]
+      ~host_ok:(fun h -> Idbox_identity.Wildcard.literal_matches "*.nowhere.edu" h)
+      ()
+  in
+  let _server =
+    ok "server"
+      (Server.create ~kernel ~net ~addr:"coop.nowhere.edu:9094"
+         ~owner_uid:owner.Account.uid ~export:"/home/coop/export" ~acceptor
+         ~root_acl ())
+  in
+  say "co-op server up; the operator now walks away for good.";
+  say "";
+
+  (* A pre-installed shared tool anyone on campus may run.  It returns
+     the word count as its exit code, so read-only users can use it
+     without holding any write right. *)
+  Program.register "wordcount" (fun args ->
+      let file = match args with _ :: f :: _ -> f | _ -> "input" in
+      match Libc.read_file file with
+      | Error _ -> 255
+      | Ok text ->
+        String.split_on_char ' ' text
+        |> List.filter (fun w -> w <> "")
+        |> List.length);
+  let staging =
+    ok "staging"
+      ((fun () ->
+         let sup = Kernel.make_view kernel ~uid:owner.Account.uid () in
+         ignore sup;
+         Idbox_vfs.Fs.write_file (Kernel.fs kernel) ~uid:owner.Account.uid
+           ~mode:0o755 "/home/coop/export/wordcount.exe" (Program.marker "wordcount"))
+         ())
+  in
+  ignore staging;
+
+  let connect creds =
+    match Client.connect net ~addr:"coop.nowhere.edu:9094" ~credentials:creds with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let physics_chen =
+    connect [ Credential.Gsi (Ca.issue ca (Subject.of_string_exn "/O=Nowhere/OU=Physics/CN=Chen")) ]
+  in
+  let biology_okafor =
+    connect [ Credential.Gsi (Ca.issue ca (Subject.of_string_exn "/O=Nowhere/OU=Biology/CN=Okafor")) ]
+  in
+  let kiosk = connect [ Credential.Host "kiosk.lib.nowhere.edu" ] in
+
+  say "chen   = %s" (Client.principal physics_chen);
+  say "okafor = %s" (Client.principal biology_okafor);
+  say "kiosk  = %s" (Client.principal kiosk);
+  say "";
+
+  (* Chen reserves a project directory and stores a dataset. *)
+  ok "mkdir" (Client.mkdir physics_chen "/plasma");
+  ok "put"
+    (Client.put physics_chen ~path:"/plasma/run7.dat"
+       ~data:"ion temperatures for run seven of the plasma study");
+  say "chen: created /plasma (reserve right) and stored run7.dat";
+
+  (* Okafor, from another department, cannot see in... *)
+  (match Client.get biology_okafor "/plasma/run7.dat" with
+   | Error Errno.EACCES -> say "okafor: read /plasma/run7.dat -> EACCES (private by default)"
+   | Ok _ -> failwith "privacy hole!"
+   | Error e -> failwith (Errno.message e));
+
+  (* ...until Chen grants exactly him, by global name, no admin involved. *)
+  ok "grant"
+    (Client.setacl physics_chen ~path:"/plasma"
+       ~entry:"globus:/O=Nowhere/OU=Biology/CN=Okafor rl");
+  say "chen: setacl /plasma 'globus:/O=Nowhere/OU=Biology/CN=Okafor rl'";
+  let data = ok "get" (Client.get biology_okafor "/plasma/run7.dat") in
+  say "okafor: read /plasma/run7.dat -> %d bytes" (String.length data);
+
+  (* But Okafor still cannot write or extend rights. *)
+  (match Client.put biology_okafor ~path:"/plasma/vandalism" ~data:"x" with
+   | Error Errno.EACCES -> say "okafor: write into /plasma -> EACCES (rl only)"
+   | Ok () -> failwith "write hole!"
+   | Error e -> failwith (Errno.message e));
+  (match
+     Client.setacl biology_okafor ~path:"/plasma" ~entry:"globus:/O=Nowhere/* rwlxad"
+   with
+   | Error Errno.EACCES -> say "okafor: setacl /plasma -> EACCES (no a right)"
+   | Ok () -> failwith "escalation hole!"
+   | Error e -> failwith (Errno.message e));
+  say "";
+
+  (* The kiosk user runs the pre-installed tool on a public file but
+     cannot stage programs in (rlx, no w). *)
+  ok "pub" (Client.mkdir physics_chen "/plasma/pub");
+  ok "grant pub"
+    (Client.setacl physics_chen ~path:"/plasma/pub" ~entry:"hostname:*.nowhere.edu rlx");
+  ok "pub data"
+    (Client.put physics_chen ~path:"/plasma/pub/abstract.txt"
+       ~data:"we report seven runs of the plasma study");
+  say "kiosk: exec wordcount.exe on a shared abstract...";
+  let count =
+    ok "exec"
+      (Client.exec kiosk ~path:"/wordcount.exe"
+         ~args:[ "wordcount"; "/home/coop/export/plasma/pub/abstract.txt" ]
+         ~cwd:"/" ())
+  in
+  say "kiosk: the abstract has %d words (no write right needed)" count;
+  (match Client.put kiosk ~path:"/trojan.exe" ~data:"#!evil" with
+   | Error Errno.EACCES -> say "kiosk: staging a program -> EACCES (rlx only)"
+   | Ok () -> failwith "kiosk write hole!"
+   | Error e -> failwith (Errno.message e));
+  say "";
+  say "total: %d network messages, %.2f ms simulated, 0 admin interventions"
+    (Network.total_messages net)
+    (Int64.to_float (Clock.now clock) /. 1e6)

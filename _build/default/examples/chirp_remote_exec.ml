@@ -1,0 +1,140 @@
+(* Figure 3: identity boxing in a distributed system.
+
+   Fred, holding a GSI credential, discovers a Chirp server through the
+   catalog, creates /work under the reserve right, stages in sim.exe,
+   executes it remotely inside an identity box annotated with his grid
+   identity, and retrieves the output — all without any account existing
+   for him on the server.
+
+   Run with:  dune exec examples/chirp_remote_exec.exe *)
+
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Program = Idbox_kernel.Program
+module Clock = Idbox_kernel.Clock
+module Network = Idbox_net.Network
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Catalog = Idbox_chirp.Catalog
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+module Subject = Idbox_identity.Subject
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> failwith (ctx ^ ": " ^ Idbox_vfs.Errno.message e)
+
+let () =
+  (* ---- the grid ----------------------------------------------------- *)
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let _catalog = Catalog.create net ~addr:"catalog.grid.edu:9097" in
+
+  (* ---- the server host, deployed by an ordinary user ---------------- *)
+  let server_kernel = Kernel.create ~clock () in
+  let owner =
+    match Kernel.add_user server_kernel "chirpuser" with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  let ca = Ca.create ~name:"UnivNowhere CA" in
+  (* The paper's root ACL: hostname users may browse; UnivNowhere
+     certificate holders may reserve private working directories. *)
+  let root_acl =
+    Acl.of_entries
+      [
+        Entry.make ~pattern:"hostname:*.nowhere.edu" (Rights.of_string_exn "rl");
+        Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+          ~reserve:(Rights.of_string_exn "rwlaxd")
+          (Rights.of_string_exn "rl");
+      ]
+  in
+  let acceptor =
+    Negotiate.acceptor ~trusted_cas:[ ca ]
+      ~host_ok:(fun h -> Idbox_identity.Wildcard.literal_matches "*.nowhere.edu" h)
+      ()
+  in
+  let server =
+    ok "server"
+      (Server.create ~kernel:server_kernel ~net ~addr:"alpha.grid.edu:9094"
+         ~owner_uid:owner.Account.uid ~export:"/home/chirpuser/export" ~acceptor
+         ~root_acl ())
+  in
+  (match
+     Catalog.register net ~catalog:"catalog.grid.edu:9097" ~name:"alpha"
+       ~server_addr:(Server.addr server) ~owner:"unix:chirpuser"
+   with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  say "server: deployed by ordinary user %S, exporting %s"
+    "chirpuser" (Server.export server);
+  say "server: root ACL:";
+  say "    hostname:*.nowhere.edu   rl";
+  say "    globus:/O=UnivNowhere/*  rl v(rwlaxd)";
+  say "";
+
+  (* ---- the simulation program (shared binary) ----------------------- *)
+  Program.register "sim" (fun args ->
+      let n = match args with _ :: n :: _ -> int_of_string n | _ -> 3 in
+      let input = Libc.check "read input" (Libc.read_file "input.dat") in
+      Libc.compute_us 40_000.;
+      let result =
+        Printf.sprintf "simulated %d steps of %S as %s\n" n input
+          (Libc.get_user_name ())
+      in
+      Libc.check "write output" (Libc.write_file "out.dat" ~contents:result);
+      0);
+
+  (* ---- Fred, on his laptop ------------------------------------------ *)
+  let fred_cert = Ca.issue ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+  let servers =
+    match Catalog.list net ~catalog:"catalog.grid.edu:9097" with
+    | Ok entries -> entries
+    | Error m -> failwith m
+  in
+  say "fred: catalog lists %d server(s); first is %S at %s"
+    (List.length servers)
+    (List.hd servers).Catalog.name
+    (List.hd servers).Catalog.server_addr;
+  let c =
+    match
+      Client.connect net ~addr:(List.hd servers).Catalog.server_addr
+        ~credentials:[ Credential.Gsi fred_cert ]
+    with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  say "fred: authenticated as %s via %s" (Client.principal c) (Client.auth_method c);
+
+  say "fred: mkdir /work                      (the reserve right mints it)";
+  ok "mkdir" (Client.mkdir c "/work");
+  say "fred: getacl /work ->";
+  print_string (ok "getacl" (Client.getacl c "/work"));
+
+  say "fred: put sim.exe, put input.dat";
+  ok "put exe" (Client.put c ~path:"/work/sim.exe" ~data:(Program.marker "sim"));
+  ok "put input" (Client.put c ~path:"/work/input.dat" ~data:"galaxy collision");
+
+  say "fred: exec sim.exe 5                   (runs in an identity box)";
+  let code = ok "exec" (Client.exec c ~path:"/work/sim.exe" ~args:[ "sim.exe"; "5" ] ()) in
+  say "fred: remote process exited %d" code;
+
+  say "fred: get out.dat ->";
+  print_string (ok "get" (Client.get c "/work/out.dat"));
+
+  say "fred: cleaning up";
+  List.iter (fun f -> ok "rm" (Client.unlink c ("/work/" ^ f)))
+    [ "out.dat"; "input.dat"; "sim.exe" ];
+  ok "rmdir" (Client.rmdir c "/work");
+  say "";
+  say "done: %d network messages, %.3f ms simulated, %d remote exec(s)"
+    (Network.total_messages net)
+    (Int64.to_float (Clock.now clock) /. 1e6)
+    (Server.exec_count server)

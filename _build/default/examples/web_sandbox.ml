@@ -1,0 +1,118 @@
+(* Untrusted web browsing (paper §9): a program downloaded from the web
+   runs in an identity box named by the credentials attached to it —
+   here "BigSoftwareCorp" — so the ordinary user can try it without
+   trusting it.  The box protects the user's files and confines the
+   program to its own namespace, while still letting it do legitimate
+   work.
+
+   Run with:  dune exec examples/web_sandbox.exe *)
+
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Box = Idbox.Box
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+module Principal = Idbox_identity.Principal
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> failwith (ctx ^ ": " ^ Errno.message e)
+
+(* The "downloaded" program: does some plausible work, then misbehaves. *)
+let installer _args =
+  let home = Option.get (Libc.getenv "HOME") in
+  let attempt what f =
+    match f () with
+    | Ok _ -> say "  [installer] %-42s ALLOWED" what
+    | Error e ->
+      say "  [installer] %-42s DENIED (%s)" what (Errno.to_string e)
+  in
+  (* Legitimate behaviour. *)
+  attempt "create its own config" (fun () ->
+      Libc.write_file (home ^ "/.bigcorp.rc") ~contents:"theme=dark\n");
+  attempt "read its own config" (fun () -> Libc.read_file (home ^ "/.bigcorp.rc"));
+  attempt "make a cache directory" (fun () -> Libc.mkdir (home ^ "/cache"));
+  (* Misbehaviour. *)
+  attempt "read the user's research notes" (fun () ->
+      Libc.read_file "/home/alice/notes.txt");
+  attempt "trojan the user's bin directory" (fun () ->
+      Libc.write_file "/home/alice/bin/ls" ~contents:"#!evil");
+  attempt "read /etc/passwd (gets the box's copy)" (fun () ->
+      Libc.read_file "/etc/passwd");
+  attempt "plant a setuid-style binary in /bin" (fun () ->
+      Libc.write_file "/bin/backdoor" ~contents:"#!evil");
+  attempt "grant itself rights on /home/alice" (fun () ->
+      Libc.setacl ~path:"/home/alice" ~entry:"BigSoftwareCorp rwlxad");
+  0
+
+let () =
+  let kernel = Kernel.create () in
+  let alice =
+    match Account.add (Kernel.accounts kernel) "alice" with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  Kernel.refresh_passwd kernel;
+  let fs = Kernel.fs kernel in
+  ok "home" (Fs.mkdir_p fs ~uid:0 "/home/alice");
+  ok "chown" (Fs.chown fs ~uid:0 ~owner:alice.Account.uid "/home/alice");
+  ok "chmod" (Fs.chmod fs ~uid:0 ~mode:0o755 "/home/alice");
+  ok "notes"
+    (Fs.write_file fs ~uid:alice.Account.uid ~mode:0o600 "/home/alice/notes.txt"
+       "unpublished results");
+  ok "bin" (Fs.mkdir_p fs ~uid:0 "/home/alice/bin");
+  ok "chown2" (Fs.chown fs ~uid:0 ~owner:alice.Account.uid "/home/alice/bin");
+  ok "chmod2" (Fs.chmod fs ~uid:0 ~mode:0o700 "/home/alice/bin");
+
+  say "alice downloads bigcorp-installer.exe, signed by \"BigSoftwareCorp\".";
+  say "Rather than trusting it, she runs it in an identity box named after";
+  say "the signer:";
+  say "";
+  say "alice$ parrot_identity_box BigSoftwareCorp ./bigcorp-installer.exe";
+  say "";
+
+  let box =
+    match
+      Box.create kernel ~supervisor_uid:alice.Account.uid
+        ~identity:(Principal.of_string "BigSoftwareCorp") ~audit:true ()
+    with
+    | Ok box -> box
+    | Error e -> failwith (Errno.message e)
+  in
+  let pid = Box.spawn_main box ~main:installer ~args:[ "installer" ] in
+  Kernel.run kernel;
+  say "";
+  say "installer exited %s."
+    (match Kernel.exit_code kernel pid with
+     | Some c -> string_of_int c
+     | None -> "?");
+  say "";
+  (* The forensic angle from the paper's conclusion: what did the
+     contained program actually touch? *)
+  say "post-mortem: alice's files are intact —";
+  say "  notes.txt: %S" (ok "read" (Fs.read_file fs ~uid:alice.Account.uid "/home/alice/notes.txt"));
+  say "  /home/alice/bin/ls exists: %b" (Fs.exists fs ~uid:0 "/home/alice/bin/ls");
+  say "  /bin/backdoor exists: %b" (Fs.exists fs ~uid:0 "/bin/backdoor");
+  say "and everything the program legitimately made sits in its box home:";
+  (match Fs.readdir fs ~uid:0 (Box.home box) with
+   | Ok names ->
+     List.iter (fun n -> if n <> ".__acl" then say "  %s/%s" (Box.home box) n) names
+   | Error e -> say "  (readdir: %s)" (Errno.message e));
+  say "";
+  (* The forensic record the paper's conclusion proposes: the box saw
+     everything the untrusted program tried. *)
+  (match Box.audit_trail box with
+   | None -> ()
+   | Some trail ->
+     say "forensic audit trail (what BigSoftwareCorp actually did):";
+     List.iter
+       (fun (ev : Idbox.Audit.event) ->
+         say "  %-8s %-42s %s" ev.Idbox.Audit.ev_op ev.Idbox.Audit.ev_path
+           (Idbox.Audit.verdict_to_string ev.Idbox.Audit.ev_verdict))
+       (Idbox.Audit.events trail);
+     say "denied actions: %d of %d recorded"
+       (List.length (Idbox.Audit.denied trail))
+       (Idbox.Audit.length trail))

@@ -1,0 +1,1 @@
+lib/accounts/account_pool.ml: Common Idbox_kernel Printf Queue Scheme

@@ -1,0 +1,1 @@
+lib/accounts/account_pool.mli: Scheme

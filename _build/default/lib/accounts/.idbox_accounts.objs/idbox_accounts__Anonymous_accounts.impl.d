@@ -1,0 +1,1 @@
+lib/accounts/anonymous_accounts.ml: Common Idbox_kernel Idbox_vfs List Printf Scheme

@@ -1,0 +1,1 @@
+lib/accounts/anonymous_accounts.mli: Scheme

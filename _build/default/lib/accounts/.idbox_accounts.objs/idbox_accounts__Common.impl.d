@@ -1,0 +1,1 @@
+lib/accounts/common.ml: Idbox_kernel Idbox_vfs

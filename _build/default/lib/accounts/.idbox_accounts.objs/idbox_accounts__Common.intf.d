@@ -1,0 +1,1 @@
+lib/accounts/common.mli: Idbox_identity Idbox_kernel Scheme

@@ -1,0 +1,1 @@
+lib/accounts/group_accounts.ml: Common Hashtbl Idbox_kernel Scheme String

@@ -1,0 +1,1 @@
+lib/accounts/group_accounts.mli: Scheme

@@ -1,0 +1,1 @@
+lib/accounts/idbox_scheme.ml: Hashtbl Idbox Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs Printf Scheme

@@ -1,0 +1,1 @@
+lib/accounts/idbox_scheme.mli: Scheme

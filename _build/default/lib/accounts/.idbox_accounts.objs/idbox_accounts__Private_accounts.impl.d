@@ -1,0 +1,1 @@
+lib/accounts/private_accounts.ml: Common Hashtbl Idbox_identity Idbox_kernel Idbox_vfs List Printf Scheme String

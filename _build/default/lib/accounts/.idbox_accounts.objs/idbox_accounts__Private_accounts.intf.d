@@ -1,0 +1,1 @@
+lib/accounts/private_accounts.mli: Scheme

@@ -1,0 +1,1 @@
+lib/accounts/probe.mli: Scheme

@@ -1,0 +1,1 @@
+lib/accounts/scheme.ml: Idbox_identity Idbox_kernel Printf String

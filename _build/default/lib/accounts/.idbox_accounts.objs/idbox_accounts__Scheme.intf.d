@@ -1,0 +1,1 @@
+lib/accounts/scheme.mli: Idbox_identity Idbox_kernel

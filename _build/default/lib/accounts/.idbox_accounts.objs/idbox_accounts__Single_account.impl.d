@@ -1,0 +1,1 @@
+lib/accounts/single_account.ml: Common Idbox_kernel Idbox_vfs Scheme

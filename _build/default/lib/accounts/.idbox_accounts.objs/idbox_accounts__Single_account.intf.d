@@ -1,0 +1,1 @@
+lib/accounts/single_account.mli: Scheme

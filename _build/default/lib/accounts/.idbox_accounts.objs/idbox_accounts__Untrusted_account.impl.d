@@ -1,0 +1,1 @@
+lib/accounts/untrusted_account.ml: Common Idbox_kernel Scheme

@@ -1,0 +1,1 @@
+lib/accounts/untrusted_account.mli: Scheme

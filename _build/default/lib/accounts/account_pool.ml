@@ -1,0 +1,69 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+
+let pool_size = 8
+
+let scheme =
+  {
+    Scheme.sc_name = "pool";
+    sc_example = "Globus, Legion";
+    sc_setup =
+      (fun kernel ~operator_uid ->
+        match Scheme.require_root ~operator_uid ~what:"creating the account pool" with
+        | Error _ as e -> e
+        | Ok () ->
+          let free = Queue.create () in
+          let admin_actions = ref 1 in
+          (* One admin intervention creates the whole pool. *)
+          let rec build i =
+            if i >= pool_size then Ok ()
+            else
+              match Account.add (Kernel.accounts kernel) (Printf.sprintf "grid%d" i) with
+              | Error _ as e -> e
+              | Ok entry ->
+                (match
+                   Common.ensure_dir kernel ~owner:entry.Account.uid ~mode:0o700
+                     entry.Account.home
+                 with
+                 | Error _ as e -> e
+                 | Ok () ->
+                   Queue.push entry free;
+                   build (i + 1))
+          in
+          (match build 0 with
+           | Error e -> Error e
+           | Ok () ->
+             Kernel.refresh_passwd kernel;
+             let admit principal =
+               match Queue.take_opt free with
+               | None -> Error "account pool exhausted"
+               | Some entry ->
+                 Ok
+                   {
+                     Scheme.s_principal = principal;
+                     s_workdir = entry.Account.home;
+                     s_run =
+                       (fun main args ->
+                         Common.run_as kernel ~uid:entry.Account.uid
+                           ~cwd:entry.Account.home main args);
+                     s_uid = entry.Account.uid;
+                   }
+             in
+             let logout session =
+               (* The lease ends; the account returns to the pool.  Files
+                  are deliberately left in place — the classic recycled-
+                  account hazard the probe demonstrates. *)
+               match
+                 Account.find_uid (Kernel.accounts kernel) session.Scheme.s_uid
+               with
+               | Some entry -> Queue.push entry free
+               | None -> ()
+             in
+             Ok
+               {
+                 Scheme.st_admit = admit;
+                 st_logout = logout;
+                 st_share = Common.no_share;
+                 st_admin_actions = (fun () -> !admin_actions);
+               }));
+  }

@@ -1,0 +1,14 @@
+(** The account-pool scheme: the administrator pre-creates a pool of
+    anonymous accounts ([grid0]..[gridN]) that a resource manager leases
+    to jobs on the fly (paper §2, "Account Pools"; examples: Globus,
+    Legion).
+
+    One admin action sets up the whole pool; owners and users are
+    protected from each other; but "a given user might be grid9 today
+    and grid33 tomorrow" — no return, and a recycled account may expose
+    a sloppy predecessor's files to its next tenant. *)
+
+val scheme : Scheme.t
+
+val pool_size : int
+(** Accounts created at setup (8). *)

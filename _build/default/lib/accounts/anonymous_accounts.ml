@@ -1,0 +1,68 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Fs = Idbox_vfs.Fs
+
+(* Recursively remove a directory as root: the cleanup a real system
+   performs when it destroys a temporary account. *)
+let rec remove_tree kernel path =
+  let fs = Kernel.fs kernel in
+  match Fs.readdir fs ~uid:0 path with
+  | Error _ -> ignore (Fs.unlink fs ~uid:0 path)
+  | Ok names ->
+    List.iter (fun name -> remove_tree kernel (path ^ "/" ^ name)) names;
+    ignore (Fs.rmdir fs ~uid:0 path)
+
+let scheme =
+  {
+    Scheme.sc_name = "anonymous";
+    sc_example = "Condor on NT";
+    sc_setup =
+      (fun kernel ~operator_uid ->
+        match
+          Scheme.require_root ~operator_uid ~what:"creating temporary accounts"
+        with
+        | Error _ as e -> e
+        | Ok () ->
+          let counter = ref 0 in
+          let admit principal =
+            incr counter;
+            let name = Printf.sprintf "anon%d" !counter in
+            match Account.add (Kernel.accounts kernel) name with
+            | Error _ as e -> e
+            | Ok entry ->
+              Kernel.refresh_passwd kernel;
+              (match
+                 Common.ensure_dir kernel ~owner:entry.Account.uid ~mode:0o700
+                   entry.Account.home
+               with
+               | Error _ as e -> e
+               | Ok () ->
+                 Ok
+                   {
+                     Scheme.s_principal = principal;
+                     s_workdir = entry.Account.home;
+                     s_run =
+                       (fun main args ->
+                         Common.run_as kernel ~uid:entry.Account.uid
+                           ~cwd:entry.Account.home main args);
+                     s_uid = entry.Account.uid;
+                   })
+          in
+          let logout session =
+            (* The account evaporates with the job: home removed, entry
+               deleted.  Nothing to return to. *)
+            remove_tree kernel session.Scheme.s_workdir;
+            (match Account.find_uid (Kernel.accounts kernel) session.Scheme.s_uid with
+             | Some entry ->
+               ignore (Account.remove (Kernel.accounts kernel) entry.Account.name);
+               Kernel.refresh_passwd kernel
+             | None -> ())
+          in
+          Ok
+            {
+              Scheme.st_admit = admit;
+              st_logout = logout;
+              st_share = Common.no_share;
+              st_admin_actions = (fun () -> 0);
+            });
+  }

@@ -1,0 +1,9 @@
+(** The anonymous-accounts scheme: a brand-new throwaway account for
+    every job, destroyed afterwards (paper §2, "Anonymous Accounts";
+    example: Condor on Windows NT).
+
+    Automatic — no per-user human step — but an identity means nothing
+    after logout: the account and its home are gone, so a user can never
+    return to stored data. *)
+
+val scheme : Scheme.t

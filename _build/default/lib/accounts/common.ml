@@ -1,0 +1,25 @@
+module Kernel = Idbox_kernel.Kernel
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+let run_as kernel ~uid ~cwd main args =
+  let pid = Kernel.spawn_main kernel ~uid ~cwd ~main ~args () in
+  Kernel.run kernel;
+  match Kernel.exit_code kernel pid with
+  | Some code -> code
+  | None -> 255
+
+let ensure_dir kernel ~owner ~mode path =
+  let fs = Kernel.fs kernel in
+  let ( let* ) r f =
+    match r with Ok v -> f v | Error e -> Error (Errno.message e)
+  in
+  let* () = Fs.mkdir_p fs ~uid:0 path in
+  let* () = Fs.chown fs ~uid:0 ~owner path in
+  let* () = Fs.chmod fs ~uid:0 ~mode path in
+  Ok ()
+
+let no_share ~owner:_ ~peer:_ ~path:_ =
+  Error "scheme provides no sharing mechanism"
+
+let always_share ~owner:_ ~peer:_ ~path:_ = Ok ()

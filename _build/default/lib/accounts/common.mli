@@ -1,0 +1,34 @@
+(** Shared plumbing for scheme implementations. *)
+
+val run_as :
+  Idbox_kernel.Kernel.t ->
+  uid:int ->
+  cwd:string ->
+  Idbox_kernel.Program.main ->
+  string list ->
+  int
+(** Spawn a job under [uid], drive the host to quiescence, return the
+    exit code (255 if it never exited). *)
+
+val ensure_dir :
+  Idbox_kernel.Kernel.t ->
+  owner:int ->
+  mode:int ->
+  string ->
+  (unit, string) result
+(** Create a directory (as root — schemes call this only from contexts
+    that already established privilege) and set its owner and mode. *)
+
+val no_share :
+  owner:Scheme.session ->
+  peer:Idbox_identity.Principal.t ->
+  path:string ->
+  (unit, string) result
+(** The "no mechanism" share implementation most schemes have. *)
+
+val always_share :
+  owner:Scheme.session ->
+  peer:Idbox_identity.Principal.t ->
+  path:string ->
+  (unit, string) result
+(** Sharing needs no action because everyone is the same account. *)

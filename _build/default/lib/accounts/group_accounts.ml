@@ -1,0 +1,64 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+
+let scheme =
+  {
+    Scheme.sc_name = "group";
+    sc_example = "Grid3";
+    sc_setup =
+      (fun kernel ~operator_uid ->
+        match Scheme.require_root ~operator_uid ~what:"creating group accounts" with
+        | Error _ as e -> e
+        | Ok () ->
+          let groups : (string, Account.entry) Hashtbl.t = Hashtbl.create 4 in
+          let admin_actions = ref 0 in
+          let account_for_org org =
+            match Hashtbl.find_opt groups org with
+            | Some entry -> Ok entry
+            | None ->
+              (* The administrator creates one account per collaboration. *)
+              incr admin_actions;
+              let name = "grp_" ^ Scheme.sanitize org in
+              (match Account.add (Kernel.accounts kernel) name with
+               | Error _ as e -> e
+               | Ok entry ->
+                 Kernel.refresh_passwd kernel;
+                 Hashtbl.replace groups org entry;
+                 (match
+                    Common.ensure_dir kernel ~owner:entry.Account.uid ~mode:0o700
+                      entry.Account.home
+                  with
+                  | Error _ as e -> e
+                  | Ok () -> Ok entry))
+          in
+          let admit principal =
+            match account_for_org (Scheme.org_of principal) with
+            | Error e -> Error e
+            | Ok entry ->
+              Ok
+                {
+                  Scheme.s_principal = principal;
+                  s_workdir = entry.Account.home;
+                  s_run =
+                    (fun main args ->
+                      Common.run_as kernel ~uid:entry.Account.uid
+                        ~cwd:entry.Account.home main args);
+                  s_uid = entry.Account.uid;
+                }
+          in
+          let share ~owner ~peer ~path:_ =
+            (* Sharing is whatever the static grouping says: groupmates
+               already share; outsiders cannot be granted anything. *)
+            if String.equal (Scheme.org_of owner.Scheme.s_principal)
+                 (Scheme.org_of peer)
+            then Ok ()
+            else Error "cannot share across group accounts"
+          in
+          Ok
+            {
+              Scheme.st_admit = admit;
+              st_logout = (fun _ -> ());
+              st_share = share;
+              st_admin_actions = (fun () -> !admin_actions);
+            });
+  }

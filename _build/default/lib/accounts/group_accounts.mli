@@ -1,0 +1,9 @@
+(** The group-accounts scheme: one shared account per collaboration,
+    with users mapped by their organization (paper §2, "Group Accounts";
+    example: Grid3).
+
+    Privacy and sharing are {e fixed} by the static grouping: everything
+    is shared within a group and nothing across groups, and no user can
+    change either.  Root creates each group account once. *)
+
+val scheme : Scheme.t

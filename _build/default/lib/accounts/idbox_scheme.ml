@@ -1,0 +1,76 @@
+module Kernel = Idbox_kernel.Kernel
+module Libc = Idbox_kernel.Libc
+module Box = Idbox.Box
+module Principal = Idbox_identity.Principal
+module Rights = Idbox_acl.Rights
+module Path = Idbox_vfs.Path
+
+let scheme =
+  {
+    Scheme.sc_name = "identity box";
+    sc_example = "Parrot";
+    sc_setup =
+      (fun kernel ~operator_uid ->
+        let boxes : (string, Box.t) Hashtbl.t = Hashtbl.create 8 in
+        let box_for principal =
+          let key = Principal.to_string principal in
+          match Hashtbl.find_opt boxes key with
+          | Some box -> Ok box
+          | None ->
+            (match
+               Box.create kernel ~supervisor_uid:operator_uid ~identity:principal ()
+             with
+             | Ok box ->
+               Hashtbl.replace boxes key box;
+               Ok box
+             | Error e -> Error (Idbox_vfs.Errno.message e))
+        in
+        let admit principal =
+          match box_for principal with
+          | Error e -> Error e
+          | Ok box ->
+            Ok
+              {
+                Scheme.s_principal = principal;
+                s_workdir = Box.home box;
+                s_run =
+                  (fun main args ->
+                    let pid = Box.spawn_main box ~main ~args in
+                    Kernel.run kernel;
+                    (match Kernel.exit_code kernel pid with
+                     | Some code -> code
+                     | None -> 255));
+                s_uid = operator_uid;
+              }
+        in
+        let share ~owner ~peer ~path =
+          (* The owner grants access from inside their own box with an
+             ordinary setacl — no administrator involved. *)
+          match box_for owner.Scheme.s_principal with
+          | Error e -> Error e
+          | Ok box ->
+            let dir = Path.dirname path in
+            let entry =
+              Printf.sprintf "%s %s" (Principal.to_string peer)
+                (Rights.to_string (Rights.of_string_exn "rl"))
+            in
+            let grant_job _args =
+              match Libc.setacl ~path:dir ~entry with
+              | Ok () -> 0
+              | Error _ -> 1
+            in
+            let pid = Box.spawn_main box ~main:grant_job ~args:[ "grant" ] in
+            Kernel.run kernel;
+            (match Kernel.exit_code kernel pid with
+             | Some 0 -> Ok ()
+             | Some _ -> Error "setacl denied"
+             | None -> Error "grant job stuck")
+        in
+        Ok
+          {
+            Scheme.st_admit = admit;
+            st_logout = (fun _ -> ());
+            st_share = share;
+            st_admin_actions = (fun () -> 0);
+          });
+  }

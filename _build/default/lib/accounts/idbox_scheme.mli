@@ -1,0 +1,10 @@
+(** Identity boxing as an identity-mapping scheme — the paper's new row
+    in Figure 1.
+
+    Any user deploys it without privilege; each principal gets a named
+    protection domain (an identity box) created on the fly with no
+    account database involvement; ACLs give privacy by default, grant
+    selective sharing ([setacl]), and persist, so users can return to
+    their data. *)
+
+val scheme : Scheme.t

@@ -1,0 +1,75 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Fs = Idbox_vfs.Fs
+module Principal = Idbox_identity.Principal
+
+let gridmap_path = "/etc/gridmap"
+
+let scheme =
+  {
+    Scheme.sc_name = "private";
+    sc_example = "I-WAY, gridmap";
+    sc_setup =
+      (fun kernel ~operator_uid ->
+        match Scheme.require_root ~operator_uid ~what:"creating user accounts" with
+        | Error _ as e -> e
+        | Ok () ->
+          let gridmap : (string, Account.entry) Hashtbl.t = Hashtbl.create 8 in
+          let admin_actions = ref 0 in
+          let persist_gridmap () =
+            let lines =
+              Hashtbl.fold
+                (fun dn entry acc ->
+                  Printf.sprintf "%S %s" dn entry.Account.name :: acc)
+                gridmap []
+              |> List.sort String.compare
+            in
+            ignore
+              (Fs.write_file (Kernel.fs kernel) ~uid:0 gridmap_path
+                 (String.concat "\n" lines ^ "\n"))
+          in
+          let account_for principal =
+            let dn = Principal.to_string principal in
+            match Hashtbl.find_opt gridmap dn with
+            | Some entry -> Ok entry
+            | None ->
+              (* A human administrator edits the gridmap and runs
+                 useradd: one manual intervention per new user. *)
+              incr admin_actions;
+              let name = "grid_" ^ Scheme.sanitize dn in
+              (match Account.add (Kernel.accounts kernel) name with
+               | Error _ as e -> e
+               | Ok entry ->
+                 Kernel.refresh_passwd kernel;
+                 Hashtbl.replace gridmap dn entry;
+                 persist_gridmap ();
+                 (match
+                    Common.ensure_dir kernel ~owner:entry.Account.uid ~mode:0o700
+                      entry.Account.home
+                  with
+                  | Error _ as e -> e
+                  | Ok () -> Ok entry))
+          in
+          let admit principal =
+            match account_for principal with
+            | Error e -> Error e
+            | Ok entry ->
+              Ok
+                {
+                  Scheme.s_principal = principal;
+                  s_workdir = entry.Account.home;
+                  s_run =
+                    (fun main args ->
+                      Common.run_as kernel ~uid:entry.Account.uid
+                        ~cwd:entry.Account.home main args);
+                  s_uid = entry.Account.uid;
+                }
+          in
+          Ok
+            {
+              Scheme.st_admit = admit;
+              st_logout = (fun _ -> ());
+              st_share = Common.no_share;
+              st_admin_actions = (fun () -> !admin_actions);
+            });
+  }

@@ -1,0 +1,13 @@
+(** The private-accounts scheme: a distinct local account per grid user,
+    mapped through a gridmap file (paper §2, "Private Accounts";
+    example: I-WAY and today's gridmap deployments).
+
+    Full privacy and return, but every new user costs a manual root
+    intervention to extend the gridmap and create the account, and there
+    is no selective sharing between accounts. *)
+
+val scheme : Scheme.t
+
+val gridmap_path : string
+(** Where the scheme writes its gridmap ([/etc/gridmap]) — the mapping
+    table the paper wants to abolish. *)

@@ -1,0 +1,256 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Fs = Idbox_vfs.Fs
+module Principal = Idbox_identity.Principal
+
+type verdict =
+  | Yes
+  | No
+  | Fixed
+
+type row = {
+  r_scheme : string;
+  r_example : string;
+  r_requires_privilege : bool;
+  r_protects_owner : verdict;
+  r_privacy : verdict;
+  r_sharing : verdict;
+  r_return : verdict;
+  r_admin_burden : string;
+}
+
+let verdict_to_string = function
+  | Yes -> "yes"
+  | No -> "no"
+  | Fixed -> "fixed"
+
+let all_schemes () =
+  [
+    Single_account.scheme;
+    Untrusted_account.scheme;
+    Private_accounts.scheme;
+    Group_accounts.scheme;
+    Anonymous_accounts.scheme;
+    Account_pool.scheme;
+    Idbox_scheme.scheme;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Probe jobs: programs run inside the scheme's protection domain.     *)
+(* ------------------------------------------------------------------ *)
+
+let write_job ~path ~mode : Idbox_kernel.Program.main =
+ fun _args ->
+  let flags = Fs.wronly_create in
+  match Libc.open_file ~flags ~mode path with
+  | Error _ -> 1
+  | Ok fd ->
+    let r = Libc.write fd "probe data" in
+    ignore (Libc.close fd);
+    (match r with Ok _ -> 0 | Error _ -> 1)
+
+let overwrite_job ~path : Idbox_kernel.Program.main =
+ fun _args ->
+  (* Overwrite without creating: the victim file must already exist. *)
+  let flags =
+    { Fs.rd = false; wr = true; creat = false; excl = false; trunc = false;
+      append = false }
+  in
+  match Libc.open_file ~flags path with
+  | Error _ -> 1
+  | Ok fd ->
+    let r = Libc.write fd "defaced" in
+    ignore (Libc.close fd);
+    (match r with Ok _ -> 0 | Error _ -> 1)
+
+let read_job ~path : Idbox_kernel.Program.main =
+ fun _args ->
+  match Libc.read_file path with Ok _ -> 0 | Error _ -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Scenario plumbing.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let alice = Principal.of_string "globus:/O=OrgA/CN=Alice"
+let bob = Principal.of_string "globus:/O=OrgA/CN=Bob"
+let carol = Principal.of_string "globus:/O=OrgB/CN=Carol"
+let dave = Principal.of_string "globus:/O=OrgC/CN=Dave"
+
+let fresh_host () =
+  let kernel = Kernel.create () in
+  let operator =
+    match Account.add (Kernel.accounts kernel) "operator" with
+    | Ok e -> e
+    | Error m -> invalid_arg m
+  in
+  Kernel.refresh_passwd kernel;
+  (kernel, operator.Account.uid)
+
+let setup_for_probes (scheme : Scheme.t) =
+  let kernel, operator_uid = fresh_host () in
+  match scheme.Scheme.sc_setup kernel ~operator_uid with
+  | Ok state -> (kernel, operator_uid, state, false)
+  | Error _ ->
+    (* The scheme needs privilege: deploy as root instead. *)
+    (match scheme.Scheme.sc_setup kernel ~operator_uid:0 with
+     | Ok state -> (kernel, 0, state, true)
+     | Error m ->
+       invalid_arg (Printf.sprintf "%s: setup failed even as root: %s"
+                      scheme.Scheme.sc_name m))
+
+let admit state principal =
+  match state.Scheme.st_admit principal with
+  | Ok session -> session
+  | Error m -> invalid_arg ("admit failed: " ^ m)
+
+let succeeded session job = session.Scheme.s_run job [ "probe" ] = 0
+
+(* ------------------------------------------------------------------ *)
+(* The probes.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let probe_privilege (scheme : Scheme.t) =
+  let kernel, operator_uid = fresh_host () in
+  match scheme.Scheme.sc_setup kernel ~operator_uid with
+  | Ok _ -> false
+  | Error _ -> true
+
+let probe_matrix (scheme : Scheme.t) =
+  let kernel, operator_uid, state, _privileged = setup_for_probes scheme in
+  let fs = Kernel.fs kernel in
+  (* The service operator's pre-existing file. *)
+  let owner_file = "/tmp/owner_secret" in
+  (match Fs.write_file fs ~uid:0 ~mode:0o644 owner_file "owner data" with
+   | Ok () -> ()
+   | Error e -> invalid_arg (Idbox_vfs.Errno.message e));
+  (match Fs.chown fs ~uid:0 ~owner:(max operator_uid 1) owner_file with
+   | Ok () -> ()
+   | Error e -> invalid_arg (Idbox_vfs.Errno.message e));
+  let sa = admit state alice in
+  let sb = admit state bob in
+  let sc = admit state carol in
+  (* Protects owner: Alice tries to overwrite the operator's file. *)
+  let protects_owner =
+    if succeeded sa (overwrite_job ~path:owner_file) then No else Yes
+  in
+  (* Privacy: Alice stores a 0600 file; Bob (same org) and Carol
+     (foreign) try to read it. *)
+  let private_path = sa.Scheme.s_workdir ^ "/alice_private" in
+  assert (succeeded sa (write_job ~path:private_path ~mode:0o600));
+  let intra_read = succeeded sb (read_job ~path:private_path) in
+  let cross_read = succeeded sc (read_job ~path:private_path) in
+  let privacy =
+    match (intra_read, cross_read) with
+    | false, false -> Yes
+    | true, false -> Fixed
+    | _, true -> No
+  in
+  (* Sharing: Alice grants Carol (arbitrary peer), then Bob (groupmate). *)
+  let share_path = sa.Scheme.s_workdir ^ "/alice_shared" in
+  assert (succeeded sa (write_job ~path:share_path ~mode:0o600));
+  let try_share peer reader =
+    match state.Scheme.st_share ~owner:sa ~peer ~path:share_path with
+    | Ok () -> succeeded reader (read_job ~path:share_path)
+    | Error _ -> false
+  in
+  let share_arbitrary = try_share carol sc in
+  let share_intra = try_share bob sb in
+  let sharing =
+    match (share_arbitrary, share_intra) with
+    | true, _ -> Yes
+    | false, true -> Fixed
+    | false, false -> No
+  in
+  (* Return: Dave stores data, logs out, is re-admitted, reads back. *)
+  let sd = admit state dave in
+  let persist_path = sd.Scheme.s_workdir ^ "/dave_persist" in
+  assert (succeeded sd (write_job ~path:persist_path ~mode:0o600));
+  state.Scheme.st_logout sd;
+  let sd' = admit state dave in
+  let return_ok = succeeded sd' (read_job ~path:persist_path) in
+  (protects_owner, privacy, sharing, (if return_ok then Yes else No))
+
+let probe_admin_burden (scheme : Scheme.t) =
+  let kernel, operator_uid = fresh_host () in
+  let state =
+    match scheme.Scheme.sc_setup kernel ~operator_uid with
+    | Ok state -> state
+    | Error _ ->
+      (match scheme.Scheme.sc_setup kernel ~operator_uid:0 with
+       | Ok state -> state
+       | Error m -> invalid_arg m)
+  in
+  let users =
+    [
+      "globus:/O=OrgA/CN=U1"; "globus:/O=OrgA/CN=U2"; "globus:/O=OrgB/CN=U3";
+      "globus:/O=OrgB/CN=U4"; "globus:/O=OrgC/CN=U5"; "globus:/O=OrgD/CN=U6";
+    ]
+  in
+  List.iter (fun u -> ignore (admit state (Principal.of_string u))) users;
+  let n_users = List.length users and n_orgs = 4 in
+  match state.Scheme.st_admin_actions () with
+  | n when n >= n_users -> "per user"
+  | n when n >= n_orgs -> "per group"
+  | n when n >= 1 -> "per pool"
+  | _ -> "-"
+
+let evaluate (scheme : Scheme.t) =
+  let r_requires_privilege = probe_privilege scheme in
+  let protects_owner, privacy, sharing, return_v = probe_matrix scheme in
+  {
+    r_scheme = scheme.Scheme.sc_name;
+    r_example = scheme.Scheme.sc_example;
+    r_requires_privilege;
+    r_protects_owner = protects_owner;
+    r_privacy = privacy;
+    r_sharing = sharing;
+    r_return = return_v;
+    r_admin_burden = probe_admin_burden scheme;
+  }
+
+let rows () = List.map evaluate (all_schemes ())
+
+let render_table rows =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%-14s %-10s %-8s %-8s %-8s %-7s %-10s %s" "Account Type" "Privilege"
+    "Protect" "Privacy" "Sharing" "Return" "Admin" "Example";
+  line "%s" (String.make 88 '-');
+  List.iter
+    (fun r ->
+      line "%-14s %-10s %-8s %-8s %-8s %-7s %-10s %s" r.r_scheme
+        (if r.r_requires_privilege then "root" else "-")
+        (verdict_to_string r.r_protects_owner)
+        (verdict_to_string r.r_privacy)
+        (verdict_to_string r.r_sharing)
+        (verdict_to_string r.r_return)
+        r.r_admin_burden r.r_example)
+    rows;
+  Buffer.contents buf
+
+let paper_row name =
+  let mk scheme example priv owner privacy sharing return_v admin =
+    {
+      r_scheme = scheme;
+      r_example = example;
+      r_requires_privilege = priv;
+      r_protects_owner = owner;
+      r_privacy = privacy;
+      r_sharing = sharing;
+      r_return = return_v;
+      r_admin_burden = admin;
+    }
+  in
+  let table =
+    [
+      mk "single" "Personal GASS" false No No Yes Yes "-";
+      mk "untrusted" "WWW, FTP" true Yes No Yes Yes "-";
+      mk "private" "I-WAY, gridmap" true Yes Yes No Yes "per user";
+      mk "group" "Grid3" true Yes Fixed Fixed Yes "per group";
+      mk "anonymous" "Condor on NT" true Yes Yes No No "-";
+      mk "pool" "Globus, Legion" true Yes Yes No No "per pool";
+      mk "identity box" "Parrot" false Yes Yes Yes Yes "-";
+    ]
+  in
+  List.find_opt (fun r -> String.equal r.r_scheme name) table

@@ -1,0 +1,54 @@
+(** The Figure 1 probe engine: run identical scenarios against every
+    identity-mapping scheme and derive the paper's property matrix.
+
+    Nothing in the output is hard-coded; each cell is the observed
+    outcome of an experiment on a fresh simulated host:
+
+    - {e privilege}: deploy the scheme as an ordinary user — does setup
+      succeed?
+    - {e protects owner}: an admitted visitor's job tries to overwrite a
+      file belonging to the service operator.
+    - {e privacy}: one visitor stores a 0600 file; a same-organization
+      visitor and a foreign visitor try to read it.
+    - {e sharing}: the owner invokes the scheme's sharing mechanism for
+      a specific peer, who then tries to read.
+    - {e return}: a visitor stores data, logs out, is re-admitted under
+      the same principal, and tries to read the old path.
+    - {e admin burden}: admit six users from four organizations and
+      count the manual root interventions the scheme recorded.
+
+    A cell is [Fixed] when the same-organization and cross-organization
+    outcomes differ — the static policy of group accounts. *)
+
+type verdict =
+  | Yes
+  | No
+  | Fixed
+
+type row = {
+  r_scheme : string;
+  r_example : string;
+  r_requires_privilege : bool;
+  r_protects_owner : verdict;
+  r_privacy : verdict;
+  r_sharing : verdict;
+  r_return : verdict;
+  r_admin_burden : string;  (** ["per user"], ["per group"], ["per pool"], ["-"]. *)
+}
+
+val verdict_to_string : verdict -> string
+
+val all_schemes : unit -> Scheme.t list
+(** The seven rows of Figure 1, in the paper's order. *)
+
+val evaluate : Scheme.t -> row
+(** Run the full scenario suite against one scheme (fresh hosts). *)
+
+val rows : unit -> row list
+
+val render_table : row list -> string
+(** The Figure 1 table, ready to print. *)
+
+val paper_row : string -> row option
+(** The paper's published expectations for a scheme name — what
+    EXPERIMENTS.md compares against. *)

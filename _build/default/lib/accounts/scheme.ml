@@ -1,0 +1,54 @@
+module Principal = Idbox_identity.Principal
+module Subject = Idbox_identity.Subject
+
+type session = {
+  s_principal : Principal.t;
+  s_workdir : string;
+  s_run : Idbox_kernel.Program.main -> string list -> int;
+  s_uid : int;
+}
+
+type state = {
+  st_admit : Principal.t -> (session, string) result;
+  st_logout : session -> unit;
+  st_share :
+    owner:session -> peer:Principal.t -> path:string -> (unit, string) result;
+  st_admin_actions : unit -> int;
+}
+
+type t = {
+  sc_name : string;
+  sc_example : string;
+  sc_setup :
+    Idbox_kernel.Kernel.t -> operator_uid:int -> (state, string) result;
+}
+
+let org_of principal =
+  let name = principal.Principal.name in
+  match Subject.of_string name with
+  | Ok subject ->
+    (match Subject.organization subject with
+     | Some org -> org
+     | None -> name)
+  | Error _ ->
+    (match String.index_opt name '@' with
+     | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+     | None ->
+       (match String.index_opt name '.' with
+        | Some _ -> name
+        | None -> name))
+
+let require_root ~operator_uid ~what =
+  if operator_uid = 0 then Ok ()
+  else Error (Printf.sprintf "%s requires root privilege" what)
+
+let sanitize s =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+        | _ -> '_')
+      s
+  in
+  if String.length mapped > 48 then String.sub mapped 0 48 else mapped

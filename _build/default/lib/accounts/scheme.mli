@@ -1,0 +1,60 @@
+(** The common shape of identity-mapping schemes (Figure 1).
+
+    Each scheme answers the same question — how does a grid user,
+    identified by a principal, get a protection domain on this machine?
+    — with a different mechanism: one account for everyone, the
+    untrusted account, a private account per user, group accounts,
+    throwaway anonymous accounts, an account pool, or an identity box.
+
+    A scheme is a first-class record so the {!Probe} engine can run the
+    same scenarios against all of them and {e derive} the paper's
+    property matrix rather than assert it.  Scheme implementations are
+    honest about privilege: operations that need root on a real system
+    (creating accounts, running jobs under another uid) fail unless the
+    operator is root. *)
+
+type session = {
+  s_principal : Idbox_identity.Principal.t;
+  s_workdir : string;
+      (** Where this user's data lives under this scheme. *)
+  s_run : Idbox_kernel.Program.main -> string list -> int;
+      (** Run a job to completion in the user's protection domain and
+          return its exit code. *)
+  s_uid : int;
+      (** The Unix uid the session's jobs run under (informational). *)
+}
+
+type state = {
+  st_admit : Idbox_identity.Principal.t -> (session, string) result;
+      (** Admit (or re-admit) a grid user. *)
+  st_logout : session -> unit;
+      (** End a session (schemes with throwaway accounts clean up). *)
+  st_share :
+    owner:session -> peer:Idbox_identity.Principal.t -> path:string ->
+    (unit, string) result;
+      (** The scheme's mechanism (if any) for [owner] to grant [peer]
+          read access to [path]. *)
+  st_admin_actions : unit -> int;
+      (** Manual root interventions performed so far (the admin-burden
+          column). *)
+}
+
+type t = {
+  sc_name : string;
+  sc_example : string;  (** The "example systems" column of Fig. 1. *)
+  sc_setup :
+    Idbox_kernel.Kernel.t -> operator_uid:int -> (state, string) result;
+      (** Deploy the scheme on a host as the given operator. *)
+}
+
+val org_of : Idbox_identity.Principal.t -> string
+(** The organization a principal belongs to: the subject's [O] component
+    for DN-shaped names, else the text before the first ['/'] or ['@'],
+    else the whole name.  Group schemes map principals to accounts with
+    this. *)
+
+val require_root : operator_uid:int -> what:string -> (unit, string) result
+(** The privilege guard scheme implementations share. *)
+
+val sanitize : string -> string
+(** Make a principal usable as an account or path fragment. *)

@@ -1,0 +1,36 @@
+module Kernel = Idbox_kernel.Kernel
+
+let scheme =
+  {
+    Scheme.sc_name = "single";
+    sc_example = "Personal GASS";
+    sc_setup =
+      (fun kernel ~operator_uid ->
+        (* Any user can run a single-account service: everything happens
+           as themselves.  The shared workspace lives under /tmp so no
+           privilege is needed to create it. *)
+        let workdir = "/tmp/single_service" in
+        (match
+           Idbox_vfs.Fs.mkdir_p (Kernel.fs kernel) ~uid:operator_uid workdir
+         with
+         | Error e -> Error (Idbox_vfs.Errno.message e)
+         | Ok () ->
+           let admit principal =
+             Ok
+               {
+                 Scheme.s_principal = principal;
+                 s_workdir = workdir;
+                 s_run =
+                   (fun main args ->
+                     Common.run_as kernel ~uid:operator_uid ~cwd:workdir main args);
+                 s_uid = operator_uid;
+               }
+           in
+           Ok
+             {
+               Scheme.st_admit = admit;
+               st_logout = (fun _ -> ());
+               st_share = Common.always_share;
+               st_admin_actions = (fun () -> 0);
+             }));
+  }

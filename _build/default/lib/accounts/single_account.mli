@@ -1,0 +1,9 @@
+(** The single-account scheme: every visiting process runs in the
+    service operator's own account (paper §2, "Single Account";
+    example: a personal GASS server).
+
+    Needs no privilege and allows everyone to share everything — which
+    is exactly its failure mode: it neither protects the owner nor
+    offers visitors any privacy. *)
+
+val scheme : Scheme.t

@@ -1,0 +1,43 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+
+let scheme =
+  {
+    Scheme.sc_name = "untrusted";
+    sc_example = "WWW, FTP";
+    sc_setup =
+      (fun kernel ~operator_uid ->
+        (* Dropping privileges into the nobody account is a setuid: the
+           service must start as root. *)
+        match
+          Scheme.require_root ~operator_uid ~what:"running jobs as nobody"
+        with
+        | Error _ as e -> e
+        | Ok () ->
+          let workdir = "/srv/untrusted" in
+          (match
+             Common.ensure_dir kernel ~owner:Account.nobody_uid ~mode:0o755
+               workdir
+           with
+           | Error _ as e -> e
+           | Ok () ->
+             let admit principal =
+               Ok
+                 {
+                   Scheme.s_principal = principal;
+                   s_workdir = workdir;
+                   s_run =
+                     (fun main args ->
+                       Common.run_as kernel ~uid:Account.nobody_uid ~cwd:workdir
+                         main args);
+                   s_uid = Account.nobody_uid;
+                 }
+             in
+             Ok
+               {
+                 Scheme.st_admit = admit;
+                 st_logout = (fun _ -> ());
+                 st_share = Common.always_share;
+                 st_admin_actions = (fun () -> 0);
+               }));
+  }

@@ -1,0 +1,9 @@
+(** The untrusted-account scheme: all visiting processes run as
+    [nobody] (paper §2, "Untrusted Account"; example: WWW and FTP
+    servers).
+
+    Protects the owner, but requires privilege to drop into the
+    untrusted account, and gives visitors no privacy from each other —
+    everyone is [nobody]. *)
+
+val scheme : Scheme.t

@@ -1,0 +1,1 @@
+lib/acl/acl.ml: Entry Format Idbox_identity List Rights String

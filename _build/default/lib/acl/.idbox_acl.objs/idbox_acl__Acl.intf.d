@@ -1,0 +1,1 @@
+lib/acl/acl.mli: Entry Format Idbox_identity Right Rights

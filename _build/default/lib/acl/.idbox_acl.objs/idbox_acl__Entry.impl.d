@@ -1,0 +1,1 @@
+lib/acl/entry.ml: Format Idbox_identity List Option Printf Rights String

@@ -1,0 +1,1 @@
+lib/acl/entry.mli: Format Idbox_identity Rights

@@ -1,0 +1,1 @@
+lib/acl/right.ml: Format Int

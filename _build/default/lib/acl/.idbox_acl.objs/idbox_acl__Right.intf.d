@@ -1,0 +1,1 @@
+lib/acl/right.mli: Format

@@ -1,0 +1,1 @@
+lib/acl/rights.ml: Format List Printf Right String

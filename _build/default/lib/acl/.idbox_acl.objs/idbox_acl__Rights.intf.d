@@ -1,0 +1,1 @@
+lib/acl/rights.mli: Format Right

@@ -1,0 +1,90 @@
+module Principal = Idbox_identity.Principal
+module Wildcard = Idbox_identity.Wildcard
+
+type t = Entry.t list
+
+let filename = ".__acl"
+
+let empty = []
+
+let of_entries entries = entries
+
+let entries t = t
+
+let is_empty t = t = []
+
+let rights_of t who =
+  List.fold_left
+    (fun acc (e : Entry.t) ->
+      if Entry.covers e who then Rights.union acc e.rights else acc)
+    Rights.empty t
+
+let check t who r = Rights.mem r (rights_of t who)
+
+let reserve_for t who =
+  List.fold_left
+    (fun acc (e : Entry.t) ->
+      if Entry.covers e who then
+        match (e.reserve, acc) with
+        | None, _ -> acc
+        | Some g, None -> Some g
+        | Some g, Some prior -> Some (Rights.union g prior)
+      else acc)
+    None t
+
+let pattern_text (e : Entry.t) = Wildcard.source e.pattern
+
+let set_entry t entry =
+  let key = pattern_text entry in
+  let replaced = ref false in
+  let t' =
+    List.map
+      (fun e ->
+        if String.equal (pattern_text e) key then begin
+          replaced := true;
+          entry
+        end
+        else e)
+      t
+  in
+  if !replaced then t' else t' @ [ entry ]
+
+let remove_pattern t pattern =
+  List.filter (fun e -> not (String.equal (pattern_text e) pattern)) t
+
+let for_owner who =
+  [ Entry.make ~pattern:(Principal.to_string who) Rights.full ]
+
+let grant t ~pattern rights =
+  match List.find_opt (fun e -> String.equal (pattern_text e) pattern) t with
+  | Some (e : Entry.t) ->
+    set_entry t { e with rights = Rights.union e.rights rights }
+  | None -> set_entry t (Entry.make ~pattern rights)
+
+let of_string content =
+  let lines = String.split_on_char '\n' content in
+  let keep line =
+    let trimmed = String.trim line in
+    String.length trimmed > 0 && trimmed.[0] <> '#'
+  in
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      (match Entry.of_line line with
+       | Ok e -> build (e :: acc) rest
+       | Error msg -> Error msg)
+  in
+  build [] (List.filter keep lines)
+
+let of_string_exn content =
+  match of_string content with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Acl.of_string_exn: " ^ msg)
+
+let to_string t =
+  String.concat "" (List.map (fun e -> Entry.to_line e ^ "\n") t)
+
+let equal a b = List.length a = List.length b && List.for_all2 Entry.equal a b
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." Entry.pp e) t

@@ -1,0 +1,67 @@
+module Wildcard = Idbox_identity.Wildcard
+module Principal = Idbox_identity.Principal
+
+type t = {
+  pattern : Wildcard.t;
+  rights : Rights.t;
+  reserve : Rights.t option;
+}
+
+let make ?reserve ~pattern rights =
+  { pattern = Wildcard.compile pattern; rights; reserve }
+
+let covers t principal =
+  Wildcard.matches t.pattern (Principal.to_string principal)
+
+(* Parse a rights field: "<chars>" possibly containing "v(<chars>)". *)
+let parse_rights_field field =
+  match String.index_opt field 'v' with
+  | Some i
+    when i + 1 < String.length field
+         && field.[i + 1] = '('
+         && String.length field > 0
+         && field.[String.length field - 1] = ')' ->
+    let direct = String.sub field 0 i in
+    let inner = String.sub field (i + 2) (String.length field - i - 3) in
+    (match Rights.of_string (if direct = "" then "-" else direct) with
+     | Error msg -> Error msg
+     | Ok rights ->
+       (match Rights.of_string inner with
+        | Error msg -> Error msg
+        | Ok grant -> Ok (rights, Some grant)))
+  | Some _ | None ->
+    (match Rights.of_string field with
+     | Ok rights -> Ok (rights, None)
+     | Error msg -> Error msg)
+
+let of_line line =
+  let fields =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun f -> String.length f > 0)
+  in
+  match fields with
+  | [ pattern; rights_field ] ->
+    (match parse_rights_field rights_field with
+     | Ok (rights, reserve) ->
+       Ok { pattern = Wildcard.compile pattern; rights; reserve }
+     | Error msg -> Error msg)
+  | [] -> Error "empty ACL line"
+  | _ -> Error (Printf.sprintf "malformed ACL line %S (want: <pattern> <rights>)" line)
+
+let to_line t =
+  let rights_field =
+    match t.reserve with
+    | None -> Rights.to_string t.rights
+    | Some grant ->
+      let direct = if Rights.is_empty t.rights then "" else Rights.to_string t.rights in
+      Printf.sprintf "%sv(%s)" direct (Rights.to_string grant)
+  in
+  Printf.sprintf "%s %s" (Wildcard.source t.pattern) rights_field
+
+let equal a b =
+  Wildcard.equal a.pattern b.pattern
+  && Rights.equal a.rights b.rights
+  && Option.equal Rights.equal a.reserve b.reserve
+
+let pp ppf t = Format.pp_print_string ppf (to_line t)

@@ -1,0 +1,38 @@
+(** One line of an ACL: a principal pattern and its granted rights.
+
+    The textual form mirrors the paper's examples:
+
+    {v
+    /O=UnivNowhere/CN=Fred   rwlax
+    hostname:*.nowhere.edu   rlx
+    globus:/O=UnivNowhere/*  v(rwlax)
+    v}
+
+    An entry may also combine direct rights with a reserve grant, e.g.
+    ["rlx v(rwlax)"]: the holder may read/list/execute here, and a
+    [mkdir] mints a fresh directory whose ACL grants the holder [rwlax]. *)
+
+type t = {
+  pattern : Idbox_identity.Wildcard.t;
+      (** Which principals this entry covers (wildcards allowed). *)
+  rights : Rights.t;  (** Rights granted directly in this directory. *)
+  reserve : Rights.t option;
+      (** [Some g]: the reserve right [v(g)] — a [mkdir] creates a
+          directory owned by the caller with rights [g] (paper §4). *)
+}
+
+val make : ?reserve:Rights.t -> pattern:string -> Rights.t -> t
+(** Build an entry from a pattern string and rights. *)
+
+val covers : t -> Idbox_identity.Principal.t -> bool
+(** Does this entry's pattern match the principal's canonical name? *)
+
+val of_line : string -> (t, string) result
+(** Parse ["<pattern> <rights>[v(<rights>)]"] with any amount of blank
+    separation.  The reserve grant may also stand alone: ["v(rwlax)"]. *)
+
+val to_line : t -> string
+(** Render the canonical single-line form. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+(* Rights sets are small (six members), so a bitmask is the natural
+   representation. *)
+type t = int
+
+let bit r = 1 lsl (match r with
+  | Right.Read -> 0
+  | Right.Write -> 1
+  | Right.List -> 2
+  | Right.Execute -> 3
+  | Right.Admin -> 4
+  | Right.Delete -> 5)
+
+let empty = 0
+
+let of_list rs = List.fold_left (fun acc r -> acc lor bit r) 0 rs
+
+let full = of_list Right.all
+
+let to_list t = List.filter (fun r -> t land bit r <> 0) Right.all
+
+let singleton r = bit r
+
+let add r t = t lor bit r
+
+let remove r t = t land lnot (bit r)
+
+let mem r t = t land bit r <> 0
+
+let union = ( lor )
+
+let inter = ( land )
+
+let subset a b = a land b = a
+
+let is_empty t = t = 0
+
+let cardinal t = List.length (to_list t)
+
+let of_string s =
+  if String.equal s "-" then Ok empty
+  else
+    let rec loop i acc =
+      if i >= String.length s then Ok acc
+      else
+        match Right.of_char s.[i] with
+        | Some r -> loop (i + 1) (add r acc)
+        | None -> Error (Printf.sprintf "unknown right %C in %S" s.[i] s)
+    in
+    loop 0 empty
+
+let of_string_exn s =
+  match of_string s with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Rights.of_string_exn: " ^ msg)
+
+let to_string t =
+  if is_empty t then "-"
+  else String.of_seq (List.to_seq (List.map Right.to_char (to_list t)))
+
+let equal (a : t) b = a = b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,38 @@
+(** Sets of access rights, with the compact string syntax of ACL files. *)
+
+type t
+(** An immutable set of {!Right.t}. *)
+
+val empty : t
+val full : t
+(** [full] is [rwlxad]: every right. *)
+
+val of_list : Right.t list -> t
+val to_list : t -> Right.t list
+(** In canonical [r w l x a d] order. *)
+
+val singleton : Right.t -> t
+val add : Right.t -> t -> t
+val remove : Right.t -> t -> t
+val mem : Right.t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] holds when every right of [a] is in [b]. *)
+
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val of_string : string -> (t, string) result
+(** Parse a rights string such as ["rwlax"].  Order and repetition are
+    irrelevant; unknown characters are errors. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string}; raises [Invalid_argument] on bad input. *)
+
+val to_string : t -> string
+(** Canonical compact form, e.g. ["rwlx"].  The empty set renders as
+    ["-"] so ACL files never contain an empty field. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/apps/coreutils.ml: Idbox_kernel Idbox_vfs List Option Stdio String

@@ -1,0 +1,1 @@
+lib/apps/coreutils.mli: Idbox_kernel Idbox_vfs

@@ -1,0 +1,1 @@
+lib/apps/shell.mli: Idbox_kernel Idbox_vfs

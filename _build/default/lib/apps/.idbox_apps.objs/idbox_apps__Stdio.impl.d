@@ -1,0 +1,1 @@
+lib/apps/stdio.ml: Buffer Idbox_kernel Idbox_vfs Printf

@@ -1,0 +1,1 @@
+lib/apps/stdio.mli: Idbox_kernel Idbox_vfs

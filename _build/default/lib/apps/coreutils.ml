@@ -1,0 +1,217 @@
+module Libc = Idbox_kernel.Libc
+module Program = Idbox_kernel.Program
+module Kernel = Idbox_kernel.Kernel
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+(* Exit codes follow the coreutils convention: 0 ok, 1 operational
+   failure, 2 usage error. *)
+
+let cat args =
+  match args with
+  | [ _ ] ->
+    (* No operands: copy standard input (a pipeline stage). *)
+    (match Stdio.read_stdin () with
+     | Some text ->
+       Stdio.print text;
+       0
+     | None -> 2)
+  | _ :: (_ :: _ as files) ->
+    List.fold_left
+      (fun code file ->
+        match Libc.read_file file with
+        | Ok text ->
+          Stdio.print text;
+          code
+        | Error e ->
+          Stdio.printf "cat: %s: %s\n" file (Errno.message e);
+          1)
+      0 files
+  | [] -> 2
+
+let ls args =
+  let path = match args with _ :: p :: _ -> p | _ -> "." in
+  match Libc.readdir path with
+  | Ok names ->
+    List.iter Stdio.print_line names;
+    0
+  | Error Errno.ENOTDIR ->
+    (* ls on a file prints the file, as the real one does. *)
+    Stdio.print_line path;
+    0
+  | Error e ->
+    Stdio.printf "ls: %s: %s\n" path (Errno.message e);
+    1
+
+let cp args =
+  match args with
+  | [ _; src; dst ] ->
+    (match Libc.read_file src with
+     | Error e ->
+       Stdio.printf "cp: %s: %s\n" src (Errno.message e);
+       1
+     | Ok data ->
+       (match Libc.write_file dst ~contents:data with
+        | Ok () -> 0
+        | Error e ->
+          Stdio.printf "cp: %s: %s\n" dst (Errno.message e);
+          1))
+  | _ -> 2
+
+let mv args =
+  match args with
+  | [ _; src; dst ] ->
+    (match Libc.rename ~src ~dst with
+     | Ok () -> 0
+     | Error e ->
+       Stdio.printf "mv: %s: %s\n" src (Errno.message e);
+       1)
+  | _ -> 2
+
+let rm args =
+  match args with
+  | _ :: (_ :: _ as files) ->
+    List.fold_left
+      (fun code file ->
+        match Libc.unlink file with
+        | Ok () -> code
+        | Error e ->
+          Stdio.printf "rm: %s: %s\n" file (Errno.message e);
+          1)
+      0 files
+  | _ -> 2
+
+let mkdir args =
+  match args with
+  | _ :: (_ :: _ as dirs) ->
+    List.fold_left
+      (fun code dir ->
+        match Libc.mkdir dir with
+        | Ok () -> code
+        | Error e ->
+          Stdio.printf "mkdir: %s: %s\n" dir (Errno.message e);
+          1)
+      0 dirs
+  | _ -> 2
+
+let ln args =
+  let result =
+    match args with
+    | [ _; "-s"; target; path ] -> Some (Libc.symlink ~target path, target)
+    | [ _; target; path ] -> Some (Libc.link ~target path, target)
+    | _ -> None
+  in
+  match result with
+  | None -> 2
+  | Some (Ok (), _) -> 0
+  | Some (Error e, target) ->
+    Stdio.printf "ln: %s: %s\n" target (Errno.message e);
+    1
+
+(* The paper's whoami path: getuid, then scan /etc/passwd for the first
+   matching entry.  Inside a box the scan hits the private copy whose
+   first line maps the visiting identity to the supervisor's uid. *)
+let whoami _args =
+  let uid = Libc.getuid () in
+  match Libc.read_file "/etc/passwd" with
+  | Error e ->
+    Stdio.printf "whoami: /etc/passwd: %s\n" (Errno.message e);
+    1
+  | Ok text ->
+    let entry_matches line =
+      match String.split_on_char ':' line with
+      | name :: _pw :: uid_text :: _ when int_of_string_opt uid_text = Some uid ->
+        Some name
+      | _ -> None
+    in
+    (match List.find_map entry_matches (String.split_on_char '\n' text) with
+     | Some name ->
+       Stdio.print_line name;
+       0
+     | None ->
+       Stdio.printf "whoami: cannot find name for user ID %d\n" uid;
+       1)
+
+let wc args =
+  let source =
+    match args with
+    | [ _; file ] ->
+      (match Libc.read_file file with
+       | Error e ->
+         Stdio.printf "wc: %s: %s\n" file (Errno.message e);
+         None
+       | Ok text -> Some (file, text))
+    | [ _ ] ->
+      (match Stdio.read_stdin () with
+       | Some text -> Some ("-", text)
+       | None -> None)
+    | _ -> None
+  in
+  match source with
+  | None -> 1
+  | Some (file, text) ->
+    let lines =
+      String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 text
+    in
+    let words =
+      String.split_on_char ' ' (String.map (fun c -> if c = '\n' then ' ' else c) text)
+      |> List.filter (fun w -> w <> "")
+      |> List.length
+    in
+    Stdio.printf "%d %d %d %s\n" lines words (String.length text) file;
+    0
+
+let head args =
+  let parse_count flag =
+    if String.length flag > 1 && flag.[0] = '-' then
+      int_of_string_opt (String.sub flag 1 (String.length flag - 1))
+    else None
+  in
+  let n, source =
+    match args with
+    | [ _; flag; file ] when parse_count flag <> None ->
+      (Option.get (parse_count flag), `File file)
+    | [ _; flag ] when parse_count flag <> None ->
+      (Option.get (parse_count flag), `Stdin)
+    | [ _; file ] -> (10, `File file)
+    | [ _ ] -> (10, `Stdin)
+    | _ -> (10, `Usage)
+  in
+  let emit text =
+    let lines = String.split_on_char '\n' text in
+    List.iteri (fun i line -> if i < n then Stdio.print_line line) lines;
+    0
+  in
+  match source with
+  | `Usage -> 2
+  | `Stdin ->
+    (match Stdio.read_stdin () with Some text -> emit text | None -> 2)
+  | `File file ->
+    (match Libc.read_file file with
+     | Error e ->
+       Stdio.printf "head: %s: %s\n" file (Errno.message e);
+       1
+     | Ok text -> emit text)
+
+let table : (string * Program.main) list =
+  [
+    ("cat", cat); ("ls", ls); ("cp", cp); ("mv", mv); ("rm", rm);
+    ("mkdir", mkdir); ("ln", ln); ("whoami", whoami); ("wc", wc); ("head", head);
+  ]
+
+let names = List.sort String.compare (List.map fst table)
+
+let install kernel =
+  let fs = Kernel.fs kernel in
+  let rec go = function
+    | [] -> Ok ()
+    | (name, main) :: rest ->
+      Program.register ("coreutils-" ^ name) main;
+      (match
+         Fs.write_file fs ~uid:0 ~mode:0o755 ("/bin/" ^ name)
+           (Program.marker ("coreutils-" ^ name))
+       with
+       | Ok () -> go rest
+       | Error _ as e -> e)
+  in
+  go table

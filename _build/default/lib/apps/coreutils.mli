@@ -1,0 +1,47 @@
+(** Simulated core utilities — the everyday programs the paper reports
+    running under Parrot ("a large number of basic utilities such as
+    grep, less, cp, mv, ls, and rm").
+
+    Each utility is an ordinary simulated program: it makes system
+    calls, honours its environment, writes to {!Stdio}, and returns a
+    Unix-style exit code.  [whoami] is deliberately implemented the long
+    way — scanning [/etc/passwd] for the caller's uid — because that is
+    exactly the path the identity box redirects to make "whoami and
+    similar tools produce sensible output" (paper §3). *)
+
+val cat : Idbox_kernel.Program.main
+(** [cat FILE...] — concatenate files to stdout. *)
+
+val ls : Idbox_kernel.Program.main
+(** [ls [PATH]] — one entry per line, sorted (cwd by default). *)
+
+val cp : Idbox_kernel.Program.main
+(** [cp SRC DST]. *)
+
+val mv : Idbox_kernel.Program.main
+(** [mv SRC DST]. *)
+
+val rm : Idbox_kernel.Program.main
+(** [rm FILE...]. *)
+
+val mkdir : Idbox_kernel.Program.main
+(** [mkdir DIR...]. *)
+
+val ln : Idbox_kernel.Program.main
+(** [ln [-s] TARGET PATH]. *)
+
+val whoami : Idbox_kernel.Program.main
+(** [whoami] — first [/etc/passwd] entry matching the caller's uid. *)
+
+val wc : Idbox_kernel.Program.main
+(** [wc FILE] — prints "lines words bytes". *)
+
+val head : Idbox_kernel.Program.main
+(** [head -N FILE] (default 10 lines). *)
+
+val names : string list
+(** The utilities installed by {!install}, sorted. *)
+
+val install : Idbox_kernel.Kernel.t -> (unit, Idbox_vfs.Errno.t) result
+(** Register every utility and write its executable under [/bin] of the
+    given host (mode 0755), like a distribution's package. *)

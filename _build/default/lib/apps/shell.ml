@@ -1,0 +1,190 @@
+module Libc = Idbox_kernel.Libc
+module Program = Idbox_kernel.Program
+module Kernel = Idbox_kernel.Kernel
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+(* echo TEXT... [>|>> FILE] *)
+let builtin_echo words =
+  let rec split_redirect acc = function
+    | [ ">"; file ] -> (List.rev acc, Some (file, false))
+    | [ ">>"; file ] -> (List.rev acc, Some (file, true))
+    | w :: rest -> split_redirect (w :: acc) rest
+    | [] -> (List.rev acc, None)
+  in
+  let text_words, redirect = split_redirect [] words in
+  let text = String.concat " " text_words ^ "\n" in
+  match redirect with
+  | None ->
+    Stdio.print text;
+    0
+  | Some (file, append) ->
+    let flags =
+      { Fs.rd = false; wr = true; creat = true; excl = false;
+        trunc = not append; append }
+    in
+    (match Libc.open_file ~flags file with
+     | Error e ->
+       Stdio.printf "sh: %s: %s\n" file (Errno.message e);
+       1
+     | Ok fd ->
+       let r = Libc.write fd text in
+       ignore (Libc.close fd);
+       (match r with Ok _ -> 0 | Error _ -> 1))
+
+let resolve_command cmd =
+  if String.contains cmd '/' then cmd
+  else
+    let bin = match Libc.getenv "PATH" with Some p -> p | None -> "/bin" in
+    bin ^ "/" ^ cmd
+
+(* Run one command with optional pipe ends as its standard streams.
+   Children inherit the environment at spawn time, so the fd numbers are
+   published through it and cleared afterwards (an unparsable value
+   reads as "no stream"). *)
+let run_stage ?stdin_fd ?stdout_fd cmd args =
+  let publish name fd =
+    Libc.setenv name (match fd with Some n -> string_of_int n | None -> "")
+  in
+  publish "STDIN_FD" stdin_fd;
+  publish "STDOUT_FD" stdout_fd;
+  let status =
+    match Libc.spawn (resolve_command cmd) ~args:(cmd :: args) with
+    | Error e ->
+      Stdio.printf "sh: %s: %s\n" cmd (Errno.message e);
+      127
+    | Ok pid ->
+      (match Libc.waitpid pid with
+       | Ok (_, status) -> status
+       | Error _ -> 127)
+  in
+  publish "STDIN_FD" None;
+  publish "STDOUT_FD" None;
+  status
+
+let run_external cmd args = run_stage cmd args
+
+(* A pipeline runs its stages in order, each buffering into a kernel
+   pipe the next stage drains; for batch pipelines this is equivalent to
+   streaming (the pipe is unbounded), and EOF arrives because every
+   write end is closed before the consumer runs. *)
+let run_pipeline stages =
+  let rec loop stdin_fd = function
+    | [] -> 0
+    | [ (cmd, args) ] ->
+      let status = run_stage ?stdin_fd cmd args in
+      (match stdin_fd with Some fd -> ignore (Libc.close fd) | None -> ());
+      status
+    | (cmd, args) :: rest ->
+      (match Libc.pipe () with
+       | Error e ->
+         Stdio.printf "sh: pipe: %s\n" (Errno.message e);
+         127
+       | Ok (rd, wr) ->
+         ignore (run_stage ?stdin_fd ~stdout_fd:wr cmd args);
+         ignore (Libc.close wr);
+         (match stdin_fd with Some fd -> ignore (Libc.close fd) | None -> ());
+         loop (Some rd) rest)
+  in
+  loop None stages
+
+exception Exit_shell of int
+
+let split_pipeline toks =
+  let rec go acc cur = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | "|" :: rest -> go (List.rev cur :: acc) [] rest
+    | tok :: rest -> go acc (tok :: cur) rest
+  in
+  go [] [] toks
+
+let builtins = [ "cd"; "pwd"; "echo"; "getacl"; "setacl"; "id"; "exit" ]
+
+let execute line =
+  let toks = tokens line in
+  if List.mem "|" toks then
+    let stages = split_pipeline toks in
+    if List.exists (function [] -> true | cmd :: _ -> List.mem cmd builtins) stages
+    then begin
+      Stdio.print_line "sh: only external commands can be piped";
+      2
+    end
+    else
+      run_pipeline
+        (List.map (function cmd :: args -> (cmd, args) | [] -> assert false) stages)
+  else
+  match toks with
+  | [] -> 0
+  | cmd :: args ->
+    (match (cmd, args) with
+     | "cd", [ dir ] ->
+       (match Libc.chdir dir with
+        | Ok () -> 0
+        | Error e ->
+          Stdio.printf "sh: cd: %s: %s\n" dir (Errno.message e);
+          1)
+     | "pwd", [] ->
+       Stdio.print_line (Libc.getcwd ());
+       0
+     | "echo", words -> builtin_echo words
+     | "getacl", [ path ] ->
+       (match Libc.getacl path with
+        | Ok text ->
+          Stdio.print text;
+          0
+        | Error e ->
+          Stdio.printf "sh: getacl: %s\n" (Errno.message e);
+          1)
+     | "setacl", path :: who :: rights ->
+       let entry = who ^ " " ^ String.concat " " rights in
+       (match Libc.setacl ~path ~entry with
+        | Ok () -> 0
+        | Error e ->
+          Stdio.printf "sh: setacl: %s\n" (Errno.message e);
+          1)
+     | "id", [] ->
+       Stdio.printf "uid=%d(%s)\n" (Libc.getuid ()) (Libc.get_user_name ());
+       0
+     | "exit", [] -> raise (Exit_shell 0)
+     | "exit", [ code ] ->
+       raise (Exit_shell (Option.value ~default:2 (int_of_string_opt code)))
+     | _ -> run_external cmd args)
+
+let main args =
+  let script = match args with _ :: rest -> rest | [] -> [] in
+  try
+    List.fold_left
+      (fun _last line ->
+        Stdio.printf "$ %s\n" line;
+        execute line)
+      0 script
+  with Exit_shell code -> code
+
+let shell_program_name = "sh"
+
+let install kernel =
+  Program.register shell_program_name main;
+  match
+    Fs.write_file (Kernel.fs kernel) ~uid:0 ~mode:0o755 "/bin/sh"
+      (Program.marker shell_program_name)
+  with
+  | Ok () -> Ok ()
+  | Error _ as e -> e
+
+let run_script kernel ~spawn ~output script =
+  let wrapped _args =
+    Libc.setenv "STDOUT" output;
+    main ("sh" :: script)
+  in
+  let pid = spawn ~main:wrapped ~args:("sh" :: script) in
+  Kernel.run kernel;
+  match Kernel.exit_code kernel pid with
+  | None -> Error Errno.EAGAIN
+  | Some code ->
+    (match Stdio.read_back kernel output with
+     | Ok transcript -> Ok (code, transcript)
+     | Error Errno.ENOENT -> Ok (code, "")
+     | Error e -> Error e)

@@ -1,0 +1,37 @@
+(** A small command shell, as a simulated program — the [tcsh] of
+    Figure 2.
+
+    The shell interprets one command per argv element (a scripted
+    session).  Built-ins run in-process: [cd], [pwd], [echo] (with [>]
+    and [>>] redirection), [getacl], [setacl], [id], [exit].  Anything
+    else is resolved against [$PATH] (default [/bin]), spawned as a
+    child process — which, inside an identity box, means the child is
+    traced and confined exactly like its parent — and waited for.
+
+    Pipelines ([cmd1 | cmd2 | ...]) connect external commands through
+    real kernel pipes.  Stages run in order, each buffering into the
+    (unbounded) pipe its successor drains — equivalent to streaming for
+    batch pipelines, and every write end is closed before the consumer
+    runs, so EOF always arrives.  Built-ins cannot appear in a
+    pipeline.
+
+    Output goes to {!Stdio} (the [$STDOUT] file), and the shell prints a
+    [$ cmd] echo line before each command so a captured transcript reads
+    like the paper's Figure 2.  The exit status is that of the last
+    command (or the [exit] argument). *)
+
+val main : Idbox_kernel.Program.main
+
+val install : Idbox_kernel.Kernel.t -> (unit, Idbox_vfs.Errno.t) result
+(** Register the shell and write [/bin/sh] (mode 0755). *)
+
+val run_script :
+  Idbox_kernel.Kernel.t ->
+  spawn:(main:Idbox_kernel.Program.main -> args:string list -> int) ->
+  output:string ->
+  string list ->
+  (int * string, Idbox_vfs.Errno.t) result
+(** Host-side convenience: run a scripted session through [spawn] (e.g.
+    [Box.spawn_main box] or a plain [Kernel.spawn_main]), with transcript
+    capture to the simulated file [output]; drives the kernel and returns
+    [(exit code, transcript)]. *)

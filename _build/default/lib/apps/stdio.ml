@@ -1,0 +1,48 @@
+module Libc = Idbox_kernel.Libc
+module Fs = Idbox_vfs.Fs
+
+let stdout_fd () =
+  match Libc.getenv "STDOUT_FD" with
+  | Some text -> int_of_string_opt text
+  | None -> None
+
+let print s =
+  match stdout_fd () with
+  | Some fd -> ignore (Libc.write fd s)
+  | None ->
+    (match Libc.getenv "STDOUT" with
+     | None -> ()
+     | Some path ->
+       let flags =
+         { Fs.rd = false; wr = true; creat = true; excl = false; trunc = false;
+           append = true }
+       in
+       (match Libc.open_file ~flags path with
+        | Error _ -> ()
+        | Ok fd ->
+          ignore (Libc.write fd s);
+          ignore (Libc.close fd)))
+
+let read_stdin () =
+  match Libc.getenv "STDIN_FD" with
+  | None -> None
+  | Some fd_text ->
+    (match int_of_string_opt fd_text with
+     | None -> None
+     | Some fd ->
+       let buf = Buffer.create 256 in
+       let rec loop () =
+         match Libc.read fd ~len:8192 with
+         | Ok "" | Error _ -> Some (Buffer.contents buf)
+         | Ok chunk ->
+           Buffer.add_string buf chunk;
+           loop ()
+       in
+       loop ())
+
+let print_line s = print (s ^ "\n")
+
+let printf fmt = Printf.ksprintf print fmt
+
+let read_back kernel path =
+  Fs.read_file (Idbox_kernel.Kernel.fs kernel) ~uid:0 path

@@ -1,0 +1,26 @@
+(** Standard output for simulated programs.
+
+    The simulated kernel has no terminals; programs direct their output
+    to the file named by the [STDOUT] environment variable (append
+    mode), which a shell sets for its children and a test reads back
+    afterwards.  With no [STDOUT] set, output is discarded — a detached
+    job. *)
+
+val print : string -> unit
+(** Write a string to the program's output: the descriptor named by
+    [STDOUT_FD] when set (a pipeline stage), else append to the
+    [STDOUT] file. *)
+
+val read_stdin : unit -> string option
+(** Read the whole input stream from the descriptor named by
+    [STDIN_FD]; [None] when the program has no standard input. *)
+
+val print_line : string -> unit
+(** Append a line. *)
+
+val printf : ('a, unit, string, unit) format4 -> 'a
+(** [Printf]-style {!print}. *)
+
+val read_back :
+  Idbox_kernel.Kernel.t -> string -> (string, Idbox_vfs.Errno.t) result
+(** Host-side helper: read a program's output file (as root). *)

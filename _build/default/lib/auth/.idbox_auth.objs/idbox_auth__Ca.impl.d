@@ -1,0 +1,1 @@
+lib/auth/ca.ml: Digest Hashtbl Idbox_identity Printf String

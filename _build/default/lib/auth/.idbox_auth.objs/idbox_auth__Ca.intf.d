@@ -1,0 +1,1 @@
+lib/auth/ca.mli: Idbox_identity

@@ -1,0 +1,1 @@
+lib/auth/cas.ml: Digest Hashtbl Idbox_identity Int64 List Printf String

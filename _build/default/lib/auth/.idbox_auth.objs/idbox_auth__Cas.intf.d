@@ -1,0 +1,1 @@
+lib/auth/cas.mli: Idbox_identity

@@ -1,0 +1,1 @@
+lib/auth/credential.ml: Ca Idbox_identity Kerberos Printf

@@ -1,0 +1,1 @@
+lib/auth/credential.mli: Ca Kerberos

@@ -1,0 +1,1 @@
+lib/auth/kerberos.ml: Digest Hashtbl Idbox_identity Int64 Printf String

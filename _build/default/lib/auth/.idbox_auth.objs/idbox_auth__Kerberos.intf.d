@@ -1,0 +1,1 @@
+lib/auth/kerberos.mli: Idbox_identity

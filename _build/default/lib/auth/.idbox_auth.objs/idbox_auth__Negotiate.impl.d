@@ -1,0 +1,1 @@
+lib/auth/negotiate.ml: Ca Credential Idbox_identity Kerberos List Printf String

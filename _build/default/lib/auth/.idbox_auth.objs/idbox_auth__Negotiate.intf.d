@@ -1,0 +1,1 @@
+lib/auth/negotiate.mli: Ca Credential Idbox_identity Kerberos

@@ -1,0 +1,50 @@
+module Subject = Idbox_identity.Subject
+module Principal = Idbox_identity.Principal
+
+type t = {
+  ca_name : string;
+  secret : string;
+  mutable next_serial : int;
+  revoked : (int, unit) Hashtbl.t;
+}
+
+type certificate = {
+  subject : Subject.t;
+  issuer : string;
+  serial : int;
+  signature : string;
+}
+
+let counter = ref 0
+
+let create ~name =
+  incr counter;
+  {
+    ca_name = name;
+    secret = Digest.string (Printf.sprintf "ca-secret-%s-%d" name !counter);
+    next_serial = 1;
+    revoked = Hashtbl.create 4;
+  }
+
+let name t = t.ca_name
+
+let sign t subject serial =
+  Digest.string
+    (Printf.sprintf "%s|%s|%d|%s" t.secret (Subject.to_string subject) serial
+       t.ca_name)
+
+let issue t subject =
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  { subject; issuer = t.ca_name; serial; signature = sign t subject serial }
+
+let verify t cert =
+  String.equal cert.issuer t.ca_name
+  && String.equal cert.signature (sign t cert.subject cert.serial)
+
+let revoke t cert = Hashtbl.replace t.revoked cert.serial ()
+
+let is_revoked t cert = Hashtbl.mem t.revoked cert.serial
+
+let certificate_principal cert =
+  Principal.make ~scheme:Principal.Globus (Subject.to_string cert.subject)

@@ -1,0 +1,38 @@
+(** A simulated certificate authority.
+
+    Stands in for the GSI public-key infrastructure: the CA issues
+    certificates binding a subject DN to a holder secret, and verifiers
+    that trust the CA can check a certificate's signature.  Signatures
+    are keyed digests rather than real public-key cryptography — the
+    identity-boxing experiments consume only the {e authenticated
+    principal name}, so the substitution preserves every behaviour that
+    matters (and failure paths: forged or tampered certificates are
+    rejected). *)
+
+type t
+
+type certificate = {
+  subject : Idbox_identity.Subject.t;
+  issuer : string;  (** The CA's name. *)
+  serial : int;
+  signature : string;
+}
+
+val create : name:string -> t
+(** A fresh CA with a private signing secret. *)
+
+val name : t -> string
+
+val issue : t -> Idbox_identity.Subject.t -> certificate
+(** Sign a certificate for a subject. *)
+
+val verify : t -> certificate -> bool
+(** Check issuer match and signature integrity. *)
+
+val revoke : t -> certificate -> unit
+(** Add the certificate's serial to the CA's revocation list. *)
+
+val is_revoked : t -> certificate -> bool
+
+val certificate_principal : certificate -> Idbox_identity.Principal.t
+(** The [globus:<subject>] principal a valid certificate establishes. *)

@@ -1,0 +1,99 @@
+module Principal = Idbox_identity.Principal
+
+type t = {
+  cas_name : string;
+  secret : string;
+  membership : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (* community -> set of canonical principal names *)
+}
+
+type assertion = {
+  as_holder : string;
+  as_community : string;
+  as_issued : int64;
+  as_expires : int64;
+  as_stamp : string;
+}
+
+let lifetime_ns = Int64.mul 3600L 1_000_000_000L
+
+let counter = ref 0
+
+let create ~name =
+  incr counter;
+  {
+    cas_name = name;
+    secret = Digest.string (Printf.sprintf "cas-secret-%s-%d" name !counter);
+    membership = Hashtbl.create 8;
+  }
+
+let name t = t.cas_name
+
+let community_table t community =
+  match Hashtbl.find_opt t.membership community with
+  | Some table -> table
+  | None ->
+    let table = Hashtbl.create 8 in
+    Hashtbl.replace t.membership community table;
+    table
+
+let add_member t ~community principal =
+  Hashtbl.replace (community_table t community) (Principal.to_string principal) ()
+
+let remove_member t ~community principal =
+  match Hashtbl.find_opt t.membership community with
+  | Some table -> Hashtbl.remove table (Principal.to_string principal)
+  | None -> ()
+
+let is_member t ~community principal =
+  match Hashtbl.find_opt t.membership community with
+  | Some table -> Hashtbl.mem table (Principal.to_string principal)
+  | None -> false
+
+let communities t =
+  Hashtbl.fold (fun c _ acc -> c :: acc) t.membership [] |> List.sort String.compare
+
+let members t ~community =
+  match Hashtbl.find_opt t.membership community with
+  | None -> []
+  | Some table ->
+    Hashtbl.fold (fun m () acc -> m :: acc) table [] |> List.sort String.compare
+
+let stamp_of t ~holder ~community ~issued ~expires =
+  Digest.string
+    (Printf.sprintf "%s|%s|%s|%Ld|%Ld" t.secret holder community issued expires)
+
+let issue t ~community ~holder ~now =
+  if not (is_member t ~community holder) then
+    Error
+      (Printf.sprintf "%s is not a member of community %S"
+         (Principal.to_string holder) community)
+  else
+    let holder = Principal.to_string holder in
+    let expires = Int64.add now lifetime_ns in
+    Ok
+      {
+        as_holder = holder;
+        as_community = community;
+        as_issued = now;
+        as_expires = expires;
+        as_stamp = stamp_of t ~holder ~community ~issued:now ~expires;
+      }
+
+let verify t assertion ~now =
+  Int64.compare now assertion.as_expires <= 0
+  && String.equal assertion.as_stamp
+       (stamp_of t ~holder:assertion.as_holder ~community:assertion.as_community
+          ~issued:assertion.as_issued ~expires:assertion.as_expires)
+  && is_member t ~community:assertion.as_community
+       (Principal.of_string assertion.as_holder)
+
+let admit t ~communities ~now principal =
+  ignore now;
+  if List.exists (fun community -> is_member t ~community principal) communities
+  then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s belongs to none of the admitted communities (%s)"
+         (Principal.to_string principal)
+         (String.concat ", " communities))

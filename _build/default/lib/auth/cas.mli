@@ -1,0 +1,48 @@
+(** A community authorization service (paper §4: "identity boxing allows
+    a system to have complex admission policies, such as ... reference
+    to a community authorization service, without the difficulty of
+    reconciling that policy to the existing user database").
+
+    A CAS maintains community membership lists and issues short-lived
+    signed assertions that a principal belongs to a community.  A
+    resource (e.g. a Chirp server) that trusts a CAS can admit "members
+    of community X" without any local configuration per user — and the
+    admitted principal keeps their own global name, so ACLs, auditing,
+    and sharing still see the individual, not the community. *)
+
+type t
+
+type assertion = {
+  as_holder : string;  (** The member's canonical principal name. *)
+  as_community : string;
+  as_issued : int64;
+  as_expires : int64;
+  as_stamp : string;  (** Keyed digest standing in for the CAS signature. *)
+}
+
+val create : name:string -> t
+val name : t -> string
+
+val add_member : t -> community:string -> Idbox_identity.Principal.t -> unit
+val remove_member : t -> community:string -> Idbox_identity.Principal.t -> unit
+val is_member : t -> community:string -> Idbox_identity.Principal.t -> bool
+val communities : t -> string list
+(** Sorted. *)
+
+val members : t -> community:string -> string list
+(** Canonical principal names, sorted. *)
+
+val issue :
+  t -> community:string -> holder:Idbox_identity.Principal.t -> now:int64 ->
+  (assertion, string) result
+(** A one-hour assertion of membership; errors for non-members. *)
+
+val verify : t -> assertion -> now:int64 -> bool
+(** Stamp integrity, expiry, and — because membership can be revoked
+    faster than assertions expire — current membership. *)
+
+val admit :
+  t -> communities:string list -> now:int64 ->
+  Idbox_identity.Principal.t -> (unit, string) result
+(** The admission-policy hook for {!Negotiate.acceptor}: succeed iff the
+    principal currently belongs to one of the listed communities. *)

@@ -1,0 +1,63 @@
+module Principal = Idbox_identity.Principal
+
+type t = {
+  krb_realm : string;
+  secret : string;
+  users : (string, string) Hashtbl.t;  (* user -> password *)
+}
+
+type ticket = {
+  user : string;
+  realm : string;
+  issued_at : int64;
+  expires_at : int64;
+  stamp : string;
+}
+
+let lifetime_ns = Int64.mul 36_000L 1_000_000_000L (* 10 hours *)
+
+let counter = ref 0
+
+let create ~realm =
+  incr counter;
+  {
+    krb_realm = realm;
+    secret = Digest.string (Printf.sprintf "kdc-secret-%s-%d" realm !counter);
+    users = Hashtbl.create 8;
+  }
+
+let realm t = t.krb_realm
+
+let add_user t user ~password = Hashtbl.replace t.users user password
+
+let stamp_of t ~user ~issued_at ~expires_at =
+  Digest.string
+    (Printf.sprintf "%s|%s|%s|%Ld|%Ld" t.secret user t.krb_realm issued_at
+       expires_at)
+
+let login t ~user ~password ~now =
+  match Hashtbl.find_opt t.users user with
+  | None -> Error (Printf.sprintf "kerberos: unknown user %S" user)
+  | Some stored when not (String.equal stored password) ->
+    Error "kerberos: bad password"
+  | Some _ ->
+    let expires_at = Int64.add now lifetime_ns in
+    Ok
+      {
+        user;
+        realm = t.krb_realm;
+        issued_at = now;
+        expires_at;
+        stamp = stamp_of t ~user ~issued_at:now ~expires_at;
+      }
+
+let verify t ticket ~now =
+  String.equal ticket.realm t.krb_realm
+  && Int64.compare now ticket.expires_at <= 0
+  && String.equal ticket.stamp
+       (stamp_of t ~user:ticket.user ~issued_at:ticket.issued_at
+          ~expires_at:ticket.expires_at)
+
+let ticket_principal ticket =
+  Principal.make ~scheme:Principal.Kerberos
+    (Printf.sprintf "%s@%s" ticket.user ticket.realm)

@@ -1,0 +1,31 @@
+(** A simulated Kerberos realm: password login yields a ticket; services
+    in the realm verify tickets by keyed digest.  Establishes
+    [kerberos:user\@realm] principals. *)
+
+type t
+(** A realm (its KDC and user database). *)
+
+type ticket = {
+  user : string;
+  realm : string;
+  issued_at : int64;  (** Simulated nanoseconds. *)
+  expires_at : int64;
+  stamp : string;  (** Keyed digest standing in for the KDC encryption. *)
+}
+
+val create : realm:string -> t
+
+val realm : t -> string
+
+val add_user : t -> string -> password:string -> unit
+
+val login :
+  t -> user:string -> password:string -> now:int64 ->
+  (ticket, string) result
+(** Obtain a ticket (10-hour lifetime, like the classic default). *)
+
+val verify : t -> ticket -> now:int64 -> bool
+(** Stamp integrity and expiry. *)
+
+val ticket_principal : ticket -> Idbox_identity.Principal.t
+(** [kerberos:user\@realm]. *)

@@ -1,0 +1,89 @@
+module Principal = Idbox_identity.Principal
+
+type acceptor = {
+  trusted_cas : Ca.t list;
+  realm : Kerberos.t option;
+  unix_ok : (string -> bool) option;
+  host_ok : (string -> bool) option;
+  admit : (Principal.t -> (unit, string) result) option;
+}
+
+type rejection =
+  | Method_unsupported of string
+  | Invalid_credential of string
+
+let acceptor ?(trusted_cas = []) ?realm ?unix_ok ?host_ok ?admit () =
+  { trusted_cas; realm; unix_ok; host_ok; admit }
+
+let methods t =
+  List.concat
+    [
+      (if t.trusted_cas <> [] then [ "globus" ] else []);
+      (match t.realm with Some _ -> [ "kerberos" ] | None -> []);
+      (match t.unix_ok with Some _ -> [ "unix" ] | None -> []);
+      (match t.host_ok with Some _ -> [ "hostname" ] | None -> []);
+    ]
+
+let apply_admission t principal =
+  match t.admit with
+  | None -> Ok principal
+  | Some admit ->
+    (match admit principal with
+     | Ok () -> Ok principal
+     | Error why -> Error (Invalid_credential ("admission denied: " ^ why)))
+
+let verify_method t ~now cred =
+  match cred with
+  | Credential.Gsi cert ->
+    if t.trusted_cas = [] then Error (Method_unsupported "globus")
+    else
+      (match List.find_opt (fun ca -> Ca.verify ca cert) t.trusted_cas with
+       | None -> Error (Invalid_credential "no trusted CA signed this certificate")
+       | Some ca ->
+         if Ca.is_revoked ca cert then
+           Error (Invalid_credential "certificate revoked")
+         else Ok (Ca.certificate_principal cert))
+  | Credential.Krb ticket ->
+    (match t.realm with
+     | None -> Error (Method_unsupported "kerberos")
+     | Some realm ->
+       if Kerberos.verify realm ticket ~now then
+         Ok (Kerberos.ticket_principal ticket)
+       else Error (Invalid_credential "ticket invalid or expired"))
+  | Credential.Unix_account name ->
+    (match t.unix_ok with
+     | None -> Error (Method_unsupported "unix")
+     | Some ok ->
+       if ok name then Ok (Principal.make ~scheme:Principal.Unix name)
+       else Error (Invalid_credential (Printf.sprintf "unknown account %S" name)))
+  | Credential.Host host ->
+    (match t.host_ok with
+     | None -> Error (Method_unsupported "hostname")
+     | Some ok ->
+       if ok host then Ok (Principal.make ~scheme:Principal.Hostname host)
+       else Error (Invalid_credential (Printf.sprintf "host %S not allowed" host)))
+
+let verify t ~now cred =
+  match verify_method t ~now cred with
+  | Ok principal -> apply_admission t principal
+  | Error _ as e -> e
+
+let rejection_to_string = function
+  | Method_unsupported m -> Printf.sprintf "method %s not supported" m
+  | Invalid_credential why -> Printf.sprintf "credential rejected: %s" why
+
+let negotiate t ~now creds =
+  let rec go attempts rejections = function
+    | [] ->
+      let detail =
+        match rejections with
+        | [] -> "client offered no credentials"
+        | rs -> String.concat "; " (List.rev_map rejection_to_string rs)
+      in
+      Error (Printf.sprintf "authentication failed: %s" detail)
+    | cred :: rest ->
+      (match verify t ~now cred with
+       | Ok principal -> Ok (principal, Credential.method_name cred, attempts + 1)
+       | Error r -> go (attempts + 1) (r :: rejections) rest)
+  in
+  go 0 [] creds

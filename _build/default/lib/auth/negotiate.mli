@@ -1,0 +1,53 @@
+(** Authentication negotiation, Chirp-style (paper §4): "upon
+    connecting, the client and server negotiate an acceptable
+    authentication method and then the client must prove its identity".
+
+    The server is an {!acceptor} — a set of enabled methods with their
+    verification state.  The client presents credentials in preference
+    order; the first mutually supported, successfully verified one
+    determines the session principal. *)
+
+type acceptor
+
+type rejection =
+  | Method_unsupported of string
+      (** The server does not accept this method at all. *)
+  | Invalid_credential of string
+      (** Supported method, but verification failed (reason text). *)
+
+val acceptor :
+  ?trusted_cas:Ca.t list ->
+  ?realm:Kerberos.t ->
+  ?unix_ok:(string -> bool) ->
+  ?host_ok:(string -> bool) ->
+  ?admit:(Idbox_identity.Principal.t -> (unit, string) result) ->
+  unit ->
+  acceptor
+(** Enable methods by supplying their verification state: trusted CAs
+    enable [globus], a realm enables [kerberos], validators enable
+    [unix] and [hostname].
+
+    [admit] is the admission policy applied {e after} a credential
+    verifies — e.g. {!Cas.admit} for community-based admission.  The
+    authenticated principal keeps their own global name either way;
+    admission only decides whether a session opens at all. *)
+
+val methods : acceptor -> string list
+(** Enabled method tokens, in the order tried. *)
+
+val verify :
+  acceptor -> now:int64 -> Credential.t ->
+  (Idbox_identity.Principal.t, rejection) result
+(** Verify one credential. *)
+
+val negotiate :
+  acceptor ->
+  now:int64 ->
+  Credential.t list ->
+  (Idbox_identity.Principal.t * string * int, string) result
+(** Try the client's credentials in order; on success return
+    [(principal, method, attempts)] where [attempts] counts the
+    credentials tried (each costs a protocol round trip).  On failure,
+    an explanation mentioning every rejection. *)
+
+val rejection_to_string : rejection -> string

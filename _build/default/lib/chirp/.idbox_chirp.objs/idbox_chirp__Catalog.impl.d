@@ -1,0 +1,1 @@
+lib/chirp/catalog.ml: Hashtbl Idbox_kernel Idbox_net Idbox_vfs Int64 List String Wire

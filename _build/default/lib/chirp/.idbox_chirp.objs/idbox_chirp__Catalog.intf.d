@@ -1,0 +1,1 @@
+lib/chirp/catalog.mli: Idbox_net

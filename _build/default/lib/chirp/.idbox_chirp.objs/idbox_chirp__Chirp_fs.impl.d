@@ -1,0 +1,1 @@
+lib/chirp/chirp_fs.ml: Catalog Client List String

@@ -1,0 +1,1 @@
+lib/chirp/chirp_fs.mli: Client Idbox Idbox_auth Idbox_net

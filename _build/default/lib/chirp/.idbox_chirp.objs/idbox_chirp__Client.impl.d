@@ -1,0 +1,1 @@
+lib/chirp/client.ml: Idbox Idbox_net Idbox_vfs Printf Protocol Result

@@ -1,0 +1,1 @@
+lib/chirp/client.mli: Idbox Idbox_auth Idbox_net Idbox_vfs Protocol

@@ -1,0 +1,1 @@
+lib/chirp/protocol.ml: Idbox_auth Idbox_identity Idbox_vfs Int64 List Printf Wire

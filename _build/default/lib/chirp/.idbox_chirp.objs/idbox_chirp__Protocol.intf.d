@@ -1,0 +1,1 @@
+lib/chirp/protocol.mli: Idbox_auth Idbox_vfs

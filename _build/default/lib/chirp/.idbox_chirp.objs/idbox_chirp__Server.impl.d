@@ -1,0 +1,1 @@
+lib/chirp/server.ml: Digest Hashtbl Idbox Idbox_acl Idbox_auth Idbox_identity Idbox_kernel Idbox_net Idbox_vfs List Printf Protocol String

@@ -1,0 +1,1 @@
+lib/chirp/server.mli: Idbox_acl Idbox_auth Idbox_kernel Idbox_net Idbox_vfs

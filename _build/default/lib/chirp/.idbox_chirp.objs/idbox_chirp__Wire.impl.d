@@ -1,0 +1,1 @@
+lib/chirp/wire.ml: Buffer List Printf String

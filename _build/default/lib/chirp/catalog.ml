@@ -1,0 +1,73 @@
+module Network = Idbox_net.Network
+module Clock = Idbox_kernel.Clock
+
+type entry = {
+  name : string;
+  server_addr : string;
+  owner : string;
+  registered_at : int64;
+}
+
+type t = {
+  ct_net : Network.t;
+  ct_addr : string;
+  table : (string, entry) Hashtbl.t;
+}
+
+let addr t = t.ct_addr
+
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let handle t payload =
+  match Wire.decode payload with
+  | Ok [ "register"; name; server_addr; owner ] ->
+    Hashtbl.replace t.table name
+      { name; server_addr; owner;
+        registered_at = Clock.now (Network.clock t.ct_net) };
+    Wire.encode [ "ok" ]
+  | Ok [ "list" ] ->
+    let fields =
+      List.concat_map
+        (fun e ->
+          [ e.name; e.server_addr; e.owner; Int64.to_string e.registered_at ])
+        (entries t)
+    in
+    Wire.encode ("ok" :: fields)
+  | Ok _ | Error _ -> Wire.encode [ "error"; "bad catalog request" ]
+
+let create net ~addr =
+  let t = { ct_net = net; ct_addr = addr; table = Hashtbl.create 8 } in
+  Network.listen net ~addr (fun payload -> handle t payload);
+  t
+
+let shutdown t = Network.unlisten t.ct_net ~addr:t.ct_addr
+
+let register net ~catalog ~name ~server_addr ~owner =
+  match Network.call net ~addr:catalog (Wire.encode [ "register"; name; server_addr; owner ]) with
+  | Error e -> Error (Idbox_vfs.Errno.message e)
+  | Ok payload ->
+    (match Wire.decode payload with
+     | Ok [ "ok" ] -> Ok ()
+     | Ok ("error" :: msg :: _) -> Error msg
+     | Ok _ | Error _ -> Error "bad catalog response")
+
+let list net ~catalog =
+  match Network.call net ~addr:catalog (Wire.encode [ "list" ]) with
+  | Error e -> Error (Idbox_vfs.Errno.message e)
+  | Ok payload ->
+    (match Wire.decode payload with
+     | Ok ("ok" :: fields) ->
+       let rec parse acc = function
+         | [] -> Ok (List.rev acc)
+         | name :: server_addr :: owner :: stamp :: rest ->
+           (match Int64.of_string_opt stamp with
+            | Some registered_at ->
+              parse ({ name; server_addr; owner; registered_at } :: acc) rest
+            | None -> Error "bad catalog timestamp")
+         | _ -> Error "truncated catalog entry"
+       in
+       parse [] fields
+     | Ok ("error" :: msg :: _) -> Error msg
+     | Ok _ | Error _ -> Error "bad catalog response")

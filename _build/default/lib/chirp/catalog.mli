@@ -1,0 +1,37 @@
+(** The Chirp catalog: servers report themselves; clients discover the
+    set of available servers (paper §4).  A deliberately simple
+    register/list service over the simulated network. *)
+
+type entry = {
+  name : string;  (** The server's self-chosen name. *)
+  server_addr : string;  (** Where to connect. *)
+  owner : string;  (** Deploying principal, informational. *)
+  registered_at : int64;  (** Simulated time of (latest) registration. *)
+}
+
+type t
+
+val create : Idbox_net.Network.t -> addr:string -> t
+(** Start a catalog service listening at [addr]. *)
+
+val addr : t -> string
+
+val entries : t -> entry list
+(** Current registrations, sorted by name (direct inspection). *)
+
+val shutdown : t -> unit
+
+(** {1 Client side} *)
+
+val register :
+  Idbox_net.Network.t ->
+  catalog:string ->
+  name:string ->
+  server_addr:string ->
+  owner:string ->
+  (unit, string) result
+(** What a server does at startup (and would repeat periodically). *)
+
+val list :
+  Idbox_net.Network.t -> catalog:string -> (entry list, string) result
+(** What an interested party does to discover servers. *)

@@ -1,0 +1,24 @@
+let mount_point ~addr =
+  let host =
+    match String.index_opt addr ':' with
+    | Some i -> String.sub addr 0 i
+    | None -> addr
+  in
+  "/chirp/" ^ host
+
+let mount client =
+  (mount_point ~addr:(Client.addr client), Client.to_remote client)
+
+let mounts_from_catalog net ~catalog ~credentials =
+  match Catalog.list net ~catalog with
+  | Error m -> Error ("catalog: " ^ m)
+  | Ok entries ->
+    Ok
+      (List.filter_map
+         (fun (entry : Catalog.entry) ->
+           match
+             Client.connect net ~addr:entry.Catalog.server_addr ~credentials
+           with
+           | Ok client -> Some (mount client)
+           | Error _ -> None)
+         entries)

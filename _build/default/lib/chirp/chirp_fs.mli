@@ -1,0 +1,24 @@
+(** The [/chirp] namespace: make Chirp servers appear as ordinary
+    directories inside identity boxes (paper §4: "files on a Chirp
+    server appear as ordinary files in the path /chirp/server/path").
+
+    These helpers produce the [mounts] argument of {!Idbox.Box.create}:
+    one driver per server, mounted under [/chirp/<host>].  Combined with
+    the catalog, a box can be given the {e whole discovered grid} as a
+    filesystem in one call. *)
+
+val mount_point : addr:string -> string
+(** ["/chirp/<host>"] — the port is dropped, as in the paper's paths. *)
+
+val mount : Client.t -> string * Idbox.Remote.t
+(** A single session as a mount pair. *)
+
+val mounts_from_catalog :
+  Idbox_net.Network.t ->
+  catalog:string ->
+  credentials:Idbox_auth.Credential.t list ->
+  ((string * Idbox.Remote.t) list, string) result
+(** Discover every registered server and open a session with each using
+    the given credentials; servers that refuse the credentials are
+    skipped (a grid user sees the servers that admit them).  Errors only
+    if the catalog itself is unreachable. *)

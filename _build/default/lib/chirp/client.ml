@@ -1,0 +1,130 @@
+module Network = Idbox_net.Network
+module Errno = Idbox_vfs.Errno
+module Path = Idbox_vfs.Path
+module Inode = Idbox_vfs.Inode
+module Fs = Idbox_vfs.Fs
+
+type t = {
+  cl_net : Network.t;
+  cl_addr : string;
+  token : string;
+  cl_principal : string;
+  cl_method : string;
+}
+
+let principal t = t.cl_principal
+let auth_method t = t.cl_method
+let addr t = t.cl_addr
+
+let connect net ~addr ~credentials =
+  match Network.call net ~addr (Protocol.encode_request (Protocol.Auth credentials)) with
+  | Error e -> Error ("connect: " ^ Errno.message e)
+  | Ok payload ->
+    (match Protocol.decode_response payload with
+     | Error msg -> Error ("connect: bad response: " ^ msg)
+     | Ok (Protocol.R_auth { token; principal; method_ }) ->
+       Ok { cl_net = net; cl_addr = addr; token; cl_principal = principal;
+            cl_method = method_ }
+     | Ok (Protocol.R_error (_, msg)) -> Error msg
+     | Ok _ -> Error "connect: unexpected response")
+
+let call t op =
+  match
+    Network.call t.cl_net ~addr:t.cl_addr
+      (Protocol.encode_request (Protocol.Op { token = t.token; op }))
+  with
+  | Error e -> Error e
+  | Ok payload ->
+    (match Protocol.decode_response payload with
+     | Error _ -> Error Errno.EINVAL
+     | Ok (Protocol.R_error (e, _)) -> Error e
+     | Ok r -> Ok r)
+
+let expect_ok = function
+  | Ok Protocol.R_ok -> Ok ()
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let mkdir t path = expect_ok (call t (Protocol.Mkdir path))
+let rmdir t path = expect_ok (call t (Protocol.Rmdir path))
+let unlink t path = expect_ok (call t (Protocol.Unlink path))
+
+let put t ~path ~data = expect_ok (call t (Protocol.Put { path; data }))
+
+let get t path =
+  match call t (Protocol.Get path) with
+  | Ok (Protocol.R_data data) -> Ok data
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let stat t path =
+  match call t (Protocol.Stat path) with
+  | Ok (Protocol.R_stat st) -> Ok st
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let readdir t path =
+  match call t (Protocol.Readdir path) with
+  | Ok (Protocol.R_names names) -> Ok names
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let getacl t path =
+  match call t (Protocol.Getacl path) with
+  | Ok (Protocol.R_str s) -> Ok s
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let setacl t ~path ~entry = expect_ok (call t (Protocol.Setacl { path; entry }))
+
+let rename t ~src ~dst = expect_ok (call t (Protocol.Rename { src; dst }))
+
+let exec t ?cwd ~path ~args () =
+  let cwd = match cwd with Some c -> c | None -> Path.dirname path in
+  match call t (Protocol.Exec { path; args; cwd }) with
+  | Ok (Protocol.R_exit code) -> Ok code
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let checksum t path =
+  match call t (Protocol.Checksum path) with
+  | Ok (Protocol.R_str s) -> Ok s
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let whoami t =
+  match call t Protocol.Whoami with
+  | Ok (Protocol.R_str s) -> Ok s
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let stat_of_wire (ws : Protocol.wire_stat) =
+  {
+    Fs.st_ino = 0;
+    st_kind =
+      (match ws.Protocol.ws_kind with
+       | "dir" -> Inode.Directory
+       | "link" -> Inode.Symlink
+       | _ -> Inode.Regular);
+    st_mode = 0o644;
+    st_uid = 0;
+    st_nlink = 1;
+    st_size = ws.Protocol.ws_size;
+    st_mtime = ws.Protocol.ws_mtime;
+    st_ctime = ws.Protocol.ws_mtime;
+  }
+
+let to_remote t =
+  {
+    Idbox.Remote.r_describe = Printf.sprintf "chirp server %s as %s" t.cl_addr t.cl_principal;
+    r_stat = (fun p -> Result.map stat_of_wire (stat t p));
+    r_read = (fun p -> get t p);
+    r_write = (fun p data -> put t ~path:p ~data);
+    r_mkdir = (fun p -> mkdir t p);
+    r_unlink = (fun p -> unlink t p);
+    r_rmdir = (fun p -> rmdir t p);
+    r_readdir = (fun p -> readdir t p);
+    r_rename = (fun src dst -> rename t ~src ~dst);
+    r_getacl = (fun p -> getacl t p);
+    r_setacl = (fun p entry -> setacl t ~path:p ~entry);
+  }

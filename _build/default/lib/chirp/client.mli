@@ -1,0 +1,50 @@
+(** The Chirp client: typed access to a remote server over the simulated
+    network, plus the adapter that lets identity boxes mount a server
+    under [/chirp/...] (paper §4: "files on a Chirp server appear as
+    ordinary files in the path /chirp/server/path"). *)
+
+type t
+(** An authenticated session. *)
+
+type 'a r := ('a, Idbox_vfs.Errno.t) result
+
+val connect :
+  Idbox_net.Network.t ->
+  addr:string ->
+  credentials:Idbox_auth.Credential.t list ->
+  (t, string) result
+(** Negotiate authentication (client preference order) and open a
+    session. *)
+
+val principal : t -> string
+(** The negotiated principal, as the server knows us. *)
+
+val auth_method : t -> string
+
+val addr : t -> string
+
+val mkdir : t -> string -> unit r
+val rmdir : t -> string -> unit r
+val unlink : t -> string -> unit r
+val put : t -> path:string -> data:string -> unit r
+val get : t -> string -> string r
+val stat : t -> string -> Protocol.wire_stat r
+val readdir : t -> string -> string list r
+val getacl : t -> string -> string r
+val setacl : t -> path:string -> entry:string -> unit r
+val rename : t -> src:string -> dst:string -> unit r
+
+val exec : t -> ?cwd:string -> path:string -> args:string list -> unit -> int r
+(** The paper's remote-execution extension: run a staged program inside
+    an identity box labelled with this session's principal; returns the
+    exit code.  [cwd] defaults to the program's directory. *)
+
+val checksum : t -> string -> string r
+(** Server-side MD5 (hex) of a remote file: verify a transfer without a
+    second copy of the data on the wire. *)
+
+val whoami : t -> string r
+
+val to_remote : t -> Idbox.Remote.t
+(** A {!Idbox.Remote} driver backed by this session, for mounting into
+    an identity box. *)

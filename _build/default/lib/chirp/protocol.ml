@@ -1,0 +1,188 @@
+module Credential = Idbox_auth.Credential
+module Ca = Idbox_auth.Ca
+module Kerberos = Idbox_auth.Kerberos
+module Subject = Idbox_identity.Subject
+module Errno = Idbox_vfs.Errno
+
+type operation =
+  | Mkdir of string
+  | Rmdir of string
+  | Unlink of string
+  | Put of { path : string; data : string }
+  | Get of string
+  | Stat of string
+  | Readdir of string
+  | Getacl of string
+  | Setacl of { path : string; entry : string }
+  | Rename of { src : string; dst : string }
+  | Exec of { path : string; args : string list; cwd : string }
+  | Checksum of string
+  | Whoami
+
+type request =
+  | Auth of Credential.t list
+  | Op of { token : string; op : operation }
+
+type wire_stat = {
+  ws_kind : string;
+  ws_size : int;
+  ws_mtime : int64;
+}
+
+type response =
+  | R_ok
+  | R_error of Errno.t * string
+  | R_auth of { token : string; principal : string; method_ : string }
+  | R_data of string
+  | R_stat of wire_stat
+  | R_names of string list
+  | R_exit of int
+  | R_str of string
+
+let operation_name = function
+  | Mkdir _ -> "mkdir"
+  | Rmdir _ -> "rmdir"
+  | Unlink _ -> "unlink"
+  | Put _ -> "put"
+  | Get _ -> "get"
+  | Stat _ -> "stat"
+  | Readdir _ -> "readdir"
+  | Getacl _ -> "getacl"
+  | Setacl _ -> "setacl"
+  | Rename _ -> "rename"
+  | Exec _ -> "exec"
+  | Checksum _ -> "checksum"
+  | Whoami -> "whoami"
+
+(* --- credentials ---------------------------------------------------- *)
+
+let encode_credential = function
+  | Credential.Gsi cert ->
+    [ "gsi";
+      Subject.to_string cert.Ca.subject;
+      cert.Ca.issuer;
+      string_of_int cert.Ca.serial;
+      cert.Ca.signature ]
+  | Credential.Krb ticket ->
+    [ "krb";
+      ticket.Kerberos.user;
+      ticket.Kerberos.realm;
+      Int64.to_string ticket.Kerberos.issued_at;
+      Int64.to_string ticket.Kerberos.expires_at;
+      ticket.Kerberos.stamp ]
+  | Credential.Unix_account name -> [ "unix"; name ]
+  | Credential.Host host -> [ "host"; host ]
+
+let decode_credential fields =
+  match fields with
+  | [ "gsi"; subject; issuer; serial; signature ] ->
+    (match (Subject.of_string subject, int_of_string_opt serial) with
+     | Ok subject, Some serial ->
+       Ok (Credential.Gsi { Ca.subject; issuer; serial; signature })
+     | Error e, _ -> Error ("bad certificate subject: " ^ e)
+     | _, None -> Error "bad certificate serial")
+  | [ "krb"; user; realm; issued; expires; stamp ] ->
+    (match (Int64.of_string_opt issued, Int64.of_string_opt expires) with
+     | Some issued_at, Some expires_at ->
+       Ok (Credential.Krb { Kerberos.user; realm; issued_at; expires_at; stamp })
+     | _ -> Error "bad ticket timestamps")
+  | [ "unix"; name ] -> Ok (Credential.Unix_account name)
+  | [ "host"; host ] -> Ok (Credential.Host host)
+  | _ -> Error "unrecognized credential"
+
+(* Each credential is itself a wire-framed blob so the outer message
+   stays a flat field list. *)
+let encode_request = function
+  | Auth creds ->
+    Wire.encode ("auth" :: List.map (fun c -> Wire.encode (encode_credential c)) creds)
+  | Op { token; op } ->
+    let fields =
+      match op with
+      | Mkdir p -> [ "mkdir"; p ]
+      | Rmdir p -> [ "rmdir"; p ]
+      | Unlink p -> [ "unlink"; p ]
+      | Put { path; data } -> [ "put"; path; data ]
+      | Get p -> [ "get"; p ]
+      | Stat p -> [ "stat"; p ]
+      | Readdir p -> [ "readdir"; p ]
+      | Getacl p -> [ "getacl"; p ]
+      | Setacl { path; entry } -> [ "setacl"; path; entry ]
+      | Rename { src; dst } -> [ "rename"; src; dst ]
+      | Exec { path; args; cwd } -> "exec" :: path :: cwd :: args
+      | Checksum p -> [ "checksum"; p ]
+      | Whoami -> [ "whoami" ]
+    in
+    Wire.encode (("op" :: token :: fields))
+
+let decode_operation = function
+  | [ "mkdir"; p ] -> Ok (Mkdir p)
+  | [ "rmdir"; p ] -> Ok (Rmdir p)
+  | [ "unlink"; p ] -> Ok (Unlink p)
+  | [ "put"; path; data ] -> Ok (Put { path; data })
+  | [ "get"; p ] -> Ok (Get p)
+  | [ "stat"; p ] -> Ok (Stat p)
+  | [ "readdir"; p ] -> Ok (Readdir p)
+  | [ "getacl"; p ] -> Ok (Getacl p)
+  | [ "setacl"; path; entry ] -> Ok (Setacl { path; entry })
+  | [ "rename"; src; dst ] -> Ok (Rename { src; dst })
+  | "exec" :: path :: cwd :: args -> Ok (Exec { path; args; cwd })
+  | [ "checksum"; p ] -> Ok (Checksum p)
+  | [ "whoami" ] -> Ok Whoami
+  | op :: _ -> Error (Printf.sprintf "unknown operation %S" op)
+  | [] -> Error "empty operation"
+
+let decode_request text =
+  match Wire.decode text with
+  | Error e -> Error e
+  | Ok ("auth" :: blobs) ->
+    let rec decode_all acc = function
+      | [] -> Ok (Auth (List.rev acc))
+      | blob :: rest ->
+        (match Wire.decode blob with
+         | Error e -> Error e
+         | Ok fields ->
+           (match decode_credential fields with
+            | Ok cred -> decode_all (cred :: acc) rest
+            | Error e -> Error e))
+    in
+    decode_all [] blobs
+  | Ok ("op" :: token :: fields) ->
+    (match decode_operation fields with
+     | Ok op -> Ok (Op { token; op })
+     | Error e -> Error e)
+  | Ok _ -> Error "unrecognized request"
+
+let encode_response = function
+  | R_ok -> Wire.encode [ "ok" ]
+  | R_error (errno, msg) -> Wire.encode [ "error"; Errno.to_string errno; msg ]
+  | R_auth { token; principal; method_ } ->
+    Wire.encode [ "auth"; token; principal; method_ ]
+  | R_data data -> Wire.encode [ "data"; data ]
+  | R_stat { ws_kind; ws_size; ws_mtime } ->
+    Wire.encode [ "stat"; ws_kind; string_of_int ws_size; Int64.to_string ws_mtime ]
+  | R_names names -> Wire.encode ("names" :: names)
+  | R_exit code -> Wire.encode [ "exit"; string_of_int code ]
+  | R_str s -> Wire.encode [ "str"; s ]
+
+let decode_response text =
+  match Wire.decode text with
+  | Error e -> Error e
+  | Ok [ "ok" ] -> Ok R_ok
+  | Ok [ "error"; errno; msg ] ->
+    (match Errno.of_string errno with
+     | Some e -> Ok (R_error (e, msg))
+     | None -> Error (Printf.sprintf "unknown errno %S" errno))
+  | Ok [ "auth"; token; principal; method_ ] ->
+    Ok (R_auth { token; principal; method_ })
+  | Ok [ "data"; data ] -> Ok (R_data data)
+  | Ok [ "stat"; ws_kind; size; mtime ] ->
+    (match (int_of_string_opt size, Int64.of_string_opt mtime) with
+     | Some ws_size, Some ws_mtime -> Ok (R_stat { ws_kind; ws_size; ws_mtime })
+     | _ -> Error "bad stat fields")
+  | Ok ("names" :: names) -> Ok (R_names names)
+  | Ok [ "exit"; code ] ->
+    (match int_of_string_opt code with
+     | Some code -> Ok (R_exit code)
+     | None -> Error "bad exit code")
+  | Ok [ "str"; s ] -> Ok (R_str s)
+  | Ok _ -> Error "unrecognized response"

@@ -1,0 +1,54 @@
+(** The Chirp protocol: typed requests and responses with an explicit
+    wire encoding.
+
+    The protocol "closely resembles the Unix I/O interface" (paper §4),
+    extended with [getacl]/[setacl] for the virtual user space and the
+    paper's new [exec] call for remote execution inside an identity
+    box.  Sessions are token-based: [Auth] negotiates a principal and
+    yields a token that stamps every subsequent operation. *)
+
+type operation =
+  | Mkdir of string
+  | Rmdir of string
+  | Unlink of string
+  | Put of { path : string; data : string }
+  | Get of string
+  | Stat of string
+  | Readdir of string
+  | Getacl of string
+  | Setacl of { path : string; entry : string }
+  | Rename of { src : string; dst : string }
+  | Exec of { path : string; args : string list; cwd : string }
+  | Checksum of string
+      (** MD5 of a remote file — end-to-end transfer integrity without
+          fetching the data again. *)
+  | Whoami
+
+type request =
+  | Auth of Idbox_auth.Credential.t list
+      (** Credentials in client preference order. *)
+  | Op of { token : string; op : operation }
+
+type wire_stat = {
+  ws_kind : string;  (** ["file"], ["dir"] or ["link"]. *)
+  ws_size : int;
+  ws_mtime : int64;
+}
+
+type response =
+  | R_ok
+  | R_error of Idbox_vfs.Errno.t * string
+  | R_auth of { token : string; principal : string; method_ : string }
+  | R_data of string
+  | R_stat of wire_stat
+  | R_names of string list
+  | R_exit of int
+  | R_str of string
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val operation_name : operation -> string
+(** For logging and per-op accounting. *)

@@ -1,0 +1,369 @@
+module Kernel = Idbox_kernel.Kernel
+module View = Idbox_kernel.View
+module Syscall = Idbox_kernel.Syscall
+module Clock = Idbox_kernel.Clock
+module Network = Idbox_net.Network
+module Negotiate = Idbox_auth.Negotiate
+module Principal = Idbox_identity.Principal
+module Acl = Idbox_acl.Acl
+module Right = Idbox_acl.Right
+module Enforce = Idbox.Enforce
+module Box = Idbox.Box
+module Path = Idbox_vfs.Path
+module Errno = Idbox_vfs.Errno
+module Fs = Idbox_vfs.Fs
+module Inode = Idbox_vfs.Inode
+
+type t = {
+  sv_kernel : Kernel.t;
+  sv_net : Network.t;
+  sv_addr : string;
+  sv_owner : View.t;
+  sv_export : string;
+  acceptor : Negotiate.acceptor;
+  enforce : Enforce.t;
+  sessions : (string, Principal.t * string) Hashtbl.t;
+  boxes : (string, Box.t) Hashtbl.t;
+  mutable execs : int;
+  mutable token_counter : int;
+}
+
+let addr t = t.sv_addr
+let export t = t.sv_export
+let owner_uid t = t.sv_owner.View.uid
+let exec_count t = t.execs
+
+let sessions t =
+  Hashtbl.fold
+    (fun _ (principal, method_) acc -> (Principal.to_string principal, method_) :: acc)
+    t.sessions []
+  |> List.sort compare
+
+let delegate t req = Kernel.delegate t.sv_kernel t.sv_owner req
+
+(* Map a wire path into the export subtree, rejecting escapes.  Wire
+   paths are absolute within the server's virtual namespace, so they are
+   anchored under the export root (never substituted for it), and ".."
+   may not climb out. *)
+let map_path t wire_path =
+  let abs =
+    (* Ancestor symlinks (e.g. planted by a remotely exec'd job) are
+       resolved before the prefix check, so a link pointing out of the
+       export tree cannot smuggle operations outside it. *)
+    Enforce.canonical_parents t.enforce
+      (Path.normalize (t.sv_export ^ "/" ^ wire_path))
+  in
+  if Path.is_prefix ~prefix:t.sv_export abs then Ok abs else Error Errno.EACCES
+
+let err e = Protocol.R_error (e, Errno.message e)
+
+let check t identity path right k =
+  match Enforce.check_object t.enforce ~identity ~path right with
+  | Ok () -> k ()
+  | Error e -> err e
+
+let check_dir t identity dir right k =
+  match Enforce.check_in_dir t.enforce ~identity ~dir right with
+  | Ok () -> k ()
+  | Error e -> err e
+
+let check_delete t identity dir k =
+  match Enforce.check_in_dir t.enforce ~identity ~dir Right.Delete with
+  | Ok () -> k ()
+  | Error _ ->
+    (match Enforce.check_in_dir t.enforce ~identity ~dir Right.Write with
+     | Ok () -> k ()
+     | Error e -> err e)
+
+let is_acl_file abs = String.equal (Path.basename abs) Acl.filename
+
+let box_for t identity =
+  let key = Principal.to_string identity in
+  match Hashtbl.find_opt t.boxes key with
+  | Some box -> Ok box
+  | None ->
+    (match
+       Box.create t.sv_kernel ~supervisor_uid:t.sv_owner.View.uid ~identity ()
+     with
+     | Ok box ->
+       Hashtbl.replace t.boxes key box;
+       Ok box
+     | Error e -> Error e)
+
+let wire_stat_of (st : Fs.stat) =
+  {
+    Protocol.ws_kind =
+      (match st.Fs.st_kind with
+       | Inode.Regular | Inode.Fifo -> "file"
+       | Inode.Directory -> "dir"
+       | Inode.Symlink -> "link");
+    ws_size = st.Fs.st_size;
+    ws_mtime = st.Fs.st_mtime;
+  }
+
+let serve_op t identity op =
+  let open Protocol in
+  match op with
+  | Whoami -> R_str (Principal.to_string identity)
+  | Mkdir wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       let parent = Path.dirname abs in
+       (match Enforce.plan_mkdir t.enforce ~identity ~parent with
+        | Error e -> err e
+        | Ok plan ->
+          (match delegate t (Syscall.Mkdir { path = abs; mode = 0o755 }) with
+           | Error e -> err e
+           | Ok _ ->
+             let acl =
+               match plan with
+               | Enforce.Fresh_acl acl -> Some acl
+               | Enforce.Inherit_acl inherited -> inherited
+             in
+             (match acl with
+              | None -> R_ok
+              | Some acl ->
+                (match Enforce.write_acl t.enforce ~dir:abs acl with
+                 | Ok () -> R_ok
+                 | Error e -> err e)))))
+  | Rmdir wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       if String.equal abs t.sv_export then err Errno.EACCES
+       else
+         (* Delete in the parent, or — for reserved namespaces the caller
+            owns — delete inside the directory itself. *)
+         let check_either k =
+           match
+             Enforce.check_in_dir t.enforce ~identity ~dir:(Path.dirname abs)
+               Right.Delete
+           with
+           | Ok () -> k ()
+           | Error _ ->
+             (match
+                Enforce.check_in_dir t.enforce ~identity ~dir:(Path.dirname abs)
+                  Right.Write
+              with
+              | Ok () -> k ()
+              | Error _ -> check_delete t identity abs k)
+         in
+         check_either (fun () ->
+             match delegate t (Syscall.Readdir abs) with
+             | Error e -> err e
+             | Ok (Syscall.Names names) ->
+               let real =
+                 List.filter (fun n -> not (String.equal n Acl.filename)) names
+               in
+               if real <> [] then err Errno.ENOTEMPTY
+               else begin
+                 ignore (delegate t (Syscall.Unlink (Path.join abs Acl.filename)));
+                 Enforce.invalidate t.enforce ~dir:abs;
+                 match delegate t (Syscall.Rmdir abs) with
+                 | Ok _ -> R_ok
+                 | Error e -> err e
+               end
+             | Ok _ -> err Errno.EINVAL))
+  | Unlink wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       if is_acl_file abs then err Errno.EACCES
+       else
+         check_delete t identity (Enforce.governing_dir t.enforce abs) (fun () ->
+             match delegate t (Syscall.Unlink abs) with
+             | Ok _ -> R_ok
+             | Error e -> err e))
+  | Put { path = wire_path; data } ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       if is_acl_file abs then err Errno.EACCES
+       else
+         check t identity abs Right.Write (fun () ->
+             let flags = Fs.wronly_create in
+             match delegate t (Syscall.Open { path = abs; flags; mode = 0o755 }) with
+             | Error e -> err e
+             | Ok (Syscall.Int fd) ->
+               let res = delegate t (Syscall.Write { fd; data }) in
+               ignore (delegate t (Syscall.Close fd));
+               (match res with Ok _ -> R_ok | Error e -> err e)
+             | Ok _ -> err Errno.EINVAL))
+  | Get wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       if is_acl_file abs then err Errno.EACCES
+       else
+         check t identity abs Right.Read (fun () ->
+             match delegate t (Syscall.Open { path = abs; flags = Fs.rdonly; mode = 0 }) with
+             | Error e -> err e
+             | Ok (Syscall.Int fd) ->
+               let rec slurp acc =
+                 match delegate t (Syscall.Read { fd; len = 65536 }) with
+                 | Ok (Syscall.Data "") -> Ok acc
+                 | Ok (Syscall.Data chunk) -> slurp (acc ^ chunk)
+                 | Ok _ -> Error Errno.EINVAL
+                 | Error e -> Error e
+               in
+               let res = slurp "" in
+               ignore (delegate t (Syscall.Close fd));
+               (match res with Ok data -> R_data data | Error e -> err e)
+             | Ok _ -> err Errno.EINVAL))
+  | Stat wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       check t identity abs Right.List (fun () ->
+           match delegate t (Syscall.Stat abs) with
+           | Ok (Syscall.Stat_v st) -> R_stat (wire_stat_of st)
+           | Ok _ -> err Errno.EINVAL
+           | Error e -> err e))
+  | Readdir wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       check_dir t identity abs Right.List (fun () ->
+           match delegate t (Syscall.Readdir abs) with
+           | Ok (Syscall.Names names) ->
+             R_names
+               (List.filter (fun n -> not (String.equal n Acl.filename)) names)
+           | Ok _ -> err Errno.EINVAL
+           | Error e -> err e))
+  | Getacl wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       let dir =
+         match delegate t (Syscall.Stat abs) with
+         | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory -> abs
+         | Ok _ | Error _ -> Enforce.governing_dir t.enforce abs
+       in
+       check_dir t identity dir Right.List (fun () ->
+           match Enforce.dir_acl t.enforce dir with
+           | Some acl -> R_str (Acl.to_string acl)
+           | None -> R_str ""))
+  | Setacl { path = wire_path; entry } ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       (match Idbox_acl.Entry.of_line entry with
+        | Error _ -> err Errno.EINVAL
+        | Ok parsed ->
+          check_dir t identity abs Right.Admin (fun () ->
+              let current =
+                match Enforce.dir_acl t.enforce abs with
+                | Some acl -> acl
+                | None -> Acl.empty
+              in
+              match Enforce.write_acl t.enforce ~dir:abs (Acl.set_entry current parsed) with
+              | Ok () -> R_ok
+              | Error e -> err e)))
+  | Rename { src; dst } ->
+    (match (map_path t src, map_path t dst) with
+     | Error e, _ | _, Error e -> err e
+     | Ok asrc, Ok adst ->
+       if is_acl_file asrc || is_acl_file adst then err Errno.EACCES
+       else
+         check_delete t identity (Path.dirname asrc) (fun () ->
+             check_dir t identity (Path.dirname adst) Right.Write (fun () ->
+                 match delegate t (Syscall.Rename { src = asrc; dst = adst }) with
+                 | Ok _ -> R_ok
+                 | Error e -> err e)))
+  | Checksum wire_path ->
+    (match map_path t wire_path with
+     | Error e -> err e
+     | Ok abs ->
+       if is_acl_file abs then err Errno.EACCES
+       else
+         check t identity abs Right.Read (fun () ->
+             (* The digest is computed server-side over the stored bytes:
+                one metadata-sized reply instead of re-fetching the file. *)
+             match Fs.read_file (Kernel.fs t.sv_kernel) ~uid:t.sv_owner.View.uid abs with
+             | Ok data ->
+               (* Charge the server's sequential read of the file. *)
+               ignore
+                 (Kernel.delegate t.sv_kernel t.sv_owner
+                    (Syscall.Stat abs));
+               R_str (Digest.to_hex (Digest.string data))
+             | Error e -> err e))
+  | Exec { path = wire_path; args; cwd } ->
+    (match (map_path t wire_path, map_path t cwd) with
+     | Error e, _ | _, Error e -> err e
+     | Ok abs, Ok acwd ->
+       (match box_for t identity with
+        | Error e -> err e
+        | Ok box ->
+          (match Box.spawn box ~check_exec:true ~path:abs ~args () with
+           | Error e -> err e
+           | Ok pid ->
+             t.execs <- t.execs + 1;
+             Box.set_cwd box ~pid acwd;
+             (* Drive the host to completion: the remote process runs
+                inside the identity box on the server's machine. *)
+             Kernel.run t.sv_kernel;
+             (match Kernel.exit_code t.sv_kernel pid with
+              | Some code -> R_exit code
+              | None -> err Errno.EAGAIN))))
+
+let fresh_token t principal =
+  t.token_counter <- t.token_counter + 1;
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s|%d|%s" t.sv_addr t.token_counter
+          (Principal.to_string principal)))
+
+let handle t payload =
+  let respond r = Protocol.encode_response r in
+  match Protocol.decode_request payload with
+  | Error msg -> respond (Protocol.R_error (Errno.EINVAL, "bad request: " ^ msg))
+  | Ok (Protocol.Auth creds) ->
+    (match
+       Negotiate.negotiate t.acceptor ~now:(Kernel.now t.sv_kernel) creds
+     with
+     | Error msg -> respond (Protocol.R_error (Errno.EACCES, msg))
+     | Ok (principal, method_, _attempts) ->
+       let token = fresh_token t principal in
+       Hashtbl.replace t.sessions token (principal, method_);
+       respond
+         (Protocol.R_auth
+            { token; principal = Principal.to_string principal; method_ }))
+  | Ok (Protocol.Op { token; op }) ->
+    (match Hashtbl.find_opt t.sessions token with
+     | None -> respond (Protocol.R_error (Errno.EPERM, "no such session"))
+     | Some (principal, _method) -> respond (serve_op t principal op))
+
+let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl () =
+  let sv_owner = Kernel.make_view kernel ~uid:owner_uid () in
+  let sv_export = Path.normalize export in
+  let t =
+    {
+      sv_kernel = kernel;
+      sv_net = net;
+      sv_addr = addr;
+      sv_owner;
+      sv_export;
+      acceptor;
+      enforce = Enforce.create kernel ~supervisor:sv_owner ();
+      sessions = Hashtbl.create 8;
+      boxes = Hashtbl.create 8;
+      execs = 0;
+      token_counter = 0;
+    }
+  in
+  match Fs.mkdir_p (Kernel.fs kernel) ~uid:owner_uid sv_export with
+  | Error e -> Error e
+  | Ok () ->
+    let install_acl =
+      match root_acl with
+      | None -> Ok ()
+      | Some acl -> Enforce.write_acl t.enforce ~dir:sv_export acl
+    in
+    (match install_acl with
+     | Error e -> Error e
+     | Ok () ->
+       Network.listen net ~addr (fun payload -> handle t payload);
+       Ok t)
+
+let shutdown t = Network.unlisten t.sv_net ~addr:t.sv_addr

@@ -1,0 +1,45 @@
+(** The Chirp server: a personal file server for grid computing
+    (paper §4).
+
+    A server is deployed {e by an ordinary user} on a host: it exports a
+    directory of that host's filesystem, authenticates clients by any
+    negotiated method, and enforces per-directory ACLs against the
+    negotiated principal — a fully virtual user space in which local
+    accounts never appear.  The [exec] extension runs a staged program
+    in an identity box labelled with the caller's principal, which is
+    the paper's Figure 3 demonstration.
+
+    The server object plugs into the simulated {!Idbox_net.Network} as a
+    request handler; its own filesystem work runs as the deploying
+    user's uid on the host kernel. *)
+
+type t
+
+val create :
+  kernel:Idbox_kernel.Kernel.t ->
+  net:Idbox_net.Network.t ->
+  addr:string ->
+  owner_uid:int ->
+  export:string ->
+  acceptor:Idbox_auth.Negotiate.acceptor ->
+  ?root_acl:Idbox_acl.Acl.t ->
+  unit ->
+  (t, Idbox_vfs.Errno.t) result
+(** Create the export directory (if missing), install [root_acl] on it
+    when given, and start listening on [addr]. *)
+
+val addr : t -> string
+val export : t -> string
+val owner_uid : t -> int
+
+val sessions : t -> (string * string) list
+(** [(principal, method)] for every authenticated session. *)
+
+val exec_count : t -> int
+(** Remote executions served (for experiment accounting). *)
+
+val shutdown : t -> unit
+(** Stop listening. *)
+
+val handle : t -> string -> string
+(** The raw request handler (exposed for direct-dispatch tests). *)

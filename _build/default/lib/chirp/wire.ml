@@ -1,0 +1,34 @@
+let encode fields =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun field ->
+      Buffer.add_string buf (string_of_int (String.length field));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf field)
+    fields;
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  let rec fields i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match String.index_from_opt s i ':' with
+      | None -> Error "missing ':' after field length"
+      | Some j ->
+        let len_text = String.sub s i (j - i) in
+        (match int_of_string_opt len_text with
+         | None -> Error (Printf.sprintf "bad field length %S" len_text)
+         | Some len when len < 0 -> Error "negative field length"
+         | Some len ->
+           if j + 1 + len > n then Error "truncated field"
+           else fields (j + 1 + len) (String.sub s (j + 1) len :: acc))
+  in
+  fields 0 []
+
+let encode_int = string_of_int
+
+let decode_int s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad integer %S" s)

@@ -1,0 +1,16 @@
+(** Netstring-style field framing for the Chirp wire protocol.
+
+    A message is a sequence of length-prefixed fields:
+    ["<len>:<bytes>"] concatenated.  Fields are opaque byte strings, so
+    payloads (file data, ACL text) need no escaping.  Decoding is total:
+    malformed input yields [Error], never an exception — a network peer
+    is untrusted input. *)
+
+val encode : string list -> string
+
+val decode : string -> (string list, string) result
+(** Errors on truncated lengths, missing separators, or trailing
+    garbage. *)
+
+val encode_int : int -> string
+val decode_int : string -> (int, string) result

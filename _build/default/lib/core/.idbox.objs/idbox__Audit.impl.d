@@ -1,0 +1,1 @@
+lib/core/audit.ml: Format Idbox_vfs List String

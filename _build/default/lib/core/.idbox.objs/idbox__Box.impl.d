@@ -1,0 +1,1 @@
+lib/core/box.ml: Audit Buffer Enforce Hashtbl Idbox_acl Idbox_identity Idbox_kernel Idbox_ptrace Idbox_vfs List Logs Printf Remote String

@@ -1,0 +1,1 @@
+lib/core/box.mli: Audit Enforce Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs Remote

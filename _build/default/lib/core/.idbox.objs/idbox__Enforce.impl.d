@@ -1,0 +1,1 @@
+lib/core/enforce.ml: Hashtbl Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs Int64 List String

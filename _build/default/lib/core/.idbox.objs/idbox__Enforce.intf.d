@@ -1,0 +1,1 @@
+lib/core/enforce.mli: Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs

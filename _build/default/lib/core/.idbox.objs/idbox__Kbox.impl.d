@@ -1,0 +1,1 @@
+lib/core/kbox.ml: Enforce Hashtbl Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs List Option Printf String

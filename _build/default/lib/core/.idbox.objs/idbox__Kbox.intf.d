@@ -1,0 +1,1 @@
+lib/core/kbox.mli: Enforce Idbox_identity Idbox_kernel Idbox_vfs

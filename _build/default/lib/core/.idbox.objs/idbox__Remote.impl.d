@@ -1,0 +1,1 @@
+lib/core/remote.ml: Idbox_vfs Result

@@ -1,0 +1,1 @@
+lib/core/remote.mli: Idbox_vfs

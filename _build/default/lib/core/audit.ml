@@ -1,0 +1,73 @@
+module Errno = Idbox_vfs.Errno
+
+type verdict =
+  | Allowed
+  | Denied of Errno.t
+
+type event = {
+  ev_seq : int;
+  ev_time : int64;
+  ev_pid : int;
+  ev_identity : string;
+  ev_op : string;
+  ev_path : string;
+  ev_path2 : string option;
+  ev_verdict : verdict;
+}
+
+type t = {
+  mutable log : event list;  (* reverse order *)
+  mutable next_seq : int;
+}
+
+let create () = { log = []; next_seq = 0 }
+
+let record t ~time ~pid ~identity ~op ~path ?path2 verdict =
+  let ev =
+    {
+      ev_seq = t.next_seq;
+      ev_time = time;
+      ev_pid = pid;
+      ev_identity = identity;
+      ev_op = op;
+      ev_path = path;
+      ev_path2 = path2;
+      ev_verdict = verdict;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.log <- ev :: t.log
+
+let events t = List.rev t.log
+
+let length t = t.next_seq
+
+let clear t =
+  t.log <- [];
+  t.next_seq <- 0
+
+let denied t =
+  List.filter (fun ev -> match ev.ev_verdict with Denied _ -> true | Allowed -> false)
+    (events t)
+
+let touched_paths t =
+  List.filter_map
+    (fun ev ->
+      match ev.ev_verdict with
+      | Allowed when ev.ev_path <> "" -> Some ev.ev_path
+      | Allowed | Denied _ -> None)
+    (events t)
+  |> List.sort_uniq String.compare
+
+let verdict_to_string = function
+  | Allowed -> "allowed"
+  | Denied e -> "denied " ^ Errno.to_string e
+
+let pp_event ppf ev =
+  Format.fprintf ppf "#%d t=%Ldns pid=%d %s %s %s%s -> %s" ev.ev_seq ev.ev_time
+    ev.ev_pid ev.ev_identity ev.ev_op ev.ev_path
+    (match ev.ev_path2 with Some p -> " -> " ^ p | None -> "")
+    (verdict_to_string ev.ev_verdict)
+
+let pp ppf t =
+  List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) (events t)

@@ -1,0 +1,58 @@
+(** The forensic audit trail (paper §9): "the identity box could be used
+    for forensic purposes, recording the objects accessed and the
+    activities taken by the untrusted user."
+
+    A box with auditing enabled records one event per trapped system
+    call that names an object: what was attempted, by which pid under
+    which identity, on which path(s), and whether the box allowed it —
+    including the errno it injected when it did not.  The trail is
+    supervisor-side state: the contained program cannot see or alter
+    it. *)
+
+type verdict =
+  | Allowed
+  | Denied of Idbox_vfs.Errno.t
+
+type event = {
+  ev_seq : int;  (** Monotonic sequence number. *)
+  ev_time : int64;  (** Simulated nanoseconds at the entry stop. *)
+  ev_pid : int;
+  ev_identity : string;
+  ev_op : string;  (** Syscall name ("open", "unlink", ...). *)
+  ev_path : string;  (** Primary object path ("" for pathless calls). *)
+  ev_path2 : string option;  (** Secondary path (rename dst, link target). *)
+  ev_verdict : verdict;
+}
+
+type t
+(** A trail: an append-only event log. *)
+
+val create : unit -> t
+val record :
+  t ->
+  time:int64 ->
+  pid:int ->
+  identity:string ->
+  op:string ->
+  path:string ->
+  ?path2:string ->
+  verdict ->
+  unit
+
+val events : t -> event list
+(** In order of occurrence. *)
+
+val length : t -> int
+val clear : t -> unit
+
+val denied : t -> event list
+(** Only the refused actions — the forensically interesting ones. *)
+
+val touched_paths : t -> string list
+(** Distinct object paths that appear in allowed events, sorted: "the
+    objects accessed ... by the untrusted user". *)
+
+val verdict_to_string : verdict -> string
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+(** The whole trail, one line per event. *)

@@ -1,0 +1,878 @@
+module Kernel = Idbox_kernel.Kernel
+module View = Idbox_kernel.View
+module Syscall = Idbox_kernel.Syscall
+module Trace = Idbox_kernel.Trace
+module Program = Idbox_kernel.Program
+module Account = Idbox_kernel.Account
+module Fd_table = Idbox_kernel.Fd_table
+module Tracer = Idbox_ptrace.Tracer
+module Iochannel = Idbox_ptrace.Iochannel
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Right = Idbox_acl.Right
+module Rights = Idbox_acl.Rights
+module Principal = Idbox_identity.Principal
+module Path = Idbox_vfs.Path
+module Errno = Idbox_vfs.Errno
+module Fs = Idbox_vfs.Fs
+module Inode = Idbox_vfs.Inode
+
+let log_src = Logs.Src.create "idbox.box" ~doc:"identity box supervisor"
+
+module Log = (val Logs.src_log log_src)
+
+(* A boxed process's open-file backing. *)
+type backing =
+  | Local of int  (** A descriptor in the supervisor's own table. *)
+  | Remote_read of { rpath : string; driver : Remote.t; data : string }
+  | Remote_write of { rpath : string; driver : Remote.t; buf : Buffer.t }
+
+type vfile = {
+  backing : backing;
+  mutable vpos : int;
+}
+
+(* Per-tracee state the supervisor maintains (Parrot "must track a tree
+   of processes [and] keep tables of open files"). *)
+type vproc = {
+  vpid : int;
+  mutable vcwd : string;
+  vfds : (int, vfile) Hashtbl.t;
+  mutable next_vfd : int;
+  passthrough : (int, unit) Hashtbl.t;
+      (** Real kernel descriptors (pipe ends) the tracee may use
+          directly: the kernel implements pipe semantics, including
+          blocking, under the box's eye. *)
+}
+
+type t = {
+  bx_kernel : Kernel.t;
+  sup : View.t;
+  bx_identity : Principal.t;
+  enforce : Enforce.t;
+  channel : Iochannel.t;
+  vprocs : (int, vproc) Hashtbl.t;
+  pending : (int, Syscall.result -> Syscall.result) Hashtbl.t;
+  mounts : (string * Remote.t) list;
+  bx_base : string;
+  bx_home : string;
+  bx_passwd : string;
+  small_io : int;
+  bx_audit : Audit.t option;
+  mutable bx_handler : Trace.handler option;
+}
+
+let identity t = t.bx_identity
+let identity_string t = Principal.to_string t.bx_identity
+let home t = t.bx_home
+let base t = t.bx_base
+let passwd_path t = t.bx_passwd
+let supervisor_view t = t.sup
+let enforcer t = t.enforce
+let kernel t = t.bx_kernel
+let member t pid = Hashtbl.mem t.vprocs pid
+
+let handler t =
+  match t.bx_handler with Some h -> h | None -> assert false
+
+let delegate t req = Kernel.delegate t.bx_kernel t.sup req
+
+(* ------------------------------------------------------------------ *)
+(* Path handling.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let vproc_of t pid =
+  match Hashtbl.find_opt t.vprocs pid with
+  | Some vp -> vp
+  | None ->
+    let vp =
+      { vpid = pid; vcwd = t.bx_home; vfds = Hashtbl.create 8; next_vfd = 1000;
+        passthrough = Hashtbl.create 4 }
+    in
+    Hashtbl.replace t.vprocs pid vp;
+    vp
+
+(* Canonical absolute path for a tracee-supplied path: joined against
+   the virtual cwd, ancestor symlinks resolved (so the ACL check and the
+   delegated action always name the same object — the parent flavour of
+   Garfinkel pitfall #2), and the paper's /etc/passwd redirection
+   applied. *)
+let canon t vp path =
+  let abs = Enforce.canonical_parents t.enforce (Path.join vp.vcwd path) in
+  if String.equal abs "/etc/passwd" then t.bx_passwd else abs
+
+let mount_of t abs =
+  List.find_map
+    (fun (prefix, driver) ->
+      match Path.strip_prefix ~prefix abs with
+      | Some rest -> Some (driver, rest)
+      | None -> None)
+    t.mounts
+
+let is_acl_file abs = String.equal (Path.basename abs) Enforce.acl_filename
+
+(* ------------------------------------------------------------------ *)
+(* Entry-action helpers.                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Nullify the call and inject [result] at the exit stop. *)
+let emulate t pid result =
+  Hashtbl.replace t.pending pid (fun _ -> result);
+  Trace.Rewrite Syscall.Getpid
+
+let deny e = Trace.Deny e
+
+let check t right ~object_path k =
+  match Enforce.check_object t.enforce ~identity:t.bx_identity ~path:object_path right with
+  | Ok () -> k ()
+  | Error e -> deny e
+
+let check_dir t right ~dir k =
+  match Enforce.check_in_dir t.enforce ~identity:t.bx_identity ~dir right with
+  | Ok () -> k ()
+  | Error e -> deny e
+
+(* Delete rights: the delete right, or write for the paper's plain
+   [rwlax] ACLs where deletion falls under write. *)
+let check_delete t ~dir k =
+  match Enforce.check_in_dir t.enforce ~identity:t.bx_identity ~dir Right.Delete with
+  | Ok () -> k ()
+  | Error _ ->
+    (match Enforce.check_in_dir t.enforce ~identity:t.bx_identity ~dir Right.Write with
+     | Ok () -> k ()
+     | Error e -> deny e)
+
+let words_of_bytes n = (n + 7) / 8
+
+(* ------------------------------------------------------------------ *)
+(* Open files.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_vfd vp vfile =
+  let vfd = vp.next_vfd in
+  vp.next_vfd <- vfd + 1;
+  Hashtbl.replace vp.vfds vfd vfile;
+  vfd
+
+(* An fd the box does not virtualize: a pipe end the kernel manages
+   directly (blocking included).  Anything else is a bad descriptor. *)
+let pass_or_badf vp fd =
+  if Hashtbl.mem vp.passthrough fd then Trace.Pass else deny Errno.EBADF
+
+let handle_open t pid vp path flags mode =
+  let abs = canon t vp path in
+  if is_acl_file abs then deny Errno.EACCES
+  else
+    match mount_of t abs with
+    | Some (driver, rpath) ->
+      if flags.Fs.wr && flags.Fs.rd then deny Errno.EINVAL
+      else if flags.Fs.wr then
+        let vfile =
+          { backing = Remote_write { rpath; driver; buf = Buffer.create 256 };
+            vpos = 0 }
+        in
+        emulate t pid (Ok (Syscall.Int (alloc_vfd vp vfile)))
+      else
+        (match driver.Remote.r_read rpath with
+         | Error e -> deny e
+         | Ok data ->
+           let vfile = { backing = Remote_read { rpath; driver; data }; vpos = 0 } in
+           emulate t pid (Ok (Syscall.Int (alloc_vfd vp vfile))))
+    | None ->
+      let do_open () =
+        match delegate t (Syscall.Open { path = abs; flags; mode }) with
+        | Error e -> deny e
+        | Ok (Syscall.Int sfd) ->
+          let vfd = alloc_vfd vp { backing = Local sfd; vpos = 0 } in
+          emulate t pid (Ok (Syscall.Int vfd))
+        | Ok _ -> deny Errno.EINVAL
+      in
+      if String.equal abs t.bx_passwd then
+        (* The box's private /etc/passwd copy: readable by design (the
+           redirection exists so whoami works), never writable. *)
+        if flags.Fs.wr || flags.Fs.creat then deny Errno.EACCES else do_open ()
+      else
+        let need_read = flags.Fs.rd in
+        let need_write = flags.Fs.wr || flags.Fs.creat in
+        let after_read_check () =
+          if need_write then check t Right.Write ~object_path:abs do_open
+          else do_open ()
+        in
+        if need_read then check t Right.Read ~object_path:abs after_read_check
+        else after_read_check ()
+
+let handle_close t pid vp vfd =
+  match Hashtbl.find_opt vp.vfds vfd with
+  | None ->
+    if Hashtbl.mem vp.passthrough vfd then begin
+      Hashtbl.remove vp.passthrough vfd;
+      Trace.Pass
+    end
+    else deny Errno.EBADF
+  | Some vfile ->
+    Hashtbl.remove vp.vfds vfd;
+    (match vfile.backing with
+     | Local sfd ->
+       (match delegate t (Syscall.Close sfd) with
+        | Ok _ -> emulate t pid (Ok Syscall.Unit)
+        | Error e -> deny e)
+     | Remote_read _ -> emulate t pid (Ok Syscall.Unit)
+     | Remote_write { rpath; driver; buf } ->
+       (match driver.Remote.r_write rpath (Buffer.contents buf) with
+        | Ok () -> emulate t pid (Ok Syscall.Unit)
+        | Error e -> deny e))
+
+(* Serve a read of [len] bytes at the backing's notion of position.
+   [advance] moves the sequential position on success. *)
+let handle_read t pid vp vfd ~len ~at =
+  match Hashtbl.find_opt vp.vfds vfd with
+  | None -> pass_or_badf vp vfd
+  | Some vfile ->
+    (match vfile.backing with
+     | Local sfd ->
+       let req =
+         match at with
+         | None -> Syscall.Read { fd = sfd; len }
+         | Some off -> Syscall.Pread { fd = sfd; off; len }
+       in
+       (match delegate t req with
+        | Error e -> deny e
+        | Ok (Syscall.Data data) ->
+          if String.length data <= t.small_io then begin
+            (* Small transfer: poke the bytes into the tracee. *)
+            Kernel.note_peek_poke t.bx_kernel
+              ~words:(words_of_bytes (String.length data));
+            emulate t pid (Ok (Syscall.Data data))
+          end
+          else begin
+            (* Bulk transfer: stage in the I/O channel and coerce the
+               tracee into pulling it with a pread. *)
+            let off = Iochannel.stage t.channel data in
+            Trace.Rewrite
+              (Syscall.Pread
+                 { fd = Iochannel.channel_fd; off; len = String.length data })
+          end
+        | Ok _ -> deny Errno.EINVAL)
+     | Remote_read { data; _ } ->
+       let off = match at with None -> vfile.vpos | Some o -> o in
+       let n = max 0 (min len (String.length data - off)) in
+       let chunk = if n = 0 then "" else String.sub data off n in
+       if at = None then vfile.vpos <- off + n;
+       if n <= t.small_io then begin
+         Kernel.note_peek_poke t.bx_kernel ~words:(words_of_bytes n);
+         emulate t pid (Ok (Syscall.Data chunk))
+       end
+       else
+         let coff = Iochannel.stage t.channel chunk in
+         Trace.Rewrite
+           (Syscall.Pread { fd = Iochannel.channel_fd; off = coff; len = n })
+     | Remote_write _ -> deny Errno.EBADF)
+
+let handle_write t pid vp vfd ~data ~at =
+  match Hashtbl.find_opt vp.vfds vfd with
+  | None -> pass_or_badf vp vfd
+  | Some vfile ->
+    let len = String.length data in
+    (match vfile.backing with
+     | Local sfd ->
+       let req off =
+         match off with
+         | None -> Syscall.Write { fd = sfd; data }
+         | Some off -> Syscall.Pwrite { fd = sfd; off; data }
+       in
+       if len <= t.small_io then begin
+         (* Small transfer: peek the bytes out of the tracee. *)
+         Kernel.note_peek_poke t.bx_kernel ~words:(words_of_bytes len);
+         match delegate t (req at) with
+         | Ok v -> emulate t pid (Ok v)
+         | Error e -> deny e
+       end
+       else begin
+         (* Bulk transfer: the tracee pwrites into the channel; at the
+            exit stop the supervisor collects and performs the real
+            write. *)
+         let coff = Iochannel.reserve t.channel len in
+         Hashtbl.replace t.pending pid (fun res ->
+             match res with
+             | Ok (Syscall.Int n) ->
+               let payload = Iochannel.collect t.channel ~off:coff ~len:n in
+               (match
+                  delegate t
+                    (match at with
+                     | None -> Syscall.Write { fd = sfd; data = payload }
+                     | Some off -> Syscall.Pwrite { fd = sfd; off; data = payload })
+                with
+                | Ok v -> Ok v
+                | Error e -> Error e)
+             | other -> other);
+         Trace.Rewrite
+           (Syscall.Pwrite { fd = Iochannel.channel_fd; off = coff; data })
+       end
+     | Remote_write { buf; _ } ->
+       (match at with
+        | Some _ -> deny Errno.ESPIPE
+        | None ->
+          Kernel.note_channel_copy t.bx_kernel ~bytes:len;
+          Buffer.add_string buf data;
+          vfile.vpos <- vfile.vpos + len;
+          emulate t pid (Ok (Syscall.Int len)))
+     | Remote_read _ -> deny Errno.EBADF)
+
+let handle_lseek t pid vp vfd ~off ~whence =
+  match Hashtbl.find_opt vp.vfds vfd with
+  | None -> pass_or_badf vp vfd
+  | Some vfile ->
+    (match vfile.backing with
+     | Local sfd ->
+       (match delegate t (Syscall.Lseek { fd = sfd; off; whence }) with
+        | Ok v -> emulate t pid (Ok v)
+        | Error e -> deny e)
+     | Remote_read { data; _ } ->
+       let basepos =
+         match whence with
+         | Syscall.Seek_set -> 0
+         | Syscall.Seek_cur -> vfile.vpos
+         | Syscall.Seek_end -> String.length data
+       in
+       let npos = basepos + off in
+       if npos < 0 then deny Errno.EINVAL
+       else begin
+         vfile.vpos <- npos;
+         emulate t pid (Ok (Syscall.Int npos))
+       end
+     | Remote_write _ -> deny Errno.ESPIPE)
+
+let handle_fstat t pid vp vfd =
+  match Hashtbl.find_opt vp.vfds vfd with
+  | None -> pass_or_badf vp vfd
+  | Some vfile ->
+    (match vfile.backing with
+     | Local sfd ->
+       (match delegate t (Syscall.Fstat sfd) with
+        | Ok v -> emulate t pid (Ok v)
+        | Error e -> deny e)
+     | Remote_read { rpath; driver; _ } | Remote_write { rpath; driver; _ } ->
+       (match driver.Remote.r_stat rpath with
+        | Ok st -> emulate t pid (Ok (Syscall.Stat_v st))
+        | Error e -> deny e))
+
+(* ------------------------------------------------------------------ *)
+(* Directory and metadata operations.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let handle_stat t pid vp path ~follow =
+  let abs = canon t vp path in
+  match mount_of t abs with
+  | Some (driver, rpath) ->
+    (match driver.Remote.r_stat rpath with
+     | Ok st -> emulate t pid (Ok (Syscall.Stat_v st))
+     | Error e -> deny e)
+  | None ->
+    let do_stat () =
+      let req = if follow then Syscall.Stat abs else Syscall.Lstat abs in
+      match delegate t req with
+      | Ok v -> emulate t pid (Ok v)
+      | Error e -> deny e
+    in
+    if String.equal abs t.bx_passwd then do_stat ()
+    else check t Right.List ~object_path:abs do_stat
+
+let handle_mkdir t pid vp path mode =
+  let abs = canon t vp path in
+  if is_acl_file abs then deny Errno.EACCES
+  else
+    match mount_of t abs with
+    | Some (driver, rpath) ->
+      (match driver.Remote.r_mkdir rpath with
+       | Ok () -> emulate t pid (Ok Syscall.Unit)
+       | Error e -> deny e)
+    | None ->
+      let dir = Path.dirname abs in
+      let proceed acl_for_new =
+        match delegate t (Syscall.Mkdir { path = abs; mode }) with
+        | Error e -> deny e
+        | Ok _ ->
+          (match acl_for_new with
+           | None -> emulate t pid (Ok Syscall.Unit)
+           | Some acl ->
+             (match Enforce.write_acl t.enforce ~dir:abs acl with
+              | Ok () -> emulate t pid (Ok Syscall.Unit)
+              | Error e -> deny e))
+      in
+      (match Enforce.plan_mkdir t.enforce ~identity:t.bx_identity ~parent:dir with
+       | Error e -> deny e
+       | Ok (Enforce.Fresh_acl acl) -> proceed (Some acl)
+       | Ok (Enforce.Inherit_acl inherited) -> proceed inherited)
+
+let handle_rmdir t pid vp path =
+  let abs = canon t vp path in
+  match mount_of t abs with
+  | Some (driver, rpath) ->
+    (match driver.Remote.r_rmdir rpath with
+     | Ok () -> emulate t pid (Ok Syscall.Unit)
+     | Error e -> deny e)
+  | None ->
+    (* Deletion is governed by the parent, but the owner of a reserved
+       namespace holds delete inside it and may retire it too. *)
+    let check_either k =
+      match check_delete t ~dir:(Path.dirname abs) (fun () -> Trace.Pass) with
+      | Trace.Pass -> k ()
+      | Trace.Deny _ | Trace.Rewrite _ -> check_delete t ~dir:abs k
+    in
+    check_either (fun () ->
+        match delegate t (Syscall.Readdir abs) with
+        | Error e -> deny e
+        | Ok (Syscall.Names names) ->
+          let real =
+            List.filter (fun n -> not (String.equal n Enforce.acl_filename)) names
+          in
+          if real <> [] then deny Errno.ENOTEMPTY
+          else begin
+            ignore
+              (delegate t (Syscall.Unlink (Path.join abs Enforce.acl_filename)));
+            Enforce.invalidate t.enforce ~dir:abs;
+            match delegate t (Syscall.Rmdir abs) with
+            | Ok _ -> emulate t pid (Ok Syscall.Unit)
+            | Error e -> deny e
+          end
+        | Ok _ -> deny Errno.EINVAL)
+
+let handle_unlink t pid vp path =
+  let abs = canon t vp path in
+  if is_acl_file abs then deny Errno.EACCES
+  else
+    match mount_of t abs with
+    | Some (driver, rpath) ->
+      (match driver.Remote.r_unlink rpath with
+       | Ok () -> emulate t pid (Ok Syscall.Unit)
+       | Error e -> deny e)
+    | None ->
+      let dir = Enforce.governing_dir t.enforce abs in
+      check_delete t ~dir (fun () ->
+          match delegate t (Syscall.Unlink abs) with
+          | Ok _ -> emulate t pid (Ok Syscall.Unit)
+          | Error e -> deny e)
+
+let handle_readdir t pid vp path =
+  let abs = canon t vp path in
+  match mount_of t abs with
+  | Some (driver, rpath) ->
+    (match driver.Remote.r_readdir rpath with
+     | Ok names -> emulate t pid (Ok (Syscall.Names names))
+     | Error e -> deny e)
+  | None ->
+    check_dir t Right.List ~dir:abs (fun () ->
+        match delegate t (Syscall.Readdir abs) with
+        | Ok (Syscall.Names names) ->
+          let visible =
+            List.filter (fun n -> not (String.equal n Enforce.acl_filename)) names
+          in
+          emulate t pid (Ok (Syscall.Names visible))
+        | Ok _ -> deny Errno.EINVAL
+        | Error e -> deny e)
+
+let handle_link t pid vp ~target ~path =
+  let atarget = canon t vp target and apath = canon t vp path in
+  if is_acl_file apath || is_acl_file atarget then deny Errno.EACCES
+  else if mount_of t atarget <> None || mount_of t apath <> None then
+    deny Errno.EXDEV
+  else
+    (* Hard links cannot be traced back to their target directory's ACL
+       once created, so the box refuses links to objects the visitor
+       cannot already read (Garfinkel pitfall #2). *)
+    check t Right.Read ~object_path:atarget (fun () ->
+        check_dir t Right.Write ~dir:(Path.dirname apath) (fun () ->
+            match delegate t (Syscall.Link { target = atarget; path = apath }) with
+            | Ok _ -> emulate t pid (Ok Syscall.Unit)
+            | Error e -> deny e))
+
+let handle_symlink t pid vp ~target ~path =
+  let apath = canon t vp path in
+  if is_acl_file apath then deny Errno.EACCES
+  else if mount_of t apath <> None then deny Errno.EXDEV
+  else
+    check_dir t Right.Write ~dir:(Path.dirname apath) (fun () ->
+        match delegate t (Syscall.Symlink { target; path = apath }) with
+        | Ok _ -> emulate t pid (Ok Syscall.Unit)
+        | Error e -> deny e)
+
+let handle_readlink t pid vp path =
+  let abs = canon t vp path in
+  if mount_of t abs <> None then deny Errno.EINVAL
+  else
+    check_dir t Right.List ~dir:(Path.dirname abs) (fun () ->
+        match delegate t (Syscall.Readlink abs) with
+        | Ok v -> emulate t pid (Ok v)
+        | Error e -> deny e)
+
+let handle_rename t pid vp ~src ~dst =
+  let asrc = canon t vp src and adst = canon t vp dst in
+  if is_acl_file asrc || is_acl_file adst then deny Errno.EACCES
+  else
+    match (mount_of t asrc, mount_of t adst) with
+    | Some (d1, r1), Some (d2, r2) when d1 == d2 ->
+      (match d1.Remote.r_rename r1 r2 with
+       | Ok () -> emulate t pid (Ok Syscall.Unit)
+       | Error e -> deny e)
+    | Some _, _ | _, Some _ -> deny Errno.EXDEV
+    | None, None ->
+      check_delete t ~dir:(Path.dirname asrc) (fun () ->
+          check_dir t Right.Write ~dir:(Path.dirname adst) (fun () ->
+              match delegate t (Syscall.Rename { src = asrc; dst = adst }) with
+              | Ok _ -> emulate t pid (Ok Syscall.Unit)
+              | Error e -> deny e))
+
+let handle_chdir t pid vp path =
+  let abs = canon t vp path in
+  let enter () =
+    vp.vcwd <- Path.normalize abs;
+    emulate t pid (Ok Syscall.Unit)
+  in
+  match mount_of t abs with
+  | Some (driver, rpath) ->
+    (match driver.Remote.r_stat rpath with
+     | Ok st when st.Fs.st_kind = Inode.Directory -> enter ()
+     | Ok _ -> deny Errno.ENOTDIR
+     | Error e -> deny e)
+  | None ->
+    check_dir t Right.List ~dir:abs (fun () ->
+        match delegate t (Syscall.Stat abs) with
+        | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory -> enter ()
+        | Ok (Syscall.Stat_v _) -> deny Errno.ENOTDIR
+        | Ok _ -> deny Errno.EINVAL
+        | Error e -> deny e)
+
+let handle_getacl t pid vp path =
+  let abs = canon t vp path in
+  match mount_of t abs with
+  | Some (driver, rpath) ->
+    (match driver.Remote.r_getacl rpath with
+     | Ok text -> emulate t pid (Ok (Syscall.Str text))
+     | Error e -> deny e)
+  | None ->
+    let dir =
+      match delegate t (Syscall.Stat abs) with
+      | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory -> abs
+      | Ok _ | Error _ -> Enforce.governing_dir t.enforce abs
+    in
+    check_dir t Right.List ~dir (fun () ->
+        let text =
+          match Enforce.dir_acl t.enforce dir with
+          | Some acl -> Acl.to_string acl
+          | None -> ""
+        in
+        emulate t pid (Ok (Syscall.Str text)))
+
+let handle_setacl t pid vp ~path ~entry =
+  let abs = canon t vp path in
+  match mount_of t abs with
+  | Some (driver, rpath) ->
+    (match driver.Remote.r_setacl rpath entry with
+     | Ok () -> emulate t pid (Ok Syscall.Unit)
+     | Error e -> deny e)
+  | None ->
+    (match Entry.of_line entry with
+     | Error _ -> deny Errno.EINVAL
+     | Ok parsed ->
+       check_dir t Right.Admin ~dir:abs (fun () ->
+           let current =
+             match Enforce.dir_acl t.enforce abs with
+             | Some acl -> acl
+             | None -> Acl.empty
+           in
+           let updated = Acl.set_entry current parsed in
+           match Enforce.write_acl t.enforce ~dir:abs updated with
+           | Ok () -> emulate t pid (Ok Syscall.Unit)
+           | Error e -> deny e))
+
+let handle_spawn t vp ~path ~args =
+  let abs = canon t vp path in
+  if mount_of t abs <> None then
+    (* Remote programs are staged in before execution (Fig. 3). *)
+    deny Errno.EXDEV
+  else
+    check t Right.Execute ~object_path:abs (fun () ->
+        (* The kernel spawns as the supervising account and inherits the
+           tracer; the child's box-side state appears at the Spawned
+           event. *)
+        Trace.Rewrite (Syscall.Spawn { path = abs; args }))
+
+let handle_kill t ~pid:_ ~target =
+  (* A boxed process may signal only processes with the same identity:
+     exactly the members of its own box. *)
+  if member t target then Trace.Pass else deny Errno.EPERM
+
+(* ------------------------------------------------------------------ *)
+(* The dispatch.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The object path(s) a request names, for the audit trail. *)
+let audit_paths t vp req =
+  let c path = canon t vp path in
+  match req with
+  | Syscall.Chdir p | Syscall.Stat p | Syscall.Lstat p | Syscall.Rmdir p
+  | Syscall.Unlink p | Syscall.Readlink p | Syscall.Readdir p
+  | Syscall.Getacl p ->
+    (c p, None)
+  | Syscall.Open { path; _ } | Syscall.Mkdir { path; _ }
+  | Syscall.Chmod { path; _ } | Syscall.Chown { path; _ }
+  | Syscall.Truncate { path; _ } | Syscall.Setacl { path; _ }
+  | Syscall.Spawn { path; _ } ->
+    (c path, None)
+  | Syscall.Link { target; path } -> (c path, Some (c target))
+  | Syscall.Symlink { target; path } -> (c path, Some target)
+  | Syscall.Rename { src; dst } -> (c src, Some (c dst))
+  | Syscall.Kill { pid = target; _ } -> (Printf.sprintf "pid:%d" target, None)
+  | Syscall.Getpid | Syscall.Getppid | Syscall.Getuid | Syscall.Get_user_name
+  | Syscall.Getcwd | Syscall.Close _ | Syscall.Read _ | Syscall.Write _
+  | Syscall.Pread _ | Syscall.Pwrite _ | Syscall.Lseek _ | Syscall.Fstat _
+  | Syscall.Pipe | Syscall.Waitpid _ | Syscall.Exit _ | Syscall.Getenv _
+  | Syscall.Setenv _ | Syscall.Compute _ ->
+    ("", None)
+
+let audit_record t ~pid vp req action =
+  (match action with
+   | Trace.Deny e ->
+     Log.debug (fun m ->
+         m "deny pid=%d identity=%s %s -> %s" pid (identity_string t)
+           (Syscall.name req) (Errno.to_string e))
+   | Trace.Pass | Trace.Rewrite _ -> ());
+  match t.bx_audit with
+  | None -> ()
+  | Some trail ->
+    let path, path2 = audit_paths t vp req in
+    (* Record only object-naming operations: fd-level traffic was judged
+       at open time and would drown the trail. *)
+    if path <> "" then
+      let verdict =
+        match action with
+        | Trace.Deny e -> Audit.Denied e
+        | Trace.Pass | Trace.Rewrite _ -> Audit.Allowed
+      in
+      Audit.record trail
+        ~time:(Kernel.now t.bx_kernel)
+        ~pid ~identity:(identity_string t)
+        ~op:(Syscall.name req) ~path ?path2 verdict
+
+let rec on_entry t ~pid req =
+  let vp = vproc_of t pid in
+  let action = dispatch t ~pid vp req in
+  audit_record t ~pid vp req action;
+  action
+
+and dispatch t ~pid vp req =
+  match req with
+  | Syscall.Getpid | Syscall.Getppid | Syscall.Getuid | Syscall.Waitpid _
+  | Syscall.Exit _ | Syscall.Getenv _ | Syscall.Setenv _ ->
+    Trace.Pass
+  | Syscall.Pipe ->
+    (* The kernel creates the pipe in the tracee's own table; the box
+       records the returned descriptors so later fd traffic on them is
+       recognized and passed through. *)
+    Hashtbl.replace t.pending pid (fun result ->
+        (match result with
+         | Ok (Syscall.Fd_pair { rd; wr }) ->
+           Hashtbl.replace vp.passthrough rd ();
+           Hashtbl.replace vp.passthrough wr ()
+         | Ok _ | Error _ -> ());
+        result);
+    Trace.Pass
+  | Syscall.Compute _ -> Trace.Pass
+  | Syscall.Get_user_name -> emulate t pid (Ok (Syscall.Str (identity_string t)))
+  | Syscall.Getcwd -> emulate t pid (Ok (Syscall.Str vp.vcwd))
+  | Syscall.Chdir path -> handle_chdir t pid vp path
+  | Syscall.Open { path; flags; mode } -> handle_open t pid vp path flags mode
+  | Syscall.Close fd -> handle_close t pid vp fd
+  | Syscall.Read { fd; len } -> handle_read t pid vp fd ~len ~at:None
+  | Syscall.Pread { fd; off; len } -> handle_read t pid vp fd ~len ~at:(Some off)
+  | Syscall.Write { fd; data } -> handle_write t pid vp fd ~data ~at:None
+  | Syscall.Pwrite { fd; off; data } -> handle_write t pid vp fd ~data ~at:(Some off)
+  | Syscall.Lseek { fd; off; whence } -> handle_lseek t pid vp fd ~off ~whence
+  | Syscall.Stat path -> handle_stat t pid vp path ~follow:true
+  | Syscall.Lstat path -> handle_stat t pid vp path ~follow:false
+  | Syscall.Fstat fd -> handle_fstat t pid vp fd
+  | Syscall.Mkdir { path; mode } -> handle_mkdir t pid vp path mode
+  | Syscall.Rmdir path -> handle_rmdir t pid vp path
+  | Syscall.Unlink path -> handle_unlink t pid vp path
+  | Syscall.Link { target; path } -> handle_link t pid vp ~target ~path
+  | Syscall.Symlink { target; path } -> handle_symlink t pid vp ~target ~path
+  | Syscall.Readlink path -> handle_readlink t pid vp path
+  | Syscall.Rename { src; dst } -> handle_rename t pid vp ~src ~dst
+  | Syscall.Readdir path -> handle_readdir t pid vp path
+  | Syscall.Chmod { path; _ } ->
+    (* Unix mode bits are supervisor-side details; requiring write keeps
+       visitors from locking the supervisor out of its own files. *)
+    let abs = canon t vp path in
+    check t Right.Write ~object_path:abs (fun () ->
+        match delegate t req with
+        | Ok _ -> emulate t pid (Ok Syscall.Unit)
+        | Error e -> deny e)
+  | Syscall.Chown _ -> deny Errno.EPERM
+  | Syscall.Truncate { path; len } ->
+    let abs = canon t vp path in
+    check t Right.Write ~object_path:abs (fun () ->
+        match delegate t (Syscall.Truncate { path = abs; len }) with
+        | Ok _ -> emulate t pid (Ok Syscall.Unit)
+        | Error e -> deny e)
+  | Syscall.Spawn { path; args } -> handle_spawn t vp ~path ~args
+  | Syscall.Kill { pid = target; _ } -> handle_kill t ~pid ~target
+  | Syscall.Getacl path -> handle_getacl t pid vp path
+  | Syscall.Setacl { path; entry } -> handle_setacl t pid vp ~path ~entry
+
+let on_exit t ~pid _req result =
+  match Hashtbl.find_opt t.pending pid with
+  | Some f ->
+    Hashtbl.remove t.pending pid;
+    Trace.Replace (f result)
+  | None -> Trace.Keep
+
+let flush_vproc t vp =
+  Hashtbl.iter
+    (fun _ vfile ->
+      match vfile.backing with
+      | Local sfd -> ignore (delegate t (Syscall.Close sfd))
+      | Remote_write { rpath; driver; buf } ->
+        ignore (driver.Remote.r_write rpath (Buffer.contents buf))
+      | Remote_read _ -> ())
+    vp.vfds;
+  Hashtbl.reset vp.vfds
+
+let on_event t event =
+  match event with
+  | Trace.Spawned { pid; parent } ->
+    let vcwd, inherited =
+      match Hashtbl.find_opt t.vprocs parent with
+      | Some pvp -> (pvp.vcwd, Hashtbl.copy pvp.passthrough)
+      | None -> (t.bx_home, Hashtbl.create 4)
+    in
+    let vp =
+      { vpid = pid; vcwd; vfds = Hashtbl.create 8; next_vfd = 1000;
+        passthrough = inherited }
+    in
+    Hashtbl.replace t.vprocs pid vp;
+    (match Kernel.process_view t.bx_kernel pid with
+     | Some view -> Iochannel.attach t.channel view
+     | None -> ())
+  | Trace.Exited { pid; _ } ->
+    (match Hashtbl.find_opt t.vprocs pid with
+     | Some vp ->
+       flush_vproc t vp;
+       Hashtbl.remove t.vprocs pid
+     | None -> ());
+    Hashtbl.remove t.pending pid
+
+(* ------------------------------------------------------------------ *)
+(* Construction.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let box_counter = ref 0
+
+let create kernel_ ~supervisor_uid ~identity ?(mounts = []) ?(small_io_threshold = 512)
+    ?(audit = false) () =
+  incr box_counter;
+  let sup = Kernel.make_view kernel_ ~uid:supervisor_uid () in
+  let bx_base = Printf.sprintf "/tmp/box_%d" !box_counter in
+  let bx_home = bx_base ^ "/home" in
+  let bx_passwd = bx_base ^ "/passwd" in
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let unit_of req =
+    match Kernel.delegate kernel_ sup req with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+  in
+  let* () = unit_of (Syscall.Mkdir { path = bx_base; mode = 0o700 }) in
+  let* () = unit_of (Syscall.Mkdir { path = bx_home; mode = 0o700 }) in
+  (* The private /etc/passwd copy: the visiting identity first, mapped
+     to the supervising account's uid, then the system's entries. *)
+  let system_passwd =
+    match Idbox_vfs.Fs.read_file (Kernel.fs kernel_) ~uid:supervisor_uid "/etc/passwd" with
+    | Ok text -> text
+    | Error _ -> ""
+  in
+  (* The passwd format cannot carry colons in the account field, and
+     qualified principals ("globus:/O=.../CN=...") contain one — so the
+     entry uses the name portion (the subject DN, the user@realm, the
+     hostname), which is colon-free for every standard scheme.  whoami
+     then shows the visitor's global name, as in Fig. 2. *)
+  let visitor_entry =
+    Printf.sprintf "%s:x:%d:%d:identity box visitor:%s:/bin/sh\n"
+      identity.Principal.name supervisor_uid supervisor_uid bx_home
+  in
+  let* () =
+    match
+      Idbox_vfs.Fs.write_file (Kernel.fs kernel_) ~uid:supervisor_uid ~mode:0o600
+        bx_passwd (visitor_entry ^ system_passwd)
+    with
+    | Ok () -> Ok ()
+    | Error e -> Error e
+  in
+  let* channel = Iochannel.create kernel_ ~supervisor:sup () in
+  let enforce = Enforce.create kernel_ ~supervisor:sup () in
+  let t =
+    {
+      bx_kernel = kernel_;
+      sup;
+      bx_identity = identity;
+      enforce;
+      channel;
+      vprocs = Hashtbl.create 8;
+      pending = Hashtbl.create 8;
+      mounts;
+      bx_base;
+      bx_home;
+      bx_passwd;
+      small_io = small_io_threshold;
+      bx_audit = (if audit then Some (Audit.create ()) else None);
+      bx_handler = None;
+    }
+  in
+  let* () = Enforce.write_acl enforce ~dir:bx_home (Acl.for_owner identity) in
+  let handler =
+    Tracer.make kernel_
+      ~on_entry:(fun ~pid req -> on_entry t ~pid req)
+      ~on_exit:(fun ~pid req result -> on_exit t ~pid req result)
+      ~on_event:(fun ev -> on_event t ev)
+      ()
+  in
+  t.bx_handler <- Some handler;
+  Ok t
+
+let box_env t =
+  [
+    ("HOME", t.bx_home);
+    ("USER", identity_string t);
+    ("PATH", "/bin");
+  ]
+
+let spawn t ?(check_exec = true) ~path ~args () =
+  let abs = Path.normalize path in
+  let proceed () =
+    Kernel.spawn t.bx_kernel ~uid:t.sup.View.uid ~cwd:"/" ~env:(box_env t)
+      ~tracer:(handler t) ~path:abs ~args ()
+  in
+  if check_exec then
+    match Enforce.check_object t.enforce ~identity:t.bx_identity ~path:abs
+            Right.Execute
+    with
+    | Ok () -> proceed ()
+    | Error e -> Error e
+  else proceed ()
+
+let spawn_main t ~main ~args =
+  Kernel.spawn_main t.bx_kernel ~uid:t.sup.View.uid ~cwd:"/" ~env:(box_env t)
+    ~tracer:(handler t) ~main ~args ()
+
+let audit_trail t = t.bx_audit
+
+let set_cwd t ~pid cwd =
+  match Hashtbl.find_opt t.vprocs pid with
+  | Some vp -> vp.vcwd <- Path.normalize cwd
+  | None -> ()
+
+let set_acl t ~dir acl = Enforce.write_acl t.enforce ~dir acl
+
+let grant t ~dir ~pattern rights =
+  let current =
+    match Enforce.dir_acl t.enforce dir with Some acl -> acl | None -> Acl.empty
+  in
+  set_acl t ~dir (Acl.grant current ~pattern rights)

@@ -1,0 +1,225 @@
+module Kernel = Idbox_kernel.Kernel
+module View = Idbox_kernel.View
+module Syscall = Idbox_kernel.Syscall
+module Cost = Idbox_kernel.Cost
+module Acl = Idbox_acl.Acl
+module Right = Idbox_acl.Right
+module Rights = Idbox_acl.Rights
+module Principal = Idbox_identity.Principal
+module Path = Idbox_vfs.Path
+module Errno = Idbox_vfs.Errno
+module Fs = Idbox_vfs.Fs
+module Perm = Idbox_vfs.Perm
+module Account = Idbox_kernel.Account
+
+(* Cache entries are validated against the ACL file's (ino, mtime): a
+   cheap attribute check keeps every box's cache coherent when another
+   supervisor (or the Chirp server) rewrites an ACL. *)
+type cached = {
+  token : (int * int64) option;  (** [None]: no ACL file existed. *)
+  acl : Acl.t option;
+}
+
+type t = {
+  kernel : Kernel.t;
+  sup : View.t;
+  cache : (string, cached) Hashtbl.t;
+  in_kernel : bool;
+}
+
+let acl_filename = Acl.filename
+
+let create ?(in_kernel = false) kernel ~supervisor () =
+  { kernel; sup = supervisor; cache = Hashtbl.create 64; in_kernel }
+
+(* A user-level supervisor pays two context switches to make its own
+   system calls; an in-kernel implementation (the Fig. 6 ablation) pays
+   only the direct cost. *)
+let delegate t req =
+  if t.in_kernel then Kernel.execute t.kernel t.sup req
+  else Kernel.delegate t.kernel t.sup req
+
+(* Resolve every ancestor symlink of [path], leaving the final component
+   alone.  This is the supervisor's name-cache walk: lookups go straight
+   at the (supervisor-mirrored) filesystem structure and are charged one
+   path-component cost each, like dcache hits; only a bounded number of
+   readlink expansions can occur.  ".." is collapsed against the already
+   canonical prefix, which is its true parent. *)
+let canonical_parents t path =
+  let fs = Kernel.fs t.kernel in
+  let component_cost = (Kernel.cost t.kernel).Idbox_kernel.Cost.name_cache_ns in
+  let join_canonical resolved comp =
+    if String.equal resolved "/" then "/" ^ comp else resolved ^ "/" ^ comp
+  in
+  let rec go resolved comps expansions =
+    match comps with
+    | [] -> resolved
+    | [ final ] -> join_canonical resolved final
+    | comp :: rest ->
+      Kernel.charge t.kernel component_cost;
+      if String.equal comp ".." then go (Path.dirname resolved) rest expansions
+      else
+        let candidate = join_canonical resolved comp in
+        (match Fs.lstat fs ~uid:0 candidate with
+         | Ok st
+           when st.Fs.st_kind = Idbox_vfs.Inode.Symlink && expansions < 32 ->
+           (match Fs.readlink fs ~uid:0 candidate with
+            | Ok target ->
+              if Path.is_absolute target then
+                go "/" (Path.components target @ rest) (expansions + 1)
+              else go resolved (Path.components target @ rest) (expansions + 1)
+            | Error _ -> go candidate rest expansions)
+         | Ok _ | Error _ -> go candidate rest expansions)
+  in
+  let p = Path.normalize path in
+  if String.equal p "/" then "/" else go "/" (Path.components p) 0
+
+(* Follow the symlink chain of [path] itself (ancestors are made
+   canonical first).  Also returns the final object's stat so callers
+   need not repeat the lstat. *)
+let resolve_final_ex t path =
+  let rec go path depth =
+    match delegate t (Syscall.Lstat path) with
+    | Ok (Syscall.Stat_v st)
+      when st.Fs.st_kind = Idbox_vfs.Inode.Symlink && depth <= 10 ->
+      (match delegate t (Syscall.Readlink path) with
+       | Ok (Syscall.Str target) ->
+         (* The expanded target may itself live behind symlinked
+            ancestors: canonicalize before the next hop. *)
+         go (canonical_parents t (Path.join (Path.dirname path) target)) (depth + 1)
+       | Ok _ | Error _ -> (path, Some st))
+    | Ok (Syscall.Stat_v st) -> (path, Some st)
+    | Ok _ | Error _ -> (path, None)
+  in
+  go (canonical_parents t path) 0
+
+let resolve_final t path = fst (resolve_final_ex t path)
+
+let governing_dir t path = Path.dirname (resolve_final t path)
+
+let read_acl_file t dir =
+  let acl_path = Path.join dir acl_filename in
+  match delegate t (Syscall.Open { path = acl_path; flags = Fs.rdonly; mode = 0 }) with
+  | Error _ -> None
+  | Ok (Syscall.Int fd) ->
+    let rec slurp acc =
+      match delegate t (Syscall.Read { fd; len = 4096 }) with
+      | Ok (Syscall.Data "") -> acc
+      | Ok (Syscall.Data chunk) -> slurp (acc ^ chunk)
+      | Ok _ | Error _ -> acc
+    in
+    let text = slurp "" in
+    ignore (delegate t (Syscall.Close fd));
+    (match Acl.of_string text with
+     | Ok acl -> Some acl
+     | Error _ ->
+       (* A corrupt ACL file grants nothing: fail closed. *)
+       Some Acl.empty)
+  | Ok _ -> None
+
+let acl_token t dir =
+  let acl_path = Path.join dir acl_filename in
+  match delegate t (Syscall.Lstat acl_path) with
+  | Ok (Syscall.Stat_v st) -> Some (st.Fs.st_ino, st.Fs.st_mtime)
+  | Ok _ | Error _ -> None
+
+let dir_acl t dir =
+  let dir = Path.normalize dir in
+  let token = acl_token t dir in
+  match Hashtbl.find_opt t.cache dir with
+  | Some cached when cached.token = token -> cached.acl
+  | Some _ | None ->
+    let acl = if token = None then None else read_acl_file t dir in
+    Hashtbl.replace t.cache dir { token; acl };
+    acl
+
+let charge_acl_eval t acl =
+  let cost = Kernel.cost t.kernel in
+  let entries = List.length (Acl.entries acl) in
+  Kernel.charge t.kernel
+    (Int64.add cost.Cost.acl_check_base
+       (Int64.mul (Int64.of_int entries) cost.Cost.acl_check_entry))
+
+(* Unix-permission fallback: the visitor is evaluated as [nobody]
+   against the object's stat. *)
+let nobody_allows_stat (st : Fs.stat) right =
+  let check access =
+    Perm.check ~uid:Account.nobody_uid ~owner:st.Fs.st_uid ~mode:st.Fs.st_mode
+      access
+  in
+  match right with
+  | Right.Read | Right.List -> check Perm.R
+  | Right.Write | Right.Delete -> check Perm.W
+  | Right.Execute -> check Perm.X
+  | Right.Admin -> false
+
+let stat_of t path =
+  match delegate t (Syscall.Lstat path) with
+  | Ok (Syscall.Stat_v st) -> Some st
+  | Ok _ | Error _ -> None
+
+let check_with_fallback t ~identity ~dir ~object_stat right =
+  match dir_acl t dir with
+  | Some acl ->
+    charge_acl_eval t acl;
+    if Acl.check acl identity right then Ok () else Error Errno.EACCES
+  | None ->
+    (match object_stat () with
+     | Some st when nobody_allows_stat st right -> Ok ()
+     | Some _ | None -> Error Errno.EACCES)
+
+let check_in_dir t ~identity ~dir right =
+  let dir = Path.normalize dir in
+  check_with_fallback t ~identity ~dir ~object_stat:(fun () -> stat_of t dir) right
+
+let check_object t ~identity ~path right =
+  let final, st = resolve_final_ex t path in
+  let dir = Path.dirname final in
+  let object_stat () =
+    (* Fall back against the object itself when it exists, else against
+       the directory that would contain it. *)
+    match st with Some _ -> st | None -> stat_of t dir
+  in
+  check_with_fallback t ~identity ~dir ~object_stat right
+
+let reserve_in_dir t ~identity ~dir =
+  match dir_acl t (Path.normalize dir) with
+  | None -> None
+  | Some acl ->
+    charge_acl_eval t acl;
+    Acl.reserve_for acl identity
+
+type mkdir_plan =
+  | Fresh_acl of Acl.t
+  | Inherit_acl of Acl.t option
+
+let plan_mkdir t ~identity ~parent =
+  match reserve_in_dir t ~identity ~dir:parent with
+  | Some grant ->
+    let entry =
+      Idbox_acl.Entry.make ~pattern:(Principal.to_string identity) grant
+    in
+    Ok (Fresh_acl (Acl.of_entries [ entry ]))
+  | None ->
+    (match check_in_dir t ~identity ~dir:parent Right.Write with
+     | Ok () -> Ok (Inherit_acl (dir_acl t (Path.normalize parent)))
+     | Error e -> Error e)
+
+let invalidate t ~dir = Hashtbl.remove t.cache (Path.normalize dir)
+
+let write_acl t ~dir acl =
+  let dir = Path.normalize dir in
+  let acl_path = Path.join dir acl_filename in
+  let text = Acl.to_string acl in
+  let flags = Fs.wronly_create in
+  match delegate t (Syscall.Open { path = acl_path; flags; mode = 0o600 }) with
+  | Error e -> Error e
+  | Ok (Syscall.Int fd) ->
+    let write_res = delegate t (Syscall.Write { fd; data = text }) in
+    ignore (delegate t (Syscall.Close fd));
+    (match write_res with
+     | Ok _ ->
+       Hashtbl.replace t.cache dir { token = acl_token t dir; acl = Some acl };
+       Ok ()
+     | Error e -> Error e)
+  | Ok _ -> Error Errno.EINVAL

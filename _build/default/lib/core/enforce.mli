@@ -1,0 +1,110 @@
+(** The identity box's access-control engine.
+
+    Every check answers one question: does {e identity} hold {e right}
+    in the directory that governs {e path}?  The governing directory is
+    found the way §6 of the paper demands (Garfinkel pitfall #2,
+    "overlooking indirect paths"): if the object is a symbolic link, the
+    link is followed and the {e target}'s directory is examined instead,
+    so a link planted in a permissive directory cannot launder access to
+    a protected one.
+
+    ACLs are stored as [.__acl] files inside each directory and read
+    through {e delegated} system calls (the supervisor's own I/O, charged
+    to the clock); parsed ACLs are cached per directory and invalidated
+    on every ACL write.  A directory with no ACL falls back to Unix
+    permissions evaluated as the user [nobody] — the rule that protects
+    the supervising user's pre-existing files from visitors. *)
+
+type t
+
+val create :
+  ?in_kernel:bool ->
+  Idbox_kernel.Kernel.t ->
+  supervisor:Idbox_kernel.View.t ->
+  unit ->
+  t
+(** With [~in_kernel:true] (the Fig. 6 ablation) the engine's own I/O is
+    charged at direct kernel cost — no supervisor context switches. *)
+
+val canonical_parents : t -> string -> string
+(** Resolve every {e ancestor} symlink of [path] (the final component is
+    left alone): the path the object's directory really is.  Without
+    this, a visitor could plant [~/sub -> /home/victim] and smuggle
+    operations through [~/sub/...] — the checker would consult the ACL
+    of the lexical parent while the kernel acted on the target (the
+    ancestor flavour of Garfinkel pitfall #2).  Every trapped path is
+    canonicalized through here before checking {e and} acting, so both
+    always name the same object.
+
+    Cost: one name-cache component charge per step — the supervisor,
+    like a kernel, keeps the directory structure of paths it has
+    resolved in memory (Parrot "may be thought of as an augmented
+    operating system", §3). *)
+
+val resolve_final : t -> string -> string
+(** Follow the symlink chain of [path] itself (bounded depth) to the
+    path the object really lives at; identity on non-links and dangling
+    tails.  Ancestors are assumed canonical (see {!canonical_parents}). *)
+
+val governing_dir : t -> string -> string
+(** The directory whose ACL governs the object at [path]:
+    [dirname (resolve_final path)]. *)
+
+val dir_acl : t -> string -> Idbox_acl.Acl.t option
+(** The (cached) ACL of a directory, [None] when the directory carries
+    no ACL file. *)
+
+val check_in_dir :
+  t ->
+  identity:Idbox_identity.Principal.t ->
+  dir:string ->
+  Idbox_acl.Right.t ->
+  (unit, Idbox_vfs.Errno.t) result
+(** Does [identity] hold the right in [dir]?  With an ACL: ACL decides.
+    Without: Unix permissions as [nobody] against [dir] itself
+    (read/list → r, write/delete → w, execute → x, admin → denied). *)
+
+val check_object :
+  t ->
+  identity:Idbox_identity.Principal.t ->
+  path:string ->
+  Idbox_acl.Right.t ->
+  (unit, Idbox_vfs.Errno.t) result
+(** Check against the governing directory of [path]; the [nobody]
+    fallback is evaluated against the object itself when it exists
+    (so an un-ACL'd but world-readable file stays readable, and the
+    supervisor's 0600 [secret] stays private, exactly as in Fig. 2). *)
+
+type mkdir_plan =
+  | Fresh_acl of Idbox_acl.Acl.t
+      (** Created under the reserve right: install this owner ACL. *)
+  | Inherit_acl of Idbox_acl.Acl.t option
+      (** Created under the write right: inherit the parent's ACL. *)
+
+val plan_mkdir :
+  t ->
+  identity:Idbox_identity.Principal.t ->
+  parent:string ->
+  (mkdir_plan, Idbox_vfs.Errno.t) result
+(** Authorize a [mkdir] in [parent] and say which ACL the new directory
+    gets: the reserve right (paper §4) takes precedence and mints a
+    fresh namespace owned by the caller; otherwise plain write access
+    inherits the parent ACL. *)
+
+val reserve_in_dir :
+  t ->
+  identity:Idbox_identity.Principal.t ->
+  dir:string ->
+  Idbox_acl.Rights.t option
+(** The reserve grant [v(...)] available to [identity] in [dir], if any. *)
+
+val write_acl :
+  t -> dir:string -> Idbox_acl.Acl.t -> (unit, Idbox_vfs.Errno.t) result
+(** Install a directory's ACL file (supervisor-side write) and refresh
+    the cache. *)
+
+val invalidate : t -> dir:string -> unit
+(** Drop the cache entry for one directory. *)
+
+val acl_filename : string
+(** Re-export of {!Idbox_acl.Acl.filename} for dispatch-layer filtering. *)

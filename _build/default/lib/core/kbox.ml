@@ -1,0 +1,226 @@
+module Kernel = Idbox_kernel.Kernel
+module View = Idbox_kernel.View
+module Syscall = Idbox_kernel.Syscall
+module Program = Idbox_kernel.Program
+module Right = Idbox_acl.Right
+module Principal = Idbox_identity.Principal
+module Path = Idbox_vfs.Path
+module Errno = Idbox_vfs.Errno
+module Hierarchy = Idbox_identity.Hierarchy
+
+type t = {
+  kb_kernel : Kernel.t;
+  kb_enforce : Enforce.t;
+  kb_sup : View.t;
+  identities : (int, Principal.t) Hashtbl.t;
+  ns : Hierarchy.t;
+  grid : Hierarchy.domain;  (* root:<operator>:grid *)
+  domains : (string, Hierarchy.domain) Hashtbl.t;
+      (* canonical principal -> its protection domain *)
+}
+
+(* Hierarchy node names cannot contain ':'; principals can. *)
+let node_name principal =
+  String.map (fun c -> if c = ':' then '.' else c) (Principal.to_string principal)
+
+let identity_of t pid =
+  let rec lookup pid =
+    match Hashtbl.find_opt t.identities pid with
+    | Some identity -> Some identity
+    | None ->
+      (match Kernel.parent_of t.kb_kernel pid with
+       | Some parent when parent <> pid && parent <> 0 -> lookup parent
+       | Some _ | None -> None)
+  in
+  lookup pid
+
+let enforcer t = t.kb_enforce
+
+let namespace t = t.ns
+
+let domain_of t principal =
+  Hashtbl.find_opt t.domains (Principal.to_string principal)
+
+(* The visitor's protection domain: minted on the fly, no account
+   database — Figure 6's claim, executed. *)
+let domain_for t principal =
+  let key = Principal.to_string principal in
+  match Hashtbl.find_opt t.domains key with
+  | Some d when Hierarchy.find t.ns (Hierarchy.full_name d) <> None -> d
+  | Some _ | None ->
+    let d =
+      match Hierarchy.create_child t.grid (node_name principal) with
+      | Ok d -> d
+      | Error _ ->
+        (match Hierarchy.find t.ns (Hierarchy.full_name t.grid ^ ":" ^ node_name principal) with
+         | Some d -> d
+         | None -> invalid_arg "Kbox.domain_for: cannot mint domain")
+    in
+    Hashtbl.replace t.domains key d;
+    d
+
+(* Map a request to the ACL question it poses, if any.  fd-level calls
+   were authorized at open time, exactly as in the userspace box. *)
+let verdict t ~identity (view : View.t) req =
+  let abs path =
+    Enforce.canonical_parents t.kb_enforce (Path.join view.View.cwd path)
+  in
+  let check_object path right =
+    Enforce.check_object t.kb_enforce ~identity ~path:(abs path) right
+  in
+  let check_dir dir right =
+    Enforce.check_in_dir t.kb_enforce ~identity ~dir:(abs dir) right
+  in
+  let check_delete path =
+    let dir = Enforce.governing_dir t.kb_enforce (abs path) in
+    match Enforce.check_in_dir t.kb_enforce ~identity ~dir Right.Delete with
+    | Ok () -> Ok ()
+    | Error _ -> Enforce.check_in_dir t.kb_enforce ~identity ~dir Right.Write
+  in
+  match req with
+  | Syscall.Open { path; flags; _ } ->
+    let r = if flags.Idbox_vfs.Fs.rd then check_object path Right.Read else Ok () in
+    (match r with
+     | Error _ as e -> e
+     | Ok () ->
+       if flags.Idbox_vfs.Fs.wr || flags.Idbox_vfs.Fs.creat then
+         check_object path Right.Write
+       else Ok ())
+  | Syscall.Stat path | Syscall.Lstat path | Syscall.Readlink path
+  | Syscall.Getacl path ->
+    check_object path Right.List
+  | Syscall.Readdir path | Syscall.Chdir path -> check_dir path Right.List
+  | Syscall.Mkdir { path; _ } -> check_dir (Path.dirname (abs path)) Right.Write
+  | Syscall.Unlink path | Syscall.Rmdir path -> check_delete path
+  | Syscall.Rename { src; dst } ->
+    (match check_delete src with
+     | Error _ as e -> e
+     | Ok () -> check_dir (Path.dirname (abs dst)) Right.Write)
+  | Syscall.Link { target; path } ->
+    (match check_object target Right.Read with
+     | Error _ as e -> e
+     | Ok () -> check_dir (Path.dirname (abs path)) Right.Write)
+  | Syscall.Symlink { path; _ } -> check_dir (Path.dirname (abs path)) Right.Write
+  | Syscall.Chmod { path; _ } | Syscall.Truncate { path; _ } ->
+    check_object path Right.Write
+  | Syscall.Chown _ -> Error Errno.EPERM
+  | Syscall.Setacl { path; _ } -> check_dir path Right.Admin
+  | Syscall.Spawn { path; _ } -> check_object path Right.Execute
+  | Syscall.Kill { pid = target; _ } ->
+    (match (identity_of t target : Principal.t option) with
+     | Some target_id when Principal.equal target_id identity -> Ok ()
+     | Some _ | None -> Error Errno.EPERM)
+  | Syscall.Getpid | Syscall.Getppid | Syscall.Getuid | Syscall.Get_user_name
+  | Syscall.Getcwd | Syscall.Close _ | Syscall.Read _ | Syscall.Write _
+  | Syscall.Pread _ | Syscall.Pwrite _ | Syscall.Lseek _ | Syscall.Fstat _
+  | Syscall.Pipe | Syscall.Waitpid _ | Syscall.Exit _ | Syscall.Getenv _
+  | Syscall.Setenv _ | Syscall.Compute _ ->
+    Ok ()
+
+let hook t ~pid view req =
+  match Hashtbl.find_opt t.identities pid, identity_of t pid with
+  | None, None -> Ok ()  (* not a boxed process *)
+  | _, Some identity ->
+    (* Children inherit the domain: memoize the inherited binding. *)
+    if not (Hashtbl.mem t.identities pid) then
+      Hashtbl.replace t.identities pid identity;
+    verdict t ~identity view req
+  | Some _, None -> assert false
+
+let install kernel ~supervisor_uid () =
+  let kb_sup = Kernel.make_view kernel ~uid:supervisor_uid () in
+  let ns = Hierarchy.create () in
+  let operator_name =
+    Idbox_kernel.Account.name_of_uid (Kernel.accounts kernel) supervisor_uid
+  in
+  let operator =
+    match Hierarchy.create_child (Hierarchy.root ns) operator_name with
+    | Ok d -> d
+    | Error m -> invalid_arg m
+  in
+  let grid =
+    match Hierarchy.create_child operator "grid" with
+    | Ok d -> d
+    | Error m -> invalid_arg m
+  in
+  let t =
+    {
+      kb_kernel = kernel;
+      kb_enforce = Enforce.create ~in_kernel:true kernel ~supervisor:kb_sup ();
+      kb_sup;
+      identities = Hashtbl.create 16;
+      ns;
+      grid;
+      domains = Hashtbl.create 16;
+    }
+  in
+  Kernel.set_security_hook kernel (Some (fun ~pid view req -> hook t ~pid view req));
+  Kernel.set_identity_provider kernel
+    (Some
+       (fun pid ->
+         Option.map Principal.to_string (identity_of t pid)));
+  t
+
+let uninstall t =
+  Kernel.set_security_hook t.kb_kernel None;
+  Kernel.set_identity_provider t.kb_kernel None
+
+let spawn t ~identity ~path ~args () =
+  let abs = Path.normalize path in
+  match Enforce.check_object t.kb_enforce ~identity ~path:abs Right.Execute with
+  | Error e -> Error e
+  | Ok () ->
+    (match
+       Kernel.spawn t.kb_kernel ~uid:t.kb_sup.View.uid ~cwd:"/"
+         ~env:[ ("USER", Principal.to_string identity) ]
+         ~path:abs ~args ()
+     with
+     | Error e -> Error e
+     | Ok pid ->
+       ignore (domain_for t identity);
+       Hashtbl.replace t.identities pid identity;
+       Ok pid)
+
+let spawn_main t ~identity ~main ~args =
+  let pid =
+    Kernel.spawn_main t.kb_kernel ~uid:t.kb_sup.View.uid ~cwd:"/"
+      ~env:[ ("USER", Principal.to_string identity) ]
+      ~main ~args ()
+  in
+  ignore (domain_for t identity);
+  Hashtbl.replace t.identities pid identity;
+  pid
+
+let retire t ~full_name =
+  match Hierarchy.find t.ns full_name with
+  | None -> Error (Printf.sprintf "no domain %S" full_name)
+  | Some target ->
+    (* Identities whose domain is the target or lives under it. *)
+    let doomed =
+      Hashtbl.fold
+        (fun key d acc ->
+          if Hierarchy.can_manage ~actor:target ~subject:d then key :: acc
+          else acc)
+        t.domains []
+    in
+    let killed = ref 0 in
+    Hashtbl.iter
+      (fun pid principal ->
+        if List.mem (Principal.to_string principal) doomed then
+          match Kernel.kill t.kb_kernel ~pid ~signal:9 with
+          | Ok () -> incr killed
+          | Error _ -> ())
+      (Hashtbl.copy t.identities);
+    List.iter
+      (fun key ->
+        Hashtbl.remove t.domains key;
+        Hashtbl.iter
+          (fun pid p ->
+            if String.equal (Principal.to_string p) key then
+              Hashtbl.remove t.identities pid)
+          (Hashtbl.copy t.identities))
+      doomed;
+    (match Hierarchy.delete target with
+     | Ok () -> ()
+     | Error _ -> () (* retiring the grid root itself: subtree cleared above *));
+    Ok !killed

@@ -1,0 +1,48 @@
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+type t = {
+  r_describe : string;
+  r_stat : string -> (Fs.stat, Errno.t) result;
+  r_read : string -> (string, Errno.t) result;
+  r_write : string -> string -> (unit, Errno.t) result;
+  r_mkdir : string -> (unit, Errno.t) result;
+  r_unlink : string -> (unit, Errno.t) result;
+  r_rmdir : string -> (unit, Errno.t) result;
+  r_readdir : string -> (string list, Errno.t) result;
+  r_rename : string -> string -> (unit, Errno.t) result;
+  r_getacl : string -> (string, Errno.t) result;
+  r_setacl : string -> string -> (unit, Errno.t) result;
+}
+
+let not_supported ~describe =
+  let no _ = Error Errno.ENOSYS in
+  let no2 _ _ = Error Errno.ENOSYS in
+  {
+    r_describe = describe;
+    r_stat = no;
+    r_read = no;
+    r_write = no2;
+    r_mkdir = no;
+    r_unlink = no;
+    r_rmdir = no;
+    r_readdir = no;
+    r_rename = no2;
+    r_getacl = no;
+    r_setacl = no2;
+  }
+
+let of_local_fs fs ~uid =
+  {
+    r_describe = "loopback local filesystem";
+    r_stat = (fun p -> Fs.stat fs ~uid p);
+    r_read = (fun p -> Fs.read_file fs ~uid p);
+    r_write = (fun p contents -> Fs.write_file fs ~uid p contents);
+    r_mkdir = (fun p -> Result.map (fun _ -> ()) (Fs.mkdir fs ~uid ~mode:0o755 p));
+    r_unlink = (fun p -> Fs.unlink fs ~uid p);
+    r_rmdir = (fun p -> Fs.rmdir fs ~uid p);
+    r_readdir = (fun p -> Fs.readdir fs ~uid p);
+    r_rename = (fun src dst -> Fs.rename fs ~uid ~src ~dst);
+    r_getacl = (fun _ -> Error Errno.ENOSYS);
+    r_setacl = (fun _ _ -> Error Errno.ENOSYS);
+  }

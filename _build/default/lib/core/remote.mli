@@ -1,0 +1,41 @@
+(** Remote filesystem drivers: how an identity box extends the namespace
+    of its tracees to external services.
+
+    Parrot attaches "filesystem-like services" under distinguished path
+    prefixes (the paper's example: GSI-FTP under [/gsiftp], Chirp under
+    [/chirp]).  A driver is a record of whole-file operations against
+    the remote namespace; the box maps trapped system calls under a
+    mount prefix onto driver calls.  Whole-file granularity matches the
+    staging behaviour of grid data services and keeps the client side
+    simple; drivers with richer protocols can still stream internally.
+
+    The identity box performs {e no ACL checks} on mounted paths: the
+    remote service is its own security domain and enforces its own ACLs
+    against the identity it authenticated (which is the whole point of
+    consistent global identity — the same principal name works on both
+    sides). *)
+
+type 'a r := ('a, Idbox_vfs.Errno.t) result
+
+type t = {
+  r_describe : string;  (** Human-readable driver description. *)
+  r_stat : string -> Idbox_vfs.Fs.stat r;
+  r_read : string -> string r;  (** Whole-file fetch. *)
+  r_write : string -> string -> unit r;  (** Whole-file store. *)
+  r_mkdir : string -> unit r;
+  r_unlink : string -> unit r;
+  r_rmdir : string -> unit r;
+  r_readdir : string -> string list r;
+  r_rename : string -> string -> unit r;
+  r_getacl : string -> string r;
+  r_setacl : string -> string -> unit r;
+}
+
+val not_supported : describe:string -> t
+(** A driver whose every operation fails [ENOSYS]; override the fields
+    a service supports. *)
+
+val of_local_fs :
+  Idbox_vfs.Fs.t -> uid:int -> t
+(** A driver backed by a local filesystem acting as [uid] — useful for
+    tests and for loop-back mounts. *)

@@ -1,0 +1,1 @@
+lib/identity/hierarchy.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/identity/hierarchy.mli: Format

@@ -1,0 +1,1 @@
+lib/identity/principal.ml: Format String Wildcard

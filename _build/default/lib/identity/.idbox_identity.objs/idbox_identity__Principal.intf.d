@@ -1,0 +1,1 @@
+lib/identity/principal.mli: Format

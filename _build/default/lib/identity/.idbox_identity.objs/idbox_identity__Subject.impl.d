@@ -1,0 +1,1 @@
+lib/identity/subject.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/identity/subject.mli: Format

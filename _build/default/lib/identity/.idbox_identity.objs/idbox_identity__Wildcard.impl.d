@@ -1,0 +1,1 @@
+lib/identity/wildcard.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/identity/wildcard.mli: Format

@@ -1,0 +1,109 @@
+type domain = {
+  dname : string;
+  dparent : domain option;
+  mutable dchildren : domain list;  (* reverse creation order *)
+  mutable dlive : bool;
+  dns : t;
+}
+
+and t = {
+  mutable droot : domain option;
+  mutable anon_counter : int;
+}
+
+let create () =
+  let ns = { droot = None; anon_counter = 0 } in
+  let root = { dname = "root"; dparent = None; dchildren = []; dlive = true; dns = ns } in
+  ns.droot <- Some root;
+  ns
+
+let root t =
+  match t.droot with
+  | Some r -> r
+  | None -> assert false
+
+let name d = d.dname
+
+let full_name d =
+  let rec parts d acc =
+    match d.dparent with
+    | None -> d.dname :: acc
+    | Some p -> parts p (d.dname :: acc)
+  in
+  String.concat ":" (parts d [])
+
+let parent d = d.dparent
+
+let children d = List.rev (List.filter (fun c -> c.dlive) d.dchildren)
+
+let valid_name n =
+  String.length n > 0 && not (String.contains n ':')
+
+let create_child d n =
+  if not d.dlive then Error "parent domain has been deleted"
+  else if not (valid_name n) then
+    Error (Printf.sprintf "invalid domain name %S (empty or contains ':')" n)
+  else if List.exists (fun c -> c.dlive && String.equal c.dname n) d.dchildren then
+    Error (Printf.sprintf "domain %S already exists under %s" n (full_name d))
+  else begin
+    let child = { dname = n; dparent = Some d; dchildren = []; dlive = true; dns = d.dns } in
+    d.dchildren <- child :: d.dchildren;
+    Ok child
+  end
+
+let create_anonymous d =
+  let rec fresh () =
+    d.dns.anon_counter <- d.dns.anon_counter + 1;
+    let n = Printf.sprintf "anon%d" d.dns.anon_counter in
+    match create_child d n with
+    | Ok c -> c
+    | Error _ -> fresh ()
+  in
+  fresh ()
+
+let find t full =
+  match String.split_on_char ':' full with
+  | [] -> None
+  | first :: rest ->
+    let r = root t in
+    if not (String.equal first r.dname) then None
+    else
+      let step d n =
+        match d with
+        | None -> None
+        | Some d ->
+          List.find_opt (fun c -> c.dlive && String.equal c.dname n) d.dchildren
+      in
+      List.fold_left step (Some r) rest
+
+let rec is_ancestor ~ancestor d =
+  match d.dparent with
+  | None -> false
+  | Some p -> p == ancestor || is_ancestor ~ancestor p
+
+let can_manage ~actor ~subject = actor == subject || is_ancestor ~ancestor:actor subject
+
+let rec mark_dead d =
+  d.dlive <- false;
+  List.iter mark_dead d.dchildren
+
+let delete d =
+  match d.dparent with
+  | None -> Error "cannot delete the root domain"
+  | Some _ when not d.dlive -> Error "domain already deleted"
+  | Some _ ->
+    mark_dead d;
+    Ok ()
+
+let fold t ~init ~f =
+  let rec go acc d = List.fold_left go (f acc d) (children d) in
+  go init (root t)
+
+let size t = fold t ~init:0 ~f:(fun n _ -> n + 1)
+
+let pp_tree ppf t =
+  let rec go indent d =
+    Format.fprintf ppf "%s%s@." indent d.dname;
+    List.iter (go (indent ^ "  ")) (children d)
+  in
+  go "" (root t)

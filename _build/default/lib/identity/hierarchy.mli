@@ -1,0 +1,77 @@
+(** Hierarchical user identity namespace (paper §9, Figure 6).
+
+    The paper's future-work proposal: an operating system in which every
+    user can create protection domains below their own name on the fly,
+    forming a tree such as
+
+    {v
+    root
+     └─ dthain
+         ├─ httpd ── webapp
+         └─ grid ──  visitor, anon2, anon5, /O=UnivNowhere/CN=Freddy
+    v}
+
+    rendered as colon-joined names: ["root:dthain:grid:visitor"].  A
+    domain may manage (create, delete, signal) any descendant domain, much
+    as the supervising user is "root with respect to" the users inside an
+    identity box.  This module implements the namespace; the in-kernel
+    identity-box variant ({!Idbox.Kbox}) builds on it for the Figure 6
+    ablation. *)
+
+type t
+(** A namespace: a mutable tree of domains rooted at ["root"]. *)
+
+type domain
+(** A node in the tree. *)
+
+val create : unit -> t
+(** A fresh namespace containing only the root domain. *)
+
+val root : t -> domain
+(** The root domain, named ["root"]. *)
+
+val name : domain -> string
+(** The local (single-component) name of a domain. *)
+
+val full_name : domain -> string
+(** Colon-joined path from the root, e.g. ["root:dthain:grid:visitor"]. *)
+
+val parent : domain -> domain option
+(** [None] only for the root. *)
+
+val children : domain -> domain list
+(** Child domains in creation order. *)
+
+val create_child : domain -> string -> (domain, string) result
+(** [create_child d name] mints a new protection domain under [d] — an
+    operation any domain may perform on itself, with no privilege and no
+    account database.  Errors if [name] is empty, contains [':'], or
+    already exists under [d]. *)
+
+val create_anonymous : domain -> domain
+(** [create_anonymous d] creates a child with a fresh name [anonN],
+    the hierarchical analogue of anonymous account creation. *)
+
+val find : t -> string -> domain option
+(** [find t full] resolves a colon-joined full name from the root. *)
+
+val is_ancestor : ancestor:domain -> domain -> bool
+(** [is_ancestor ~ancestor d] holds when [ancestor] lies on the path from
+    the root to [d], strictly above it.  Ancestors hold managerial rights
+    over descendants. *)
+
+val can_manage : actor:domain -> subject:domain -> bool
+(** [can_manage ~actor ~subject]: a domain manages itself and all of its
+    descendants; nothing else. *)
+
+val delete : domain -> (unit, string) result
+(** Remove a domain and its whole subtree.  The root cannot be deleted. *)
+
+val size : t -> int
+(** Total number of live domains, root included. *)
+
+val fold : t -> init:'a -> f:('a -> domain -> 'a) -> 'a
+(** Pre-order fold over all live domains. *)
+
+val pp_tree : Format.formatter -> t -> unit
+(** Render the tree in the indented style of Figure 6. *)

@@ -1,0 +1,61 @@
+type scheme =
+  | Globus
+  | Kerberos
+  | Hostname
+  | Unix
+  | Other of string
+
+type t = {
+  scheme : scheme option;
+  name : string;
+}
+
+let scheme_to_string = function
+  | Globus -> "globus"
+  | Kerberos -> "kerberos"
+  | Hostname -> "hostname"
+  | Unix -> "unix"
+  | Other s -> s
+
+let is_scheme_token s =
+  String.length s > 0
+  && String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '_' || c = '-') s
+
+let scheme_of_string s =
+  match s with
+  | "globus" -> Some Globus
+  | "kerberos" -> Some Kerberos
+  | "hostname" -> Some Hostname
+  | "unix" -> Some Unix
+  | _ -> if is_scheme_token s then Some (Other s) else None
+
+let make ?scheme name =
+  if String.length name = 0 then invalid_arg "Principal.make: empty name";
+  { scheme; name }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> { scheme = None; name = s }
+  | Some i ->
+    let prefix = String.sub s 0 i in
+    (match scheme_of_string prefix with
+     | Some scheme when i + 1 < String.length s ->
+       { scheme = Some scheme; name = String.sub s (i + 1) (String.length s - i - 1) }
+     | Some _ | None -> { scheme = None; name = s })
+
+let to_string t =
+  match t.scheme with
+  | None -> t.name
+  | Some scheme -> scheme_to_string scheme ^ ":" ^ t.name
+
+let equal a b = String.equal (to_string a) (to_string b)
+
+let compare a b = String.compare (to_string a) (to_string b)
+
+let anonymous = { scheme = None; name = "anonymous" }
+
+let nobody = { scheme = Some Unix; name = "nobody" }
+
+let matches_pattern ~pattern t = Wildcard.literal_matches pattern (to_string t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

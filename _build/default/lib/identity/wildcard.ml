@@ -1,0 +1,70 @@
+type token =
+  | Star
+  | Any_char
+  | Literal of char
+
+type t = {
+  src : string;
+  tokens : token array;
+}
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else
+      let tok =
+        match src.[i] with
+        | '*' -> Star
+        | '?' -> Any_char
+        | c -> Literal c
+      in
+      (* Collapse runs of consecutive stars: they are equivalent to one. *)
+      match (tok, acc) with
+      | Star, Star :: _ -> loop (i + 1) acc
+      | _ -> loop (i + 1) (tok :: acc)
+  in
+  Array.of_list (loop 0 [])
+
+let compile src = { src; tokens = tokenize src }
+
+let source t = t.src
+
+(* Classic two-pointer glob match with backtracking to the last star.
+   Linear in practice; worst case O(|pattern| * |subject|). *)
+let matches t s =
+  let p = t.tokens in
+  let np = Array.length p and ns = String.length s in
+  let rec go pi si star_pi star_si =
+    if si < ns then
+      if pi < np then
+        match p.(pi) with
+        | Star -> go (pi + 1) si pi si
+        | Any_char -> go (pi + 1) (si + 1) star_pi star_si
+        | Literal c ->
+          if s.[si] = c then go (pi + 1) (si + 1) star_pi star_si
+          else if star_pi >= 0 then
+            go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+          else false
+      else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+      else false
+    else
+      (* Subject exhausted: only trailing stars may remain. *)
+      let rec only_stars i = i >= np || (p.(i) = Star && only_stars (i + 1)) in
+      only_stars pi
+  in
+  go 0 0 (-1) 0
+
+let is_literal t =
+  Array.for_all (function Literal _ -> true | Star | Any_char -> false) t.tokens
+
+let literal_matches pattern s = matches (compile pattern) s
+
+let specificity t =
+  Array.fold_left
+    (fun acc tok -> match tok with Literal _ -> acc + 1 | Star | Any_char -> acc)
+    0 t.tokens
+
+let pp ppf t = Format.pp_print_string ppf t.src
+
+let equal a b = String.equal a.src b.src

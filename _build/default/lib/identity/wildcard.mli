@@ -1,0 +1,37 @@
+(** Glob-style wildcard patterns over identity strings.
+
+    ACL entries in an identity box may name principals by pattern, e.g.
+    ["globus:/O=UnivNowhere/*"] matches every identity issued under that
+    organization.  Patterns support ['*'] (any substring, including none)
+    and ['?'] (any single character).  All other characters match
+    themselves.  Matching is case-sensitive, as grid subject names are. *)
+
+type t
+(** A compiled wildcard pattern. *)
+
+val compile : string -> t
+(** [compile pattern] parses [pattern] into a matcher.  Never fails:
+    every string is a valid pattern. *)
+
+val source : t -> string
+(** [source t] returns the original pattern text. *)
+
+val matches : t -> string -> bool
+(** [matches t s] is [true] iff [s] is matched by the pattern. *)
+
+val is_literal : t -> bool
+(** [is_literal t] is [true] when the pattern contains no wildcard
+    characters and therefore matches exactly one string. *)
+
+val literal_matches : string -> string -> bool
+(** [literal_matches pattern s] is a one-shot [matches (compile pattern) s]. *)
+
+val specificity : t -> int
+(** [specificity t] counts the literal (non-wildcard) characters of the
+    pattern.  Used to order ACL entries from most to least specific. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print the pattern source. *)
+
+val equal : t -> t -> bool
+(** Structural equality on the pattern source. *)

@@ -1,0 +1,1 @@
+lib/kernel/account.ml: Format Hashtbl Int List Printf String

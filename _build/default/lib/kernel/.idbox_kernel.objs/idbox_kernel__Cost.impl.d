@@ -1,0 +1,1 @@
+lib/kernel/cost.ml: Float Idbox_vfs Int64 List Syscall

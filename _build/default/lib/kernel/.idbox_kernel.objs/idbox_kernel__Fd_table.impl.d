@@ -1,0 +1,1 @@
+lib/kernel/fd_table.ml: Hashtbl Idbox_vfs Int List

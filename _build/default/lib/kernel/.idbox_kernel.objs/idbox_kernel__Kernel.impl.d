@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Account Bytes Clock Cost Effect Fd_table Fun Hashtbl Idbox_vfs Int Int64 List Proc Program Queue String Syscall Trace View

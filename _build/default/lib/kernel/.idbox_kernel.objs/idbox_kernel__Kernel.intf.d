@@ -1,0 +1,1 @@
+lib/kernel/kernel.mli: Account Clock Cost Idbox_vfs Program Syscall Trace View

@@ -1,0 +1,1 @@
+lib/kernel/libc.ml: Buffer Idbox_vfs Int64 Program String Syscall

@@ -1,0 +1,1 @@
+lib/kernel/libc.mli: Idbox_vfs Syscall

@@ -1,0 +1,1 @@
+lib/kernel/proc.ml: Effect Program Syscall Trace View

@@ -1,0 +1,1 @@
+lib/kernel/proc.mli: Effect Program Syscall Trace View

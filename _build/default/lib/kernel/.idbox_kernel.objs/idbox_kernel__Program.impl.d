@@ -1,0 +1,1 @@
+lib/kernel/program.ml: Effect Hashtbl List String Syscall

@@ -1,0 +1,1 @@
+lib/kernel/program.mli: Effect Syscall

@@ -1,0 +1,1 @@
+lib/kernel/syscall.ml: Format Idbox_vfs List Stdlib String

@@ -1,0 +1,1 @@
+lib/kernel/view.ml: Fd_table Hashtbl List String

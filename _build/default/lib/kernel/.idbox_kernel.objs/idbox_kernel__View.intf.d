@@ -1,0 +1,1 @@
+lib/kernel/view.mli: Fd_table Hashtbl

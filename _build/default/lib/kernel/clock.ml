@@ -1,0 +1,24 @@
+type t = { mutable time : int64 }
+
+let create () = { time = 0L }
+
+let now t = t.time
+
+let advance t d =
+  if Int64.compare d 0L < 0 then invalid_arg "Clock.advance: negative duration";
+  t.time <- Int64.add t.time d
+
+let to_seconds ns = Int64.to_float ns /. 1e9
+
+let to_micros ns = Int64.to_float ns /. 1e3
+
+let of_micros us = Int64.of_float (us *. 1e3)
+
+let reading t () = t.time
+
+let pp_duration ppf ns =
+  let f = Int64.to_float ns in
+  if f < 1e3 then Format.fprintf ppf "%.0f ns" f
+  else if f < 1e6 then Format.fprintf ppf "%.2f us" (f /. 1e3)
+  else if f < 1e9 then Format.fprintf ppf "%.2f ms" (f /. 1e6)
+  else Format.fprintf ppf "%.2f s" (f /. 1e9)

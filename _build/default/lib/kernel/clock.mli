@@ -1,0 +1,34 @@
+(** The simulated nanosecond clock.
+
+    Every cost in the simulation — system call service time, context
+    switches, data copies, user-mode computation — advances this clock.
+    Experiment results are read from it, which is what makes measured
+    overheads deterministic and reproducible. *)
+
+type t
+
+val create : unit -> t
+(** A clock at time 0. *)
+
+val now : t -> int64
+(** Current simulated time in nanoseconds. *)
+
+val advance : t -> int64 -> unit
+(** Add a (non-negative) duration.  Raises [Invalid_argument] on a
+    negative duration: costs can never be negative. *)
+
+val to_seconds : int64 -> float
+(** Convert a nanosecond duration to seconds. *)
+
+val to_micros : int64 -> float
+(** Convert a nanosecond duration to microseconds. *)
+
+val of_micros : float -> int64
+(** Convert microseconds to nanoseconds (rounded). *)
+
+val reading : t -> (unit -> int64)
+(** [reading t] is a closure returning {!now}; handed to subsystems such
+    as the filesystem that only need to read time. *)
+
+val pp_duration : Format.formatter -> int64 -> unit
+(** Render a duration with an adaptive unit (ns, µs, ms, s). *)

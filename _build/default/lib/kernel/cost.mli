@@ -1,0 +1,58 @@
+(** The calibrated cost model.
+
+    All durations are simulated nanoseconds.  Direct costs are set once
+    to the paper's unmodified Fig. 5(a) bars (1545 MHz Athlon XP 1800,
+    Linux 2.4.20); interposition costs are the architectural terms of
+    Fig. 4 — context switches, peek/poke words, and the extra copy
+    through the I/O channel.  Application-level overheads are never set
+    directly: they emerge from these constants and each workload's
+    syscall mix. *)
+
+type t = {
+  context_switch : int64;
+      (** One context switch.  A trapped syscall pays at least six
+          (Fig. 4): two to stop at entry, two around the nullified call,
+          two to resume after exit. *)
+  peek_poke_word : int64;
+      (** One [ptrace] PEEK or POKE: registers and small data move one
+          word at a time. *)
+  copy_byte_ns : float;
+      (** Per-byte cost of the extra copy through the I/O channel
+          (supervisor-side memcpy). *)
+  supervisor_decode : int64;
+      (** Fixed supervisor work per trapped call: decode, table lookups. *)
+  acl_check_base : int64;
+      (** Base cost of one ACL evaluation (read + parse the ACL file is
+          charged separately as real syscalls by the supervisor). *)
+  acl_check_entry : int64;  (** Additional cost per ACL entry scanned. *)
+  syscall_base : int64;
+      (** Kernel entry/exit cost common to every direct syscall. *)
+  path_component : int64;  (** Per-component path resolution cost. *)
+  name_cache_ns : int64;
+      (** A supervisor name-cache hit: the per-component price of the
+          ancestor-symlink canonicalization walk (an in-memory hash
+          probe, like a dcache hit — far cheaper than a kernel path
+          resolution). *)
+  getpid_ns : int64;
+  stat_ns : int64;  (** stat beyond [syscall_base] + path terms. *)
+  open_ns : int64;
+  close_ns : int64;
+  read_base_ns : int64;
+  write_base_ns : int64;
+  io_byte_ns : float;  (** Per-byte cost of a direct read/write. *)
+  spawn_ns : int64;
+  misc_ns : int64;  (** Any other call beyond [syscall_base]. *)
+}
+
+val default : t
+(** The calibration used for every experiment in EXPERIMENTS.md. *)
+
+val direct : t -> Syscall.request -> Syscall.result -> int64
+(** Cost of executing a request directly (no tracer), given its result
+    (payload sizes matter). *)
+
+val copy_bytes : t -> int -> int64
+(** Cost of copying [n] bytes through the I/O channel. *)
+
+val peek_poke : t -> words:int -> int64
+(** Cost of moving [words] machine words via PEEK/POKE. *)

@@ -1,0 +1,38 @@
+type open_file = {
+  inode : Idbox_vfs.Inode.t;
+  of_path : string;
+  flags : Idbox_vfs.Fs.open_flags;
+  mutable pos : int;
+}
+
+type t = (int, open_file) Hashtbl.t
+
+let limit = 256
+
+let create () = Hashtbl.create 8
+
+let alloc t file =
+  if Hashtbl.length t >= limit then Error Idbox_vfs.Errno.EMFILE
+  else begin
+    let rec first_free fd = if Hashtbl.mem t fd then first_free (fd + 1) else fd in
+    let fd = first_free 0 in
+    Hashtbl.replace t fd file;
+    Ok fd
+  end
+
+let alloc_at t fd file = Hashtbl.replace t fd file
+
+let find t fd = Hashtbl.find_opt t fd
+
+let close t fd =
+  if Hashtbl.mem t fd then begin
+    Hashtbl.remove t fd;
+    Ok ()
+  end
+  else Error Idbox_vfs.Errno.EBADF
+
+let close_all t = Hashtbl.reset t
+
+let count t = Hashtbl.length t
+
+let fds t = Hashtbl.fold (fun fd _ acc -> fd :: acc) t [] |> List.sort Int.compare

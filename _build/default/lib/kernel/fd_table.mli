@@ -1,0 +1,39 @@
+(** Per-process (and per-supervisor) file descriptor tables.
+
+    Both simulated processes and interposition agents own one of these:
+    the agent keeps the {e real} descriptors, while its tracees hold only
+    virtual numbers that the agent maps (paper §3: Parrot "keep[s] tables
+    of open files"). *)
+
+type open_file = {
+  inode : Idbox_vfs.Inode.t;
+  of_path : string;  (** The absolute path the file was opened by. *)
+  flags : Idbox_vfs.Fs.open_flags;
+  mutable pos : int;  (** Current file offset. *)
+}
+
+type t
+
+val create : unit -> t
+
+val limit : int
+(** Maximum simultaneously open descriptors per table (256). *)
+
+val alloc : t -> open_file -> (int, Idbox_vfs.Errno.t) result
+(** Lowest free descriptor, or [EMFILE]. *)
+
+val alloc_at : t -> int -> open_file -> unit
+(** Install at a specific number (used to inject the I/O channel fd);
+    replaces any previous entry. *)
+
+val find : t -> int -> open_file option
+
+val close : t -> int -> (unit, Idbox_vfs.Errno.t) result
+(** [EBADF] when not open. *)
+
+val close_all : t -> unit
+
+val count : t -> int
+
+val fds : t -> int list
+(** Open descriptor numbers, sorted. *)

@@ -1,0 +1,88 @@
+(** The C-library veneer: convenient typed wrappers around the raw
+    {!Program.Sys} effect, for use inside simulated programs.
+
+    Functions come in two flavours: [result]-returning wrappers mapping
+    errno faithfully, and [_exn] conveniences that raise [Failure] with
+    a readable message — handy in workload programs where an error is a
+    bug in the experiment, not a condition to handle. *)
+
+type 'a r := ('a, Idbox_vfs.Errno.t) result
+
+val getpid : unit -> int
+val getppid : unit -> int
+val getuid : unit -> int
+
+val get_user_name : unit -> string
+(** The paper's new system call: the caller's high-level identity
+    (inside an identity box) or local account name (outside). *)
+
+val getcwd : unit -> string
+val chdir : string -> unit r
+
+val open_file : ?flags:Idbox_vfs.Fs.open_flags -> ?mode:int -> string -> int r
+val close : int -> unit r
+val read : int -> len:int -> string r
+val write : int -> string -> int r
+val pread : int -> off:int -> len:int -> string r
+val pwrite : int -> off:int -> string -> int r
+val lseek : int -> off:int -> whence:Syscall.whence -> int r
+val stat : string -> Idbox_vfs.Fs.stat r
+val lstat : string -> Idbox_vfs.Fs.stat r
+val fstat : int -> Idbox_vfs.Fs.stat r
+val mkdir : ?mode:int -> string -> unit r
+val rmdir : string -> unit r
+val unlink : string -> unit r
+val link : target:string -> string -> unit r
+val symlink : target:string -> string -> unit r
+val readlink : string -> string r
+val rename : src:string -> dst:string -> unit r
+val readdir : string -> string list r
+val chmod : mode:int -> string -> unit r
+val chown : owner:int -> string -> unit r
+val truncate : len:int -> string -> unit r
+val pipe : unit -> (int * int) r
+(** [(read_fd, write_fd)].  Children inherit both ends; close the one
+    you don't use, as on Unix, or EOF never arrives. *)
+
+val spawn : string -> args:string list -> int r
+val waitpid : int -> (int * int) r
+(** [(pid, status)]. Pass [-1] for "any child". *)
+
+val exit : int -> 'a
+(** Terminate the calling process. *)
+
+val kill : pid:int -> signal:int -> unit r
+val getenv : string -> string option
+val setenv : string -> string -> unit
+val getacl : string -> string r
+(** Identity-box call: the ACL text governing a path ([ENOSYS] outside). *)
+
+val setacl : path:string -> entry:string -> unit r
+(** Identity-box call: install one ACL entry line (needs the [a] right). *)
+
+val compute : int64 -> unit
+(** Burn the given nanoseconds of user-mode CPU. *)
+
+val compute_us : float -> unit
+(** Burn microseconds of user-mode CPU. *)
+
+(** {1 Whole-file conveniences} *)
+
+val read_all : int -> string r
+(** Read from the current position to end-of-file in 8 KB blocks. *)
+
+val write_string : int -> string -> unit r
+(** Write the whole string (our [write] never short-writes, but this
+    checks and converts the count). *)
+
+val read_file : string -> string r
+val write_file : string -> contents:string -> unit r
+val with_file :
+  ?flags:Idbox_vfs.Fs.open_flags -> ?mode:int -> string -> (int -> 'a r) -> 'a r
+
+(** {1 Exception-raising variants} *)
+
+exception Syscall_failed of string * Idbox_vfs.Errno.t
+
+val check : string -> 'a r -> 'a
+(** [check what r] unwraps or raises {!Syscall_failed}[ (what, errno)]. *)

@@ -1,0 +1,49 @@
+type continuation = (Syscall.result, unit) Effect.Deep.continuation
+
+type run_state =
+  | Not_started of Program.main * string list
+  | Deliver of continuation * Syscall.result
+  | Running
+  | Waiting of { wk : continuation; wreq : Syscall.request }
+  | Zombie of int
+  | Reaped of int
+
+type t = {
+  pid : int;
+  parent : int;
+  view : View.t;
+  mutable run : run_state;
+  mutable pending : (Syscall.request * continuation) option;
+  mutable tracer : Trace.handler option;
+  mutable children : int list;
+}
+
+let make ~pid ~parent ~uid ~cwd ~env ~main ~args =
+  {
+    pid;
+    parent;
+    view = View.make ~uid ~cwd ~env ();
+    run = Not_started (main, args);
+    pending = None;
+    tracer = None;
+    children = [];
+  }
+
+let is_alive t =
+  match t.run with
+  | Zombie _ | Reaped _ -> false
+  | Not_started _ | Deliver _ | Running | Waiting _ -> true
+
+let exit_status t =
+  match t.run with
+  | Zombie code | Reaped code -> Some code
+  | Not_started _ | Deliver _ | Running | Waiting _ -> None
+
+let state_name t =
+  match t.run with
+  | Not_started _ -> "new"
+  | Deliver _ -> "runnable"
+  | Running -> "running"
+  | Waiting _ -> "waiting"
+  | Zombie _ -> "zombie"
+  | Reaped _ -> "reaped"

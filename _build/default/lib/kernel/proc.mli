@@ -1,0 +1,51 @@
+(** Process control blocks for the simulated kernel.
+
+    A process is an OCaml fiber (an effect-handled computation) plus the
+    classic PCB state: pid, parent, a {!View.t} (uid, cwd, descriptors,
+    environment), and its scheduler state.  Continuations are one-shot;
+    the PCB owns the suspended continuation whenever the process is not
+    on the scheduler's stack. *)
+
+type continuation = (Syscall.result, unit) Effect.Deep.continuation
+
+type run_state =
+  | Not_started of Program.main * string list
+      (** Queued but never run. *)
+  | Deliver of continuation * Syscall.result
+      (** Ready: resume by delivering the stored syscall result. *)
+  | Running  (** Currently executing on the scheduler's stack. *)
+  | Waiting of { wk : continuation; wreq : Syscall.request }
+      (** Blocked in a syscall (e.g. [waitpid] with no zombie child). *)
+  | Zombie of int  (** Exited with status, not yet reaped. *)
+  | Reaped of int  (** Exited and collected; status kept for queries. *)
+
+type t = {
+  pid : int;
+  parent : int;
+  view : View.t;
+  mutable run : run_state;
+  mutable pending : (Syscall.request * continuation) option;
+      (** Set by the effect handler when the fiber performs a syscall;
+          consumed by the scheduler immediately after the fiber yields. *)
+  mutable tracer : Trace.handler option;
+  mutable children : int list;  (** Live and zombie child pids. *)
+}
+
+val make :
+  pid:int ->
+  parent:int ->
+  uid:int ->
+  cwd:string ->
+  env:(string * string) list ->
+  main:Program.main ->
+  args:string list ->
+  t
+
+val is_alive : t -> bool
+(** Not a zombie and not reaped. *)
+
+val exit_status : t -> int option
+(** The status of a zombie or reaped process. *)
+
+val state_name : t -> string
+(** For diagnostics: ["runnable"], ["waiting"], ["zombie"], ... *)

@@ -1,0 +1,25 @@
+type entry_action =
+  | Pass
+  | Rewrite of Syscall.request
+  | Deny of Idbox_vfs.Errno.t
+
+type exit_action =
+  | Keep
+  | Replace of Syscall.result
+
+type event =
+  | Spawned of { pid : int; parent : int }
+  | Exited of { pid : int; code : int }
+
+type handler = {
+  on_entry : pid:int -> Syscall.request -> entry_action;
+  on_exit : pid:int -> Syscall.request -> Syscall.result -> exit_action;
+  on_event : event -> unit;
+}
+
+let pass_through =
+  {
+    on_entry = (fun ~pid:_ _ -> Pass);
+    on_exit = (fun ~pid:_ _ _ -> Keep);
+    on_event = (fun _ -> ());
+  }

@@ -1,0 +1,43 @@
+(** The kernel's tracing hook: the simulated analogue of [ptrace]'s
+    syscall-stop protocol.
+
+    A traced process stops at every system call entry and exit; the
+    tracer may rewrite the call at entry (in particular, {e nullify} it
+    into a harmless [getpid], the canonical interposition move of
+    Fig. 4) and replace the result at exit.  Children of a traced
+    process are traced by the same handler, so nothing escapes the box
+    by forking.
+
+    The handler callbacks are host-level code; the context-switch and
+    data-movement prices a real userspace supervisor would pay are
+    charged to the simulated clock by the kernel and by the
+    {!Idbox_ptrace} veneer. *)
+
+type entry_action =
+  | Pass  (** Let the original call proceed. *)
+  | Rewrite of Syscall.request
+      (** Replace the call — e.g. nullify to [Getpid], or redirect a
+          [read] into the I/O channel. *)
+  | Deny of Idbox_vfs.Errno.t
+      (** Nullify and fail with the given errno without executing
+          anything (the "side effects of denying" pitfall: any return
+          value, including [EACCES], can be injected). *)
+
+type exit_action =
+  | Keep  (** Keep the executed call's result. *)
+  | Replace of Syscall.result  (** Inject a different result. *)
+
+type event =
+  | Spawned of { pid : int; parent : int }
+      (** A traced process created [pid]; it is traced too. *)
+  | Exited of { pid : int; code : int }
+
+type handler = {
+  on_entry : pid:int -> Syscall.request -> entry_action;
+  on_exit : pid:int -> Syscall.request -> Syscall.result -> exit_action;
+  on_event : event -> unit;
+}
+
+val pass_through : handler
+(** A do-nothing tracer: every call passes, every result keeps.  Useful
+    for measuring bare trap overhead. *)

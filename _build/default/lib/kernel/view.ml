@@ -1,0 +1,19 @@
+type t = {
+  mutable uid : int;
+  mutable cwd : string;
+  fds : Fd_table.t;
+  env : (string, string) Hashtbl.t;
+}
+
+let make ~uid ?(cwd = "/") ?(env = []) () =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace table k v) env;
+  { uid; cwd; fds = Fd_table.create (); env = table }
+
+let getenv t name = Hashtbl.find_opt t.env name
+
+let setenv t name value = Hashtbl.replace t.env name value
+
+let env_bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.env []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,22 @@
+(** The mutable execution context a system call runs against: uid,
+    working directory, descriptor table, environment.
+
+    Both simulated processes (via their PCB) and host-level supervisors
+    (the interposition agent's own descriptor table and credentials) own
+    a view; {!Kernel.execute} implements file-level system calls against
+    any view, which is exactly how a delegating supervisor makes "its
+    own" system calls on behalf of a tracee. *)
+
+type t = {
+  mutable uid : int;
+  mutable cwd : string;
+  fds : Fd_table.t;
+  env : (string, string) Hashtbl.t;
+}
+
+val make : uid:int -> ?cwd:string -> ?env:(string * string) list -> unit -> t
+
+val getenv : t -> string -> string option
+val setenv : t -> string -> string -> unit
+val env_bindings : t -> (string * string) list
+(** Sorted by name. *)

@@ -1,0 +1,1 @@
+lib/net/network.ml: Hashtbl Idbox_kernel Idbox_vfs Int64 List Option String

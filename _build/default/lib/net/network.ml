@@ -1,0 +1,71 @@
+module Clock = Idbox_kernel.Clock
+module Errno = Idbox_vfs.Errno
+
+type endpoint_stats = {
+  mutable calls : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+type endpoint = {
+  handler : string -> string;
+  ep_stats : endpoint_stats;
+}
+
+type t = {
+  nw_clock : Clock.t;
+  endpoints : (string, endpoint) Hashtbl.t;
+  latency_ns : int64;
+  ns_per_byte : float;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.) () =
+  {
+    nw_clock = clock;
+    endpoints = Hashtbl.create 8;
+    latency_ns = Clock.of_micros latency_us;
+    (* bits/s -> ns/byte *)
+    ns_per_byte = 8e3 /. bandwidth_mbps;
+    messages = 0;
+    bytes = 0;
+  }
+
+let clock t = t.nw_clock
+
+let listen t ~addr handler =
+  Hashtbl.replace t.endpoints addr
+    { handler; ep_stats = { calls = 0; bytes_in = 0; bytes_out = 0 } }
+
+let unlisten t ~addr = Hashtbl.remove t.endpoints addr
+
+let addresses t =
+  Hashtbl.fold (fun addr _ acc -> addr :: acc) t.endpoints []
+  |> List.sort String.compare
+
+let charge_transfer t nbytes =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + nbytes;
+  Clock.advance t.nw_clock
+    (Int64.add t.latency_ns
+       (Int64.of_float (float_of_int nbytes *. t.ns_per_byte)))
+
+let call t ~addr payload =
+  match Hashtbl.find_opt t.endpoints addr with
+  | None -> Error Errno.ECONNREFUSED
+  | Some ep ->
+    charge_transfer t (String.length payload);
+    ep.ep_stats.calls <- ep.ep_stats.calls + 1;
+    ep.ep_stats.bytes_in <- ep.ep_stats.bytes_in + String.length payload;
+    let response = ep.handler payload in
+    charge_transfer t (String.length response);
+    ep.ep_stats.bytes_out <- ep.ep_stats.bytes_out + String.length response;
+    Ok response
+
+let stats t ~addr =
+  Option.map (fun ep -> ep.ep_stats) (Hashtbl.find_opt t.endpoints addr)
+
+let total_messages t = t.messages
+
+let total_bytes t = t.bytes

@@ -1,0 +1,47 @@
+(** The simulated network fabric connecting Chirp clients, servers, and
+    the catalog.
+
+    An in-memory message-passing network with an explicit latency and
+    bandwidth model: every request/response pair charges two one-way
+    trips to the shared world clock.  Endpoints are named by
+    ["host:port"] strings; handlers are host-level closures (a server's
+    dispatch loop).  Wire payloads are opaque strings — protocol
+    libraries do their own framing, so serialization bugs are real
+    bugs here, not type errors papered over. *)
+
+type t
+
+type endpoint_stats = {
+  mutable calls : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+}
+
+val create :
+  clock:Idbox_kernel.Clock.t ->
+  ?latency_us:float ->
+  ?bandwidth_mbps:float ->
+  unit ->
+  t
+(** Default latency 100 µs one-way, bandwidth 100 Mbit/s — a 2005-era
+    campus LAN. *)
+
+val clock : t -> Idbox_kernel.Clock.t
+
+val listen : t -> addr:string -> (string -> string) -> unit
+(** Register a request handler at an address (replacing any previous
+    listener). *)
+
+val unlisten : t -> addr:string -> unit
+
+val addresses : t -> string list
+(** Listening addresses, sorted. *)
+
+val call : t -> addr:string -> string -> (string, Idbox_vfs.Errno.t) result
+(** Synchronous RPC: charges request transfer, runs the handler, charges
+    response transfer.  [ECONNREFUSED] when nobody listens. *)
+
+val stats : t -> addr:string -> endpoint_stats option
+
+val total_messages : t -> int
+val total_bytes : t -> int

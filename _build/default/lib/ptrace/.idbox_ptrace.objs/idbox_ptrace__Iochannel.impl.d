@@ -1,0 +1,1 @@
+lib/ptrace/iochannel.ml: Bytes Idbox_kernel Idbox_vfs Printf String

@@ -1,0 +1,1 @@
+lib/ptrace/iochannel.mli: Idbox_kernel Idbox_vfs

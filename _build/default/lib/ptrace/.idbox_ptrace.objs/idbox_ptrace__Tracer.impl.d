@@ -1,0 +1,1 @@
+lib/ptrace/tracer.ml: Idbox_kernel

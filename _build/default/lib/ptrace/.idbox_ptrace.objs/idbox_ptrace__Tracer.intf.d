@@ -1,0 +1,1 @@
+lib/ptrace/tracer.mli: Idbox_kernel

@@ -1,0 +1,46 @@
+(** The I/O channel: the shared buffer through which bulk data moves
+    between a tracee and its supervisor (paper §5, Fig. 4b).
+
+    Recent kernels refuse writes to [/proc/pid/mem], so the supervisor
+    cannot poke large buffers directly; instead it keeps a small
+    in-memory file mapped into its own address space while every tracee
+    holds a plain descriptor to it.  A trapped [read] becomes a [pread]
+    on the channel after the supervisor stages the data there; a trapped
+    [write] becomes a [pwrite] into the channel, which the supervisor
+    then copies out.  Each direction costs one extra copy — the term the
+    cost model charges via {!Idbox_kernel.Kernel.note_channel_copy}. *)
+
+type t
+
+val channel_fd : int
+(** The descriptor number injected into every tracee: 3 (just past the
+    stdio trio, as Parrot does). *)
+
+val create :
+  Idbox_kernel.Kernel.t ->
+  supervisor:Idbox_kernel.View.t ->
+  ?size:int ->
+  unit ->
+  (t, Idbox_vfs.Errno.t) result
+(** Create the backing file (under [/tmp], supervisor-owned, mode 0600)
+    and open it in the supervisor's descriptor table.  [size] (default
+    1 MiB) bounds a single staged transfer. *)
+
+val path : t -> string
+
+val attach : t -> Idbox_kernel.View.t -> unit
+(** Install {!channel_fd} in a tracee's descriptor table. *)
+
+val stage : t -> string -> int
+(** [stage t data] copies [data] into the channel (supervisor-side
+    memcpy: charged as a channel copy, not a syscall) and returns the
+    offset at which the tracee should [pread] it.  Transfers larger
+    than the channel size raise [Invalid_argument]. *)
+
+val collect : t -> off:int -> len:int -> string
+(** Supervisor-side copy out of the channel after a tracee [pwrite]
+    (charged as a channel copy). *)
+
+val reserve : t -> int -> int
+(** [reserve t len] allocates an offset range for an incoming tracee
+    [pwrite] without copying anything. *)

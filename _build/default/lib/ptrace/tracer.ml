@@ -1,0 +1,36 @@
+module Kernel = Idbox_kernel.Kernel
+module Syscall = Idbox_kernel.Syscall
+module Trace = Idbox_kernel.Trace
+module Cost = Idbox_kernel.Cost
+
+let make kernel ~on_entry ~on_exit ?(on_event = fun _ -> ()) () =
+  let decode_cost = (Kernel.cost kernel).Cost.supervisor_decode in
+  let entry ~pid req =
+    (* Entry stop: peek registers and argument memory, then decide. *)
+    Kernel.note_peek_poke kernel ~words:(Syscall.argument_words req);
+    Kernel.charge kernel decode_cost;
+    let action = on_entry ~pid req in
+    (match action with
+     | Trace.Pass -> ()
+     | Trace.Rewrite req' ->
+       (* Poke the rewritten registers/arguments into the tracee. *)
+       Kernel.note_peek_poke kernel ~words:(Syscall.argument_words req')
+     | Trace.Deny _ ->
+       (* Nullification pokes just the syscall-number register. *)
+       Kernel.note_peek_poke kernel ~words:1);
+    action
+  in
+  let exit ~pid req result =
+    let action = on_exit ~pid req result in
+    let final =
+      match action with Trace.Keep -> result | Trace.Replace r -> r
+    in
+    (* Exit stop: poke the (possibly replaced) result back. *)
+    Kernel.note_peek_poke kernel ~words:(Syscall.result_words final);
+    action
+  in
+  { Trace.on_entry = entry; on_exit = exit; on_event }
+
+let attach kernel pid handler = Kernel.set_tracer kernel pid (Some handler)
+
+let detach kernel pid = Kernel.set_tracer kernel pid None

@@ -1,0 +1,33 @@
+(** Building [ptrace]-style supervisors with faithful data-movement
+    accounting.
+
+    {!make} wraps user callbacks into a {!Idbox_kernel.Trace.handler}
+    that automatically charges what a real debugger-interface supervisor
+    pays beyond context switches: PEEKing the tracee's registers and
+    argument memory at every entry stop, POKEing rewritten registers and
+    results at every exit stop, and a fixed per-call decode cost. *)
+
+val make :
+  Idbox_kernel.Kernel.t ->
+  on_entry:(pid:int -> Idbox_kernel.Syscall.request -> Idbox_kernel.Trace.entry_action) ->
+  on_exit:
+    (pid:int ->
+    Idbox_kernel.Syscall.request ->
+    Idbox_kernel.Syscall.result ->
+    Idbox_kernel.Trace.exit_action) ->
+  ?on_event:(Idbox_kernel.Trace.event -> unit) ->
+  unit ->
+  Idbox_kernel.Trace.handler
+(** The returned handler charges, per trapped call:
+    - {!Idbox_kernel.Syscall.argument_words} PEEKs plus the decode cost
+      before invoking [on_entry];
+    - POKEs for a rewritten request (its argument words) when [on_entry]
+      answers [Rewrite] or [Deny];
+    - {!Idbox_kernel.Syscall.result_words} POKEs after [on_exit] decides
+      the final result. *)
+
+val attach : Idbox_kernel.Kernel.t -> int -> Idbox_kernel.Trace.handler -> unit
+(** Attach a handler to a live process ([Kernel.set_tracer]). *)
+
+val detach : Idbox_kernel.Kernel.t -> int -> unit
+(** Stop tracing a process. *)

@@ -1,0 +1,1 @@
+lib/report/report.ml: Format Idbox Idbox_accounts Idbox_acl Idbox_auth Idbox_chirp Idbox_identity Idbox_kernel Idbox_net Idbox_vfs Idbox_workload Int64 List Option Printf Result String

@@ -1,0 +1,371 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Program = Idbox_kernel.Program
+module Clock = Idbox_kernel.Clock
+module Cost = Idbox_kernel.Cost
+module Box = Idbox.Box
+module Network = Idbox_net.Network
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Probe = Idbox_accounts.Probe
+module Microbench = Idbox_workload.Microbench
+module Runner = Idbox_workload.Runner
+module Apps = Idbox_workload.Apps
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Right = Idbox_acl.Right
+module Rights = Idbox_acl.Rights
+module Principal = Idbox_identity.Principal
+module Subject = Idbox_identity.Subject
+module Hierarchy = Idbox_identity.Hierarchy
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+let say fmt = Printf.printf (fmt ^^ "\n%!")
+
+let heading title =
+  say "";
+  say "%s" (String.make 78 '=');
+  say "%s" title;
+  say "%s" (String.make 78 '=')
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> failwith (ctx ^ ": " ^ Errno.message e)
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  heading "Figure 1 - Identity mapping methods (every cell derived by probing)";
+  let rows = Probe.rows () in
+  print_string (Probe.render_table rows);
+  let mismatches =
+    List.filter
+      (fun (r : Probe.row) ->
+        match Probe.paper_row r.Probe.r_scheme with
+        | Some p -> p <> r
+        | None -> true)
+      rows
+  in
+  if mismatches = [] then
+    say "paper check: all %d rows match Figure 1 exactly." (List.length rows)
+  else
+    List.iter
+      (fun (r : Probe.row) -> say "paper check: MISMATCH on %S" r.Probe.r_scheme)
+      mismatches
+
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  heading "Figure 2 - Identity boxing in an interactive session";
+  let kernel = Kernel.create () in
+  let dthain =
+    match Kernel.add_user kernel "dthain" with Ok e -> e | Error m -> failwith m
+  in
+  let fs = Kernel.fs kernel in
+  ok "secret"
+    (Fs.write_file fs ~uid:dthain.Account.uid ~mode:0o600 "/home/dthain/secret" "ssh!");
+  let box =
+    match
+      Box.create kernel ~supervisor_uid:dthain.Account.uid
+        ~identity:(Principal.of_string "Freddy") ()
+    with
+    | Ok b -> b
+    | Error e -> failwith (Errno.message e)
+  in
+  let step what expect actual =
+    say "  %-44s expect %-8s got %-8s %s" what expect actual
+      (if String.equal expect actual then "OK" else "** MISMATCH **")
+  in
+  let pid =
+    Box.spawn_main box
+      ~main:(fun _ ->
+        let home = Option.get (Libc.getenv "HOME") in
+        step "whoami" "Freddy" (Libc.get_user_name ());
+        step "cat /home/dthain/secret" "EACCES"
+          (match Libc.read_file "/home/dthain/secret" with
+           | Error e -> Errno.to_string e
+           | Ok _ -> "read!");
+        step "echo data > ~/mydata" "ok"
+          (match Libc.write_file (home ^ "/mydata") ~contents:"data" with
+           | Ok () -> "ok"
+           | Error e -> Errno.to_string e);
+        step "cat ~/mydata" "data"
+          (match Libc.read_file (home ^ "/mydata") with
+           | Ok s -> s
+           | Error e -> Errno.to_string e);
+        step "head -1 /etc/passwd names Freddy" "yes"
+          (match Libc.read_file "/etc/passwd" with
+           | Ok text ->
+             (match String.split_on_char ':' text with
+              | "Freddy" :: _ -> "yes"
+              | _ -> "no")
+           | Error _ -> "no");
+        0)
+      ~args:[ "session" ]
+  in
+  Kernel.run kernel;
+  say "  session exit: %s; trapped syscalls: %d"
+    (match Kernel.exit_code kernel pid with Some c -> string_of_int c | None -> "?")
+    (Kernel.stats kernel).Kernel.trapped
+
+(* ------------------------------------------------------------------ *)
+
+let fig3 () =
+  heading "Figure 3 - Identity boxing in a distributed system (Chirp)";
+  Kernel.with_fresh_programs (fun () ->
+      let clock = Clock.create () in
+      let net = Network.create ~clock () in
+      let kernel = Kernel.create ~clock () in
+      let owner =
+        match Kernel.add_user kernel "chirpuser" with
+        | Ok e -> e
+        | Error m -> failwith m
+      in
+      let ca = Ca.create ~name:"UnivNowhere CA" in
+      let root_acl =
+        Acl.of_entries
+          [
+            Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+              ~reserve:(Rights.of_string_exn "rwlaxd")
+              (Rights.of_string_exn "rl");
+          ]
+      in
+      let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+      let server =
+        ok "server"
+          (Server.create ~kernel ~net ~addr:"alpha.grid.edu:9094"
+             ~owner_uid:owner.Account.uid ~export:"/home/chirpuser/export"
+             ~acceptor ~root_acl ())
+      in
+      Program.register "sim" (fun _ ->
+          Libc.compute_us 40_000.;
+          match
+            Libc.write_file "out.dat" ~contents:("by " ^ Libc.get_user_name ())
+          with
+          | Ok () -> 0
+          | Error _ -> 1);
+      let cert = Ca.issue ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+      let c =
+        match
+          Client.connect net ~addr:"alpha.grid.edu:9094"
+            ~credentials:[ Credential.Gsi cert ]
+        with
+        | Ok c -> c
+        | Error m -> failwith m
+      in
+      let step n what f =
+        let m0 = Network.total_messages net and t0 = Clock.now clock in
+        let outcome = f () in
+        say "  %d. %-28s %-10s (%d msgs, %.3f ms)" n what outcome
+          (Network.total_messages net - m0)
+          (Int64.to_float (Int64.sub (Clock.now clock) t0) /. 1e6)
+      in
+      say "  authenticated as %s via %s" (Client.principal c) (Client.auth_method c);
+      step 1 "mkdir /work" (fun () ->
+          match Client.mkdir c "/work" with Ok () -> "ok" | Error e -> Errno.to_string e);
+      step 2 "cd /work (implicit)" (fun () -> "ok");
+      step 3 "put sim.exe" (fun () ->
+          match Client.put c ~path:"/work/sim.exe" ~data:(Program.marker "sim") with
+          | Ok () -> "ok"
+          | Error e -> Errno.to_string e);
+      step 4 "exec sim.exe" (fun () ->
+          match Client.exec c ~path:"/work/sim.exe" ~args:[ "sim.exe" ] () with
+          | Ok code -> Printf.sprintf "exit %d" code
+          | Error e -> Errno.to_string e);
+      step 5 "get out.dat" (fun () ->
+          match Client.get c "/work/out.dat" with
+          | Ok data -> Printf.sprintf "%d bytes" (String.length data)
+          | Error e -> Errno.to_string e);
+      say "  /work ACL after reserve-mkdir:";
+      print_string ("    " ^ ok "getacl" (Client.getacl c "/work"));
+      say "  remote execs served: %d; output contents name the grid identity: %b"
+        (Server.exec_count server)
+        (match Client.get c "/work/out.dat" with
+         | Ok data -> data = "by globus:/O=UnivNowhere/CN=Fred"
+         | Error _ -> false))
+
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  heading "Figure 4 - System call trapping: per-call interposition work";
+  say "%-14s %10s %12s %11s %14s" "call" "ctx sw" "peek/poke(w)" "delegated"
+    "channel bytes";
+  say "%s" (String.make 66 '-');
+  List.iter
+    (fun (r : Microbench.trap_row) ->
+      say "%-14s %10d %12d %11d %14d" r.Microbench.tr_call
+        r.Microbench.tr_context_switches r.Microbench.tr_peek_poke_words
+        r.Microbench.tr_delegated r.Microbench.tr_channel_bytes)
+    (Microbench.fig4 ());
+  say "paper check: >= 6 context switches per trapped call (Fig. 4); bulk";
+  say "transfers move through the I/O channel, small ones by PEEK/POKE."
+
+(* ------------------------------------------------------------------ *)
+
+let fig5a ?(iters = 2000) () =
+  heading "Figure 5(a) - System call latency (simulated us per call)";
+  say "%-14s %12s %12s %10s" "call" "unmodified" "identity box" "slowdown";
+  say "%s" (String.make 52 '-');
+  List.iter
+    (fun (r : Microbench.row) ->
+      say "%-14s %12.2f %12.2f %9.1fx" r.Microbench.mb_call r.Microbench.mb_direct_us
+        r.Microbench.mb_boxed_us r.Microbench.mb_slowdown)
+    (Microbench.fig5a ~iters ());
+  say "paper check: \"each call is slowed down by an order of magnitude\";";
+  say "bulk I/O amortizes the trap across the payload, as in the paper's bars."
+
+(* ------------------------------------------------------------------ *)
+
+let fig5b ?(scale = 0.1) () =
+  heading
+    (Printf.sprintf
+       "Figure 5(b) - Application runtime (scale %.2f of full size)" scale);
+  say "%-8s %12s %12s %12s %12s" "app" "direct (s)" "boxed (s)" "overhead"
+    "paper";
+  say "%s" (String.make 60 '-');
+  let rows = Runner.fig5b ~scale () in
+  List.iter
+    (fun (c : Runner.comparison) ->
+      say "%-8s %12.1f %12.1f %+11.1f%% %+11.1f%%" c.Runner.c_app
+        c.Runner.c_direct_s c.Runner.c_boxed_s c.Runner.c_overhead_pct
+        c.Runner.c_paper_pct)
+    rows;
+  say "paper check: scientific applications 0.7-6.5%%; make ~35%%.";
+  let sci =
+    List.filter (fun c -> not (String.equal c.Runner.c_app "make")) rows
+  in
+  let all_small = List.for_all (fun c -> c.Runner.c_overhead_pct < 10.) sci in
+  let make_big =
+    List.exists
+      (fun c -> String.equal c.Runner.c_app "make" && c.Runner.c_overhead_pct > 25.)
+      rows
+  in
+  say "shape holds: science apps < 10%%: %b; make > 25%%: %b" all_small make_big
+
+(* ------------------------------------------------------------------ *)
+
+let fig6 ?(scale = 0.05) () =
+  heading "Figure 6 - Hierarchical identity and the in-kernel identity box";
+  let ns = Hierarchy.create () in
+  let root = Hierarchy.root ns in
+  let dthain = Result.get_ok (Hierarchy.create_child root "dthain") in
+  let httpd = Result.get_ok (Hierarchy.create_child dthain "httpd") in
+  let grid = Result.get_ok (Hierarchy.create_child dthain "grid") in
+  ignore (Result.get_ok (Hierarchy.create_child httpd "webapp"));
+  ignore (Result.get_ok (Hierarchy.create_child grid "visitor"));
+  ignore (Hierarchy.create_anonymous grid);
+  ignore (Hierarchy.create_anonymous grid);
+  ignore (Result.get_ok (Hierarchy.create_child grid "/O=UnivNowhere/CN=Freddy"));
+  ignore (Result.get_ok (Hierarchy.create_child grid "/O=UnivNowhere/CN=George"));
+  Hierarchy.pp_tree Format.std_formatter ns;
+  Format.pp_print_flush Format.std_formatter ();
+  say "";
+  say "ablation: the same workloads under the ptrace box vs an in-kernel box";
+  say "%-8s %14s %16s" "app" "ptrace box" "in-kernel box";
+  say "%s" (String.make 40 '-');
+  List.iter
+    (fun (app, boxed, kboxed) ->
+      say "%-8s %+13.1f%% %+15.1f%%" app boxed kboxed)
+    (Runner.fig6_ablation ~scale ());
+  say "paper check: an OS-native identity box would keep the protection and";
+  say "shed the interposition cost - the paper's concluding proposal."
+
+(* ------------------------------------------------------------------ *)
+
+let ablations ?(scale = 0.02) () =
+  heading "Ablations - design-choice sweeps";
+
+  say "A. The extra I/O-channel copy (8 KB boxed read; copy cost per byte)";
+  say "   %-28s %12s" "configuration" "us/call";
+  List.iter
+    (fun (label, copy_byte_ns) ->
+      let cost = { Cost.default with Cost.copy_byte_ns } in
+      say "   %-28s %12.2f" label (Microbench.boxed_read_us ~cost ~bytes:8192 ()))
+    [
+      ("mmap of /proc/pid/mem (0.00)", 0.0);
+      ("memcpy via channel (0.35)", 0.35);
+      ("slow copy (0.70)", 0.7);
+      ("very slow copy (1.40)", 1.4);
+    ];
+  say "   (the paper's channel exists because modern kernels forbid the mmap)";
+  say "";
+
+  say "B. Context-switch price vs make overhead (the trap tax)";
+  say "   %-28s %12s" "context switch (ns)" "make overhead";
+  List.iter
+    (fun cs ->
+      let cost = { Cost.default with Cost.context_switch = Int64.of_int cs } in
+      let d = Runner.run ~cost Apps.make_build Runner.Direct ~scale in
+      let b = Runner.run ~cost Apps.make_build Runner.Boxed ~scale in
+      say "   %-28d %+11.1f%%" cs
+        ((b.Runner.m_runtime_s -. d.Runner.m_runtime_s)
+         /. d.Runner.m_runtime_s *. 100.))
+    [ 450; 900; 1800; 3600 ];
+  say "";
+
+  say "C. Small-I/O threshold (boxed 512-byte read: PEEK/POKE vs channel)";
+  say "   %-28s %12s" "threshold (bytes)" "us/call";
+  List.iter
+    (fun threshold ->
+      say "   %-28d %12.2f"
+        threshold
+        (Microbench.boxed_read_us ~small_io_threshold:threshold ~bytes:512 ()))
+    [ 0; 64; 512; 4096 ];
+  say "";
+
+  say "D. Scale invariance of Fig. 5(b) overheads (ibis and make)";
+  say "   %-12s %14s %14s" "scale" "ibis" "make";
+  List.iter
+    (fun s ->
+      let pct spec =
+        let d = Runner.run spec Runner.Direct ~scale:s in
+        let b = Runner.run spec Runner.Boxed ~scale:s in
+        (b.Runner.m_runtime_s -. d.Runner.m_runtime_s) /. d.Runner.m_runtime_s *. 100.
+      in
+      say "   %-12.3f %+13.2f%% %+13.2f%%" s (pct Apps.ibis) (pct Apps.make_build))
+    [ 0.01; 0.05; 0.1 ];
+  say "   (percentages are scale-free: the default 0.1 runs are faithful)";
+  say "";
+
+  say "E. ACL length vs per-check evaluation charge (simulated ns)";
+  let kernel = Kernel.create () in
+  let sup = Kernel.make_view kernel ~uid:0 () in
+  let enforce = Idbox.Enforce.create kernel ~supervisor:sup () in
+  say "   %-28s %12s" "entries" "ns/check";
+  List.iter
+    (fun n ->
+      let dir = Printf.sprintf "/acl%d" n in
+      ok "mkdir" (Fs.mkdir_p (Kernel.fs kernel) ~uid:0 dir);
+      let entries =
+        List.init n (fun i ->
+            Entry.make
+              ~pattern:(Printf.sprintf "unix:user%d" i)
+              (Rights.of_string_exn "rl"))
+      in
+      ok "acl" (Idbox.Enforce.write_acl enforce ~dir (Acl.of_entries entries));
+      (* Warm the cache, then measure the steady-state check. *)
+      let who = Principal.of_string "unix:user0" in
+      ignore (Idbox.Enforce.check_in_dir enforce ~identity:who ~dir Right.Read);
+      let t0 = Kernel.now kernel in
+      let reps = 100 in
+      for _ = 1 to reps do
+        ignore (Idbox.Enforce.check_in_dir enforce ~identity:who ~dir Right.Read)
+      done;
+      say "   %-28d %12.0f" n
+        (Int64.to_float (Int64.sub (Kernel.now kernel) t0) /. float_of_int reps))
+    [ 1; 10; 100; 1000 ]
+
+let all ?(scale = 0.1) () =
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  fig5a ();
+  fig5b ~scale ();
+  fig6 ();
+  ablations ()

@@ -1,0 +1,38 @@
+(** Experiment reports: regenerate every table and figure of the paper
+    and print it in a paper-shaped textual form.
+
+    Each [fig*] function runs the experiment from scratch (fresh
+    simulated hosts) and prints rows comparing measured values with the
+    paper's published ones where the paper gives numbers, or with its
+    qualitative claim where it gives bars.  [all] prints everything in
+    paper order — this is what [bench/main.exe] and EXPERIMENTS.md are
+    built from. *)
+
+val fig1 : unit -> unit
+(** The identity-mapping property matrix, derived by probing. *)
+
+val fig2 : unit -> unit
+(** The interactive-session semantics, checked step by step. *)
+
+val fig3 : unit -> unit
+(** The distributed Chirp scenario with per-step outcomes. *)
+
+val fig4 : unit -> unit
+(** Per-syscall interposition accounting (context switches, PEEK/POKE
+    words, delegated calls, channel bytes). *)
+
+val fig5a : ?iters:int -> unit -> unit
+(** System-call latency, unmodified vs boxed. *)
+
+val fig5b : ?scale:float -> unit -> unit
+(** Application runtimes and overheads vs the paper's percentages. *)
+
+val fig6 : ?scale:float -> unit -> unit
+(** The hierarchical-namespace tree and the in-kernel ablation. *)
+
+val ablations : ?scale:float -> unit -> unit
+(** Design-choice sweeps: I/O-channel copy cost (mmap hypothetical),
+    context-switch price, small-I/O threshold, ACL length. *)
+
+val all : ?scale:float -> unit -> unit
+(** Everything, in paper order. *)

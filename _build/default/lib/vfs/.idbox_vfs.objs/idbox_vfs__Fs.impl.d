@@ -1,0 +1,1 @@
+lib/vfs/fs.ml: Errno Inode List Path Perm Result String

@@ -1,0 +1,1 @@
+lib/vfs/inode.ml: Buffer Bytes Hashtbl List String

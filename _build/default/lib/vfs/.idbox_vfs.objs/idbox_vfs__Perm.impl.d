@@ -1,0 +1,1 @@
+lib/vfs/perm.ml: Format Printf

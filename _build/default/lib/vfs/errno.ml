@@ -1,0 +1,82 @@
+type t =
+  | EPERM
+  | ENOENT
+  | ESRCH
+  | EINTR
+  | EBADF
+  | ECHILD
+  | EACCES
+  | EEXIST
+  | EXDEV
+  | ENOTDIR
+  | EISDIR
+  | EINVAL
+  | EMFILE
+  | ENOSPC
+  | ESPIPE
+  | ENAMETOOLONG
+  | ENOTEMPTY
+  | ELOOP
+  | ENOSYS
+  | ECONNREFUSED
+  | EAGAIN
+  | EPIPE
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ESRCH -> "ESRCH"
+  | EINTR -> "EINTR"
+  | EBADF -> "EBADF"
+  | ECHILD -> "ECHILD"
+  | EACCES -> "EACCES"
+  | EEXIST -> "EEXIST"
+  | EXDEV -> "EXDEV"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | EINVAL -> "EINVAL"
+  | EMFILE -> "EMFILE"
+  | ENOSPC -> "ENOSPC"
+  | ESPIPE -> "ESPIPE"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | ELOOP -> "ELOOP"
+  | ENOSYS -> "ENOSYS"
+  | ECONNREFUSED -> "ECONNREFUSED"
+  | EAGAIN -> "EAGAIN"
+  | EPIPE -> "EPIPE"
+
+let all =
+  [ EPERM; ENOENT; ESRCH; EINTR; EBADF; ECHILD; EACCES; EEXIST; EXDEV; ENOTDIR;
+    EISDIR; EINVAL; EMFILE; ENOSPC; ESPIPE; ENAMETOOLONG; ENOTEMPTY; ELOOP;
+    ENOSYS; ECONNREFUSED; EAGAIN; EPIPE ]
+
+let of_string s = List.find_opt (fun e -> String.equal (to_string e) s) all
+
+let message = function
+  | EPERM -> "Operation not permitted"
+  | ENOENT -> "No such file or directory"
+  | ESRCH -> "No such process"
+  | EINTR -> "Interrupted system call"
+  | EBADF -> "Bad file descriptor"
+  | ECHILD -> "No child processes"
+  | EACCES -> "Permission denied"
+  | EEXIST -> "File exists"
+  | EXDEV -> "Invalid cross-device link"
+  | ENOTDIR -> "Not a directory"
+  | EISDIR -> "Is a directory"
+  | EINVAL -> "Invalid argument"
+  | EMFILE -> "Too many open files"
+  | ENOSPC -> "No space left on device"
+  | ESPIPE -> "Illegal seek"
+  | ENAMETOOLONG -> "File name too long"
+  | ENOTEMPTY -> "Directory not empty"
+  | ELOOP -> "Too many levels of symbolic links"
+  | ENOSYS -> "Function not implemented"
+  | ECONNREFUSED -> "Connection refused"
+  | EAGAIN -> "Resource temporarily unavailable"
+  | EPIPE -> "Broken pipe"
+
+let equal (a : t) b = a = b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

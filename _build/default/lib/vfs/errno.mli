@@ -1,0 +1,42 @@
+(** Unix-style error numbers, returned across the simulated syscall
+    boundary.  The simulated kernel never raises across that boundary;
+    every failure is an [errno]. *)
+
+type t =
+  | EPERM  (** Operation not permitted. *)
+  | ENOENT  (** No such file or directory. *)
+  | ESRCH  (** No such process. *)
+  | EINTR  (** Interrupted system call. *)
+  | EBADF  (** Bad file descriptor. *)
+  | ECHILD  (** No child processes. *)
+  | EACCES  (** Permission denied. *)
+  | EEXIST  (** File exists. *)
+  | EXDEV  (** Cross-device link. *)
+  | ENOTDIR  (** Not a directory. *)
+  | EISDIR  (** Is a directory. *)
+  | EINVAL  (** Invalid argument. *)
+  | EMFILE  (** Too many open files. *)
+  | ENOSPC  (** No space left on device. *)
+  | ESPIPE  (** Illegal seek. *)
+  | ENAMETOOLONG  (** File name too long. *)
+  | ENOTEMPTY  (** Directory not empty. *)
+  | ELOOP  (** Too many levels of symbolic links. *)
+  | ENOSYS  (** Function not implemented. *)
+  | ECONNREFUSED  (** Connection refused (simulated network). *)
+  | EAGAIN  (** Resource temporarily unavailable. *)
+  | EPIPE  (** Broken pipe: write with no readers left. *)
+
+val to_string : t -> string
+(** The conventional upper-case name, e.g. ["ENOENT"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (used by wire protocols). *)
+
+val all : t list
+(** Every errno, for exhaustive tests. *)
+
+val message : t -> string
+(** The conventional [strerror] text, e.g. ["No such file or directory"]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

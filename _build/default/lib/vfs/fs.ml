@@ -1,0 +1,375 @@
+type t = {
+  fs_root : Inode.t;
+  clock : unit -> int64;
+  mutable next_ino : int;
+}
+
+type stat = {
+  st_ino : int;
+  st_kind : Inode.kind;
+  st_mode : int;
+  st_uid : int;
+  st_nlink : int;
+  st_size : int;
+  st_mtime : int64;
+  st_ctime : int64;
+}
+
+type open_flags = {
+  rd : bool;
+  wr : bool;
+  creat : bool;
+  excl : bool;
+  trunc : bool;
+  append : bool;
+}
+
+let rdonly =
+  { rd = true; wr = false; creat = false; excl = false; trunc = false; append = false }
+
+let wronly_create =
+  { rd = false; wr = true; creat = true; excl = false; trunc = true; append = false }
+
+let symlink_limit = 40
+
+let create ?(clock = fun () -> 0L) () =
+  let root = Inode.make_dir ~ino:1 ~uid:0 ~mode:0o755 ~now:(clock ()) in
+  { fs_root = root; clock; next_ino = 2 }
+
+let root t = t.fs_root
+
+let alloc_ino t =
+  let ino = t.next_ino in
+  t.next_ino <- ino + 1;
+  ino
+
+let make_pipe t = Inode.make_pipe ~ino:(alloc_ino t) ~now:(t.clock ())
+
+let searchable ~uid dir =
+  Perm.check ~uid ~owner:(Inode.uid dir) ~mode:(Inode.mode dir) Perm.X
+
+(* The resolution engine.  [trail] is the stack of ancestor directories of
+   [cur] (nearest first), used to resolve ".." correctly even through
+   symlink targets.  [nexp] counts symlink expansions for ELOOP. *)
+let walk t ~uid ~follow_last comps =
+  let rec go trail cur comps nexp =
+    match comps with
+    | [] -> Ok cur
+    | name :: rest ->
+      if Inode.kind cur <> Inode.Directory then Error Errno.ENOTDIR
+      else if not (searchable ~uid cur) then Error Errno.EACCES
+      else if String.equal name ".." then
+        (match trail with
+         | [] -> go [] cur rest nexp
+         | parent :: trail' -> go trail' parent rest nexp)
+      else
+        (match Inode.dir_find cur name with
+         | None -> Error Errno.ENOENT
+         | Some child ->
+           (match Inode.kind child with
+            | Inode.Symlink when rest <> [] || follow_last ->
+              if nexp >= symlink_limit then Error Errno.ELOOP
+              else
+                let target = Inode.link_target child in
+                let tcomps = Path.components target in
+                if Path.is_absolute target then
+                  go [] t.fs_root (tcomps @ rest) (nexp + 1)
+                else go trail cur (tcomps @ rest) (nexp + 1)
+            | Inode.Symlink | Inode.Regular | Inode.Directory | Inode.Fifo ->
+              go (cur :: trail) child rest nexp))
+  in
+  go [] t.fs_root comps 0
+
+let resolve t ~uid path = walk t ~uid ~follow_last:true (Path.components path)
+
+let resolve_no_follow t ~uid path =
+  walk t ~uid ~follow_last:false (Path.components path)
+
+let resolve_parent t ~uid path =
+  match List.rev (Path.components path) with
+  | [] -> Error Errno.EINVAL
+  | final :: rev_parents ->
+    if String.equal final ".." then Error Errno.EINVAL
+    else
+      (match walk t ~uid ~follow_last:true (List.rev rev_parents) with
+       | Error e -> Error e
+       | Ok dir ->
+         if Inode.kind dir <> Inode.Directory then Error Errno.ENOTDIR
+         else Ok (dir, final))
+
+let writable_dir ~uid dir =
+  Perm.check ~uid ~owner:(Inode.uid dir) ~mode:(Inode.mode dir) Perm.W
+  && searchable ~uid dir
+
+let rec open_file_depth t ~uid ~flags ~mode ~depth path =
+  if depth > 8 then Error Errno.ELOOP
+  else
+    match resolve t ~uid path with
+    | Ok inode ->
+      if flags.creat && flags.excl then Error Errno.EEXIST
+      else if Inode.kind inode = Inode.Directory then Error Errno.EISDIR
+      else if Inode.kind inode = Inode.Symlink then
+        (* Unreachable after a following resolve, but keep total. *)
+        Error Errno.ELOOP
+      else
+        let owner = Inode.uid inode and m = Inode.mode inode in
+        if flags.rd && not (Perm.check ~uid ~owner ~mode:m Perm.R) then
+          Error Errno.EACCES
+        else if flags.wr && not (Perm.check ~uid ~owner ~mode:m Perm.W) then
+          Error Errno.EACCES
+        else begin
+          if flags.wr && flags.trunc then begin
+            Inode.truncate inode ~len:0;
+            Inode.set_mtime inode (t.clock ())
+          end;
+          Ok inode
+        end
+    | Error Errno.ENOENT when flags.creat ->
+      (match resolve_parent t ~uid path with
+       | Error e -> Error e
+       | Ok (dir, name) ->
+         (match Inode.dir_find dir name with
+          | Some entry when Inode.kind entry = Inode.Symlink ->
+            (* Dangling symlink: creation happens at the link target. *)
+            let target = Inode.link_target entry in
+            let expanded = Path.join (Path.dirname path) target in
+            open_file_depth t ~uid ~flags ~mode ~depth:(depth + 1) expanded
+          | Some _ ->
+            (* The entry exists but resolve said ENOENT: traversal race is
+               impossible here, so treat as plain lookup success path. *)
+            Error Errno.ENOENT
+          | None ->
+            if not (writable_dir ~uid dir) then Error Errno.EACCES
+            else begin
+              let inode =
+                Inode.make_file ~ino:(alloc_ino t) ~uid ~mode ~now:(t.clock ())
+              in
+              Inode.dir_add dir name inode;
+              Inode.set_mtime dir (t.clock ());
+              Ok inode
+            end))
+    | Error _ as e -> e
+
+let open_file t ~uid ~flags ~mode path =
+  if (not flags.rd) && not flags.wr then Error Errno.EINVAL
+  else open_file_depth t ~uid ~flags ~mode ~depth:0 path
+
+let mkdir t ~uid ~mode path =
+  match resolve_parent t ~uid path with
+  | Error e -> Error e
+  | Ok (dir, name) ->
+    (match Inode.dir_find dir name with
+     | Some _ -> Error Errno.EEXIST
+     | None ->
+       if not (writable_dir ~uid dir) then Error Errno.EACCES
+       else begin
+         let child = Inode.make_dir ~ino:(alloc_ino t) ~uid ~mode ~now:(t.clock ()) in
+         Inode.dir_add dir name child;
+         Inode.set_mtime dir (t.clock ());
+         Ok child
+       end)
+
+let rmdir t ~uid path =
+  match resolve_parent t ~uid path with
+  | Error e -> Error e
+  | Ok (dir, name) ->
+    (match Inode.dir_find dir name with
+     | None -> Error Errno.ENOENT
+     | Some child ->
+       if Inode.kind child <> Inode.Directory then Error Errno.ENOTDIR
+       else if not (Inode.dir_is_empty child) then Error Errno.ENOTEMPTY
+       else if not (writable_dir ~uid dir) then Error Errno.EACCES
+       else begin
+         Inode.dir_remove dir name;
+         Inode.decr_nlink child;
+         Inode.set_mtime dir (t.clock ());
+         Ok ()
+       end)
+
+let unlink t ~uid path =
+  match resolve_parent t ~uid path with
+  | Error e -> Error e
+  | Ok (dir, name) ->
+    (match Inode.dir_find dir name with
+     | None -> Error Errno.ENOENT
+     | Some child ->
+       if Inode.kind child = Inode.Directory then Error Errno.EISDIR
+       else if not (writable_dir ~uid dir) then Error Errno.EACCES
+       else begin
+         Inode.dir_remove dir name;
+         Inode.decr_nlink child;
+         Inode.set_mtime dir (t.clock ());
+         Ok ()
+       end)
+
+let link t ~uid ~target path =
+  match resolve_no_follow t ~uid target with
+  | Error e -> Error e
+  | Ok src ->
+    if Inode.kind src = Inode.Directory then Error Errno.EPERM
+    else
+      (match resolve_parent t ~uid path with
+       | Error e -> Error e
+       | Ok (dir, name) ->
+         (match Inode.dir_find dir name with
+          | Some _ -> Error Errno.EEXIST
+          | None ->
+            if not (writable_dir ~uid dir) then Error Errno.EACCES
+            else begin
+              Inode.dir_add dir name src;
+              Inode.incr_nlink src;
+              Inode.set_mtime dir (t.clock ());
+              Ok ()
+            end))
+
+let symlink t ~uid ~target path =
+  match resolve_parent t ~uid path with
+  | Error e -> Error e
+  | Ok (dir, name) ->
+    (match Inode.dir_find dir name with
+     | Some _ -> Error Errno.EEXIST
+     | None ->
+       if not (writable_dir ~uid dir) then Error Errno.EACCES
+       else begin
+         let l = Inode.make_symlink ~ino:(alloc_ino t) ~uid ~target ~now:(t.clock ()) in
+         Inode.dir_add dir name l;
+         Inode.set_mtime dir (t.clock ());
+         Ok ()
+       end)
+
+let readlink t ~uid path =
+  match resolve_no_follow t ~uid path with
+  | Error e -> Error e
+  | Ok inode ->
+    if Inode.kind inode = Inode.Symlink then Ok (Inode.link_target inode)
+    else Error Errno.EINVAL
+
+(* Does directory [root] contain [needle] anywhere in its subtree
+   (itself included)?  Guards rename against moving a directory into
+   itself, which would detach an unreachable cycle. *)
+let rec subtree_contains root needle =
+  root == needle
+  || Inode.kind root = Inode.Directory
+     && List.exists
+          (fun name ->
+            match Inode.dir_find root name with
+            | Some child -> subtree_contains child needle
+            | None -> false)
+          (Inode.dir_entries root)
+
+let rename t ~uid ~src ~dst =
+  match resolve_parent t ~uid src with
+  | Error e -> Error e
+  | Ok (sdir, sname) ->
+    (match Inode.dir_find sdir sname with
+     | None -> Error Errno.ENOENT
+     | Some moving ->
+       (match resolve_parent t ~uid dst with
+        | Error e -> Error e
+        | Ok (ddir, dname) ->
+          if not (writable_dir ~uid sdir && writable_dir ~uid ddir) then
+            Error Errno.EACCES
+          else if
+            Inode.kind moving = Inode.Directory && subtree_contains moving ddir
+          then Error Errno.EINVAL
+          else
+            let replace () =
+              Inode.dir_remove sdir sname;
+              Inode.dir_add ddir dname moving;
+              Inode.set_mtime sdir (t.clock ());
+              Inode.set_mtime ddir (t.clock ());
+              Ok ()
+            in
+            (match Inode.dir_find ddir dname with
+             | None -> replace ()
+             | Some existing when existing == moving -> Ok ()
+             | Some existing ->
+               (match (Inode.kind moving, Inode.kind existing) with
+                | Inode.Directory, Inode.Directory ->
+                  if Inode.dir_is_empty existing then begin
+                    Inode.decr_nlink existing;
+                    replace ()
+                  end
+                  else Error Errno.ENOTEMPTY
+                | Inode.Directory, (Inode.Regular | Inode.Symlink | Inode.Fifo) ->
+                  Error Errno.ENOTDIR
+                | (Inode.Regular | Inode.Symlink | Inode.Fifo), Inode.Directory ->
+                  Error Errno.EISDIR
+                | (Inode.Regular | Inode.Symlink | Inode.Fifo),
+                  (Inode.Regular | Inode.Symlink | Inode.Fifo) ->
+                  Inode.decr_nlink existing;
+                  replace ()))))
+
+let readdir t ~uid path =
+  match resolve t ~uid path with
+  | Error e -> Error e
+  | Ok dir ->
+    if Inode.kind dir <> Inode.Directory then Error Errno.ENOTDIR
+    else if not (Perm.check ~uid ~owner:(Inode.uid dir) ~mode:(Inode.mode dir) Perm.R)
+    then Error Errno.EACCES
+    else Ok (Inode.dir_entries dir)
+
+let fstat inode =
+  {
+    st_ino = Inode.ino inode;
+    st_kind = Inode.kind inode;
+    st_mode = Inode.mode inode;
+    st_uid = Inode.uid inode;
+    st_nlink = Inode.nlink inode;
+    st_size = Inode.size inode;
+    st_mtime = Inode.mtime inode;
+    st_ctime = Inode.ctime inode;
+  }
+
+let stat t ~uid path = Result.map fstat (resolve t ~uid path)
+
+let lstat t ~uid path = Result.map fstat (resolve_no_follow t ~uid path)
+
+let chmod t ~uid ~mode path =
+  match resolve t ~uid path with
+  | Error e -> Error e
+  | Ok inode ->
+    if uid <> 0 && uid <> Inode.uid inode then Error Errno.EPERM
+    else begin
+      Inode.set_mode inode mode;
+      Inode.set_ctime inode (t.clock ());
+      Ok ()
+    end
+
+let chown t ~uid ~owner path =
+  match resolve t ~uid path with
+  | Error e -> Error e
+  | Ok inode ->
+    if uid <> 0 then Error Errno.EPERM
+    else begin
+      Inode.set_uid inode owner;
+      Inode.set_ctime inode (t.clock ());
+      Ok ()
+    end
+
+let exists t ~uid path =
+  match resolve t ~uid path with Ok _ -> true | Error _ -> false
+
+let write_file t ~uid ?(mode = Perm.default_file_mode) path contents =
+  match open_file t ~uid ~flags:wronly_create ~mode path with
+  | Error e -> Error e
+  | Ok inode ->
+    Inode.set_contents inode contents;
+    Inode.set_mtime inode (t.clock ());
+    Ok ()
+
+let read_file t ~uid path =
+  match open_file t ~uid ~flags:rdonly ~mode:0 path with
+  | Error e -> Error e
+  | Ok inode -> Ok (Inode.contents inode)
+
+let mkdir_p t ~uid ?(mode = Perm.default_dir_mode) path =
+  let rec go prefix = function
+    | [] -> Ok ()
+    | comp :: rest ->
+      let here = if String.equal prefix "/" then "/" ^ comp else prefix ^ "/" ^ comp in
+      (match mkdir t ~uid ~mode here with
+       | Ok _ | Error Errno.EEXIST -> go here rest
+       | Error e -> Error e)
+  in
+  go "/" (Path.components path)

@@ -1,0 +1,97 @@
+(** The simulated filesystem: permission-checked operations over a tree
+    of {!Inode.t}.
+
+    All paths given to this module are absolute; the kernel joins
+    process-relative paths against the current working directory first.
+    Symbolic links are resolved with a loop limit; [".."] is resolved
+    against the {e real} parent encountered during the walk, including
+    through symlink targets that contain [".."].
+
+    Every operation checks classic Unix permissions for the acting [uid]
+    (search on traversed directories, read/write on the object as
+    appropriate).  Identity-box ACL checks are layered {e above} this
+    module by the interposition agent. *)
+
+type t
+
+type stat = {
+  st_ino : int;
+  st_kind : Inode.kind;
+  st_mode : int;
+  st_uid : int;
+  st_nlink : int;
+  st_size : int;
+  st_mtime : int64;
+  st_ctime : int64;
+}
+
+type open_flags = {
+  rd : bool;  (** Open for reading. *)
+  wr : bool;  (** Open for writing. *)
+  creat : bool;  (** Create if absent (needs write on the parent). *)
+  excl : bool;  (** With [creat]: fail [EEXIST] if present. *)
+  trunc : bool;  (** Truncate to zero on open for write. *)
+  append : bool;  (** Writes go to end-of-file. *)
+}
+
+val rdonly : open_flags
+val wronly_create : open_flags
+(** [creat + trunc] write flags, the common "put a file" shape. *)
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** A fresh filesystem containing only a root directory owned by uid 0
+    with mode [0o755].  [clock] supplies mtime values (defaults to a
+    constant 0 clock). *)
+
+val root : t -> Inode.t
+
+val make_pipe : t -> Inode.t
+(** A fresh pipe inode (allocated from this filesystem's inode space,
+    never linked into the tree). *)
+
+type 'a r := ('a, Errno.t) result
+
+val resolve : t -> uid:int -> string -> Inode.t r
+(** Full resolution, following every symlink. *)
+
+val resolve_no_follow : t -> uid:int -> string -> Inode.t r
+(** Resolution that does not follow a final symlink ([lstat] flavour). *)
+
+val resolve_parent : t -> uid:int -> string -> (Inode.t * string) r
+(** [(parent directory inode, final component)] for a path that need not
+    exist yet.  Fails [EINVAL] on ["/"], ["."] or [".."] finals. *)
+
+val open_file : t -> uid:int -> flags:open_flags -> mode:int -> string -> Inode.t r
+(** Open (and possibly create) a regular file, enforcing permissions. *)
+
+val mkdir : t -> uid:int -> mode:int -> string -> Inode.t r
+val rmdir : t -> uid:int -> string -> unit r
+val unlink : t -> uid:int -> string -> unit r
+val link : t -> uid:int -> target:string -> string -> unit r
+(** Hard link: [link ~target path] makes [path] name the same inode as
+    [target].  Directories cannot be hard-linked ([EPERM]). *)
+
+val symlink : t -> uid:int -> target:string -> string -> unit r
+(** [symlink ~target path]: [target] is stored verbatim. *)
+
+val readlink : t -> uid:int -> string -> string r
+val rename : t -> uid:int -> src:string -> dst:string -> unit r
+val readdir : t -> uid:int -> string -> string list r
+val stat : t -> uid:int -> string -> stat r
+val lstat : t -> uid:int -> string -> stat r
+val fstat : Inode.t -> stat
+val chmod : t -> uid:int -> mode:int -> string -> unit r
+val chown : t -> uid:int -> owner:int -> string -> unit r
+val exists : t -> uid:int -> string -> bool
+(** True when {!resolve} succeeds (follows symlinks). *)
+
+(** {1 Convenience for tests and fixtures} *)
+
+val write_file : t -> uid:int -> ?mode:int -> string -> string -> unit r
+(** Create-or-truncate a file with the given contents. *)
+
+val read_file : t -> uid:int -> string -> string r
+(** Whole-file read. *)
+
+val mkdir_p : t -> uid:int -> ?mode:int -> string -> unit r
+(** Create every missing directory along the path. *)

@@ -1,0 +1,186 @@
+type kind =
+  | Regular
+  | Directory
+  | Symlink
+  | Fifo
+
+type file_store = {
+  mutable data : Bytes.t;
+  mutable len : int;
+}
+
+type pipe = {
+  pbuf : Buffer.t;
+  mutable p_read_pos : int;
+  mutable p_readers : int;
+  mutable p_writers : int;
+}
+
+type payload =
+  | File of file_store
+  | Dir of (string, t) Hashtbl.t
+  | Link of string
+  | Pipe_end of pipe
+
+and t = {
+  i_ino : int;
+  payload : payload;
+  mutable i_mode : int;
+  mutable i_uid : int;
+  mutable i_nlink : int;
+  mutable i_mtime : int64;
+  mutable i_ctime : int64;
+}
+
+let ino t = t.i_ino
+
+let kind t =
+  match t.payload with
+  | File _ -> Regular
+  | Dir _ -> Directory
+  | Link _ -> Symlink
+  | Pipe_end _ -> Fifo
+
+let mode t = t.i_mode
+let set_mode t m = t.i_mode <- m
+
+let uid t = t.i_uid
+let set_uid t u = t.i_uid <- u
+
+let nlink t = t.i_nlink
+let incr_nlink t = t.i_nlink <- t.i_nlink + 1
+let decr_nlink t = t.i_nlink <- t.i_nlink - 1
+
+let mtime t = t.i_mtime
+let set_mtime t v = t.i_mtime <- v
+let ctime t = t.i_ctime
+let set_ctime t v = t.i_ctime <- v
+
+let make ~ino ~uid ~mode ~now payload =
+  { i_ino = ino; payload; i_mode = mode; i_uid = uid; i_nlink = 1;
+    i_mtime = now; i_ctime = now }
+
+let make_file ~ino ~uid ~mode ~now =
+  make ~ino ~uid ~mode ~now (File { data = Bytes.create 0; len = 0 })
+
+let make_dir ~ino ~uid ~mode ~now =
+  (* nlink for directories is left at 1: the simulation does not count
+     the "." and ".." pseudo-entries. *)
+  make ~ino ~uid ~mode ~now (Dir (Hashtbl.create 8))
+
+let make_symlink ~ino ~uid ~target ~now =
+  make ~ino ~uid ~mode:0o777 ~now (Link target)
+
+let make_pipe ~ino ~now =
+  make ~ino ~uid:0 ~mode:0o600 ~now
+    (Pipe_end { pbuf = Buffer.create 64; p_read_pos = 0; p_readers = 1; p_writers = 1 })
+
+let store t op =
+  match t.payload with
+  | File s -> s
+  | Dir _ | Link _ | Pipe_end _ -> invalid_arg (op ^ ": not a regular file")
+
+let pipe_of t =
+  match t.payload with
+  | Pipe_end p -> Some p
+  | File _ | Dir _ | Link _ -> None
+
+let pipe_available p = Buffer.length p.pbuf - p.p_read_pos
+
+let pipe_push p data = Buffer.add_string p.pbuf data
+
+let pipe_pull p len =
+  let n = min len (pipe_available p) in
+  if n <= 0 then ""
+  else begin
+    let chunk = Buffer.sub p.pbuf p.p_read_pos n in
+    p.p_read_pos <- p.p_read_pos + n;
+    (* Compact once everything buffered has been consumed. *)
+    if p.p_read_pos >= Buffer.length p.pbuf then begin
+      Buffer.clear p.pbuf;
+      p.p_read_pos <- 0
+    end;
+    chunk
+  end
+
+let pipe_readers p = p.p_readers
+let pipe_writers p = p.p_writers
+let pipe_add_reader p = p.p_readers <- p.p_readers + 1
+let pipe_add_writer p = p.p_writers <- p.p_writers + 1
+let pipe_drop_reader p = p.p_readers <- max 0 (p.p_readers - 1)
+let pipe_drop_writer p = p.p_writers <- max 0 (p.p_writers - 1)
+
+let size t =
+  match t.payload with
+  | File s -> s.len
+  | Pipe_end p -> pipe_available p
+  | Dir _ | Link _ -> 0
+
+let read t ~off ~len =
+  let s = store t "Inode.read" in
+  if off >= s.len || len <= 0 then Bytes.create 0
+  else
+    let n = min len (s.len - off) in
+    Bytes.sub s.data off n
+
+let ensure_capacity s wanted =
+  if Bytes.length s.data < wanted then begin
+    let cap = max wanted (max 64 (2 * Bytes.length s.data)) in
+    let grown = Bytes.create cap in
+    Bytes.blit s.data 0 grown 0 s.len;
+    Bytes.fill grown s.len (cap - s.len) '\000';
+    s.data <- grown
+  end
+
+let write t ~off data =
+  if off < 0 then invalid_arg "Inode.write: negative offset";
+  let s = store t "Inode.write" in
+  let n = Bytes.length data in
+  ensure_capacity s (off + n);
+  if off > s.len then Bytes.fill s.data s.len (off - s.len) '\000';
+  Bytes.blit data 0 s.data off n;
+  s.len <- max s.len (off + n);
+  n
+
+let truncate t ~len =
+  if len < 0 then invalid_arg "Inode.truncate: negative length";
+  let s = store t "Inode.truncate" in
+  if len <= s.len then s.len <- len
+  else begin
+    ensure_capacity s len;
+    Bytes.fill s.data s.len (len - s.len) '\000';
+    s.len <- len
+  end
+
+let contents t =
+  let s = store t "Inode.contents" in
+  Bytes.sub_string s.data 0 s.len
+
+let set_contents t text =
+  let s = store t "Inode.set_contents" in
+  let n = String.length text in
+  ensure_capacity s n;
+  Bytes.blit_string text 0 s.data 0 n;
+  s.len <- n
+
+let table t op =
+  match t.payload with
+  | Dir tbl -> tbl
+  | File _ | Link _ | Pipe_end _ -> invalid_arg (op ^ ": not a directory")
+
+let dir_find t name = Hashtbl.find_opt (table t "Inode.dir_find") name
+
+let dir_add t name child = Hashtbl.replace (table t "Inode.dir_add") name child
+
+let dir_remove t name = Hashtbl.remove (table t "Inode.dir_remove") name
+
+let dir_entries t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) (table t "Inode.dir_entries") []
+  |> List.sort String.compare
+
+let dir_is_empty t = Hashtbl.length (table t "Inode.dir_is_empty") = 0
+
+let link_target t =
+  match t.payload with
+  | Link target -> target
+  | File _ | Dir _ | Pipe_end _ -> invalid_arg "Inode.link_target: not a symlink"

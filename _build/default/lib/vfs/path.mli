@@ -1,0 +1,47 @@
+(** Slash-separated path manipulation for the simulated filesystem.
+
+    Paths are plain strings at the API boundary; this module provides the
+    lexical operations (normalization, joining, splitting) that the
+    filesystem and the interposition agent share.  Lexical normalization
+    deliberately does {e not} collapse [".."] across symlinks — the
+    filesystem resolves components one at a time — but it is used for
+    display and for prefix tests on already-resolved paths. *)
+
+val root : string
+(** ["/"]. *)
+
+val is_absolute : string -> bool
+
+val components : string -> string list
+(** Non-empty components, ["."] removed, [".."] preserved.
+    [components "/a//b/./c"] is [["a"; "b"; "c"]]. *)
+
+val of_components : string list -> string
+(** Absolute path from components; [of_components []] is ["/"]. *)
+
+val normalize : string -> string
+(** Lexical cleanup of an absolute path: collapse [//] and [.], resolve
+    [".."] lexically, never above the root. *)
+
+val join : string -> string -> string
+(** [join base p] is [p] when [p] is absolute, else the normalized
+    concatenation. *)
+
+val basename : string -> string
+(** Final component; ["/"] for the root. *)
+
+val dirname : string -> string
+(** All but the final component; ["/"] for the root. *)
+
+val split : string -> (string * string) option
+(** [split p] is [Some (dirname, basename)], or [None] for the root. *)
+
+val is_prefix : prefix:string -> string -> bool
+(** Component-wise prefix test on normalized absolute paths:
+    [is_prefix ~prefix:"/a/b" "/a/b/c"] but not ["/a/bc"]. *)
+
+val strip_prefix : prefix:string -> string -> string option
+(** [strip_prefix ~prefix:"/a" "/a/b/c"] is [Some "/b/c"];
+    the remainder is ["/"] when the paths are equal. *)
+
+val pp : Format.formatter -> string -> unit

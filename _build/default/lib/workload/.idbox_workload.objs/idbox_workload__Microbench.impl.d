@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: Idbox Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs Int64 List Printf String

@@ -1,0 +1,180 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Clock = Idbox_kernel.Clock
+module Box = Idbox.Box
+module Acl = Idbox_acl.Acl
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+module Principal = Idbox_identity.Principal
+
+type row = {
+  mb_call : string;
+  mb_direct_us : float;
+  mb_boxed_us : float;
+  mb_slowdown : float;
+}
+
+type trap_row = {
+  tr_call : string;
+  tr_context_switches : int;
+  tr_peek_poke_words : int;
+  tr_delegated : int;
+  tr_channel_bytes : int;
+}
+
+type call =
+  | Getpid
+  | Stat
+  | Open_close
+  | Read of int
+  | Write of int
+
+let call_name = function
+  | Getpid -> "getpid"
+  | Stat -> "stat"
+  | Open_close -> "open/close"
+  | Read 1 -> "read 1 byte"
+  | Read n -> Printf.sprintf "read %d KB" (n / 1024)
+  | Write 1 -> "write 1 byte"
+  | Write n -> Printf.sprintf "write %d KB" (n / 1024)
+
+let bench_calls =
+  [ Getpid; Stat; Open_close; Read 1; Read 8192; Write 1; Write 8192 ]
+
+let identity = Principal.of_string "globus:/O=UnivNowhere/CN=Fred"
+
+let workdir = "/srv/bench"
+let data_path = workdir ^ "/data.dat"
+
+(* The measured loop: one process performing [iters] instances of the
+   call against a pre-opened, cached file. *)
+let loop_main call ~iters : Idbox_kernel.Program.main =
+ fun _args ->
+  (match call with
+   | Getpid ->
+     for _ = 1 to iters do
+       ignore (Libc.getpid ())
+     done
+   | Stat ->
+     for _ = 1 to iters do
+       ignore (Libc.check "stat" (Libc.stat data_path))
+     done
+   | Open_close ->
+     for _ = 1 to iters do
+       let fd = Libc.check "open" (Libc.open_file data_path) in
+       ignore (Libc.check "close" (Libc.close fd))
+     done
+   | Read len ->
+     let fd = Libc.check "open" (Libc.open_file data_path) in
+     for _ = 1 to iters do
+       ignore (Libc.check "read" (Libc.pread fd ~off:0 ~len))
+     done;
+     ignore (Libc.close fd)
+   | Write len ->
+     let flags =
+       { Fs.rd = false; wr = true; creat = false; excl = false; trunc = false;
+         append = false }
+     in
+     let fd = Libc.check "open" (Libc.open_file ~flags data_path) in
+     let block = String.make len 'b' in
+     for _ = 1 to iters do
+       ignore (Libc.check "write" (Libc.pwrite fd ~off:0 block))
+     done;
+     ignore (Libc.close fd));
+  0
+
+let fail_errno ctx = function
+  | Ok v -> v
+  | Error e -> invalid_arg (ctx ^ ": " ^ Errno.message e)
+
+let fresh_host ?cost () =
+  let kernel = Kernel.create ?cost () in
+  let operator =
+    match Account.add (Kernel.accounts kernel) "operator" with
+    | Ok e -> e
+    | Error m -> invalid_arg m
+  in
+  Kernel.refresh_passwd kernel;
+  let fs = Kernel.fs kernel in
+  fail_errno "bench mkdir" (Fs.mkdir_p fs ~uid:0 workdir);
+  fail_errno "bench chown" (Fs.chown fs ~uid:0 ~owner:operator.Account.uid workdir);
+  fail_errno "bench data"
+    (Fs.write_file fs ~uid:operator.Account.uid data_path (String.make 16384 'd'));
+  (kernel, operator.Account.uid)
+
+let measure ?cost ?small_io_threshold ~boxed call ~iters =
+  let kernel, owner_uid = fresh_host ?cost () in
+  let main = loop_main call ~iters in
+  let spawn () =
+    if boxed then begin
+      let box =
+        match
+          Box.create kernel ~supervisor_uid:owner_uid ~identity
+            ?small_io_threshold ()
+        with
+        | Ok box -> box
+        | Error e -> invalid_arg (Errno.message e)
+      in
+      fail_errno "bench acl" (Box.set_acl box ~dir:workdir (Acl.for_owner identity));
+      Box.spawn_main box ~main ~args:[ "bench" ]
+    end
+    else Kernel.spawn_main kernel ~uid:owner_uid ~cwd:workdir ~main ~args:[ "bench" ] ()
+  in
+  let pid = spawn () in
+  let t0 = Kernel.now kernel in
+  Kernel.run kernel;
+  (match Kernel.exit_code kernel pid with
+   | Some 0 -> ()
+   | Some n -> invalid_arg (Printf.sprintf "bench %s exited %d" (call_name call) n)
+   | None -> invalid_arg "bench never exited");
+  let elapsed = Int64.sub (Kernel.now kernel) t0 in
+  Clock.to_micros elapsed /. float_of_int iters
+
+let fig5a ?(iters = 2000) () =
+  List.map
+    (fun call ->
+      let mb_direct_us = measure ~boxed:false call ~iters in
+      let mb_boxed_us = measure ~boxed:true call ~iters in
+      {
+        mb_call = call_name call;
+        mb_direct_us;
+        mb_boxed_us;
+        mb_slowdown = mb_boxed_us /. mb_direct_us;
+      })
+    bench_calls
+
+let boxed_read_us ?cost ?small_io_threshold ~bytes () =
+  measure ?cost ?small_io_threshold ~boxed:true (Read bytes) ~iters:500
+
+let fig4 () =
+  List.map
+    (fun call ->
+      let kernel, owner_uid = fresh_host () in
+      let box =
+        match Box.create kernel ~supervisor_uid:owner_uid ~identity () with
+        | Ok box -> box
+        | Error e -> invalid_arg (Errno.message e)
+      in
+      fail_errno "bench acl" (Box.set_acl box ~dir:workdir (Acl.for_owner identity));
+      (* Warm the box's ACL cache with one throwaway call, then account
+         a single instance of the bench call. *)
+      let warm = Box.spawn_main box ~main:(loop_main Stat ~iters:1) ~args:[ "warm" ] in
+      Kernel.run kernel;
+      ignore (Kernel.exit_code kernel warm);
+      let stats = Kernel.stats kernel in
+      let cs0 = stats.Kernel.context_switches
+      and ppw0 = stats.Kernel.peek_poke_words
+      and dg0 = stats.Kernel.delegated
+      and chb0 = stats.Kernel.channel_bytes in
+      let pid = Box.spawn_main box ~main:(loop_main call ~iters:1) ~args:[ "one" ] in
+      Kernel.run kernel;
+      ignore (Kernel.exit_code kernel pid);
+      {
+        tr_call = call_name call;
+        tr_context_switches = stats.Kernel.context_switches - cs0;
+        tr_peek_poke_words = stats.Kernel.peek_poke_words - ppw0;
+        tr_delegated = stats.Kernel.delegated - dg0;
+        tr_channel_bytes = stats.Kernel.channel_bytes - chb0;
+      })
+    bench_calls

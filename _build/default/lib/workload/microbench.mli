@@ -1,0 +1,41 @@
+(** System-call microbenchmarks: Figure 5(a) and the Figure 4 trap
+    accounting.
+
+    Each Fig. 5(a) row measures one call in a tight loop on a cached
+    file — unmodified and inside an identity box — and reports simulated
+    microseconds per call.  The Fig. 4 table runs one call of each type
+    inside a box and reports the interposition work it triggered:
+    context switches, PEEK/POKE words, delegated supervisor calls, and
+    bytes copied through the I/O channel. *)
+
+type row = {
+  mb_call : string;  (** "getpid", "stat", "open/close", "read 8KB", ... *)
+  mb_direct_us : float;
+  mb_boxed_us : float;
+  mb_slowdown : float;  (** boxed / direct. *)
+}
+
+val fig5a : ?iters:int -> unit -> row list
+(** Default 2000 iterations per call (the simulation is deterministic,
+    so this is about amortizing loop edges, not noise). *)
+
+type trap_row = {
+  tr_call : string;
+  tr_context_switches : int;
+  tr_peek_poke_words : int;
+  tr_delegated : int;  (** Supervisor-made system calls. *)
+  tr_channel_bytes : int;
+}
+
+val fig4 : unit -> trap_row list
+(** Per-call interposition accounting for a representative call set. *)
+
+val boxed_read_us :
+  ?cost:Idbox_kernel.Cost.t ->
+  ?small_io_threshold:int ->
+  bytes:int ->
+  unit ->
+  float
+(** Boxed per-call latency of a [bytes]-sized read under a custom cost
+    model and channel threshold — the ablation knob for the I/O-channel
+    copy cost and the PEEK/POKE cutoff. *)

@@ -1,0 +1,47 @@
+(** Run workload models unmodified, inside an identity box, or under the
+    in-kernel box, and measure their simulated runtimes.
+
+    Each measurement uses a fresh host so clocks, caches, and process
+    tables never leak between runs.  Staging (data files, the child
+    compiler executable, ACLs) happens before the measured window; the
+    runtime is the simulated-clock delta around the application run. *)
+
+type mode =
+  | Direct  (** No interposition. *)
+  | Boxed  (** Inside a ptrace-style identity box ({!Idbox.Box}). *)
+  | Kboxed  (** Under the in-kernel box ({!Idbox.Kbox}), Fig. 6. *)
+
+type measurement = {
+  m_app : string;
+  m_mode : mode;
+  m_runtime_s : float;  (** Simulated seconds. *)
+  m_syscalls : int;  (** Calls serviced during the run. *)
+  m_trapped : int;  (** Calls that stopped at a supervisor. *)
+  m_exit_code : int;
+}
+
+type comparison = {
+  c_app : string;
+  c_direct_s : float;
+  c_boxed_s : float;
+  c_overhead_pct : float;  (** Measured boxed overhead. *)
+  c_paper_pct : float;  (** The paper's Fig. 5(b) number. *)
+}
+
+val mode_name : mode -> string
+
+val run : ?cost:Idbox_kernel.Cost.t -> Spec.t -> mode -> scale:float -> measurement
+(** Raises [Invalid_argument] if staging fails or the workload exits
+    nonzero (a workload bug, not a measurement).  [cost] overrides the
+    calibrated cost model (ablation sweeps). *)
+
+val compare_spec : Spec.t -> scale:float -> comparison
+(** Direct vs boxed for one application. *)
+
+val fig5b : ?scale:float -> unit -> comparison list
+(** The full Figure 5(b) row set (default scale 0.1: same percentages,
+    one-tenth the simulated work). *)
+
+val fig6_ablation : ?scale:float -> ?apps:Spec.t list -> unit -> (string * float * float) list
+(** [(app, boxed overhead %, in-kernel overhead %)] — what moving
+    identity boxing into the OS saves. *)

@@ -1,0 +1,22 @@
+type counts = {
+  reads_8k : int;
+  writes_8k : int;
+  metadata : int;
+  small_ios : int;
+  spawns : int;
+  compute_ms : float;
+}
+
+type t = {
+  w_name : string;
+  w_description : string;
+  w_paper_runtime_s : float;
+  w_paper_overhead_pct : float;
+  w_counts : scale:float -> counts;
+}
+
+let total_syscalls c =
+  c.reads_8k + c.writes_8k + c.metadata + c.small_ios + c.spawns
+
+let scaled n ~scale =
+  if n = 0 then 0 else max 1 (int_of_float (float_of_int n *. scale))

@@ -1,0 +1,38 @@
+(** Workload models for the Figure 5(b) applications.
+
+    Each application is modelled by its system-call mix — counts of
+    large-block reads and writes, small metadata operations, child
+    process creations — plus user-mode compute time.  The mixes follow
+    the paper's characterization of these workloads (reference [39]:
+    large-block sequential I/O for the scientific codes; a metadata
+    storm with many child compilers for [make]), and the {e unmodified}
+    totals are sized to land near the paper's reported runtimes.  The
+    boxed overheads are then {e measured}, not asserted.
+
+    All counts scale linearly with [scale], so quick runs (scale 0.1)
+    report the same percentages as full-size ones. *)
+
+type counts = {
+  reads_8k : int;  (** 8 KiB [pread]s of a staged data file. *)
+  writes_8k : int;  (** 8 KiB appends to an output file. *)
+  metadata : int;  (** [stat] / open-close metadata operations. *)
+  small_ios : int;  (** 64-byte reads (control records). *)
+  spawns : int;  (** Child processes (compilers for [make]). *)
+  compute_ms : float;  (** Total user-mode CPU, milliseconds. *)
+}
+
+type t = {
+  w_name : string;
+  w_description : string;
+  w_paper_runtime_s : float;
+      (** The unmodified runtime bar in Fig. 5(b), seconds. *)
+  w_paper_overhead_pct : float;
+      (** The boxed slowdown the paper reports, percent. *)
+  w_counts : scale:float -> counts;
+}
+
+val total_syscalls : counts -> int
+(** All calls except compute chunks (for reporting). *)
+
+val scaled : int -> scale:float -> int
+(** [scaled n ~scale] with a floor of 1 when [n > 0]. *)

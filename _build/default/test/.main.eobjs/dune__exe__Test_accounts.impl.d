@@ -1,0 +1,1 @@
+test/test_accounts.ml: Alcotest Idbox_accounts Idbox_identity Idbox_kernel Idbox_vfs List Printf String

@@ -1,0 +1,1 @@
+test/test_acl.ml: Alcotest Idbox_acl Idbox_identity List QCheck QCheck_alcotest Result

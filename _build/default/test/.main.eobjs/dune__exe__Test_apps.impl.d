@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Idbox Idbox_acl Idbox_apps Idbox_identity Idbox_kernel Idbox_vfs String

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Idbox Idbox_identity Idbox_kernel Idbox_vfs Int64 List String

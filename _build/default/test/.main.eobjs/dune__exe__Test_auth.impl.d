@@ -1,0 +1,1 @@
+test/test_auth.ml: Alcotest Idbox_auth Idbox_identity Int64 String

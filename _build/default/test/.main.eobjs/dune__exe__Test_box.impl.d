@@ -1,0 +1,1 @@
+test/test_box.ml: Alcotest Char Idbox Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs List String

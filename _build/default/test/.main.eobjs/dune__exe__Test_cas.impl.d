@@ -1,0 +1,1 @@
+test/test_cas.ml: Alcotest Idbox_auth Idbox_chirp Idbox_identity Idbox_kernel Idbox_net Idbox_vfs Int64 List String

@@ -1,0 +1,1 @@
+test/test_chirp.ml: Alcotest Char Digest Idbox Idbox_acl Idbox_auth Idbox_chirp Idbox_identity Idbox_kernel Idbox_net Idbox_vfs List String

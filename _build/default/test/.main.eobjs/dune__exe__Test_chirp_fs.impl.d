@@ -1,0 +1,1 @@
+test/test_chirp_fs.ml: Alcotest Idbox Idbox_acl Idbox_auth Idbox_chirp Idbox_identity Idbox_kernel Idbox_net Idbox_vfs List

@@ -1,0 +1,1 @@
+test/test_enforce.ml: Alcotest Idbox Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs Int64 Printf

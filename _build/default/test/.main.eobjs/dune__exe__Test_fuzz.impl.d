@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Digest Idbox Idbox_identity Idbox_kernel Idbox_vfs List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Idbox_identity Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_kbox.ml: Alcotest Idbox Idbox_acl Idbox_identity Idbox_kernel Idbox_vfs String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Idbox_kernel Idbox_vfs Int64 List String

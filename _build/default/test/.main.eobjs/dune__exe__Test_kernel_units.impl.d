@@ -1,0 +1,1 @@
+test/test_kernel_units.ml: Alcotest Format Idbox_kernel Idbox_vfs Int64 List String

@@ -1,0 +1,1 @@
+test/test_libc.ml: Alcotest Char Format Idbox Idbox_identity Idbox_kernel Idbox_vfs Int64 String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Idbox_kernel Idbox_net Idbox_vfs Int64 String

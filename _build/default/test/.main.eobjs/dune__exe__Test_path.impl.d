@@ -1,0 +1,1 @@
+test/test_path.ml: Alcotest Idbox_vfs List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_pipe.ml: Alcotest Idbox Idbox_identity Idbox_kernel Idbox_vfs List

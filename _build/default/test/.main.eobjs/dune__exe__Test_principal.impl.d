@@ -1,0 +1,1 @@
+test/test_principal.ml: Alcotest Idbox_identity List QCheck QCheck_alcotest String

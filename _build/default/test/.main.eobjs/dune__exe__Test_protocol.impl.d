@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Idbox_auth Idbox_chirp Idbox_identity Idbox_vfs List QCheck QCheck_alcotest String

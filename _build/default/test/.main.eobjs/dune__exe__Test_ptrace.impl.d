@@ -1,0 +1,1 @@
+test/test_ptrace.ml: Alcotest Idbox_kernel Idbox_ptrace Idbox_vfs String

@@ -1,0 +1,1 @@
+test/test_remote.ml: Alcotest Idbox Idbox_vfs

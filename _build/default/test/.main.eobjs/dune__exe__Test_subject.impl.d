@@ -1,0 +1,1 @@
+test/test_subject.ml: Alcotest Idbox_identity List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes Idbox_vfs List QCheck QCheck_alcotest Result String

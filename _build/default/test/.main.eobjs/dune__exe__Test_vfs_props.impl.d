@@ -1,0 +1,1 @@
+test/test_vfs_props.ml: Hashtbl Idbox_vfs List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wildcard.ml: Alcotest Idbox_identity Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Idbox_workload List Printf String

@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Idbox Idbox_acl Idbox_apps Idbox_auth Idbox_chirp Idbox_identity Idbox_kernel Idbox_net Idbox_vfs List Printf String

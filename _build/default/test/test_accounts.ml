@@ -1,0 +1,156 @@
+module Probe = Idbox_accounts.Probe
+module Scheme = Idbox_accounts.Scheme
+module Account = Idbox_kernel.Account
+module Principal = Idbox_identity.Principal
+
+(* The headline test: every derived Figure 1 row equals the paper's. *)
+let matrix_matches_paper () =
+  List.iter
+    (fun scheme ->
+      let derived = Probe.evaluate scheme in
+      match Probe.paper_row derived.Probe.r_scheme with
+      | None -> Alcotest.failf "no paper row for %s" derived.Probe.r_scheme
+      | Some expected ->
+        let cell label got want =
+          Alcotest.(check string)
+            (Printf.sprintf "%s / %s" derived.Probe.r_scheme label)
+            want got
+        in
+        cell "privilege"
+          (if derived.Probe.r_requires_privilege then "root" else "-")
+          (if expected.Probe.r_requires_privilege then "root" else "-");
+        cell "protects owner"
+          (Probe.verdict_to_string derived.Probe.r_protects_owner)
+          (Probe.verdict_to_string expected.Probe.r_protects_owner);
+        cell "privacy"
+          (Probe.verdict_to_string derived.Probe.r_privacy)
+          (Probe.verdict_to_string expected.Probe.r_privacy);
+        cell "sharing"
+          (Probe.verdict_to_string derived.Probe.r_sharing)
+          (Probe.verdict_to_string expected.Probe.r_sharing);
+        cell "return"
+          (Probe.verdict_to_string derived.Probe.r_return)
+          (Probe.verdict_to_string expected.Probe.r_return);
+        cell "admin burden" derived.Probe.r_admin_burden expected.Probe.r_admin_burden)
+    (Probe.all_schemes ())
+
+let seven_schemes_in_paper_order () =
+  Alcotest.(check (list string)) "order"
+    [ "single"; "untrusted"; "private"; "group"; "anonymous"; "pool"; "identity box" ]
+    (List.map (fun s -> s.Scheme.sc_name) (Probe.all_schemes ()))
+
+let org_extraction () =
+  let org p = Scheme.org_of (Principal.of_string p) in
+  Alcotest.(check string) "dn" "UnivNowhere" (org "globus:/O=UnivNowhere/CN=Fred");
+  Alcotest.(check string) "kerberos" "NOWHERE.EDU" (org "kerberos:fred@NOWHERE.EDU");
+  Alcotest.(check string) "plain" "Freddy" (org "Freddy")
+
+let require_root_guard () =
+  (match Scheme.require_root ~operator_uid:0 ~what:"x" with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "root denied");
+  (match Scheme.require_root ~operator_uid:1000 ~what:"x" with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "non-root allowed")
+
+let sanitize_names () =
+  Alcotest.(check string) "slashes" "_O_UnivNowhere_CN_Fred"
+    (Scheme.sanitize "/O=UnivNowhere/CN=Fred");
+  Alcotest.(check bool) "bounded" true
+    (String.length (Scheme.sanitize (String.make 200 'a')) <= 48)
+
+let pool_recycling_hazard () =
+  (* The classic pool hazard: after V1 logs out, V2 may inherit the
+     recycled account and with it V1's leftover files. *)
+  let kernel = Idbox_kernel.Kernel.create () in
+  let state =
+    match Idbox_accounts.Account_pool.scheme.Scheme.sc_setup kernel ~operator_uid:0 with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let v1 =
+    match state.Scheme.st_admit (Principal.of_string "unix:v1") with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let wrote =
+    v1.Scheme.s_run
+      (fun _ ->
+        match
+          Idbox_kernel.Libc.write_file
+            (v1.Scheme.s_workdir ^ "/leftover") ~contents:"oops"
+        with
+        | Ok () -> 0
+        | Error _ -> 1)
+      [ "w" ]
+  in
+  Alcotest.(check int) "v1 wrote" 0 wrote;
+  state.Scheme.st_logout v1;
+  (* Drain the queue until the recycled account comes around. *)
+  let rec admit_until_uid target n =
+    if n = 0 then Alcotest.fail "recycled account never reappeared"
+    else
+      match state.Scheme.st_admit (Principal.of_string "unix:v2") with
+      | Ok s when s.Scheme.s_uid = target -> s
+      | Ok _ -> admit_until_uid target (n - 1)
+      | Error m -> Alcotest.fail m
+  in
+  let v2 = admit_until_uid v1.Scheme.s_uid 20 in
+  let read =
+    v2.Scheme.s_run
+      (fun _ ->
+        match Idbox_kernel.Libc.read_file (v1.Scheme.s_workdir ^ "/leftover") with
+        | Ok "oops" -> 0
+        | Ok _ | Error _ -> 1)
+      [ "r" ]
+  in
+  Alcotest.(check int) "v2 inherited v1's file (the hazard)" 0 read
+
+let anonymous_leaves_nothing () =
+  let kernel = Idbox_kernel.Kernel.create () in
+  let state =
+    match
+      Idbox_accounts.Anonymous_accounts.scheme.Scheme.sc_setup kernel
+        ~operator_uid:0
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  let v =
+    match state.Scheme.st_admit (Principal.of_string "unix:visitor") with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  ignore
+    (v.Scheme.s_run
+       (fun _ ->
+         ignore (Idbox_kernel.Libc.write_file (v.Scheme.s_workdir ^ "/f") ~contents:"x");
+         0)
+       [ "w" ]);
+  let accounts_before = Account.count (Idbox_kernel.Kernel.accounts kernel) in
+  state.Scheme.st_logout v;
+  Alcotest.(check int) "account deleted" (accounts_before - 1)
+    (Account.count (Idbox_kernel.Kernel.accounts kernel));
+  Alcotest.(check bool) "home gone" false
+    (Idbox_vfs.Fs.exists (Idbox_kernel.Kernel.fs kernel) ~uid:0 v.Scheme.s_workdir)
+
+let render_table_shape () =
+  let rows = [ Probe.evaluate Idbox_accounts.Single_account.scheme ] in
+  let text = Probe.render_table rows in
+  Alcotest.(check bool) "has header" true (String.length text > 40);
+  Alcotest.(check bool) "mentions scheme" true
+    (List.exists
+       (fun line -> String.length line > 0 && String.sub line 0 6 = "single")
+       (String.split_on_char '\n' text))
+
+let suite =
+  [
+    Alcotest.test_case "matrix matches paper" `Slow matrix_matches_paper;
+    Alcotest.test_case "schemes in order" `Quick seven_schemes_in_paper_order;
+    Alcotest.test_case "org extraction" `Quick org_extraction;
+    Alcotest.test_case "require_root guard" `Quick require_root_guard;
+    Alcotest.test_case "sanitize" `Quick sanitize_names;
+    Alcotest.test_case "pool recycling hazard" `Quick pool_recycling_hazard;
+    Alcotest.test_case "anonymous leaves nothing" `Quick anonymous_leaves_nothing;
+    Alcotest.test_case "render table" `Quick render_table_shape;
+  ]

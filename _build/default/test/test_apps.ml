@@ -1,0 +1,216 @@
+module Kernel = Idbox_kernel.Kernel
+module Libc = Idbox_kernel.Libc
+module Shell = Idbox_apps.Shell
+module Coreutils = Idbox_apps.Coreutils
+module Stdio = Idbox_apps.Stdio
+module Box = Idbox.Box
+module Acl = Idbox_acl.Acl
+module Principal = Idbox_identity.Principal
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.message e)
+
+(* A host with coreutils and the shell installed, plus a user. *)
+let host () =
+  let k = Kernel.create () in
+  Kernel.with_fresh_programs (fun () -> ());
+  ok "coreutils" (Coreutils.install k);
+  ok "shell" (Shell.install k);
+  let user = match Kernel.add_user k "dthain" with Ok e -> e | Error m -> Alcotest.fail m in
+  (k, user)
+
+let plain_spawn k user ~main ~args =
+  Kernel.spawn_main k ~uid:user.Idbox_kernel.Account.uid
+    ~cwd:user.Idbox_kernel.Account.home ~main ~args ()
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub haystack i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let shell_session_outside_box () =
+  let k, user = host () in
+  let code, transcript =
+    ok "script"
+      (Shell.run_script k
+         ~spawn:(plain_spawn k user)
+         ~output:"/tmp/session.out"
+         [
+           "pwd";
+           "echo hello world > greeting.txt";
+           "cat greeting.txt";
+           "ls";
+           "mkdir workdir";
+           "cp greeting.txt workdir/copy.txt";
+           "cat workdir/copy.txt";
+           "wc greeting.txt";
+           "whoami";
+           "rm greeting.txt";
+           "ls";
+         ])
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "pwd" true (contains transcript "/home/dthain");
+  Alcotest.(check bool) "cat output" true (contains transcript "hello world");
+  Alcotest.(check bool) "copy output" true (contains transcript "copy.txt");
+  Alcotest.(check bool) "whoami outside box" true (contains transcript "dthain");
+  Alcotest.(check bool) "wc counts" true (contains transcript "1 2 12 greeting.txt")
+
+let figure2_as_shell_transcript () =
+  (* The actual Figure 2: the same commands, inside an identity box. *)
+  let k, user = host () in
+  ok "secret"
+    (Fs.write_file (Kernel.fs k) ~uid:user.Idbox_kernel.Account.uid ~mode:0o600
+       (user.Idbox_kernel.Account.home ^ "/secret") "confidential");
+  let box =
+    match
+      Box.create k ~supervisor_uid:user.Idbox_kernel.Account.uid
+        ~identity:(Principal.of_string "Freddy") ()
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail (Errno.message e)
+  in
+  let code, transcript =
+    ok "script"
+      (Shell.run_script k
+         ~spawn:(fun ~main ~args -> Box.spawn_main box ~main ~args)
+         ~output:(Box.home box ^ "/.session.out")
+         [
+           "whoami";
+           "cat /home/dthain/secret";
+           "echo my data > mydata";
+           "cat mydata";
+           "getacl .";
+         ])
+  in
+  Alcotest.(check int) "session ok" 0 code;
+  (* whoami resolves through the redirected passwd copy: Freddy. *)
+  Alcotest.(check bool) "whoami says Freddy" true (contains transcript "Freddy\n");
+  Alcotest.(check bool) "secret denied" true
+    (contains transcript "Permission denied");
+  Alcotest.(check bool) "secret not shown" false (contains transcript "confidential");
+  Alcotest.(check bool) "own data ok" true (contains transcript "my data");
+  Alcotest.(check bool) "acl shown" true (contains transcript "Freddy rwlxad")
+
+let external_commands_confined () =
+  (* Children the shell spawns are traced like the shell itself: /bin/cat
+     cannot read the protected file either. *)
+  let k, user = host () in
+  ok "protected"
+    (Fs.write_file (Kernel.fs k) ~uid:0 ~mode:0o600 "/root_notes" "root only");
+  let box =
+    match
+      Box.create k ~supervisor_uid:user.Idbox_kernel.Account.uid
+        ~identity:(Principal.of_string "Visitor") ()
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail (Errno.message e)
+  in
+  let code, transcript =
+    ok "script"
+      (Shell.run_script k
+         ~spawn:(fun ~main ~args -> Box.spawn_main box ~main ~args)
+         ~output:(Box.home box ^ "/.out")
+         [ "cat /root_notes" ])
+  in
+  Alcotest.(check bool) "cat failed" true (code <> 0 || contains transcript "Permission denied");
+  Alcotest.(check bool) "contents never shown" false (contains transcript "root only")
+
+let shell_builtins_and_exit () =
+  let k, user = host () in
+  let code, transcript =
+    ok "script"
+      (Shell.run_script k
+         ~spawn:(plain_spawn k user)
+         ~output:"/tmp/b.out"
+         [ "id"; "cd /tmp"; "pwd"; "nosuchcommand"; "exit 7"; "echo unreachable" ])
+  in
+  Alcotest.(check int) "exit code" 7 code;
+  Alcotest.(check bool) "id output" true (contains transcript "uid=");
+  Alcotest.(check bool) "cd took effect" true (contains transcript "$ pwd\n/tmp");
+  Alcotest.(check bool) "unknown command reported" true
+    (contains transcript "nosuchcommand");
+  Alcotest.(check bool) "exit stops script" false (contains transcript "unreachable")
+
+let coreutils_error_paths () =
+  let k, user = host () in
+  let code, transcript =
+    ok "script"
+      (Shell.run_script k
+         ~spawn:(plain_spawn k user)
+         ~output:"/tmp/e.out"
+         [
+           "cat /does/not/exist";
+           "rm /does/not/exist";
+           "mv /does/not/exist /tmp/x";
+           "head -2 /etc/passwd";
+           "ln -s /etc/passwd pwlink";
+           "cat pwlink";
+         ])
+  in
+  (* Failures are reported, later commands still run; the symlink works. *)
+  Alcotest.(check bool) "cat error" true (contains transcript "cat: /does/not/exist");
+  Alcotest.(check bool) "head output" true (contains transcript "root:x:0:0");
+  Alcotest.(check bool) "symlink cat works" true (contains transcript "nobody");
+  ignore code
+
+let pipelines_through_kernel_pipes () =
+  let k, user = host () in
+  let code, transcript =
+    ok "script"
+      (Shell.run_script k
+         ~spawn:(plain_spawn k user)
+         ~output:"/tmp/p.out"
+         [
+           "echo alpha beta gamma > words.txt";
+           "cat words.txt | wc";
+           "cat /etc/passwd | head -1 | wc";
+           "cat words.txt | pwd";
+           "echo still alive";
+         ])
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "two-stage counts" true (contains transcript "1 3 17 -");
+  (* Three stages: the first passwd line re-counted. *)
+  Alcotest.(check bool) "three-stage ran" true (contains transcript "1 ");
+  Alcotest.(check bool) "shell output intact after pipelines" true
+    (contains transcript "still alive");
+  Alcotest.(check bool) "builtins cannot be piped" true
+    (contains transcript "only external commands can be piped")
+
+let pipelines_inside_box () =
+  let k, user = host () in
+  let box =
+    match
+      Box.create k ~supervisor_uid:user.Idbox_kernel.Account.uid
+        ~identity:(Principal.of_string "Freddy") ()
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail (Errno.message e)
+  in
+  let code, transcript =
+    ok "script"
+      (Shell.run_script k
+         ~spawn:(fun ~main ~args -> Box.spawn_main box ~main ~args)
+         ~output:(Box.home box ^ "/.out")
+         [ "echo boxed pipeline data > d.txt"; "cat d.txt | wc" ])
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "counted through boxed pipe" true
+    (contains transcript "1 3 20 -")
+
+let suite =
+  [
+    Alcotest.test_case "pipelines through kernel pipes" `Quick pipelines_through_kernel_pipes;
+    Alcotest.test_case "pipelines inside box" `Quick pipelines_inside_box;
+    Alcotest.test_case "shell session outside box" `Quick shell_session_outside_box;
+    Alcotest.test_case "figure 2 as transcript" `Quick figure2_as_shell_transcript;
+    Alcotest.test_case "external commands confined" `Quick external_commands_confined;
+    Alcotest.test_case "builtins and exit" `Quick shell_builtins_and_exit;
+    Alcotest.test_case "coreutils error paths" `Quick coreutils_error_paths;
+  ]

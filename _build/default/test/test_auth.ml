@@ -1,0 +1,164 @@
+module Ca = Idbox_auth.Ca
+module Kerberos = Idbox_auth.Kerberos
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Subject = Idbox_identity.Subject
+module Principal = Idbox_identity.Principal
+
+let fred_subject = Subject.of_string_exn "/O=UnivNowhere/CN=Fred"
+
+let ca_issue_verify () =
+  let ca = Ca.create ~name:"UnivNowhere CA" in
+  let cert = Ca.issue ca fred_subject in
+  Alcotest.(check bool) "verifies" true (Ca.verify ca cert);
+  Alcotest.(check string) "principal" "globus:/O=UnivNowhere/CN=Fred"
+    (Principal.to_string (Ca.certificate_principal cert))
+
+let tampered_certificate_rejected () =
+  let ca = Ca.create ~name:"CA" in
+  let cert = Ca.issue ca fred_subject in
+  let forged =
+    { cert with Ca.subject = Subject.of_string_exn "/O=UnivNowhere/CN=Root" }
+  in
+  Alcotest.(check bool) "tampered subject" false (Ca.verify ca forged);
+  let wrong_issuer = { cert with Ca.issuer = "Other CA" } in
+  Alcotest.(check bool) "wrong issuer" false (Ca.verify ca wrong_issuer)
+
+let foreign_ca_rejected () =
+  let ca = Ca.create ~name:"CA" and rogue = Ca.create ~name:"CA" in
+  (* Same display name, different secret: still rejected. *)
+  let cert = Ca.issue rogue fred_subject in
+  Alcotest.(check bool) "foreign signature" false (Ca.verify ca cert)
+
+let revocation () =
+  let ca = Ca.create ~name:"CA" in
+  let cert = Ca.issue ca fred_subject in
+  Alcotest.(check bool) "not revoked" false (Ca.is_revoked ca cert);
+  Ca.revoke ca cert;
+  Alcotest.(check bool) "revoked" true (Ca.is_revoked ca cert);
+  (* Negotiation refuses revoked certificates even though they verify. *)
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+  match Negotiate.verify acceptor ~now:0L (Credential.Gsi cert) with
+  | Error (Negotiate.Invalid_credential _) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "revoked certificate accepted"
+
+let kerberos_login_verify () =
+  let realm = Kerberos.create ~realm:"NOWHERE.EDU" in
+  Kerberos.add_user realm "fred" ~password:"hunter2";
+  (match Kerberos.login realm ~user:"fred" ~password:"wrong" ~now:0L with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad password accepted");
+  (match Kerberos.login realm ~user:"nobody" ~password:"x" ~now:0L with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown user accepted");
+  let ticket =
+    match Kerberos.login realm ~user:"fred" ~password:"hunter2" ~now:0L with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "fresh ticket ok" true (Kerberos.verify realm ticket ~now:0L);
+  Alcotest.(check string) "principal" "kerberos:fred@NOWHERE.EDU"
+    (Principal.to_string (Kerberos.ticket_principal ticket))
+
+let kerberos_expiry_and_forgery () =
+  let realm = Kerberos.create ~realm:"R" in
+  Kerberos.add_user realm "u" ~password:"p";
+  let ticket =
+    match Kerberos.login realm ~user:"u" ~password:"p" ~now:0L with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  (* 10 hours later it has expired. *)
+  let eleven_hours = Int64.mul 39_600L 1_000_000_000L in
+  Alcotest.(check bool) "expired" false (Kerberos.verify realm ticket ~now:eleven_hours);
+  (* A forged expiry breaks the stamp. *)
+  let forged = { ticket with Kerberos.expires_at = Int64.add eleven_hours 1L } in
+  Alcotest.(check bool) "forged expiry" false (Kerberos.verify realm forged ~now:eleven_hours);
+  (* Another realm's ticket is meaningless here. *)
+  let other = Kerberos.create ~realm:"R" in
+  Kerberos.add_user other "u" ~password:"p";
+  let foreign =
+    match Kerberos.login other ~user:"u" ~password:"p" ~now:0L with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "foreign realm" false (Kerberos.verify realm foreign ~now:0L)
+
+let negotiation_prefers_client_order () =
+  let ca = Ca.create ~name:"CA" in
+  let realm = Kerberos.create ~realm:"R" in
+  Kerberos.add_user realm "fred" ~password:"p";
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] ~realm () in
+  let cert = Ca.issue ca fred_subject in
+  let ticket =
+    match Kerberos.login realm ~user:"fred" ~password:"p" ~now:0L with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  (* Kerberos offered first wins even though GSI would also work. *)
+  (match
+     Negotiate.negotiate acceptor ~now:0L
+       [ Credential.Krb ticket; Credential.Gsi cert ]
+   with
+   | Ok (principal, method_, attempts) ->
+     Alcotest.(check string) "method" "kerberos" method_;
+     Alcotest.(check int) "first try" 1 attempts;
+     Alcotest.(check bool) "krb principal" true
+       (String.equal (Principal.to_string principal) "kerberos:fred@R")
+   | Error m -> Alcotest.fail m);
+  (* An unsupported method falls through to the next credential. *)
+  (match
+     Negotiate.negotiate acceptor ~now:0L
+       [ Credential.Host "laptop.nowhere.edu"; Credential.Gsi cert ]
+   with
+   | Ok (_, method_, attempts) ->
+     Alcotest.(check string) "fell through" "globus" method_;
+     Alcotest.(check int) "second try" 2 attempts
+   | Error m -> Alcotest.fail m)
+
+let negotiation_failure_reports_all () =
+  let acceptor = Negotiate.acceptor ~unix_ok:(fun n -> String.equal n "alice") () in
+  (match Negotiate.negotiate acceptor ~now:0L [ Credential.Unix_account "bob" ] with
+   | Error msg ->
+     Alcotest.(check bool) "mentions rejection" true
+       (String.length msg > 0)
+   | Ok _ -> Alcotest.fail "bob accepted");
+  (match Negotiate.negotiate acceptor ~now:0L [] with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty offer accepted")
+
+let hostname_and_unix_validators () =
+  let acceptor =
+    Negotiate.acceptor
+      ~unix_ok:(fun n -> String.equal n "dthain")
+      ~host_ok:(fun h ->
+        Idbox_identity.Wildcard.literal_matches "*.nowhere.edu" h)
+      ()
+  in
+  Alcotest.(check (list string)) "methods" [ "unix"; "hostname" ]
+    (Negotiate.methods acceptor);
+  (match Negotiate.verify acceptor ~now:0L (Credential.Host "laptop.cs.nowhere.edu") with
+   | Ok p ->
+     Alcotest.(check string) "host principal" "hostname:laptop.cs.nowhere.edu"
+       (Principal.to_string p)
+   | Error _ -> Alcotest.fail "host rejected");
+  (match Negotiate.verify acceptor ~now:0L (Credential.Host "evil.org") with
+   | Error (Negotiate.Invalid_credential _) -> ()
+   | Ok _ | Error _ -> Alcotest.fail "evil host accepted");
+  (match Negotiate.verify acceptor ~now:0L (Credential.Unix_account "dthain") with
+   | Ok p ->
+     Alcotest.(check string) "unix principal" "unix:dthain" (Principal.to_string p)
+   | Error _ -> Alcotest.fail "dthain rejected")
+
+let suite =
+  [
+    Alcotest.test_case "ca issue/verify" `Quick ca_issue_verify;
+    Alcotest.test_case "tampered certificate" `Quick tampered_certificate_rejected;
+    Alcotest.test_case "foreign ca" `Quick foreign_ca_rejected;
+    Alcotest.test_case "revocation" `Quick revocation;
+    Alcotest.test_case "kerberos login/verify" `Quick kerberos_login_verify;
+    Alcotest.test_case "kerberos expiry/forgery" `Quick kerberos_expiry_and_forgery;
+    Alcotest.test_case "negotiation order" `Quick negotiation_prefers_client_order;
+    Alcotest.test_case "negotiation failure" `Quick negotiation_failure_reports_all;
+    Alcotest.test_case "hostname/unix validators" `Quick hostname_and_unix_validators;
+  ]

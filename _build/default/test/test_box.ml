@@ -1,0 +1,532 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Box = Idbox.Box
+module Remote = Idbox.Remote
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+module Principal = Idbox_identity.Principal
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+let errno = Alcotest.testable Errno.pp Errno.equal
+
+let freddy = Principal.of_string "Freddy"
+let fred_dn = Principal.of_string "globus:/O=UnivNowhere/CN=Fred"
+
+(* Substring test for ACL-text assertions. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub haystack i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+(* A host with the supervising user dthain and one private file. *)
+let setup () =
+  let k = Kernel.create () in
+  let dthain =
+    match Account.add (Kernel.accounts k) "dthain" with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  Kernel.refresh_passwd k;
+  let fs = Kernel.fs k in
+  let root_ok ctx = function
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+  in
+  root_ok "mkdir" (Fs.mkdir_p fs ~uid:0 "/home/dthain");
+  root_ok "chown" (Fs.chown fs ~uid:0 ~owner:dthain.Account.uid "/home/dthain");
+  root_ok "chmod" (Fs.chmod fs ~uid:0 ~mode:0o700 "/home/dthain");
+  root_ok "secret"
+    (Fs.write_file fs ~uid:dthain.Account.uid ~mode:0o600 "/home/dthain/secret"
+       "top secret");
+  (k, dthain.Account.uid)
+
+let make_box ?mounts ?(identity = freddy) (k, uid) =
+  match Box.create k ?mounts ~supervisor_uid:uid ~identity () with
+  | Ok box -> box
+  | Error e -> Alcotest.failf "box create: %s" (Errno.to_string e)
+
+let run_in box main =
+  let pid = Box.spawn_main box ~main ~args:[ "job" ] in
+  Kernel.run (Box.kernel box);
+  match Kernel.exit_code (Box.kernel box) pid with
+  | Some code -> code
+  | None -> Alcotest.fail "boxed job never exited"
+
+let figure2_session () =
+  let host = setup () in
+  let box = make_box host in
+  let home = Box.home box in
+  let code =
+    run_in box (fun _ ->
+        (* whoami: the high-level identity, not an account. *)
+        if not (String.equal (Libc.get_user_name ()) "Freddy") then Libc.exit 1;
+        (* The supervisor's secret is denied (no ACL; nobody fallback). *)
+        (match Libc.read_file "/home/dthain/secret" with
+         | Error Errno.EACCES -> ()
+         | Ok _ | Error _ -> Libc.exit 2);
+        (* The fresh home works. *)
+        (match Libc.write_file (home ^ "/mydata") ~contents:"freddy data" with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 3);
+        (match Libc.read_file (home ^ "/mydata") with
+         | Ok "freddy data" -> ()
+         | Ok _ | Error _ -> Libc.exit 4);
+        (* /etc/passwd is redirected: the first entry names Freddy. *)
+        (match Libc.read_file "/etc/passwd" with
+         | Ok text ->
+           (match String.split_on_char ':' text with
+            | "Freddy" :: _ -> ()
+            | _ -> Libc.exit 5)
+         | Error _ -> Libc.exit 6);
+        0)
+  in
+  Alcotest.(check int) "figure 2 transcript" 0 code
+
+let per_right_enforcement () =
+  let host = setup () in
+  let box = make_box ~identity:fred_dn host in
+  let k, uid = host in
+  let fs = Kernel.fs k in
+  (* A shared area where Fred holds exactly rl. *)
+  (match Fs.mkdir_p fs ~uid:0 "/srv/shared" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Errno.to_string e));
+  (match Fs.chown fs ~uid:0 ~owner:uid "/srv/shared" with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Errno.to_string e));
+  (match
+     Fs.write_file fs ~uid "/srv/shared/readable.txt" "public data"
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Errno.to_string e));
+  (match
+     Box.set_acl box ~dir:"/srv/shared"
+       (Acl.of_entries
+          [ Entry.make ~pattern:"globus:/O=UnivNowhere/*" (Rights.of_string_exn "rl") ])
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail (Errno.to_string e));
+  let code =
+    run_in box (fun _ ->
+        (* r: read allowed. *)
+        (match Libc.read_file "/srv/shared/readable.txt" with
+         | Ok "public data" -> ()
+         | Ok _ | Error _ -> Libc.exit 1);
+        (* l: list and stat allowed, ACL file hidden. *)
+        (match Libc.readdir "/srv/shared" with
+         | Ok names ->
+           if List.mem ".__acl" names then Libc.exit 2;
+           if not (List.mem "readable.txt" names) then Libc.exit 3
+         | Error _ -> Libc.exit 4);
+        (match Libc.stat "/srv/shared/readable.txt" with
+         | Ok _ -> ()
+         | Error _ -> Libc.exit 5);
+        (* w: denied. *)
+        (match Libc.write_file "/srv/shared/newfile" ~contents:"x" with
+         | Error Errno.EACCES -> ()
+         | Ok () | Error _ -> Libc.exit 6);
+        (* overwrite denied too. *)
+        (match
+           Libc.open_file
+             ~flags:{ Fs.rdonly with Fs.rd = false; wr = true }
+             "/srv/shared/readable.txt"
+         with
+         | Error Errno.EACCES -> ()
+         | Ok _ | Error _ -> Libc.exit 7);
+        (* delete denied. *)
+        (match Libc.unlink "/srv/shared/readable.txt" with
+         | Error Errno.EACCES -> ()
+         | Ok () | Error _ -> Libc.exit 8);
+        (* a: setacl denied. *)
+        (match Libc.setacl ~path:"/srv/shared" ~entry:"unix:eve rwlxad" with
+         | Error Errno.EACCES -> ()
+         | Ok () | Error _ -> Libc.exit 9);
+        (* getacl allowed with l. *)
+        (match Libc.getacl "/srv/shared" with
+         | Ok text ->
+           if not (String.length text > 0) then Libc.exit 10
+         | Error _ -> Libc.exit 11);
+        0)
+  in
+  Alcotest.(check int) "per-right enforcement" 0 code
+
+let reserve_right_mints_namespace () =
+  let host = setup () in
+  let box = make_box ~identity:fred_dn host in
+  let k, uid = host in
+  let fs = Kernel.fs k in
+  (match Fs.mkdir_p fs ~uid:0 "/srv/pool" with
+   | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+  (match Fs.chown fs ~uid:0 ~owner:uid "/srv/pool" with
+   | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+  (match
+     Box.set_acl box ~dir:"/srv/pool"
+       (Acl.of_entries
+          [
+            Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+              ~reserve:(Rights.of_string_exn "rwlax")
+              (Rights.of_string_exn "l");
+          ])
+   with
+   | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+  let code =
+    run_in box (fun _ ->
+        (* No write right — plain create is denied... *)
+        (match Libc.write_file "/srv/pool/direct.txt" ~contents:"x" with
+         | Error Errno.EACCES -> ()
+         | Ok () | Error _ -> Libc.exit 1);
+        (* ...but mkdir is allowed via the reserve right. *)
+        (match Libc.mkdir "/srv/pool/work" with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 2);
+        (* The fresh directory is fully Fred's. *)
+        (match Libc.write_file "/srv/pool/work/sim.cfg" ~contents:"cfg" with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 3);
+        (* Fred can extend rights there (A in the grant). *)
+        (match
+           Libc.setacl ~path:"/srv/pool/work"
+             ~entry:"globus:/O=UnivNowhere/CN=Jane rl"
+         with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 4);
+        (match Libc.getacl "/srv/pool/work" with
+         | Ok text ->
+           if not (String.length text > 0) then Libc.exit 5
+         | Error _ -> Libc.exit 6);
+        0)
+  in
+  Alcotest.(check int) "reserve right" 0 code;
+  (* The minted ACL names Fred with the reserve grant (no d: grant was rwlax). *)
+  let acl_text =
+    match Fs.read_file (Kernel.fs k) ~uid:0 "/srv/pool/work/.__acl" with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  Alcotest.(check bool) "fred in acl" true
+    (contains acl_text "globus:/O=UnivNowhere/CN=Fred")
+
+let mkdir_inherits_parent_acl () =
+  let host = setup () in
+  let box = make_box ~identity:fred_dn host in
+  let home = Box.home box in
+  let code =
+    run_in box (fun _ ->
+        (match Libc.mkdir (home ^ "/sub") with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 1);
+        (* The child directory carries the parent's grants: Fred can
+           work there immediately. *)
+        (match Libc.write_file (home ^ "/sub/f") ~contents:"x" with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 2);
+        (match Libc.getacl (home ^ "/sub") with
+         | Ok text -> if String.length text = 0 then Libc.exit 3
+         | Error _ -> Libc.exit 4);
+        0)
+  in
+  Alcotest.(check int) "inherited acl" 0 code
+
+let chdir_and_getcwd_virtualized () =
+  let host = setup () in
+  let box = make_box host in
+  let home = Box.home box in
+  let code =
+    run_in box (fun _ ->
+        (* The box starts the visitor at home. *)
+        if not (String.equal (Libc.getcwd ()) home) then Libc.exit 1;
+        (match Libc.mkdir (home ^ "/deeper") with
+         | Ok () -> () | Error _ -> Libc.exit 2);
+        (match Libc.chdir "deeper" with
+         | Ok () -> () | Error _ -> Libc.exit 3);
+        if not (String.equal (Libc.getcwd ()) (home ^ "/deeper")) then Libc.exit 4;
+        (* Relative paths resolve against the virtual cwd. *)
+        (match Libc.write_file "rel.txt" ~contents:"rel" with
+         | Ok () -> () | Error _ -> Libc.exit 5);
+        (match Libc.read_file (home ^ "/deeper/rel.txt") with
+         | Ok "rel" -> () | Ok _ | Error _ -> Libc.exit 6);
+        (* chdir into an unreadable place is denied. *)
+        (match Libc.chdir "/home/dthain" with
+         | Error Errno.EACCES -> () | Ok () | Error _ -> Libc.exit 7);
+        0)
+  in
+  Alcotest.(check int) "virtual cwd" 0 code
+
+let spawn_inside_box_needs_x () =
+  let host = setup () in
+  let k, _uid = host in
+  let box = make_box ~identity:fred_dn host in
+  let home = Box.home box in
+  Kernel.with_fresh_programs (fun () ->
+      Idbox_kernel.Program.register "tool" (fun _ -> 11);
+      let code =
+        run_in box (fun _ ->
+            (* Fred stages an executable into his home (x granted by his
+               owner ACL) and runs it. *)
+            (match
+               Libc.write_file (home ^ "/tool.exe")
+                 ~contents:(Idbox_kernel.Program.marker "tool")
+             with
+             | Ok () -> () | Error _ -> Libc.exit 1);
+            (match Libc.chmod ~mode:0o755 (home ^ "/tool.exe") with
+             | Ok () -> () | Error _ -> Libc.exit 2);
+            let pid =
+              match Libc.spawn (home ^ "/tool.exe") ~args:[ "tool" ] with
+              | Ok pid -> pid
+              | Error _ -> Libc.exit 3
+            in
+            (match Libc.waitpid pid with
+             | Ok (_, 11) -> ()
+             | Ok _ | Error _ -> Libc.exit 4);
+            (* And the child was boxed too: it ran as Fred. *)
+            0)
+      in
+      Alcotest.(check int) "boxed spawn" 0 code;
+      ignore k)
+
+let child_runs_under_same_identity () =
+  let host = setup () in
+  let box = make_box ~identity:fred_dn host in
+  let home = Box.home box in
+  Kernel.with_fresh_programs (fun () ->
+      Idbox_kernel.Program.register "whoami" (fun _ ->
+          match Libc.write_file "child_user" ~contents:(Libc.get_user_name ()) with
+          | Ok () -> 0
+          | Error _ -> 1);
+      let code =
+        run_in box (fun _ ->
+            (match
+               Libc.write_file (home ^ "/whoami.exe")
+                 ~contents:(Idbox_kernel.Program.marker "whoami")
+             with
+             | Ok () -> () | Error _ -> Libc.exit 1);
+            (match Libc.chmod ~mode:0o755 (home ^ "/whoami.exe") with
+             | Ok () -> () | Error _ -> Libc.exit 9);
+            let pid =
+              match Libc.spawn (home ^ "/whoami.exe") ~args:[ "w" ] with
+              | Ok pid -> pid
+              | Error _ -> Libc.exit 2
+            in
+            (match Libc.waitpid pid with
+             | Ok (_, 0) -> ()
+             | Ok _ | Error _ -> Libc.exit 3);
+            (* The child's cwd was inherited (home), so the file is here. *)
+            (match Libc.read_file (home ^ "/child_user") with
+             | Ok "globus:/O=UnivNowhere/CN=Fred" -> 0
+             | Ok _ | Error _ -> Libc.exit 4))
+      in
+      Alcotest.(check int) "child identity" 0 code)
+
+let bulk_and_small_io_roundtrip () =
+  let host = setup () in
+  let box = make_box host in
+  let home = Box.home box in
+  let big = String.init 100_000 (fun i -> Char.chr (i mod 251)) in
+  let code =
+    run_in box (fun _ ->
+        (* Bulk writes cross the I/O channel; reads come back through a
+           rewritten pread.  Contents must survive both directions. *)
+        (match Libc.write_file (home ^ "/big.bin") ~contents:big with
+         | Ok () -> () | Error _ -> Libc.exit 1);
+        (match Libc.read_file (home ^ "/big.bin") with
+         | Ok data -> if not (String.equal data big) then Libc.exit 2
+         | Error _ -> Libc.exit 3);
+        (* Small I/O takes the peek/poke path. *)
+        (match Libc.write_file (home ^ "/small.txt") ~contents:"tiny" with
+         | Ok () -> () | Error _ -> Libc.exit 4);
+        (match Libc.read_file (home ^ "/small.txt") with
+         | Ok "tiny" -> () | Ok _ | Error _ -> Libc.exit 5);
+        0)
+  in
+  Alcotest.(check int) "io roundtrip" 0 code;
+  Alcotest.(check bool) "channel used" true
+    ((Kernel.stats (Box.kernel box)).Kernel.channel_bytes > 0)
+
+let lseek_fstat_on_virtual_fds () =
+  let host = setup () in
+  let box = make_box host in
+  let home = Box.home box in
+  let code =
+    run_in box (fun _ ->
+        (match Libc.write_file (home ^ "/f") ~contents:"abcdef" with
+         | Ok () -> () | Error _ -> Libc.exit 1);
+        let fd =
+          match Libc.open_file (home ^ "/f") with
+          | Ok fd -> fd
+          | Error _ -> Libc.exit 2
+        in
+        (match Libc.fstat fd with
+         | Ok st -> if st.Fs.st_size <> 6 then Libc.exit 3
+         | Error _ -> Libc.exit 4);
+        (match Libc.lseek fd ~off:3 ~whence:Idbox_kernel.Syscall.Seek_set with
+         | Ok 3 -> () | Ok _ | Error _ -> Libc.exit 5);
+        (match Libc.read fd ~len:3 with
+         | Ok "def" -> () | Ok _ | Error _ -> Libc.exit 6);
+        (match Libc.close fd with Ok () -> () | Error _ -> Libc.exit 7);
+        (* A bogus fd (e.g. the channel's real number) is EBADF. *)
+        (match Libc.read 3 ~len:1 with
+         | Error Errno.EBADF -> () | Ok _ | Error _ -> Libc.exit 8);
+        0)
+  in
+  Alcotest.(check int) "vfd semantics" 0 code
+
+let signals_confined_to_box () =
+  let host = setup () in
+  let k, uid = host in
+  let box_a = make_box ~identity:fred_dn host in
+  let box_b = make_box ~identity:(Principal.of_string "unix:carol") (k, uid) in
+  (* A long-running process in box B. *)
+  let victim =
+    Box.spawn_main box_b
+      ~main:(fun _ ->
+        for _ = 1 to 1000 do
+          Libc.compute 1_000_000L
+        done;
+        0)
+      ~args:[ "victim" ]
+  in
+  let result = ref None in
+  let _ =
+    Box.spawn_main box_a
+      ~main:(fun _ ->
+        result := Some (Libc.kill ~pid:victim ~signal:9);
+        0)
+      ~args:[ "killer" ]
+  in
+  Kernel.run k;
+  (* Unix would have allowed it (same account!); the identity box denies
+     cross-identity signals. *)
+  (match !result with
+   | Some (Error Errno.EPERM) -> ()
+   | Some (Ok ()) -> Alcotest.fail "cross-box kill succeeded"
+   | _ -> Alcotest.fail "kill not attempted");
+  Alcotest.(check (option int)) "victim unharmed" (Some 0) (Kernel.exit_code k victim)
+
+let same_box_signals_allowed () =
+  let host = setup () in
+  let k, _ = host in
+  let box = make_box ~identity:fred_dn host in
+  let victim =
+    Box.spawn_main box
+      ~main:(fun _ ->
+        for _ = 1 to 100_000 do
+          Libc.compute 1_000_000L
+        done;
+        0)
+      ~args:[ "victim" ]
+  in
+  let result = ref None in
+  let _ =
+    Box.spawn_main box
+      ~main:(fun _ ->
+        result := Some (Libc.kill ~pid:victim ~signal:15);
+        0)
+      ~args:[ "killer" ]
+  in
+  Kernel.run k;
+  (match !result with
+   | Some (Ok ()) -> ()
+   | _ -> Alcotest.fail "same-identity kill should succeed");
+  Alcotest.(check (option int)) "victim terminated" (Some 143)
+    (Kernel.exit_code k victim)
+
+let remote_mounts () =
+  let host = setup () in
+  let k, uid = host in
+  (* A loop-back "remote" filesystem mounted at /grid. *)
+  let remote_fs = Fs.create () in
+  (match Fs.mkdir_p remote_fs ~uid:0 "/store" with
+   | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+  (match Fs.write_file remote_fs ~uid:0 "/store/input.dat" "remote bits" with
+   | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+  let driver = Remote.of_local_fs remote_fs ~uid:0 in
+  let box =
+    match
+      Box.create k ~supervisor_uid:uid ~identity:fred_dn
+        ~mounts:[ ("/grid", driver) ] ()
+    with
+    | Ok box -> box
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  let code =
+    run_in box (fun _ ->
+        (match Libc.read_file "/grid/store/input.dat" with
+         | Ok "remote bits" -> () | Ok _ | Error _ -> Libc.exit 1);
+        (match Libc.readdir "/grid/store" with
+         | Ok [ "input.dat" ] -> () | Ok _ | Error _ -> Libc.exit 2);
+        (match Libc.stat "/grid/store/input.dat" with
+         | Ok st -> if st.Fs.st_size <> 11 then Libc.exit 3
+         | Error _ -> Libc.exit 4);
+        (match Libc.write_file "/grid/store/output.dat" ~contents:"sent back" with
+         | Ok () -> () | Error _ -> Libc.exit 5);
+        (match Libc.mkdir "/grid/store/sub" with
+         | Ok () -> () | Error _ -> Libc.exit 6);
+        (* Hard links across a mount boundary are refused. *)
+        (match Libc.link ~target:"/grid/store/input.dat" "/tmp/leak" with
+         | Error Errno.EXDEV -> () | Ok () | Error _ -> Libc.exit 7);
+        0)
+  in
+  Alcotest.(check int) "mount operations" 0 code;
+  (* The remote write was flushed on close. *)
+  (match Fs.read_file remote_fs ~uid:0 "/store/output.dat" with
+   | Ok "sent back" -> ()
+   | Ok other -> Alcotest.failf "remote got %S" other
+   | Error e -> Alcotest.fail (Errno.to_string e))
+
+let member_tracking () =
+  let host = setup () in
+  let k, _ = host in
+  let box = make_box host in
+  let pid = Box.spawn_main box ~main:(fun _ -> 0) ~args:[ "m" ] in
+  Alcotest.(check bool) "member while alive" true (Box.member box pid);
+  Kernel.run k;
+  Alcotest.(check bool) "gone after exit" false (Box.member box pid)
+
+let supervisor_grant_api () =
+  let host = setup () in
+  let box = make_box ~identity:fred_dn host in
+  let home = Box.home box in
+  (match Box.grant box ~dir:home ~pattern:"unix:jane" (Rights.of_string_exn "rl") with
+   | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+  let text =
+    match
+      Fs.read_file (Kernel.fs (Box.kernel box)) ~uid:0 (home ^ "/.__acl")
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  Alcotest.(check bool) "jane granted" true (contains text "unix:jane")
+
+let identity_accessors () =
+  let host = setup () in
+  let box = make_box ~identity:fred_dn host in
+  Alcotest.(check string) "identity string" "globus:/O=UnivNowhere/CN=Fred"
+    (Box.identity_string box);
+  Alcotest.(check bool) "principal equal" true
+    (Principal.equal (Box.identity box) fred_dn);
+  Alcotest.(check bool) "base under tmp" true
+    (Idbox_vfs.Path.is_prefix ~prefix:"/tmp" (Box.base box))
+
+let suite =
+  [
+    Alcotest.test_case "figure 2 session" `Quick figure2_session;
+    Alcotest.test_case "per-right enforcement" `Quick per_right_enforcement;
+    Alcotest.test_case "reserve right" `Quick reserve_right_mints_namespace;
+    Alcotest.test_case "mkdir inherits acl" `Quick mkdir_inherits_parent_acl;
+    Alcotest.test_case "virtual cwd" `Quick chdir_and_getcwd_virtualized;
+    Alcotest.test_case "boxed spawn needs x" `Quick spawn_inside_box_needs_x;
+    Alcotest.test_case "child identity" `Quick child_runs_under_same_identity;
+    Alcotest.test_case "bulk and small io" `Quick bulk_and_small_io_roundtrip;
+    Alcotest.test_case "vfd lseek/fstat" `Quick lseek_fstat_on_virtual_fds;
+    Alcotest.test_case "signals confined" `Quick signals_confined_to_box;
+    Alcotest.test_case "same-box signals" `Quick same_box_signals_allowed;
+    Alcotest.test_case "remote mounts" `Quick remote_mounts;
+    Alcotest.test_case "member tracking" `Quick member_tracking;
+    Alcotest.test_case "supervisor grant" `Quick supervisor_grant_api;
+    Alcotest.test_case "identity accessors" `Quick identity_accessors;
+  ]

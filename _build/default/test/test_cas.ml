@@ -1,0 +1,125 @@
+module Cas = Idbox_auth.Cas
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Principal = Idbox_identity.Principal
+module Subject = Idbox_identity.Subject
+
+let fred = Principal.of_string "globus:/O=UnivNowhere/CN=Fred"
+let jane = Principal.of_string "globus:/O=UnivNowhere/CN=Jane"
+
+let membership_basics () =
+  let cas = Cas.create ~name:"cms-cas" in
+  Cas.add_member cas ~community:"cms" fred;
+  Cas.add_member cas ~community:"cms" jane;
+  Cas.add_member cas ~community:"atlas" jane;
+  Alcotest.(check bool) "fred in cms" true (Cas.is_member cas ~community:"cms" fred);
+  Alcotest.(check bool) "fred not atlas" false
+    (Cas.is_member cas ~community:"atlas" fred);
+  Alcotest.(check (list string)) "communities" [ "atlas"; "cms" ]
+    (Cas.communities cas);
+  Alcotest.(check int) "cms members" 2 (List.length (Cas.members cas ~community:"cms"));
+  Cas.remove_member cas ~community:"cms" fred;
+  Alcotest.(check bool) "removed" false (Cas.is_member cas ~community:"cms" fred)
+
+let assertions_and_expiry () =
+  let cas = Cas.create ~name:"c" in
+  Cas.add_member cas ~community:"cms" fred;
+  (match Cas.issue cas ~community:"cms" ~holder:jane ~now:0L with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "non-member got an assertion");
+  let assertion =
+    match Cas.issue cas ~community:"cms" ~holder:fred ~now:0L with
+    | Ok a -> a
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "fresh ok" true (Cas.verify cas assertion ~now:1L);
+  (* Expired after an hour. *)
+  let later = Int64.mul 7200L 1_000_000_000L in
+  Alcotest.(check bool) "expired" false (Cas.verify cas assertion ~now:later);
+  (* Tampered holder breaks the stamp. *)
+  let forged = { assertion with Cas.as_holder = Principal.to_string jane } in
+  Alcotest.(check bool) "forged" false (Cas.verify cas forged ~now:1L);
+  (* Revocation invalidates even a live assertion. *)
+  Cas.remove_member cas ~community:"cms" fred;
+  Alcotest.(check bool) "revoked member" false (Cas.verify cas assertion ~now:1L)
+
+let admission_policy_in_negotiation () =
+  let ca = Ca.create ~name:"CA" in
+  let cas = Cas.create ~name:"cas" in
+  Cas.add_member cas ~community:"cms" fred;
+  let acceptor =
+    Negotiate.acceptor ~trusted_cas:[ ca ]
+      ~admit:(Cas.admit cas ~communities:[ "cms" ] ~now:0L)
+      ()
+  in
+  let fred_cert = Ca.issue ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+  let jane_cert = Ca.issue ca (Subject.of_string_exn "/O=UnivNowhere/CN=Jane") in
+  (* Fred: valid certificate AND community member -> admitted under his
+     own global name. *)
+  (match Negotiate.verify acceptor ~now:0L (Credential.Gsi fred_cert) with
+   | Ok p ->
+     Alcotest.(check string) "own name kept" "globus:/O=UnivNowhere/CN=Fred"
+       (Principal.to_string p)
+   | Error r -> Alcotest.fail (Negotiate.rejection_to_string r));
+  (* Jane: valid certificate, not a member -> admission denied. *)
+  (match Negotiate.verify acceptor ~now:0L (Credential.Gsi jane_cert) with
+   | Error (Negotiate.Invalid_credential why) ->
+     Alcotest.(check bool) "mentions admission" true
+       (String.length why > 0)
+   | Ok _ -> Alcotest.fail "non-member admitted"
+   | Error r -> Alcotest.fail (Negotiate.rejection_to_string r))
+
+let admission_with_chirp_server () =
+  (* End to end: a Chirp server admitting exactly one community, no
+     per-user configuration anywhere. *)
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Network = Idbox_net.Network in
+  let clock = Idbox_kernel.Clock.create () in
+  let net = Network.create ~clock () in
+  let kernel = Kernel.create ~clock () in
+  let owner =
+    match Kernel.add_user kernel "srv" with Ok e -> e | Error m -> Alcotest.fail m
+  in
+  let ca = Ca.create ~name:"CA" in
+  let cas = Cas.create ~name:"cas" in
+  Cas.add_member cas ~community:"plasma" fred;
+  let acceptor =
+    Negotiate.acceptor ~trusted_cas:[ ca ]
+      ~admit:(Cas.admit cas ~communities:[ "plasma" ] ~now:0L)
+      ()
+  in
+  let _server =
+    match
+      Idbox_chirp.Server.create ~kernel ~net ~addr:"s:1"
+        ~owner_uid:owner.Idbox_kernel.Account.uid ~export:"/home/srv/export"
+        ~acceptor ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Idbox_vfs.Errno.message e)
+  in
+  let connect subject =
+    Idbox_chirp.Client.connect net ~addr:"s:1"
+      ~credentials:[ Credential.Gsi (Ca.issue ca (Subject.of_string_exn subject)) ]
+  in
+  (match connect "/O=UnivNowhere/CN=Fred" with
+   | Ok c ->
+     Alcotest.(check string) "fred's own name" "globus:/O=UnivNowhere/CN=Fred"
+       (Idbox_chirp.Client.principal c)
+   | Error m -> Alcotest.fail m);
+  (match connect "/O=UnivNowhere/CN=Jane" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "jane admitted without membership");
+  (* Membership change takes effect immediately, no server restart. *)
+  Cas.add_member cas ~community:"plasma" jane;
+  (match connect "/O=UnivNowhere/CN=Jane" with
+   | Ok _ -> ()
+   | Error m -> Alcotest.fail ("jane still rejected: " ^ m))
+
+let suite =
+  [
+    Alcotest.test_case "membership basics" `Quick membership_basics;
+    Alcotest.test_case "assertions and expiry" `Quick assertions_and_expiry;
+    Alcotest.test_case "admission in negotiation" `Quick admission_policy_in_negotiation;
+    Alcotest.test_case "admission with chirp server" `Quick admission_with_chirp_server;
+  ]

@@ -1,0 +1,506 @@
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Program = Idbox_kernel.Program
+module Clock = Idbox_kernel.Clock
+module Network = Idbox_net.Network
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Catalog = Idbox_chirp.Catalog
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+module Subject = Idbox_identity.Subject
+module Errno = Idbox_vfs.Errno
+
+let errno = Alcotest.testable Errno.pp Errno.equal
+
+type world = {
+  net : Network.t;
+  server : Server.t;
+  ca : Ca.t;
+  kernel : Kernel.t;
+}
+
+(* A host running a Chirp server whose root ACL gives UnivNowhere users
+   the reserve right, plus read/list to anyone at nowhere.edu. *)
+let make_world () =
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let kernel = Kernel.create ~clock () in
+  let owner =
+    match Account.add (Kernel.accounts kernel) "chirpuser" with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  Kernel.refresh_passwd kernel;
+  let ca = Ca.create ~name:"UnivNowhere CA" in
+  let root_acl =
+    Acl.of_entries
+      [
+        Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+          ~reserve:(Rights.of_string_exn "rwlaxd")
+          (Rights.of_string_exn "rl");
+        Entry.make ~pattern:"hostname:*.nowhere.edu" (Rights.of_string_exn "rl");
+      ]
+  in
+  let acceptor =
+    Negotiate.acceptor ~trusted_cas:[ ca ]
+      ~host_ok:(fun h -> Idbox_identity.Wildcard.literal_matches "*.nowhere.edu" h)
+      ()
+  in
+  let server =
+    match
+      Server.create ~kernel ~net ~addr:"alpha.grid.edu:9094"
+        ~owner_uid:owner.Account.uid ~export:"/tmp/export" ~acceptor ~root_acl ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  { net; server; ca; kernel }
+
+let connect_fred w =
+  let cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+  match
+    Client.connect w.net ~addr:"alpha.grid.edu:9094"
+      ~credentials:[ Credential.Gsi cert ]
+  with
+  | Ok c -> c
+  | Error m -> Alcotest.fail m
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+
+let figure3_full_scenario () =
+  Kernel.with_fresh_programs (fun () ->
+      let w = make_world () in
+      Program.register "sim" (fun _ ->
+          Libc.compute 10_000_000L;
+          match
+            Libc.write_file "out.dat"
+              ~contents:("by " ^ Libc.get_user_name ())
+          with
+          | Ok () -> 0
+          | Error _ -> 1);
+      let c = connect_fred w in
+      Alcotest.(check string) "principal" "globus:/O=UnivNowhere/CN=Fred"
+        (Client.principal c);
+      Alcotest.(check string) "method" "globus" (Client.auth_method c);
+      Alcotest.(check string) "whoami" "globus:/O=UnivNowhere/CN=Fred"
+        (ok "whoami" (Client.whoami c));
+      (* 1. mkdir /work under the reserve right. *)
+      ok "mkdir" (Client.mkdir c "/work");
+      (* 2. put sim.exe *)
+      ok "put" (Client.put c ~path:"/work/sim.exe" ~data:(Program.marker "sim"));
+      (* 3. exec sim.exe in an identity box under Fred's name. *)
+      Alcotest.(check int) "exit code" 0
+        (ok "exec" (Client.exec c ~path:"/work/sim.exe" ~args:[ "sim.exe" ] ()));
+      Alcotest.(check int) "one exec served" 1 (Server.exec_count w.server);
+      (* 4. get out.dat — written by the boxed process under Fred's
+         identity. *)
+      Alcotest.(check string) "output" "by globus:/O=UnivNowhere/CN=Fred"
+        (ok "get" (Client.get c "/work/out.dat"));
+      (* 5. clean up. *)
+      ok "unlink out" (Client.unlink c "/work/out.dat");
+      ok "unlink exe" (Client.unlink c "/work/sim.exe");
+      ok "rmdir" (Client.rmdir c "/work"))
+
+let reserve_mints_private_namespace () =
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/mine");
+  (* The fresh directory's ACL names Fred alone. *)
+  let acl = ok "getacl" (Client.getacl c "/mine") in
+  Alcotest.(check bool) "fred owns" true
+    (String.length acl > 0
+    && String.sub acl 0 (String.length "globus:/O=UnivNowhere/CN=Fred")
+       = "globus:/O=UnivNowhere/CN=Fred");
+  (* Jane (same org) cannot read into it until granted. *)
+  let jane_cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Jane") in
+  let jane =
+    match
+      Client.connect w.net ~addr:"alpha.grid.edu:9094"
+        ~credentials:[ Credential.Gsi jane_cert ]
+    with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  ok "fred puts" (Client.put c ~path:"/mine/data" ~data:"private");
+  (match Client.get jane "/mine/data" with
+   | Error Errno.EACCES -> ()
+   | Ok _ -> Alcotest.fail "jane read fred's data"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  (* Fred grants Jane read+list via setacl (he holds a there). *)
+  ok "grant" (Client.setacl c ~path:"/mine" ~entry:"globus:/O=UnivNowhere/CN=Jane rl");
+  Alcotest.(check string) "jane reads after grant" "private"
+    (ok "jane get" (Client.get jane "/mine/data"))
+
+let hostname_users_read_only () =
+  let w = make_world () in
+  let laptop =
+    match
+      Client.connect w.net ~addr:"alpha.grid.edu:9094"
+        ~credentials:[ Credential.Host "laptop.cs.nowhere.edu" ]
+    with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check string) "hostname principal" "hostname:laptop.cs.nowhere.edu"
+    (Client.principal laptop);
+  (* rl only: list works, mkdir/put do not. *)
+  ignore (ok "readdir" (Client.readdir laptop "/"));
+  (match Client.mkdir laptop "/lhome" with
+   | Error Errno.EACCES -> ()
+   | Ok () -> Alcotest.fail "hostname user created directory"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  (match Client.put laptop ~path:"/f" ~data:"x" with
+   | Error Errno.EACCES -> ()
+   | Ok () -> Alcotest.fail "hostname user wrote"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e))
+
+let untrusted_ca_rejected () =
+  let w = make_world () in
+  let rogue = Ca.create ~name:"Rogue CA" in
+  let cert = Ca.issue rogue (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+  match
+    Client.connect w.net ~addr:"alpha.grid.edu:9094"
+      ~credentials:[ Credential.Gsi cert ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "rogue CA accepted"
+
+let bogus_token_rejected () =
+  let w = make_world () in
+  let payload =
+    Idbox_chirp.Protocol.encode_request
+      (Idbox_chirp.Protocol.Op
+         { token = "forged"; op = Idbox_chirp.Protocol.Whoami })
+  in
+  match Network.call w.net ~addr:"alpha.grid.edu:9094" payload with
+  | Error e -> Alcotest.fail (Errno.to_string e)
+  | Ok response ->
+    (match Idbox_chirp.Protocol.decode_response response with
+     | Ok (Idbox_chirp.Protocol.R_error (Errno.EPERM, _)) -> ()
+     | Ok _ -> Alcotest.fail "forged token worked"
+     | Error m -> Alcotest.fail m)
+
+let path_escape_blocked () =
+  let w = make_world () in
+  let c = connect_fred w in
+  (* Climbing out of the export subtree is refused outright. *)
+  match Client.get c "/../etc/passwd" with
+  | Error Errno.EACCES -> ()
+  | Ok _ -> Alcotest.fail "escaped the export root"
+  | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e)
+
+let exec_requires_x_right () =
+  Kernel.with_fresh_programs (fun () ->
+      let w = make_world () in
+      Program.register "tool" (fun _ -> 0);
+      let c = connect_fred w in
+      ok "mkdir" (Client.mkdir c "/w");
+      ok "put" (Client.put c ~path:"/w/t.exe" ~data:(Program.marker "tool"));
+      (* Fred holds x in his reserved dir: allowed. *)
+      Alcotest.(check int) "fred execs" 0
+        (ok "exec" (Client.exec c ~path:"/w/t.exe" ~args:[ "t" ] ()));
+      (* Jane holds nothing there: denied. *)
+      let jane_cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Jane") in
+      let jane =
+        match
+          Client.connect w.net ~addr:"alpha.grid.edu:9094"
+            ~credentials:[ Credential.Gsi jane_cert ]
+        with
+        | Ok c -> c
+        | Error m -> Alcotest.fail m
+      in
+      match Client.exec jane ~path:"/w/t.exe" ~args:[ "t" ] () with
+      | Error Errno.EACCES -> ()
+      | Ok _ -> Alcotest.fail "jane executed without x"
+      | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e))
+
+let rename_and_stat () =
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/r");
+  ok "put" (Client.put c ~path:"/r/a" ~data:"abc");
+  let st = ok "stat" (Client.stat c "/r/a") in
+  Alcotest.(check string) "kind" "file" st.Idbox_chirp.Protocol.ws_kind;
+  Alcotest.(check int) "size" 3 st.Idbox_chirp.Protocol.ws_size;
+  ok "rename" (Client.rename c ~src:"/r/a" ~dst:"/r/b");
+  (match Client.stat c "/r/a" with
+   | Error Errno.ENOENT -> ()
+   | Ok _ -> Alcotest.fail "src still there"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  Alcotest.(check (list string)) "listing" [ "b" ] (ok "readdir" (Client.readdir c "/r"))
+
+let acl_file_invisible_remotely () =
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/v");
+  ok "put" (Client.put c ~path:"/v/f" ~data:"x");
+  let names = ok "readdir" (Client.readdir c "/v") in
+  Alcotest.(check (list string)) "no acl file" [ "f" ] names;
+  (match Client.get c "/v/.__acl" with
+   | Error Errno.EACCES -> ()
+   | Ok _ -> Alcotest.fail "read acl file remotely"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  (match Client.put c ~path:"/v/.__acl" ~data:"unix:eve rwlxad" with
+   | Error Errno.EACCES -> ()
+   | Ok () -> Alcotest.fail "overwrote acl file remotely"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e))
+
+let checksum_integrity () =
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/sum");
+  let data = String.init 10_000 (fun i -> Char.chr (i mod 251)) in
+  ok "put" (Client.put c ~path:"/sum/blob" ~data);
+  let remote_sum = ok "checksum" (Client.checksum c "/sum/blob") in
+  Alcotest.(check string) "matches local md5" (Digest.to_hex (Digest.string data))
+    remote_sum;
+  (* Still subject to ACLs: a read-only-less user cannot checksum. *)
+  (match Client.checksum c "/sum/.__acl" with
+   | Error Errno.EACCES -> ()
+   | Ok _ -> Alcotest.fail "checksummed the acl file"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  (match Client.checksum c "/sum/missing" with
+   | Error Errno.ENOENT -> ()
+   | Ok _ -> Alcotest.fail "checksummed a missing file"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e))
+
+let sessions_tracked () =
+  let w = make_world () in
+  let _fred = connect_fred w in
+  let laptop =
+    Client.connect w.net ~addr:"alpha.grid.edu:9094"
+      ~credentials:[ Credential.Host "laptop.cs.nowhere.edu" ]
+  in
+  (match laptop with Ok _ -> () | Error m -> Alcotest.fail m);
+  let sessions = Server.sessions w.server in
+  Alcotest.(check int) "two sessions" 2 (List.length sessions);
+  Alcotest.(check bool) "fred present" true
+    (List.exists
+       (fun (p, m) ->
+         String.equal p "globus:/O=UnivNowhere/CN=Fred" && String.equal m "globus")
+       sessions)
+
+let catalog_register_list () =
+  let w = make_world () in
+  let catalog = Catalog.create w.net ~addr:"catalog.grid.edu:9097" in
+  (match
+     Catalog.register w.net ~catalog:"catalog.grid.edu:9097" ~name:"alpha"
+       ~server_addr:"alpha.grid.edu:9094" ~owner:"unix:chirpuser"
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (match Catalog.list w.net ~catalog:"catalog.grid.edu:9097" with
+   | Ok [ entry ] ->
+     Alcotest.(check string) "name" "alpha" entry.Catalog.name;
+     Alcotest.(check string) "addr" "alpha.grid.edu:9094" entry.Catalog.server_addr;
+     (* The discovered address actually serves. *)
+     let cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+     (match
+        Client.connect w.net ~addr:entry.Catalog.server_addr
+          ~credentials:[ Credential.Gsi cert ]
+      with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+   | Ok entries -> Alcotest.failf "%d entries" (List.length entries)
+   | Error m -> Alcotest.fail m);
+  Catalog.shutdown catalog
+
+let shutdown_stops_serving () =
+  let w = make_world () in
+  Server.shutdown w.server;
+  let cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+  match
+    Client.connect w.net ~addr:"alpha.grid.edu:9094"
+      ~credentials:[ Credential.Gsi cert ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "server still serving"
+
+let remote_mount_through_box () =
+  (* A boxed process on one host reads a Chirp server transparently via
+     /chirp (paper §4). *)
+  Kernel.with_fresh_programs (fun () ->
+      let w = make_world () in
+      let c = connect_fred w in
+      ok "mkdir" (Client.mkdir c "/pub");
+      ok "put" (Client.put c ~path:"/pub/input.dat" ~data:"grid data");
+      (* The client host, with a box mounting the server. *)
+      let client_kernel = Kernel.create ~clock:(Network.clock w.net) () in
+      let laptop_user =
+        match Account.add (Kernel.accounts client_kernel) "fred" with
+        | Ok e -> e
+        | Error m -> Alcotest.fail m
+      in
+      let box =
+        match
+          Idbox.Box.create client_kernel ~supervisor_uid:laptop_user.Account.uid
+            ~identity:(Idbox_identity.Principal.of_string "globus:/O=UnivNowhere/CN=Fred")
+            ~mounts:[ ("/chirp/alpha.grid.edu", Client.to_remote c) ]
+            ()
+        with
+        | Ok b -> b
+        | Error e -> Alcotest.fail (Errno.to_string e)
+      in
+      let pid =
+        Idbox.Box.spawn_main box
+          ~main:(fun _ ->
+            (* Ordinary file operations, remote bits. *)
+            (match Libc.read_file "/chirp/alpha.grid.edu/pub/input.dat" with
+             | Ok "grid data" -> ()
+             | Ok _ | Error _ -> Libc.exit 1);
+            (match Libc.write_file "/chirp/alpha.grid.edu/pub/result.dat"
+                     ~contents:"computed" with
+             | Ok () -> ()
+             | Error _ -> Libc.exit 2);
+            0)
+          ~args:[ "gridjob" ]
+      in
+      Kernel.run client_kernel;
+      Alcotest.(check (option int)) "boxed grid job" (Some 0)
+        (Kernel.exit_code client_kernel pid);
+      (* The write arrived on the server. *)
+      Alcotest.(check string) "server has result" "computed"
+        (ok "get" (Client.get c "/pub/result.dat")))
+
+let acl_management_through_mount () =
+  (* A boxed process administers its remote ACLs with ordinary setacl /
+     getacl calls routed through the /chirp mount — consistent global
+     identity end to end: the same principal name works in the box, on
+     the wire, and in the server's ACL files. *)
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/proj");
+  ok "put" (Client.put c ~path:"/proj/data" ~data:"shared bits");
+  let client_kernel = Kernel.create ~clock:(Network.clock w.net) () in
+  let user =
+    match Kernel.add_user client_kernel "fred" with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  let box =
+    match
+      Idbox.Box.create client_kernel ~supervisor_uid:user.Account.uid
+        ~identity:(Idbox_identity.Principal.of_string "globus:/O=UnivNowhere/CN=Fred")
+        ~mounts:[ ("/chirp/alpha", Client.to_remote c) ]
+        ()
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  let pid =
+    Idbox.Box.spawn_main box
+      ~main:(fun _ ->
+        (* Read the remote ACL. *)
+        (match Libc.getacl "/chirp/alpha/proj" with
+         | Ok text ->
+           if String.length text = 0 then Libc.exit 1
+         | Error _ -> Libc.exit 2);
+        (* Grant Jane read+list, remotely, from inside the box. *)
+        (match
+           Libc.setacl ~path:"/chirp/alpha/proj"
+             ~entry:"globus:/O=UnivNowhere/CN=Jane rl"
+         with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 3);
+        (* Rename within the mount. *)
+        (match
+           Libc.rename ~src:"/chirp/alpha/proj/data" ~dst:"/chirp/alpha/proj/data.v2"
+         with
+         | Ok () -> ()
+         | Error _ -> Libc.exit 4);
+        0)
+      ~args:[ "admin" ]
+  in
+  Kernel.run client_kernel;
+  Alcotest.(check (option int)) "boxed remote admin" (Some 0)
+    (Kernel.exit_code client_kernel pid);
+  (* Jane can now read via her own session, under her own name. *)
+  let jane_cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Jane") in
+  let jane =
+    match
+      Client.connect w.net ~addr:"alpha.grid.edu:9094"
+        ~credentials:[ Credential.Gsi jane_cert ]
+    with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check string) "jane reads renamed file" "shared bits"
+    (ok "jane get" (Client.get jane "/proj/data.v2"))
+
+let box_spawn_from_path () =
+  (* Box.spawn (the Chirp exec path): executes a staged program file,
+     honouring the execute right. *)
+  Kernel.with_fresh_programs (fun () ->
+      let k = Kernel.create () in
+      let sup = match Kernel.add_user k "dthain" with Ok e -> e | Error m -> Alcotest.fail m in
+      Program.register "tool" (fun _ -> 5);
+      (match
+         Idbox_vfs.Fs.write_file (Kernel.fs k) ~uid:0 ~mode:0o755 "/bin/tool.exe"
+           (Program.marker "tool")
+       with
+       | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+      let box =
+        match
+          Idbox.Box.create k ~supervisor_uid:sup.Account.uid
+            ~identity:(Idbox_identity.Principal.of_string "Visitor") ()
+        with
+        | Ok b -> b
+        | Error e -> Alcotest.fail (Errno.to_string e)
+      in
+      (* /bin/tool.exe is 0755 with no ACL: the nobody fallback grants x. *)
+      (match Idbox.Box.spawn box ~path:"/bin/tool.exe" ~args:[ "tool" ] () with
+       | Ok pid ->
+         Kernel.run k;
+         Alcotest.(check (option int)) "ran boxed" (Some 5) (Kernel.exit_code k pid)
+       | Error e -> Alcotest.failf "spawn: %s" (Errno.to_string e));
+      (* Make it supervisor-private: the visitor's nobody fallback loses
+         execute, while the supervising account keeps it. *)
+      (match
+         Idbox_vfs.Fs.chown (Kernel.fs k) ~uid:0 ~owner:sup.Account.uid
+           "/bin/tool.exe"
+       with
+       | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+      (match Idbox_vfs.Fs.chmod (Kernel.fs k) ~uid:0 ~mode:0o700 "/bin/tool.exe" with
+       | Ok () -> () | Error e -> Alcotest.fail (Errno.to_string e));
+      (match Idbox.Box.spawn box ~path:"/bin/tool.exe" ~args:[ "tool" ] () with
+       | Error Errno.EACCES -> ()
+       | Ok _ -> Alcotest.fail "executed without x"
+       | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+      (* The supervisor may still run it by opting out of the check. *)
+      (match
+         Idbox.Box.spawn box ~check_exec:false ~path:"/bin/tool.exe"
+           ~args:[ "tool" ] ()
+       with
+       | Ok pid ->
+         Kernel.run k;
+         Alcotest.(check (option int)) "supervisor override" (Some 5)
+           (Kernel.exit_code k pid)
+       | Error e -> Alcotest.failf "override failed: %s" (Errno.to_string e)))
+
+let suite =
+  [
+    Alcotest.test_case "figure 3 full scenario" `Quick figure3_full_scenario;
+    Alcotest.test_case "acl management through mount" `Quick acl_management_through_mount;
+    Alcotest.test_case "box spawn from path" `Quick box_spawn_from_path;
+    Alcotest.test_case "reserve namespace + grant" `Quick reserve_mints_private_namespace;
+    Alcotest.test_case "hostname users read-only" `Quick hostname_users_read_only;
+    Alcotest.test_case "untrusted CA rejected" `Quick untrusted_ca_rejected;
+    Alcotest.test_case "bogus token rejected" `Quick bogus_token_rejected;
+    Alcotest.test_case "path escape blocked" `Quick path_escape_blocked;
+    Alcotest.test_case "exec requires x" `Quick exec_requires_x_right;
+    Alcotest.test_case "rename and stat" `Quick rename_and_stat;
+    Alcotest.test_case "acl file invisible" `Quick acl_file_invisible_remotely;
+    Alcotest.test_case "checksum integrity" `Quick checksum_integrity;
+    Alcotest.test_case "sessions tracked" `Quick sessions_tracked;
+    Alcotest.test_case "catalog" `Quick catalog_register_list;
+    Alcotest.test_case "shutdown" `Quick shutdown_stops_serving;
+    Alcotest.test_case "remote mount through box" `Quick remote_mount_through_box;
+  ]

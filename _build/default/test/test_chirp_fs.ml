@@ -1,0 +1,165 @@
+module Kernel = Idbox_kernel.Kernel
+module Libc = Idbox_kernel.Libc
+module Clock = Idbox_kernel.Clock
+module Network = Idbox_net.Network
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Catalog = Idbox_chirp.Catalog
+module Chirp_fs = Idbox_chirp.Chirp_fs
+module Subject = Idbox_identity.Subject
+module Principal = Idbox_identity.Principal
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+
+let mount_point_shapes () =
+  Alcotest.(check string) "port dropped" "/chirp/alpha.grid.edu"
+    (Chirp_fs.mount_point ~addr:"alpha.grid.edu:9094");
+  Alcotest.(check string) "no port" "/chirp/beta" (Chirp_fs.mount_point ~addr:"beta")
+
+let whole_grid_in_one_box () =
+  (* Two servers registered in a catalog; a box mounts everything it can
+     reach and a boxed job reads across both under one identity. *)
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let catalog = Catalog.create net ~addr:"cat:1" in
+  ignore catalog;
+  let ca = Ca.create ~name:"CA" in
+  let fred_subject = Subject.of_string_exn "/O=UnivNowhere/CN=Fred" in
+  let make_server host seed =
+    let kernel = Kernel.create ~clock () in
+    let owner =
+      match Kernel.add_user kernel "srv" with Ok e -> e | Error m -> Alcotest.fail m
+    in
+    let root_acl =
+      Acl.of_entries
+        [ Entry.make ~pattern:"globus:/O=UnivNowhere/*" (Rights.of_string_exn "rwl") ]
+    in
+    let server =
+      match
+        Server.create ~kernel ~net ~addr:(host ^ ":9094")
+          ~owner_uid:owner.Idbox_kernel.Account.uid ~export:"/home/srv/export"
+          ~acceptor:(Negotiate.acceptor ~trusted_cas:[ ca ] ()) ~root_acl ()
+      with
+      | Ok s -> s
+      | Error e -> Alcotest.fail (Idbox_vfs.Errno.message e)
+    in
+    (match
+       Catalog.register net ~catalog:"cat:1" ~name:host
+         ~server_addr:(Server.addr server) ~owner:"unix:srv"
+     with
+     | Ok () -> ()
+     | Error m -> Alcotest.fail m);
+    (* Seed a file via a direct client session. *)
+    let c =
+      match
+        Client.connect net ~addr:(Server.addr server)
+          ~credentials:[ Credential.Gsi (Ca.issue ca fred_subject) ]
+      with
+      | Ok c -> c
+      | Error m -> Alcotest.fail m
+    in
+    (match Client.put c ~path:"/hello.txt" ~data:seed with
+     | Ok () -> ()
+     | Error e -> Alcotest.fail (Idbox_vfs.Errno.message e))
+  in
+  make_server "alpha.grid.edu" "from alpha";
+  make_server "beta.grid.edu" "from beta";
+  let mounts =
+    match
+      Chirp_fs.mounts_from_catalog net ~catalog:"cat:1"
+        ~credentials:[ Credential.Gsi (Ca.issue ca fred_subject) ]
+    with
+    | Ok mounts -> mounts
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check int) "both servers mounted" 2 (List.length mounts);
+  (* A laptop box with the grid mounted. *)
+  let laptop = Kernel.create ~clock () in
+  let user =
+    match Kernel.add_user laptop "fred" with Ok e -> e | Error m -> Alcotest.fail m
+  in
+  let box =
+    match
+      Idbox.Box.create laptop ~supervisor_uid:user.Idbox_kernel.Account.uid
+        ~identity:(Principal.of_string "globus:/O=UnivNowhere/CN=Fred")
+        ~mounts ()
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail (Idbox_vfs.Errno.message e)
+  in
+  let pid =
+    Idbox.Box.spawn_main box
+      ~main:(fun _ ->
+        (match Libc.read_file "/chirp/alpha.grid.edu/hello.txt" with
+         | Ok "from alpha" -> ()
+         | Ok _ | Error _ -> Libc.exit 1);
+        (match Libc.read_file "/chirp/beta.grid.edu/hello.txt" with
+         | Ok "from beta" -> ()
+         | Ok _ | Error _ -> Libc.exit 2);
+        (* Cross-server copy, all as ordinary file I/O. *)
+        (match Libc.read_file "/chirp/alpha.grid.edu/hello.txt" with
+         | Ok data ->
+           (match
+              Libc.write_file "/chirp/beta.grid.edu/copied.txt" ~contents:data
+            with
+            | Ok () -> 0
+            | Error _ -> 3)
+         | Error _ -> 4))
+      ~args:[ "gridjob" ]
+  in
+  Kernel.run laptop;
+  Alcotest.(check (option int)) "grid job ok" (Some 0) (Kernel.exit_code laptop pid)
+
+let refusing_servers_skipped () =
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let _catalog = Catalog.create net ~addr:"cat:1" in
+  let ca = Ca.create ~name:"CA" and rogue_ca = Ca.create ~name:"Rogue" in
+  let kernel = Kernel.create ~clock () in
+  let owner =
+    match Kernel.add_user kernel "srv" with Ok e -> e | Error m -> Alcotest.fail m
+  in
+  let server =
+    match
+      Server.create ~kernel ~net ~addr:"only:1"
+        ~owner_uid:owner.Idbox_kernel.Account.uid ~export:"/home/srv/export"
+        ~acceptor:(Negotiate.acceptor ~trusted_cas:[ ca ] ()) ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Idbox_vfs.Errno.message e)
+  in
+  (match
+     Catalog.register net ~catalog:"cat:1" ~name:"only"
+       ~server_addr:(Server.addr server) ~owner:"unix:srv"
+   with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (* Credentials from an untrusted CA: the server refuses, the helper
+     skips it rather than failing. *)
+  let mounts =
+    match
+      Chirp_fs.mounts_from_catalog net ~catalog:"cat:1"
+        ~credentials:
+          [ Credential.Gsi (Ca.issue rogue_ca (Subject.of_string_exn "/O=X/CN=Eve")) ]
+    with
+    | Ok mounts -> mounts
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check int) "nothing mounted" 0 (List.length mounts);
+  (* Unreachable catalog is a hard error. *)
+  (match
+     Chirp_fs.mounts_from_catalog net ~catalog:"nowhere:9" ~credentials:[]
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing catalog succeeded")
+
+let suite =
+  [
+    Alcotest.test_case "mount point shapes" `Quick mount_point_shapes;
+    Alcotest.test_case "whole grid in one box" `Quick whole_grid_in_one_box;
+    Alcotest.test_case "refusing servers skipped" `Quick refusing_servers_skipped;
+  ]

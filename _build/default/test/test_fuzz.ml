@@ -1,0 +1,238 @@
+(* Adversarial property test: a boxed program running a *random*
+   sequence of system calls can never (a) modify any object outside the
+   areas it was granted, nor (b) observe the contents of any protected
+   file.  This is the containment claim of the paper tested not against
+   hand-picked attacks (test_security.ml) but against generated ones. *)
+
+module Kernel = Idbox_kernel.Kernel
+module Libc = Idbox_kernel.Libc
+module Box = Idbox.Box
+module Principal = Idbox_identity.Principal
+module Fs = Idbox_vfs.Fs
+module Inode = Idbox_vfs.Inode
+module Path = Idbox_vfs.Path
+module Errno = Idbox_vfs.Errno
+
+(* ------------------------------------------------------------------ *)
+(* Attack-program generator.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | F_write of string * string
+  | F_read of string
+  | F_mkdir of string
+  | F_unlink of string
+  | F_rmdir of string
+  | F_rename of string * string
+  | F_chmod of string * int
+  | F_symlink of string * string  (* target, path *)
+  | F_link of string * string  (* target, path *)
+  | F_setacl of string * string
+  | F_truncate of string
+  | F_chdir of string
+  | F_readdir of string
+  | F_spawn_helper
+      (** Stage a helper program in the attacker's home and run it: the
+          child is traced like its parent, so its own attack attempt
+          must fail identically. *)
+
+(* Paths mix protected objects, system areas, the visitor's own home
+   (via $HOME), relative escapes, and symlink-laundering components. *)
+let path_pool =
+  [
+    "/protected/secret.txt";
+    "/protected";
+    "/etc/passwd";
+    "/etc";
+    "/bin/sh";
+    "/home/victim/data";
+    "/home/victim";
+    "~/own.txt";
+    "~/sub";
+    "~/sub/deep.txt";
+    "../../../protected/secret.txt";
+    "../protected";
+    "~/alias";
+    "/tmp/scratchpad";
+  ]
+
+let op_gen =
+  let open QCheck.Gen in
+  let path = oneofl path_pool in
+  let data = oneofl [ "x"; "payload"; String.make 2000 'A' ] in
+  frequency
+    [
+      (3, map2 (fun p d -> F_write (p, d)) path data);
+      (3, map (fun p -> F_read p) path);
+      (2, map (fun p -> F_mkdir p) path);
+      (2, map (fun p -> F_unlink p) path);
+      (1, map (fun p -> F_rmdir p) path);
+      (2, map2 (fun a b -> F_rename (a, b)) path path);
+      (1, map (fun p -> F_chmod (p, 0o777)) path);
+      (2, map2 (fun t p -> F_symlink (t, p)) path path);
+      (2, map2 (fun t p -> F_link (t, p)) path path);
+      (1, map (fun p -> F_setacl (p, "JoeHacker rwlxad")) path);
+      (1, map (fun p -> F_truncate p) path);
+      (1, map (fun p -> F_chdir p) path);
+      (1, map (fun p -> F_readdir p) path);
+      (1, return F_spawn_helper);
+    ]
+
+let program_gen = QCheck.Gen.(list_size (int_range 5 40) op_gen)
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem snapshots.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Objects under these prefixes legitimately change during a run. *)
+(* /tmp is world-writable: any local user may create there, so the
+   box makes no promise about it (nobody-fallback Unix semantics).
+   Everything the attacker does under /tmp is legitimate. *)
+let volatile base path =
+  Path.is_prefix ~prefix:base path
+  || (Path.is_prefix ~prefix:"/tmp" path && not (String.equal path "/tmp"))
+
+let rec snapshot fs ~base acc path =
+  match Fs.lstat fs ~uid:0 path with
+  | Error _ -> acc
+  | Ok st ->
+    let acc =
+      if volatile base path then acc
+      else
+        let content =
+          match st.Fs.st_kind with
+          | Inode.Regular ->
+            (match Fs.read_file fs ~uid:0 path with
+             | Ok text -> Digest.string text
+             | Error _ -> "?")
+          | Inode.Symlink ->
+            (match Fs.readlink fs ~uid:0 path with Ok t -> t | Error _ -> "?")
+          | Inode.Directory -> "dir"
+          | Inode.Fifo -> "fifo"
+        in
+        (path, (st.Fs.st_kind, st.Fs.st_mode, st.Fs.st_uid, content)) :: acc
+    in
+    if st.Fs.st_kind = Inode.Directory then
+      match Fs.readdir fs ~uid:0 path with
+      | Error _ -> acc
+      | Ok names ->
+        List.fold_left
+          (fun acc name ->
+            snapshot fs ~base acc
+              (if String.equal path "/" then "/" ^ name else path ^ "/" ^ name))
+          acc names
+    else acc
+
+let take_snapshot fs ~base =
+  snapshot fs ~base [] "/" |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* The property.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let secret_content = "TOP-SECRET-DO-NOT-LEAK"
+
+let helper_program_name = "fuzz-attack-helper"
+
+let run_attack ops =
+  let k = Kernel.create () in
+  (* The helper a generated program may stage and spawn: it attacks the
+     protected area from a traced child process. *)
+  Idbox_kernel.Program.register helper_program_name (fun _ ->
+      ignore (Libc.write_file "/protected/from_child" ~contents:"boo");
+      ignore (Libc.unlink "/protected/secret.txt");
+      match Libc.read_file "/protected/secret.txt" with
+      | Ok text when String.equal text secret_content -> 77
+      | Ok _ | Error _ -> 0);
+  let victim =
+    match Kernel.add_user k "victim" with Ok e -> e | Error m -> failwith m
+  in
+  let fs = Kernel.fs k in
+  let seed ctx = function Ok _ -> () | Error e -> failwith (ctx ^ Errno.message e) in
+  seed "p" (Fs.mkdir_p fs ~uid:0 "/protected");
+  seed "p" (Fs.chmod fs ~uid:0 ~mode:0o700 "/protected");
+  seed "p" (Fs.write_file fs ~uid:0 ~mode:0o600 "/protected/secret.txt" secret_content);
+  seed "v"
+    (Fs.write_file fs ~uid:victim.Idbox_kernel.Account.uid ~mode:0o600
+       "/home/victim/data" "victim bytes");
+  seed "s" (Fs.mkdir_p fs ~uid:0 ~mode:0o777 "/tmp/scratchpad");
+  let box =
+    match
+      Box.create k ~supervisor_uid:victim.Idbox_kernel.Account.uid
+        ~identity:(Principal.of_string "JoeHacker") ()
+    with
+    | Ok b -> b
+    | Error e -> failwith (Errno.message e)
+  in
+  let before = take_snapshot fs ~base:(Box.base box) in
+  let leaked = ref false in
+  let expand home p =
+    if String.length p >= 1 && p.[0] = '~' then
+      home ^ String.sub p 1 (String.length p - 1)
+    else p
+  in
+  let main _args =
+    let home = Option.get (Libc.getenv "HOME") in
+    let e = expand home in
+    List.iter
+      (fun op ->
+        match op with
+        | F_write (p, d) -> ignore (Libc.write_file (e p) ~contents:d)
+        | F_read p ->
+          (match Libc.read_file (e p) with
+           | Ok text -> if String.equal text secret_content then leaked := true
+           | Error _ -> ())
+        | F_mkdir p -> ignore (Libc.mkdir (e p))
+        | F_unlink p -> ignore (Libc.unlink (e p))
+        | F_rmdir p -> ignore (Libc.rmdir (e p))
+        | F_rename (a, b) -> ignore (Libc.rename ~src:(e a) ~dst:(e b))
+        | F_chmod (p, mode) -> ignore (Libc.chmod ~mode (e p))
+        | F_symlink (t, p) -> ignore (Libc.symlink ~target:(e t) (e p))
+        | F_link (t, p) -> ignore (Libc.link ~target:(e t) (e p))
+        | F_setacl (p, entry) -> ignore (Libc.setacl ~path:(e p) ~entry)
+        | F_truncate p -> ignore (Libc.truncate ~len:0 (e p))
+        | F_chdir p -> ignore (Libc.chdir (e p))
+        | F_readdir p ->
+          (match Libc.readdir (e p) with
+           | Ok names -> if List.mem "secret.txt" names then () else ()
+           | Error _ -> ())
+        | F_spawn_helper ->
+          let exe = home ^ "/helper.exe" in
+          ignore
+            (Libc.write_file exe
+               ~contents:(Idbox_kernel.Program.marker helper_program_name));
+          ignore (Libc.chmod ~mode:0o755 exe);
+          (match Libc.spawn exe ~args:[ "helper" ] with
+           | Ok pid ->
+             (match Libc.waitpid pid with
+              | Ok (_, 77) -> leaked := true
+              | Ok _ | Error _ -> ())
+           | Error _ -> ()))
+      ops;
+    0
+  in
+  let pid = Box.spawn_main box ~main ~args:[ "attack" ] in
+  Kernel.run k;
+  (match Kernel.exit_code k pid with
+   | Some _ -> ()
+   | None -> failwith "attacker stuck");
+  let after = take_snapshot fs ~base:(Box.base box) in
+  (before = after, !leaked)
+
+let prop_no_external_mutation =
+  QCheck.Test.make ~name:"random boxed attacks mutate nothing outside the box"
+    ~count:60 (QCheck.make program_gen) (fun ops ->
+      let unchanged, _ = run_attack ops in
+      unchanged)
+
+let prop_no_secret_leak =
+  QCheck.Test.make ~name:"random boxed attacks never read the secret" ~count:60
+    (QCheck.make program_gen) (fun ops ->
+      let _, leaked = run_attack ops in
+      not leaked)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_no_external_mutation;
+    QCheck_alcotest.to_alcotest prop_no_secret_leak;
+  ]

@@ -1,0 +1,120 @@
+module Hierarchy = Idbox_identity.Hierarchy
+
+let figure6_tree () =
+  (* Build exactly the Figure 6 namespace. *)
+  let ns = Hierarchy.create () in
+  let root = Hierarchy.root ns in
+  let dthain = Result.get_ok (Hierarchy.create_child root "dthain") in
+  let httpd = Result.get_ok (Hierarchy.create_child dthain "httpd") in
+  let grid = Result.get_ok (Hierarchy.create_child dthain "grid") in
+  let _webapp = Result.get_ok (Hierarchy.create_child httpd "webapp") in
+  let visitor = Result.get_ok (Hierarchy.create_child grid "visitor") in
+  let freddy =
+    Result.get_ok (Hierarchy.create_child grid "/O=UnivNowhere/CN=Freddy")
+  in
+  Alcotest.(check string) "full name" "root:dthain:grid:visitor"
+    (Hierarchy.full_name visitor);
+  Alcotest.(check string) "freddy" "root:dthain:grid:/O=UnivNowhere/CN=Freddy"
+    (Hierarchy.full_name freddy);
+  Alcotest.(check int) "size" 7 (Hierarchy.size ns)
+
+let find_resolves_full_names () =
+  let ns = Hierarchy.create () in
+  let root = Hierarchy.root ns in
+  let a = Result.get_ok (Hierarchy.create_child root "a") in
+  let b = Result.get_ok (Hierarchy.create_child a "b") in
+  let same label expected found =
+    match found with
+    | Some d -> Alcotest.(check bool) label true (d == expected)
+    | None -> Alcotest.failf "%s: not found" label
+  in
+  same "find root" root (Hierarchy.find ns "root");
+  same "find a:b" b (Hierarchy.find ns "root:a:b");
+  Alcotest.(check bool) "missing" true (Hierarchy.find ns "root:a:zzz" = None);
+  Alcotest.(check bool) "wrong root" true (Hierarchy.find ns "boot:a" = None)
+
+let name_validation () =
+  let ns = Hierarchy.create () in
+  let root = Hierarchy.root ns in
+  (match Hierarchy.create_child root "" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty name accepted");
+  (match Hierarchy.create_child root "a:b" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "colon accepted");
+  ignore (Result.get_ok (Hierarchy.create_child root "dup"));
+  (match Hierarchy.create_child root "dup" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "duplicate accepted")
+
+let management_relationships () =
+  (* "A domain may manage any descendant": the in-kernel analogue of the
+     supervising user being root w.r.t. the box. *)
+  let ns = Hierarchy.create () in
+  let root = Hierarchy.root ns in
+  let dthain = Result.get_ok (Hierarchy.create_child root "dthain") in
+  let grid = Result.get_ok (Hierarchy.create_child dthain "grid") in
+  let visitor = Result.get_ok (Hierarchy.create_child grid "visitor") in
+  let other = Result.get_ok (Hierarchy.create_child root "other") in
+  Alcotest.(check bool) "ancestor manages" true
+    (Hierarchy.can_manage ~actor:dthain ~subject:visitor);
+  Alcotest.(check bool) "self manages" true
+    (Hierarchy.can_manage ~actor:visitor ~subject:visitor);
+  Alcotest.(check bool) "child cannot manage parent" false
+    (Hierarchy.can_manage ~actor:visitor ~subject:dthain);
+  Alcotest.(check bool) "sibling cannot manage" false
+    (Hierarchy.can_manage ~actor:other ~subject:visitor);
+  Alcotest.(check bool) "root manages all" true
+    (Hierarchy.can_manage ~actor:root ~subject:visitor)
+
+let anonymous_children_fresh () =
+  let ns = Hierarchy.create () in
+  let root = Hierarchy.root ns in
+  let a1 = Hierarchy.create_anonymous root in
+  let a2 = Hierarchy.create_anonymous root in
+  Alcotest.(check bool) "distinct names" false
+    (String.equal (Hierarchy.name a1) (Hierarchy.name a2))
+
+let delete_subtree () =
+  let ns = Hierarchy.create () in
+  let root = Hierarchy.root ns in
+  let a = Result.get_ok (Hierarchy.create_child root "a") in
+  let b = Result.get_ok (Hierarchy.create_child a "b") in
+  ignore (Result.get_ok (Hierarchy.create_child b "c"));
+  Alcotest.(check int) "before" 4 (Hierarchy.size ns);
+  (match Hierarchy.delete a with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "after" 1 (Hierarchy.size ns);
+  Alcotest.(check bool) "gone" true (Hierarchy.find ns "root:a:b" = None);
+  (* The freed name can be reused. *)
+  (match Hierarchy.create_child root "a" with
+   | Ok _ -> ()
+   | Error m -> Alcotest.fail m);
+  (* Root cannot be deleted; double delete is an error. *)
+  (match Hierarchy.delete root with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "deleted root");
+  (match Hierarchy.delete a with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "double delete")
+
+let prop_size_after_n_children =
+  QCheck.Test.make ~name:"size counts live domains" ~count:50
+    QCheck.(int_range 0 20)
+    (fun n ->
+      let ns = Hierarchy.create () in
+      let root = Hierarchy.root ns in
+      for i = 1 to n do
+        ignore (Result.get_ok (Hierarchy.create_child root (Printf.sprintf "d%d" i)))
+      done;
+      Hierarchy.size ns = n + 1)
+
+let suite =
+  [
+    Alcotest.test_case "figure 6 tree" `Quick figure6_tree;
+    Alcotest.test_case "find" `Quick find_resolves_full_names;
+    Alcotest.test_case "name validation" `Quick name_validation;
+    Alcotest.test_case "management relationships" `Quick management_relationships;
+    Alcotest.test_case "anonymous children" `Quick anonymous_children_fresh;
+    Alcotest.test_case "delete subtree" `Quick delete_subtree;
+    QCheck_alcotest.to_alcotest prop_size_after_n_children;
+  ]

@@ -1,0 +1,226 @@
+(* Unit coverage for the kernel's small supporting modules. *)
+
+module Clock = Idbox_kernel.Clock
+module Cost = Idbox_kernel.Cost
+module Account = Idbox_kernel.Account
+module Fd_table = Idbox_kernel.Fd_table
+module View = Idbox_kernel.View
+module Program = Idbox_kernel.Program
+module Syscall = Idbox_kernel.Syscall
+module Fs = Idbox_vfs.Fs
+module Inode = Idbox_vfs.Inode
+module Errno = Idbox_vfs.Errno
+
+(* --- clock ------------------------------------------------------------ *)
+
+let clock_behaviour () =
+  let c = Clock.create () in
+  Alcotest.(check int64) "starts at zero" 0L (Clock.now c);
+  Clock.advance c 1500L;
+  Clock.advance c 500L;
+  Alcotest.(check int64) "accumulates" 2000L (Clock.now c);
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Clock.advance: negative duration") (fun () ->
+      Clock.advance c (-1L));
+  let reading = Clock.reading c in
+  Clock.advance c 1L;
+  Alcotest.(check int64) "reading closure live" 2001L (reading ());
+  Alcotest.(check (float 1e-12)) "to_seconds" 2.5 (Clock.to_seconds 2_500_000_000L);
+  Alcotest.(check (float 1e-9)) "to_micros" 1.5 (Clock.to_micros 1500L);
+  Alcotest.(check int64) "of_micros" 2500L (Clock.of_micros 2.5)
+
+let clock_duration_rendering () =
+  let render ns = Format.asprintf "%a" Clock.pp_duration ns in
+  Alcotest.(check string) "ns" "500 ns" (render 500L);
+  Alcotest.(check string) "us" "1.50 us" (render 1500L);
+  Alcotest.(check string) "ms" "2.00 ms" (render 2_000_000L);
+  Alcotest.(check string) "s" "3.00 s" (render 3_000_000_000L)
+
+(* --- cost model --------------------------------------------------------- *)
+
+let cost_shapes () =
+  let c = Cost.default in
+  let direct req res = Cost.direct c req res in
+  (* Compute is pure user time: exactly its nanoseconds, no kernel entry. *)
+  Alcotest.(check int64) "compute" 12345L
+    (direct (Syscall.Compute 12345L) (Ok Syscall.Unit));
+  (* Bigger payloads cost more. *)
+  let small =
+    direct
+      (Syscall.Read { fd = 0; len = 1 })
+      (Ok (Syscall.Data "x"))
+  in
+  let big =
+    direct
+      (Syscall.Read { fd = 0; len = 8192 })
+      (Ok (Syscall.Data (String.make 8192 'x')))
+  in
+  Alcotest.(check bool) "8k read costs more" true (Int64.compare big small > 0);
+  (* Deeper paths cost more. *)
+  let shallow = direct (Syscall.Stat "/a") (Ok Syscall.Unit) in
+  let deep = direct (Syscall.Stat "/a/b/c/d/e") (Ok Syscall.Unit) in
+  Alcotest.(check bool) "deep path costs more" true (Int64.compare deep shallow > 0);
+  (* Helpers. *)
+  Alcotest.(check int64) "peek_poke linear" (Int64.mul 10L c.Cost.peek_poke_word)
+    (Cost.peek_poke c ~words:10);
+  Alcotest.(check bool) "copy monotone" true
+    (Int64.compare (Cost.copy_bytes c 8192) (Cost.copy_bytes c 512) > 0)
+
+let argument_words_shapes () =
+  (* Path strings are peeked; write payloads are not (the I/O channel
+     carries them). *)
+  let with_path =
+    Syscall.argument_words (Syscall.Stat "/a/very/long/path/name/here")
+  in
+  let short_path = Syscall.argument_words (Syscall.Stat "/a") in
+  Alcotest.(check bool) "paths counted" true (with_path > short_path);
+  let big_write =
+    Syscall.argument_words
+      (Syscall.Write { fd = 1; data = String.make 100_000 'x' })
+  in
+  Alcotest.(check bool) "write payload not peeked" true (big_write <= 4);
+  Alcotest.(check int) "getpid argless" 0 (Syscall.argument_words Syscall.Getpid)
+
+let result_words_shapes () =
+  Alcotest.(check int) "stat is 16 words" 16
+    (Syscall.result_words
+       (Ok
+          (Syscall.Stat_v
+             {
+               Fs.st_ino = 1; st_kind = Inode.Regular; st_mode = 0o644; st_uid = 0;
+               st_nlink = 1; st_size = 0; st_mtime = 0L; st_ctime = 0L;
+             })));
+  Alcotest.(check int) "errors are one word" 1 (Syscall.result_words (Error Errno.ENOENT));
+  Alcotest.(check bool) "bulk data result small" true
+    (Syscall.result_words (Ok (Syscall.Data (String.make 8192 'x'))) <= 2)
+
+let metadata_classification () =
+  Alcotest.(check bool) "stat is metadata" true (Syscall.is_metadata (Syscall.Stat "/x"));
+  Alcotest.(check bool) "read is not" false
+    (Syscall.is_metadata (Syscall.Read { fd = 0; len = 1 }));
+  Alcotest.(check bool) "compute is not" false
+    (Syscall.is_metadata (Syscall.Compute 1L))
+
+(* --- accounts ----------------------------------------------------------- *)
+
+let account_database () =
+  let db = Account.create () in
+  Alcotest.(check int) "root+nobody" 2 (Account.count db);
+  let alice = match Account.add db "alice" with Ok e -> e | Error m -> Alcotest.fail m in
+  let bob = match Account.add db "bob" with Ok e -> e | Error m -> Alcotest.fail m in
+  Alcotest.(check bool) "distinct uids" true (alice.Account.uid <> bob.Account.uid);
+  Alcotest.(check string) "default home" "/home/alice" alice.Account.home;
+  (match Account.add db "alice" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "duplicate accepted");
+  (match Account.add db "" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty accepted");
+  Alcotest.(check string) "lookup by uid" "bob" (Account.name_of_uid db bob.Account.uid);
+  Alcotest.(check string) "unknown uid" "uid31337" (Account.name_of_uid db 31337);
+  (match Account.remove db "root" with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "removed root");
+  (match Account.remove db "alice" with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "gone" true (Account.find db "alice" = None)
+
+let passwd_rendering () =
+  let db = Account.create () in
+  ignore (Account.add db "zed");
+  let text = Account.render_passwd db in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "one line per account" (Account.count db) (List.length lines);
+  (* Sorted by uid: root first. *)
+  (match lines with
+   | first :: _ ->
+     Alcotest.(check bool) "root first" true
+       (String.length first >= 5 && String.sub first 0 5 = "root:")
+   | [] -> Alcotest.fail "no lines");
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "seven fields" 7
+        (List.length (String.split_on_char ':' line)))
+    lines
+
+(* --- fd table ----------------------------------------------------------- *)
+
+let dummy_file () =
+  {
+    Fd_table.inode = Inode.make_file ~ino:1 ~uid:0 ~mode:0o644 ~now:0L;
+    of_path = "/f";
+    flags = Fs.rdonly;
+    pos = 0;
+  }
+
+let fd_allocation () =
+  let t = Fd_table.create () in
+  let fd0 = match Fd_table.alloc t (dummy_file ()) with Ok fd -> fd | Error _ -> -1 in
+  let fd1 = match Fd_table.alloc t (dummy_file ()) with Ok fd -> fd | Error _ -> -1 in
+  Alcotest.(check int) "lowest first" 0 fd0;
+  Alcotest.(check int) "then next" 1 fd1;
+  (match Fd_table.close t 0 with Ok () -> () | Error _ -> Alcotest.fail "close");
+  let fd0' = match Fd_table.alloc t (dummy_file ()) with Ok fd -> fd | Error _ -> -1 in
+  Alcotest.(check int) "freed number reused" 0 fd0';
+  (match Fd_table.close t 99 with
+   | Error Errno.EBADF -> ()
+   | Ok () | Error _ -> Alcotest.fail "bad close");
+  Fd_table.alloc_at t 7 (dummy_file ());
+  Alcotest.(check (list int)) "fds sorted" [ 0; 1; 7 ] (Fd_table.fds t);
+  Fd_table.close_all t;
+  Alcotest.(check int) "emptied" 0 (Fd_table.count t)
+
+let fd_limit () =
+  let t = Fd_table.create () in
+  for _ = 1 to Fd_table.limit do
+    match Fd_table.alloc t (dummy_file ()) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "premature EMFILE"
+  done;
+  match Fd_table.alloc t (dummy_file ()) with
+  | Error Errno.EMFILE -> ()
+  | Ok _ | Error _ -> Alcotest.fail "limit not enforced"
+
+(* --- view / program ------------------------------------------------------ *)
+
+let view_environment () =
+  let v = View.make ~uid:7 ~env:[ ("A", "1"); ("B", "2") ] () in
+  Alcotest.(check (option string)) "get" (Some "1") (View.getenv v "A");
+  View.setenv v "A" "override";
+  Alcotest.(check (option string)) "set" (Some "override") (View.getenv v "A");
+  Alcotest.(check (option string)) "missing" None (View.getenv v "Z");
+  Alcotest.(check (list (pair string string))) "sorted bindings"
+    [ ("A", "override"); ("B", "2") ]
+    (View.env_bindings v)
+
+let program_registry_and_markers () =
+  Idbox_kernel.Kernel.with_fresh_programs (fun () ->
+      Program.register "demo" (fun _ -> 0);
+      Alcotest.(check bool) "found" true (Program.find "demo" <> None);
+      Alcotest.(check bool) "missing" true (Program.find "nope" = None);
+      Alcotest.(check (option string)) "marker roundtrip" (Some "demo")
+        (Program.of_marker (Program.marker "demo"));
+      Alcotest.(check (option string)) "marker without newline" (Some "demo")
+        (Program.of_marker "#!idbox-program:demo");
+      Alcotest.(check (option string)) "not a marker" None
+        (Program.of_marker "#!/bin/sh\necho hi");
+      Alcotest.(check (option string)) "empty" None (Program.of_marker ""));
+  (* with_fresh_programs restored the outer registry. *)
+  Alcotest.(check bool) "restored" true (Program.find "demo" = None)
+
+let suite =
+  [
+    Alcotest.test_case "clock behaviour" `Quick clock_behaviour;
+    Alcotest.test_case "clock rendering" `Quick clock_duration_rendering;
+    Alcotest.test_case "cost shapes" `Quick cost_shapes;
+    Alcotest.test_case "argument words" `Quick argument_words_shapes;
+    Alcotest.test_case "result words" `Quick result_words_shapes;
+    Alcotest.test_case "metadata classification" `Quick metadata_classification;
+    Alcotest.test_case "account database" `Quick account_database;
+    Alcotest.test_case "passwd rendering" `Quick passwd_rendering;
+    Alcotest.test_case "fd allocation" `Quick fd_allocation;
+    Alcotest.test_case "fd limit" `Quick fd_limit;
+    Alcotest.test_case "view environment" `Quick view_environment;
+    Alcotest.test_case "program registry" `Quick program_registry_and_markers;
+  ]

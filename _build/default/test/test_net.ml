@@ -1,0 +1,80 @@
+module Network = Idbox_net.Network
+module Clock = Idbox_kernel.Clock
+module Errno = Idbox_vfs.Errno
+
+let fresh ?latency_us ?bandwidth_mbps () =
+  let clock = Clock.create () in
+  (clock, Network.create ~clock ?latency_us ?bandwidth_mbps ())
+
+let echo payload = "echo:" ^ payload
+
+let call_roundtrip () =
+  let _, net = fresh () in
+  Network.listen net ~addr:"host:1" echo;
+  (match Network.call net ~addr:"host:1" "hello" with
+   | Ok "echo:hello" -> ()
+   | Ok other -> Alcotest.failf "got %S" other
+   | Error e -> Alcotest.fail (Errno.to_string e))
+
+let connection_refused () =
+  let _, net = fresh () in
+  match Network.call net ~addr:"nobody:9" "x" with
+  | Error Errno.ECONNREFUSED -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected ECONNREFUSED"
+
+let unlisten_stops_service () =
+  let _, net = fresh () in
+  Network.listen net ~addr:"a:1" echo;
+  Network.unlisten net ~addr:"a:1";
+  match Network.call net ~addr:"a:1" "x" with
+  | Error Errno.ECONNREFUSED -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unlisten ignored"
+
+let latency_charged_per_direction () =
+  let clock, net = fresh ~latency_us:100. ~bandwidth_mbps:100. () in
+  Network.listen net ~addr:"a:1" (fun _ -> "");
+  let t0 = Clock.now clock in
+  ignore (Network.call net ~addr:"a:1" "");
+  let elapsed = Int64.sub (Clock.now clock) t0 in
+  (* Two empty transfers: exactly two latencies. *)
+  Alcotest.(check int64) "2x latency" 200_000L elapsed
+
+let bandwidth_charged_per_byte () =
+  let clock, net = fresh ~latency_us:0. ~bandwidth_mbps:8. () in
+  (* 8 Mbit/s = 1 byte per microsecond. *)
+  Network.listen net ~addr:"a:1" (fun _ -> "");
+  let t0 = Clock.now clock in
+  ignore (Network.call net ~addr:"a:1" (String.make 1000 'x'));
+  let elapsed = Int64.sub (Clock.now clock) t0 in
+  Alcotest.(check int64) "1000 bytes = 1ms" 1_000_000L elapsed
+
+let stats_accumulate () =
+  let _, net = fresh () in
+  Network.listen net ~addr:"a:1" echo;
+  ignore (Network.call net ~addr:"a:1" "12345");
+  ignore (Network.call net ~addr:"a:1" "1");
+  (match Network.stats net ~addr:"a:1" with
+   | Some s ->
+     Alcotest.(check int) "calls" 2 s.Network.calls;
+     Alcotest.(check int) "bytes in" 6 s.Network.bytes_in;
+     Alcotest.(check int) "bytes out" 16 s.Network.bytes_out
+   | None -> Alcotest.fail "no stats");
+  Alcotest.(check int) "messages" 4 (Network.total_messages net);
+  Alcotest.(check int) "total bytes" 22 (Network.total_bytes net)
+
+let addresses_sorted () =
+  let _, net = fresh () in
+  Network.listen net ~addr:"b:2" echo;
+  Network.listen net ~addr:"a:1" echo;
+  Alcotest.(check (list string)) "sorted" [ "a:1"; "b:2" ] (Network.addresses net)
+
+let suite =
+  [
+    Alcotest.test_case "call roundtrip" `Quick call_roundtrip;
+    Alcotest.test_case "connection refused" `Quick connection_refused;
+    Alcotest.test_case "unlisten" `Quick unlisten_stops_service;
+    Alcotest.test_case "latency per direction" `Quick latency_charged_per_direction;
+    Alcotest.test_case "bandwidth per byte" `Quick bandwidth_charged_per_byte;
+    Alcotest.test_case "stats accumulate" `Quick stats_accumulate;
+    Alcotest.test_case "addresses sorted" `Quick addresses_sorted;
+  ]

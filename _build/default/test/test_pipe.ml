@@ -1,0 +1,226 @@
+module Kernel = Idbox_kernel.Kernel
+module Libc = Idbox_kernel.Libc
+module Box = Idbox.Box
+module Principal = Idbox_identity.Principal
+module Errno = Idbox_vfs.Errno
+
+let run_main ?(uid = 0) kernel main =
+  let pid = Kernel.spawn_main kernel ~uid ~cwd:"/" ~main ~args:[ "t" ] () in
+  Kernel.run kernel;
+  Kernel.exit_code kernel pid
+
+let same_process_roundtrip () =
+  let k = Kernel.create () in
+  let code =
+    run_main k (fun _ ->
+        let rd, wr = Libc.check "pipe" (Libc.pipe ()) in
+        (match Libc.write wr "through the pipe" with
+         | Ok 16 -> ()
+         | Ok _ | Error _ -> Libc.exit 1);
+        (match Libc.read rd ~len:7 with
+         | Ok "through" -> ()
+         | Ok _ | Error _ -> Libc.exit 2);
+        (match Libc.read rd ~len:100 with
+         | Ok " the pipe" -> ()
+         | Ok _ | Error _ -> Libc.exit 3);
+        (* Close the writer: EOF, not a hang. *)
+        (match Libc.close wr with Ok () -> () | Error _ -> Libc.exit 4);
+        (match Libc.read rd ~len:10 with
+         | Ok "" -> ()
+         | Ok _ | Error _ -> Libc.exit 5);
+        (* Seeking a pipe is illegal. *)
+        (match Libc.lseek rd ~off:0 ~whence:Idbox_kernel.Syscall.Seek_set with
+         | Error Errno.ESPIPE -> ()
+         | Ok _ | Error _ -> Libc.exit 6);
+        0)
+  in
+  Alcotest.(check (option int)) "roundtrip" (Some 0) code
+
+let wrong_direction_rejected () =
+  let k = Kernel.create () in
+  let code =
+    run_main k (fun _ ->
+        let rd, wr = Libc.check "pipe" (Libc.pipe ()) in
+        (match Libc.write rd "x" with
+         | Error Errno.EBADF -> ()
+         | Ok _ | Error _ -> Libc.exit 1);
+        (match Libc.read wr ~len:1 with
+         | Error Errno.EBADF -> ()
+         | Ok _ | Error _ -> Libc.exit 2);
+        0)
+  in
+  Alcotest.(check (option int)) "directions" (Some 0) code
+
+let epipe_when_no_readers () =
+  let k = Kernel.create () in
+  let code =
+    run_main k (fun _ ->
+        let rd, wr = Libc.check "pipe" (Libc.pipe ()) in
+        ignore (Libc.close rd);
+        (match Libc.write wr "scream into the void" with
+         | Error Errno.EPIPE -> 0
+         | Ok _ -> 1
+         | Error _ -> 2))
+  in
+  Alcotest.(check (option int)) "EPIPE" (Some 0) code
+
+let blocking_read_woken_by_child () =
+  (* The parent blocks on an empty pipe; its child (which inherited the
+     write end) computes, writes, and exits — the blocked read completes
+     with the data.  This is the paper's "blocking system calls place the
+     calling process into a wait state" in action. *)
+  let k = Kernel.create () in
+  Kernel.with_fresh_programs (fun () ->
+      Idbox_kernel.Program.register "producer" (fun args ->
+          let wr = int_of_string (List.nth args 1) in
+          Libc.compute 5_000_000L;
+          (match Libc.write wr "produced!" with Ok _ -> () | Error _ -> Libc.exit 9);
+          0);
+      (match
+         Idbox_vfs.Fs.write_file (Kernel.fs k) ~uid:0 ~mode:0o755 "/bin/producer"
+           (Idbox_kernel.Program.marker "producer")
+       with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Errno.to_string e));
+      let code =
+        run_main k (fun _ ->
+            let rd, wr = Libc.check "pipe" (Libc.pipe ()) in
+            let child =
+              Libc.check "spawn"
+                (Libc.spawn "/bin/producer" ~args:[ "producer"; string_of_int wr ])
+            in
+            (* Parent closes its own write end so EOF can ever arrive. *)
+            ignore (Libc.close wr);
+            (* This read BLOCKS: the child has not run yet. *)
+            (match Libc.read rd ~len:64 with
+             | Ok "produced!" -> ()
+             | Ok _ | Error _ -> Libc.exit 1);
+            (* Child exited; its write end dropped: EOF. *)
+            (match Libc.read rd ~len:64 with
+             | Ok "" -> ()
+             | Ok _ | Error _ -> Libc.exit 2);
+            (match Libc.waitpid child with
+             | Ok (_, 0) -> 0
+             | Ok _ | Error _ -> 3))
+      in
+      Alcotest.(check (option int)) "woken with data" (Some 0) code)
+
+let eof_on_child_exit_without_write () =
+  (* The blocked reader is woken by the last writer *exiting*, not
+     writing: exit must release pipe ends. *)
+  let k = Kernel.create () in
+  Kernel.with_fresh_programs (fun () ->
+      Idbox_kernel.Program.register "silent" (fun _ ->
+          Libc.compute 1_000_000L;
+          0);
+      (match
+         Idbox_vfs.Fs.write_file (Kernel.fs k) ~uid:0 ~mode:0o755 "/bin/silent"
+           (Idbox_kernel.Program.marker "silent")
+       with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Errno.to_string e));
+      let code =
+        run_main k (fun _ ->
+            let rd, wr = Libc.check "pipe" (Libc.pipe ()) in
+            let _child = Libc.check "spawn" (Libc.spawn "/bin/silent" ~args:[ "s" ]) in
+            ignore (Libc.close wr);
+            match Libc.read rd ~len:8 with
+            | Ok "" -> 0
+            | Ok _ -> 1
+            | Error _ -> 2)
+      in
+      Alcotest.(check (option int)) "EOF on exit" (Some 0) code)
+
+let pipes_inside_identity_box () =
+  (* Producer/consumer across a boxed process tree: IPC works inside the
+     box, with every call still trapped. *)
+  let k = Kernel.create () in
+  let sup = match Kernel.add_user k "dthain" with Ok e -> e | Error m -> Alcotest.fail m in
+  let box =
+    match
+      Box.create k ~supervisor_uid:sup.Idbox_kernel.Account.uid
+        ~identity:(Principal.of_string "Freddy") ()
+    with
+    | Ok b -> b
+    | Error e -> Alcotest.fail (Errno.message e)
+  in
+  Kernel.with_fresh_programs (fun () ->
+      Idbox_kernel.Program.register "boxed-producer" (fun args ->
+          let wr = int_of_string (List.nth args 1) in
+          (* IPC carries the identity's work. *)
+          (match Libc.write wr ("from " ^ Libc.get_user_name ()) with
+           | Ok _ -> 0
+           | Error _ -> 9));
+      let home = Box.home box in
+      let code =
+        let pid =
+          Box.spawn_main box
+            ~main:(fun _ ->
+              (match
+                 Libc.write_file (home ^ "/producer.exe")
+                   ~contents:(Idbox_kernel.Program.marker "boxed-producer")
+               with
+               | Ok () -> ()
+               | Error _ -> Libc.exit 1);
+              (match Libc.chmod ~mode:0o755 (home ^ "/producer.exe") with
+               | Ok () -> ()
+               | Error _ -> Libc.exit 2);
+              let rd, wr = Libc.check "pipe" (Libc.pipe ()) in
+              let child =
+                match
+                  Libc.spawn (home ^ "/producer.exe")
+                    ~args:[ "producer"; string_of_int wr ]
+                with
+                | Ok pid -> pid
+                | Error _ -> Libc.exit 3
+              in
+              ignore (Libc.close wr);
+              (match Libc.read rd ~len:64 with
+               | Ok "from Freddy" -> ()
+               | Ok _ | Error _ -> Libc.exit 4);
+              (match Libc.waitpid child with
+               | Ok (_, 0) -> 0
+               | Ok _ | Error _ -> 5))
+            ~args:[ "parent" ]
+        in
+        Kernel.run k;
+        Kernel.exit_code k pid
+      in
+      Alcotest.(check (option int)) "boxed pipe IPC" (Some 0) code)
+
+let killed_blocked_reader_cleanly_dies () =
+  let k = Kernel.create () in
+  let reader_pid = ref (-1) in
+  let reader =
+    Kernel.spawn_main k ~uid:0 ~cwd:"/"
+      ~main:(fun _ ->
+        reader_pid := Libc.getpid ();
+        let rd, _wr = Libc.check "pipe" (Libc.pipe ()) in
+        (* Blocks forever: we hold our own write end but never write. *)
+        ignore (Libc.read rd ~len:1);
+        0)
+      ~args:[ "r" ] ()
+  in
+  let _killer =
+    Kernel.spawn_main k ~uid:0 ~cwd:"/"
+      ~main:(fun _ ->
+        (* Runs after the reader blocked (FIFO scheduling). *)
+        (match Libc.kill ~pid:reader ~signal:9 with
+         | Ok () -> 0
+         | Error _ -> 1))
+      ~args:[ "k" ] ()
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "killed while blocked" (Some 137)
+    (Kernel.exit_code k reader)
+
+let suite =
+  [
+    Alcotest.test_case "same-process roundtrip" `Quick same_process_roundtrip;
+    Alcotest.test_case "wrong direction" `Quick wrong_direction_rejected;
+    Alcotest.test_case "EPIPE" `Quick epipe_when_no_readers;
+    Alcotest.test_case "blocking read woken by child" `Quick blocking_read_woken_by_child;
+    Alcotest.test_case "EOF on silent child exit" `Quick eof_on_child_exit_without_write;
+    Alcotest.test_case "pipes inside identity box" `Quick pipes_inside_identity_box;
+    Alcotest.test_case "killed blocked reader" `Quick killed_blocked_reader_cleanly_dies;
+  ]

@@ -1,0 +1,91 @@
+module Principal = Idbox_identity.Principal
+module Subject = Idbox_identity.Subject
+
+let parse_schemes () =
+  let p = Principal.of_string "globus:/O=UnivNowhere/CN=Fred" in
+  Alcotest.(check bool) "globus" true (p.Principal.scheme = Some Principal.Globus);
+  Alcotest.(check string) "name" "/O=UnivNowhere/CN=Fred" p.Principal.name;
+  let k = Principal.of_string "kerberos:fred@nowhere.edu" in
+  Alcotest.(check bool) "kerberos" true (k.Principal.scheme = Some Principal.Kerberos);
+  let h = Principal.of_string "hostname:laptop.cs.nowhere.edu" in
+  Alcotest.(check bool) "hostname" true (h.Principal.scheme = Some Principal.Hostname);
+  let u = Principal.of_string "unix:dthain" in
+  Alcotest.(check bool) "unix" true (u.Principal.scheme = Some Principal.Unix)
+
+let unqualified_names () =
+  let f = Principal.of_string "Freddy" in
+  Alcotest.(check bool) "no scheme" true (f.Principal.scheme = None);
+  Alcotest.(check string) "roundtrip" "Freddy" (Principal.to_string f);
+  (* A DN has no colon: parses unqualified. *)
+  let dn = Principal.of_string "/O=UnivNowhere/CN=Fred" in
+  Alcotest.(check bool) "dn unqualified" true (dn.Principal.scheme = None)
+
+let unknown_scheme_token () =
+  let p = Principal.of_string "ftp:someone" in
+  Alcotest.(check bool) "other scheme" true
+    (p.Principal.scheme = Some (Principal.Other "ftp"));
+  Alcotest.(check string) "roundtrip" "ftp:someone" (Principal.to_string p)
+
+let non_scheme_colon () =
+  (* Uppercase before ':' is not a scheme token: whole string is the name. *)
+  let p = Principal.of_string "Weird:Name" in
+  Alcotest.(check bool) "not scheme" true (p.Principal.scheme = None);
+  Alcotest.(check string) "kept whole" "Weird:Name" (Principal.to_string p)
+
+let roundtrip_known () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Principal.to_string (Principal.of_string s)))
+    [
+      "globus:/O=UnivNowhere/CN=Fred";
+      "kerberos:fred@nowhere.edu";
+      "hostname:laptop.cs.nowhere.edu";
+      "unix:nobody";
+      "Anonymous429";
+      "MyFriend";
+    ]
+
+let distinguished_principals () =
+  Alcotest.(check bool) "anonymous" true
+    (String.equal (Principal.to_string Principal.anonymous) "anonymous");
+  Alcotest.(check bool) "nobody" true
+    (String.equal (Principal.to_string Principal.nobody) "unix:nobody")
+
+let equality_and_order () =
+  let a = Principal.of_string "unix:alice" and b = Principal.of_string "unix:bob" in
+  Alcotest.(check bool) "equal self" true (Principal.equal a a);
+  Alcotest.(check bool) "not equal" false (Principal.equal a b);
+  Alcotest.(check bool) "order" true (Principal.compare a b < 0)
+
+let pattern_matching () =
+  let fred = Principal.of_string "globus:/O=UnivNowhere/CN=Fred" in
+  Alcotest.(check bool) "org wildcard" true
+    (Principal.matches_pattern ~pattern:"globus:/O=UnivNowhere/*" fred);
+  Alcotest.(check bool) "other org" false
+    (Principal.matches_pattern ~pattern:"globus:/O=Elsewhere/*" fred)
+
+let make_rejects_empty () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Principal.make: empty name")
+    (fun () -> ignore (Principal.make ""))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_string/to_string roundtrip" ~count:300
+    (QCheck.string_of_size (QCheck.Gen.int_range 1 40))
+    (fun s ->
+      (* Principals are free-form: parsing then printing is the identity
+         on every non-empty string. *)
+      String.equal (Principal.to_string (Principal.of_string s)) s)
+
+let suite =
+  [
+    Alcotest.test_case "parse schemes" `Quick parse_schemes;
+    Alcotest.test_case "unqualified names" `Quick unqualified_names;
+    Alcotest.test_case "unknown scheme token" `Quick unknown_scheme_token;
+    Alcotest.test_case "non-scheme colon" `Quick non_scheme_colon;
+    Alcotest.test_case "roundtrip known forms" `Quick roundtrip_known;
+    Alcotest.test_case "distinguished principals" `Quick distinguished_principals;
+    Alcotest.test_case "equality and order" `Quick equality_and_order;
+    Alcotest.test_case "pattern matching" `Quick pattern_matching;
+    Alcotest.test_case "make rejects empty" `Quick make_rejects_empty;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,155 @@
+module Wire = Idbox_chirp.Wire
+module Protocol = Idbox_chirp.Protocol
+module Credential = Idbox_auth.Credential
+module Ca = Idbox_auth.Ca
+module Kerberos = Idbox_auth.Kerberos
+module Subject = Idbox_identity.Subject
+module Errno = Idbox_vfs.Errno
+
+(* --- wire framing ----------------------------------------------------- *)
+
+let wire_roundtrip_cases () =
+  List.iter
+    (fun fields ->
+      match Wire.decode (Wire.encode fields) with
+      | Ok decoded ->
+        Alcotest.(check (list string)) "roundtrip" fields decoded
+      | Error m -> Alcotest.fail m)
+    [
+      [];
+      [ "" ];
+      [ "a" ];
+      [ "put"; "/work/sim.exe"; "binary\000data:with:colons\n" ];
+      [ "x"; ""; "y" ];
+    ]
+
+let wire_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Wire.decode text with
+      | Error _ -> ()
+      | Ok fields ->
+        (* A decode may only succeed if re-encoding gives the input back. *)
+        if not (String.equal (Wire.encode fields) text) then
+          Alcotest.failf "%S decoded loosely" text)
+    [ "5:ab"; "x:ab"; "3ab"; "-1:"; "2:ab3:c" ]
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip on arbitrary fields" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 6)
+       (QCheck.string_of_size (QCheck.Gen.int_range 0 40)))
+    (fun fields ->
+      match Wire.decode (Wire.encode fields) with
+      | Ok decoded -> decoded = fields
+      | Error _ -> false)
+
+(* --- protocol messages ------------------------------------------------ *)
+
+let ops =
+  [
+    Protocol.Mkdir "/work";
+    Protocol.Rmdir "/work";
+    Protocol.Unlink "/work/f";
+    Protocol.Put { path = "/work/sim.exe"; data = "exe\000bits" };
+    Protocol.Get "/work/out.dat";
+    Protocol.Stat "/work";
+    Protocol.Readdir "/";
+    Protocol.Getacl "/work";
+    Protocol.Setacl { path = "/work"; entry = "globus:/O=X/* rl" };
+    Protocol.Rename { src = "/a"; dst = "/b" };
+    Protocol.Exec { path = "/work/sim.exe"; args = [ "sim.exe"; "-n"; "5" ]; cwd = "/work" };
+    Protocol.Checksum "/work/blob";
+    Protocol.Whoami;
+  ]
+
+let request_roundtrip () =
+  List.iter
+    (fun op ->
+      let req = Protocol.Op { token = "tok123"; op } in
+      match Protocol.decode_request (Protocol.encode_request req) with
+      | Ok (Protocol.Op { token; op = op' }) ->
+        Alcotest.(check string) "token" "tok123" token;
+        Alcotest.(check bool) (Protocol.operation_name op) true (op = op')
+      | Ok (Protocol.Auth _) -> Alcotest.fail "became auth"
+      | Error m -> Alcotest.fail m)
+    ops
+
+let auth_roundtrip_all_credentials () =
+  let ca = Ca.create ~name:"CA" in
+  let cert = Ca.issue ca (Subject.of_string_exn "/O=X/CN=F") in
+  let realm = Kerberos.create ~realm:"R" in
+  Kerberos.add_user realm "u" ~password:"p";
+  let ticket =
+    match Kerberos.login realm ~user:"u" ~password:"p" ~now:5L with
+    | Ok t -> t
+    | Error m -> Alcotest.fail m
+  in
+  let creds =
+    [
+      Credential.Gsi cert;
+      Credential.Krb ticket;
+      Credential.Unix_account "dthain";
+      Credential.Host "laptop.nowhere.edu";
+    ]
+  in
+  match Protocol.decode_request (Protocol.encode_request (Protocol.Auth creds)) with
+  | Ok (Protocol.Auth decoded) ->
+    Alcotest.(check int) "count" 4 (List.length decoded);
+    (* The decoded GSI certificate still verifies against the CA. *)
+    (match List.hd decoded with
+     | Credential.Gsi cert' ->
+       Alcotest.(check bool) "signature survives wire" true (Ca.verify ca cert')
+     | _ -> Alcotest.fail "first credential changed kind");
+    (* The decoded ticket still verifies against the realm. *)
+    (match List.nth decoded 1 with
+     | Credential.Krb t' ->
+       Alcotest.(check bool) "stamp survives wire" true (Kerberos.verify realm t' ~now:5L)
+     | _ -> Alcotest.fail "second credential changed kind")
+  | Ok _ -> Alcotest.fail "became op"
+  | Error m -> Alcotest.fail m
+
+let response_roundtrip () =
+  let responses =
+    [
+      Protocol.R_ok;
+      Protocol.R_error (Errno.EACCES, "denied");
+      Protocol.R_auth { token = "t"; principal = "globus:/O=X/CN=F"; method_ = "globus" };
+      Protocol.R_data "bulk\000payload";
+      Protocol.R_stat { Protocol.ws_kind = "file"; ws_size = 42; ws_mtime = 7L };
+      Protocol.R_names [ "a"; "b"; "c" ];
+      Protocol.R_names [];
+      Protocol.R_exit 3;
+      Protocol.R_str "globus:/O=X/CN=F";
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_response (Protocol.encode_response r) with
+      | Ok r' -> Alcotest.(check bool) "roundtrip" true (r = r')
+      | Error m -> Alcotest.fail m)
+    responses
+
+let malformed_messages_rejected () =
+  List.iter
+    (fun text ->
+      match Protocol.decode_request text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "request %S accepted" text)
+    [ ""; "4:oops"; Wire.encode [ "op" ]; Wire.encode [ "op"; "tok"; "zap" ] ];
+  List.iter
+    (fun text ->
+      match Protocol.decode_response text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "response %S accepted" text)
+    [ ""; Wire.encode [ "error"; "EWAT"; "m" ]; Wire.encode [ "exit"; "NaN" ] ]
+
+let suite =
+  [
+    Alcotest.test_case "wire roundtrip" `Quick wire_roundtrip_cases;
+    Alcotest.test_case "wire rejects garbage" `Quick wire_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+    Alcotest.test_case "request roundtrip" `Quick request_roundtrip;
+    Alcotest.test_case "auth roundtrip" `Quick auth_roundtrip_all_credentials;
+    Alcotest.test_case "response roundtrip" `Quick response_roundtrip;
+    Alcotest.test_case "malformed rejected" `Quick malformed_messages_rejected;
+  ]

@@ -1,0 +1,155 @@
+module Kernel = Idbox_kernel.Kernel
+module Libc = Idbox_kernel.Libc
+module Syscall = Idbox_kernel.Syscall
+module Trace = Idbox_kernel.Trace
+module Fd_table = Idbox_kernel.Fd_table
+module Tracer = Idbox_ptrace.Tracer
+module Iochannel = Idbox_ptrace.Iochannel
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+
+let channel_stage_collect () =
+  let k = Kernel.create () in
+  let sup = Kernel.make_view k ~uid:0 () in
+  let ch = ok "create" (Iochannel.create k ~supervisor:sup ()) in
+  let off = Iochannel.stage ch "payload one" in
+  Alcotest.(check string) "staged data readable" "payload one"
+    (Iochannel.collect ch ~off ~len:11);
+  (* Consecutive stages occupy disjoint ranges. *)
+  let off2 = Iochannel.stage ch "second" in
+  Alcotest.(check bool) "disjoint" true (off2 >= off + 11);
+  Alcotest.(check string) "both intact" "payload one"
+    (Iochannel.collect ch ~off ~len:11)
+
+let channel_wraps_at_capacity () =
+  let k = Kernel.create () in
+  let sup = Kernel.make_view k ~uid:0 () in
+  let ch = ok "create" (Iochannel.create k ~supervisor:sup ~size:100 ()) in
+  let off1 = Iochannel.stage ch (String.make 60 'a') in
+  Alcotest.(check int) "first at origin" 0 off1;
+  (* 60 more does not fit after 60: wraps to 0. *)
+  let off2 = Iochannel.stage ch (String.make 60 'b') in
+  Alcotest.(check int) "wrapped" 0 off2;
+  Alcotest.check_raises "oversized transfer"
+    (Invalid_argument "Iochannel: transfer of 101 bytes exceeds channel size 100")
+    (fun () -> ignore (Iochannel.stage ch (String.make 101 'c')))
+
+let channel_attach_gives_tracee_fd () =
+  let k = Kernel.create () in
+  let sup = Kernel.make_view k ~uid:0 () in
+  let ch = ok "create" (Iochannel.create k ~supervisor:sup ()) in
+  let off = Iochannel.stage ch "via fd 3" in
+  let seen = ref "" in
+  let tracer =
+    Tracer.make k
+      ~on_entry:(fun ~pid:_ _ -> Trace.Pass)
+      ~on_exit:(fun ~pid:_ _ _ -> Trace.Keep)
+      ~on_event:(fun ev ->
+        match ev with
+        | Trace.Spawned { pid; _ } ->
+          (match Kernel.process_view k pid with
+           | Some view -> Iochannel.attach ch view
+           | None -> ())
+        | Trace.Exited _ -> ())
+      ()
+  in
+  let pid =
+    Kernel.spawn_main k ~uid:0 ~tracer
+      ~main:(fun _ ->
+        (* The tracee reads staged data through its injected channel fd
+           — the coerced pread of Fig. 4. *)
+        seen := Libc.check "pread" (Libc.pread Iochannel.channel_fd ~off ~len:8);
+        0)
+      ~args:[ "t" ] ()
+  in
+  Kernel.run k;
+  Alcotest.(check (option int)) "ok" (Some 0) (Kernel.exit_code k pid);
+  Alcotest.(check string) "tracee read the channel" "via fd 3" !seen
+
+let tracer_charges_peek_poke () =
+  let k = Kernel.create () in
+  let tracer =
+    Tracer.make k
+      ~on_entry:(fun ~pid:_ _ -> Trace.Pass)
+      ~on_exit:(fun ~pid:_ _ _ -> Trace.Keep)
+      ()
+  in
+  let stats = Kernel.stats k in
+  let w0 = stats.Kernel.peek_poke_words in
+  let pid =
+    Kernel.spawn_main k ~uid:0 ~tracer
+      ~main:(fun _ ->
+        ignore (Libc.stat "/tmp");
+        0)
+      ~args:[ "t" ] ()
+  in
+  Kernel.run k;
+  ignore pid;
+  (* stat's arguments were peeked and its 16-word result poked. *)
+  Alcotest.(check bool) "words moved" true (stats.Kernel.peek_poke_words - w0 >= 17)
+
+let deny_pokes_one_word () =
+  let k = Kernel.create () in
+  let tracer =
+    Tracer.make k
+      ~on_entry:(fun ~pid:_ req ->
+        match req with
+        | Syscall.Mkdir _ -> Trace.Deny Errno.EPERM
+        | _ -> Trace.Pass)
+      ~on_exit:(fun ~pid:_ _ _ -> Trace.Keep)
+      ()
+  in
+  let result = ref None in
+  let pid =
+    Kernel.spawn_main k ~uid:0 ~tracer
+      ~main:(fun _ ->
+        result := Some (Libc.mkdir "/tmp/x");
+        0)
+      ~args:[ "t" ] ()
+  in
+  Kernel.run k;
+  ignore pid;
+  (match !result with
+   | Some (Error Errno.EPERM) -> ()
+   | _ -> Alcotest.fail "deny not injected")
+
+let attach_detach_midstream () =
+  let k = Kernel.create () in
+  let trapped = ref 0 in
+  let tracer =
+    Tracer.make k
+      ~on_entry:(fun ~pid:_ _ -> incr trapped; Trace.Pass)
+      ~on_exit:(fun ~pid:_ _ _ -> Trace.Keep)
+      ()
+  in
+  let pid =
+    Kernel.spawn_main k ~uid:0
+      ~main:(fun _ ->
+        ignore (Libc.getpid ());
+        (* Give the host a chance to attach between calls is not
+           possible cooperatively; instead attach from the start and
+           detach via the host after the run.  Here we just verify
+           attach works on a live pid. *)
+        ignore (Libc.getpid ());
+        0)
+      ~args:[ "t" ] ()
+  in
+  Tracer.attach k pid tracer;
+  Kernel.run k;
+  Alcotest.(check bool) "calls trapped" true (!trapped >= 2);
+  (* Detach on a dead pid is harmless. *)
+  Tracer.detach k pid
+
+let suite =
+  [
+    Alcotest.test_case "channel stage/collect" `Quick channel_stage_collect;
+    Alcotest.test_case "channel wraps" `Quick channel_wraps_at_capacity;
+    Alcotest.test_case "channel tracee fd" `Quick channel_attach_gives_tracee_fd;
+    Alcotest.test_case "peek/poke charged" `Quick tracer_charges_peek_poke;
+    Alcotest.test_case "deny pokes one word" `Quick deny_pokes_one_word;
+    Alcotest.test_case "attach/detach" `Quick attach_detach_midstream;
+  ]

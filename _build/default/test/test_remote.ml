@@ -1,0 +1,60 @@
+module Remote = Idbox.Remote
+module Fs = Idbox_vfs.Fs
+module Inode = Idbox_vfs.Inode
+module Errno = Idbox_vfs.Errno
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+
+let not_supported_fails_everything () =
+  let d = Remote.not_supported ~describe:"stub" in
+  Alcotest.(check string) "describe" "stub" d.Remote.r_describe;
+  let is_enosys = function Error Errno.ENOSYS -> true | _ -> false in
+  Alcotest.(check bool) "stat" true (is_enosys (d.Remote.r_stat "/x"));
+  Alcotest.(check bool) "read" true (is_enosys (d.Remote.r_read "/x"));
+  Alcotest.(check bool) "write" true (is_enosys (d.Remote.r_write "/x" "d"));
+  Alcotest.(check bool) "mkdir" true (is_enosys (d.Remote.r_mkdir "/x"));
+  Alcotest.(check bool) "unlink" true (is_enosys (d.Remote.r_unlink "/x"));
+  Alcotest.(check bool) "rmdir" true (is_enosys (d.Remote.r_rmdir "/x"));
+  Alcotest.(check bool) "readdir" true (is_enosys (d.Remote.r_readdir "/x"));
+  Alcotest.(check bool) "rename" true (is_enosys (d.Remote.r_rename "/a" "/b"));
+  Alcotest.(check bool) "getacl" true (is_enosys (d.Remote.r_getacl "/x"));
+  Alcotest.(check bool) "setacl" true (is_enosys (d.Remote.r_setacl "/x" "e"))
+
+let loopback_driver_operations () =
+  let fs = Fs.create () in
+  ok "seed" (Fs.mkdir_p fs ~uid:0 "/data");
+  ok "seed2" (Fs.write_file fs ~uid:0 "/data/f" "contents");
+  let d = Remote.of_local_fs fs ~uid:0 in
+  (* Reads and stats pass through. *)
+  Alcotest.(check string) "read" "contents" (ok "read" (d.Remote.r_read "/data/f"));
+  let st = ok "stat" (d.Remote.r_stat "/data/f") in
+  Alcotest.(check int) "size" 8 st.Fs.st_size;
+  Alcotest.(check bool) "kind" true (st.Fs.st_kind = Inode.Regular);
+  (* Mutations land in the backing fs. *)
+  ok "write" (d.Remote.r_write "/data/new" "fresh");
+  Alcotest.(check string) "landed" "fresh" (ok "readback" (Fs.read_file fs ~uid:0 "/data/new"));
+  ok "mkdir" (d.Remote.r_mkdir "/data/sub");
+  Alcotest.(check bool) "dir exists" true (Fs.exists fs ~uid:0 "/data/sub");
+  ok "rename" (d.Remote.r_rename "/data/new" "/data/renamed");
+  Alcotest.(check (list string)) "listing" [ "f"; "renamed"; "sub" ]
+    (ok "readdir" (d.Remote.r_readdir "/data"));
+  ok "unlink" (d.Remote.r_unlink "/data/renamed");
+  ok "rmdir" (d.Remote.r_rmdir "/data/sub");
+  (* Errors pass through as errnos. *)
+  (match d.Remote.r_read "/missing" with
+   | Error Errno.ENOENT -> ()
+   | Ok _ | Error _ -> Alcotest.fail "missing read");
+  (* Permission checks honour the driver uid. *)
+  let restricted = Remote.of_local_fs fs ~uid:4444 in
+  ok "chmod" (Fs.chmod fs ~uid:0 ~mode:0o600 "/data/f");
+  (match restricted.Remote.r_read "/data/f" with
+   | Error Errno.EACCES -> ()
+   | Ok _ | Error _ -> Alcotest.fail "uid ignored")
+
+let suite =
+  [
+    Alcotest.test_case "not_supported" `Quick not_supported_fails_everything;
+    Alcotest.test_case "loopback driver" `Quick loopback_driver_operations;
+  ]

@@ -1,0 +1,86 @@
+module Subject = Idbox_identity.Subject
+
+let parse_simple () =
+  let s = Subject.of_string_exn "/O=UnivNowhere/CN=Fred" in
+  Alcotest.(check int) "components" 2 (List.length s);
+  Alcotest.(check (option string)) "cn" (Some "Fred") (Subject.common_name s);
+  Alcotest.(check (option string)) "org" (Some "UnivNowhere") (Subject.organization s)
+
+let roundtrip () =
+  List.iter
+    (fun text ->
+      Alcotest.(check string) text text
+        (Subject.to_string (Subject.of_string_exn text)))
+    [ "/O=UnivNowhere/CN=Fred"; "/C=US/O=Grid/OU=CS/CN=Jane Doe"; "/CN=solo" ]
+
+let last_cn_wins () =
+  let s = Subject.of_string_exn "/CN=proxy/CN=real" in
+  Alcotest.(check (option string)) "last CN" (Some "real") (Subject.common_name s)
+
+let malformed () =
+  let bad t =
+    match Subject.of_string t with
+    | Ok _ -> Alcotest.failf "%S should not parse" t
+    | Error _ -> ()
+  in
+  bad "";
+  bad "no-leading-slash";
+  bad "/";
+  bad "/O=X/plain";
+  bad "/=value"
+
+let prefix_trust () =
+  let org = Subject.of_string_exn "/O=UnivNowhere" in
+  let fred = Subject.of_string_exn "/O=UnivNowhere/CN=Fred" in
+  let other = Subject.of_string_exn "/O=Elsewhere/CN=Fred" in
+  Alcotest.(check bool) "fred under org" true (Subject.is_prefix ~prefix:org fred);
+  Alcotest.(check bool) "other not under" false (Subject.is_prefix ~prefix:org other);
+  Alcotest.(check bool) "self prefix" true (Subject.is_prefix ~prefix:fred fred);
+  Alcotest.(check bool) "longer not prefix of shorter" false
+    (Subject.is_prefix ~prefix:fred org)
+
+let append_extends () =
+  let org = Subject.of_string_exn "/O=UnivNowhere" in
+  let extended = Subject.append org { Subject.attr = "CN"; value = "Fred" } in
+  Alcotest.(check string) "extended" "/O=UnivNowhere/CN=Fred"
+    (Subject.to_string extended);
+  Alcotest.(check bool) "prefix of extension" true
+    (Subject.is_prefix ~prefix:org extended)
+
+let values_with_spaces () =
+  let s = Subject.of_string_exn "/O=Univ of Nowhere/CN=Fred Jones" in
+  Alcotest.(check (option string)) "cn with space" (Some "Fred Jones")
+    (Subject.common_name s)
+
+let rdn_gen =
+  QCheck.Gen.(
+    map2
+      (fun attr value -> { Subject.attr; value })
+      (oneofl [ "O"; "OU"; "CN"; "C"; "L" ])
+      (string_size ~gen:(oneofl [ 'a'; 'b'; 'Z'; '0'; ' '; '-' ]) (int_range 1 8)))
+
+let subject_gen = QCheck.Gen.(list_size (int_range 1 5) rdn_gen)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"subject to_string/of_string roundtrip" ~count:200
+    (QCheck.make subject_gen) (fun s ->
+      match Subject.of_string (Subject.to_string s) with
+      | Ok s' -> Subject.equal s s'
+      | Error _ -> false)
+
+let prop_prefix_reflexive =
+  QCheck.Test.make ~name:"is_prefix reflexive" ~count:100 (QCheck.make subject_gen)
+    (fun s -> Subject.is_prefix ~prefix:s s)
+
+let suite =
+  [
+    Alcotest.test_case "parse simple" `Quick parse_simple;
+    Alcotest.test_case "roundtrip" `Quick roundtrip;
+    Alcotest.test_case "last CN wins" `Quick last_cn_wins;
+    Alcotest.test_case "malformed inputs" `Quick malformed;
+    Alcotest.test_case "prefix trust" `Quick prefix_trust;
+    Alcotest.test_case "append extends" `Quick append_extends;
+    Alcotest.test_case "values with spaces" `Quick values_with_spaces;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_prefix_reflexive;
+  ]

@@ -1,0 +1,144 @@
+(* Random-operation invariant tests for the filesystem: whatever a
+   random sequence of operations does, structural invariants hold.
+   These guard the substrate every security argument rests on. *)
+
+module Fs = Idbox_vfs.Fs
+module Inode = Idbox_vfs.Inode
+module Path = Idbox_vfs.Path
+
+type fop =
+  | O_write of string * string
+  | O_mkdir of string
+  | O_unlink of string
+  | O_rmdir of string
+  | O_rename of string * string
+  | O_link of string * string
+  | O_symlink of string * string
+  | O_truncate of string * int
+
+let paths = [ "/a"; "/b"; "/d"; "/d/x"; "/d/y"; "/d/e"; "/d/e/z"; "/f" ]
+
+let fop_gen =
+  let open QCheck.Gen in
+  let path = oneofl paths in
+  frequency
+    [
+      (4, map2 (fun p d -> O_write (p, d)) path (oneofl [ ""; "x"; "data" ]));
+      (3, map (fun p -> O_mkdir p) path);
+      (3, map (fun p -> O_unlink p) path);
+      (2, map (fun p -> O_rmdir p) path);
+      (2, map2 (fun a b -> O_rename (a, b)) path path);
+      (2, map2 (fun t p -> O_link (t, p)) path path);
+      (2, map2 (fun t p -> O_symlink (t, p)) path path);
+      (1, map2 (fun p n -> O_truncate (p, n)) path (int_range 0 64));
+    ]
+
+let apply fs op =
+  let ign = function Ok _ -> () | Error _ -> () in
+  match op with
+  | O_write (p, d) -> ign (Fs.write_file fs ~uid:0 p d)
+  | O_mkdir p -> ign (Fs.mkdir fs ~uid:0 ~mode:0o755 p)
+  | O_unlink p -> ign (Fs.unlink fs ~uid:0 p)
+  | O_rmdir p -> ign (Fs.rmdir fs ~uid:0 p)
+  | O_rename (a, b) -> ign (Fs.rename fs ~uid:0 ~src:a ~dst:b)
+  | O_link (t, p) -> ign (Fs.link fs ~uid:0 ~target:t p)
+  | O_symlink (t, p) -> ign (Fs.symlink fs ~uid:0 ~target:t p)
+  | O_truncate (p, n) ->
+    ign
+      (match Fs.open_file fs ~uid:0 ~flags:{ Fs.rdonly with rd = false; wr = true } ~mode:0 p with
+       | Ok ino -> Ok (Inode.truncate ino ~len:n)
+       | Error e -> Error e)
+
+(* Walk the live tree, collecting every (path, ino, kind, nlink). *)
+let rec walk fs acc path =
+  match Fs.lstat fs ~uid:0 path with
+  | Error _ -> acc
+  | Ok st ->
+    let acc = (path, st) :: acc in
+    if st.Fs.st_kind = Inode.Directory then
+      match Fs.readdir fs ~uid:0 path with
+      | Error _ -> acc
+      | Ok names ->
+        List.fold_left
+          (fun acc n ->
+            walk fs acc (if String.equal path "/" then "/" ^ n else path ^ "/" ^ n))
+          acc names
+    else acc
+
+let invariants fs =
+  let entries = walk fs [] "/" in
+  (* 1. nlink of every regular file equals the number of directory
+        entries that reference its inode. *)
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, (st : Fs.stat)) ->
+      if st.Fs.st_kind = Inode.Regular then
+        Hashtbl.replace counts st.Fs.st_ino
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts st.Fs.st_ino)))
+    entries;
+  let nlink_ok =
+    List.for_all
+      (fun (_, (st : Fs.stat)) ->
+        st.Fs.st_kind <> Inode.Regular
+        || st.Fs.st_nlink = Option.value ~default:0 (Hashtbl.find_opt counts st.Fs.st_ino))
+      entries
+  in
+  (* 2. every reachable object stats and has sane fields. *)
+  let sane =
+    List.for_all
+      (fun (_, (st : Fs.stat)) -> st.Fs.st_size >= 0 && st.Fs.st_nlink >= 1)
+      entries
+  in
+  (* 3. readdir agrees with lookup: every listed name resolves (to
+        something; dangling symlinks resolve via lstat). *)
+  let listed_resolvable =
+    List.for_all
+      (fun (path, (st : Fs.stat)) ->
+        st.Fs.st_kind <> Inode.Directory
+        ||
+        match Fs.readdir fs ~uid:0 path with
+        | Error _ -> false
+        | Ok names ->
+          List.for_all
+            (fun n ->
+              match
+                Fs.lstat fs ~uid:0
+                  (if String.equal path "/" then "/" ^ n else path ^ "/" ^ n)
+              with
+              | Ok _ -> true
+              | Error _ -> false)
+            names)
+      entries
+  in
+  nlink_ok && sane && listed_resolvable
+
+let prop_invariants =
+  QCheck.Test.make ~name:"fs invariants under random ops" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 60) fop_gen))
+    (fun ops ->
+      let fs = Fs.create () in
+      List.iter (apply fs) ops;
+      invariants fs)
+
+let prop_write_then_read =
+  QCheck.Test.make ~name:"last write wins through any op noise" ~count:100
+    (QCheck.pair
+       (QCheck.make QCheck.Gen.(list_size (int_range 0 30) fop_gen))
+       (QCheck.string_of_size (QCheck.Gen.int_range 0 50)))
+    (fun (ops, payload) ->
+      let fs = Fs.create () in
+      List.iter (apply fs) ops;
+      (* Whatever happened, a fresh write to an untouched path reads
+         back exactly. *)
+      match Fs.write_file fs ~uid:0 "/witness" payload with
+      | Error _ -> false
+      | Ok () ->
+        (match Fs.read_file fs ~uid:0 "/witness" with
+         | Ok got -> String.equal got payload
+         | Error _ -> false))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_invariants;
+    QCheck_alcotest.to_alcotest prop_write_then_read;
+  ]

@@ -1,0 +1,98 @@
+module Wildcard = Idbox_identity.Wildcard
+
+let check_match pattern subject expected () =
+  Alcotest.(check bool)
+    (Printf.sprintf "%S ~ %S" pattern subject)
+    expected
+    (Wildcard.literal_matches pattern subject)
+
+let literal_exact () =
+  check_match "globus:/O=UnivNowhere/CN=Fred" "globus:/O=UnivNowhere/CN=Fred" true ();
+  check_match "Freddy" "Freddy" true ();
+  check_match "Freddy" "Fredd" false ();
+  check_match "Freddy" "FreddyX" false ()
+
+let star_matches_across_components () =
+  (* The paper's organization wildcard covers whole subtrees. *)
+  check_match "globus:/O=UnivNowhere/*" "globus:/O=UnivNowhere/CN=Fred" true ();
+  check_match "globus:/O=UnivNowhere/*" "globus:/O=UnivNowhere/OU=CS/CN=Fred" true ();
+  check_match "globus:/O=UnivNowhere/*" "globus:/O=Elsewhere/CN=Fred" false ()
+
+let star_positions () =
+  check_match "*" "" true ();
+  check_match "*" "anything" true ();
+  check_match "a*" "a" true ();
+  check_match "*a" "a" true ();
+  check_match "a*b" "ab" true ();
+  check_match "a*b" "aXXXb" true ();
+  check_match "a*b" "aXXX" false ();
+  check_match "a**b" "aXb" true ()
+
+let hostname_wildcards () =
+  check_match "hostname:*.nowhere.edu" "hostname:laptop.cs.nowhere.edu" true ();
+  check_match "hostname:*.nowhere.edu" "hostname:nowhere.edu" false ();
+  check_match "hostname:*.nowhere.edu" "hostname:evil.elsewhere.edu" false ()
+
+let question_mark () =
+  check_match "grid?" "grid0" true ();
+  check_match "grid?" "grid10" false ();
+  check_match "grid??" "grid10" true ()
+
+let multiple_stars_backtrack () =
+  check_match "*ab*ab*" "abab" true ();
+  check_match "*ab*ab*" "aabbaabb" true ();
+  check_match "*ab*ab*" "ab" false ()
+
+let is_literal_and_specificity () =
+  Alcotest.(check bool) "literal" true (Wildcard.is_literal (Wildcard.compile "abc"));
+  Alcotest.(check bool) "star" false (Wildcard.is_literal (Wildcard.compile "a*c"));
+  Alcotest.(check bool) "question" false (Wildcard.is_literal (Wildcard.compile "a?c"));
+  Alcotest.(check int) "specificity counts literals" 2
+    (Wildcard.specificity (Wildcard.compile "a*c"));
+  Alcotest.(check int) "empty" 0 (Wildcard.specificity (Wildcard.compile "*"))
+
+let source_roundtrip () =
+  let p = "globus:/O=*/CN=??" in
+  Alcotest.(check string) "source" p (Wildcard.source (Wildcard.compile p))
+
+(* Properties *)
+
+let subject_gen = QCheck.string_of_size (QCheck.Gen.int_range 0 30)
+
+let prop_literal_matches_self =
+  QCheck.Test.make ~name:"a wildcard-free string matches itself" ~count:200
+    (QCheck.map
+       (String.map (fun c -> if c = '*' || c = '?' then 'x' else c))
+       subject_gen)
+    (fun s -> Wildcard.literal_matches s s)
+
+let prop_star_matches_everything =
+  QCheck.Test.make ~name:"* matches everything" ~count:200 subject_gen (fun s ->
+      Wildcard.literal_matches "*" s)
+
+let prop_prefix_star =
+  QCheck.Test.make ~name:"p* matches p ^ anything" ~count:200
+    (QCheck.pair subject_gen subject_gen)
+    (fun (p, s) ->
+      let p = String.map (fun c -> if c = '*' || c = '?' then 'x' else c) p in
+      Wildcard.literal_matches (p ^ "*") (p ^ s))
+
+let prop_specificity_bounded =
+  QCheck.Test.make ~name:"specificity <= pattern length" ~count:200 subject_gen
+    (fun p -> Wildcard.specificity (Wildcard.compile p) <= String.length p)
+
+let suite =
+  [
+    Alcotest.test_case "literal exact" `Quick literal_exact;
+    Alcotest.test_case "star across components" `Quick star_matches_across_components;
+    Alcotest.test_case "star positions" `Quick star_positions;
+    Alcotest.test_case "hostname wildcards" `Quick hostname_wildcards;
+    Alcotest.test_case "question mark" `Quick question_mark;
+    Alcotest.test_case "multiple stars backtrack" `Quick multiple_stars_backtrack;
+    Alcotest.test_case "is_literal / specificity" `Quick is_literal_and_specificity;
+    Alcotest.test_case "source roundtrip" `Quick source_roundtrip;
+    QCheck_alcotest.to_alcotest prop_literal_matches_self;
+    QCheck_alcotest.to_alcotest prop_star_matches_everything;
+    QCheck_alcotest.to_alcotest prop_prefix_star;
+    QCheck_alcotest.to_alcotest prop_specificity_bounded;
+  ]

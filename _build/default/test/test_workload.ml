@@ -1,0 +1,161 @@
+module Microbench = Idbox_workload.Microbench
+module Runner = Idbox_workload.Runner
+module Apps = Idbox_workload.Apps
+module Spec = Idbox_workload.Spec
+
+(* Small iteration counts / scales: these tests check the *shape* of
+   the results, which the deterministic simulation makes exact. *)
+
+let fig5a_order_of_magnitude () =
+  let rows = Microbench.fig5a ~iters:200 () in
+  Alcotest.(check int) "seven calls" 7 (List.length rows);
+  List.iter
+    (fun (r : Microbench.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s slowed (x%.1f)" r.Microbench.mb_call r.Microbench.mb_slowdown)
+        true
+        (r.Microbench.mb_slowdown > 3.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s direct positive" r.Microbench.mb_call)
+        true (r.Microbench.mb_direct_us > 0.))
+    rows;
+  (* Small metadata calls suffer the most; bulk I/O amortizes. *)
+  let find name =
+    List.find (fun r -> String.equal r.Microbench.mb_call name) rows
+  in
+  Alcotest.(check bool) "getpid worst-ish" true
+    ((find "getpid").Microbench.mb_slowdown
+     > (find "read 8 KB").Microbench.mb_slowdown);
+  Alcotest.(check bool) "1-byte read worse than 8KB read" true
+    ((find "read 1 byte").Microbench.mb_slowdown
+     > (find "read 8 KB").Microbench.mb_slowdown)
+
+let fig5a_deterministic () =
+  let a = Microbench.fig5a ~iters:100 () in
+  let b = Microbench.fig5a ~iters:100 () in
+  List.iter2
+    (fun (x : Microbench.row) (y : Microbench.row) ->
+      Alcotest.(check (float 1e-9)) x.Microbench.mb_call x.Microbench.mb_boxed_us
+        y.Microbench.mb_boxed_us)
+    a b
+
+let fig4_accounting () =
+  let rows = Microbench.fig4 () in
+  List.iter
+    (fun (r : Microbench.trap_row) ->
+      (* Every trapped call pays at least the entry+exit switches. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s context switches >= 4" r.Microbench.tr_call)
+        true
+        (r.Microbench.tr_context_switches >= 4);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s peeked/poked" r.Microbench.tr_call)
+        true
+        (r.Microbench.tr_peek_poke_words > 0))
+    rows;
+  (* Only the bulk transfers touch the I/O channel. *)
+  let channel name =
+    (List.find (fun r -> String.equal r.Microbench.tr_call name) rows)
+      .Microbench.tr_channel_bytes
+  in
+  Alcotest.(check int) "getpid no channel" 0 (channel "getpid");
+  Alcotest.(check int) "1-byte read no channel" 0 (channel "read 1 byte");
+  Alcotest.(check bool) "8KB read uses channel" true (channel "read 8 KB" >= 8192);
+  Alcotest.(check bool) "8KB write uses channel" true (channel "write 8 KB" >= 8192)
+
+let app_mix_sanity () =
+  List.iter
+    (fun spec ->
+      let c = spec.Spec.w_counts ~scale:1.0 in
+      Alcotest.(check bool)
+        (spec.Spec.w_name ^ " has work")
+        true
+        (Spec.total_syscalls c > 0 && c.Spec.compute_ms > 0.);
+      (* Scale 0.5 halves the call counts (within rounding). *)
+      let h = spec.Spec.w_counts ~scale:0.5 in
+      Alcotest.(check bool)
+        (spec.Spec.w_name ^ " scales")
+        true
+        (abs ((Spec.total_syscalls c / 2) - Spec.total_syscalls h) <= 5))
+    Apps.all
+
+let fig5b_shape () =
+  (* Tiny scale: the percentages are scale-invariant. *)
+  let rows = Runner.fig5b ~scale:0.01 () in
+  Alcotest.(check int) "six apps" 6 (List.length rows);
+  let find name = List.find (fun c -> String.equal c.Runner.c_app name) rows in
+  List.iter
+    (fun (c : Runner.comparison) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s boxed slower (%.2f%%)" c.Runner.c_app c.Runner.c_overhead_pct)
+        true
+        (c.Runner.c_overhead_pct > 0.))
+    rows;
+  (* The paper's qualitative claims: science apps stay under ~10%, make
+     blows past 25%, ibis is the cheapest, make the most expensive. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " under 10%") true
+        ((find name).Runner.c_overhead_pct < 10.))
+    [ "amanda"; "blast"; "cms"; "hf"; "ibis" ];
+  Alcotest.(check bool) "make over 25%" true ((find "make").Runner.c_overhead_pct > 25.);
+  let cheapest =
+    List.fold_left
+      (fun acc c ->
+        if c.Runner.c_overhead_pct < acc.Runner.c_overhead_pct then c else acc)
+      (List.hd rows) rows
+  in
+  Alcotest.(check string) "ibis cheapest" "ibis" cheapest.Runner.c_app;
+  let dearest =
+    List.fold_left
+      (fun acc c ->
+        if c.Runner.c_overhead_pct > acc.Runner.c_overhead_pct then c else acc)
+      (List.hd rows) rows
+  in
+  Alcotest.(check string) "make dearest" "make" dearest.Runner.c_app
+
+let fig6_kernel_box_cheaper () =
+  let rows = Runner.fig6_ablation ~scale:0.01 ~apps:[ Apps.ibis; Apps.make_build ] () in
+  List.iter
+    (fun (app, boxed_pct, kboxed_pct) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: in-kernel (%.2f%%) < ptrace (%.2f%%)" app kboxed_pct
+           boxed_pct)
+        true
+        (kboxed_pct < boxed_pct && kboxed_pct >= 0.))
+    rows
+
+let modes_preserve_results () =
+  (* The same workload gives identical *behaviour* (exit code, syscall
+     counts at the app level) in all three modes — only time differs. *)
+  let spec = Apps.ibis in
+  let d = Runner.run spec Runner.Direct ~scale:0.005 in
+  let b = Runner.run spec Runner.Boxed ~scale:0.005 in
+  let kb = Runner.run spec Runner.Kboxed ~scale:0.005 in
+  Alcotest.(check int) "direct exit" 0 d.Runner.m_exit_code;
+  Alcotest.(check int) "boxed exit" 0 b.Runner.m_exit_code;
+  Alcotest.(check int) "kboxed exit" 0 kb.Runner.m_exit_code;
+  Alcotest.(check int) "same syscalls boxed" d.Runner.m_syscalls b.Runner.m_syscalls;
+  Alcotest.(check int) "same syscalls kboxed" d.Runner.m_syscalls kb.Runner.m_syscalls;
+  Alcotest.(check int) "nothing trapped direct" 0 d.Runner.m_trapped;
+  Alcotest.(check int) "everything trapped boxed" b.Runner.m_syscalls b.Runner.m_trapped;
+  Alcotest.(check int) "nothing trapped kboxed" 0 kb.Runner.m_trapped
+
+let make_spawns_children () =
+  let m = Runner.run Apps.make_build Runner.Direct ~scale:0.01 in
+  let c = Apps.make_build.Spec.w_counts ~scale:0.01 in
+  (* Each child contributes its own calls on top of the top-level mix. *)
+  Alcotest.(check bool) "children added calls" true
+    (m.Runner.m_syscalls > Spec.total_syscalls c)
+
+let suite =
+  [
+    Alcotest.test_case "fig5a order of magnitude" `Quick fig5a_order_of_magnitude;
+    Alcotest.test_case "fig5a deterministic" `Quick fig5a_deterministic;
+    Alcotest.test_case "fig4 accounting" `Quick fig4_accounting;
+    Alcotest.test_case "app mix sanity" `Quick app_mix_sanity;
+    Alcotest.test_case "fig5b shape" `Slow fig5b_shape;
+    Alcotest.test_case "fig6 in-kernel cheaper" `Slow fig6_kernel_box_cheaper;
+    Alcotest.test_case "modes preserve results" `Quick modes_preserve_results;
+    Alcotest.test_case "make spawns children" `Quick make_spawns_children;
+  ]
