@@ -10,6 +10,37 @@
    Simulated results are deterministic; Bechamel times the real cost of
    regenerating each artifact on the host. *)
 
+(* A directory with a large ACL, returned with its enforcement engine.
+   The staged benchmark invalidates the cache and re-checks, forcing a
+   full ACL-file read each run — the case the Buffer-based
+   [read_acl_file] fixed from quadratic to linear host time. *)
+let large_acl_fixture n =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Enforce = Idbox.Enforce in
+  let module Acl = Idbox_acl.Acl in
+  let module Entry = Idbox_acl.Entry in
+  let module Rights = Idbox_acl.Rights in
+  let kernel = Kernel.create () in
+  let sup = Kernel.make_view kernel ~uid:0 () in
+  let enforce = Enforce.create kernel ~supervisor:sup () in
+  let dir = "/bigacl" in
+  (match Idbox_vfs.Fs.mkdir_p (Kernel.fs kernel) ~uid:0 dir with
+   | Ok () -> ()
+   | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let entries =
+    List.init n (fun i ->
+        Entry.make
+          ~pattern:(Printf.sprintf "globus:/O=UnivNowhere/CN=user%04d" i)
+          (Rights.of_string_exn "rwl"))
+  in
+  (match Enforce.write_acl enforce ~dir (Acl.of_entries entries) with
+   | Ok () -> ()
+   | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let who = Idbox_identity.Principal.of_string "globus:/O=UnivNowhere/CN=user0000" in
+  fun () ->
+    Enforce.invalidate enforce ~dir;
+    ignore (Enforce.check_in_dir enforce ~identity:who ~dir Idbox_acl.Right.Read)
+
 let bechamel_suite () =
   let open Bechamel in
   let open Toolkit in
@@ -36,6 +67,8 @@ let bechamel_suite () =
              ignore
                (Idbox_workload.Runner.fig6_ablation ~scale:0.002
                   ~apps:[ Idbox_workload.Apps.ibis ] ())));
+      Test.make ~name:"large_acl_read"
+        (Staged.stage (large_acl_fixture 2000));
     ]
   in
   let test = Test.make_grouped ~name:"idbox" ~fmt:"%s/%s" tests in
@@ -73,6 +106,16 @@ let bechamel_suite () =
              | Some [] | None -> Printf.printf "%-38s %18s\n" name "(n/a)"))
     results
 
+(* The machine-readable block for BENCH_*.json trajectory tracking:
+   run the representative boxed workload, print one JSON object. *)
+let metrics_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline "Metrics - kernel-wide registry after the representative workload";
+  print_endline (String.make 78 '=');
+  let kernel = Idbox_report.Report.metrics_workload () in
+  print_endline (Idbox_report.Report.metrics_json kernel)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
@@ -81,7 +124,8 @@ let () =
   match figures with
   | [] ->
     Idbox_report.Report.all ~scale ();
-    bechamel_suite ()
+    bechamel_suite ();
+    metrics_block ()
   | names ->
     List.iter
       (fun name ->
@@ -95,10 +139,11 @@ let () =
         | "fig6" -> Idbox_report.Report.fig6 ()
         | "ablation" | "ablations" -> Idbox_report.Report.ablations ()
         | "bechamel" -> bechamel_suite ()
+        | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
-             ablation bechamel)\n"
+             ablation bechamel metrics)\n"
             other;
           exit 2)
       names

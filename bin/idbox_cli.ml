@@ -3,7 +3,9 @@
    Subcommands:
      idbox report [ARTIFACT...] [--full]   regenerate paper tables/figures
      idbox schemes                         the Figure 1 matrix only
-     idbox session NAME [--files P...]     an ad-hoc identity-box session
+     idbox session NAME [--files P...] [--trace]
+                                           an ad-hoc identity-box session
+     idbox stats [--trace]                 metrics JSON for a canned workload
      idbox acl check ENTRY... --who P --right R
                                            evaluate an ACL from the shell *)
 
@@ -69,8 +71,23 @@ let files_arg =
   let doc = "Supervisor files to create before the session (PATH=CONTENTS)." in
   Arg.(value & opt_all string [] & info [ "file" ] ~docv:"PATH=TEXT" ~doc)
 
+let trace_arg =
+  let doc = "After the run, print the kernel's trace ring (one line per \
+             serviced system call) and the metrics JSON block." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let dump_trace kernel =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Trace = Idbox_kernel.Trace in
+  let ring = Kernel.trace_ring kernel in
+  Printf.printf "trace: %d spans retained (%d emitted, %d dropped)\n"
+    (Trace.length ring) (Trace.total ring) (Trace.dropped ring);
+  Trace.iter ring (fun span ->
+      Format.printf "  %a@." Trace.pp_span span);
+  print_endline (Idbox_report.Report.metrics_json kernel)
+
 let session_cmd =
-  let run identity files =
+  let run identity files trace =
     let module Kernel = Idbox_kernel.Kernel in
     let module Libc = Idbox_kernel.Libc in
     let module Fs = Idbox_vfs.Fs in
@@ -135,10 +152,28 @@ let session_cmd =
       (match Kernel.exit_code kernel pid with
        | Some c -> string_of_int c
        | None -> "?")
-      (Kernel.stats kernel).Idbox_kernel.Kernel.trapped
+      (Kernel.stats kernel).Idbox_kernel.Kernel.trapped;
+    if trace then dump_trace kernel
   in
   let doc = "Run a demonstration identity-box session for an arbitrary identity." in
-  Cmd.v (Cmd.info "session" ~doc) Term.(const run $ identity_arg $ files_arg)
+  Cmd.v (Cmd.info "session" ~doc)
+    Term.(const run $ identity_arg $ files_arg $ trace_arg)
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run trace =
+    let kernel = Idbox_report.Report.metrics_workload () in
+    print_endline (Idbox_report.Report.metrics_json kernel);
+    if trace then
+      print_endline (Idbox_report.Report.trace_json kernel)
+  in
+  let doc =
+    "Run the representative boxed workload and print the kernel-wide metrics \
+     registry as JSON (schema idbox-metrics/1).  With $(b,--trace), also \
+     print the trace ring as JSON."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ trace_arg)
 
 (* --- shell -------------------------------------------------------------- *)
 
@@ -226,4 +261,7 @@ let acl_cmd =
 let () =
   let doc = "identity boxing: consistent global identity without local accounts" in
   let info = Cmd.info "idbox" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ report_cmd; schemes_cmd; session_cmd; shell_cmd; acl_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ report_cmd; schemes_cmd; session_cmd; shell_cmd; stats_cmd; acl_cmd ]))

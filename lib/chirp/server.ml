@@ -41,6 +41,10 @@ let sessions t =
 
 let delegate t req = Kernel.delegate t.sv_kernel t.sv_owner req
 
+let metric t name =
+  Idbox_kernel.Metrics.incr
+    (Idbox_kernel.Metrics.counter (Kernel.metrics t.sv_kernel) name)
+
 (* Map a wire path into the export subtree, rejecting escapes.  Wire
    paths are absolute within the server's virtual namespace, so they are
    anchored under the export root (never substituted for it), and ".."
@@ -103,6 +107,7 @@ let wire_stat_of (st : Fs.stat) =
 
 let serve_op t identity op =
   let open Protocol in
+  metric t ("chirp.rpc." ^ Protocol.operation_name op);
   match op with
   | Whoami -> R_str (Principal.to_string identity)
   | Mkdir wire_path ->
@@ -200,14 +205,17 @@ let serve_op t identity op =
              match delegate t (Syscall.Open { path = abs; flags = Fs.rdonly; mode = 0 }) with
              | Error e -> err e
              | Ok (Syscall.Int fd) ->
-               let rec slurp acc =
+               let buf = Buffer.create 65536 in
+               let rec slurp () =
                  match delegate t (Syscall.Read { fd; len = 65536 }) with
-                 | Ok (Syscall.Data "") -> Ok acc
-                 | Ok (Syscall.Data chunk) -> slurp (acc ^ chunk)
+                 | Ok (Syscall.Data "") -> Ok (Buffer.contents buf)
+                 | Ok (Syscall.Data chunk) ->
+                   Buffer.add_string buf chunk;
+                   slurp ()
                  | Ok _ -> Error Errno.EINVAL
                  | Error e -> Error e
                in
-               let res = slurp "" in
+               let res = slurp () in
                ignore (delegate t (Syscall.Close fd));
                (match res with Ok data -> R_data data | Error e -> err e)
              | Ok _ -> err Errno.EINVAL))
@@ -322,8 +330,11 @@ let handle t payload =
     (match
        Negotiate.negotiate t.acceptor ~now:(Kernel.now t.sv_kernel) creds
      with
-     | Error msg -> respond (Protocol.R_error (Errno.EACCES, msg))
+     | Error msg ->
+       metric t "chirp.auth.fail";
+       respond (Protocol.R_error (Errno.EACCES, msg))
      | Ok (principal, method_, _attempts) ->
+       metric t "chirp.auth.ok";
        let token = fresh_token t principal in
        Hashtbl.replace t.sessions token (principal, method_);
        respond

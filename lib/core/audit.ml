@@ -1,4 +1,5 @@
 module Errno = Idbox_vfs.Errno
+module Metrics = Idbox_kernel.Metrics
 
 type verdict =
   | Allowed
@@ -15,12 +16,24 @@ type event = {
   ev_verdict : verdict;
 }
 
+(* A bounded ring, like [Trace.ring]: once [next_seq >= cap] the
+   oldest event sits at [head] and gets overwritten next.  The default
+   capacity is large enough that ordinary test/report workloads never
+   drop, so [events] still returns everything they recorded. *)
 type t = {
-  mutable log : event list;  (* reverse order *)
-  mutable next_seq : int;
+  cap : int;
+  mutable ring : event array;
+  mutable head : int;  (* next write slot *)
+  mutable next_seq : int;  (* events ever recorded *)
 }
 
-let create () = { log = []; next_seq = 0 }
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) () =
+  let cap = if capacity < 1 then 1 else capacity in
+  { cap; ring = [||]; head = 0; next_seq = 0 }
+
+let capacity t = t.cap
 
 let record t ~time ~pid ~identity ~op ~path ?path2 verdict =
   let ev =
@@ -35,15 +48,31 @@ let record t ~time ~pid ~identity ~op ~path ?path2 verdict =
       ev_verdict = verdict;
     }
   in
-  t.next_seq <- t.next_seq + 1;
-  t.log <- ev :: t.log
+  if Array.length t.ring = 0 then t.ring <- Array.make t.cap ev
+  else t.ring.(t.head) <- ev;
+  t.head <- (t.head + 1) mod t.cap;
+  t.next_seq <- t.next_seq + 1
 
-let events t = List.rev t.log
+let retained t = if t.next_seq < t.cap then t.next_seq else t.cap
+let dropped t = t.next_seq - retained t
+
+let iter t f =
+  let n = retained t in
+  let start = if t.next_seq < t.cap then 0 else t.head in
+  for i = 0 to n - 1 do
+    f t.ring.((start + i) mod t.cap)
+  done
+
+let events t =
+  let acc = ref [] in
+  iter t (fun ev -> acc := ev :: !acc);
+  List.rev !acc
 
 let length t = t.next_seq
 
 let clear t =
-  t.log <- [];
+  t.ring <- [||];
+  t.head <- 0;
   t.next_seq <- 0
 
 let denied t =
@@ -62,6 +91,37 @@ let touched_paths t =
 let verdict_to_string = function
   | Allowed -> "allowed"
   | Denied e -> "denied " ^ Errno.to_string e
+
+let event_json ev =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"seq\":%d,\"time_ns\":%Ld,\"pid\":%d,\"identity\":\"%s\",\"op\":\"%s\",\"path\":\"%s\""
+       ev.ev_seq ev.ev_time ev.ev_pid
+       (Metrics.escape_json ev.ev_identity)
+       (Metrics.escape_json ev.ev_op)
+       (Metrics.escape_json ev.ev_path));
+  (match ev.ev_path2 with
+   | Some p ->
+     Buffer.add_string b
+       (Printf.sprintf ",\"path2\":\"%s\"" (Metrics.escape_json p))
+   | None -> ());
+  Buffer.add_string b
+    (Printf.sprintf ",\"verdict\":\"%s\"}"
+       (Metrics.escape_json (verdict_to_string ev.ev_verdict)));
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"capacity\":%d,\"total\":%d,\"dropped\":%d,\"events\":["
+       t.cap t.next_seq (dropped t));
+  let first = ref true in
+  iter t (fun ev ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b (event_json ev));
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 let pp_event ppf ev =
   Format.fprintf ppf "#%d t=%Ldns pid=%d %s %s %s%s -> %s" ev.ev_seq ev.ev_time

@@ -25,9 +25,22 @@ type event = {
 }
 
 type t
-(** A trail: an append-only event log. *)
+(** A trail: a bounded, append-only event ring.  Once [capacity]
+    events have been recorded the oldest is overwritten; {!length}
+    keeps counting everything ever recorded, and the overwritten
+    remainder shows up in {!dropped}. *)
 
-val create : unit -> t
+val default_capacity : int
+(** 4096 events — generous enough that ordinary sessions never drop. *)
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : t -> int
+
+val dropped : t -> int
+(** Events overwritten by ring wraparound. *)
+
 val record :
   t ->
   time:int64 ->
@@ -40,9 +53,11 @@ val record :
   unit
 
 val events : t -> event list
-(** In order of occurrence. *)
+(** Retained events, in order of occurrence. *)
 
 val length : t -> int
+(** Events ever recorded (including any since overwritten). *)
+
 val clear : t -> unit
 
 val denied : t -> event list
@@ -53,6 +68,14 @@ val touched_paths : t -> string list
     objects accessed ... by the untrusted user". *)
 
 val verdict_to_string : verdict -> string
+
+val event_json : event -> string
+(** One event as a JSON object. *)
+
+val to_json : t -> string
+(** [{"capacity":..,"total":..,"dropped":..,"events":[..]}], events
+    oldest first. *)
+
 val pp_event : Format.formatter -> event -> unit
 val pp : Format.formatter -> t -> unit
 (** The whole trail, one line per event. *)

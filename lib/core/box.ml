@@ -2,6 +2,7 @@ module Kernel = Idbox_kernel.Kernel
 module View = Idbox_kernel.View
 module Syscall = Idbox_kernel.Syscall
 module Trace = Idbox_kernel.Trace
+module Metrics = Idbox_kernel.Metrics
 module Program = Idbox_kernel.Program
 module Account = Idbox_kernel.Account
 module Fd_table = Idbox_kernel.Fd_table
@@ -75,7 +76,11 @@ let member t pid = Hashtbl.mem t.vprocs pid
 let handler t =
   match t.bx_handler with Some h -> h | None -> assert false
 
-let delegate t req = Kernel.delegate t.bx_kernel t.sup req
+let metric t name = Metrics.incr (Metrics.counter (Kernel.metrics t.bx_kernel) name)
+
+let delegate t req =
+  metric t "box.delegate";
+  Kernel.delegate t.bx_kernel t.sup req
 
 (* ------------------------------------------------------------------ *)
 (* Path handling.                                                      *)
@@ -654,9 +659,23 @@ let audit_record t ~pid vp req action =
         ~pid ~identity:(identity_string t)
         ~op:(Syscall.name req) ~path ?path2 verdict
 
+(* The decision taxonomy: every entry stop is a [box.trap]; it resolves
+   to pass / deny / nullify (a rewrite-to-getpid with a pending result
+   to inject — the emulation idiom) / rewrite (a genuine substitution,
+   e.g. the I/O-channel coercion). *)
+let metric_action t ~pid action =
+  metric t "box.trap";
+  match action with
+  | Trace.Pass -> metric t "box.pass"
+  | Trace.Deny _ -> metric t "box.deny"
+  | Trace.Rewrite Syscall.Getpid when Hashtbl.mem t.pending pid ->
+    metric t "box.nullify"
+  | Trace.Rewrite _ -> metric t "box.rewrite"
+
 let rec on_entry t ~pid req =
   let vp = vproc_of t pid in
   let action = dispatch t ~pid vp req in
+  metric_action t ~pid action;
   audit_record t ~pid vp req action;
   action
 

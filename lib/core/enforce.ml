@@ -62,7 +62,8 @@ let canonical_parents t path =
         let candidate = join_canonical resolved comp in
         (match Fs.lstat fs ~uid:0 candidate with
          | Ok st
-           when st.Fs.st_kind = Idbox_vfs.Inode.Symlink && expansions < 32 ->
+           when st.Fs.st_kind = Idbox_vfs.Inode.Symlink
+                && expansions < Fs.symlink_limit ->
            (match Fs.readlink fs ~uid:0 candidate with
             | Ok target ->
               if Path.is_absolute target then
@@ -81,7 +82,7 @@ let resolve_final_ex t path =
   let rec go path depth =
     match delegate t (Syscall.Lstat path) with
     | Ok (Syscall.Stat_v st)
-      when st.Fs.st_kind = Idbox_vfs.Inode.Symlink && depth <= 10 ->
+      when st.Fs.st_kind = Idbox_vfs.Inode.Symlink && depth < Fs.symlink_limit ->
       (match delegate t (Syscall.Readlink path) with
        | Ok (Syscall.Str target) ->
          (* The expanded target may itself live behind symlinked
@@ -102,13 +103,20 @@ let read_acl_file t dir =
   match delegate t (Syscall.Open { path = acl_path; flags = Fs.rdonly; mode = 0 }) with
   | Error _ -> None
   | Ok (Syscall.Int fd) ->
-    let rec slurp acc =
+    (* Accumulate in a Buffer: with [acc ^ chunk] a large ACL costs
+       O(n²) in host time, which the large-ACL bench case makes
+       visible. *)
+    let buf = Buffer.create 4096 in
+    let rec slurp () =
       match delegate t (Syscall.Read { fd; len = 4096 }) with
-      | Ok (Syscall.Data "") -> acc
-      | Ok (Syscall.Data chunk) -> slurp (acc ^ chunk)
-      | Ok _ | Error _ -> acc
+      | Ok (Syscall.Data "") -> ()
+      | Ok (Syscall.Data chunk) ->
+        Buffer.add_string buf chunk;
+        slurp ()
+      | Ok _ | Error _ -> ()
     in
-    let text = slurp "" in
+    slurp ();
+    let text = Buffer.contents buf in
     ignore (delegate t (Syscall.Close fd));
     (match Acl.of_string text with
      | Ok acl -> Some acl
@@ -123,12 +131,19 @@ let acl_token t dir =
   | Ok (Syscall.Stat_v st) -> Some (st.Fs.st_ino, st.Fs.st_mtime)
   | Ok _ | Error _ -> None
 
+let metric t name =
+  Idbox_kernel.Metrics.incr
+    (Idbox_kernel.Metrics.counter (Kernel.metrics t.kernel) name)
+
 let dir_acl t dir =
   let dir = Path.normalize dir in
   let token = acl_token t dir in
   match Hashtbl.find_opt t.cache dir with
-  | Some cached when cached.token = token -> cached.acl
+  | Some cached when cached.token = token ->
+    metric t "acl.cache.hit";
+    cached.acl
   | Some _ | None ->
+    metric t "acl.cache.miss";
     let acl = if token = None then None else read_acl_file t dir in
     Hashtbl.replace t.cache dir { token; acl };
     acl
@@ -136,6 +151,10 @@ let dir_acl t dir =
 let charge_acl_eval t acl =
   let cost = Kernel.cost t.kernel in
   let entries = List.length (Acl.entries acl) in
+  metric t "acl.eval";
+  Idbox_kernel.Metrics.add
+    (Idbox_kernel.Metrics.counter (Kernel.metrics t.kernel) "acl.eval.entries")
+    entries;
   Kernel.charge t.kernel
     (Int64.add cost.Cost.acl_check_base
        (Int64.mul (Int64.of_int entries) cost.Cost.acl_check_entry))
@@ -205,7 +224,9 @@ let plan_mkdir t ~identity ~parent =
      | Ok () -> Ok (Inherit_acl (dir_acl t (Path.normalize parent)))
      | Error e -> Error e)
 
-let invalidate t ~dir = Hashtbl.remove t.cache (Path.normalize dir)
+let invalidate t ~dir =
+  metric t "acl.cache.invalidate";
+  Hashtbl.remove t.cache (Path.normalize dir)
 
 let write_acl t ~dir acl =
   let dir = Path.normalize dir in

@@ -117,6 +117,10 @@ let verdict t ~identity (view : View.t) req =
   | Syscall.Setenv _ | Syscall.Compute _ ->
     Ok ()
 
+let metric t name =
+  Idbox_kernel.Metrics.incr
+    (Idbox_kernel.Metrics.counter (Kernel.metrics t.kb_kernel) name)
+
 let hook t ~pid view req =
   match Hashtbl.find_opt t.identities pid, identity_of t pid with
   | None, None -> Ok ()  (* not a boxed process *)
@@ -124,7 +128,12 @@ let hook t ~pid view req =
     (* Children inherit the domain: memoize the inherited binding. *)
     if not (Hashtbl.mem t.identities pid) then
       Hashtbl.replace t.identities pid identity;
-    verdict t ~identity view req
+    metric t "kbox.check";
+    let v = verdict t ~identity view req in
+    (match v with
+     | Ok () -> metric t "kbox.allow"
+     | Error _ -> metric t "kbox.deny");
+    v
   | Some _, None -> assert false
 
 let install kernel ~supervisor_uid () =

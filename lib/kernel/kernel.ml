@@ -22,6 +22,8 @@ type t = {
   k_accounts : Account.t;
   k_cost : Cost.t;
   k_stats : stats;
+  k_metrics : Metrics.t;
+  k_trace : Trace.ring;
   procs : (int, Proc.t) Hashtbl.t;
   runq : int Queue.t;
   mutable next_pid : int;
@@ -37,6 +39,8 @@ let fs t = t.k_fs
 let accounts t = t.k_accounts
 let cost t = t.k_cost
 let stats t = t.k_stats
+let metrics t = t.k_metrics
+let trace_ring t = t.k_trace
 
 let charge t ns = Clock.advance t.k_clock ns
 
@@ -69,6 +73,8 @@ let create ?(cost = Cost.default) ?accounts ?clock () =
           channel_bytes = 0;
           spawns = 0;
         };
+      k_metrics = Metrics.create ();
+      k_trace = Trace.ring ();
       procs = Hashtbl.create 32;
       runq = Queue.create ();
       next_pid = 1;
@@ -771,6 +777,31 @@ let service t (pcb : Proc.t) req (k : Proc.continuation) =
     deliver (Ok Syscall.Unit)
   | _ ->
     t.k_stats.syscalls <- t.k_stats.syscalls + 1;
+    let sc = Syscall.name req in
+    let entry_time = now t in
+    Metrics.incr (Metrics.counter t.k_metrics ("syscall." ^ sc));
+    (* Shadow [deliver] so every completing call records its simulated
+       latency and leaves a trace span.  Blocking calls are delivered
+       elsewhere (pipe/waitpid wake-ups) and escape this accounting;
+       the counter above still saw them. *)
+    let deliver result =
+      let elapsed = Int64.sub (now t) entry_time in
+      Metrics.observe_ns
+        (Metrics.histogram t.k_metrics ("syscall." ^ sc ^ ".ns"))
+        elapsed;
+      let identity =
+        match t.identity_of with
+        | Some provider ->
+          (match provider pcb.Proc.pid with Some id -> id | None -> "-")
+        | None -> "-"
+      in
+      let verdict =
+        match result with Ok _ -> "ok" | Error e -> Errno.to_string e
+      in
+      Trace.span t.k_trace ~time:entry_time ~pid:pcb.Proc.pid ~identity
+        ~syscall:sc ~verdict ~cost_ns:elapsed;
+      deliver result
+    in
     (match pcb.Proc.tracer with
      | None ->
        let security_verdict =

@@ -35,6 +35,17 @@ val accounts : t -> Account.t
 val cost : t -> Cost.t
 val stats : t -> stats
 
+val metrics : t -> Metrics.t
+(** The kernel-wide metrics registry.  The kernel itself records
+    [syscall.<name>] counters and [syscall.<name>.ns] simulated-latency
+    histograms for every serviced call; supervisor layers (enforcement,
+    boxes, the Chirp server) add their own counters here so one
+    registry describes the whole stack. *)
+
+val trace_ring : t -> Trace.ring
+(** The bounded ring of structured trace spans, one per completed
+    system call.  Attach a sink ({!Trace.add_sink}) to stream spans. *)
+
 val add_user : t -> string -> (Account.entry, string) result
 (** The [useradd -m] of the simulation: create the account, its home
     directory (owner-owned, mode 0755), and refresh [/etc/passwd]. *)

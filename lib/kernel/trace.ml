@@ -23,3 +23,107 @@ let pass_through =
     on_exit = (fun ~pid:_ _ _ -> Keep);
     on_event = (fun _ -> ());
   }
+
+(* --- structured trace spans ------------------------------------------ *)
+
+type span = {
+  sp_seq : int;
+  sp_time : int64;
+  sp_pid : int;
+  sp_identity : string;
+  sp_syscall : string;
+  sp_verdict : string;
+  sp_cost_ns : int64;
+}
+
+type sink = span -> unit
+
+(* A fixed-capacity ring.  The span array is allocated lazily on the
+   first emit, so a kernel that never traces pays one word per field
+   here and nothing else.  [head] is the index of the next write; once
+   [total >= capacity] the oldest span lives at [head]. *)
+type ring = {
+  capacity : int;
+  mutable spans : span array;
+  mutable head : int;
+  mutable total : int;
+  mutable sinks : sink list;
+}
+
+let default_capacity = 1024
+
+let ring ?(capacity = default_capacity) () =
+  let capacity = if capacity < 1 then 1 else capacity in
+  { capacity; spans = [||]; head = 0; total = 0; sinks = [] }
+
+let capacity r = r.capacity
+let total r = r.total
+let length r = if r.total < r.capacity then r.total else r.capacity
+let dropped r = r.total - length r
+
+let add_sink r sink = r.sinks <- r.sinks @ [ sink ]
+let clear_sinks r = r.sinks <- []
+
+let emit r span =
+  if Array.length r.spans = 0 then
+    r.spans <- Array.make r.capacity span
+  else r.spans.(r.head) <- span;
+  r.head <- (r.head + 1) mod r.capacity;
+  r.total <- r.total + 1;
+  List.iter (fun sink -> sink span) r.sinks
+
+let span r ~time ~pid ~identity ~syscall ~verdict ~cost_ns =
+  emit r
+    {
+      sp_seq = r.total;
+      sp_time = time;
+      sp_pid = pid;
+      sp_identity = identity;
+      sp_syscall = syscall;
+      sp_verdict = verdict;
+      sp_cost_ns = cost_ns;
+    }
+
+(* Oldest-first iteration.  When the ring has wrapped, the oldest
+   retained span sits at [head]; before wrap, at 0. *)
+let iter r f =
+  let n = length r in
+  let start = if r.total < r.capacity then 0 else r.head in
+  for i = 0 to n - 1 do
+    f r.spans.((start + i) mod r.capacity)
+  done
+
+let to_list r =
+  let acc = ref [] in
+  iter r (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let reset r =
+  r.head <- 0;
+  r.total <- 0;
+  r.spans <- [||]
+
+let span_json s =
+  Printf.sprintf
+    "{\"seq\":%d,\"time_ns\":%Ld,\"pid\":%d,\"identity\":\"%s\",\"syscall\":\"%s\",\"verdict\":\"%s\",\"cost_ns\":%Ld}"
+    s.sp_seq s.sp_time s.sp_pid
+    (Metrics.escape_json s.sp_identity)
+    (Metrics.escape_json s.sp_syscall)
+    (Metrics.escape_json s.sp_verdict)
+    s.sp_cost_ns
+
+let to_json r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"capacity\":%d,\"total\":%d,\"dropped\":%d,\"spans\":["
+       r.capacity r.total (dropped r));
+  let first = ref true in
+  iter r (fun s ->
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf (span_json s));
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let pp_span ppf s =
+  Format.fprintf ppf "@[<h>#%d t=%Ldns pid=%d %s %s -> %s (+%Ldns)@]" s.sp_seq
+    s.sp_time s.sp_pid s.sp_identity s.sp_syscall s.sp_verdict s.sp_cost_ns

@@ -41,3 +41,79 @@ type handler = {
 val pass_through : handler
 (** A do-nothing tracer: every call passes, every result keeps.  Useful
     for measuring bare trap overhead. *)
+
+(** {1 Structured trace spans}
+
+    Orthogonal to the syscall-stop protocol above: a bounded ring of
+    structured records, one per serviced system call, that the kernel
+    (and any instrumented layer) appends to.  The ring never grows —
+    once full, the oldest span is overwritten and counted in
+    {!dropped} — so tracing is safe to leave on in long runs. *)
+
+type span = {
+  sp_seq : int;  (** Monotonic emit sequence number (0-based). *)
+  sp_time : int64;  (** Simulated clock at syscall entry, ns. *)
+  sp_pid : int;
+  sp_identity : string;  (** Acting principal, or ["-"] when unknown. *)
+  sp_syscall : string;
+  sp_verdict : string;  (** ["ok"] or an errno name, e.g. ["EACCES"]. *)
+  sp_cost_ns : int64;  (** Simulated time charged to the call. *)
+}
+
+type sink = span -> unit
+(** Sinks observe every span at emit time — even ones later overwritten
+    in the ring — so a streaming sink loses nothing. *)
+
+type ring
+
+val default_capacity : int
+(** 1024 spans. *)
+
+val ring : ?capacity:int -> unit -> ring
+(** A fresh ring.  [capacity] is clamped to at least 1.  The span
+    storage is allocated lazily on the first emit. *)
+
+val capacity : ring -> int
+
+val total : ring -> int
+(** Spans ever emitted (including overwritten ones). *)
+
+val length : ring -> int
+(** Spans currently retained, [<= capacity]. *)
+
+val dropped : ring -> int
+(** [total - length]: spans overwritten by wraparound. *)
+
+val emit : ring -> span -> unit
+
+val span :
+  ring ->
+  time:int64 ->
+  pid:int ->
+  identity:string ->
+  syscall:string ->
+  verdict:string ->
+  cost_ns:int64 ->
+  unit
+(** Build and {!emit} a span, assigning the next sequence number. *)
+
+val add_sink : ring -> sink -> unit
+val clear_sinks : ring -> unit
+
+val iter : ring -> (span -> unit) -> unit
+(** Oldest retained span first. *)
+
+val to_list : ring -> span list
+(** Retained spans, oldest first. *)
+
+val reset : ring -> unit
+(** Drop all spans and the sequence count; sinks are kept. *)
+
+val span_json : span -> string
+(** One span as a JSON object. *)
+
+val to_json : ring -> string
+(** [{"capacity":..,"total":..,"dropped":..,"spans":[..]}], spans
+    oldest first. *)
+
+val pp_span : Format.formatter -> span -> unit

@@ -360,6 +360,91 @@ let ablations ?(scale = 0.02) () =
         (Int64.to_float (Int64.sub (Kernel.now kernel) t0) /. float_of_int reps))
     [ 1; 10; 100; 1000 ]
 
+(* ------------------------------------------------------------------ *)
+
+(* The machine-readable metrics block: schema "idbox-metrics/1".
+   One JSON object with the raw registry (counters + histograms) and a
+   few derived figures — notably the ACL cache hit rate — that
+   trajectory tracking (BENCH_*.json) wants precomputed. *)
+let metrics_json ?(extra = []) kernel =
+  let module Metrics = Idbox_kernel.Metrics in
+  let m = Kernel.metrics kernel in
+  let stats = Kernel.stats kernel in
+  let hit = Metrics.counter_value_of m "acl.cache.hit" in
+  let miss = Metrics.counter_value_of m "acl.cache.miss" in
+  let hit_rate =
+    if hit + miss = 0 then 0.0
+    else float_of_int hit /. float_of_int (hit + miss)
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\"schema\":\"idbox-metrics/1\",";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"%s\":%s," (Metrics.escape_json k) v))
+    extra;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\"derived\":{\"acl_cache_hit_rate\":%.4f,\"syscalls\":%d,\"trapped\":%d,\"context_switches\":%d,\"delegated\":%d,\"sim_time_ns\":%Ld},"
+       hit_rate stats.Kernel.syscalls stats.Kernel.trapped
+       stats.Kernel.context_switches stats.Kernel.delegated (Kernel.now kernel));
+  (* Splice the registry's {"counters":..,"histograms":..} fields into
+     this object: drop its outer braces. *)
+  let registry = Metrics.to_json m in
+  Buffer.add_string buf (String.sub registry 1 (String.length registry - 2));
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let trace_json kernel =
+  Idbox_kernel.Trace.to_json (Kernel.trace_ring kernel)
+
+(* A representative boxed session that exercises the instrumented
+   layers: allowed and denied file operations, directory management,
+   and enough repeated checks to show cache hits.  Returns the kernel
+   so callers can export its registry. *)
+let metrics_workload () =
+  let kernel = Kernel.create () in
+  let dthain =
+    match Kernel.add_user kernel "dthain" with Ok e -> e | Error m -> failwith m
+  in
+  let fs = Kernel.fs kernel in
+  ok "secret"
+    (Fs.write_file fs ~uid:dthain.Account.uid ~mode:0o600 "/home/dthain/secret"
+       "ssh!");
+  let box =
+    match
+      Box.create kernel ~supervisor_uid:dthain.Account.uid
+        ~identity:(Principal.of_string "globus:/O=UnivNowhere/CN=Freddy") ()
+    with
+    | Ok b -> b
+    | Error e -> failwith (Errno.message e)
+  in
+  ignore
+    (Box.spawn_main box
+       ~main:(fun _ ->
+         let home = Option.get (Libc.getenv "HOME") in
+         ignore (Libc.get_user_name ());
+         ignore (Libc.mkdir ~mode:0o755 (home ^ "/work"));
+         for i = 1 to 16 do
+           let path = Printf.sprintf "%s/work/f%d" home i in
+           ignore (Libc.write_file path ~contents:(String.make 64 'x'));
+           ignore (Libc.read_file path)
+         done;
+         ignore (Libc.readdir (home ^ "/work"));
+         (* Denied probes: outside the box's grant. *)
+         ignore (Libc.read_file "/home/dthain/secret");
+         ignore (Libc.unlink "/etc/passwd");
+         ignore (Libc.stat home);
+         0)
+       ~args:[ "metrics" ]);
+  Kernel.run kernel;
+  kernel
+
+let metrics ?(trace = false) () =
+  let kernel = metrics_workload () in
+  say "%s" (metrics_json kernel);
+  if trace then say "%s" (trace_json kernel)
+
 let all ?(scale = 0.1) () =
   fig1 ();
   fig2 ();

@@ -36,3 +36,33 @@ val ablations : ?scale:float -> unit -> unit
 
 val all : ?scale:float -> unit -> unit
 (** Everything, in paper order. *)
+
+(** {1 Metrics export}
+
+    The kernel-wide metrics registry (see {!Idbox_kernel.Metrics}) as a
+    machine-readable JSON block, schema ["idbox-metrics/1"]:
+
+    {v
+{"schema":"idbox-metrics/1",
+ "derived":{"acl_cache_hit_rate":..,"syscalls":..,"trapped":..,
+            "context_switches":..,"delegated":..,"sim_time_ns":..},
+ "counters":{"syscall.open":..,"acl.cache.hit":..,"box.deny":..,...},
+ "histograms":{"syscall.open.ns":{"count":..,"sum_ns":..,"max_ns":..,
+               "mean_ns":..,"p50_ns":..,"p95_ns":..,"p99_ns":..},...}}
+    v} *)
+
+val metrics_json :
+  ?extra:(string * string) list -> Idbox_kernel.Kernel.t -> string
+(** The metrics block for [kernel].  [extra] prepends additional
+    top-level fields; each value must already be rendered JSON. *)
+
+val trace_json : Idbox_kernel.Kernel.t -> string
+(** The kernel's trace ring as JSON (see {!Idbox_kernel.Trace.to_json}). *)
+
+val metrics_workload : unit -> Idbox_kernel.Kernel.t
+(** Run a representative boxed session (allowed and denied operations,
+    repeated ACL checks) and return its kernel for export. *)
+
+val metrics : ?trace:bool -> unit -> unit
+(** Run {!metrics_workload} and print {!metrics_json} (and, with
+    [trace], {!trace_json}) to stdout. *)

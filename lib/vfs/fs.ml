@@ -30,6 +30,11 @@ let rdonly =
 let wronly_create =
   { rd = false; wr = true; creat = true; excl = false; trunc = true; append = false }
 
+(* The single symlink-expansion budget, shared by every resolver: the
+   kernel-side [walk], the O_CREAT dangling-link expansion, and the
+   supervisor-side canonicalisation in [Enforce].  Both sides must agree
+   on when ELOOP fires, or the box's verdict diverges from the kernel's
+   behaviour on deep chains. *)
 let symlink_limit = 40
 
 let create ?(clock = fun () -> 0L) () =
@@ -102,7 +107,7 @@ let writable_dir ~uid dir =
   && searchable ~uid dir
 
 let rec open_file_depth t ~uid ~flags ~mode ~depth path =
-  if depth > 8 then Error Errno.ELOOP
+  if depth >= symlink_limit then Error Errno.ELOOP
   else
     match resolve t ~uid path with
     | Ok inode ->
@@ -130,10 +135,16 @@ let rec open_file_depth t ~uid ~flags ~mode ~depth path =
        | Ok (dir, name) ->
          (match Inode.dir_find dir name with
           | Some entry when Inode.kind entry = Inode.Symlink ->
-            (* Dangling symlink: creation happens at the link target. *)
-            let target = Inode.link_target entry in
-            let expanded = Path.join (Path.dirname path) target in
-            open_file_depth t ~uid ~flags ~mode ~depth:(depth + 1) expanded
+            (* O_CREAT|O_EXCL: POSIX requires EEXIST when the final
+               component is a symlink, dangling or not — otherwise a
+               visitor-planted link redirects the "fresh" file to a
+               target of the attacker's choosing. *)
+            if flags.excl then Error Errno.EEXIST
+            else
+              (* Dangling symlink: creation happens at the link target. *)
+              let target = Inode.link_target entry in
+              let expanded = Path.join (Path.dirname path) target in
+              open_file_depth t ~uid ~flags ~mode ~depth:(depth + 1) expanded
           | Some _ ->
             (* The entry exists but resolve said ENOENT: traversal race is
                impossible here, so treat as plain lookup success path. *)
@@ -173,12 +184,16 @@ let rmdir t ~uid path =
   match resolve_parent t ~uid path with
   | Error e -> Error e
   | Ok (dir, name) ->
+    (* Parent write permission is judged before the name is looked up:
+       a caller without it learns nothing about whether the name exists
+       or the directory is empty (the existence-probe channel). *)
+    if not (writable_dir ~uid dir) then Error Errno.EACCES
+    else
     (match Inode.dir_find dir name with
      | None -> Error Errno.ENOENT
      | Some child ->
        if Inode.kind child <> Inode.Directory then Error Errno.ENOTDIR
        else if not (Inode.dir_is_empty child) then Error Errno.ENOTEMPTY
-       else if not (writable_dir ~uid dir) then Error Errno.EACCES
        else begin
          Inode.dir_remove dir name;
          Inode.decr_nlink child;
@@ -190,11 +205,13 @@ let unlink t ~uid path =
   match resolve_parent t ~uid path with
   | Error e -> Error e
   | Ok (dir, name) ->
+    (* EACCES before ENOENT, as on Linux: see [rmdir]. *)
+    if not (writable_dir ~uid dir) then Error Errno.EACCES
+    else
     (match Inode.dir_find dir name with
      | None -> Error Errno.ENOENT
      | Some child ->
        if Inode.kind child = Inode.Directory then Error Errno.EISDIR
-       else if not (writable_dir ~uid dir) then Error Errno.EACCES
        else begin
          Inode.dir_remove dir name;
          Inode.decr_nlink child;

@@ -38,6 +38,13 @@ val rdonly : open_flags
 val wronly_create : open_flags
 (** [creat + trunc] write flags, the common "put a file" shape. *)
 
+val symlink_limit : int
+(** The symlink-expansion budget shared by {e every} resolver — the
+    kernel-side walk, the [O_CREAT] dangling-link expansion, and the
+    supervisor-side canonicalisation in the enforcement engine.  One
+    constant, so the box's verdict and the kernel's behaviour agree on
+    when [ELOOP] fires. *)
+
 val create : ?clock:(unit -> int64) -> unit -> t
 (** A fresh filesystem containing only a root directory owned by uid 0
     with mode [0o755].  [clock] supplies mtime values (defaults to a

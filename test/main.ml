@@ -12,6 +12,7 @@ let () =
       ("vfs", Test_vfs.suite);
       ("vfs-props", Test_vfs_props.suite);
       ("kernel", Test_kernel.suite);
+      ("metrics", Test_metrics.suite);
       ("kernel-units", Test_kernel_units.suite);
       ("pipe", Test_pipe.suite);
       ("libc", Test_libc.suite);

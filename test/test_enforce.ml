@@ -153,6 +153,53 @@ let in_kernel_mode_cheaper () =
     true
     (Int64.compare kernel_cost user_cost < 0)
 
+let large_acl_read () =
+  (* A multi-chunk ACL file exercises the Buffer-based slurp in
+     [read_acl_file]; every entry must survive the round trip. *)
+  let k, e = fresh () in
+  ok "mkdir" (Fs.mkdir_p (Kernel.fs k) ~uid:0 "/big");
+  let n = 2000 in
+  let entries =
+    List.init n (fun i ->
+        Entry.make
+          ~pattern:(Printf.sprintf "globus:/O=UnivNowhere/CN=user%04d" i)
+          (Rights.of_string_exn "rl"))
+  in
+  ok "acl" (Enforce.write_acl e ~dir:"/big" (Acl.of_entries entries));
+  let user i = Principal.of_string (Printf.sprintf "globus:/O=UnivNowhere/CN=user%04d" i) in
+  (match Enforce.check_in_dir e ~identity:(user 0) ~dir:"/big" Right.Read with
+   | Ok () -> () | Error _ -> Alcotest.fail "first entry lost");
+  (match Enforce.check_in_dir e ~identity:(user (n - 1)) ~dir:"/big" Right.Read with
+   | Ok () -> () | Error _ -> Alcotest.fail "last entry lost");
+  (match Enforce.check_in_dir e ~identity:jane ~dir:"/big" Right.Read with
+   | Error Errno.EACCES -> ()
+   | Ok () | Error _ -> Alcotest.fail "unlisted identity allowed")
+
+let cache_counters () =
+  let module Metrics = Idbox_kernel.Metrics in
+  let k, e = fresh () in
+  let value name = Metrics.counter_value_of (Kernel.metrics k) name in
+  ok "mkdir" (Fs.mkdir_p (Kernel.fs k) ~uid:0 "/d");
+  ok "acl"
+    (Enforce.write_acl e ~dir:"/d"
+       (Acl.of_entries [ Entry.make ~pattern:"globus:/O=UnivNowhere/*" (Rights.of_string_exn "rl") ]));
+  (* write_acl primes the cache with the freshly written ACL; drop that
+     so the first check below really goes to disk. *)
+  Enforce.invalidate e ~dir:"/d";
+  let misses0 = value "acl.cache.miss" and hits0 = value "acl.cache.hit" in
+  ignore (Enforce.check_in_dir e ~identity:fred ~dir:"/d" Right.Read);
+  Alcotest.(check int) "first check misses" (misses0 + 1) (value "acl.cache.miss");
+  ignore (Enforce.check_in_dir e ~identity:fred ~dir:"/d" Right.Read);
+  ignore (Enforce.check_in_dir e ~identity:jane ~dir:"/d" Right.Read);
+  Alcotest.(check int) "repeat checks hit" (hits0 + 2) (value "acl.cache.hit");
+  Alcotest.(check int) "no further misses" (misses0 + 1) (value "acl.cache.miss");
+  (* Invalidation is counted and forces the next check back to disk. *)
+  let inval0 = value "acl.cache.invalidate" in
+  Enforce.invalidate e ~dir:"/d";
+  Alcotest.(check int) "invalidation counted" (inval0 + 1) (value "acl.cache.invalidate");
+  ignore (Enforce.check_in_dir e ~identity:fred ~dir:"/d" Right.Read);
+  Alcotest.(check int) "post-invalidate miss" (misses0 + 2) (value "acl.cache.miss")
+
 let suite =
   [
     Alcotest.test_case "check reads acl files" `Quick check_reads_acl_files;
@@ -162,4 +209,6 @@ let suite =
     Alcotest.test_case "cache coherent across engines" `Quick cache_coherent_across_engines;
     Alcotest.test_case "plan_mkdir precedence" `Quick plan_mkdir_reserve_precedence;
     Alcotest.test_case "in-kernel mode cheaper" `Quick in_kernel_mode_cheaper;
+    Alcotest.test_case "large acl read" `Quick large_acl_read;
+    Alcotest.test_case "cache hit/miss counters" `Quick cache_counters;
   ]

@@ -1,0 +1,208 @@
+(* The metrics registry and trace ring: histogram percentiles, ring
+   wraparound, counter saturation, and the JSON renders. *)
+
+module Metrics = Idbox_kernel.Metrics
+module Trace = Idbox_kernel.Trace
+
+(* --- counters -------------------------------------------------------- *)
+
+let counter_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a" in
+  Alcotest.(check int) "fresh" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "42" 42 (Metrics.counter_value c);
+  Alcotest.(check int) "by name" 42 (Metrics.counter_value_of m "a");
+  Alcotest.(check int) "unknown name" 0 (Metrics.counter_value_of m "zzz");
+  (* Get-or-create returns the same handle. *)
+  Metrics.incr (Metrics.counter m "a");
+  Alcotest.(check int) "shared" 43 (Metrics.counter_value c)
+
+let counter_saturates () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "sat" in
+  Metrics.add c max_int;
+  Metrics.incr c;
+  Alcotest.(check int) "pinned at max_int" max_int (Metrics.counter_value c);
+  Metrics.add c max_int;
+  Alcotest.(check int) "still pinned" max_int (Metrics.counter_value c);
+  (* Negative and zero deltas are ignored, not subtracted. *)
+  let d = Metrics.counter m "mono" in
+  Metrics.add d 5;
+  Metrics.add d (-3);
+  Metrics.add d 0;
+  Alcotest.(check int) "monotonic" 5 (Metrics.counter_value d)
+
+(* --- histograms ------------------------------------------------------ *)
+
+let histogram_basics () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  Alcotest.(check int) "empty count" 0 (Metrics.count h);
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (Metrics.percentile h 50.0);
+  List.iter (Metrics.observe h) [ 100; 200; 300 ];
+  Alcotest.(check int) "count" 3 (Metrics.count h);
+  Alcotest.(check int) "sum" 600 (Metrics.sum_ns h);
+  Alcotest.(check int) "max" 300 (Metrics.max_ns h);
+  Alcotest.(check (float 0.01)) "mean" 200.0 (Metrics.mean_ns h);
+  Metrics.observe h (-7);
+  Alcotest.(check int) "negative clamps to 0" 4 (Metrics.count h);
+  Alcotest.(check int) "sum unchanged" 600 (Metrics.sum_ns h)
+
+let histogram_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "p" in
+  (* 90 fast samples in [128,256) and 10 slow in [65536,131072): p50
+     must land in the fast bucket, p95/p99 in the slow one.  Log-scale
+     buckets report the geometric centre 1.5 * 2^i. *)
+  for _ = 1 to 90 do
+    Metrics.observe h 130
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 70_000
+  done;
+  Alcotest.(check (float 0.01)) "p50 in fast bucket" (1.5 *. 128.0)
+    (Metrics.percentile h 50.0);
+  Alcotest.(check (float 0.01)) "p90 still fast" (1.5 *. 128.0)
+    (Metrics.percentile h 90.0);
+  Alcotest.(check (float 0.01)) "p95 slow" (1.5 *. 65536.0)
+    (Metrics.percentile h 95.0);
+  Alcotest.(check (float 0.01)) "p99 slow" (1.5 *. 65536.0)
+    (Metrics.percentile h 99.0);
+  (* Out-of-range p clamps rather than raising. *)
+  Alcotest.(check (float 0.01)) "p>100 = max bucket" (1.5 *. 65536.0)
+    (Metrics.percentile h 250.0)
+
+let histogram_tiny_values () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "tiny" in
+  Metrics.observe h 0;
+  Metrics.observe h 1;
+  Alcotest.(check (float 0.01)) "bucket 0 reports 1.0" 1.0
+    (Metrics.percentile h 99.0);
+  Metrics.observe_ns h 2L;
+  Alcotest.(check int) "int64 entry point" 3 (Metrics.count h)
+
+(* --- registry + JSON ------------------------------------------------- *)
+
+let registry_json () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "b.count") 2;
+  Metrics.add (Metrics.counter m "a.count") 1;
+  Metrics.observe (Metrics.histogram m "lat") 100;
+  let json = Metrics.to_json m in
+  (* Keys come out sorted, so the render is deterministic. *)
+  Alcotest.(check string)
+    "deterministic render"
+    "{\"counters\":{\"a.count\":1,\"b.count\":2},\"histograms\":{\"lat\":{\"count\":1,\"sum_ns\":100,\"max_ns\":100,\"mean_ns\":100.0,\"p50_ns\":96.0,\"p95_ns\":96.0,\"p99_ns\":96.0}}}"
+    json;
+  Metrics.reset m;
+  Alcotest.(check string) "reset empties"
+    "{\"counters\":{},\"histograms\":{}}" (Metrics.to_json m)
+
+let json_escaping () =
+  Alcotest.(check string) "quotes and control chars" "a\\\"b\\\\c\\n\\u0001"
+    (Metrics.escape_json "a\"b\\c\n\001")
+
+(* --- trace ring ------------------------------------------------------ *)
+
+let emit ring i =
+  Trace.span ring ~time:(Int64.of_int (i * 10)) ~pid:i ~identity:"unix:alice"
+    ~syscall:"open" ~verdict:"ok" ~cost_ns:5L
+
+let ring_wraparound () =
+  let ring = Trace.ring ~capacity:4 () in
+  Alcotest.(check int) "empty length" 0 (Trace.length ring);
+  for i = 0 to 9 do
+    emit ring i
+  done;
+  Alcotest.(check int) "total counts all" 10 (Trace.total ring);
+  Alcotest.(check int) "length capped" 4 (Trace.length ring);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped ring);
+  (* Oldest-first iteration yields the last [capacity] spans. *)
+  let seqs = List.map (fun s -> s.Trace.sp_seq) (Trace.to_list ring) in
+  Alcotest.(check (list int)) "oldest retained first" [ 6; 7; 8; 9 ] seqs
+
+let ring_before_wrap () =
+  let ring = Trace.ring ~capacity:8 () in
+  for i = 0 to 2 do
+    emit ring i
+  done;
+  let seqs = List.map (fun s -> s.Trace.sp_seq) (Trace.to_list ring) in
+  Alcotest.(check (list int)) "insertion order" [ 0; 1; 2 ] seqs;
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ring);
+  Trace.reset ring;
+  Alcotest.(check int) "reset" 0 (Trace.total ring)
+
+let ring_sinks () =
+  let ring = Trace.ring ~capacity:2 () in
+  let seen = ref [] in
+  Trace.add_sink ring (fun s -> seen := s.Trace.sp_seq :: !seen);
+  for i = 0 to 4 do
+    emit ring i
+  done;
+  (* The sink observed every span, including overwritten ones. *)
+  Alcotest.(check (list int)) "sink sees all" [ 0; 1; 2; 3; 4 ]
+    (List.rev !seen);
+  Trace.clear_sinks ring;
+  emit ring 5;
+  Alcotest.(check (list int)) "cleared" [ 0; 1; 2; 3; 4 ] (List.rev !seen)
+
+let ring_json () =
+  let ring = Trace.ring ~capacity:2 () in
+  Trace.span ring ~time:7L ~pid:3 ~identity:"g:\"x\"" ~syscall:"open"
+    ~verdict:"EACCES" ~cost_ns:11L;
+  Alcotest.(check string) "span json"
+    "{\"capacity\":2,\"total\":1,\"dropped\":0,\"spans\":[{\"seq\":0,\"time_ns\":7,\"pid\":3,\"identity\":\"g:\\\"x\\\"\",\"syscall\":\"open\",\"verdict\":\"EACCES\",\"cost_ns\":11}]}"
+    (Trace.to_json ring)
+
+(* --- kernel integration ---------------------------------------------- *)
+
+let kernel_records () =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Libc = Idbox_kernel.Libc in
+  let kernel = Kernel.create () in
+  ignore
+    (Kernel.spawn_main kernel
+       ~main:(fun _ ->
+         (match Libc.write_file "/tmp/f" ~contents:"x" with
+          | Ok () -> ()
+          | Error _ -> ());
+         ignore (Libc.read_file "/tmp/f");
+         ignore (Libc.read_file "/no/such/file");
+         0)
+       ~args:[] ());
+  Kernel.run kernel;
+  let m = Kernel.metrics kernel in
+  Alcotest.(check int) "two opens counted, one failed" 3
+    (Metrics.counter_value_of m "syscall.open");
+  let h = Option.get (Metrics.find_histogram m "syscall.open.ns") in
+  Alcotest.(check int) "open latencies observed" 3 (Metrics.count h);
+  Alcotest.(check bool) "simulated time charged" true (Metrics.sum_ns h > 0);
+  (* Each completed call leaves a span; the failed open carries its
+     errno as the verdict. *)
+  let ring = Kernel.trace_ring kernel in
+  let enoent =
+    List.filter
+      (fun s -> String.equal s.Trace.sp_verdict "ENOENT")
+      (Trace.to_list ring)
+  in
+  Alcotest.(check int) "failed open traced" 1 (List.length enoent);
+  Alcotest.(check bool) "spans retained" true (Trace.length ring > 0)
+
+let suite =
+  [
+    Alcotest.test_case "counter basics" `Quick counter_basics;
+    Alcotest.test_case "counter saturates at max_int" `Quick counter_saturates;
+    Alcotest.test_case "histogram basics" `Quick histogram_basics;
+    Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles;
+    Alcotest.test_case "histogram tiny values" `Quick histogram_tiny_values;
+    Alcotest.test_case "registry JSON deterministic" `Quick registry_json;
+    Alcotest.test_case "JSON escaping" `Quick json_escaping;
+    Alcotest.test_case "ring wraparound" `Quick ring_wraparound;
+    Alcotest.test_case "ring before wrap" `Quick ring_before_wrap;
+    Alcotest.test_case "ring sinks see every span" `Quick ring_sinks;
+    Alcotest.test_case "ring JSON" `Quick ring_json;
+    Alcotest.test_case "kernel records syscall metrics" `Quick kernel_records;
+  ]

@@ -202,6 +202,82 @@ let create_through_dangling_symlink () =
   Alcotest.(check string) "landed at target" "created"
     (ok "read" (Fs.read_file fs ~uid:0 "/t/real"))
 
+(* O_CREAT|O_EXCL on a symlink must fail EEXIST even when the link
+   dangles — following it would let a visitor-planted link redirect a
+   "fresh" file to a target of the attacker's choosing. *)
+let excl_create_on_dangling_symlink () =
+  let fs = fresh () in
+  ok "mkdir" (Fs.mkdir_p fs ~uid:0 "/t");
+  ok "ln" (Fs.symlink fs ~uid:0 ~target:"/t/real" "/t/alias");
+  let excl = { Fs.wronly_create with Fs.excl = true } in
+  expect_err "excl on dangling link" Errno.EEXIST
+    (Fs.open_file fs ~uid:0 ~flags:excl ~mode:0o644 "/t/alias");
+  expect_err "nothing created at target" Errno.ENOENT
+    (Fs.stat fs ~uid:0 "/t/real");
+  (* Without excl, creation still follows the link (POSIX). *)
+  ignore
+    (ok "non-excl creates at target"
+       (Fs.open_file fs ~uid:0 ~flags:Fs.wronly_create ~mode:0o644 "/t/alias"));
+  ignore (ok "target exists now" (Fs.stat fs ~uid:0 "/t/real"));
+  (* A resolvable symlink is EEXIST under excl too. *)
+  expect_err "excl on live link" Errno.EEXIST
+    (Fs.open_file fs ~uid:0 ~flags:excl ~mode:0o644 "/t/alias")
+
+(* Without write permission on the parent, unlink/rmdir must say EACCES
+   — not reveal via ENOENT/ENOTEMPTY whether the name exists or the
+   directory has contents. *)
+let errno_ordering_probe () =
+  let fs = fresh () in
+  ok "mkdir" (Fs.mkdir_p fs ~uid:0 "/locked");
+  ok "chmod" (Fs.chmod fs ~uid:0 ~mode:0o755 "/locked");
+  ok "write" (Fs.write_file fs ~uid:0 "/locked/present" "x");
+  ok "sub" (Fs.mkdir_p fs ~uid:0 "/locked/full/inner");
+  (* uid 1000 can list /locked but not write it. *)
+  expect_err "unlink existing" Errno.EACCES
+    (Fs.unlink fs ~uid:1000 "/locked/present");
+  expect_err "unlink missing" Errno.EACCES
+    (Fs.unlink fs ~uid:1000 "/locked/absent");
+  expect_err "rmdir nonempty" Errno.EACCES
+    (Fs.rmdir fs ~uid:1000 "/locked/full");
+  expect_err "rmdir missing" Errno.EACCES
+    (Fs.rmdir fs ~uid:1000 "/locked/absent");
+  (* With write permission the real errnos come back. *)
+  expect_err "root sees ENOENT" Errno.ENOENT
+    (Fs.unlink fs ~uid:0 "/locked/absent");
+  expect_err "root sees ENOTEMPTY" Errno.ENOTEMPTY
+    (Fs.rmdir fs ~uid:0 "/locked/full")
+
+(* Every resolver shares one expansion budget, [Fs.symlink_limit]: a
+   chain one hop under it resolves; at the limit it is ELOOP — also on
+   the O_CREAT dangling-link path, which used to cap at 8. *)
+let shared_eloop_limit () =
+  let fs = fresh () in
+  let chain n =
+    (* /c0 -> /c1 -> ... -> /c(n-1) -> /end *)
+    ok "end" (Fs.write_file fs ~uid:0 "/end" "deep");
+    for i = n - 1 downto 0 do
+      let target = if i = n - 1 then "/end" else Printf.sprintf "/c%d" (i + 1) in
+      ok "ln" (Fs.symlink fs ~uid:0 ~target (Printf.sprintf "/c%d" i))
+    done
+  in
+  chain Fs.symlink_limit;
+  Alcotest.(check string) "exactly the budget resolves" "deep"
+    (ok "read" (Fs.read_file fs ~uid:0 "/c0"));
+  ok "one more hop" (Fs.symlink fs ~uid:0 ~target:"/c0" "/over");
+  expect_err "one past the budget" Errno.ELOOP (Fs.read_file fs ~uid:0 "/over");
+  (* The O_CREAT path obeys the same budget: a 10-deep dangling chain
+     (beyond the old hardcoded 8) still creates at the final target. *)
+  ok "mkdir" (Fs.mkdir_p fs ~uid:0 "/t");
+  for i = 9 downto 0 do
+    let target =
+      if i = 9 then "/t/real" else Printf.sprintf "/t/d%d" (i + 1)
+    in
+    ok "ln" (Fs.symlink fs ~uid:0 ~target (Printf.sprintf "/t/d%d" i))
+  done;
+  ok "create through 10 hops" (Fs.write_file fs ~uid:0 "/t/d0" "made it");
+  Alcotest.(check string) "landed" "made it"
+    (ok "read" (Fs.read_file fs ~uid:0 "/t/real"))
+
 let readdir_sorted () =
   let fs = fresh () in
   ok "mkdir" (Fs.mkdir_p fs ~uid:0 "/d");
@@ -281,6 +357,9 @@ let suite =
     Alcotest.test_case "symlink loops" `Quick symlink_loops;
     Alcotest.test_case "symlink ..-target" `Quick symlink_dotdot_target;
     Alcotest.test_case "create through dangling link" `Quick create_through_dangling_symlink;
+    Alcotest.test_case "excl create on dangling link" `Quick excl_create_on_dangling_symlink;
+    Alcotest.test_case "EACCES before existence probe" `Quick errno_ordering_probe;
+    Alcotest.test_case "shared ELOOP limit" `Quick shared_eloop_limit;
     Alcotest.test_case "readdir sorted" `Quick readdir_sorted;
     Alcotest.test_case "chmod/chown rules" `Quick chmod_chown_rules;
     Alcotest.test_case "mkdir_p idempotent" `Quick mkdir_p_idempotent;
