@@ -106,6 +106,91 @@ let bechamel_suite () =
              | Some [] | None -> Printf.printf "%-38s %18s\n" name "(n/a)"))
     results
 
+(* Retry overhead under packet loss: the same Chirp read workload at
+   0%, 1% and 10% drop rates, reporting simulated per-call latency
+   percentiles and the retries spent.  Deterministic (seeded faults,
+   simulated clock), so these figures are exact, not sampled. *)
+let resilience_block () =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Account = Idbox_kernel.Account in
+  let module Clock = Idbox_kernel.Clock in
+  let module Metrics = Idbox_kernel.Metrics in
+  let module Network = Idbox_net.Network in
+  let module Fault = Idbox_net.Fault in
+  let module Ca = Idbox_auth.Ca in
+  let module Credential = Idbox_auth.Credential in
+  let module Negotiate = Idbox_auth.Negotiate in
+  let module Server = Idbox_chirp.Server in
+  let module Client = Idbox_chirp.Client in
+  let module Subject = Idbox_identity.Subject in
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline "Resilience - Chirp retry overhead vs. network drop rate";
+  print_endline (String.make 78 '=');
+  let calls = 400 in
+  let run drop =
+    let clock = Clock.create () in
+    let kernel = Kernel.create ~clock () in
+    let net = Network.create ~clock () in
+    let owner =
+      match Account.add (Kernel.accounts kernel) "chirpuser" with
+      | Ok e -> e
+      | Error m -> failwith m
+    in
+    Kernel.refresh_passwd kernel;
+    let ca = Ca.create ~name:"Bench CA" in
+    let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+    let root_acl =
+      Idbox_acl.Acl.of_entries
+        [
+          Idbox_acl.Entry.make ~pattern:"globus:/O=Bench/*"
+            (Idbox_acl.Rights.of_string_exn "rwl");
+        ]
+    in
+    (match
+       Server.create ~kernel ~net ~addr:"bench.grid.edu:9094"
+         ~owner_uid:owner.Account.uid ~export:"/tmp/bench" ~acceptor ~root_acl ()
+     with
+    | Ok _ -> ()
+    | Error e -> failwith (Idbox_vfs.Errno.message e));
+    Network.set_fault_plan net
+      (Fault.plan ~seed:1L ~default_profile:(Fault.profile ~drop ()) ());
+    let cert = Ca.issue ca (Subject.of_string_exn "/O=Bench/CN=Reader") in
+    let policy =
+      { Client.default_policy with max_attempts = 12; retry_budget = 100_000 }
+    in
+    let c =
+      match
+        Client.connect ~policy net ~addr:"bench.grid.edu:9094"
+          ~credentials:[ Credential.Gsi cert ]
+      with
+      | Ok c -> c
+      | Error m -> failwith m
+    in
+    (match Client.put c ~path:"/blob" ~data:(String.make 1024 'b') with
+     | Ok () -> ()
+     | Error e -> failwith (Idbox_vfs.Errno.message e));
+    let latencies =
+      Array.init calls (fun _ ->
+          let t0 = Clock.now clock in
+          (match Client.get c "/blob" with
+           | Ok _ -> ()
+           | Error e -> failwith (Idbox_vfs.Errno.message e));
+          Int64.to_float (Int64.sub (Clock.now clock) t0))
+    in
+    Array.sort compare latencies;
+    let pct p =
+      latencies.(min (calls - 1) (int_of_float (float_of_int calls *. p)))
+    in
+    let drops = Metrics.counter_value_of (Network.metrics net) "net.drop" in
+    Printf.printf "%6.0f%% %14.3f %14.3f %9d %9d\n" (drop *. 100.)
+      (pct 0.50 /. 1e6) (pct 0.95 /. 1e6) (Client.retries c) drops
+  in
+  Printf.printf "%7s %14s %14s %9s %9s\n" "drop" "p50 (ms)" "p95 (ms)"
+    "retries" "drops";
+  print_endline (String.make 58 '-');
+  List.iter run [ 0.0; 0.01; 0.10 ]
+
 (* The machine-readable block for BENCH_*.json trajectory tracking:
    run the representative boxed workload, print one JSON object. *)
 let metrics_block () =
@@ -125,6 +210,7 @@ let () =
   | [] ->
     Idbox_report.Report.all ~scale ();
     bechamel_suite ();
+    resilience_block ();
     metrics_block ()
   | names ->
     List.iter
@@ -139,11 +225,12 @@ let () =
         | "fig6" -> Idbox_report.Report.fig6 ()
         | "ablation" | "ablations" -> Idbox_report.Report.ablations ()
         | "bechamel" -> bechamel_suite ()
+        | "resilience" -> resilience_block ()
         | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
-             ablation bechamel metrics)\n"
+             ablation bechamel resilience metrics)\n"
             other;
           exit 2)
       names

@@ -169,9 +169,11 @@ let stats_cmd =
       print_endline (Idbox_report.Report.trace_json kernel)
   in
   let doc =
-    "Run the representative boxed workload and print the kernel-wide metrics \
-     registry as JSON (schema idbox-metrics/1).  With $(b,--trace), also \
-     print the trace ring as JSON."
+    "Run the representative boxed workload (including a Chirp exchange over \
+     a deliberately lossy network, so fault and retry counters are \
+     populated) and print the kernel-wide metrics registry as JSON (schema \
+     idbox-metrics/1).  With $(b,--trace), also print the trace ring as \
+     JSON."
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ trace_arg)
 

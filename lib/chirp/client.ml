@@ -1,44 +1,197 @@
 module Network = Idbox_net.Network
+module Fault = Idbox_net.Fault
+module Metrics = Idbox_kernel.Metrics
+module Clock = Idbox_kernel.Clock
 module Errno = Idbox_vfs.Errno
 module Path = Idbox_vfs.Path
 module Inode = Idbox_vfs.Inode
 module Fs = Idbox_vfs.Fs
 
+type retry_policy = {
+  timeout_ns : int64;
+  max_attempts : int;
+  base_backoff_ns : int64;
+  max_backoff_ns : int64;
+  retry_budget : int;
+}
+
+let default_policy =
+  {
+    timeout_ns = 1_000_000_000L;
+    max_attempts = 4;
+    base_backoff_ns = 1_000_000L;
+    max_backoff_ns = 100_000_000L;
+    retry_budget = 100;
+  }
+
 type t = {
   cl_net : Network.t;
   cl_addr : string;
-  token : string;
+  cl_src : string;
+  mutable cl_token : string;
+  cl_id : string;  (* stable request-ID prefix, fixed at first auth *)
   cl_principal : string;
   cl_method : string;
+  cl_creds : Idbox_auth.Credential.t list;
+  cl_policy : retry_policy;
+  cl_rng : Fault.rng;
+  mutable cl_budget : int;
+  mutable cl_retries : int;
+  mutable cl_req_counter : int;
 }
 
 let principal t = t.cl_principal
 let auth_method t = t.cl_method
 let addr t = t.cl_addr
+let retries t = t.cl_retries
+let budget_left t = t.cl_budget
 
-let connect net ~addr ~credentials =
-  match Network.call net ~addr (Protocol.encode_request (Protocol.Auth credentials)) with
-  | Error e -> Error ("connect: " ^ Errno.message e)
-  | Ok payload ->
-    (match Protocol.decode_response payload with
-     | Error msg -> Error ("connect: bad response: " ^ msg)
-     | Ok (Protocol.R_auth { token; principal; method_ }) ->
-       Ok { cl_net = net; cl_addr = addr; token; cl_principal = principal;
-            cl_method = method_ }
-     | Ok (Protocol.R_error (_, msg)) -> Error msg
-     | Ok _ -> Error "connect: unexpected response")
+let metric_on net name = Metrics.incr (Metrics.counter (Network.metrics net) name)
+let metric t name = metric_on t.cl_net name
+
+(* Transport-level failures a retry can plausibly cure.  EAGAIN covers a
+   server shedding load (session table full): back off and try again. *)
+let transient = function
+  | Errno.ETIMEDOUT | Errno.ECONNRESET | Errno.ECONNREFUSED
+  | Errno.EHOSTUNREACH | Errno.EAGAIN -> true
+  | _ -> false
+
+(* Bounded exponential backoff with deterministic jitter: attempt [n]
+   (1-based) sleeps in [cap/2, cap] where cap = min(base * 2^(n-1), max).
+   The jitter draw comes from the client's seeded stream, so a given
+   client replays the same backoff schedule every run. *)
+let backoff_ns policy rng attempt =
+  let rec grow cap n =
+    if n <= 0 || cap >= policy.max_backoff_ns then cap
+    else grow (Int64.mul cap 2L) (n - 1)
+  in
+  let cap = grow policy.base_backoff_ns (attempt - 1) in
+  let cap = if cap > policy.max_backoff_ns then policy.max_backoff_ns else cap in
+  let half = Int64.div cap 2L in
+  Int64.add half (Int64.of_int (Fault.int_below rng (Int64.to_int half + 1)))
+
+(* One authenticated exchange with transport retries (used by both
+   [connect] and session re-establishment).  Auth retries are bounded by
+   [max_attempts] alone: there is no session budget yet to spend. *)
+let auth_exchange net ~src ~policy ~rng ~addr ~credentials =
+  let payload = Protocol.encode_request (Protocol.Auth credentials) in
+  let rec go attempt =
+    let retry () =
+      metric_on net "chirp.retry";
+      Clock.advance (Network.clock net) (backoff_ns policy rng attempt);
+      go (attempt + 1)
+    in
+    match Network.call net ~src ~timeout_ns:policy.timeout_ns ~addr payload with
+    | Error e when transient e && attempt < policy.max_attempts -> retry ()
+    | Error e -> Error (`Transport e)
+    | Ok text ->
+      (match Protocol.decode_response text with
+       | Error _ when attempt < policy.max_attempts -> retry ()
+       | Error msg -> Error (`Decode msg)
+       | Ok (Protocol.R_auth { token; principal; method_ }) ->
+         Ok (token, principal, method_)
+       | Ok (Protocol.R_error (e, _))
+         when transient e && attempt < policy.max_attempts -> retry ()
+       | Ok (Protocol.R_error (_, msg)) -> Error (`Server msg)
+       | Ok _ -> Error (`Decode "unexpected response"))
+  in
+  go 1
+
+let connect ?(src = "client") ?(policy = default_policy) net ~addr ~credentials =
+  let rng = Fault.rng (Int64.of_int (Hashtbl.hash (addr ^ "|" ^ src))) in
+  match auth_exchange net ~src ~policy ~rng ~addr ~credentials with
+  | Error (`Transport e) -> Error ("connect: " ^ Errno.message e)
+  | Error (`Decode msg) -> Error ("connect: bad response: " ^ msg)
+  | Error (`Server msg) -> Error msg
+  | Ok (token, principal, method_) ->
+    Ok
+      {
+        cl_net = net;
+        cl_addr = addr;
+        cl_src = src;
+        cl_token = token;
+        cl_id = token;
+        cl_principal = principal;
+        cl_method = method_;
+        cl_creds = credentials;
+        cl_policy = policy;
+        cl_rng = rng;
+        cl_budget = policy.retry_budget;
+        cl_retries = 0;
+        cl_req_counter = 0;
+      }
+
+(* The server forgot our session (restart, or idle expiry): negotiate a
+   fresh one with the credentials we kept.  The new session MUST map to
+   the same principal — a different answer means the server's identity
+   mapping changed under us, and silently adopting it would let one
+   user's retries run under another's name. *)
+let reauth t =
+  metric t "chirp.reauth";
+  match
+    auth_exchange t.cl_net ~src:t.cl_src ~policy:t.cl_policy ~rng:t.cl_rng
+      ~addr:t.cl_addr ~credentials:t.cl_creds
+  with
+  | Error (`Transport e) -> Error e
+  | Error (`Decode _) -> Error Errno.EIO
+  | Error (`Server _) -> Error Errno.EACCES
+  | Ok (token, principal, _method) ->
+    if String.equal principal t.cl_principal then begin
+      t.cl_token <- token;
+      Ok ()
+    end
+    else begin
+      metric t "chirp.reauth.mismatch";
+      Error Errno.EPERM
+    end
 
 let call t op =
-  match
-    Network.call t.cl_net ~addr:t.cl_addr
-      (Protocol.encode_request (Protocol.Op { token = t.token; op }))
-  with
-  | Error e -> Error e
-  | Ok payload ->
-    (match Protocol.decode_response payload with
-     | Error _ -> Error Errno.EINVAL
-     | Ok (Protocol.R_error (e, _)) -> Error e
-     | Ok r -> Ok r)
+  let req_id =
+    if Protocol.idempotent op then ""
+    else begin
+      t.cl_req_counter <- t.cl_req_counter + 1;
+      Printf.sprintf "%s#%d" t.cl_id t.cl_req_counter
+    end
+  in
+  let payload () =
+    Protocol.encode_request (Protocol.Op { token = t.cl_token; req_id; op })
+  in
+  let rec go attempt reauthed =
+    let retry e =
+      if attempt < t.cl_policy.max_attempts && t.cl_budget > 0 then begin
+        t.cl_budget <- t.cl_budget - 1;
+        t.cl_retries <- t.cl_retries + 1;
+        metric t "chirp.retry";
+        Clock.advance (Network.clock t.cl_net)
+          (backoff_ns t.cl_policy t.cl_rng attempt);
+        go (attempt + 1) reauthed
+      end
+      else begin
+        metric t "chirp.giveup";
+        Error e
+      end
+    in
+    match
+      Network.call t.cl_net ~src:t.cl_src ~timeout_ns:t.cl_policy.timeout_ns
+        ~addr:t.cl_addr (payload ())
+    with
+    | Error e when transient e -> retry e
+    | Error e -> Error e
+    | Ok text ->
+      (match Protocol.decode_response text with
+       | Error _ ->
+         (* Damaged frame (truncation/corruption caught by the protocol
+            checksum): indistinguishable from a lost reply, so retry. *)
+         retry Errno.EIO
+       | Ok (Protocol.R_error (Errno.ESTALE, _)) when not reauthed ->
+         (match reauth t with
+          | Ok () -> go attempt true
+          | Error e -> Error e)
+       | Ok (Protocol.R_error (e, _)) when transient e -> retry e
+       | Ok (Protocol.R_error (e, _)) -> Error e
+       | Ok r -> Ok r)
+  in
+  go 1 false
 
 let expect_ok = function
   | Ok Protocol.R_ok -> Ok ()

@@ -1,27 +1,65 @@
 (** The Chirp client: typed access to a remote server over the simulated
     network, plus the adapter that lets identity boxes mount a server
     under [/chirp/...] (paper §4: "files on a Chirp server appear as
-    ordinary files in the path /chirp/server/path"). *)
+    ordinary files in the path /chirp/server/path").
+
+    The client survives an imperfect network.  Every call runs under a
+    {!retry_policy}: a per-attempt timeout, bounded exponential backoff
+    with deterministic jitter, and a per-session retry budget.
+    Idempotent operations ([get], [stat], [readdir], [getacl],
+    [checksum], [whoami]) are re-sent transparently; non-idempotent ones
+    ([put], [mkdir], [rmdir], [unlink], [setacl], [rename], [exec])
+    carry a client-generated request ID that the server deduplicates, so
+    a retried [exec] still runs exactly once.  When the server forgets
+    the session (restart or idle expiry, surfaced as [ESTALE]), the
+    client re-authenticates with its original credentials and refuses to
+    continue if the negotiated principal changed — reconnecting can
+    never switch identities mid-session. *)
 
 type t
 (** An authenticated session. *)
 
 type 'a r := ('a, Idbox_vfs.Errno.t) result
 
+type retry_policy = {
+  timeout_ns : int64;  (** Per-attempt wait before declaring a loss. *)
+  max_attempts : int;  (** Total attempts per call, including the first. *)
+  base_backoff_ns : int64;  (** First retry's backoff cap. *)
+  max_backoff_ns : int64;  (** Ceiling for the doubling cap. *)
+  retry_budget : int;
+      (** Total retries the session may spend across all calls; once
+          exhausted, calls fail on their first transport error
+          (graceful degradation instead of unbounded re-sending). *)
+}
+
+val default_policy : retry_policy
+(** 1 s timeout, 4 attempts, 1 ms–100 ms backoff, budget 100. *)
+
 val connect :
+  ?src:string ->
+  ?policy:retry_policy ->
   Idbox_net.Network.t ->
   addr:string ->
   credentials:Idbox_auth.Credential.t list ->
   (t, string) result
 (** Negotiate authentication (client preference order) and open a
-    session. *)
+    session.  [src] (default ["client"]) names the calling host for
+    partition matching. *)
 
 val principal : t -> string
-(** The negotiated principal, as the server knows us. *)
+(** The negotiated principal, as the server knows us.  Stable for the
+    life of the session: re-authentication after a server restart
+    asserts the same principal or fails. *)
 
 val auth_method : t -> string
 
 val addr : t -> string
+
+val retries : t -> int
+(** Retries spent so far (all calls). *)
+
+val budget_left : t -> int
+(** Remaining session retry budget. *)
 
 val mkdir : t -> string -> unit r
 val rmdir : t -> string -> unit r
@@ -37,7 +75,9 @@ val rename : t -> src:string -> dst:string -> unit r
 val exec : t -> ?cwd:string -> path:string -> args:string list -> unit -> int r
 (** The paper's remote-execution extension: run a staged program inside
     an identity box labelled with this session's principal; returns the
-    exit code.  [cwd] defaults to the program's directory. *)
+    exit code.  [cwd] defaults to the program's directory.  Retried
+    transparently on transport faults; the request ID guarantees the
+    program still runs at most once. *)
 
 val checksum : t -> string -> string r
 (** Server-side MD5 (hex) of a remote file: verify a transfer without a

@@ -21,7 +21,7 @@ type operation =
 
 type request =
   | Auth of Credential.t list
-  | Op of { token : string; op : operation }
+  | Op of { token : string; req_id : string; op : operation }
 
 type wire_stat = {
   ws_kind : string;
@@ -38,6 +38,13 @@ type response =
   | R_names of string list
   | R_exit of int
   | R_str of string
+
+(* Operations safe to re-send blindly: re-executing them cannot change
+   server state beyond what the first execution did.  Everything else
+   must carry a request ID so the server can deduplicate retries. *)
+let idempotent = function
+  | Get _ | Stat _ | Readdir _ | Getacl _ | Checksum _ | Whoami -> true
+  | Mkdir _ | Rmdir _ | Unlink _ | Put _ | Setacl _ | Rename _ | Exec _ -> false
 
 let operation_name = function
   | Mkdir _ -> "mkdir"
@@ -90,29 +97,49 @@ let decode_credential fields =
   | [ "host"; host ] -> Ok (Credential.Host host)
   | _ -> Error "unrecognized credential"
 
+(* Every protocol message travels inside a checksummed envelope:
+   [["q"|"r"; md5(body); body]].  The simulated network can flip or cut
+   response bytes; without the envelope a corrupted [R_data] would be
+   indistinguishable from a good one.  With it, damage surfaces as a
+   decode error the caller can retry. *)
+let seal tag body = Wire.encode [ tag; Digest.string body; body ]
+
+let unseal tag text =
+  match Wire.decode text with
+  | Error e -> Error e
+  | Ok [ t; sum; body ] when String.equal t tag ->
+    if String.equal sum (Digest.string body) then Ok body
+    else Error "checksum mismatch (frame damaged in flight)"
+  | Ok _ -> Error "not a sealed frame"
+
 (* Each credential is itself a wire-framed blob so the outer message
    stays a flat field list. *)
-let encode_request = function
-  | Auth creds ->
-    Wire.encode ("auth" :: List.map (fun c -> Wire.encode (encode_credential c)) creds)
-  | Op { token; op } ->
-    let fields =
-      match op with
-      | Mkdir p -> [ "mkdir"; p ]
-      | Rmdir p -> [ "rmdir"; p ]
-      | Unlink p -> [ "unlink"; p ]
-      | Put { path; data } -> [ "put"; path; data ]
-      | Get p -> [ "get"; p ]
-      | Stat p -> [ "stat"; p ]
-      | Readdir p -> [ "readdir"; p ]
-      | Getacl p -> [ "getacl"; p ]
-      | Setacl { path; entry } -> [ "setacl"; path; entry ]
-      | Rename { src; dst } -> [ "rename"; src; dst ]
-      | Exec { path; args; cwd } -> "exec" :: path :: cwd :: args
-      | Checksum p -> [ "checksum"; p ]
-      | Whoami -> [ "whoami" ]
-    in
-    Wire.encode (("op" :: token :: fields))
+let encode_request req =
+  let body =
+    match req with
+    | Auth creds ->
+      Wire.encode
+        ("auth" :: List.map (fun c -> Wire.encode (encode_credential c)) creds)
+    | Op { token; req_id; op } ->
+      let fields =
+        match op with
+        | Mkdir p -> [ "mkdir"; p ]
+        | Rmdir p -> [ "rmdir"; p ]
+        | Unlink p -> [ "unlink"; p ]
+        | Put { path; data } -> [ "put"; path; data ]
+        | Get p -> [ "get"; p ]
+        | Stat p -> [ "stat"; p ]
+        | Readdir p -> [ "readdir"; p ]
+        | Getacl p -> [ "getacl"; p ]
+        | Setacl { path; entry } -> [ "setacl"; path; entry ]
+        | Rename { src; dst } -> [ "rename"; src; dst ]
+        | Exec { path; args; cwd } -> "exec" :: path :: cwd :: args
+        | Checksum p -> [ "checksum"; p ]
+        | Whoami -> [ "whoami" ]
+      in
+      Wire.encode ("op" :: token :: req_id :: fields)
+  in
+  seal "q" body
 
 let decode_operation = function
   | [ "mkdir"; p ] -> Ok (Mkdir p)
@@ -132,40 +159,48 @@ let decode_operation = function
   | [] -> Error "empty operation"
 
 let decode_request text =
-  match Wire.decode text with
+  match unseal "q" text with
   | Error e -> Error e
-  | Ok ("auth" :: blobs) ->
-    let rec decode_all acc = function
-      | [] -> Ok (Auth (List.rev acc))
-      | blob :: rest ->
-        (match Wire.decode blob with
-         | Error e -> Error e
-         | Ok fields ->
-           (match decode_credential fields with
-            | Ok cred -> decode_all (cred :: acc) rest
-            | Error e -> Error e))
-    in
-    decode_all [] blobs
-  | Ok ("op" :: token :: fields) ->
-    (match decode_operation fields with
-     | Ok op -> Ok (Op { token; op })
-     | Error e -> Error e)
-  | Ok _ -> Error "unrecognized request"
+  | Ok body ->
+    (match Wire.decode body with
+     | Error e -> Error e
+     | Ok ("auth" :: blobs) ->
+       let rec decode_all acc = function
+         | [] -> Ok (Auth (List.rev acc))
+         | blob :: rest ->
+           (match Wire.decode blob with
+            | Error e -> Error e
+            | Ok fields ->
+              (match decode_credential fields with
+               | Ok cred -> decode_all (cred :: acc) rest
+               | Error e -> Error e))
+       in
+       decode_all [] blobs
+     | Ok ("op" :: token :: req_id :: fields) ->
+       (match decode_operation fields with
+        | Ok op -> Ok (Op { token; req_id; op })
+        | Error e -> Error e)
+     | Ok _ -> Error "unrecognized request")
 
-let encode_response = function
-  | R_ok -> Wire.encode [ "ok" ]
-  | R_error (errno, msg) -> Wire.encode [ "error"; Errno.to_string errno; msg ]
-  | R_auth { token; principal; method_ } ->
-    Wire.encode [ "auth"; token; principal; method_ ]
-  | R_data data -> Wire.encode [ "data"; data ]
-  | R_stat { ws_kind; ws_size; ws_mtime } ->
-    Wire.encode [ "stat"; ws_kind; string_of_int ws_size; Int64.to_string ws_mtime ]
-  | R_names names -> Wire.encode ("names" :: names)
-  | R_exit code -> Wire.encode [ "exit"; string_of_int code ]
-  | R_str s -> Wire.encode [ "str"; s ]
+let encode_response r =
+  let body =
+    match r with
+    | R_ok -> Wire.encode [ "ok" ]
+    | R_error (errno, msg) -> Wire.encode [ "error"; Errno.to_string errno; msg ]
+    | R_auth { token; principal; method_ } ->
+      Wire.encode [ "auth"; token; principal; method_ ]
+    | R_data data -> Wire.encode [ "data"; data ]
+    | R_stat { ws_kind; ws_size; ws_mtime } ->
+      Wire.encode
+        [ "stat"; ws_kind; string_of_int ws_size; Int64.to_string ws_mtime ]
+    | R_names names -> Wire.encode ("names" :: names)
+    | R_exit code -> Wire.encode [ "exit"; string_of_int code ]
+    | R_str s -> Wire.encode [ "str"; s ]
+  in
+  seal "r" body
 
-let decode_response text =
-  match Wire.decode text with
+let decode_response_body body =
+  match Wire.decode body with
   | Error e -> Error e
   | Ok [ "ok" ] -> Ok R_ok
   | Ok [ "error"; errno; msg ] ->
@@ -186,3 +221,8 @@ let decode_response text =
      | None -> Error "bad exit code")
   | Ok [ "str"; s ] -> Ok (R_str s)
   | Ok _ -> Error "unrecognized response"
+
+let decode_response text =
+  match unseal "r" text with
+  | Error e -> Error e
+  | Ok body -> decode_response_body body

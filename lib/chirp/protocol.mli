@@ -27,7 +27,11 @@ type operation =
 type request =
   | Auth of Idbox_auth.Credential.t list
       (** Credentials in client preference order. *)
-  | Op of { token : string; op : operation }
+  | Op of { token : string; req_id : string; op : operation }
+      (** [req_id] is a client-generated identifier for non-idempotent
+          operations ([""] for idempotent ones): the server deduplicates
+          retries carrying the same id within its dedup window, making
+          retried writes and execs exactly-once.  See {!idempotent}. *)
 
 type wire_stat = {
   ws_kind : string;  (** ["file"], ["dir"] or ["link"]. *)
@@ -49,6 +53,15 @@ val encode_request : request -> string
 val decode_request : string -> (request, string) result
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
+(** Messages travel in a checksummed envelope, so bytes flipped or cut
+    by the (fault-injected) network surface as a decode [Error] — which
+    retry layers treat as a transport fault — never as a silently wrong
+    value. *)
 
 val operation_name : operation -> string
 (** For logging and per-op accounting. *)
+
+val idempotent : operation -> bool
+(** True for operations a client may re-send blindly on a lost reply
+    ([get], [stat], [readdir], [getacl], [checksum], [whoami]); the
+    rest need a request ID to retry safely. *)

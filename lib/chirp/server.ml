@@ -14,6 +14,20 @@ module Errno = Idbox_vfs.Errno
 module Fs = Idbox_vfs.Fs
 module Inode = Idbox_vfs.Inode
 
+type session = {
+  ss_principal : Principal.t;
+  ss_method : string;
+  mutable ss_last_used : int64;
+}
+
+(* A completed non-idempotent operation, remembered for the dedup
+   window: a retry carrying the same request ID gets this response back
+   instead of a second execution. *)
+type done_op = {
+  dd_at : int64;
+  dd_response : string;  (* already encoded for the wire *)
+}
+
 type t = {
   sv_kernel : Kernel.t;
   sv_net : Network.t;
@@ -22,7 +36,11 @@ type t = {
   sv_export : string;
   acceptor : Negotiate.acceptor;
   enforce : Enforce.t;
-  sessions : (string, Principal.t * string) Hashtbl.t;
+  sessions : (string, session) Hashtbl.t;
+  dedup : (string, done_op) Hashtbl.t;
+  max_sessions : int;
+  session_idle_ns : int64;
+  dedup_window_ns : int64;
   boxes : (string, Box.t) Hashtbl.t;
   mutable execs : int;
   mutable token_counter : int;
@@ -32,10 +50,12 @@ let addr t = t.sv_addr
 let export t = t.sv_export
 let owner_uid t = t.sv_owner.View.uid
 let exec_count t = t.execs
+let session_count t = Hashtbl.length t.sessions
+let dedup_size t = Hashtbl.length t.dedup
 
 let sessions t =
   Hashtbl.fold
-    (fun _ (principal, method_) acc -> (Principal.to_string principal, method_) :: acc)
+    (fun _ s acc -> (Principal.to_string s.ss_principal, s.ss_method) :: acc)
     t.sessions []
   |> List.sort compare
 
@@ -322,30 +342,96 @@ let fresh_token t principal =
        (Printf.sprintf "%s|%d|%s" t.sv_addr t.token_counter
           (Principal.to_string principal)))
 
+(* Expire sessions idle past the window — including half-authenticated
+   leftovers whose auth response was lost in flight and that no client
+   will ever speak for again. *)
+let sweep_sessions t now =
+  let dead =
+    Hashtbl.fold
+      (fun token s acc ->
+        if Int64.sub now s.ss_last_used > t.session_idle_ns then token :: acc
+        else acc)
+      t.sessions []
+  in
+  List.iter
+    (fun token ->
+      metric t "chirp.session.expired";
+      Hashtbl.remove t.sessions token)
+    dead
+
+let sweep_dedup t now =
+  let dead =
+    Hashtbl.fold
+      (fun rid d acc ->
+        if Int64.sub now d.dd_at > t.dedup_window_ns then rid :: acc else acc)
+      t.dedup []
+  in
+  List.iter (Hashtbl.remove t.dedup) dead
+
 let handle t payload =
   let respond r = Protocol.encode_response r in
+  let now = Kernel.now t.sv_kernel in
   match Protocol.decode_request payload with
-  | Error msg -> respond (Protocol.R_error (Errno.EINVAL, "bad request: " ^ msg))
+  | Error msg ->
+    (* Either a garbled frame (checksum mismatch) or a malformed
+       request: a wire-level reset tells a retrying client to re-send
+       rather than interpret this as an application verdict. *)
+    metric t "chirp.bad_request";
+    respond (Protocol.R_error (Errno.ECONNRESET, "bad request: " ^ msg))
   | Ok (Protocol.Auth creds) ->
-    (match
-       Negotiate.negotiate t.acceptor ~now:(Kernel.now t.sv_kernel) creds
-     with
-     | Error msg ->
-       metric t "chirp.auth.fail";
-       respond (Protocol.R_error (Errno.EACCES, msg))
-     | Ok (principal, method_, _attempts) ->
-       metric t "chirp.auth.ok";
-       let token = fresh_token t principal in
-       Hashtbl.replace t.sessions token (principal, method_);
-       respond
-         (Protocol.R_auth
-            { token; principal = Principal.to_string principal; method_ }))
-  | Ok (Protocol.Op { token; op }) ->
+    sweep_sessions t now;
+    if Hashtbl.length t.sessions >= t.max_sessions then begin
+      metric t "chirp.session.reject";
+      respond (Protocol.R_error (Errno.EAGAIN, "session table full"))
+    end
+    else
+      (match Negotiate.negotiate t.acceptor ~now creds with
+       | Error msg ->
+         metric t "chirp.auth.fail";
+         respond (Protocol.R_error (Errno.EACCES, msg))
+       | Ok (principal, method_, _attempts) ->
+         metric t "chirp.auth.ok";
+         let token = fresh_token t principal in
+         Hashtbl.replace t.sessions token
+           { ss_principal = principal; ss_method = method_; ss_last_used = now };
+         respond
+           (Protocol.R_auth
+              { token; principal = Principal.to_string principal; method_ }))
+  | Ok (Protocol.Op { token; req_id; op }) ->
     (match Hashtbl.find_opt t.sessions token with
-     | None -> respond (Protocol.R_error (Errno.EPERM, "no such session"))
-     | Some (principal, _method) -> respond (serve_op t principal op))
+     | None -> respond (Protocol.R_error (Errno.ESTALE, "no such session"))
+     | Some s when Int64.sub now s.ss_last_used > t.session_idle_ns ->
+       metric t "chirp.session.expired";
+       Hashtbl.remove t.sessions token;
+       respond (Protocol.R_error (Errno.ESTALE, "session expired"))
+     | Some s ->
+       s.ss_last_used <- now;
+       let serve () =
+         (* A handler bug must not unwind into the network: degrade to
+            a wire-level error and keep serving everyone else. *)
+         try serve_op t s.ss_principal op
+         with _ ->
+           metric t "chirp.handler.crash";
+           Protocol.R_error (Errno.EIO, "internal server error")
+       in
+       if String.equal req_id "" then respond (serve ())
+       else begin
+         sweep_dedup t now;
+         match Hashtbl.find_opt t.dedup req_id with
+         | Some d ->
+           (* A retry of work already done: replay the recorded
+              response, execute nothing. *)
+           metric t "chirp.dedup_hit";
+           d.dd_response
+         | None ->
+           let encoded = respond (serve ()) in
+           Hashtbl.replace t.dedup req_id { dd_at = now; dd_response = encoded };
+           encoded
+       end)
 
-let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl () =
+let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
+    ?(max_sessions = 64) ?(session_idle_ns = 600_000_000_000L)
+    ?(dedup_window_ns = 60_000_000_000L) () =
   let sv_owner = Kernel.make_view kernel ~uid:owner_uid () in
   let sv_export = Path.normalize export in
   let t =
@@ -358,6 +444,10 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl () =
       acceptor;
       enforce = Enforce.create kernel ~supervisor:sv_owner ();
       sessions = Hashtbl.create 8;
+      dedup = Hashtbl.create 8;
+      max_sessions;
+      session_idle_ns;
+      dedup_window_ns;
       boxes = Hashtbl.create 8;
       execs = 0;
       token_counter = 0;
@@ -378,3 +468,16 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl () =
        Ok t)
 
 let shutdown t = Network.unlisten t.sv_net ~addr:t.sv_addr
+
+let crash t =
+  metric t "chirp.crash";
+  Network.crash t.sv_net ~addr:t.sv_addr
+
+(* A restart loses the in-memory session table (clients re-authenticate
+   and see [ESTALE] on their old tokens) but keeps the dedup journal:
+   real servers persist it precisely so a crash between execution and
+   reply cannot turn a retry into a second execution. *)
+let restart t =
+  metric t "chirp.restart";
+  Hashtbl.reset t.sessions;
+  Network.restart t.sv_net ~addr:t.sv_addr

@@ -23,10 +23,20 @@ val create :
   export:string ->
   acceptor:Idbox_auth.Negotiate.acceptor ->
   ?root_acl:Idbox_acl.Acl.t ->
+  ?max_sessions:int ->
+  ?session_idle_ns:int64 ->
+  ?dedup_window_ns:int64 ->
   unit ->
   (t, Idbox_vfs.Errno.t) result
 (** Create the export directory (if missing), install [root_acl] on it
-    when given, and start listening on [addr]. *)
+    when given, and start listening on [addr].
+
+    Degradation knobs: at most [max_sessions] (default 64) live
+    sessions — further [Auth] requests are shed with [EAGAIN]; sessions
+    idle longer than [session_idle_ns] (default 10 min) are expired
+    (covering half-authenticated leftovers whose auth reply was lost);
+    responses to request-ID-carrying operations are remembered for
+    [dedup_window_ns] (default 60 s) so client retries are exactly-once. *)
 
 val addr : t -> string
 val export : t -> string
@@ -35,11 +45,26 @@ val owner_uid : t -> int
 val sessions : t -> (string * string) list
 (** [(principal, method)] for every authenticated session. *)
 
+val session_count : t -> int
+
 val exec_count : t -> int
 (** Remote executions served (for experiment accounting). *)
 
+val dedup_size : t -> int
+(** Entries currently held in the dedup window. *)
+
 val shutdown : t -> unit
 (** Stop listening. *)
+
+val crash : t -> unit
+(** Simulate a crash: the endpoint goes down ([ECONNREFUSED] to
+    callers) until {!restart}. *)
+
+val restart : t -> unit
+(** Come back up after {!crash}: the session table is lost (old tokens
+    answer [ESTALE], forcing clients to re-authenticate) but the dedup
+    journal survives, as on stable storage — a retry of an operation
+    executed just before the crash still replays instead of re-running. *)
 
 val handle : t -> string -> string
 (** The raw request handler (exposed for direct-dispatch tests). *)

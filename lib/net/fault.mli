@@ -1,0 +1,117 @@
+(** Deterministic fault injection for the simulated network.
+
+    Everything here is a pure function of a seed and the simulated
+    clock: the same {!plan} applied to the same sequence of calls
+    produces the same faults, byte for byte.  Probabilistic faults
+    (drops, resets, corruption) draw from a seeded splitmix64 stream;
+    scheduled faults (partitions) are clock windows.
+
+    The corruption primitives ({!flip_bytes}, {!truncate_string},
+    {!duplicate_slice}, {!mangle}) are exported so protocol fuzzers can
+    feed decoders exactly the damage the network can inflict. *)
+
+(** {1 Deterministic random stream} *)
+
+type rng
+
+val rng : int64 -> rng
+(** A splitmix64 stream seeded with the given value. *)
+
+val bits : rng -> int64
+(** The next 64 pseudo-random bits. *)
+
+val uniform : rng -> float
+(** The next draw in [[0, 1)]. *)
+
+val int_below : rng -> int -> int
+(** [int_below r n] is uniform in [[0, n)]; [0] when [n <= 0]. *)
+
+val chance : rng -> float -> bool
+(** [chance r p] is true with probability [p].  Draws nothing when
+    [p <= 0.] or [p >= 1.], so a calm profile perturbs no stream. *)
+
+(** {1 Fault profiles} *)
+
+type profile = {
+  drop : float;
+      (** Per-leg probability that a message vanishes in flight.  A
+          dropped request never reaches the handler; a dropped response
+          vanishes after the handler ran.  Either way the caller waits
+          out its timeout and sees [ETIMEDOUT]. *)
+  reset : float;
+      (** Probability the connection resets mid-exchange: the handler
+          runs, but the caller sees [ECONNRESET] instead of the
+          response. *)
+  corrupt : float;  (** Probability the response arrives with flipped bytes. *)
+  truncate : float;  (** Probability the response arrives cut short. *)
+  jitter : float;  (** Probability of added one-way latency. *)
+  max_jitter_ns : int64;  (** Upper bound on the added latency. *)
+}
+
+val calm : profile
+(** All probabilities zero: a perfect network. *)
+
+val profile :
+  ?drop:float ->
+  ?reset:float ->
+  ?corrupt:float ->
+  ?truncate:float ->
+  ?jitter:float ->
+  ?max_jitter_ns:int64 ->
+  unit ->
+  profile
+(** {!calm} with the given fields overridden. *)
+
+(** {1 Fault plans} *)
+
+type window = {
+  from_ns : int64;
+  until_ns : int64;
+  between : string * string;
+      (** Two host names (the part of an address before [':']); traffic
+          in either direction between them is cut while the simulated
+          clock is in [[from_ns, until_ns)]. *)
+}
+
+type plan = {
+  seed : int64;
+  default_profile : profile;
+  per_endpoint : (string * profile) list;
+      (** Overrides, keyed by destination address. *)
+  partitions : window list;
+}
+
+val plan :
+  ?seed:int64 ->
+  ?default_profile:profile ->
+  ?per_endpoint:(string * profile) list ->
+  ?partitions:window list ->
+  unit ->
+  plan
+(** Defaults: seed 0, calm everywhere, no partitions. *)
+
+val profile_for : plan -> string -> profile
+(** The effective profile for a destination address. *)
+
+val host_of : string -> string
+(** ["host:port"] -> ["host"] (the whole string when there is no [':']). *)
+
+val partitioned : plan -> now:int64 -> src:string -> dst:string -> bool
+(** Is traffic from [src] to [dst] cut at simulated time [now]?
+    Addresses are compared by host. *)
+
+(** {1 Corruption injectors} *)
+
+val flip_bytes : rng -> string -> string
+(** Flip 1–4 bytes at random positions (identity on [""]). *)
+
+val truncate_string : rng -> string -> string
+(** Cut the string at a random point strictly before its end. *)
+
+val duplicate_slice : rng -> string -> string
+(** Repeat a random slice in place — the classic retransmit stutter. *)
+
+val mangle : rng -> string -> string
+(** One of {!flip_bytes}, {!truncate_string}, {!duplicate_slice}, a
+    random-junk insertion, or a slice deletion, chosen by the stream:
+    the full damage model a decoder must stay total under. *)

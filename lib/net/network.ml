@@ -1,4 +1,6 @@
 module Clock = Idbox_kernel.Clock
+module Metrics = Idbox_kernel.Metrics
+module Trace = Idbox_kernel.Trace
 module Errno = Idbox_vfs.Errno
 
 type endpoint_stats = {
@@ -10,6 +12,7 @@ type endpoint_stats = {
 type endpoint = {
   handler : string -> string;
   ep_stats : endpoint_stats;
+  mutable up : bool;
 }
 
 type t = {
@@ -17,32 +20,65 @@ type t = {
   endpoints : (string, endpoint) Hashtbl.t;
   latency_ns : int64;
   ns_per_byte : float;
+  timeout_ns : int64;
+  nw_metrics : Metrics.t;
+  nw_trace : Trace.ring option;
+  mutable plan : Fault.plan option;
+  mutable rng : Fault.rng;
   mutable messages : int;
   mutable bytes : int;
 }
 
-let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.) () =
+let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.)
+    ?(timeout_us = 1_000_000.) ?metrics ?trace () =
   {
     nw_clock = clock;
     endpoints = Hashtbl.create 8;
     latency_ns = Clock.of_micros latency_us;
     (* bits/s -> ns/byte *)
     ns_per_byte = 8e3 /. bandwidth_mbps;
+    timeout_ns = Clock.of_micros timeout_us;
+    nw_metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    nw_trace = trace;
+    plan = None;
+    rng = Fault.rng 0L;
     messages = 0;
     bytes = 0;
   }
 
 let clock t = t.nw_clock
+let metrics t = t.nw_metrics
 
 let listen t ~addr handler =
   Hashtbl.replace t.endpoints addr
-    { handler; ep_stats = { calls = 0; bytes_in = 0; bytes_out = 0 } }
+    { handler; ep_stats = { calls = 0; bytes_in = 0; bytes_out = 0 }; up = true }
 
 let unlisten t ~addr = Hashtbl.remove t.endpoints addr
 
 let addresses t =
   Hashtbl.fold (fun addr _ acc -> addr :: acc) t.endpoints []
   |> List.sort String.compare
+
+let set_fault_plan t plan =
+  t.plan <- Some plan;
+  t.rng <- Fault.rng plan.Fault.seed
+
+let clear_fault_plan t = t.plan <- None
+
+let crash t ~addr =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some ep -> ep.up <- false
+  | None -> ()
+
+let restart t ~addr =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some ep -> ep.up <- true
+  | None -> ()
+
+let is_up t ~addr =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some ep -> ep.up
+  | None -> false
 
 let charge_transfer t nbytes =
   t.messages <- t.messages + 1;
@@ -51,17 +87,113 @@ let charge_transfer t nbytes =
     (Int64.add t.latency_ns
        (Int64.of_float (float_of_int nbytes *. t.ns_per_byte)))
 
-let call t ~addr payload =
-  match Hashtbl.find_opt t.endpoints addr with
-  | None -> Error Errno.ECONNREFUSED
-  | Some ep ->
-    charge_transfer t (String.length payload);
-    ep.ep_stats.calls <- ep.ep_stats.calls + 1;
-    ep.ep_stats.bytes_in <- ep.ep_stats.bytes_in + String.length payload;
-    let response = ep.handler payload in
-    charge_transfer t (String.length response);
-    ep.ep_stats.bytes_out <- ep.ep_stats.bytes_out + String.length response;
-    Ok response
+(* Count a fault both network-wide and per destination, and leave a
+   span in the trace ring so fault timelines are reconstructable. *)
+let note_fault t ~addr ~kind ~verdict ~cost_ns =
+  Metrics.incr (Metrics.counter t.nw_metrics kind);
+  Metrics.incr (Metrics.counter t.nw_metrics (kind ^ "." ^ addr));
+  match t.nw_trace with
+  | None -> ()
+  | Some ring ->
+    Trace.span ring ~time:(Clock.now t.nw_clock) ~pid:0 ~identity:addr
+      ~syscall:kind ~verdict ~cost_ns
+
+let call t ?(src = "client") ?timeout_ns ~addr payload =
+  let timeout = match timeout_ns with Some v -> v | None -> t.timeout_ns in
+  let prof =
+    match t.plan with
+    | None -> Fault.calm
+    | Some p -> Fault.profile_for p addr
+  in
+  let cut =
+    match t.plan with
+    | None -> false
+    | Some p -> Fault.partitioned p ~now:(Clock.now t.nw_clock) ~src ~dst:addr
+  in
+  if cut then begin
+    (* The request sails into the void; the caller waits out the
+       timeout. *)
+    Clock.advance t.nw_clock timeout;
+    note_fault t ~addr ~kind:"net.partition" ~verdict:"ETIMEDOUT" ~cost_ns:timeout;
+    Metrics.incr (Metrics.counter t.nw_metrics "net.timeout");
+    Metrics.incr (Metrics.counter t.nw_metrics ("net.timeout." ^ addr));
+    Error Errno.ETIMEDOUT
+  end
+  else
+    match Hashtbl.find_opt t.endpoints addr with
+    | None ->
+      note_fault t ~addr ~kind:"net.refused" ~verdict:"ECONNREFUSED" ~cost_ns:0L;
+      Error Errno.ECONNREFUSED
+    | Some ep when not ep.up ->
+      note_fault t ~addr ~kind:"net.refused" ~verdict:"ECONNREFUSED" ~cost_ns:0L;
+      Error Errno.ECONNREFUSED
+    | Some ep ->
+      if Fault.chance t.rng prof.Fault.jitter then begin
+        let extra =
+          Int64.of_int (Fault.int_below t.rng (Int64.to_int prof.Fault.max_jitter_ns))
+        in
+        Clock.advance t.nw_clock extra;
+        note_fault t ~addr ~kind:"net.jitter" ~verdict:"ok" ~cost_ns:extra
+      end;
+      if Fault.chance t.rng prof.Fault.drop then begin
+        (* Request lost in flight: the bytes left the sender, the
+           handler never sees them. *)
+        t.messages <- t.messages + 1;
+        t.bytes <- t.bytes + String.length payload;
+        Clock.advance t.nw_clock timeout;
+        note_fault t ~addr ~kind:"net.drop" ~verdict:"ETIMEDOUT" ~cost_ns:timeout;
+        Metrics.incr (Metrics.counter t.nw_metrics "net.timeout");
+        Metrics.incr (Metrics.counter t.nw_metrics ("net.timeout." ^ addr));
+        Error Errno.ETIMEDOUT
+      end
+      else begin
+        charge_transfer t (String.length payload);
+        ep.ep_stats.calls <- ep.ep_stats.calls + 1;
+        ep.ep_stats.bytes_in <- ep.ep_stats.bytes_in + String.length payload;
+        match (try Ok (ep.handler payload) with _ -> Error ()) with
+        | Error () ->
+          (* The handler blew up: contain the exception at the wire,
+             charge the aborted response leg, surface a reset. *)
+          charge_transfer t 0;
+          note_fault t ~addr ~kind:"net.reset" ~verdict:"ECONNRESET"
+            ~cost_ns:t.latency_ns;
+          Error Errno.ECONNRESET
+        | Ok response ->
+          if Fault.chance t.rng prof.Fault.reset then begin
+            charge_transfer t 0;
+            note_fault t ~addr ~kind:"net.reset" ~verdict:"ECONNRESET"
+              ~cost_ns:t.latency_ns;
+            Error Errno.ECONNRESET
+          end
+          else if Fault.chance t.rng prof.Fault.drop then begin
+            (* Response lost after the handler ran — the dangerous case
+               for non-idempotent operations. *)
+            t.messages <- t.messages + 1;
+            t.bytes <- t.bytes + String.length response;
+            Clock.advance t.nw_clock timeout;
+            note_fault t ~addr ~kind:"net.drop" ~verdict:"ETIMEDOUT"
+              ~cost_ns:timeout;
+            Metrics.incr (Metrics.counter t.nw_metrics "net.timeout");
+            Metrics.incr (Metrics.counter t.nw_metrics ("net.timeout." ^ addr));
+            Error Errno.ETIMEDOUT
+          end
+          else begin
+            let response =
+              if Fault.chance t.rng prof.Fault.truncate then begin
+                note_fault t ~addr ~kind:"net.truncate" ~verdict:"ok" ~cost_ns:0L;
+                Fault.truncate_string t.rng response
+              end
+              else if Fault.chance t.rng prof.Fault.corrupt then begin
+                note_fault t ~addr ~kind:"net.corrupt" ~verdict:"ok" ~cost_ns:0L;
+                Fault.flip_bytes t.rng response
+              end
+              else response
+            in
+            charge_transfer t (String.length response);
+            ep.ep_stats.bytes_out <- ep.ep_stats.bytes_out + String.length response;
+            Ok response
+          end
+      end
 
 let stats t ~addr =
   Option.map (fun ep -> ep.ep_stats) (Hashtbl.find_opt t.endpoints addr)

@@ -7,7 +7,17 @@
     ["host:port"] strings; handlers are host-level closures (a server's
     dispatch loop).  Wire payloads are opaque strings — protocol
     libraries do their own framing, so serialization bugs are real
-    bugs here, not type errors papered over. *)
+    bugs here, not type errors papered over.
+
+    The fabric is fault-injectable: install a {!Fault.plan} and calls
+    start losing messages, resetting mid-exchange, corrupting or
+    truncating responses, and honouring scheduled partitions — all
+    deterministically from the plan's seed and the simulated clock.
+    Endpoints can also be crashed and restarted explicitly.  Every
+    injected fault is counted in the attached metrics registry (both
+    globally, e.g. [net.drop], and per endpoint, e.g.
+    [net.drop.host:port]) and recorded as a span in the attached trace
+    ring. *)
 
 type t
 
@@ -21,27 +31,73 @@ val create :
   clock:Idbox_kernel.Clock.t ->
   ?latency_us:float ->
   ?bandwidth_mbps:float ->
+  ?timeout_us:float ->
+  ?metrics:Idbox_kernel.Metrics.t ->
+  ?trace:Idbox_kernel.Trace.ring ->
   unit ->
   t
 (** Default latency 100 µs one-way, bandwidth 100 Mbit/s — a 2005-era
-    campus LAN. *)
+    campus LAN.  [timeout_us] (default 1 s) is how long a caller waits
+    for a lost message before seeing [ETIMEDOUT]; callers can override
+    it per call.  [metrics] defaults to a private registry (pass the
+    kernel's to fold network counters into one export); [trace], when
+    given, receives one span per injected fault. *)
 
 val clock : t -> Idbox_kernel.Clock.t
 
+val metrics : t -> Idbox_kernel.Metrics.t
+(** The registry fault and error counters land in. *)
+
 val listen : t -> addr:string -> (string -> string) -> unit
 (** Register a request handler at an address (replacing any previous
-    listener). *)
+    listener).  The endpoint comes up listening. *)
 
 val unlisten : t -> addr:string -> unit
 
 val addresses : t -> string list
-(** Listening addresses, sorted. *)
+(** Listening addresses, sorted (crashed endpoints included). *)
 
-val call : t -> addr:string -> string -> (string, Idbox_vfs.Errno.t) result
+val call :
+  t ->
+  ?src:string ->
+  ?timeout_ns:int64 ->
+  addr:string ->
+  string ->
+  (string, Idbox_vfs.Errno.t) result
 (** Synchronous RPC: charges request transfer, runs the handler, charges
-    response transfer.  [ECONNREFUSED] when nobody listens. *)
+    response transfer.
+
+    [src] (default ["client"]) names the calling host for partition
+    matching.  Failure modes: [ECONNREFUSED] when nobody listens or the
+    endpoint is crashed; [ETIMEDOUT] when a message is dropped or the
+    path is partitioned (the caller's clock advances by the timeout);
+    [ECONNRESET] when the exchange resets mid-flight — including when
+    the handler itself raises: the exception is contained here, charged,
+    counted ([net.reset]), and surfaced as this wire-level error, never
+    propagated into the caller. *)
 
 val stats : t -> addr:string -> endpoint_stats option
 
 val total_messages : t -> int
 val total_bytes : t -> int
+
+(** {1 Fault injection} *)
+
+val set_fault_plan : t -> Fault.plan -> unit
+(** Install (or replace) the fault plan; reseeds the fault stream from
+    [plan.seed], so installing the same plan twice replays the same
+    faults. *)
+
+val clear_fault_plan : t -> unit
+(** Back to a perfect network. *)
+
+val crash : t -> addr:string -> unit
+(** Take a listening endpoint down: calls see [ECONNREFUSED] until
+    {!restart}.  The handler stays registered.  No-op for unknown
+    addresses. *)
+
+val restart : t -> addr:string -> unit
+(** Bring a crashed endpoint back up.  No-op for unknown addresses. *)
+
+val is_up : t -> addr:string -> bool
+(** True when the address is registered and not crashed. *)

@@ -6,6 +6,7 @@ module Clock = Idbox_kernel.Clock
 module Cost = Idbox_kernel.Cost
 module Box = Idbox.Box
 module Network = Idbox_net.Network
+module Fault = Idbox_net.Fault
 module Ca = Idbox_auth.Ca
 module Credential = Idbox_auth.Credential
 module Negotiate = Idbox_auth.Negotiate
@@ -438,6 +439,43 @@ let metrics_workload () =
          0)
        ~args:[ "metrics" ]);
   Kernel.run kernel;
+  (* A short Chirp exchange over a deliberately lossy network that
+     shares the kernel's registry, clock, and trace ring — so the stats
+     export also carries the fault-model counters (net.drop,
+     net.timeout, chirp.retry, chirp.dedup_hit, ...). *)
+  let net =
+    Network.create ~clock:(Kernel.clock kernel)
+      ~metrics:(Kernel.metrics kernel) ~trace:(Kernel.trace_ring kernel) ()
+  in
+  Network.set_fault_plan net
+    (Fault.plan ~seed:2005L ~default_profile:(Fault.profile ~drop:0.1 ()) ());
+  let ca = Ca.create ~name:"Metrics CA" in
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+  let root_acl =
+    Acl.of_entries
+      [
+        Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+          (Rights.of_string_exn "rwl");
+      ]
+  in
+  let _server =
+    ok "metrics server"
+      (Server.create ~kernel ~net ~addr:"stats.grid.edu:9094"
+         ~owner_uid:dthain.Account.uid ~export:"/home/dthain/export" ~acceptor
+         ~root_acl ())
+  in
+  let cert = Ca.issue ca (Subject.of_string_exn "/O=UnivNowhere/CN=Freddy") in
+  (match
+     Client.connect net ~addr:"stats.grid.edu:9094"
+       ~credentials:[ Credential.Gsi cert ]
+   with
+  | Error m -> failwith ("metrics client: " ^ m)
+  | Ok c ->
+    for i = 1 to 8 do
+      let path = Printf.sprintf "/f%d" i in
+      ignore (Client.put c ~path ~data:(String.make 32 'y'));
+      ignore (Client.get c path)
+    done);
   kernel
 
 let metrics ?(trace = false) () =

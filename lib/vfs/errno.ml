@@ -21,6 +21,11 @@ type t =
   | ECONNREFUSED
   | EAGAIN
   | EPIPE
+  | ETIMEDOUT
+  | ECONNRESET
+  | EHOSTUNREACH
+  | ESTALE
+  | EIO
 
 let to_string = function
   | EPERM -> "EPERM"
@@ -45,11 +50,17 @@ let to_string = function
   | ECONNREFUSED -> "ECONNREFUSED"
   | EAGAIN -> "EAGAIN"
   | EPIPE -> "EPIPE"
+  | ETIMEDOUT -> "ETIMEDOUT"
+  | ECONNRESET -> "ECONNRESET"
+  | EHOSTUNREACH -> "EHOSTUNREACH"
+  | ESTALE -> "ESTALE"
+  | EIO -> "EIO"
 
 let all =
   [ EPERM; ENOENT; ESRCH; EINTR; EBADF; ECHILD; EACCES; EEXIST; EXDEV; ENOTDIR;
     EISDIR; EINVAL; EMFILE; ENOSPC; ESPIPE; ENAMETOOLONG; ENOTEMPTY; ELOOP;
-    ENOSYS; ECONNREFUSED; EAGAIN; EPIPE ]
+    ENOSYS; ECONNREFUSED; EAGAIN; EPIPE; ETIMEDOUT; ECONNRESET; EHOSTUNREACH;
+    ESTALE; EIO ]
 
 let of_string s = List.find_opt (fun e -> String.equal (to_string e) s) all
 
@@ -76,6 +87,11 @@ let message = function
   | ECONNREFUSED -> "Connection refused"
   | EAGAIN -> "Resource temporarily unavailable"
   | EPIPE -> "Broken pipe"
+  | ETIMEDOUT -> "Connection timed out"
+  | ECONNRESET -> "Connection reset by peer"
+  | EHOSTUNREACH -> "No route to host"
+  | ESTALE -> "Stale file handle"
+  | EIO -> "Input/output error"
 
 let equal (a : t) b = a = b
 

@@ -25,6 +25,11 @@ type t =
   | ECONNREFUSED  (** Connection refused (simulated network). *)
   | EAGAIN  (** Resource temporarily unavailable. *)
   | EPIPE  (** Broken pipe: write with no readers left. *)
+  | ETIMEDOUT  (** Connection timed out (lost message or partition). *)
+  | ECONNRESET  (** Connection reset by peer (mid-exchange failure). *)
+  | EHOSTUNREACH  (** No route to host. *)
+  | ESTALE  (** Stale handle: the session or object is gone. *)
+  | EIO  (** Input/output error. *)
 
 val to_string : t -> string
 (** The conventional upper-case name, e.g. ["ENOENT"]. *)

@@ -20,6 +20,7 @@ let () =
       ("security", Test_security.suite);
       ("auth", Test_auth.suite);
       ("net", Test_net.suite);
+      ("chaos", Test_chaos.suite);
       ("protocol", Test_protocol.suite);
       ("chirp", Test_chirp.suite);
       ("enforce", Test_enforce.suite);

@@ -1,0 +1,416 @@
+(* Chaos suite: the whole Chirp stack under a seeded fault plan.  The
+   faults are deterministic (splitmix64 stream + simulated clock), so
+   every test here replays exactly — including the two-run
+   byte-identical determinism check at the bottom. *)
+
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Libc = Idbox_kernel.Libc
+module Program = Idbox_kernel.Program
+module Clock = Idbox_kernel.Clock
+module Metrics = Idbox_kernel.Metrics
+module Trace = Idbox_kernel.Trace
+module Network = Idbox_net.Network
+module Fault = Idbox_net.Fault
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Wire = Idbox_chirp.Wire
+module Protocol = Idbox_chirp.Protocol
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Catalog = Idbox_chirp.Catalog
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+module Subject = Idbox_identity.Subject
+module Errno = Idbox_vfs.Errno
+
+type world = {
+  net : Network.t;
+  server : Server.t;
+  ca : Ca.t;
+  kernel : Kernel.t;
+  clock : Clock.t;
+}
+
+let server_addr = "alpha.grid.edu:9094"
+
+(* Like the chirp suite's world, but the network shares the kernel's
+   metrics registry and trace ring so fault counters and spans land in
+   one deterministic export. *)
+let make_world ?max_sessions ?session_idle_ns () =
+  let clock = Clock.create () in
+  let kernel = Kernel.create ~clock () in
+  let net =
+    Network.create ~clock ~metrics:(Kernel.metrics kernel)
+      ~trace:(Kernel.trace_ring kernel) ()
+  in
+  let owner =
+    match Account.add (Kernel.accounts kernel) "chirpuser" with
+    | Ok e -> e
+    | Error m -> Alcotest.fail m
+  in
+  Kernel.refresh_passwd kernel;
+  let ca = Ca.create ~name:"UnivNowhere CA" in
+  let root_acl =
+    Acl.of_entries
+      [
+        Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+          ~reserve:(Rights.of_string_exn "rwlaxd")
+          (Rights.of_string_exn "rl");
+        Entry.make ~pattern:"hostname:*.nowhere.edu" (Rights.of_string_exn "rl");
+      ]
+  in
+  let acceptor =
+    Negotiate.acceptor ~trusted_cas:[ ca ]
+      ~host_ok:(fun h ->
+        Idbox_identity.Wildcard.literal_matches "*.nowhere.edu" h)
+      ()
+  in
+  let server =
+    match
+      Server.create ~kernel ~net ~addr:server_addr ~owner_uid:owner.Account.uid
+        ~export:"/tmp/export" ~acceptor ~root_acl ?max_sessions
+        ?session_idle_ns ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  { net; server; ca; kernel; clock }
+
+(* A policy generous enough to ride out a 10% drop rate; still bounded. *)
+let chaos_policy =
+  { Client.default_policy with max_attempts = 8; retry_budget = 500 }
+
+let connect_fred ?(name = "Fred") w =
+  let cert = Ca.issue w.ca (Subject.of_string_exn ("/O=UnivNowhere/CN=" ^ name)) in
+  match
+    Client.connect ~policy:chaos_policy w.net ~addr:server_addr
+      ~credentials:[ Credential.Gsi cert ]
+  with
+  | Ok c -> c
+  | Error m -> Alcotest.fail m
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+
+let counter w name = Metrics.counter_value_of (Kernel.metrics w.kernel) name
+
+(* --- the acceptance scenario ----------------------------------------- *)
+
+(* 10% drops everywhere plus a mid-run partition: every workload step
+   still completes, and the retry layer is demonstrably doing work. *)
+let workload_completes_under_drops () =
+  Kernel.with_fresh_programs (fun () ->
+      let w = make_world () in
+      Program.register "sim" (fun _ ->
+          match Libc.write_file "out.dat" ~contents:("by " ^ Libc.get_user_name ()) with
+          | Ok () -> 0
+          | Error _ -> 1);
+      Network.set_fault_plan w.net
+        (Fault.plan ~seed:2005L
+           ~default_profile:(Fault.profile ~drop:0.1 ())
+           ~partitions:
+             [ { Fault.from_ns = 40_000_000_000L; until_ns = 44_000_000_000L;
+                 between = ("client", "alpha.grid.edu") } ]
+           ());
+      let c = connect_fred w in
+      ok "mkdir" (Client.mkdir c "/work");
+      ok "put exe" (Client.put c ~path:"/work/sim.exe" ~data:(Program.marker "sim"));
+      for i = 1 to 12 do
+        let path = Printf.sprintf "/work/d%d" i in
+        let data = Printf.sprintf "payload-%d" i in
+        ok "put" (Client.put c ~path ~data);
+        Alcotest.(check string) path data (ok "get" (Client.get c path))
+      done;
+      Alcotest.(check int) "exec exit" 0
+        (ok "exec" (Client.exec c ~path:"/work/sim.exe" ~args:[ "sim.exe" ] ()));
+      Alcotest.(check string) "boxed output" "by globus:/O=UnivNowhere/CN=Fred"
+        (ok "get out" (Client.get c "/work/out.dat"));
+      (* Step into the partition window: the next put has to wait the
+         partition out, one timed-out attempt at a time, then lands. *)
+      let into_window = Int64.sub 40_000_000_000L (Clock.now w.clock) in
+      if into_window > 0L then Clock.advance w.clock into_window;
+      ok "put through partition" (Client.put c ~path:"/work/late" ~data:"late");
+      Alcotest.(check string) "late read" "late" (ok "get late" (Client.get c "/work/late"));
+      (* The partition window really was crossed... *)
+      Alcotest.(check bool) "partition hit" true (counter w "net.partition" > 0);
+      (* ...and drops really happened, absorbed by retries. *)
+      Alcotest.(check bool) "drops injected" true (counter w "net.drop" > 0);
+      Alcotest.(check bool) "retries spent" true (Client.retries c > 0);
+      (* Security invariant survives the chaos: the ACL still denies. *)
+      (match Client.setacl c ~path:"/" ~entry:"globus:/O=Evil/* rwlaxd" with
+       | Error Errno.EACCES -> ()
+       | Ok () -> Alcotest.fail "root ACL writable under faults"
+       | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e)))
+
+(* Retried non-idempotent operations execute exactly once: every exec
+   call lands one execution, however many wire attempts it took. *)
+let exec_exactly_once_under_loss () =
+  Kernel.with_fresh_programs (fun () ->
+      let w = make_world () in
+      let runs = ref 0 in
+      Program.register "bump" (fun _ -> incr runs; 0);
+      Network.set_fault_plan w.net
+        (Fault.plan ~seed:7L ~default_profile:(Fault.profile ~drop:0.25 ()) ());
+      let c = connect_fred w in
+      ok "mkdir" (Client.mkdir c "/work");
+      ok "put" (Client.put c ~path:"/work/bump.exe" ~data:(Program.marker "bump"));
+      for _ = 1 to 5 do
+        Alcotest.(check int) "exit" 0
+          (ok "exec" (Client.exec c ~path:"/work/bump.exe" ~args:[ "bump.exe" ] ()))
+      done;
+      Alcotest.(check int) "server-side execs" 5 (Server.exec_count w.server);
+      Alcotest.(check int) "program runs" 5 !runs;
+      Alcotest.(check bool) "retries happened" true (Client.retries c > 0))
+
+(* Direct-dispatch dedup check: the same request ID twice returns the
+   stored response without a second execution — including across a
+   server restart (the journal is simulated stable storage). *)
+let dedup_replays_same_request_id () =
+  Kernel.with_fresh_programs (fun () ->
+      let w = make_world () in
+      let runs = ref 0 in
+      Program.register "bump" (fun _ -> incr runs; 0);
+      let c = connect_fred w in
+      ok "mkdir" (Client.mkdir c "/work");
+      ok "put" (Client.put c ~path:"/work/bump.exe" ~data:(Program.marker "bump"));
+      (* Authenticate at the wire level to forge our own retry. *)
+      let cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+      let auth =
+        Server.handle w.server
+          (Protocol.encode_request (Protocol.Auth [ Credential.Gsi cert ]))
+      in
+      let token =
+        match Protocol.decode_response auth with
+        | Ok (Protocol.R_auth { token; _ }) -> token
+        | _ -> Alcotest.fail "auth failed"
+      in
+      let req =
+        Protocol.encode_request
+          (Protocol.Op
+             { token; req_id = "fred#42";
+               op = Protocol.Exec
+                      { path = "/work/bump.exe"; args = [ "bump.exe" ];
+                        cwd = "/work" } })
+      in
+      let r1 = Server.handle w.server req in
+      (* Same logical request again: replayed from the journal. *)
+      let r2 = Server.handle w.server req in
+      Alcotest.(check string) "replayed byte-identical" r1 r2;
+      (* Across a restart the session dies but the journal survives: a
+         re-authenticated retry of the same req_id still must not
+         re-execute. *)
+      Server.crash w.server;
+      Server.restart w.server;
+      let auth2 =
+        Server.handle w.server
+          (Protocol.encode_request (Protocol.Auth [ Credential.Gsi cert ]))
+      in
+      let token2 =
+        match Protocol.decode_response auth2 with
+        | Ok (Protocol.R_auth { token; _ }) -> token
+        | _ -> Alcotest.fail "reauth failed"
+      in
+      let req2 =
+        Protocol.encode_request
+          (Protocol.Op
+             { token = token2; req_id = "fred#42";
+               op = Protocol.Exec
+                      { path = "/work/bump.exe"; args = [ "bump.exe" ];
+                        cwd = "/work" } })
+      in
+      let r3 = Server.handle w.server req2 in
+      Alcotest.(check string) "replayed across restart" r1 r3;
+      Alcotest.(check int) "ran once" 1 !runs;
+      Alcotest.(check int) "dedup hits counted" 2 (counter w "chirp.dedup_hit"))
+
+(* A server restart loses sessions; the client re-authenticates behind
+   the caller's back and the principal provably cannot change. *)
+let restart_reauth_keeps_identity () =
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/mine");
+  ok "put" (Client.put c ~path:"/mine/f" ~data:"before");
+  let principal_before = Client.principal c in
+  Server.crash w.server;
+  Server.restart w.server;
+  Alcotest.(check string) "read after restart" "before"
+    (ok "get" (Client.get c "/mine/f"));
+  Alcotest.(check string) "same principal" principal_before (Client.principal c);
+  Alcotest.(check bool) "reauth happened" true (counter w "chirp.reauth" > 0);
+  Alcotest.(check int) "no identity drift" 0 (counter w "chirp.reauth.mismatch")
+
+(* Graceful degradation: the session table sheds load at the cap, and
+   idle sessions (e.g. whose owners timed out mid-handshake) expire. *)
+let session_cap_sheds_then_recovers () =
+  let w = make_world ~max_sessions:2 ~session_idle_ns:5_000_000_000L () in
+  let _c1 = connect_fred ~name:"A" w in
+  let _c2 = connect_fred ~name:"B" w in
+  Alcotest.(check int) "table full" 2 (Server.session_count w.server);
+  let cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=C") in
+  (match
+     Client.connect w.net ~addr:server_addr ~credentials:[ Credential.Gsi cert ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "third session admitted over the cap");
+  Alcotest.(check bool) "shed counted" true (counter w "chirp.session.reject" > 0);
+  (* Both sessions go idle past the expiry window; a newcomer gets in. *)
+  Clock.advance w.clock 6_000_000_000L;
+  (match
+     Client.connect w.net ~addr:server_addr ~credentials:[ Credential.Gsi cert ]
+   with
+  | Ok c -> Alcotest.(check string) "principal" "globus:/O=UnivNowhere/CN=C" (Client.principal c)
+  | Error m -> Alcotest.failf "post-expiry connect: %s" m);
+  Alcotest.(check bool) "expiry counted" true (counter w "chirp.session.expired" > 0)
+
+(* Catalog liveness: a partition makes a server's entry go stale and
+   vanish from discovery; the first heartbeat after the heal brings it
+   back. *)
+let catalog_eviction_and_heartbeat_recovery () =
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let catalog = Catalog.create ~staleness_ns:5_000_000_000L net ~addr:"cat.grid.edu:9097" in
+  let hb =
+    Catalog.heartbeat ~src:"alpha.grid.edu" ~interval_ns:2_000_000_000L net
+      ~catalog:"cat.grid.edu:9097" ~name:"alpha" ~server_addr:server_addr
+      ~owner:"chirpuser"
+  in
+  Alcotest.(check int) "registered" 1 (List.length (Catalog.entries catalog));
+  Network.set_fault_plan net
+    (Fault.plan
+       ~partitions:
+         [ { Fault.from_ns = 1_000_000_000L; until_ns = 30_000_000_000L;
+             between = ("alpha.grid.edu", "cat.grid.edu") } ]
+       ());
+  (* Heartbeats due during the partition are lost. *)
+  Clock.advance clock 2_000_000_000L;
+  Alcotest.(check bool) "tick fails inside partition" false (Catalog.tick hb);
+  Alcotest.(check bool) "miss recorded" true (Catalog.heartbeats_missed hb > 0);
+  (* Staleness passes: the catalog stops advertising the server. *)
+  Clock.advance clock 4_000_000_000L;
+  Alcotest.(check int) "evicted" 0 (List.length (Catalog.entries catalog));
+  (* Partition heals; the next tick re-registers immediately. *)
+  Clock.advance clock 25_000_000_000L;
+  Alcotest.(check bool) "tick succeeds after heal" true (Catalog.tick hb);
+  match Catalog.entries catalog with
+  | [ e ] -> Alcotest.(check string) "same name" "alpha" e.Catalog.name
+  | l -> Alcotest.failf "expected 1 entry after heal, got %d" (List.length l)
+
+(* The acceptance bar for determinism: two runs of the same seeded
+   chaotic workload produce byte-identical traces and metrics. *)
+let deterministic_chaos_run () =
+  let run () =
+    Kernel.with_fresh_programs (fun () ->
+        let w = make_world () in
+        Program.register "sim" (fun _ ->
+            match Libc.write_file "out.dat" ~contents:"det" with
+            | Ok () -> 0
+            | Error _ -> 1);
+        Network.set_fault_plan w.net
+          (Fault.plan ~seed:4242L
+             ~default_profile:
+               (Fault.profile ~drop:0.1 ~reset:0.02 ~corrupt:0.02
+                  ~truncate:0.02 ~jitter:0.1 ())
+             ());
+        let c = connect_fred w in
+        ok "mkdir" (Client.mkdir c "/work");
+        ok "put" (Client.put c ~path:"/work/sim.exe" ~data:(Program.marker "sim"));
+        for i = 1 to 8 do
+          let path = Printf.sprintf "/work/f%d" i in
+          ok "put" (Client.put c ~path ~data:(String.make 48 'z'));
+          ignore (Client.get c path)
+        done;
+        ignore (Client.exec c ~path:"/work/sim.exe" ~args:[ "sim.exe" ] ());
+        ( Trace.to_json (Kernel.trace_ring w.kernel),
+          Metrics.to_json (Kernel.metrics w.kernel),
+          Clock.now w.clock ))
+  in
+  let t1, m1, c1 = run () in
+  let t2, m2, c2 = run () in
+  Alcotest.(check string) "trace byte-identical" t1 t2;
+  Alcotest.(check string) "metrics byte-identical" m1 m2;
+  Alcotest.(check int64) "clock identical" c1 c2
+
+(* Satellite: decoders stay total under exactly the damage the network
+   can inflict.  No exception, and a damaged checksummed envelope is
+   never accepted as a different message. *)
+let decoders_total_under_mangling () =
+  let rng = Fault.rng 99L in
+  let victims =
+    [
+      Wire.encode [ "register"; "alpha"; server_addr; "chirpuser" ];
+      Protocol.encode_request
+        (Protocol.Op
+           { token = "tok"; req_id = "tok#1";
+             op = Protocol.Put { path = "/work/f"; data = String.make 64 'q' } });
+      Protocol.encode_response (Protocol.R_data (String.make 128 'd'));
+      Protocol.encode_response Protocol.R_ok;
+    ]
+  in
+  for _ = 1 to 400 do
+    List.iter
+      (fun original ->
+        let damaged = Fault.mangle rng original in
+        (* Totality: decoding damage may fail, never raise. *)
+        (match Wire.decode damaged with Ok _ | Error _ -> ());
+        (match Protocol.decode_request damaged with Ok _ | Error _ -> ());
+        match Protocol.decode_response damaged with
+        | Error _ -> ()
+        | Ok _ ->
+          (* The envelope checksum lets damage through only if the
+             mangling happened to be the identity. *)
+          if not (String.equal damaged original) then
+            Alcotest.failf "damaged envelope accepted (%d bytes)"
+              (String.length damaged))
+      victims
+  done
+
+(* Under heavy corruption a read-only principal never slips a write
+   through: every put fails, with EACCES or a transport error, never
+   success. *)
+let acl_holds_under_corruption () =
+  let w = make_world () in
+  Network.set_fault_plan w.net
+    (Fault.plan ~seed:13L
+       ~default_profile:(Fault.profile ~drop:0.1 ~corrupt:0.15 ~truncate:0.1 ())
+       ());
+  let laptop =
+    match
+      Client.connect ~policy:chaos_policy w.net ~addr:server_addr
+        ~credentials:[ Credential.Host "laptop.cs.nowhere.edu" ]
+    with
+    | Ok c -> c
+    | Error m -> Alcotest.fail m
+  in
+  for i = 1 to 20 do
+    match Client.put laptop ~path:(Printf.sprintf "/w%d" i) ~data:"x" with
+    | Ok () -> Alcotest.fail "read-only principal wrote under chaos"
+    | Error _ -> ()
+  done;
+  (* And reads still eventually succeed despite the damage. *)
+  ignore (ok "readdir" (Client.readdir laptop "/"))
+
+let suite =
+  [
+    Alcotest.test_case "workload completes at 10% drop + partition" `Quick
+      workload_completes_under_drops;
+    Alcotest.test_case "exec exactly-once under loss" `Quick
+      exec_exactly_once_under_loss;
+    Alcotest.test_case "dedup replays across restart" `Quick
+      dedup_replays_same_request_id;
+    Alcotest.test_case "restart reauth keeps identity" `Quick
+      restart_reauth_keeps_identity;
+    Alcotest.test_case "session cap sheds then recovers" `Quick
+      session_cap_sheds_then_recovers;
+    Alcotest.test_case "catalog eviction + heartbeat recovery" `Quick
+      catalog_eviction_and_heartbeat_recovery;
+    Alcotest.test_case "two seeded runs byte-identical" `Quick
+      deterministic_chaos_run;
+    Alcotest.test_case "decoders total under mangling" `Quick
+      decoders_total_under_mangling;
+    Alcotest.test_case "acl holds under corruption" `Quick
+      acl_holds_under_corruption;
+  ]

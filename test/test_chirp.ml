@@ -178,13 +178,13 @@ let bogus_token_rejected () =
   let payload =
     Idbox_chirp.Protocol.encode_request
       (Idbox_chirp.Protocol.Op
-         { token = "forged"; op = Idbox_chirp.Protocol.Whoami })
+         { token = "forged"; req_id = ""; op = Idbox_chirp.Protocol.Whoami })
   in
   match Network.call w.net ~addr:"alpha.grid.edu:9094" payload with
   | Error e -> Alcotest.fail (Errno.to_string e)
   | Ok response ->
     (match Idbox_chirp.Protocol.decode_response response with
-     | Ok (Idbox_chirp.Protocol.R_error (Errno.EPERM, _)) -> ()
+     | Ok (Idbox_chirp.Protocol.R_error (Errno.ESTALE, _)) -> ()
      | Ok _ -> Alcotest.fail "forged token worked"
      | Error m -> Alcotest.fail m)
 

@@ -1,5 +1,7 @@
 module Network = Idbox_net.Network
+module Fault = Idbox_net.Fault
 module Clock = Idbox_kernel.Clock
+module Metrics = Idbox_kernel.Metrics
 module Errno = Idbox_vfs.Errno
 
 let fresh ?latency_us ?bandwidth_mbps () =
@@ -68,6 +70,88 @@ let addresses_sorted () =
   Network.listen net ~addr:"a:1" echo;
   Alcotest.(check (list string)) "sorted" [ "a:1"; "b:2" ] (Network.addresses net)
 
+(* A handler that raises must not take the caller down with it: the
+   network contains the exception, charges the exchange, and reports a
+   wire-level reset. *)
+let raising_handler_becomes_reset () =
+  let clock, net = fresh ~latency_us:100. ~bandwidth_mbps:100. () in
+  Network.listen net ~addr:"a:1" (fun _ -> failwith "handler bug");
+  let t0 = Clock.now clock in
+  (match Network.call net ~addr:"a:1" "boom" with
+   | Error Errno.ECONNRESET -> ()
+   | Ok _ -> Alcotest.fail "raising handler returned a response"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  Alcotest.(check bool) "time charged" true (Clock.now clock > t0);
+  Alcotest.(check int) "net.reset counted" 1
+    (Metrics.counter_value_of (Network.metrics net) "net.reset");
+  (* The fabric survives: the next call to a healthy endpoint works. *)
+  Network.listen net ~addr:"b:1" echo;
+  match Network.call net ~addr:"b:1" "hi" with
+  | Ok "echo:hi" -> ()
+  | _ -> Alcotest.fail "fabric broken after handler crash"
+
+let lossy_run net =
+  Network.listen net ~addr:"a:1" echo;
+  List.init 60 (fun i ->
+      match Network.call net ~addr:"a:1" (string_of_int i) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let drops_deterministic_from_seed () =
+  let mk () =
+    let _, net = fresh () in
+    Network.set_fault_plan net
+      (Fault.plan ~seed:42L ~default_profile:(Fault.profile ~drop:0.3 ()) ());
+    net
+  in
+  let net1 = mk () and net2 = mk () in
+  let r1 = lossy_run net1 and r2 = lossy_run net2 in
+  Alcotest.(check (list bool)) "same seed, same fate" r1 r2;
+  Alcotest.(check bool) "some drops" true (List.mem false r1);
+  Alcotest.(check bool) "some successes" true (List.mem true r1);
+  Alcotest.(check int) "drops counted" (List.length (List.filter not r1))
+    (Metrics.counter_value_of (Network.metrics net1) "net.drop");
+  (* The per-endpoint counter mirrors the global one. *)
+  Alcotest.(check int) "per-endpoint drops"
+    (Metrics.counter_value_of (Network.metrics net1) "net.drop")
+    (Metrics.counter_value_of (Network.metrics net1) "net.drop.a:1")
+
+let crash_then_restart () =
+  let _, net = fresh () in
+  Network.listen net ~addr:"a:1" echo;
+  Network.crash net ~addr:"a:1";
+  Alcotest.(check bool) "down" false (Network.is_up net ~addr:"a:1");
+  (match Network.call net ~addr:"a:1" "x" with
+   | Error Errno.ECONNREFUSED -> ()
+   | _ -> Alcotest.fail "crashed endpoint answered");
+  Network.restart net ~addr:"a:1";
+  Alcotest.(check bool) "up" true (Network.is_up net ~addr:"a:1");
+  match Network.call net ~addr:"a:1" "x" with
+  | Ok "echo:x" -> ()
+  | _ -> Alcotest.fail "restarted endpoint dead"
+
+let partition_cuts_then_heals () =
+  let clock, net = fresh () in
+  Network.listen net ~addr:"a:1" echo;
+  Network.set_fault_plan net
+    (Fault.plan
+       ~partitions:
+         [ { Fault.from_ns = 0L; until_ns = 10_000_000_000L;
+             between = ("client", "a") } ]
+       ());
+  (match Network.call net ~addr:"a:1" "x" with
+   | Error Errno.ETIMEDOUT -> ()
+   | _ -> Alcotest.fail "partitioned call went through");
+  (* An unrelated destination is reachable during the partition. *)
+  Network.listen net ~addr:"other:1" echo;
+  (match Network.call net ~addr:"other:1" "x" with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "bystander cut: %s" (Errno.to_string e));
+  Clock.advance clock 10_000_000_000L;
+  match Network.call net ~addr:"a:1" "x" with
+  | Ok "echo:x" -> ()
+  | _ -> Alcotest.fail "healed partition still cut"
+
 let suite =
   [
     Alcotest.test_case "call roundtrip" `Quick call_roundtrip;
@@ -77,4 +161,8 @@ let suite =
     Alcotest.test_case "bandwidth per byte" `Quick bandwidth_charged_per_byte;
     Alcotest.test_case "stats accumulate" `Quick stats_accumulate;
     Alcotest.test_case "addresses sorted" `Quick addresses_sorted;
+    Alcotest.test_case "raising handler resets" `Quick raising_handler_becomes_reset;
+    Alcotest.test_case "drops deterministic" `Quick drops_deterministic_from_seed;
+    Alcotest.test_case "crash and restart" `Quick crash_then_restart;
+    Alcotest.test_case "partition heals" `Quick partition_cuts_then_heals;
   ]

@@ -65,10 +65,12 @@ let ops =
 let request_roundtrip () =
   List.iter
     (fun op ->
-      let req = Protocol.Op { token = "tok123"; op } in
+      let req_id = if Protocol.idempotent op then "" else "tok123#1" in
+      let req = Protocol.Op { token = "tok123"; req_id; op } in
       match Protocol.decode_request (Protocol.encode_request req) with
-      | Ok (Protocol.Op { token; op = op' }) ->
+      | Ok (Protocol.Op { token; req_id = rid; op = op' }) ->
         Alcotest.(check string) "token" "tok123" token;
+        Alcotest.(check string) "req_id" req_id rid;
         Alcotest.(check bool) (Protocol.operation_name op) true (op = op')
       | Ok (Protocol.Auth _) -> Alcotest.fail "became auth"
       | Error m -> Alcotest.fail m)
