@@ -6,6 +6,8 @@
      dune exec bench/main.exe fig5b      # one figure
      dune exec bench/main.exe -- --full  # full-size Fig. 5(b) runs
      dune exec bench/main.exe bechamel   # only the Bechamel suite
+     dune exec bench/main.exe cluster    # cluster scaling block only
+     dune exec bench/main.exe -- --json  # deterministic JSON report
 
    Simulated results are deterministic; Bechamel times the real cost of
    regenerating each artifact on the host. *)
@@ -110,7 +112,15 @@ let bechamel_suite () =
    0%, 1% and 10% drop rates, reporting simulated per-call latency
    percentiles and the retries spent.  Deterministic (seeded faults,
    simulated clock), so these figures are exact, not sampled. *)
-let resilience_block () =
+type resilience_row = {
+  rr_drop : float;
+  rr_p50_ms : float;
+  rr_p95_ms : float;
+  rr_retries : int;
+  rr_drops : int;
+}
+
+let resilience_rows () =
   let module Kernel = Idbox_kernel.Kernel in
   let module Account = Idbox_kernel.Account in
   let module Clock = Idbox_kernel.Clock in
@@ -123,10 +133,6 @@ let resilience_block () =
   let module Server = Idbox_chirp.Server in
   let module Client = Idbox_chirp.Client in
   let module Subject = Idbox_identity.Subject in
-  print_newline ();
-  print_endline (String.make 78 '=');
-  print_endline "Resilience - Chirp retry overhead vs. network drop rate";
-  print_endline (String.make 78 '=');
   let calls = 400 in
   let run drop =
     let clock = Clock.create () in
@@ -183,13 +189,160 @@ let resilience_block () =
       latencies.(min (calls - 1) (int_of_float (float_of_int calls *. p)))
     in
     let drops = Metrics.counter_value_of (Network.metrics net) "net.drop" in
-    Printf.printf "%6.0f%% %14.3f %14.3f %9d %9d\n" (drop *. 100.)
-      (pct 0.50 /. 1e6) (pct 0.95 /. 1e6) (Client.retries c) drops
+    {
+      rr_drop = drop;
+      rr_p50_ms = pct 0.50 /. 1e6;
+      rr_p95_ms = pct 0.95 /. 1e6;
+      rr_retries = Client.retries c;
+      rr_drops = drops;
+    }
   in
+  List.map run [ 0.0; 0.01; 0.10 ]
+
+let resilience_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline "Resilience - Chirp retry overhead vs. network drop rate";
+  print_endline (String.make 78 '=');
   Printf.printf "%7s %14s %14s %9s %9s\n" "drop" "p50 (ms)" "p95 (ms)"
     "retries" "drops";
   print_endline (String.make 58 '-');
-  List.iter run [ 0.0; 0.01; 0.10 ]
+  List.iter
+    (fun r ->
+      Printf.printf "%6.0f%% %14.3f %14.3f %9d %9d\n" (r.rr_drop *. 100.)
+        r.rr_p50_ms r.rr_p95_ms r.rr_retries r.rr_drops)
+    (resilience_rows ())
+
+(* Cluster scaling: the same read-heavy workload against 1, 3 and 9
+   sharded+replicated Chirp servers behind the identity-aware router,
+   calm and at 10% drop.  Aggregate throughput is a capacity figure:
+   total operations divided by the busiest node's service time (the
+   makespan bottleneck) — sharding divides the bottleneck, so N=3 must
+   clear 2x the single-server figure (the acceptance criterion).
+   Deterministic: simulated clock, seeded faults, MD5 ring. *)
+type cluster_row = {
+  cr_nodes : int;
+  cr_drop : float;
+  cr_ops : int;
+  cr_p50_ms : float;
+  cr_p95_ms : float;
+  cr_tput_kops : float;  (* kops per second of bottleneck busy time *)
+  cr_speedup : float;  (* vs the 1-node run at the same drop rate *)
+  cr_failovers : int;
+  cr_drops : int;
+}
+
+let cluster_run ~nodes ~drop =
+  let module Clock = Idbox_kernel.Clock in
+  let module Metrics = Idbox_kernel.Metrics in
+  let module Network = Idbox_net.Network in
+  let module Fault = Idbox_net.Fault in
+  let module Client = Idbox_chirp.Client in
+  let module World = Idbox_cluster.World in
+  let module Router = Idbox_cluster.Router in
+  let okv ctx = function
+    | Ok v -> v
+    | Error e -> failwith (ctx ^ ": " ^ Idbox_vfs.Errno.message e)
+  in
+  let w = World.create () in
+  let hosts = List.init nodes (fun i -> Printf.sprintf "n%d.grid.edu" (i + 1)) in
+  List.iter
+    (fun h ->
+      match World.add_node w ~host:h with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    hosts;
+  World.settle w;
+  let policy =
+    { Client.default_policy with max_attempts = 12; retry_budget = 1_000_000 }
+  in
+  let r =
+    match World.connect ~policy w ~credentials:[ World.issue w "Bench" ] with
+    | Ok r -> r
+    | Error m -> failwith m
+  in
+  (* Populate on a calm network; measure under fire. *)
+  let dirs = List.init 24 (fun i -> Printf.sprintf "/d%02d" i) in
+  List.iter
+    (fun d ->
+      okv "mkdir" (Router.mkdir r d);
+      okv "put" (Router.put r ~path:(d ^ "/blob") ~data:(String.make 1024 'x')))
+    dirs;
+  let net = World.net w in
+  let clock = World.clock w in
+  let busy_of h =
+    Int64.add
+      (Network.busy_ns net ~addr:(h ^ ":9094"))
+      (Network.busy_ns net ~addr:(h ^ ":9094#repl"))
+  in
+  let base = List.map busy_of hosts in
+  let drops0 = Metrics.counter_value_of (Network.metrics net) "net.drop" in
+  Network.set_fault_plan net
+    (Fault.plan ~seed:7L ~default_profile:(Fault.profile ~drop ()) ());
+  let ops = 480 in
+  let latencies =
+    Array.init ops (fun i ->
+        let d = List.nth dirs (i mod 24) in
+        let t0 = Clock.now clock in
+        (if i mod 10 = 5 then
+           okv "put" (Router.put r ~path:(d ^ "/blob")
+                        ~data:(Printf.sprintf "%04d%s" i (String.make 1020 'y')))
+         else ignore (okv "get" (Router.get r (d ^ "/blob"))));
+        Int64.to_float (Int64.sub (Clock.now clock) t0))
+  in
+  Array.sort compare latencies;
+  let pct p =
+    latencies.(min (ops - 1) (int_of_float (float_of_int ops *. p)))
+  in
+  let bottleneck =
+    List.fold_left2
+      (fun acc h b -> max acc (Int64.to_float (Int64.sub (busy_of h) b)))
+      0. hosts base
+  in
+  let drops =
+    Metrics.counter_value_of (Network.metrics net) "net.drop" - drops0
+  in
+  {
+    cr_nodes = nodes;
+    cr_drop = drop;
+    cr_ops = ops;
+    cr_p50_ms = pct 0.50 /. 1e6;
+    cr_p95_ms = pct 0.95 /. 1e6;
+    cr_tput_kops = float_of_int ops /. (bottleneck /. 1e9) /. 1e3;
+    cr_speedup = 1.0;
+    cr_failovers = Router.failovers r;
+    cr_drops = drops;
+  }
+
+let cluster_rows () =
+  let raw =
+    List.concat_map
+      (fun drop -> List.map (fun n -> cluster_run ~nodes:n ~drop) [ 1; 3; 9 ])
+      [ 0.0; 0.10 ]
+  in
+  List.map
+    (fun row ->
+      let base =
+        List.find (fun r -> r.cr_nodes = 1 && r.cr_drop = row.cr_drop) raw
+      in
+      { row with cr_speedup = row.cr_tput_kops /. base.cr_tput_kops })
+    raw
+
+let cluster_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline
+    "Cluster - aggregate throughput vs. shard count (read-heavy, R=2)";
+  print_endline (String.make 78 '=');
+  Printf.printf "%5s %6s %10s %10s %12s %8s %9s %7s\n" "nodes" "drop"
+    "p50 (ms)" "p95 (ms)" "kops/s" "speedup" "failover" "drops";
+  print_endline (String.make 74 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%5d %5.0f%% %10.3f %10.3f %12.1f %7.2fx %9d %7d\n"
+        r.cr_nodes (r.cr_drop *. 100.) r.cr_p50_ms r.cr_p95_ms r.cr_tput_kops
+        r.cr_speedup r.cr_failovers r.cr_drops)
+    (cluster_rows ())
 
 (* The machine-readable block for BENCH_*.json trajectory tracking:
    run the representative boxed workload, print one JSON object. *)
@@ -201,16 +354,54 @@ let metrics_block () =
   let kernel = Idbox_report.Report.metrics_workload () in
   print_endline (Idbox_report.Report.metrics_json kernel)
 
+(* The deterministic machine-readable report (schema idbox-bench/1):
+   every simulated figure — resilience, cluster scaling, the metrics
+   registry — and nothing host-timed (Bechamel stays human-only), so
+   two runs on any machines are byte-identical. *)
+let json_report () =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  add "{\"schema\":\"idbox-bench/1\",\n \"resilience\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"drop\":%.2f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"retries\":%d,\
+            \"drops\":%d}"
+           r.rr_drop r.rr_p50_ms r.rr_p95_ms r.rr_retries r.rr_drops))
+    (resilience_rows ());
+  add "],\n \"cluster_scaling\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"nodes\":%d,\"drop\":%.2f,\"ops\":%d,\"p50_ms\":%.3f,\
+            \"p95_ms\":%.3f,\"kops_per_s\":%.1f,\"speedup\":%.2f,\
+            \"failovers\":%d,\"drops\":%d}"
+           r.cr_nodes r.cr_drop r.cr_ops r.cr_p50_ms r.cr_p95_ms
+           r.cr_tput_kops r.cr_speedup r.cr_failovers r.cr_drops))
+    (cluster_rows ());
+  add "],\n \"metrics\":";
+  add
+    (Idbox_report.Report.metrics_json (Idbox_report.Report.metrics_workload ()));
+  add "}";
+  print_endline (Buffer.contents b)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
+  let json = List.mem "--json" args in
   let scale = if full then 1.0 else 0.1 in
-  let figures = List.filter (fun a -> a <> "--full") args in
+  let figures = List.filter (fun a -> a <> "--full" && a <> "--json") args in
   match figures with
+  | [] when json -> json_report ()
   | [] ->
     Idbox_report.Report.all ~scale ();
     bechamel_suite ();
     resilience_block ();
+    cluster_block ();
     metrics_block ()
   | names ->
     List.iter
@@ -226,11 +417,12 @@ let () =
         | "ablation" | "ablations" -> Idbox_report.Report.ablations ()
         | "bechamel" -> bechamel_suite ()
         | "resilience" -> resilience_block ()
+        | "cluster" | "scaling" -> cluster_block ()
         | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
-             ablation bechamel resilience metrics)\n"
+             ablation bechamel resilience cluster metrics)\n"
             other;
           exit 2)
       names

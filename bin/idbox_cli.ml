@@ -7,7 +7,9 @@
                                            an ad-hoc identity-box session
      idbox stats [--trace]                 metrics JSON for a canned workload
      idbox acl check ENTRY... --who P --right R
-                                           evaluate an ACL from the shell *)
+                                           evaluate an ACL from the shell
+     idbox cluster [--nodes N] [--drop P] [--trace]
+                                           an N-node sharded Chirp cluster demo *)
 
 open Cmdliner
 
@@ -228,6 +230,122 @@ let shell_cmd =
   let doc = "Run shell commands inside an identity box (scripted session)." in
   Cmd.v (Cmd.info "shell" ~doc) Term.(const run $ shell_identity_arg $ commands_arg)
 
+(* --- cluster ------------------------------------------------------------ *)
+
+let cluster_nodes_arg =
+  let doc = "Number of Chirp servers in the cluster (1-9)." in
+  Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc)
+
+let cluster_drop_arg =
+  let doc = "Packet drop probability on every link (e.g. 0.1)." in
+  Arg.(value & opt float 0.0 & info [ "drop" ] ~docv:"P" ~doc)
+
+let cluster_cmd =
+  let run nodes drop trace =
+    let module Clock = Idbox_kernel.Clock in
+    let module Metrics = Idbox_kernel.Metrics in
+    let module Network = Idbox_net.Network in
+    let module Fault = Idbox_net.Fault in
+    let module World = Idbox_cluster.World in
+    let module Router = Idbox_cluster.Router in
+    if nodes < 1 || nodes > 9 then failwith "--nodes must be 1..9";
+    let hosts =
+      [ "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta"; "eta"; "theta";
+        "iota" ]
+      |> List.filteri (fun i _ -> i < nodes)
+      |> List.map (fun n -> n ^ ".grid.edu")
+    in
+    let tring = Idbox_kernel.Trace.ring ~capacity:4096 () in
+    let w = World.create ~trace:tring () in
+    List.iter
+      (fun h ->
+        match World.add_node w ~host:h with
+        | Ok () -> ()
+        | Error m -> failwith m)
+      hosts;
+    World.settle w;
+    if drop > 0.0 then
+      Network.set_fault_plan (World.net w)
+        (Fault.plan ~seed:11L ~default_profile:(Fault.profile ~drop ()) ());
+    Printf.printf "cluster up: %s (catalog %s, R=%d)\n"
+      (String.concat ", " (World.members w))
+      (World.catalog_addr w) (World.replicas w);
+    let r =
+      match World.connect w ~credentials:[ World.issue w "Alice" ] with
+      | Ok r -> r
+      | Error m -> failwith m
+    in
+    Printf.printf "principal %s verified identical on %d shards\n"
+      (Router.principal r) (List.length (Router.nodes r));
+    let okv ctx = function
+      | Ok v -> v
+      | Error e -> failwith (ctx ^ ": " ^ Idbox_vfs.Errno.message e)
+    in
+    let dirs = [ "/data"; "/work"; "/scratch"; "/homes" ] in
+    List.iter
+      (fun d ->
+        okv "mkdir" (Router.mkdir r d);
+        okv "put" (Router.put r ~path:(d ^ "/hello") ~data:("hello from " ^ d));
+        Printf.printf "  %-9s -> %s\n" d
+          (match Router.node_for r d with Some n -> n | None -> "?"))
+      dirs;
+    List.iter
+      (fun d ->
+        Printf.printf "  get %s/hello -> %S\n" d
+          (okv "get" (Router.get r (d ^ "/hello"))))
+      dirs;
+    (* Crash one member: reads hedge over to the surviving replicas,
+       the lease ages out, and the ring rebalances without it. *)
+    (match World.members w with
+     | _ :: _ :: _ ->
+       (* Crash the primary of /data, so the next reads of it must
+          hedge over to the surviving replica. *)
+       let victim =
+         match Router.node_for r "/data" with Some n -> n | None -> assert false
+       in
+       Printf.printf "crashing %s (primary for /data)...\n" victim;
+       World.crash w victim;
+       List.iter
+         (fun d ->
+           let v = okv "get" (Router.get r (d ^ "/hello")) in
+           Printf.printf "  get %s/hello -> %S (failovers so far: %d)\n" d v
+             (Router.failovers r))
+         dirs;
+       Clock.advance (World.clock w) 400_000_000_000L (* past the lease *);
+       World.tick w;
+       Router.sync r;
+       Printf.printf "after lease expiry: members = %s\n"
+         (String.concat ", " (Router.nodes r));
+       World.restart w victim;
+       World.tick w;
+       Router.sync r;
+       Printf.printf "after restart + heartbeat: members = %s\n"
+         (String.concat ", " (Router.nodes r))
+     | _ -> ());
+    let metrics = Network.metrics (World.net w) in
+    print_endline "cluster counters:";
+    List.iter
+      (fun ctr ->
+        let name = Metrics.counter_name ctr in
+        let v = Metrics.counter_value ctr in
+        if v > 0 && String.length name >= 8 && String.sub name 0 8 = "cluster." then
+          Printf.printf "  %-28s %d\n" name v)
+      (Metrics.counters metrics);
+    if trace then begin
+      let module Trace = Idbox_kernel.Trace in
+      Printf.printf "trace: %d spans retained (%d emitted, %d dropped)\n"
+        (Trace.length tring) (Trace.total tring) (Trace.dropped tring);
+      Trace.iter tring (fun span -> Format.printf "  %a@." Trace.pp_span span)
+    end
+  in
+  let doc =
+    "Stand up an N-node sharded, replicated Chirp cluster behind the \
+     identity-aware router and walk it through routing, replication, a \
+     crash with hedged failover, lease-driven ejection and re-admission."
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(const run $ cluster_nodes_arg $ cluster_drop_arg $ trace_arg)
+
 (* --- acl check --------------------------------------------------------- *)
 
 let entries_arg =
@@ -266,4 +384,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ report_cmd; schemes_cmd; session_cmd; shell_cmd; stats_cmd; acl_cmd ]))
+          [ report_cmd; schemes_cmd; session_cmd; shell_cmd; stats_cmd; cluster_cmd;
+            acl_cmd ]))

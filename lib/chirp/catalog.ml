@@ -96,8 +96,10 @@ let register ?(src = "client") net ~catalog ~name ~server_addr ~owner =
      | Ok ("error" :: msg :: _) -> Error msg
      | Ok _ | Error _ -> Error "bad catalog response")
 
-let list ?(src = "client") net ~catalog =
-  match Network.call net ~src ~addr:catalog (Wire.encode [ "list" ]) with
+let list ?(src = "client") ?timeout_ns net ~catalog =
+  match
+    Network.call net ~src ?timeout_ns ~addr:catalog (Wire.encode [ "list" ])
+  with
   | Error e -> Error (Idbox_vfs.Errno.message e)
   | Ok payload ->
     (match Wire.decode payload with

@@ -46,10 +46,14 @@ val register :
 
 val list :
   ?src:string ->
+  ?timeout_ns:int64 ->
   Idbox_net.Network.t ->
   catalog:string ->
   (entry list, string) result
-(** What an interested party does to discover servers. *)
+(** What an interested party does to discover servers.  [timeout_ns]
+    bounds the wait — cluster nodes polling from inside a request
+    handler use a short one, so a lost catalog reply cannot stall the
+    request a full client timeout. *)
 
 (** {1 Heartbeat driver}
 

@@ -46,6 +46,16 @@ let idempotent = function
   | Get _ | Stat _ | Readdir _ | Getacl _ | Checksum _ | Whoami -> true
   | Mkdir _ | Rmdir _ | Unlink _ | Put _ | Setacl _ | Rename _ | Exec _ -> false
 
+(* The path an operation is routed by: the object it names, or — for
+   two-path operations — its primary (source) path.  [Whoami] has no
+   path and routes to the root. *)
+let operation_path = function
+  | Mkdir p | Rmdir p | Unlink p | Get p | Stat p | Readdir p | Getacl p
+  | Checksum p -> p
+  | Put { path; _ } | Setacl { path; _ } | Exec { path; _ } -> path
+  | Rename { src; _ } -> src
+  | Whoami -> "/"
+
 let operation_name = function
   | Mkdir _ -> "mkdir"
   | Rmdir _ -> "rmdir"
@@ -112,6 +122,21 @@ let unseal tag text =
     else Error "checksum mismatch (frame damaged in flight)"
   | Ok _ -> Error "not a sealed frame"
 
+let operation_fields = function
+  | Mkdir p -> [ "mkdir"; p ]
+  | Rmdir p -> [ "rmdir"; p ]
+  | Unlink p -> [ "unlink"; p ]
+  | Put { path; data } -> [ "put"; path; data ]
+  | Get p -> [ "get"; p ]
+  | Stat p -> [ "stat"; p ]
+  | Readdir p -> [ "readdir"; p ]
+  | Getacl p -> [ "getacl"; p ]
+  | Setacl { path; entry } -> [ "setacl"; path; entry ]
+  | Rename { src; dst } -> [ "rename"; src; dst ]
+  | Exec { path; args; cwd } -> "exec" :: path :: cwd :: args
+  | Checksum p -> [ "checksum"; p ]
+  | Whoami -> [ "whoami" ]
+
 (* Each credential is itself a wire-framed blob so the outer message
    stays a flat field list. *)
 let encode_request req =
@@ -121,23 +146,7 @@ let encode_request req =
       Wire.encode
         ("auth" :: List.map (fun c -> Wire.encode (encode_credential c)) creds)
     | Op { token; req_id; op } ->
-      let fields =
-        match op with
-        | Mkdir p -> [ "mkdir"; p ]
-        | Rmdir p -> [ "rmdir"; p ]
-        | Unlink p -> [ "unlink"; p ]
-        | Put { path; data } -> [ "put"; path; data ]
-        | Get p -> [ "get"; p ]
-        | Stat p -> [ "stat"; p ]
-        | Readdir p -> [ "readdir"; p ]
-        | Getacl p -> [ "getacl"; p ]
-        | Setacl { path; entry } -> [ "setacl"; path; entry ]
-        | Rename { src; dst } -> [ "rename"; src; dst ]
-        | Exec { path; args; cwd } -> "exec" :: path :: cwd :: args
-        | Checksum p -> [ "checksum"; p ]
-        | Whoami -> [ "whoami" ]
-      in
-      Wire.encode ("op" :: token :: req_id :: fields)
+      Wire.encode ("op" :: token :: req_id :: operation_fields op)
   in
   seal "q" body
 
@@ -157,6 +166,15 @@ let decode_operation = function
   | [ "whoami" ] -> Ok Whoami
   | op :: _ -> Error (Printf.sprintf "unknown operation %S" op)
   | [] -> Error "empty operation"
+
+(* A single self-contained blob for one operation, used by the cluster
+   replication channel to forward a mutation verbatim. *)
+let operation_to_wire op = Wire.encode (operation_fields op)
+
+let operation_of_wire blob =
+  match Wire.decode blob with
+  | Error e -> Error e
+  | Ok fields -> decode_operation fields
 
 let decode_request text =
   match unseal "q" text with

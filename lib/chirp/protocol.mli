@@ -61,6 +61,18 @@ val decode_response : string -> (response, string) result
 val operation_name : operation -> string
 (** For logging and per-op accounting. *)
 
+val operation_path : operation -> string
+(** The path the operation is routed by: the object it names (the
+    source for [Rename]), or ["/"] for [Whoami].  The cluster router
+    shards on this. *)
+
+val operation_to_wire : operation -> string
+(** One operation as a self-contained blob (no token, no request ID) —
+    the unit the cluster replication channel forwards. *)
+
+val operation_of_wire : string -> (operation, string) result
+(** Inverse of {!operation_to_wire}; total on damaged input. *)
+
 val idempotent : operation -> bool
 (** True for operations a client may re-send blindly on a lost reply
     ([get], [stat], [readdir], [getacl], [checksum], [whoami]); the

@@ -44,6 +44,8 @@ type t = {
   boxes : (string, Box.t) Hashtbl.t;
   mutable execs : int;
   mutable token_counter : int;
+  mutable mutation_hook :
+    (identity:Principal.t -> Protocol.operation -> unit) option;
 }
 
 let addr t = t.sv_addr
@@ -359,6 +361,11 @@ let sweep_sessions t now =
       Hashtbl.remove t.sessions token)
     dead
 
+(* The dedup journal is bounded by age: entries older than the dedup
+   window can no longer match any live retry (clients give up long
+   before), so each admission evicts them — a long-lived session's
+   journal stays proportional to its recent write rate, not its
+   lifetime. *)
 let sweep_dedup t now =
   let dead =
     Hashtbl.fold
@@ -366,7 +373,11 @@ let sweep_dedup t now =
         if Int64.sub now d.dd_at > t.dedup_window_ns then rid :: acc else acc)
       t.dedup []
   in
-  List.iter (Hashtbl.remove t.dedup) dead
+  List.iter
+    (fun rid ->
+      metric t "chirp.dedup_evictions";
+      Hashtbl.remove t.dedup rid)
+    dead
 
 let handle t payload =
   let respond r = Protocol.encode_response r in
@@ -409,10 +420,27 @@ let handle t payload =
        let serve () =
          (* A handler bug must not unwind into the network: degrade to
             a wire-level error and keep serving everyone else. *)
-         try serve_op t s.ss_principal op
-         with _ ->
-           metric t "chirp.handler.crash";
-           Protocol.R_error (Errno.EIO, "internal server error")
+         let r =
+           try serve_op t s.ss_principal op
+           with _ ->
+             metric t "chirp.handler.crash";
+             Protocol.R_error (Errno.EIO, "internal server error")
+         in
+         (* Replication hook: fresh successful mutations only — dedup
+            replays below never re-fire it, so a retried write
+            replicates once.  The hook runs inside the request so the
+            fan-out is synchronous and deterministic, but its failures
+            are its own: they must not change this client's answer. *)
+         (match r with
+          | Protocol.R_error _ -> ()
+          | _ when Protocol.idempotent op -> ()
+          | _ ->
+            (match t.mutation_hook with
+             | None -> ()
+             | Some hook ->
+               (try hook ~identity:s.ss_principal op
+                with _ -> metric t "chirp.repl.hook_crash")));
+         r
        in
        if String.equal req_id "" then respond (serve ())
        else begin
@@ -451,6 +479,7 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
       boxes = Hashtbl.create 8;
       execs = 0;
       token_counter = 0;
+      mutation_hook = None;
     }
   in
   match Fs.mkdir_p (Kernel.fs kernel) ~uid:owner_uid sv_export with
@@ -481,3 +510,106 @@ let restart t =
   metric t "chirp.restart";
   Hashtbl.reset t.sessions;
   Network.restart t.sv_net ~addr:t.sv_addr
+
+(* {1 Replication hooks}
+
+   The cluster layer plugs in here.  The server stays ignorant of
+   rings and membership: it reports fresh mutations to whatever hook
+   is installed, and applies/ships subtrees on request over a channel
+   the cluster authenticates by construction (peer servers, not
+   clients). *)
+
+let set_mutation_hook t hook = t.mutation_hook <- Some hook
+let clear_mutation_hook t = t.mutation_hook <- None
+
+(* Apply a mutation forwarded by a peer: same ACL enforcement path as a
+   client request — the principal travelled with the operation, so a
+   replica reaches the same verdict the primary did — but no hook
+   re-fire (replicas do not re-forward). *)
+let apply_replicated t ~identity op =
+  metric t "chirp.repl.apply";
+  try serve_op t identity op
+  with _ ->
+    metric t "chirp.handler.crash";
+    Protocol.R_error (Errno.EIO, "internal server error")
+
+type snapshot_entry =
+  | Snap_dir of { path : string; acl : string }
+  | Snap_file of { path : string; data : string }
+
+let snapshot_path = function
+  | Snap_dir { path; _ } -> path
+  | Snap_file { path; _ } -> path
+
+(* Ship a subtree, ACLs included, as the deploying owner.  Paths in the
+   result are wire paths (relative to the export root) so the receiving
+   server can anchor them under its own export. *)
+let snapshot_subtree ?(recurse = true) t wire_prefix =
+  metric t "chirp.repl.snapshot";
+  let to_wire abs =
+    match Path.strip_prefix ~prefix:t.sv_export abs with
+    | Some rel -> rel
+    | None -> "/"
+  in
+  let rec walk abs acc =
+    match delegate t (Syscall.Stat abs) with
+    | Error Errno.ENOENT -> Ok acc  (* nothing under this prefix here *)
+    | Error e -> Error e
+    | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory ->
+      let acl =
+        match Enforce.dir_acl t.enforce abs with
+        | Some acl -> Acl.to_string acl
+        | None -> ""
+      in
+      let acc = Snap_dir { path = to_wire abs; acl } :: acc in
+      if not recurse then Ok acc
+      else
+        (match delegate t (Syscall.Readdir abs) with
+       | Error e -> Error e
+       | Ok (Syscall.Names names) ->
+         List.fold_left
+           (fun acc name ->
+             match acc with
+             | Error _ -> acc
+             | Ok acc ->
+               if String.equal name Acl.filename then Ok acc
+               else walk (Path.join abs name) acc)
+           (Ok acc)
+           (List.sort String.compare names)
+       | Ok _ -> Error Errno.EINVAL)
+    | Ok (Syscall.Stat_v _) ->
+      (match Fs.read_file (Kernel.fs t.sv_kernel) ~uid:t.sv_owner.View.uid abs with
+       | Ok data -> Ok (Snap_file { path = to_wire abs; data } :: acc)
+       | Error e -> Error e)
+    | Ok _ -> Error Errno.EINVAL
+  in
+  match map_path t wire_prefix with
+  | Error e -> Error e
+  | Ok abs -> Result.map List.rev (walk abs [])
+
+(* Install a shipped subtree as the owner: the ACL checks already
+   happened where the data was written the first time. *)
+let install_snapshot t entries =
+  metric t "chirp.repl.install";
+  let uid = t.sv_owner.View.uid in
+  let fs = Kernel.fs t.sv_kernel in
+  let install entry =
+    match map_path t (snapshot_path entry) with
+    | Error e -> Error e
+    | Ok abs ->
+      (match entry with
+       | Snap_dir { acl; _ } ->
+         (match Fs.mkdir_p fs ~uid abs with
+          | Error e -> Error e
+          | Ok () ->
+            if String.equal acl "" then Ok ()
+            else
+              (match Acl.of_string acl with
+               | Error _ -> Error Errno.EINVAL
+               | Ok parsed -> Enforce.write_acl t.enforce ~dir:abs parsed))
+       | Snap_file { data; _ } ->
+         Fs.write_file fs ~uid ~mode:0o755 abs data)
+  in
+  List.fold_left
+    (fun acc entry -> match acc with Error _ -> acc | Ok () -> install entry)
+    (Ok ()) entries

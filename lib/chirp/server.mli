@@ -68,3 +68,45 @@ val restart : t -> unit
 
 val handle : t -> string -> string
 (** The raw request handler (exposed for direct-dispatch tests). *)
+
+(** {1 Replication hooks}
+
+    The attachment points for the cluster layer ({!Idbox_cluster}).
+    The server knows nothing of rings or membership; it reports fresh
+    mutations and can apply or ship state on a peer's behalf. *)
+
+val set_mutation_hook :
+  t -> (identity:Idbox_identity.Principal.t -> Protocol.operation -> unit) -> unit
+(** Install the hook called after every {e fresh, successful}
+    non-idempotent operation (dedup replays never re-fire it, so a
+    retried write still replicates exactly once).  Hook exceptions are
+    contained and counted ([chirp.repl.hook_crash]); they cannot change
+    the client's answer. *)
+
+val clear_mutation_hook : t -> unit
+
+val apply_replicated :
+  t ->
+  identity:Idbox_identity.Principal.t ->
+  Protocol.operation ->
+  Protocol.response
+(** Apply a mutation forwarded by a peer server, under the principal
+    that performed it at the primary.  Runs the exact client-serving
+    path — same ACL checks, same verdicts — but never re-forwards. *)
+
+type snapshot_entry =
+  | Snap_dir of { path : string; acl : string }
+      (** A directory (wire path) and its ACL text ([""] when none). *)
+  | Snap_file of { path : string; data : string }
+
+val snapshot_subtree :
+  ?recurse:bool -> t -> string -> (snapshot_entry list, Idbox_vfs.Errno.t) result
+(** The subtree under a wire path as the owner sees it — directories
+    first (parents before children), ACLs included.  [Ok []] when the
+    prefix does not exist here.  With [recurse:false] (default [true]),
+    just the named entry — e.g. the root directory's ACL alone. *)
+
+val install_snapshot :
+  t -> snapshot_entry list -> (unit, Idbox_vfs.Errno.t) result
+(** Install a shipped subtree as the owner (rebalance migration): ACL
+    enforcement already happened where the data was first written. *)

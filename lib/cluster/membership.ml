@@ -1,0 +1,52 @@
+module Network = Idbox_net.Network
+module Metrics = Idbox_kernel.Metrics
+module Catalog = Idbox_chirp.Catalog
+
+type t = {
+  mb_net : Network.t;
+  mb_catalog : string;
+  mb_src : string;
+  mb_timeout_ns : int64 option;
+  mutable mb_view : (string * string) list;  (* (name, addr), sorted by name *)
+  mutable mb_generation : int;
+}
+
+let create ?(src = "client") ?timeout_ns net ~catalog =
+  { mb_net = net; mb_catalog = catalog; mb_src = src;
+    mb_timeout_ns = timeout_ns; mb_view = []; mb_generation = 0 }
+
+let view t = t.mb_view
+let names t = List.map fst t.mb_view
+let addr_of t name = List.assoc_opt name t.mb_view
+let generation t = t.mb_generation
+
+let metric t name =
+  Metrics.incr (Metrics.counter (Network.metrics t.mb_net) name)
+
+let refresh t =
+  match
+    Catalog.list ~src:t.mb_src ?timeout_ns:t.mb_timeout_ns t.mb_net
+      ~catalog:t.mb_catalog
+  with
+  | Error e -> Error e
+  | Ok entries ->
+    let fresh =
+      List.map (fun e -> (e.Catalog.name, e.Catalog.server_addr)) entries
+      |> List.sort compare
+    in
+    if List.equal ( = ) fresh t.mb_view then Ok false
+    else begin
+      let old_names = List.map fst t.mb_view in
+      let new_names = List.map fst fresh in
+      List.iter
+        (fun n ->
+          if not (List.mem n old_names) then metric t "cluster.member.join")
+        new_names;
+      List.iter
+        (fun n ->
+          if not (List.mem n new_names) then metric t "cluster.member.leave")
+        old_names;
+      t.mb_view <- fresh;
+      t.mb_generation <- t.mb_generation + 1;
+      Ok true
+    end

@@ -1,0 +1,41 @@
+(** The cluster's membership view, driven by catalog leases.
+
+    Nothing here invents liveness: the catalog already treats
+    registrations as leases (a server heartbeats or is evicted after
+    its staleness window), so membership is exactly "what the catalog
+    currently advertises".  A node cut off by a partition stops
+    heartbeating, ages out of the catalog, and drops from this view —
+    ejected.  Its first heartbeat after the partition heals re-registers
+    it, and the next {!refresh} re-admits it.
+
+    [refresh] is explicit (the simulated world has no background
+    threads): callers refresh at their own cadence and learn whether
+    the view changed, which is the router's cue to rebalance. *)
+
+type t
+
+val create :
+  ?src:string -> ?timeout_ns:int64 -> Idbox_net.Network.t -> catalog:string -> t
+(** A view of the servers advertised by the catalog at [catalog].
+    [src] (default ["client"]) names the observing host for partition
+    matching; [timeout_ns] bounds each catalog read (cluster nodes
+    refreshing from inside a request handler pass a short one).  The
+    view starts empty; call {!refresh}. *)
+
+val refresh : t -> (bool, string) result
+(** Re-read the catalog.  [Ok true] when the membership changed
+    (join or leave — counted as [cluster.member.join] /
+    [cluster.member.leave]), [Ok false] when it is unchanged, [Error]
+    when the catalog is unreachable — in which case the previous view
+    is kept: an unreachable catalog is not evidence the servers died. *)
+
+val view : t -> (string * string) list
+(** Current members as [(name, addr)], sorted by name. *)
+
+val names : t -> string list
+
+val addr_of : t -> string -> string option
+(** The advertised address of a member, by name. *)
+
+val generation : t -> int
+(** Bumped on every change-observing {!refresh} (starts at 0). *)

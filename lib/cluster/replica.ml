@@ -1,0 +1,279 @@
+module Network = Idbox_net.Network
+module Fault = Idbox_net.Fault
+module Clock = Idbox_kernel.Clock
+module Metrics = Idbox_kernel.Metrics
+module Trace = Idbox_kernel.Trace
+module Server = Idbox_chirp.Server
+module Protocol = Idbox_chirp.Protocol
+module Wire = Idbox_chirp.Wire
+module Principal = Idbox_identity.Principal
+module Path = Idbox_vfs.Path
+module Errno = Idbox_vfs.Errno
+
+let repl_addr addr = addr ^ "#repl"
+
+let shard_key path =
+  match Path.components path with [] -> "/" | c :: _ -> c
+
+(* {1 Snapshot entries on the wire} *)
+
+let encode_entry = function
+  | Server.Snap_dir { path; acl } -> Wire.encode [ "dir"; path; acl ]
+  | Server.Snap_file { path; data } -> Wire.encode [ "file"; path; data ]
+
+let decode_entry blob =
+  match Wire.decode blob with
+  | Ok [ "dir"; path; acl ] -> Ok (Server.Snap_dir { path; acl })
+  | Ok [ "file"; path; data ] -> Ok (Server.Snap_file { path; data })
+  | Ok _ -> Error "bad snapshot entry"
+  | Error e -> Error e
+
+let decode_entries blobs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | blob :: rest ->
+      (match decode_entry blob with
+       | Ok e -> go (e :: acc) rest
+       | Error e -> Error e)
+  in
+  go [] blobs
+
+(* {1 The attached node} *)
+
+type node = {
+  nd_net : Network.t;
+  nd_server : Server.t;
+  nd_name : string;
+  nd_addr : string;
+  nd_src : string;  (* this node's host, for partition matching *)
+  nd_membership : Membership.t;
+  nd_replicas : int;
+  nd_vnodes : int;
+  nd_refresh_ns : int64;
+  nd_fwd_timeout_ns : int64;
+  nd_trace : Trace.ring option;
+  mutable nd_ring : Ring.t;
+  mutable nd_last_refresh : int64;
+}
+
+let name node = node.nd_name
+let ring node = node.nd_ring
+
+let metric node m =
+  Metrics.incr (Metrics.counter (Network.metrics node.nd_net) m)
+
+let span node ~identity ~syscall ~verdict ~cost_ns =
+  match node.nd_trace with
+  | None -> ()
+  | Some ring ->
+    Trace.span ring ~time:(Clock.now (Network.clock node.nd_net)) ~pid:0
+      ~identity ~syscall ~verdict ~cost_ns
+
+(* Track membership lazily: at most one catalog read per refresh
+   interval, so a hot write path does not double the catalog's load. *)
+let maybe_refresh node =
+  let now = Clock.now (Network.clock node.nd_net) in
+  if
+    Ring.is_empty node.nd_ring
+    || Int64.sub now node.nd_last_refresh >= node.nd_refresh_ns
+  then begin
+    node.nd_last_refresh <- now;
+    match Membership.refresh node.nd_membership with
+    | Ok true ->
+      node.nd_ring <-
+        Ring.create ~vnodes:node.nd_vnodes (Membership.names node.nd_membership)
+    | Ok false | Error _ -> ()
+  end
+
+let tick = maybe_refresh
+
+let refresh_now node =
+  node.nd_last_refresh <- Clock.now (Network.clock node.nd_net);
+  match Membership.refresh node.nd_membership with
+  | Ok true ->
+    node.nd_ring <-
+      Ring.create ~vnodes:node.nd_vnodes (Membership.names node.nd_membership)
+  | Ok false | Error _ -> ()
+
+(* Forward one fresh mutation to the other owners of its shard key.
+   Root-key mutations (the root ACL) go to every member: each node
+   anchors ACL inheritance at its own export root. *)
+let forward node ~identity op =
+  maybe_refresh node;
+  let key = shard_key (Protocol.operation_path op) in
+  let owners =
+    if String.equal key "/" then Ring.nodes node.nd_ring
+    else Ring.successors node.nd_ring key node.nd_replicas
+  in
+  let peers =
+    List.filter (fun n -> not (String.equal n node.nd_name)) owners
+  in
+  let principal = Principal.to_string identity in
+  let payload =
+    Wire.encode [ "apply"; principal; Protocol.operation_to_wire op ]
+  in
+  List.iter
+    (fun peer ->
+      match Membership.addr_of node.nd_membership peer with
+      | None -> ()
+      | Some addr ->
+        metric node "cluster.replicate";
+        let t0 = Clock.now (Network.clock node.nd_net) in
+        let verdict =
+          match
+            Network.call node.nd_net ~src:node.nd_src
+              ~timeout_ns:node.nd_fwd_timeout_ns ~addr:(repl_addr addr) payload
+          with
+          | Ok reply ->
+            (match Wire.decode reply with
+             | Ok [ "ok" ] -> "ok"
+             | Ok ("error" :: e :: _) -> e
+             | Ok _ | Error _ -> "EIO")
+          | Error e -> Errno.to_string e
+        in
+        if not (String.equal verdict "ok") then
+          metric node "cluster.replica.fail";
+        span node ~identity:principal ~syscall:"cluster.replicate"
+          ~verdict:(peer ^ ":" ^ verdict)
+          ~cost_ns:(Int64.sub (Clock.now (Network.clock node.nd_net)) t0))
+    peers
+
+let handle node payload =
+  match Wire.decode payload with
+  | Ok [ "apply"; principal; opblob ] ->
+    (match Protocol.operation_of_wire opblob with
+     | Error _ -> Wire.encode [ "error"; "EINVAL" ]
+     | Ok op ->
+       (match
+          Server.apply_replicated node.nd_server
+            ~identity:(Principal.of_string principal) op
+        with
+        | Protocol.R_error (e, _) -> Wire.encode [ "error"; Errno.to_string e ]
+        | _ -> Wire.encode [ "ok" ]))
+  | Ok [ "snapshot"; prefix; depth ] ->
+    let recurse = not (String.equal depth "dir") in
+    (match Server.snapshot_subtree ~recurse node.nd_server prefix with
+     | Error e -> Wire.encode [ "error"; Errno.to_string e ]
+     | Ok entries -> Wire.encode ("ok" :: List.map encode_entry entries))
+  | Ok ("install" :: blobs) ->
+    (match decode_entries blobs with
+     | Error _ -> Wire.encode [ "error"; "EINVAL" ]
+     | Ok entries ->
+       (match Server.install_snapshot node.nd_server entries with
+        | Ok () -> Wire.encode [ "ok" ]
+        | Error e -> Wire.encode [ "error"; Errno.to_string e ]))
+  | Ok _ | Error _ -> Wire.encode [ "error"; "EINVAL" ]
+
+let attach ~net ~server ~name ~catalog ?(replicas = 2) ?(vnodes = 64)
+    ?(refresh_interval_ns = 5_000_000_000L) ?(fwd_timeout_ns = 50_000_000L)
+    ?trace () =
+  let addr = Server.addr server in
+  let src = Fault.host_of addr in
+  let node =
+    {
+      nd_net = net;
+      nd_server = server;
+      nd_name = name;
+      nd_addr = addr;
+      nd_src = src;
+      nd_membership = Membership.create ~src ~timeout_ns:fwd_timeout_ns net ~catalog;
+      nd_replicas = max 1 replicas;
+      nd_vnodes = vnodes;
+      nd_refresh_ns = refresh_interval_ns;
+      nd_fwd_timeout_ns = fwd_timeout_ns;
+      nd_trace = trace;
+      nd_ring = Ring.create ~vnodes [];
+      nd_last_refresh = Int64.min_int;
+    }
+  in
+  Network.listen net ~addr:(repl_addr addr) (fun payload -> handle node payload);
+  Server.set_mutation_hook server (fun ~identity op -> forward node ~identity op);
+  maybe_refresh node;
+  node
+
+let detach node =
+  Server.clear_mutation_hook node.nd_server;
+  Network.unlisten node.nd_net ~addr:(repl_addr node.nd_addr)
+
+(* {1 Rebalance migration} *)
+
+let rebalance net ?(src = "client") ?timeout_ns ~before ~after ~old_view
+    ~new_view ~replicas ~prefixes () =
+  let metrics = Network.metrics net in
+  let count m = Metrics.incr (Metrics.counter metrics m) in
+  let addr_in view n = List.assoc_opt n view in
+  (* Pull a snapshot of [prefix] from any reachable member of [sources]
+     and install it on each of [targets]. *)
+  let migrate ~prefix ~depth ~sources ~targets =
+    match sources with
+    | [] ->
+      count "cluster.migrate.lost";
+      0
+    | _ ->
+      let group = "migrate:" ^ prefix in
+      Network.define_group net ~name:group
+        ~addrs:(List.map repl_addr sources);
+      let pulled =
+        Network.call_any net ~src ?timeout_ns ~group
+          (Wire.encode [ "snapshot"; prefix; depth ])
+      in
+      Network.drop_group net ~name:group;
+      (match pulled with
+       | Error _ | Ok (_, "") ->
+         count "cluster.migrate.lost";
+         0
+       | Ok (_, reply) ->
+         (match Wire.decode reply with
+          | Ok ("ok" :: blobs) ->
+            let payload = Wire.encode ("install" :: blobs) in
+            List.fold_left
+              (fun n target ->
+                match
+                  Network.call net ~src ?timeout_ns ~addr:(repl_addr target)
+                    payload
+                with
+                | Ok _ ->
+                  count "cluster.migrate";
+                  n + 1
+                | Error _ ->
+                  count "cluster.migrate.lost";
+                  n)
+              0 targets
+          | Ok _ | Error _ ->
+            count "cluster.migrate.lost";
+            0))
+  in
+  let moved_for prefix =
+    let owners_before = Ring.successors before prefix replicas in
+    let owners_after = Ring.successors after prefix replicas in
+    let gained =
+      List.filter (fun n -> not (List.mem n owners_before)) owners_after
+    in
+    if gained = [] then 0
+    else
+      let sources =
+        List.filter_map (fun n -> addr_in old_view n) owners_before
+      in
+      let targets = List.filter_map (fun n -> addr_in new_view n) gained in
+      migrate ~prefix ~depth:"all" ~sources ~targets
+  in
+  let prefix_moves =
+    List.fold_left
+      (fun n prefix ->
+        if String.equal prefix "/" then n else n + moved_for prefix)
+      0
+      (List.sort_uniq String.compare prefixes)
+  in
+  (* Re-admitted or brand-new members missed any root ACL change made
+     while they were out: sync the root directory's ACL alone. *)
+  let joined =
+    List.filter (fun (n, _) -> not (List.mem_assoc n old_view)) new_view
+  in
+  let root_moves =
+    if joined = [] || old_view = [] then 0
+    else
+      migrate ~prefix:"/" ~depth:"dir"
+        ~sources:(List.map snd old_view)
+        ~targets:(List.map snd joined)
+  in
+  prefix_moves + root_moves

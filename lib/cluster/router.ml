@@ -1,0 +1,284 @@
+module Network = Idbox_net.Network
+module Clock = Idbox_kernel.Clock
+module Metrics = Idbox_kernel.Metrics
+module Trace = Idbox_kernel.Trace
+module Client = Idbox_chirp.Client
+module Protocol = Idbox_chirp.Protocol
+module Errno = Idbox_vfs.Errno
+module Path = Idbox_vfs.Path
+
+type t = {
+  rt_net : Network.t;
+  rt_src : string;
+  rt_policy : Client.retry_policy;
+  rt_creds : Idbox_auth.Credential.t list;
+  rt_membership : Membership.t;
+  rt_replicas : int;
+  rt_vnodes : int;
+  rt_trace : Trace.ring option;
+  rt_conns : (string, Client.t) Hashtbl.t;  (* keyed by node name *)
+  mutable rt_ring : Ring.t;
+  mutable rt_view : (string * string) list;
+  mutable rt_principal : string;
+  mutable rt_prefixes : string list;  (* shard keys touched, for rebalance *)
+  mutable rt_routes : int;
+  mutable rt_failovers : int;
+}
+
+let principal t = t.rt_principal
+let nodes t = Ring.nodes t.rt_ring
+let routes t = t.rt_routes
+let failovers t = t.rt_failovers
+
+let metric t name =
+  Metrics.incr (Metrics.counter (Network.metrics t.rt_net) name)
+
+let span t ~syscall ~verdict =
+  match t.rt_trace with
+  | None -> ()
+  | Some ring ->
+    Trace.span ring ~time:(Clock.now (Network.clock t.rt_net)) ~pid:0
+      ~identity:t.rt_principal ~syscall ~verdict ~cost_ns:0L
+
+let note_prefix t key =
+  if not (List.mem key t.rt_prefixes) then
+    t.rt_prefixes <- List.sort String.compare (key :: t.rt_prefixes)
+
+let node_for t path =
+  Ring.lookup t.rt_ring (Replica.shard_key path)
+
+(* Transport-level failures that justify trying another replica — the
+   same set the Chirp client treats as retryable, minus EAGAIN (a live
+   server shedding load is an answer, not an absence). *)
+let transient = function
+  | Errno.ETIMEDOUT | Errno.ECONNRESET | Errno.ECONNREFUSED
+  | Errno.EHOSTUNREACH -> true
+  | _ -> false
+
+(* An authenticated session with one shard, opened on demand and
+   cached.  The identity invariant is enforced here: a shard that
+   negotiates a different principal for our credentials is refused —
+   and the whole call fails, rather than quietly running one user's
+   operation under another's name. *)
+let conn_for t name =
+  match Hashtbl.find_opt t.rt_conns name with
+  | Some c -> Ok c
+  | None ->
+    (match List.assoc_opt name t.rt_view with
+     | None -> Error (`Down Errno.EHOSTUNREACH)
+     | Some addr ->
+       (match
+          Client.connect ~src:t.rt_src ~policy:t.rt_policy t.rt_net ~addr
+            ~credentials:t.rt_creds
+        with
+        | Error _ -> Error (`Down Errno.EHOSTUNREACH)
+        | Ok c ->
+          if String.equal (Client.principal c) t.rt_principal then begin
+            Hashtbl.replace t.rt_conns name c;
+            Ok c
+          end
+          else begin
+            metric t "cluster.identity.mismatch";
+            span t ~syscall:"cluster.identity"
+              ~verdict:(name ^ ":" ^ Client.principal c);
+            Error `Mismatch
+          end))
+
+let sync t =
+  match Membership.refresh t.rt_membership with
+  | Error _ -> ()  (* unreachable catalog is not evidence servers died *)
+  | Ok false -> ()
+  | Ok true ->
+    let new_view = Membership.view t.rt_membership in
+    let after =
+      Ring.create ~vnodes:t.rt_vnodes (List.map fst new_view)
+    in
+    metric t "cluster.rebalance";
+    let migrations =
+      Replica.rebalance t.rt_net ~src:t.rt_src ~before:t.rt_ring ~after
+        ~old_view:t.rt_view ~new_view ~replicas:t.rt_replicas
+        ~prefixes:t.rt_prefixes ()
+    in
+    span t ~syscall:"cluster.rebalance"
+      ~verdict:(Printf.sprintf "members=%d migrations=%d"
+                  (List.length new_view) migrations);
+    (* Sessions to departed nodes die with the view; a re-admitted node
+       gets a fresh authentication (and a fresh identity check). *)
+    Hashtbl.iter
+      (fun name _ ->
+        if not (List.mem_assoc name new_view) then Hashtbl.remove t.rt_conns name)
+      (Hashtbl.copy t.rt_conns);
+    t.rt_ring <- after;
+    t.rt_view <- new_view
+
+let route t key =
+  t.rt_routes <- t.rt_routes + 1;
+  metric t "cluster.route";
+  note_prefix t key;
+  let owners = Ring.successors t.rt_ring key t.rt_replicas in
+  (match owners with
+   | primary :: _ ->
+     metric t ("cluster.route." ^ primary);
+     span t ~syscall:"cluster.route" ~verdict:(key ^ "->" ^ primary)
+   | [] -> ());
+  owners
+
+(* A read sweeps the replica set: primary first, hedged failover to the
+   next replica on a transport fault.  An application verdict (EACCES,
+   ENOENT...) from a live replica is final — replicas run the same ACL
+   checks, so shopping for a different answer is both useless and
+   wrong. *)
+let read_on t path f =
+  let attempt () =
+    let rec go last = function
+      | [] ->
+        (match last with
+         | Some e -> Error e
+         | None -> Error Errno.EHOSTUNREACH)
+      | name :: rest ->
+        let failover e =
+          if rest = [] then Error e
+          else begin
+            t.rt_failovers <- t.rt_failovers + 1;
+            metric t "cluster.failover";
+            span t ~syscall:"cluster.failover"
+              ~verdict:(name ^ ":" ^ Errno.to_string e);
+            go (Some e) rest
+          end
+        in
+        (match conn_for t name with
+         | Error `Mismatch -> Error Errno.EPERM
+         | Error (`Down e) -> failover e
+         | Ok c ->
+           (match f c with
+            | Error e when transient e -> failover e
+            | r -> r))
+    in
+    go None (route t (Replica.shard_key path))
+  in
+  match attempt () with
+  | Error e when transient e ->
+    (* Every replica out of reach: the membership may have moved under
+       us.  Re-read the catalog, rebalance, try the new ring once. *)
+    metric t "cluster.route.retry";
+    sync t;
+    attempt ()
+  | r -> r
+
+(* A write goes through the primary alone; the primary's server-side
+   hook fans it out to the other owners (Replica.forward). *)
+let write_on t path f =
+  let attempt () =
+    match route t (Replica.shard_key path) with
+    | [] -> Error Errno.EHOSTUNREACH
+    | primary :: _ ->
+      (match conn_for t primary with
+       | Error `Mismatch -> Error Errno.EPERM
+       | Error (`Down e) -> Error e
+       | Ok c -> f c)
+  in
+  match attempt () with
+  | Error e when transient e ->
+    metric t "cluster.route.retry";
+    sync t;
+    attempt ()
+  | r -> r
+
+let connect ?(src = "client") ?(policy = Client.default_policy) ?(replicas = 2)
+    ?(vnodes = 64) ?trace net ~catalog ~credentials =
+  let membership = Membership.create ~src net ~catalog in
+  match Membership.refresh membership with
+  | Error e -> Error ("cluster: catalog unreachable: " ^ e)
+  | Ok _ ->
+    let view = Membership.view membership in
+    if view = [] then Error "cluster: no servers advertised"
+    else begin
+      let t =
+        {
+          rt_net = net;
+          rt_src = src;
+          rt_policy = policy;
+          rt_creds = credentials;
+          rt_membership = membership;
+          rt_replicas = max 1 replicas;
+          rt_vnodes = vnodes;
+          rt_trace = trace;
+          rt_conns = Hashtbl.create 8;
+          rt_ring = Ring.create ~vnodes (List.map fst view);
+          rt_view = view;
+          rt_principal = "";
+          rt_prefixes = [];
+          rt_routes = 0;
+          rt_failovers = 0;
+        }
+      in
+      (* Authenticate to every shard up front and require one
+         principal everywhere: the paper's consistency-of-identity
+         invariant, now a cluster admission check. *)
+      let rec admit = function
+        | [] -> Ok t
+        | (name, addr) :: rest ->
+          (match
+             Client.connect ~src ~policy net ~addr ~credentials
+           with
+           | Error m -> Error (Printf.sprintf "cluster: shard %s: %s" name m)
+           | Ok c ->
+             if String.equal t.rt_principal "" then begin
+               t.rt_principal <- Client.principal c;
+               Hashtbl.replace t.rt_conns name c;
+               admit rest
+             end
+             else if String.equal (Client.principal c) t.rt_principal then begin
+               Hashtbl.replace t.rt_conns name c;
+               admit rest
+             end
+             else begin
+               metric t "cluster.identity.mismatch";
+               Error
+                 (Printf.sprintf
+                    "cluster: identity differs across shards: %s negotiated \
+                     %S, others %S — refusing to proceed"
+                    name (Client.principal c) t.rt_principal)
+             end)
+      in
+      admit view
+    end
+
+(* {1 The routed client API} *)
+
+let mkdir t path = write_on t path (fun c -> Client.mkdir c path)
+let rmdir t path = write_on t path (fun c -> Client.rmdir c path)
+let unlink t path = write_on t path (fun c -> Client.unlink c path)
+let put t ~path ~data = write_on t path (fun c -> Client.put c ~path ~data)
+let get t path = read_on t path (fun c -> Client.get c path)
+let stat t path = read_on t path (fun c -> Client.stat c path)
+let readdir t path = read_on t path (fun c -> Client.readdir c path)
+let getacl t path = read_on t path (fun c -> Client.getacl c path)
+
+let setacl t ~path ~entry =
+  write_on t path (fun c -> Client.setacl c ~path ~entry)
+
+let rename t ~src ~dst =
+  if String.equal (Replica.shard_key src) (Replica.shard_key dst) then
+    write_on t src (fun c -> Client.rename c ~src ~dst)
+  else begin
+    (* Shards are disjoint namespaces on (generally) different servers:
+       a cross-shard rename is a cross-device rename. *)
+    metric t "cluster.exdev";
+    Error Errno.EXDEV
+  end
+
+let exec t ?cwd ~path ~args () =
+  let cwd = match cwd with Some c -> c | None -> Path.dirname path in
+  let cwd_key = Replica.shard_key cwd in
+  if
+    String.equal cwd_key (Replica.shard_key path)
+    || String.equal cwd_key "/"  (* the root exists on every shard *)
+  then write_on t path (fun c -> Client.exec c ~cwd ~path ~args ())
+  else begin
+    metric t "cluster.exdev";
+    Error Errno.EXDEV
+  end
+
+let checksum t path = read_on t path (fun c -> Client.checksum c path)
+let whoami t = read_on t "/" (fun c -> Client.whoami c)

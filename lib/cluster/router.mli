@@ -1,0 +1,85 @@
+(** The identity-aware cluster router: the {!Idbox_chirp.Client} API
+    over a sharded, replicated set of Chirp servers.
+
+    The router discovers servers from the catalog, authenticates to
+    {e each} shard with the caller's own kept credentials, and routes
+    every call by its path's shard key over a consistent-hash ring.
+    The paper's consistency-of-identity invariant is enforced
+    cluster-wide: if two shards negotiate {e different} principals for
+    the same credentials, the router refuses to proceed ([EPERM],
+    counted as [cluster.identity.mismatch]) — one global identity, or
+    no service.  Reads fail over between a shard's replicas on
+    transport faults (hedged, counted as [cluster.failover]); writes go
+    to the primary, whose server-side hook fans them out (see
+    {!Replica}).  When a primary is unreachable, the router re-reads
+    the catalog, rebalances the affected ranges, and retries once on
+    the new ring ([cluster.route.retry]).
+
+    Every routing decision is counted ([cluster.route],
+    [cluster.route.<node>]) and spanned in the trace ring when one is
+    attached. *)
+
+type t
+
+type 'a r := ('a, Idbox_vfs.Errno.t) result
+
+val connect :
+  ?src:string ->
+  ?policy:Idbox_chirp.Client.retry_policy ->
+  ?replicas:int ->
+  ?vnodes:int ->
+  ?trace:Idbox_kernel.Trace.ring ->
+  Idbox_net.Network.t ->
+  catalog:string ->
+  credentials:Idbox_auth.Credential.t list ->
+  (t, string) result
+(** Discover the membership from [catalog], authenticate to every
+    member, and verify the negotiated principal is identical
+    everywhere.  Fails when the catalog is unreachable, no servers are
+    advertised, or the identity invariant does not hold.  [replicas]
+    (default 2) and [vnodes] (default 64) must match the values the
+    nodes were attached with. *)
+
+val principal : t -> string
+(** The single cluster-wide principal, verified across all shards. *)
+
+val nodes : t -> string list
+(** Current ring members, sorted. *)
+
+val node_for : t -> string -> string option
+(** The node name a path currently routes to (its primary). *)
+
+val sync : t -> unit
+(** Re-read the catalog; on membership change, rebuild the ring and
+    migrate only the affected key ranges (see {!Replica.rebalance}).
+    Cheap when nothing changed.  Callers drive this at their own
+    cadence — the simulated world has no background threads. *)
+
+val routes : t -> int
+(** Routing decisions made so far. *)
+
+val failovers : t -> int
+(** Hedged read failovers so far. *)
+
+(** {1 The Chirp client API, routed} *)
+
+val mkdir : t -> string -> unit r
+val rmdir : t -> string -> unit r
+val unlink : t -> string -> unit r
+val put : t -> path:string -> data:string -> unit r
+val get : t -> string -> string r
+val stat : t -> string -> Idbox_chirp.Protocol.wire_stat r
+val readdir : t -> string -> string list r
+val getacl : t -> string -> string r
+val setacl : t -> path:string -> entry:string -> unit r
+
+val rename : t -> src:string -> dst:string -> unit r
+(** Within one shard only: a cross-shard rename answers [EXDEV], as a
+    cross-device rename would on Unix. *)
+
+val exec : t -> ?cwd:string -> path:string -> args:string list -> unit -> int r
+(** Routed by the program's path; [cwd] (default the program's
+    directory) must shard with it, else [EXDEV]. *)
+
+val checksum : t -> string -> string r
+val whoami : t -> string r

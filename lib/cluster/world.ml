@@ -1,0 +1,173 @@
+module Clock = Idbox_kernel.Clock
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Trace = Idbox_kernel.Trace
+module Network = Idbox_net.Network
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Catalog = Idbox_chirp.Catalog
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+module Subject = Idbox_identity.Subject
+module Wildcard = Idbox_identity.Wildcard
+module Errno = Idbox_vfs.Errno
+
+type member = {
+  m_name : string;
+  m_host : string;
+  m_server : Server.t;
+  m_replica : Replica.node;
+  m_heartbeat : Catalog.heartbeat;
+  mutable m_beating : bool;
+}
+
+type t = {
+  w_clock : Clock.t;
+  w_net : Network.t;
+  w_kernel : Kernel.t;
+  w_ca : Ca.t;
+  w_catalog : Catalog.t;
+  w_root_acl : Acl.t;
+  w_replicas : int;
+  w_vnodes : int;
+  w_hb_interval_ns : int64;
+  w_refresh_ns : int64;
+  w_trace : Trace.ring option;
+  mutable w_members : member list;
+}
+
+let catalog_address = "catalog.grid.edu:9097"
+
+let default_root_acl =
+  Acl.of_entries
+    [
+      Entry.make ~pattern:"globus:/O=Grid/*"
+        ~reserve:(Rights.of_string_exn "rwlaxd")
+        (Rights.of_string_exn "rl");
+      Entry.make ~pattern:"hostname:*.grid.edu" (Rights.of_string_exn "rl");
+    ]
+
+let create ?staleness_ns ?(heartbeat_interval_ns = 60_000_000_000L)
+    ?(refresh_interval_ns = 5_000_000_000L) ?(replicas = 2) ?(vnodes = 64)
+    ?(root_acl = default_root_acl) ?trace () =
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let kernel = Kernel.create ~clock () in
+  let catalog = Catalog.create ?staleness_ns net ~addr:catalog_address in
+  {
+    w_clock = clock;
+    w_net = net;
+    w_kernel = kernel;
+    w_ca = Ca.create ~name:"Grid CA";
+    w_catalog = catalog;
+    w_root_acl = root_acl;
+    w_replicas = max 1 replicas;
+    w_vnodes = vnodes;
+    w_hb_interval_ns = heartbeat_interval_ns;
+    w_refresh_ns = refresh_interval_ns;
+    w_trace = trace;
+    w_members = [];
+  }
+
+let net t = t.w_net
+let kernel t = t.w_kernel
+let clock t = t.w_clock
+let ca t = t.w_ca
+let catalog_addr t = Catalog.addr t.w_catalog
+let replicas t = t.w_replicas
+
+let default_acceptor t =
+  Negotiate.acceptor ~trusted_cas:[ t.w_ca ]
+    ~host_ok:(fun h -> Wildcard.literal_matches "*.grid.edu" h)
+    ()
+
+let short_name host =
+  match String.index_opt host '.' with
+  | Some i -> String.sub host 0 i
+  | None -> host
+
+let add_node ?acceptor t ~host =
+  let name = short_name host in
+  if List.exists (fun m -> String.equal m.m_name name) t.w_members then
+    Error (Printf.sprintf "world: member %s already exists" name)
+  else
+    let addr = host ^ ":9094" in
+    let acceptor =
+      match acceptor with Some a -> a | None -> default_acceptor t
+    in
+    match Account.add (Kernel.accounts t.w_kernel) ("chirp_" ^ name) with
+    | Error m -> Error m
+    | Ok owner ->
+      Kernel.refresh_passwd t.w_kernel;
+      (match
+         Server.create ~kernel:t.w_kernel ~net:t.w_net ~addr
+           ~owner_uid:owner.Account.uid ~export:("/tmp/chirp_" ^ name) ~acceptor
+           ~root_acl:t.w_root_acl ()
+       with
+       | Error e -> Error (Errno.to_string e)
+       | Ok server ->
+         let heartbeat =
+           Catalog.heartbeat ~src:host ~interval_ns:t.w_hb_interval_ns t.w_net
+             ~catalog:catalog_address ~name ~server_addr:addr
+             ~owner:("chirp:" ^ name)
+         in
+         let replica =
+           Replica.attach ~net:t.w_net ~server ~name ~catalog:catalog_address
+             ~replicas:t.w_replicas ~vnodes:t.w_vnodes
+             ~refresh_interval_ns:t.w_refresh_ns ?trace:t.w_trace ()
+         in
+         let m =
+           {
+             m_name = name;
+             m_host = host;
+             m_server = server;
+             m_replica = replica;
+             m_heartbeat = heartbeat;
+             m_beating = true;
+           }
+         in
+         t.w_members <-
+           List.sort (fun a b -> String.compare a.m_name b.m_name)
+             (m :: t.w_members);
+         Ok ())
+
+let settle t =
+  List.iter (fun m -> Replica.refresh_now m.m_replica) t.w_members
+
+let tick t =
+  List.iter
+    (fun m ->
+      if m.m_beating then ignore (Catalog.tick m.m_heartbeat);
+      Replica.tick m.m_replica)
+    t.w_members
+
+let members t = List.map (fun m -> m.m_name) t.w_members
+
+let find t name =
+  match List.find_opt (fun m -> String.equal m.m_name name) t.w_members with
+  | Some m -> m
+  | None -> raise Not_found
+
+let server t name = (find t name).m_server
+let replica t name = (find t name).m_replica
+
+let crash t name =
+  let m = find t name in
+  Server.crash m.m_server;
+  m.m_beating <- false
+
+let restart t name =
+  let m = find t name in
+  Server.restart m.m_server;
+  m.m_beating <- true
+
+let issue t cn =
+  Credential.Gsi (Ca.issue t.w_ca (Subject.of_string_exn ("/O=Grid/CN=" ^ cn)))
+
+let connect ?src ?policy t ~credentials =
+  Router.connect ?src ?policy ~replicas:t.w_replicas ~vnodes:t.w_vnodes
+    ?trace:t.w_trace t.w_net ~catalog:catalog_address ~credentials

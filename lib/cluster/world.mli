@@ -1,0 +1,82 @@
+(** A ready-made N-node cluster world for tests, benchmarks and the
+    CLI demo: one simulated clock/network/kernel, a catalog, a shared
+    CA, and any number of Chirp servers on distinct hosts, each
+    heartbeating its catalog lease and attached to the replication
+    fabric ({!Replica.attach}).
+
+    The world owns no threads: call {!tick} once per workload step to
+    drive heartbeats and lazy membership refreshes, and {!settle} after
+    assembling (or changing) the member set so every node's ring sees
+    the final membership before traffic starts. *)
+
+type t
+
+val create :
+  ?staleness_ns:int64 ->
+  ?heartbeat_interval_ns:int64 ->
+  ?refresh_interval_ns:int64 ->
+  ?replicas:int ->
+  ?vnodes:int ->
+  ?root_acl:Idbox_acl.Acl.t ->
+  ?trace:Idbox_kernel.Trace.ring ->
+  unit ->
+  t
+(** A fresh world with a catalog at [catalog.grid.edu:9097] and no
+    members yet.  The default [root_acl] gives [globus:/O=Grid/*] the
+    reserve right plus read/list, and read/list to [hostname:*.grid.edu]. *)
+
+val net : t -> Idbox_net.Network.t
+val kernel : t -> Idbox_kernel.Kernel.t
+val clock : t -> Idbox_kernel.Clock.t
+val ca : t -> Idbox_auth.Ca.t
+val catalog_addr : t -> string
+val replicas : t -> int
+
+val add_node :
+  ?acceptor:Idbox_auth.Negotiate.acceptor ->
+  t ->
+  host:string ->
+  (unit, string) result
+(** Start a server on [host] (e.g. ["alpha.grid.edu"]; member name is
+    the first label, public address [host:9094], export
+    [/tmp/chirp_<name>]), register it with the catalog, and attach it to the
+    replication fabric.  [acceptor] overrides the world's default
+    (trust the world CA; accept [hostname:*.grid.edu]) — e.g. to build
+    a shard that negotiates a {e different} principal and trip the
+    router's identity check. *)
+
+val settle : t -> unit
+(** Force every member's membership refresh — call once after the last
+    {!add_node} (and after any deliberate membership change the test
+    wants the nodes to see immediately). *)
+
+val tick : t -> unit
+(** One cooperative step: each beating member ticks its heartbeat, and
+    each member's replication node refreshes its view if due. *)
+
+val members : t -> string list
+(** Member names, sorted. *)
+
+val server : t -> string -> Idbox_chirp.Server.t
+(** A member's server, by name.  Raises [Not_found] for unknown names. *)
+
+val replica : t -> string -> Replica.node
+
+val crash : t -> string -> unit
+(** Crash a member's server {e and} stop its heartbeat: the lease ages
+    out and the catalog ejects it. *)
+
+val restart : t -> string -> unit
+(** Restart after {!crash}; the next {!tick} re-registers the lease. *)
+
+val issue : t -> string -> Idbox_auth.Credential.t
+(** A GSI credential for [/O=Grid/CN=<name>], signed by the world CA. *)
+
+val connect :
+  ?src:string ->
+  ?policy:Idbox_chirp.Client.retry_policy ->
+  t ->
+  credentials:Idbox_auth.Credential.t list ->
+  (Router.t, string) result
+(** {!Router.connect} against this world's catalog, with the world's
+    replica count, vnode count and trace ring. *)

@@ -7,6 +7,12 @@ type endpoint_stats = {
   mutable calls : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable busy_ns : int64;
+      (* Service time this endpoint spent handling calls: transfer time
+         for both legs plus the simulated-clock time its handler burned.
+         The capacity model for cluster benchmarks: with perfect
+         sharding, aggregate throughput is bounded by the busiest
+         endpoint's busy time, not the sum. *)
 }
 
 type endpoint = {
@@ -18,6 +24,7 @@ type endpoint = {
 type t = {
   nw_clock : Clock.t;
   endpoints : (string, endpoint) Hashtbl.t;
+  groups : (string, string list) Hashtbl.t;
   latency_ns : int64;
   ns_per_byte : float;
   timeout_ns : int64;
@@ -34,6 +41,7 @@ let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.)
   {
     nw_clock = clock;
     endpoints = Hashtbl.create 8;
+    groups = Hashtbl.create 4;
     latency_ns = Clock.of_micros latency_us;
     (* bits/s -> ns/byte *)
     ns_per_byte = 8e3 /. bandwidth_mbps;
@@ -51,7 +59,9 @@ let metrics t = t.nw_metrics
 
 let listen t ~addr handler =
   Hashtbl.replace t.endpoints addr
-    { handler; ep_stats = { calls = 0; bytes_in = 0; bytes_out = 0 }; up = true }
+    { handler;
+      ep_stats = { calls = 0; bytes_in = 0; bytes_out = 0; busy_ns = 0L };
+      up = true }
 
 let unlisten t ~addr = Hashtbl.remove t.endpoints addr
 
@@ -147,6 +157,12 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
         Error Errno.ETIMEDOUT
       end
       else begin
+        let service_start = Clock.now t.nw_clock in
+        let note_busy () =
+          ep.ep_stats.busy_ns <-
+            Int64.add ep.ep_stats.busy_ns
+              (Int64.sub (Clock.now t.nw_clock) service_start)
+        in
         charge_transfer t (String.length payload);
         ep.ep_stats.calls <- ep.ep_stats.calls + 1;
         ep.ep_stats.bytes_in <- ep.ep_stats.bytes_in + String.length payload;
@@ -155,12 +171,14 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
           (* The handler blew up: contain the exception at the wire,
              charge the aborted response leg, surface a reset. *)
           charge_transfer t 0;
+          note_busy ();
           note_fault t ~addr ~kind:"net.reset" ~verdict:"ECONNRESET"
             ~cost_ns:t.latency_ns;
           Error Errno.ECONNRESET
         | Ok response ->
           if Fault.chance t.rng prof.Fault.reset then begin
             charge_transfer t 0;
+            note_busy ();
             note_fault t ~addr ~kind:"net.reset" ~verdict:"ECONNRESET"
               ~cost_ns:t.latency_ns;
             Error Errno.ECONNRESET
@@ -170,6 +188,7 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
                for non-idempotent operations. *)
             t.messages <- t.messages + 1;
             t.bytes <- t.bytes + String.length response;
+            note_busy ();
             Clock.advance t.nw_clock timeout;
             note_fault t ~addr ~kind:"net.drop" ~verdict:"ETIMEDOUT"
               ~cost_ns:timeout;
@@ -191,6 +210,7 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
             in
             charge_transfer t (String.length response);
             ep.ep_stats.bytes_out <- ep.ep_stats.bytes_out + String.length response;
+            note_busy ();
             Ok response
           end
       end
@@ -198,6 +218,52 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
 let stats t ~addr =
   Option.map (fun ep -> ep.ep_stats) (Hashtbl.find_opt t.endpoints addr)
 
+let busy_ns t ~addr =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some ep -> ep.ep_stats.busy_ns
+  | None -> 0L
+
 let total_messages t = t.messages
 
 let total_bytes t = t.bytes
+
+(* {1 Endpoint groups} *)
+
+let define_group t ~name ~addrs = Hashtbl.replace t.groups name addrs
+
+let group_addrs t ~name =
+  match Hashtbl.find_opt t.groups name with Some l -> l | None -> []
+
+let drop_group t ~name = Hashtbl.remove t.groups name
+
+(* Transport failures worth trying the next group member for.  A
+   handler-level error (anything the endpoint answered) stops the
+   sweep: the group members are replicas of one service, so an
+   application verdict from one speaks for all. *)
+let hedgeable = function
+  | Errno.ETIMEDOUT | Errno.ECONNRESET | Errno.ECONNREFUSED
+  | Errno.EHOSTUNREACH -> true
+  | _ -> false
+
+let call_any t ?(src = "client") ?timeout_ns ~group payload =
+  let addrs =
+    match Hashtbl.find_opt t.groups group with
+    | Some l -> l
+    | None -> [ group ]  (* a bare address is a group of one *)
+  in
+  let rec sweep last = function
+    | [] ->
+      (match last with
+       | Some e -> Error e
+       | None -> Error Errno.EHOSTUNREACH)
+    | addr :: rest ->
+      (match call t ~src ?timeout_ns ~addr payload with
+       | Ok response -> Ok (addr, response)
+       | Error e when hedgeable e && rest <> [] ->
+         (* Hedged failover: this member is unreachable, the next may
+            not be. *)
+         Metrics.incr (Metrics.counter t.nw_metrics "net.hedge");
+         sweep (Some e) rest
+       | Error e -> Error e)
+  in
+  sweep None addrs

@@ -25,6 +25,11 @@ type endpoint_stats = {
   mutable calls : int;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable busy_ns : int64;
+      (** Simulated time this endpoint spent servicing calls (both
+          transfer legs plus handler time).  The cluster capacity
+          model: aggregate throughput is bounded by the busiest
+          endpoint, so N-way sharding divides the bottleneck. *)
 }
 
 val create :
@@ -78,8 +83,42 @@ val call :
 
 val stats : t -> addr:string -> endpoint_stats option
 
+val busy_ns : t -> addr:string -> int64
+(** Accumulated service time at [addr] ([0L] for unknown endpoints). *)
+
 val total_messages : t -> int
 val total_bytes : t -> int
+
+(** {1 Endpoint groups}
+
+    A group names an ordered set of addresses standing in for one
+    logical service (the replica set of a shard).  {!call_any} sweeps
+    the members in order, failing over on transport-level errors
+    ([ETIMEDOUT]/[ECONNRESET]/[ECONNREFUSED]/[EHOSTUNREACH], counted as
+    [net.hedge]) and stopping on the first reachable member's answer —
+    an application-level error from a live member is a verdict, not a
+    reason to shop around. *)
+
+val define_group : t -> name:string -> addrs:string list -> unit
+(** Define (or redefine) group [name]. *)
+
+val group_addrs : t -> name:string -> string list
+(** Members of [name], in failover order ([[]] when undefined). *)
+
+val drop_group : t -> name:string -> unit
+
+val call_any :
+  t ->
+  ?src:string ->
+  ?timeout_ns:int64 ->
+  group:string ->
+  string ->
+  (string * string, Idbox_vfs.Errno.t) result
+(** [call_any t ~group payload] calls the group's members in order
+    until one answers; returns the answering address and its response.
+    An unknown group name is treated as a group of one literal
+    address.  The last transport error is returned when every member
+    is unreachable. *)
 
 (** {1 Fault injection} *)
 

@@ -35,4 +35,6 @@ let () =
       ("apps", Test_apps.suite);
       ("remote", Test_remote.suite);
       ("world", Test_world.suite);
+      ("ring", Test_ring.suite);
+      ("cluster", Test_cluster.suite);
     ]

@@ -227,6 +227,57 @@ let dedup_replays_same_request_id () =
       Alcotest.(check int) "ran once" 1 !runs;
       Alcotest.(check int) "dedup hits counted" 2 (counter w "chirp.dedup_hit"))
 
+(* The dedup journal is bounded by age: entries past the window are
+   evicted (and counted), so the journal cannot grow without bound —
+   at the price that a retry arriving after the window re-executes. *)
+let dedup_journal_evicts_by_age () =
+  Kernel.with_fresh_programs (fun () ->
+      let w = make_world () in
+      let c = connect_fred w in
+      ok "mkdir" (Client.mkdir c "/work");
+      (* Dispatch rid'd operations at the wire level so we control the
+         request IDs. *)
+      let cert = Ca.issue w.ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred") in
+      let token =
+        match
+          Protocol.decode_response
+            (Server.handle w.server
+               (Protocol.encode_request (Protocol.Auth [ Credential.Gsi cert ])))
+        with
+        | Ok (Protocol.R_auth { token; _ }) -> token
+        | _ -> Alcotest.fail "auth failed"
+      in
+      let put rid path =
+        ignore
+          (Server.handle w.server
+             (Protocol.encode_request
+                (Protocol.Op
+                   { token; req_id = rid; op = Protocol.Put { path; data = "x" } })))
+      in
+      let journalled = Server.dedup_size w.server in
+      for i = 1 to 5 do
+        put (Printf.sprintf "fred#%d" i) (Printf.sprintf "/work/e%d" i)
+      done;
+      Alcotest.(check int) "journal grew" (journalled + 5)
+        (Server.dedup_size w.server);
+      (* Within the window the same rid replays without re-executing. *)
+      put "fred#1" "/work/e1";
+      Alcotest.(check int) "replay journalled, not re-added" (journalled + 5)
+        (Server.dedup_size w.server);
+      Alcotest.(check bool) "replay hit" true (counter w "chirp.dedup_hit" > 0);
+      (* Age everything past the 60 s window; the sweep on the next
+         dispatch evicts every stale entry. *)
+      Clock.advance w.clock 61_000_000_000L;
+      put "fred#99" "/work/late";
+      Alcotest.(check int) "journal bounded by age" 1 (Server.dedup_size w.server);
+      Alcotest.(check int) "evictions counted" (journalled + 5)
+        (counter w "chirp.dedup_evictions");
+      (* An evicted rid no longer replays: the same id now executes
+         fresh — the documented window semantics. *)
+      put "fred#1" "/work/fresh";
+      Alcotest.(check string) "evicted rid re-executed" "x"
+        (ok "get fresh" (Client.get c "/work/fresh")))
+
 (* A server restart loses sessions; the client re-authenticates behind
    the caller's back and the principal provably cannot change. *)
 let restart_reauth_keeps_identity () =
@@ -393,6 +444,154 @@ let acl_holds_under_corruption () =
   (* And reads still eventually succeed despite the damage. *)
   ignore (ok "readdir" (Client.readdir laptop "/"))
 
+(* --- the cluster acceptance scenario --------------------------------- *)
+
+module World = Idbox_cluster.World
+module Router = Idbox_cluster.Router
+
+let transient_errno = function
+  | Errno.ETIMEDOUT | Errno.ECONNRESET | Errno.ECONNREFUSED
+  | Errno.EHOSTUNREACH ->
+    true
+  | _ -> false
+
+let vstr = function Ok () -> "ok" | Error e -> Errno.to_string e
+let gstr = function Ok v -> v | Error e -> Errno.to_string e
+
+(* The shared workload script, run identically against the chaotic
+   3-node cluster and the calm single-server oracle.  Transient
+   transport verdicts are retried (time moves, membership reconverges);
+   the *final* verdict of every step goes into the transcript.  On a
+   calm network the retry path never fires, so the oracle runs the
+   same code. *)
+let cluster_steps w alice visitor =
+  let buf = ref [] in
+  let record fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+  let settled r op =
+    let rec go n =
+      match op () with
+      | Error e when transient_errno e && n < 12 ->
+        Clock.advance (World.clock w) 2_000_000_000L;
+        World.tick w;
+        Router.sync r;
+        go (n + 1)
+      | v -> v
+    in
+    go 0
+  in
+  for i = 0 to 23 do
+    Clock.advance (World.clock w) 2_000_000_000L;
+    World.tick w;
+    let dir = Printf.sprintf "/d%d" (i mod 6) in
+    let v = Printf.sprintf "v%d" i in
+    record "%02d put %s %s" i dir
+      (vstr (settled alice (fun () -> Router.put alice ~path:(dir ^ "/f") ~data:v)));
+    record "%02d get %s %s" i dir
+      (gstr (settled alice (fun () -> Router.get alice (dir ^ "/f"))));
+    record "%02d intrude %s %s" i dir
+      (vstr
+         (settled visitor (fun () ->
+              Router.put visitor ~path:(dir ^ "/intruder") ~data:"evil")))
+  done;
+  (* Converge: ride out any still-open partition until every world
+     member is back in the routers' view. *)
+  let want = List.length (World.members w) in
+  let rec heal n =
+    Router.sync alice;
+    if List.length (Router.nodes alice) < want && n < 80 then begin
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      heal (n + 1)
+    end
+  in
+  heal 0;
+  Router.sync visitor;
+  Alcotest.(check int) "view reconverged" want (List.length (Router.nodes alice));
+  (* Every shard answers the last value written to it — nothing was
+     lost to the partition, the ejection or the re-admission. *)
+  for j = 0 to 5 do
+    let dir = Printf.sprintf "/d%d" j in
+    record "final %s %s" dir
+      (gstr (settled alice (fun () -> Router.get alice (dir ^ "/f"))))
+  done;
+  String.concat "\n" (List.rev !buf)
+
+let cluster_world hosts ?staleness_ns ?heartbeat_interval_ns ?trace () =
+  let w = World.create ?staleness_ns ?heartbeat_interval_ns ?trace () in
+  List.iter
+    (fun h ->
+      match World.add_node w ~host:h with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    hosts;
+  World.settle w;
+  let policy =
+    { Client.default_policy with max_attempts = 12; retry_budget = 100_000 }
+  in
+  let connect credentials =
+    match World.connect ~policy w ~credentials with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  let alice = connect [ World.issue w "Alice" ] in
+  let visitor = connect [ Credential.Host "visitor.grid.edu" ] in
+  for j = 0 to 5 do
+    ok "mkdir" (Router.mkdir alice (Printf.sprintf "/d%d" j))
+  done;
+  (w, alice, visitor)
+
+(* 3-node ring at 10% drop, with a mid-run partition isolating one
+   replica (from clients, peers and the catalog at once): its lease
+   goes stale and it is ejected, the workload rides over on the
+   survivors, and the heal re-admits it with its ranges migrated
+   back. *)
+let cluster_chaos_run () =
+  let trace = Trace.ring ~capacity:8192 () in
+  let w, alice, visitor =
+    cluster_world
+      [ "alpha.grid.edu"; "beta.grid.edu"; "gamma.grid.edu" ]
+      ~staleness_ns:8_000_000_000L ~heartbeat_interval_ns:2_000_000_000L ~trace
+      ()
+  in
+  Network.set_fault_plan (World.net w)
+    (Fault.plan ~seed:2005L
+       ~default_profile:(Fault.profile ~drop:0.1 ())
+       ~partitions:
+         (List.map
+            (fun peer ->
+              { Fault.from_ns = 20_000_000_000L; until_ns = 90_000_000_000L;
+                between = ("gamma.grid.edu", peer) })
+            [ "client"; "alpha.grid.edu"; "beta.grid.edu"; "catalog.grid.edu" ])
+       ());
+  let transcript = cluster_steps w alice visitor in
+  let c name = Metrics.counter_value_of (Network.metrics (World.net w)) name in
+  Alcotest.(check bool) "partition hit" true (c "net.partition" > 0);
+  Alcotest.(check bool) "drops injected" true (c "net.drop" > 0);
+  Alcotest.(check bool) "isolated node ejected" true
+    (c "cluster.member.leave" > 0);
+  (* (Hedged-read failover has its own dedicated test in the cluster
+     suite; here the ejection usually reroutes before a read needs to
+     hedge.) *)
+  Alcotest.(check bool) "writes replicated" true (c "cluster.replicate" > 0);
+  ( transcript,
+    Metrics.to_json (Network.metrics (World.net w)),
+    Trace.to_json trace,
+    Clock.now (World.clock w) )
+
+let cluster_oracle_transcript () =
+  let w, alice, visitor = cluster_world [ "alpha.grid.edu" ] () in
+  cluster_steps w alice visitor
+
+let cluster_chaos_matches_oracle () =
+  let t1, m1, tr1, c1 = cluster_chaos_run () in
+  let t2, m2, tr2, c2 = cluster_chaos_run () in
+  Alcotest.(check string) "two seeded runs: transcript" t1 t2;
+  Alcotest.(check string) "two seeded runs: metrics byte-identical" m1 m2;
+  Alcotest.(check string) "two seeded runs: trace byte-identical" tr1 tr2;
+  Alcotest.(check int64) "two seeded runs: clock" c1 c2;
+  Alcotest.(check string) "verdicts match the single-server oracle"
+    (cluster_oracle_transcript ()) t1
+
 let suite =
   [
     Alcotest.test_case "workload completes at 10% drop + partition" `Quick
@@ -401,6 +600,8 @@ let suite =
       exec_exactly_once_under_loss;
     Alcotest.test_case "dedup replays across restart" `Quick
       dedup_replays_same_request_id;
+    Alcotest.test_case "dedup journal evicts by age" `Quick
+      dedup_journal_evicts_by_age;
     Alcotest.test_case "restart reauth keeps identity" `Quick
       restart_reauth_keeps_identity;
     Alcotest.test_case "session cap sheds then recovers" `Quick
@@ -413,4 +614,6 @@ let suite =
       decoders_total_under_mangling;
     Alcotest.test_case "acl holds under corruption" `Quick
       acl_holds_under_corruption;
+    Alcotest.test_case "3-node cluster chaos matches oracle, twice" `Quick
+      cluster_chaos_matches_oracle;
   ]

@@ -1,0 +1,281 @@
+(* The cluster layer end to end: identity-aware routing over the
+   consistent-hash ring, write-through-primary replication carrying the
+   caller's principal, hedged read failover, lease-driven ejection and
+   re-admission, rebalance locality, and the cluster-wide
+   consistency-of-identity invariant. *)
+
+module Clock = Idbox_kernel.Clock
+module Metrics = Idbox_kernel.Metrics
+module Network = Idbox_net.Network
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Ring = Idbox_cluster.Ring
+module Replica = Idbox_cluster.Replica
+module Router = Idbox_cluster.Router
+module World = Idbox_cluster.World
+module Errno = Idbox_vfs.Errno
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec find i =
+    i + n <= String.length s
+    && (String.equal (String.sub s i n) sub || find (i + 1))
+  in
+  find 0
+
+let counter w name =
+  Metrics.counter_value_of (Network.metrics (World.net w)) name
+
+let three_node_world ?staleness_ns ?heartbeat_interval_ns () =
+  let w = World.create ?staleness_ns ?heartbeat_interval_ns () in
+  List.iter
+    (fun h ->
+      match World.add_node w ~host:h with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    [ "alpha.grid.edu"; "beta.grid.edu"; "gamma.grid.edu" ];
+  World.settle w;
+  w
+
+let connect_alice w =
+  match World.connect w ~credentials:[ World.issue w "Alice" ] with
+  | Ok r -> r
+  | Error m -> Alcotest.fail m
+
+(* One namespace over three servers: paths route by prefix, and each
+   mutation lands on its shard's primary *and* replica — with the
+   caller's own principal in the replica's ACL, so identity survives
+   replication.  Non-owners hold nothing: the namespace really is
+   sharded, not mirrored. *)
+let routing_shards_and_replicates () =
+  let w = three_node_world () in
+  let r = connect_alice w in
+  Alcotest.(check int) "all shards admitted" 3 (List.length (Router.nodes r));
+  let dirs = List.init 6 (fun i -> Printf.sprintf "/d%d" i) in
+  List.iter
+    (fun d ->
+      ok "mkdir" (Router.mkdir r d);
+      ok "put" (Router.put r ~path:(d ^ "/f") ~data:("data" ^ d)))
+    dirs;
+  List.iter
+    (fun d ->
+      Alcotest.(check string) ("read " ^ d) ("data" ^ d)
+        (ok "get" (Router.get r (d ^ "/f"))))
+    dirs;
+  (* More than one shard took primary traffic. *)
+  let primaries =
+    List.sort_uniq compare
+      (List.map (fun d -> Option.get (Router.node_for r d)) dirs)
+  in
+  Alcotest.(check bool) "load spread over shards" true
+    (List.length primaries > 1);
+  (* Each dir exists exactly on its replica set, with Alice's name in
+     the replicated ACL. *)
+  let ring = Ring.create (World.members w) in
+  List.iter
+    (fun d ->
+      let key = Replica.shard_key d in
+      let owners = Ring.successors ring key 2 in
+      List.iter
+        (fun name ->
+          let snap =
+            ok ("snapshot " ^ name)
+              (Server.snapshot_subtree (World.server w name) d)
+          in
+          if List.mem name owners then begin
+            Alcotest.(check bool) (d ^ " present on " ^ name) true
+              (List.length snap >= 2);
+            (match snap with
+             | Server.Snap_dir { acl; _ } :: _ ->
+               Alcotest.(check bool) "replicated ACL names the caller" true
+                 (contains ~sub:"CN=Alice" acl)
+             | _ -> Alcotest.fail "snapshot should lead with the directory")
+          end
+          else
+            Alcotest.(check int) (d ^ " absent on non-owner " ^ name) 0
+              (List.length snap))
+        (World.members w))
+    dirs;
+  Alcotest.(check bool) "replication fan-out counted" true
+    (counter w "cluster.replicate" > 0);
+  Alcotest.(check bool) "routing counted" true (counter w "cluster.route" > 0)
+
+(* Crash a shard's primary: reads hedge over to the replica and still
+   answer; the failover is counted. *)
+let reads_fail_over_on_crash () =
+  let w = three_node_world () in
+  let r = connect_alice w in
+  ok "mkdir" (Router.mkdir r "/data");
+  ok "put" (Router.put r ~path:"/data/f" ~data:"precious");
+  let victim = Option.get (Router.node_for r "/data") in
+  World.crash w victim;
+  Alcotest.(check string) "read survives primary crash" "precious"
+    (ok "get" (Router.get r "/data/f"));
+  Alcotest.(check bool) "failover counted" true (Router.failovers r > 0);
+  Alcotest.(check bool) "failover metric" true (counter w "cluster.failover" > 0)
+
+(* The paper's consistency-of-identity invariant, cluster-wide: if one
+   shard negotiates a different principal for the same credentials, the
+   router refuses service rather than act under two names. *)
+let identity_mismatch_refused () =
+  let w = World.create () in
+  (match World.add_node w ~host:"alpha.grid.edu" with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (* beta does not trust the CA: it will fall back to the hostname
+     credential and negotiate a different principal. *)
+  let hostname_only =
+    Negotiate.acceptor
+      ~host_ok:(fun h -> Idbox_identity.Wildcard.literal_matches "*.grid.edu" h)
+      ()
+  in
+  (match World.add_node ~acceptor:hostname_only w ~host:"beta.grid.edu" with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  World.settle w;
+  match
+    World.connect w
+      ~credentials:[ World.issue w "Alice"; Credential.Host "visitor.grid.edu" ]
+  with
+  | Ok _ -> Alcotest.fail "router proceeded with two principals"
+  | Error m ->
+    Alcotest.(check bool) "explains the refusal" true
+      (contains ~sub:"identity differs" m);
+    Alcotest.(check bool) "mismatch counted" true
+      (counter w "cluster.identity.mismatch" > 0)
+
+(* A node whose lease goes stale is ejected; its first heartbeat after
+   restart re-admits it.  Reads keep working throughout. *)
+let ejection_and_readmission () =
+  let w =
+    three_node_world ~staleness_ns:8_000_000_000L
+      ~heartbeat_interval_ns:2_000_000_000L ()
+  in
+  let r = connect_alice w in
+  ok "mkdir" (Router.mkdir r "/keep");
+  ok "put" (Router.put r ~path:"/keep/f" ~data:"v1");
+  let victim = Option.get (Router.node_for r "/keep") in
+  World.crash w victim;
+  Clock.advance (World.clock w) 10_000_000_000L;
+  World.tick w;
+  Router.sync r;
+  Alcotest.(check int) "ejected" 2 (List.length (Router.nodes r));
+  Alcotest.(check bool) "leave counted" true (counter w "cluster.member.leave" > 0);
+  Alcotest.(check string) "read after ejection" "v1"
+    (ok "get" (Router.get r "/keep/f"));
+  World.restart w victim;
+  Clock.advance (World.clock w) 2_000_000_000L;
+  World.tick w;
+  Router.sync r;
+  Alcotest.(check int) "re-admitted" 3 (List.length (Router.nodes r));
+  Alcotest.(check string) "read after re-admission" "v1"
+    (ok "get" (Router.get r "/keep/f"))
+
+(* Rebalance locality: a join migrates exactly the ranges the new ring
+   assigns to the newcomer (plus its root-ACL sync) and nothing else —
+   prefixes it did not gain never appear on it. *)
+let join_migrates_only_affected_ranges () =
+  let w = three_node_world () in
+  let r = connect_alice w in
+  let dirs = List.init 6 (fun i -> Printf.sprintf "/d%d" i) in
+  List.iter
+    (fun d ->
+      ok "mkdir" (Router.mkdir r d);
+      ok "put" (Router.put r ~path:(d ^ "/f") ~data:("data" ^ d)))
+    dirs;
+  let before = Ring.create (World.members w) in
+  (match World.add_node w ~host:"delta.grid.edu" with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  World.settle w;
+  Router.sync r;
+  let after = Ring.create (World.members w) in
+  Alcotest.(check int) "four members" 4 (List.length (Router.nodes r));
+  (* Exactly the gained (prefix, node) pairs migrate, plus one root-ACL
+     sync to the newcomer. *)
+  let gained_total =
+    List.fold_left
+      (fun acc d ->
+        let key = Replica.shard_key d in
+        let old_owners = Ring.successors before key 2 in
+        let new_owners = Ring.successors after key 2 in
+        acc
+        + List.length
+            (List.filter (fun n -> not (List.mem n old_owners)) new_owners))
+      0 dirs
+  in
+  Alcotest.(check int) "migrations = gained ranges + root sync"
+    (gained_total + 1) (counter w "cluster.migrate");
+  Alcotest.(check int) "no range lost" 0 (counter w "cluster.migrate.lost");
+  (* Data is where the new ring says, readable through the router... *)
+  List.iter
+    (fun d ->
+      Alcotest.(check string) ("read " ^ d) ("data" ^ d)
+        (ok "get" (Router.get r (d ^ "/f"))))
+    dirs;
+  (* ...and the newcomer holds exactly what it gained. *)
+  List.iter
+    (fun d ->
+      let key = Replica.shard_key d in
+      let new_owners = Ring.successors after key 2 in
+      let snap =
+        ok "snapshot delta" (Server.snapshot_subtree (World.server w "delta") d)
+      in
+      if List.mem "delta" new_owners then
+        Alcotest.(check bool) (d ^ " migrated to delta") true
+          (List.length snap >= 2)
+      else
+        Alcotest.(check int) (d ^ " not migrated to delta") 0
+          (List.length snap))
+    dirs
+
+(* ACL semantics are one and the same on every shard: a read-only
+   visitor is denied writes wherever they land, and cross-shard renames
+   answer EXDEV rather than silently copying. *)
+let acl_and_exdev_semantics () =
+  let w = three_node_world () in
+  let alice = connect_alice w in
+  ok "mkdir" (Router.mkdir alice "/pub");
+  let visitor =
+    match
+      World.connect w ~credentials:[ Credential.Host "visitor.grid.edu" ]
+    with
+    | Ok r -> r
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check string) "visitor principal" "hostname:visitor.grid.edu"
+    (Router.principal visitor);
+  (match Router.put visitor ~path:"/pub/evil" ~data:"x" with
+   | Error Errno.EACCES -> ()
+   | Ok () -> Alcotest.fail "read-only visitor wrote through the router"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  ignore (ok "visitor readdir" (Router.readdir visitor "/"));
+  (* Renames: same shard fine, cross-shard EXDEV. *)
+  ok "put" (Router.put alice ~path:"/pub/a" ~data:"v");
+  ok "rename same shard" (Router.rename alice ~src:"/pub/a" ~dst:"/pub/b");
+  (match Router.rename alice ~src:"/pub/b" ~dst:"/elsewhere/b" with
+   | Error Errno.EXDEV -> ()
+   | Ok () -> Alcotest.fail "cross-shard rename succeeded"
+   | Error e -> Alcotest.failf "unexpected %s" (Errno.to_string e));
+  Alcotest.(check bool) "exdev counted" true (counter w "cluster.exdev" > 0)
+
+let suite =
+  [
+    Alcotest.test_case "routing shards and replicates with identity" `Quick
+      routing_shards_and_replicates;
+    Alcotest.test_case "reads fail over on crash" `Quick reads_fail_over_on_crash;
+    Alcotest.test_case "identity mismatch across shards refused" `Quick
+      identity_mismatch_refused;
+    Alcotest.test_case "lease ejection and re-admission" `Quick
+      ejection_and_readmission;
+    Alcotest.test_case "join migrates only affected ranges" `Quick
+      join_migrates_only_affected_ranges;
+    Alcotest.test_case "one ACL semantics everywhere + EXDEV" `Quick
+      acl_and_exdev_semantics;
+  ]

@@ -1,0 +1,183 @@
+(* Property suite for the cluster's consistent-hash ring (ISSUE 3):
+   deterministic lookups, exactly one live owner per key, and the
+   structural locality guarantee — a join moves keys only onto the new
+   node, a leave moves only the removed node's keys, and either moves
+   about K/N of them, never more than K/N plus slack.  Run across
+   several seeds with seeded key populations. *)
+
+module Ring = Idbox_cluster.Ring
+
+let seeds = [ 1; 7; 42; 2005; 90210 ]
+
+let node_names n = List.init n (fun i -> Printf.sprintf "node%02d" i)
+
+(* A seeded key population: deterministic per seed, different across
+   seeds. *)
+let keys seed k =
+  let st = Random.State.make [| seed |] in
+  List.init k (fun _ -> Printf.sprintf "key%06d" (Random.State.int st 1_000_000))
+
+let lookup_exn ring key =
+  match Ring.lookup ring key with
+  | Some n -> n
+  | None -> Alcotest.failf "no owner for %s" key
+
+(* Same members, any construction order, a rebuilt ring — identical
+   placement everywhere.  This is what lets every cluster node compute
+   routing locally from the membership list alone. *)
+let lookups_deterministic () =
+  List.iter
+    (fun seed ->
+      let names = node_names 5 in
+      let r1 = Ring.create names in
+      let r2 = Ring.create (List.rev names) in
+      let r3 = Ring.create names in
+      List.iter
+        (fun key ->
+          let o1 = lookup_exn r1 key in
+          Alcotest.(check string) "order-independent" o1 (lookup_exn r2 key);
+          Alcotest.(check string) "rebuild-stable" o1 (lookup_exn r3 key);
+          Alcotest.(check (list string))
+            "replica set stable"
+            (Ring.successors r1 key 3)
+            (Ring.successors r2 key 3))
+        (keys seed 500))
+    seeds
+
+(* Every key maps to exactly one live member, and its replica set is
+   distinct members of the ring, primary first. *)
+let exactly_one_live_owner () =
+  List.iter
+    (fun seed ->
+      let names = node_names 7 in
+      let ring = Ring.create names in
+      List.iter
+        (fun key ->
+          let owner = lookup_exn ring key in
+          Alcotest.(check bool) "owner is a member" true (List.mem owner names);
+          let reps = Ring.successors ring key 3 in
+          Alcotest.(check int) "replica set size" 3 (List.length reps);
+          Alcotest.(check int) "replicas distinct" 3
+            (List.length (List.sort_uniq String.compare reps));
+          Alcotest.(check string) "primary heads the set" owner (List.hd reps);
+          List.iter
+            (fun r ->
+              Alcotest.(check bool) "replica is a member" true (List.mem r names))
+            reps)
+        (keys seed 500))
+    seeds
+
+(* Join locality: every key that moves, moves onto the new node, and
+   no more than ~K/N + slack keys move at all. *)
+let join_moves_only_onto_new_node () =
+  List.iter
+    (fun seed ->
+      let k = 2000 in
+      let names = node_names 5 in
+      let before = Ring.create names in
+      let after = Ring.add before "newcomer" in
+      let moved = ref 0 in
+      List.iter
+        (fun key ->
+          let o1 = lookup_exn before key in
+          let o2 = lookup_exn after key in
+          if not (String.equal o1 o2) then begin
+            incr moved;
+            Alcotest.(check string) "moved keys land on the newcomer"
+              "newcomer" o2
+          end)
+        (keys seed k);
+      (* Fair share for 1 of 6 nodes is k/6 = 333; allow generous
+         statistical slack but catch a broken ring that reshuffles
+         half the keyspace. *)
+      Alcotest.(check bool) "some keys moved" true (!moved > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "moved %d <= K/N + slack (seed %d)" !moved seed)
+        true
+        (!moved <= (k / 5) + 100))
+    seeds
+
+(* Leave locality: only keys the removed node owned move, and all of
+   its keys find a new live owner. *)
+let leave_moves_only_departed_keys () =
+  List.iter
+    (fun seed ->
+      let k = 2000 in
+      let names = node_names 5 in
+      let victim = "node02" in
+      let before = Ring.create names in
+      let after = Ring.remove before victim in
+      let moved = ref 0 in
+      List.iter
+        (fun key ->
+          let o1 = lookup_exn before key in
+          let o2 = lookup_exn after key in
+          if String.equal o1 victim then begin
+            incr moved;
+            Alcotest.(check bool) "rehomed off the victim" false
+              (String.equal o2 victim)
+          end
+          else
+            Alcotest.(check string) "unaffected keys stay put" o1 o2)
+        (keys seed k);
+      Alcotest.(check bool) "victim owned some keys" true (!moved > 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "moved %d <= K/N + slack (seed %d)" !moved seed)
+        true
+        (!moved <= (k / 5) + 100))
+    seeds
+
+(* The same locality holds for whole replica sets — the property the
+   rebalance migration relies on to move only affected ranges. *)
+let replica_sets_change_only_around_newcomer () =
+  List.iter
+    (fun seed ->
+      let before = Ring.create (node_names 5) in
+      let after = Ring.add before "newcomer" in
+      List.iter
+        (fun key ->
+          if not (Ring.owners_equal before after key 2) then begin
+            let now = Ring.successors after key 2 in
+            let old = Ring.successors before key 2 in
+            let gained =
+              List.filter (fun n -> not (List.mem n old)) now
+            in
+            List.iter
+              (fun n ->
+                Alcotest.(check string) "only the newcomer is gained"
+                  "newcomer" n)
+              gained
+          end)
+        (keys seed 1000))
+    seeds
+
+let empty_and_degenerate_rings () =
+  let empty = Ring.create [] in
+  Alcotest.(check bool) "empty ring" true (Ring.is_empty empty);
+  (match Ring.lookup empty "anything" with
+   | None -> ()
+   | Some n -> Alcotest.failf "owner %s on an empty ring" n);
+  Alcotest.(check (list string)) "no successors" []
+    (Ring.successors empty "anything" 3);
+  let solo = Ring.create [ "only" ] in
+  Alcotest.(check (list string)) "solo replica set clamps" [ "only" ]
+    (Ring.successors solo "k" 5);
+  let dup = Ring.create [ "a"; "a"; "b" ] in
+  Alcotest.(check (list string)) "duplicates collapse" [ "a"; "b" ]
+    (Ring.nodes dup)
+
+let suite =
+  [
+    Alcotest.test_case "lookups deterministic across builds" `Quick
+      lookups_deterministic;
+    Alcotest.test_case "every key has exactly one live owner" `Quick
+      exactly_one_live_owner;
+    Alcotest.test_case "join moves only onto the new node" `Quick
+      join_moves_only_onto_new_node;
+    Alcotest.test_case "leave moves only the departed keys" `Quick
+      leave_moves_only_departed_keys;
+    Alcotest.test_case "replica sets change only around newcomer" `Quick
+      replica_sets_change_only_around_newcomer;
+    Alcotest.test_case "empty and degenerate rings" `Quick
+      empty_and_degenerate_rings;
+  ]
