@@ -344,6 +344,242 @@ let cluster_block () =
         r.cr_speedup r.cr_failovers r.cr_drops)
     (cluster_rows ())
 
+(* The cache ablation: the same warm ACL-heavy workload through a
+   generation-cached enforcement engine and through one with caching
+   off (the pre-cache behaviour, and what the paper's Parrot pays: a
+   revalidation lstat per check).  Both phases are measured warm — one
+   priming pass first — so the figure isolates steady-state cost, and
+   the cached engine must clock {e zero} delegated syscalls.  Plus the
+   batched-RPC figure: 64 reads as 64 round trips vs. one [Batch]
+   envelope.  All simulated and seeded: byte-identical across runs. *)
+type cache_mode_row = {
+  cm_mode : string;
+  cm_checks : int;
+  cm_ns_per_check : float;
+  cm_total_ms : float;
+  cm_delegated : int;  (* delegated syscalls during the measured phase *)
+}
+
+type cache_report = {
+  cb_modes : cache_mode_row list;
+  cb_speedup : float;  (* uncached simulated time / cached *)
+  cb_acl_hits : int;
+  cb_dec_hits : int;
+  cb_name_hits : int;
+  cb_lease_hits : int;
+  cb_ops : int;
+  cb_seq_msgs : int;
+  cb_seq_ms : float;
+  cb_batch_msgs : int;
+  cb_batch_ms : float;
+}
+
+let cache_enforce_run ~caching =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Clock = Idbox_kernel.Clock in
+  let module Metrics = Idbox_kernel.Metrics in
+  let module Enforce = Idbox.Enforce in
+  let module Acl = Idbox_acl.Acl in
+  let module Entry = Idbox_acl.Entry in
+  let module Rights = Idbox_acl.Rights in
+  let module Right = Idbox_acl.Right in
+  let kernel = Kernel.create () in
+  let sup = Kernel.make_view kernel ~uid:0 () in
+  let enforce = Enforce.create ~caching kernel ~supervisor:sup () in
+  let dirs = List.init 8 (fun i -> Printf.sprintf "/proj/d%d" i) in
+  List.iter
+    (fun dir ->
+      (match Idbox_vfs.Fs.mkdir_p (Kernel.fs kernel) ~uid:0 dir with
+       | Ok () -> ()
+       | Error e -> failwith (Idbox_vfs.Errno.message e));
+      let acl =
+        Acl.of_entries
+          (Entry.make ~pattern:"kerberos:*@BENCH.EDU"
+             (Rights.of_string_exn "rl")
+           :: List.init 4 (fun k ->
+                  Entry.make
+                    ~pattern:(Printf.sprintf "globus:/O=Bench/CN=user%d" k)
+                    (Rights.of_string_exn "rwl")))
+      in
+      match Enforce.write_acl enforce ~dir acl with
+      | Ok () -> ()
+      | Error e -> failwith (Idbox_vfs.Errno.message e))
+    dirs;
+  let identities =
+    List.map Idbox_identity.Principal.of_string
+      [
+        "globus:/O=Bench/CN=user0";
+        "globus:/O=Bench/CN=user1";
+        "globus:/O=Bench/CN=user2";
+        "kerberos:alice@BENCH.EDU";
+      ]
+  in
+  let rights = [ Right.Read; Right.Write; Right.List ] in
+  let pass () =
+    List.iter
+      (fun dir ->
+        List.iter
+          (fun identity ->
+            List.iter
+              (fun right ->
+                ignore
+                  (Enforce.check_object enforce ~identity
+                     ~path:(dir ^ "/blob") right))
+              rights)
+          identities)
+      dirs
+  in
+  pass ();  (* prime every cache: the figure is the warm path *)
+  let clock = Kernel.clock kernel in
+  let rounds = 50 in
+  let t0 = Clock.now clock in
+  let d0 = (Kernel.stats kernel).Kernel.delegated in
+  for _ = 1 to rounds do
+    pass ()
+  done;
+  let total_ns = Int64.to_float (Int64.sub (Clock.now clock) t0) in
+  let checks = rounds * List.length dirs * List.length identities
+               * List.length rights in
+  let value name = Metrics.counter_value_of (Kernel.metrics kernel) name in
+  ( {
+      cm_mode = (if caching then "cached" else "uncached");
+      cm_checks = checks;
+      cm_ns_per_check = total_ns /. float_of_int checks;
+      cm_total_ms = total_ns /. 1e6;
+      cm_delegated = (Kernel.stats kernel).Kernel.delegated - d0;
+    },
+    (value "acl.cache.hit", value "enforce.decision.hit",
+     value "enforce.name.hit") )
+
+let cache_batch_run () =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Account = Idbox_kernel.Account in
+  let module Clock = Idbox_kernel.Clock in
+  let module Metrics = Idbox_kernel.Metrics in
+  let module Network = Idbox_net.Network in
+  let module Ca = Idbox_auth.Ca in
+  let module Credential = Idbox_auth.Credential in
+  let module Negotiate = Idbox_auth.Negotiate in
+  let module Server = Idbox_chirp.Server in
+  let module Client = Idbox_chirp.Client in
+  let module Protocol = Idbox_chirp.Protocol in
+  let module Subject = Idbox_identity.Subject in
+  let clock = Clock.create () in
+  let kernel = Kernel.create ~clock () in
+  let net = Network.create ~clock () in
+  let owner =
+    match Account.add (Kernel.accounts kernel) "chirpuser" with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  Kernel.refresh_passwd kernel;
+  let ca = Ca.create ~name:"Bench CA" in
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+  let root_acl =
+    Idbox_acl.Acl.of_entries
+      [
+        Idbox_acl.Entry.make ~pattern:"globus:/O=Bench/*"
+          (Idbox_acl.Rights.of_string_exn "rwl");
+      ]
+  in
+  (match
+     Server.create ~kernel ~net ~addr:"bench.grid.edu:9094"
+       ~owner_uid:owner.Account.uid ~export:"/tmp/bench" ~acceptor ~root_acl ()
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let cert = Ca.issue ca (Subject.of_string_exn "/O=Bench/CN=Reader") in
+  let c =
+    match
+      Client.connect net ~addr:"bench.grid.edu:9094"
+        ~credentials:[ Credential.Gsi cert ]
+    with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let ops = 64 in
+  let paths = List.init ops (fun i -> Printf.sprintf "/blob%02d" i) in
+  List.iter
+    (fun path ->
+      match Client.put c ~path ~data:(String.make 256 'b') with
+      | Ok () -> ()
+      | Error e -> failwith (Idbox_vfs.Errno.message e))
+    paths;
+  (* Sequential: one round trip per read. *)
+  let m0 = Network.total_messages net in
+  let t0 = Clock.now clock in
+  List.iter
+    (fun path ->
+      match Client.get c path with
+      | Ok _ -> ()
+      | Error e -> failwith (Idbox_vfs.Errno.message e))
+    paths;
+  let seq_msgs = Network.total_messages net - m0 in
+  let seq_ms = Int64.to_float (Int64.sub (Clock.now clock) t0) /. 1e6 in
+  (* Batched: the same reads in one envelope. *)
+  let m1 = Network.total_messages net in
+  let t1 = Clock.now clock in
+  (match Client.batch c (List.map (fun p -> Protocol.Get p) paths) with
+   | Ok rs when List.length rs = ops -> ()
+   | Ok _ -> failwith "batch: wrong arity"
+   | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let batch_msgs = Network.total_messages net - m1 in
+  let batch_ms = Int64.to_float (Int64.sub (Clock.now clock) t1) /. 1e6 in
+  (* And a lease hit: the second stat is served without a round trip. *)
+  (match (Client.stat c "/blob00", Client.stat c "/blob00") with
+   | Ok _, Ok _ -> ()
+   | _ -> failwith "stat");
+  let lease_hits =
+    Metrics.counter_value_of (Network.metrics net) "chirp.lease.hit"
+  in
+  (ops, seq_msgs, seq_ms, batch_msgs, batch_ms, lease_hits)
+
+let cache_report () =
+  let cached, (acl_hits, dec_hits, name_hits) =
+    cache_enforce_run ~caching:true
+  in
+  let uncached, _ = cache_enforce_run ~caching:false in
+  let ops, seq_msgs, seq_ms, batch_msgs, batch_ms, lease_hits =
+    cache_batch_run ()
+  in
+  {
+    cb_modes = [ cached; uncached ];
+    cb_speedup = uncached.cm_total_ms /. cached.cm_total_ms;
+    cb_acl_hits = acl_hits;
+    cb_dec_hits = dec_hits;
+    cb_name_hits = name_hits;
+    cb_lease_hits = lease_hits;
+    cb_ops = ops;
+    cb_seq_msgs = seq_msgs;
+    cb_seq_ms = seq_ms;
+    cb_batch_msgs = batch_msgs;
+    cb_batch_ms = batch_ms;
+  }
+
+let cache_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline
+    "Cache - generation-validated enforcement caches + batched Chirp RPC";
+  print_endline (String.make 78 '=');
+  let r = cache_report () in
+  Printf.printf "%10s %8s %14s %12s %10s\n" "mode" "checks" "ns/check"
+    "total (ms)" "delegated";
+  print_endline (String.make 58 '-');
+  List.iter
+    (fun m ->
+      Printf.printf "%10s %8d %14.1f %12.3f %10d\n" m.cm_mode m.cm_checks
+        m.cm_ns_per_check m.cm_total_ms m.cm_delegated)
+    r.cb_modes;
+  Printf.printf
+    "warm speedup: %.2fx   (hits: acl %d, decision %d, name %d, lease %d)\n"
+    r.cb_speedup r.cb_acl_hits r.cb_dec_hits r.cb_name_hits r.cb_lease_hits;
+  Printf.printf
+    "batch rpc: %d reads  sequential %d msgs %.3f ms   batched %d msgs %.3f \
+     ms  (%.0fx fewer messages)\n"
+    r.cb_ops r.cb_seq_msgs r.cb_seq_ms r.cb_batch_msgs r.cb_batch_ms
+    (float_of_int r.cb_seq_msgs /. float_of_int (max 1 r.cb_batch_msgs))
+
 (* The machine-readable block for BENCH_*.json trajectory tracking:
    run the representative boxed workload, print one JSON object. *)
 let metrics_block () =
@@ -361,7 +597,7 @@ let metrics_block () =
 let json_report () =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
-  add "{\"schema\":\"idbox-bench/1\",\n \"resilience\":[";
+  add "{\"schema\":\"idbox-bench/2\",\n \"resilience\":[";
   List.iteri
     (fun i r ->
       if i > 0 then add ",\n   ";
@@ -383,7 +619,29 @@ let json_report () =
            r.cr_nodes r.cr_drop r.cr_ops r.cr_p50_ms r.cr_p95_ms
            r.cr_tput_kops r.cr_speedup r.cr_failovers r.cr_drops))
     (cluster_rows ());
-  add "],\n \"metrics\":";
+  add "],\n \"cache\":";
+  let cr = cache_report () in
+  add "{\"enforce\":[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"mode\":%S,\"checks\":%d,\"ns_per_check\":%.1f,\
+            \"total_ms\":%.3f,\"delegated\":%d}"
+           m.cm_mode m.cm_checks m.cm_ns_per_check m.cm_total_ms
+           m.cm_delegated))
+    cr.cb_modes;
+  add
+    (Printf.sprintf
+       "],\"speedup\":%.2f,\"counters\":{\"acl_cache_hit\":%d,\
+        \"decision_hit\":%d,\"name_hit\":%d,\"lease_hit\":%d},\
+        \"batch\":{\"ops\":%d,\"seq_msgs\":%d,\"seq_ms\":%.3f,\
+        \"batch_msgs\":%d,\"batch_ms\":%.3f}}"
+       cr.cb_speedup cr.cb_acl_hits cr.cb_dec_hits cr.cb_name_hits
+       cr.cb_lease_hits cr.cb_ops cr.cb_seq_msgs cr.cb_seq_ms cr.cb_batch_msgs
+       cr.cb_batch_ms);
+  add ",\n \"metrics\":";
   add
     (Idbox_report.Report.metrics_json (Idbox_report.Report.metrics_workload ()));
   add "}";
@@ -402,6 +660,7 @@ let () =
     bechamel_suite ();
     resilience_block ();
     cluster_block ();
+    cache_block ();
     metrics_block ()
   | names ->
     List.iter
@@ -418,11 +677,12 @@ let () =
         | "bechamel" -> bechamel_suite ()
         | "resilience" -> resilience_block ()
         | "cluster" | "scaling" -> cluster_block ()
+        | "cache" | "caches" -> cache_block ()
         | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
-             ablation bechamel resilience cluster metrics)\n"
+             ablation bechamel resilience cluster cache metrics)\n"
             other;
           exit 2)
       names

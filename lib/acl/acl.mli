@@ -11,7 +11,11 @@
 
 type t
 (** An ordered list of entries.  Order is preserved for display but does
-    not affect {!check}, which takes the union of matches. *)
+    not affect {!check}, which takes the union of matches.  Internally
+    the list is compiled once, on first use, into a matcher — an exact
+    hash over literal patterns plus the wild entries — with a
+    per-principal memo of effective rights, so repeated checks cost one
+    probe instead of a linear scan. *)
 
 val filename : string
 (** The name of the ACL file within each directory: [".__acl"]. *)
@@ -36,7 +40,8 @@ val reserve_for : t -> Idbox_identity.Principal.t -> Rights.t option
     or [None] if no covering entry carries a reserve right. *)
 
 val set_entry : t -> Entry.t -> t
-(** Replace the entry with the same pattern text, or append. *)
+(** Replace the entry with the same pattern text (dropping any later
+    duplicates of that pattern), or append.  Appending is O(1). *)
 
 val remove_pattern : t -> string -> t
 (** Drop the entry whose pattern text equals the argument, if any. *)

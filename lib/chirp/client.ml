@@ -13,6 +13,7 @@ type retry_policy = {
   base_backoff_ns : int64;
   max_backoff_ns : int64;
   retry_budget : int;
+  lease_ns : int64;
 }
 
 let default_policy =
@@ -22,7 +23,17 @@ let default_policy =
     base_backoff_ns = 1_000_000L;
     max_backoff_ns = 100_000_000L;
     retry_budget = 100;
+    lease_ns = 2_000_000_000L;
   }
+
+(* An NFS-style lease over attribute reads: a cached [Stat]/[Getacl]
+   response served without a round trip while the lease holds.  Flushed
+   wholesale on any mutation reply through this client and on reauth
+   (the server restarted under us); bounded in between by [lease_ns]. *)
+type lease = {
+  le_at : int64;
+  le_resp : Protocol.response;
+}
 
 type t = {
   cl_net : Network.t;
@@ -38,6 +49,7 @@ type t = {
   mutable cl_budget : int;
   mutable cl_retries : int;
   mutable cl_req_counter : int;
+  cl_leases : (string, lease) Hashtbl.t;
 }
 
 let principal t = t.cl_principal
@@ -48,6 +60,36 @@ let budget_left t = t.cl_budget
 
 let metric_on net name = Metrics.incr (Metrics.counter (Network.metrics net) name)
 let metric t name = metric_on t.cl_net name
+
+let leases_on t = Int64.compare t.cl_policy.lease_ns 0L > 0
+
+let lease_get t key =
+  if not (leases_on t) then None
+  else begin
+    let now = Clock.now (Network.clock t.cl_net) in
+    match Hashtbl.find_opt t.cl_leases key with
+    | Some l when Int64.sub now l.le_at <= t.cl_policy.lease_ns ->
+      metric t "chirp.lease.hit";
+      Some l.le_resp
+    | Some _ ->
+      Hashtbl.remove t.cl_leases key;
+      metric t "chirp.lease.miss";
+      None
+    | None ->
+      metric t "chirp.lease.miss";
+      None
+  end
+
+let lease_put t key resp =
+  if leases_on t then
+    Hashtbl.replace t.cl_leases key
+      { le_at = Clock.now (Network.clock t.cl_net); le_resp = resp }
+
+let flush_leases t =
+  if Hashtbl.length t.cl_leases > 0 then begin
+    metric t "chirp.lease.invalidate";
+    Hashtbl.reset t.cl_leases
+  end
 
 (* Transport-level failures a retry can plausibly cure.  EAGAIN covers a
    server shedding load (session table full): back off and try again. *)
@@ -119,6 +161,7 @@ let connect ?(src = "client") ?(policy = default_policy) net ~addr ~credentials 
         cl_budget = policy.retry_budget;
         cl_retries = 0;
         cl_req_counter = 0;
+        cl_leases = Hashtbl.create 16;
       }
 
 (* The server forgot our session (restart, or idle expiry): negotiate a
@@ -138,6 +181,9 @@ let reauth t =
   | Ok (token, principal, _method) ->
     if String.equal principal t.cl_principal then begin
       t.cl_token <- token;
+      (* ESTALE means the server forgot us — likely a restart, after
+         which any cached attribute may describe a lost world. *)
+      flush_leases t;
       Ok ()
     end
     else begin
@@ -191,7 +237,11 @@ let call t op =
        | Ok (Protocol.R_error (e, _)) -> Error e
        | Ok r -> Ok r)
   in
-  go 1 false
+  let r = go 1 false in
+  (* Any mutation attempt through this client invalidates its leases —
+     even a failed one may have landed server-side (lost reply). *)
+  if not (Protocol.idempotent op) then flush_leases t;
+  r
 
 let expect_ok = function
   | Ok Protocol.R_ok -> Ok ()
@@ -211,10 +261,15 @@ let get t path =
   | Error e -> Error e
 
 let stat t path =
-  match call t (Protocol.Stat path) with
-  | Ok (Protocol.R_stat st) -> Ok st
-  | Ok _ -> Error Errno.EINVAL
-  | Error e -> Error e
+  match lease_get t ("stat:" ^ path) with
+  | Some (Protocol.R_stat st) -> Ok st
+  | Some _ | None ->
+    (match call t (Protocol.Stat path) with
+     | Ok (Protocol.R_stat st) ->
+       lease_put t ("stat:" ^ path) (Protocol.R_stat st);
+       Ok st
+     | Ok _ -> Error Errno.EINVAL
+     | Error e -> Error e)
 
 let readdir t path =
   match call t (Protocol.Readdir path) with
@@ -223,10 +278,15 @@ let readdir t path =
   | Error e -> Error e
 
 let getacl t path =
-  match call t (Protocol.Getacl path) with
-  | Ok (Protocol.R_str s) -> Ok s
-  | Ok _ -> Error Errno.EINVAL
-  | Error e -> Error e
+  match lease_get t ("acl:" ^ path) with
+  | Some (Protocol.R_str s) -> Ok s
+  | Some _ | None ->
+    (match call t (Protocol.Getacl path) with
+     | Ok (Protocol.R_str s) ->
+       lease_put t ("acl:" ^ path) (Protocol.R_str s);
+       Ok s
+     | Ok _ -> Error Errno.EINVAL
+     | Error e -> Error e)
 
 let setacl t ~path ~entry = expect_ok (call t (Protocol.Setacl { path; entry }))
 
@@ -244,6 +304,18 @@ let checksum t path =
   | Ok (Protocol.R_str s) -> Ok s
   | Ok _ -> Error Errno.EINVAL
   | Error e -> Error e
+
+let batch t ops =
+  match ops with
+  | [] -> Ok []
+  | _ ->
+    if List.exists (function Protocol.Batch _ -> true | _ -> false) ops then
+      Error Errno.EINVAL
+    else
+      (match call t (Protocol.Batch ops) with
+       | Ok (Protocol.R_batch rs) when List.length rs = List.length ops -> Ok rs
+       | Ok _ -> Error Errno.EINVAL
+       | Error e -> Error e)
 
 let whoami t =
   match call t Protocol.Whoami with

@@ -30,10 +30,17 @@ type retry_policy = {
       (** Total retries the session may spend across all calls; once
           exhausted, calls fail on their first transport error
           (graceful degradation instead of unbounded re-sending). *)
+  lease_ns : int64;
+      (** How long a cached [stat]/[getacl] response may be served
+          without a round trip (an NFS-style attribute lease).  The
+          cache is flushed on every mutation attempted through this
+          client and on re-authentication; [0L] (or negative) disables
+          it.  Counters: [chirp.lease.hit] / [.miss] / [.invalidate]. *)
 }
 
 val default_policy : retry_policy
-(** 1 s timeout, 4 attempts, 1 ms–100 ms backoff, budget 100. *)
+(** 1 s timeout, 4 attempts, 1 ms–100 ms backoff, budget 100,
+    2 s attribute leases. *)
 
 val connect :
   ?src:string ->
@@ -84,6 +91,14 @@ val checksum : t -> string -> string r
     second copy of the data on the wire. *)
 
 val whoami : t -> string r
+
+val batch : t -> Protocol.operation list -> Protocol.response list r
+(** Run N operations in one round trip ({!Protocol.Batch}): one
+    envelope, one checksum, one request ID — a retried mutation batch
+    deduplicates as a unit.  Members execute in order server-side; each
+    member's result (including per-member errors) comes back in request
+    order.  [Ok []] for the empty list without touching the network;
+    [EINVAL] on nested batches. *)
 
 val to_remote : t -> Idbox.Remote.t
 (** A {!Idbox.Remote} driver backed by this session, for mounting into

@@ -18,6 +18,9 @@ type operation =
   | Exec of { path : string; args : string list; cwd : string }
   | Checksum of string
   | Whoami
+  | Batch of operation list
+      (* N operations pipelined in one envelope: one checksum, one
+         request ID, executed in order server-side.  Never nested. *)
 
 type request =
   | Auth of Credential.t list
@@ -38,23 +41,28 @@ type response =
   | R_names of string list
   | R_exit of int
   | R_str of string
+  | R_batch of response list  (* member responses, in request order *)
 
 (* Operations safe to re-send blindly: re-executing them cannot change
    server state beyond what the first execution did.  Everything else
    must carry a request ID so the server can deduplicate retries. *)
-let idempotent = function
+let rec idempotent = function
   | Get _ | Stat _ | Readdir _ | Getacl _ | Checksum _ | Whoami -> true
   | Mkdir _ | Rmdir _ | Unlink _ | Put _ | Setacl _ | Rename _ | Exec _ -> false
+  (* A batch is blindly re-sendable only when every member is. *)
+  | Batch ops -> List.for_all idempotent ops
 
 (* The path an operation is routed by: the object it names, or — for
    two-path operations — its primary (source) path.  [Whoami] has no
    path and routes to the root. *)
-let operation_path = function
+let rec operation_path = function
   | Mkdir p | Rmdir p | Unlink p | Get p | Stat p | Readdir p | Getacl p
   | Checksum p -> p
   | Put { path; _ } | Setacl { path; _ } | Exec { path; _ } -> path
   | Rename { src; _ } -> src
   | Whoami -> "/"
+  | Batch (op :: _) -> operation_path op
+  | Batch [] -> "/"
 
 let operation_name = function
   | Mkdir _ -> "mkdir"
@@ -70,6 +78,7 @@ let operation_name = function
   | Exec _ -> "exec"
   | Checksum _ -> "checksum"
   | Whoami -> "whoami"
+  | Batch _ -> "batch"
 
 (* --- credentials ---------------------------------------------------- *)
 
@@ -122,7 +131,7 @@ let unseal tag text =
     else Error "checksum mismatch (frame damaged in flight)"
   | Ok _ -> Error "not a sealed frame"
 
-let operation_fields = function
+let rec operation_fields = function
   | Mkdir p -> [ "mkdir"; p ]
   | Rmdir p -> [ "rmdir"; p ]
   | Unlink p -> [ "unlink"; p ]
@@ -136,6 +145,12 @@ let operation_fields = function
   | Exec { path; args; cwd } -> "exec" :: path :: cwd :: args
   | Checksum p -> [ "checksum"; p ]
   | Whoami -> [ "whoami" ]
+  | Batch ops -> "batch" :: List.map operation_to_wire ops
+
+(* A single self-contained blob for one operation, used by the cluster
+   replication channel to forward a mutation verbatim, and by [Batch] to
+   keep the outer message a flat field list. *)
+and operation_to_wire op = Wire.encode (operation_fields op)
 
 (* Each credential is itself a wire-framed blob so the outer message
    stays a flat field list. *)
@@ -150,7 +165,7 @@ let encode_request req =
   in
   seal "q" body
 
-let decode_operation = function
+let rec decode_operation = function
   | [ "mkdir"; p ] -> Ok (Mkdir p)
   | [ "rmdir"; p ] -> Ok (Rmdir p)
   | [ "unlink"; p ] -> Ok (Unlink p)
@@ -164,14 +179,22 @@ let decode_operation = function
   | "exec" :: path :: cwd :: args -> Ok (Exec { path; args; cwd })
   | [ "checksum"; p ] -> Ok (Checksum p)
   | [ "whoami" ] -> Ok Whoami
+  | "batch" :: blobs ->
+    (* Nesting is rejected at decode time: a batch of batches would give
+       retries and dedup ambiguous semantics. *)
+    let rec members acc = function
+      | [] -> Ok (Batch (List.rev acc))
+      | blob :: rest ->
+        (match operation_of_wire blob with
+         | Ok (Batch _) -> Error "nested batch"
+         | Ok op -> members (op :: acc) rest
+         | Error e -> Error e)
+    in
+    members [] blobs
   | op :: _ -> Error (Printf.sprintf "unknown operation %S" op)
   | [] -> Error "empty operation"
 
-(* A single self-contained blob for one operation, used by the cluster
-   replication channel to forward a mutation verbatim. *)
-let operation_to_wire op = Wire.encode (operation_fields op)
-
-let operation_of_wire blob =
+and operation_of_wire blob =
   match Wire.decode blob with
   | Error e -> Error e
   | Ok fields -> decode_operation fields
@@ -200,24 +223,25 @@ let decode_request text =
         | Error e -> Error e)
      | Ok _ -> Error "unrecognized request")
 
-let encode_response r =
-  let body =
-    match r with
-    | R_ok -> Wire.encode [ "ok" ]
-    | R_error (errno, msg) -> Wire.encode [ "error"; Errno.to_string errno; msg ]
-    | R_auth { token; principal; method_ } ->
-      Wire.encode [ "auth"; token; principal; method_ ]
-    | R_data data -> Wire.encode [ "data"; data ]
-    | R_stat { ws_kind; ws_size; ws_mtime } ->
-      Wire.encode
-        [ "stat"; ws_kind; string_of_int ws_size; Int64.to_string ws_mtime ]
-    | R_names names -> Wire.encode ("names" :: names)
-    | R_exit code -> Wire.encode [ "exit"; string_of_int code ]
-    | R_str s -> Wire.encode [ "str"; s ]
-  in
-  seal "r" body
+let rec response_body r =
+  match r with
+  | R_ok -> Wire.encode [ "ok" ]
+  | R_error (errno, msg) -> Wire.encode [ "error"; Errno.to_string errno; msg ]
+  | R_auth { token; principal; method_ } ->
+    Wire.encode [ "auth"; token; principal; method_ ]
+  | R_data data -> Wire.encode [ "data"; data ]
+  | R_stat { ws_kind; ws_size; ws_mtime } ->
+    Wire.encode
+      [ "stat"; ws_kind; string_of_int ws_size; Int64.to_string ws_mtime ]
+  | R_names names -> Wire.encode ("names" :: names)
+  | R_exit code -> Wire.encode [ "exit"; string_of_int code ]
+  | R_str s -> Wire.encode [ "str"; s ]
+  | R_batch rs -> Wire.encode ("batch" :: List.map response_body rs)
 
-let decode_response_body body =
+(* One seal around the whole body: a batch pays a single checksum. *)
+let encode_response r = seal "r" (response_body r)
+
+let rec decode_response_body body =
   match Wire.decode body with
   | Error e -> Error e
   | Ok [ "ok" ] -> Ok R_ok
@@ -238,6 +262,16 @@ let decode_response_body body =
      | Some code -> Ok (R_exit code)
      | None -> Error "bad exit code")
   | Ok [ "str"; s ] -> Ok (R_str s)
+  | Ok ("batch" :: blobs) ->
+    let rec members acc = function
+      | [] -> Ok (R_batch (List.rev acc))
+      | blob :: rest ->
+        (match decode_response_body blob with
+         | Ok (R_batch _) -> Error "nested batch response"
+         | Ok r -> members (r :: acc) rest
+         | Error e -> Error e)
+    in
+    members [] blobs
   | Ok _ -> Error "unrecognized response"
 
 let decode_response text =

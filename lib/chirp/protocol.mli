@@ -23,6 +23,12 @@ type operation =
       (** MD5 of a remote file — end-to-end transfer integrity without
           fetching the data again. *)
   | Whoami
+  | Batch of operation list
+      (** N operations pipelined in one envelope: one checksum, one
+          request ID (so a retried mutation batch deduplicates as a
+          unit), executed in order server-side with per-member results
+          in {!R_batch}.  Batches never nest — the decoder rejects a
+          batch inside a batch. *)
 
 type request =
   | Auth of Idbox_auth.Credential.t list
@@ -48,6 +54,9 @@ type response =
   | R_names of string list
   | R_exit of int
   | R_str of string
+  | R_batch of response list
+      (** Member responses of a {!Batch}, in request order.  A member
+          failure is its own [R_error]; later members still execute. *)
 
 val encode_request : request -> string
 val decode_request : string -> (request, string) result
@@ -63,8 +72,9 @@ val operation_name : operation -> string
 
 val operation_path : operation -> string
 (** The path the operation is routed by: the object it names (the
-    source for [Rename]), or ["/"] for [Whoami].  The cluster router
-    shards on this. *)
+    source for [Rename]), or ["/"] for [Whoami].  A [Batch] routes by
+    its first member — callers batch same-shard operations.  The
+    cluster router shards on this. *)
 
 val operation_to_wire : operation -> string
 (** One operation as a self-contained blob (no token, no request ID) —
@@ -75,5 +85,6 @@ val operation_of_wire : string -> (operation, string) result
 
 val idempotent : operation -> bool
 (** True for operations a client may re-send blindly on a lost reply
-    ([get], [stat], [readdir], [getacl], [checksum], [whoami]); the
-    rest need a request ID to retry safely. *)
+    ([get], [stat], [readdir], [getacl], [checksum], [whoami], and
+    batches of only those); the rest need a request ID to retry
+    safely. *)

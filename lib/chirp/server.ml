@@ -127,10 +127,20 @@ let wire_stat_of (st : Fs.stat) =
     ws_mtime = st.Fs.st_mtime;
   }
 
-let serve_op t identity op =
+let rec serve_op t identity op =
   let open Protocol in
   metric t ("chirp.rpc." ^ Protocol.operation_name op);
   match op with
+  | Batch ops ->
+    (* The decoder already refuses nested batches on the wire; re-check
+       here for directly constructed operations (replication applies). *)
+    if List.exists (function Batch _ -> true | _ -> false) ops then
+      err Errno.EINVAL
+    else
+      (* In order, one envelope: each member is served exactly as if it
+         had arrived alone (per-op metrics included), but the round trip
+         and checksum are paid once. *)
+      R_batch (List.map (fun op -> serve_op t identity op) ops)
   | Whoami -> R_str (Principal.to_string identity)
   | Mkdir wire_path ->
     (match map_path t wire_path with
@@ -431,15 +441,24 @@ let handle t payload =
             replicates once.  The hook runs inside the request so the
             fan-out is synchronous and deterministic, but its failures
             are its own: they must not change this client's answer. *)
-         (match r with
-          | Protocol.R_error _ -> ()
-          | _ when Protocol.idempotent op -> ()
-          | _ ->
-            (match t.mutation_hook with
-             | None -> ()
-             | Some hook ->
-               (try hook ~identity:s.ss_principal op
-                with _ -> metric t "chirp.repl.hook_crash")));
+         let fire op r =
+           match r with
+           | Protocol.R_error _ -> ()
+           | _ when Protocol.idempotent op -> ()
+           | _ ->
+             (match t.mutation_hook with
+              | None -> ()
+              | Some hook ->
+                (try hook ~identity:s.ss_principal op
+                 with _ -> metric t "chirp.repl.hook_crash"))
+         in
+         (match (op, r) with
+          | Protocol.Batch ops, Protocol.R_batch rs
+            when List.length ops = List.length rs ->
+            (* Per member: replicas receive plain operations, exactly as
+               for singles, and failed members do not replicate. *)
+            List.iter2 fire ops rs
+          | _ -> fire op r);
          r
        in
        if String.equal req_id "" then respond (serve ())

@@ -23,6 +23,12 @@ type t = {
   mutable rt_prefixes : string list;  (* shard keys touched, for rebalance *)
   mutable rt_routes : int;
   mutable rt_failovers : int;
+  (* Route cache: shard key -> owner list, valid for one membership
+     epoch.  Only the consistent-hash computation is cached — per-route
+     metrics and trace spans still fire on every call, so transcripts
+     are byte-identical with the cache on. *)
+  rt_route_cache : (string, string list) Hashtbl.t;
+  mutable rt_route_epoch : int;
 }
 
 let principal t = t.rt_principal
@@ -84,6 +90,13 @@ let conn_for t name =
             Error `Mismatch
           end))
 
+let flush_route_cache t =
+  if Hashtbl.length t.rt_route_cache > 0 then begin
+    metric t "cluster.route.cache.flush";
+    Hashtbl.reset t.rt_route_cache
+  end;
+  t.rt_route_epoch <- Membership.generation t.rt_membership
+
 let sync t =
   match Membership.refresh t.rt_membership with
   | Error _ -> ()  (* unreachable catalog is not evidence servers died *)
@@ -109,13 +122,26 @@ let sync t =
         if not (List.mem_assoc name new_view) then Hashtbl.remove t.rt_conns name)
       (Hashtbl.copy t.rt_conns);
     t.rt_ring <- after;
-    t.rt_view <- new_view
+    t.rt_view <- new_view;
+    flush_route_cache t
 
 let route t key =
   t.rt_routes <- t.rt_routes + 1;
   metric t "cluster.route";
   note_prefix t key;
-  let owners = Ring.successors t.rt_ring key t.rt_replicas in
+  if Membership.generation t.rt_membership <> t.rt_route_epoch then
+    flush_route_cache t;
+  let owners =
+    match Hashtbl.find_opt t.rt_route_cache key with
+    | Some owners ->
+      metric t "cluster.route.cache.hit";
+      owners
+    | None ->
+      metric t "cluster.route.cache.miss";
+      let owners = Ring.successors t.rt_ring key t.rt_replicas in
+      Hashtbl.replace t.rt_route_cache key owners;
+      owners
+  in
   (match owners with
    | primary :: _ ->
      metric t ("cluster.route." ^ primary);
@@ -210,6 +236,8 @@ let connect ?(src = "client") ?(policy = Client.default_policy) ?(replicas = 2)
           rt_prefixes = [];
           rt_routes = 0;
           rt_failovers = 0;
+          rt_route_cache = Hashtbl.create 32;
+          rt_route_epoch = Membership.generation membership;
         }
       in
       (* Authenticate to every shard up front and require one

@@ -17,7 +17,11 @@
 
     Every routing decision is counted ([cluster.route],
     [cluster.route.<node>]) and spanned in the trace ring when one is
-    attached. *)
+    attached.  The consistent-hash lookup itself is served from a route
+    cache keyed by shard key and validated against the membership
+    generation — flushed whole on any epoch change or rebalance
+    ([cluster.route.cache.hit] / [.miss] / [.flush]); metrics and spans
+    fire identically either way. *)
 
 type t
 

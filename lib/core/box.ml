@@ -787,7 +787,7 @@ let on_event t event =
 let box_counter = ref 0
 
 let create kernel_ ~supervisor_uid ~identity ?(mounts = []) ?(small_io_threshold = 512)
-    ?(audit = false) () =
+    ?(audit = false) ?(caching = true) () =
   incr box_counter;
   let sup = Kernel.make_view kernel_ ~uid:supervisor_uid () in
   let bx_base = Printf.sprintf "/tmp/box_%d" !box_counter in
@@ -826,7 +826,7 @@ let create kernel_ ~supervisor_uid ~identity ?(mounts = []) ?(small_io_threshold
     | Error e -> Error e
   in
   let* channel = Iochannel.create kernel_ ~supervisor:sup () in
-  let enforce = Enforce.create kernel_ ~supervisor:sup () in
+  let enforce = Enforce.create ~caching kernel_ ~supervisor:sup () in
   let t =
     {
       bx_kernel = kernel_;

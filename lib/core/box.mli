@@ -27,6 +27,7 @@ val create :
   ?mounts:(string * Remote.t) list ->
   ?small_io_threshold:int ->
   ?audit:bool ->
+  ?caching:bool ->
   unit ->
   (t, Idbox_vfs.Errno.t) result
 (** Build a box: creates the per-box working area under [/tmp] (fresh
@@ -36,7 +37,9 @@ val create :
     prefixes (e.g. [("/chirp/alpha", driver)]).  [small_io_threshold]
     (default 512 bytes) is the cutoff between PEEK/POKE data movement
     and the I/O channel.  [audit] enables the forensic trail (§9);
-    read it with {!audit_trail}. *)
+    read it with {!audit_trail}.  [caching] (default true) toggles the
+    enforcement engine's generation-validated caches (see
+    {!Idbox.Enforce.create}). *)
 
 val identity : t -> Idbox_identity.Principal.t
 val identity_string : t -> string

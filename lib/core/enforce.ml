@@ -2,6 +2,7 @@ module Kernel = Idbox_kernel.Kernel
 module View = Idbox_kernel.View
 module Syscall = Idbox_kernel.Syscall
 module Cost = Idbox_kernel.Cost
+module Metrics = Idbox_kernel.Metrics
 module Acl = Idbox_acl.Acl
 module Right = Idbox_acl.Right
 module Rights = Idbox_acl.Rights
@@ -12,25 +13,88 @@ module Fs = Idbox_vfs.Fs
 module Perm = Idbox_vfs.Perm
 module Account = Idbox_kernel.Account
 
-(* Cache entries are validated against the ACL file's (ino, mtime): a
-   cheap attribute check keeps every box's cache coherent when another
-   supervisor (or the Chirp server) rewrites an ACL. *)
+(* How a cached ACL is known to still be current.  With caching on, the
+   token is the governing directory's (ino, generation): the VFS bumps
+   the generation on every namespace- or ACL-relevant mutation, so one
+   host-side integer compare revalidates — no delegated syscall.  With
+   caching off, it is the legacy attribute check against the ACL file's
+   (ino, mtime), which pays a delegated [Lstat] per check. *)
+type token =
+  | Dir_gen of (int * int) option  (** [None]: no such directory. *)
+  | Acl_attr of (int * int64) option  (** [None]: no ACL file existed. *)
+
 type cached = {
-  token : (int * int64) option;  (** [None]: no ACL file existed. *)
+  token : token;
   acl : Acl.t option;
+}
+
+(* A cached name resolution, valid while the global mutation generation
+   is unchanged (any rename/link/unlink anywhere may retarget a path). *)
+type name_cached = {
+  nc_gen : int;
+  nc_final : string;
+}
+
+(* A cached verdict for (dir, principal, right), valid while the
+   governing directory's generation is unchanged.  Only ACL-backed
+   verdicts are cached: the nobody fallback depends on the individual
+   object's stat, not on the directory. *)
+type decision_cached = {
+  dc_ino : int;
+  dc_gen : int;
+  dc_allowed : bool;
 }
 
 type t = {
   kernel : Kernel.t;
   sup : View.t;
   cache : (string, cached) Hashtbl.t;
+  names : (string, name_cached) Hashtbl.t;
+  decisions : (string, decision_cached) Hashtbl.t;
   in_kernel : bool;
+  caching : bool;
+  c_gen_check : int64;
+  (* Counter handles are interned once here: the check path must not pay
+     a string-keyed registry lookup per call. *)
+  m_acl_hit : Metrics.counter;
+  m_acl_miss : Metrics.counter;
+  m_acl_inval : Metrics.counter;
+  m_name_hit : Metrics.counter;
+  m_name_miss : Metrics.counter;
+  m_dec_hit : Metrics.counter;
+  m_dec_miss : Metrics.counter;
+  m_eval : Metrics.counter;
+  m_eval_entries : Metrics.counter;
+  m_read_fail : Metrics.counter;
 }
 
 let acl_filename = Acl.filename
 
-let create ?(in_kernel = false) kernel ~supervisor () =
-  { kernel; sup = supervisor; cache = Hashtbl.create 64; in_kernel }
+let create ?(in_kernel = false) ?(caching = true) kernel ~supervisor () =
+  (* Register the ACL basename with the VFS: content writes land through
+     file descriptors, so the generation bump happens at open time. *)
+  Fs.watch_basename (Kernel.fs kernel) acl_filename;
+  let c name = Metrics.counter (Kernel.metrics kernel) name in
+  {
+    kernel;
+    sup = supervisor;
+    cache = Hashtbl.create 64;
+    names = Hashtbl.create 64;
+    decisions = Hashtbl.create 64;
+    in_kernel;
+    caching;
+    c_gen_check = (Kernel.cost kernel).Cost.gen_check_ns;
+    m_acl_hit = c "acl.cache.hit";
+    m_acl_miss = c "acl.cache.miss";
+    m_acl_inval = c "acl.cache.invalidate";
+    m_name_hit = c "enforce.name.hit";
+    m_name_miss = c "enforce.name.miss";
+    m_dec_hit = c "enforce.decision.hit";
+    m_dec_miss = c "enforce.decision.miss";
+    m_eval = c "acl.eval";
+    m_eval_entries = c "acl.eval.entries";
+    m_read_fail = c "acl.read.fail";
+  }
 
 (* A user-level supervisor pays two context switches to make its own
    system calls; an in-kernel implementation (the Fig. 6 ablation) pays
@@ -94,7 +158,33 @@ let resolve_final_ex t path =
   in
   go (canonical_parents t path) 0
 
-let resolve_final t path = fst (resolve_final_ex t path)
+(* The name cache: canonical path of the whole resolution, validated
+   against the global mutation generation.  A hit replaces the ancestor
+   walk plus the delegated final-lstat loop with one generation check;
+   it does not know the final object's stat (the [bool] is false), so
+   callers needing one must fetch it lazily. *)
+let resolved t path =
+  let key = Path.normalize path in
+  if not t.caching then
+    let final, st = resolve_final_ex t key in
+    (final, st, true)
+  else begin
+    let gen = Fs.generation (Kernel.fs t.kernel) in
+    match Hashtbl.find_opt t.names key with
+    | Some n when n.nc_gen = gen ->
+      Metrics.incr t.m_name_hit;
+      Kernel.charge t.kernel t.c_gen_check;
+      (n.nc_final, None, false)
+    | Some _ | None ->
+      Metrics.incr t.m_name_miss;
+      let final, st = resolve_final_ex t key in
+      Hashtbl.replace t.names key { nc_gen = gen; nc_final = final };
+      (final, st, true)
+  end
+
+let resolve_final t path =
+  let final, _, _ = resolved t path in
+  final
 
 let governing_dir t path = Path.dirname (resolve_final t path)
 
@@ -107,22 +197,32 @@ let read_acl_file t dir =
        O(n²) in host time, which the large-ACL bench case makes
        visible. *)
     let buf = Buffer.create 4096 in
+    let truncated = ref false in
     let rec slurp () =
       match delegate t (Syscall.Read { fd; len = 4096 }) with
       | Ok (Syscall.Data "") -> ()
       | Ok (Syscall.Data chunk) ->
         Buffer.add_string buf chunk;
         slurp ()
-      | Ok _ | Error _ -> ()
+      | Ok _ | Error _ ->
+        (* A read error mid-slurp leaves a silently truncated text — and
+           a truncated ACL can parse as a smaller but *valid* one.  Fail
+           closed instead of granting from a partial list. *)
+        truncated := true
     in
     slurp ();
     let text = Buffer.contents buf in
     ignore (delegate t (Syscall.Close fd));
-    (match Acl.of_string text with
-     | Ok acl -> Some acl
-     | Error _ ->
-       (* A corrupt ACL file grants nothing: fail closed. *)
-       Some Acl.empty)
+    if !truncated then begin
+      Metrics.incr t.m_read_fail;
+      Some Acl.empty
+    end
+    else (
+      match Acl.of_string text with
+      | Ok acl -> Some acl
+      | Error _ ->
+        (* A corrupt ACL file grants nothing: fail closed. *)
+        Some Acl.empty)
   | Ok _ -> None
 
 let acl_token t dir =
@@ -131,30 +231,37 @@ let acl_token t dir =
   | Ok (Syscall.Stat_v st) -> Some (st.Fs.st_ino, st.Fs.st_mtime)
   | Ok _ | Error _ -> None
 
-let metric t name =
-  Idbox_kernel.Metrics.incr
-    (Idbox_kernel.Metrics.counter (Kernel.metrics t.kernel) name)
+(* The current validation token for [dir] under this engine's mode. *)
+let dir_token t dir =
+  if t.caching then begin
+    Kernel.charge t.kernel t.c_gen_check;
+    Dir_gen (Fs.dir_token (Kernel.fs t.kernel) dir)
+  end
+  else Acl_attr (acl_token t dir)
 
 let dir_acl t dir =
   let dir = Path.normalize dir in
-  let token = acl_token t dir in
+  let token = dir_token t dir in
   match Hashtbl.find_opt t.cache dir with
   | Some cached when cached.token = token ->
-    metric t "acl.cache.hit";
+    Metrics.incr t.m_acl_hit;
     cached.acl
   | Some _ | None ->
-    metric t "acl.cache.miss";
-    let acl = if token = None then None else read_acl_file t dir in
+    Metrics.incr t.m_acl_miss;
+    let acl =
+      match token with
+      | Acl_attr None -> None (* no ACL file *)
+      | Dir_gen None -> None (* no such directory *)
+      | Acl_attr (Some _) | Dir_gen (Some _) -> read_acl_file t dir
+    in
     Hashtbl.replace t.cache dir { token; acl };
     acl
 
 let charge_acl_eval t acl =
   let cost = Kernel.cost t.kernel in
   let entries = List.length (Acl.entries acl) in
-  metric t "acl.eval";
-  Idbox_kernel.Metrics.add
-    (Idbox_kernel.Metrics.counter (Kernel.metrics t.kernel) "acl.eval.entries")
-    entries;
+  Metrics.incr t.m_eval;
+  Metrics.add t.m_eval_entries entries;
   Kernel.charge t.kernel
     (Int64.add cost.Cost.acl_check_base
        (Int64.mul (Int64.of_int entries) cost.Cost.acl_check_entry))
@@ -177,27 +284,60 @@ let stat_of t path =
   | Ok (Syscall.Stat_v st) -> Some st
   | Ok _ | Error _ -> None
 
+let decision_key dir identity right =
+  Printf.sprintf "%s\x00%s\x00%c" dir
+    (Principal.to_string identity)
+    (Right.to_char right)
+
 let check_with_fallback t ~identity ~dir ~object_stat right =
-  match dir_acl t dir with
-  | Some acl ->
-    charge_acl_eval t acl;
-    if Acl.check acl identity right then Ok () else Error Errno.EACCES
-  | None ->
-    (match object_stat () with
-     | Some st when nobody_allows_stat st right -> Ok ()
-     | Some _ | None -> Error Errno.EACCES)
+  (* [compute] also reports whether an ACL governed the verdict: only
+     those verdicts are a pure function of (dir, principal, right). *)
+  let compute () =
+    match dir_acl t dir with
+    | Some acl ->
+      charge_acl_eval t acl;
+      ((if Acl.check acl identity right then Ok () else Error Errno.EACCES), true)
+    | None ->
+      ( (match object_stat () with
+        | Some st when nobody_allows_stat st right -> Ok ()
+        | Some _ | None -> Error Errno.EACCES),
+        false )
+  in
+  if not t.caching then fst (compute ())
+  else
+    match Fs.dir_token (Kernel.fs t.kernel) dir with
+    | None -> fst (compute ())
+    | Some (ino, gen) ->
+      Kernel.charge t.kernel t.c_gen_check;
+      let key = decision_key dir identity right in
+      (match Hashtbl.find_opt t.decisions key with
+       | Some d when d.dc_ino = ino && d.dc_gen = gen ->
+         Metrics.incr t.m_dec_hit;
+         if d.dc_allowed then Ok () else Error Errno.EACCES
+       | Some _ | None ->
+         Metrics.incr t.m_dec_miss;
+         let verdict, acl_backed = compute () in
+         if acl_backed then
+           Hashtbl.replace t.decisions key
+             { dc_ino = ino; dc_gen = gen; dc_allowed = verdict = Ok () };
+         verdict)
 
 let check_in_dir t ~identity ~dir right =
   let dir = Path.normalize dir in
   check_with_fallback t ~identity ~dir ~object_stat:(fun () -> stat_of t dir) right
 
 let check_object t ~identity ~path right =
-  let final, st = resolve_final_ex t path in
+  let final, st, authoritative = resolved t path in
   let dir = Path.dirname final in
   let object_stat () =
     (* Fall back against the object itself when it exists, else against
-       the directory that would contain it. *)
-    match st with Some _ -> st | None -> stat_of t dir
+       the directory that would contain it.  After a name-cache hit the
+       final stat is unknown and fetched lazily; after a fresh resolve,
+       [st = None] already proved the object absent. *)
+    match st with
+    | Some _ -> st
+    | None when authoritative -> stat_of t dir
+    | None -> (match stat_of t final with Some s -> Some s | None -> stat_of t dir)
   in
   check_with_fallback t ~identity ~dir ~object_stat right
 
@@ -225,8 +365,17 @@ let plan_mkdir t ~identity ~parent =
      | Error e -> Error e)
 
 let invalidate t ~dir =
-  metric t "acl.cache.invalidate";
-  Hashtbl.remove t.cache (Path.normalize dir)
+  let dir = Path.normalize dir in
+  Metrics.incr t.m_acl_inval;
+  Hashtbl.remove t.cache dir;
+  (* Cached verdicts for this directory go with it. *)
+  let prefix = dir ^ "\x00" in
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if String.starts_with ~prefix k then k :: acc else acc)
+      t.decisions []
+  in
+  List.iter (Hashtbl.remove t.decisions) doomed
 
 let write_acl t ~dir acl =
   let dir = Path.normalize dir in
@@ -240,7 +389,10 @@ let write_acl t ~dir acl =
     ignore (delegate t (Syscall.Close fd));
     (match write_res with
      | Ok _ ->
-       Hashtbl.replace t.cache dir { token = acl_token t dir; acl = Some acl };
+       (* Re-prime with a post-write token: the open bumped the
+          directory's generation, so stale decisions self-invalidate
+          while the fresh ACL is served from cache. *)
+       Hashtbl.replace t.cache dir { token = dir_token t dir; acl = Some acl };
        Ok ()
      | Error e -> Error e)
   | Ok _ -> Error Errno.EINVAL

@@ -13,18 +13,36 @@
     to the clock); parsed ACLs are cached per directory and invalidated
     on every ACL write.  A directory with no ACL falls back to Unix
     permissions evaluated as the user [nobody] — the rule that protects
-    the supervising user's pre-existing files from visitors. *)
+    the supervising user's pre-existing files from visitors.
+
+    With caching on (the default), three generation-validated caches
+    serve the warm path with {e zero} delegated syscalls, dcache-style:
+    a name cache (canonical path of a full resolution, validated against
+    the global VFS mutation generation), the per-directory ACL cache
+    (validated against the governing directory's (ino, generation)
+    instead of a delegated [Lstat] of the ACL file), and an ACL
+    {e decision} cache keyed by (dir, principal, right).  Every warm hit
+    charges one {!Idbox_kernel.Cost.t.gen_check_ns}.  Verdicts are
+    byte-identical to the uncached engine: the VFS bumps a generation on
+    every mutation that could change an answer, and only ACL-backed
+    verdicts are decision-cached (the [nobody] fallback depends on the
+    object's stat).  Hit/miss counters: [acl.cache.*], [enforce.name.*],
+    [enforce.decision.*]. *)
 
 type t
 
 val create :
   ?in_kernel:bool ->
+  ?caching:bool ->
   Idbox_kernel.Kernel.t ->
   supervisor:Idbox_kernel.View.t ->
   unit ->
   t
 (** With [~in_kernel:true] (the Fig. 6 ablation) the engine's own I/O is
-    charged at direct kernel cost — no supervisor context switches. *)
+    charged at direct kernel cost — no supervisor context switches.
+    With [~caching:false] every check revalidates through delegated
+    syscalls (the pre-cache behaviour) — the honest baseline for the
+    [bench cache] ablation. *)
 
 val canonical_parents : t -> string -> string
 (** Resolve every {e ancestor} symlink of [path] (the final component is
@@ -104,7 +122,7 @@ val write_acl :
     the cache. *)
 
 val invalidate : t -> dir:string -> unit
-(** Drop the cache entry for one directory. *)
+(** Drop the cached ACL {e and} the cached decisions for one directory. *)
 
 val acl_filename : string
 (** Re-export of {!Idbox_acl.Acl.filename} for dispatch-layer filtering. *)

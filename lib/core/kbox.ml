@@ -136,7 +136,7 @@ let hook t ~pid view req =
     v
   | Some _, None -> assert false
 
-let install kernel ~supervisor_uid () =
+let install kernel ~supervisor_uid ?(caching = true) () =
   let kb_sup = Kernel.make_view kernel ~uid:supervisor_uid () in
   let ns = Hierarchy.create () in
   let operator_name =
@@ -155,7 +155,7 @@ let install kernel ~supervisor_uid () =
   let t =
     {
       kb_kernel = kernel;
-      kb_enforce = Enforce.create ~in_kernel:true kernel ~supervisor:kb_sup ();
+      kb_enforce = Enforce.create ~in_kernel:true ~caching kernel ~supervisor:kb_sup ();
       kb_sup;
       identities = Hashtbl.create 16;
       ns;

@@ -19,9 +19,11 @@
 type t
 
 val install :
-  Idbox_kernel.Kernel.t -> supervisor_uid:int -> unit -> t
+  Idbox_kernel.Kernel.t -> supervisor_uid:int -> ?caching:bool -> unit -> t
 (** Register the security hook and identity provider on a kernel,
-    replacing any previously installed ones. *)
+    replacing any previously installed ones.  [caching] (default true)
+    toggles the engine's generation-validated caches, as in
+    {!Idbox.Enforce.create}. *)
 
 val uninstall : t -> unit
 (** Remove the hook and provider. *)

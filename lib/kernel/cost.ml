@@ -8,6 +8,7 @@ type t = {
   syscall_base : int64;
   path_component : int64;
   name_cache_ns : int64;
+  gen_check_ns : int64;
   getpid_ns : int64;
   stat_ns : int64;
   open_ns : int64;
@@ -30,6 +31,7 @@ let default =
     syscall_base = 250L;
     path_component = 350L;
     name_cache_ns = 80L;
+    gen_check_ns = 40L;
     getpid_ns = 150L;
     stat_ns = 1500L;
     open_ns = 1600L;

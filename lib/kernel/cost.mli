@@ -33,6 +33,11 @@ type t = {
           ancestor-symlink canonicalization walk (an in-memory hash
           probe, like a dcache hit — far cheaper than a kernel path
           resolution). *)
+  gen_check_ns : int64;
+      (** One generation revalidation: a hash probe plus an integer
+          compare against the VFS mutation generation.  Charged on the
+          warm path of the supervisor's name/ACL/decision caches so
+          Fig. 6-style ablations stay honest — cheap, but not free. *)
   getpid_ns : int64;
   stat_ns : int64;  (** stat beyond [syscall_base] + path terms. *)
   open_ns : int64;

@@ -34,10 +34,17 @@ type t = {
   mutable rng : Fault.rng;
   mutable messages : int;
   mutable bytes : int;
+  (* Counter handles interned once per name: the fault/timeout hot
+     paths update them without re-hashing the name in the registry on
+     every call (per-endpoint names are interned at first use). *)
+  nw_counters : (string, Metrics.counter) Hashtbl.t;
+  c_timeout : Metrics.counter;
+  c_hedge : Metrics.counter;
 }
 
 let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.)
     ?(timeout_us = 1_000_000.) ?metrics ?trace () =
+  let m = match metrics with Some m -> m | None -> Metrics.create () in
   {
     nw_clock = clock;
     endpoints = Hashtbl.create 8;
@@ -46,16 +53,27 @@ let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.)
     (* bits/s -> ns/byte *)
     ns_per_byte = 8e3 /. bandwidth_mbps;
     timeout_ns = Clock.of_micros timeout_us;
-    nw_metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    nw_metrics = m;
     nw_trace = trace;
     plan = None;
     rng = Fault.rng 0L;
     messages = 0;
     bytes = 0;
+    nw_counters = Hashtbl.create 32;
+    c_timeout = Metrics.counter m "net.timeout";
+    c_hedge = Metrics.counter m "net.hedge";
   }
 
 let clock t = t.nw_clock
 let metrics t = t.nw_metrics
+
+let interned t name =
+  match Hashtbl.find_opt t.nw_counters name with
+  | Some c -> c
+  | None ->
+    let c = Metrics.counter t.nw_metrics name in
+    Hashtbl.replace t.nw_counters name c;
+    c
 
 let listen t ~addr handler =
   Hashtbl.replace t.endpoints addr
@@ -100,8 +118,8 @@ let charge_transfer t nbytes =
 (* Count a fault both network-wide and per destination, and leave a
    span in the trace ring so fault timelines are reconstructable. *)
 let note_fault t ~addr ~kind ~verdict ~cost_ns =
-  Metrics.incr (Metrics.counter t.nw_metrics kind);
-  Metrics.incr (Metrics.counter t.nw_metrics (kind ^ "." ^ addr));
+  Metrics.incr (interned t kind);
+  Metrics.incr (interned t (kind ^ "." ^ addr));
   match t.nw_trace with
   | None -> ()
   | Some ring ->
@@ -125,8 +143,8 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
        timeout. *)
     Clock.advance t.nw_clock timeout;
     note_fault t ~addr ~kind:"net.partition" ~verdict:"ETIMEDOUT" ~cost_ns:timeout;
-    Metrics.incr (Metrics.counter t.nw_metrics "net.timeout");
-    Metrics.incr (Metrics.counter t.nw_metrics ("net.timeout." ^ addr));
+    Metrics.incr t.c_timeout;
+    Metrics.incr (interned t ("net.timeout." ^ addr));
     Error Errno.ETIMEDOUT
   end
   else
@@ -152,8 +170,8 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
         t.bytes <- t.bytes + String.length payload;
         Clock.advance t.nw_clock timeout;
         note_fault t ~addr ~kind:"net.drop" ~verdict:"ETIMEDOUT" ~cost_ns:timeout;
-        Metrics.incr (Metrics.counter t.nw_metrics "net.timeout");
-        Metrics.incr (Metrics.counter t.nw_metrics ("net.timeout." ^ addr));
+        Metrics.incr t.c_timeout;
+        Metrics.incr (interned t ("net.timeout." ^ addr));
         Error Errno.ETIMEDOUT
       end
       else begin
@@ -192,8 +210,8 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
             Clock.advance t.nw_clock timeout;
             note_fault t ~addr ~kind:"net.drop" ~verdict:"ETIMEDOUT"
               ~cost_ns:timeout;
-            Metrics.incr (Metrics.counter t.nw_metrics "net.timeout");
-            Metrics.incr (Metrics.counter t.nw_metrics ("net.timeout." ^ addr));
+            Metrics.incr t.c_timeout;
+            Metrics.incr (interned t ("net.timeout." ^ addr));
             Error Errno.ETIMEDOUT
           end
           else begin
@@ -262,7 +280,7 @@ let call_any t ?(src = "client") ?timeout_ns ~group payload =
        | Error e when hedgeable e && rest <> [] ->
          (* Hedged failover: this member is unreachable, the next may
             not be. *)
-         Metrics.incr (Metrics.counter t.nw_metrics "net.hedge");
+         Metrics.incr t.c_hedge;
          sweep (Some e) rest
        | Error e -> Error e)
   in

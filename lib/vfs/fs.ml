@@ -2,6 +2,15 @@ type t = {
   fs_root : Inode.t;
   clock : unit -> int64;
   mutable next_ino : int;
+  mutable fs_gen : int;
+      (* Global mutation generation: bumped on every namespace- or
+         ACL-relevant change anywhere in the tree.  Validates caches keyed
+         on whole-path resolution (see [Enforce]'s name cache). *)
+  mutable watched : string option;
+      (* Basename whose open-for-write counts as an ACL-relevant mutation
+         of the containing directory ([Enforce] registers ".__acl").
+         Content writes land through file descriptors, bypassing [Fs], so
+         the generation is bumped at open time instead. *)
 }
 
 type stat = {
@@ -39,9 +48,21 @@ let symlink_limit = 40
 
 let create ?(clock = fun () -> 0L) () =
   let root = Inode.make_dir ~ino:1 ~uid:0 ~mode:0o755 ~now:(clock ()) in
-  { fs_root = root; clock; next_ino = 2 }
+  { fs_root = root; clock; next_ino = 2; fs_gen = 0; watched = None }
 
 let root t = t.fs_root
+
+let generation t = t.fs_gen
+
+let watch_basename t name = t.watched <- Some name
+
+(* Generation bumps are host-side bookkeeping: the mutating operation
+   itself is what the kernel charges for, so bumping is free. *)
+let note_global t = t.fs_gen <- t.fs_gen + 1
+
+let note_mutation t dir =
+  note_global t;
+  Inode.bump_gen dir
 
 let alloc_ino t =
   let ino = t.next_ino in
@@ -106,6 +127,32 @@ let writable_dir ~uid dir =
   Perm.check ~uid ~owner:(Inode.uid dir) ~mode:(Inode.mode dir) Perm.W
   && searchable ~uid dir
 
+let dir_token t path =
+  match resolve t ~uid:0 path with
+  | Ok inode when Inode.kind inode = Inode.Directory ->
+    Some (Inode.ino inode, Inode.gen inode)
+  | Ok _ | Error _ -> None
+
+let watched_name t path =
+  match t.watched with
+  | Some w -> String.equal (Path.basename path) w
+  | None -> false
+
+(* A successful open-for-write of the watched basename: bump the
+   containing directory (resolved as root: this is bookkeeping, not an
+   access check), or at least the global generation. *)
+let note_watched_write t path =
+  match resolve_parent t ~uid:0 path with
+  | Ok (dir, _) -> note_mutation t dir
+  | Error _ -> note_global t
+
+(* chmod/chown change who the Unix-permission fallback grants to; bump
+   the containing directory so attribute-sensitive caches revalidate. *)
+let note_attr_change t path =
+  match resolve_parent t ~uid:0 path with
+  | Ok (dir, _) -> note_mutation t dir
+  | Error _ -> note_global t
+
 let rec open_file_depth t ~uid ~flags ~mode ~depth path =
   if depth >= symlink_limit then Error Errno.ELOOP
   else
@@ -127,6 +174,7 @@ let rec open_file_depth t ~uid ~flags ~mode ~depth path =
             Inode.truncate inode ~len:0;
             Inode.set_mtime inode (t.clock ())
           end;
+          if flags.wr && watched_name t path then note_watched_write t path;
           Ok inode
         end
     | Error Errno.ENOENT when flags.creat ->
@@ -157,6 +205,7 @@ let rec open_file_depth t ~uid ~flags ~mode ~depth path =
               in
               Inode.dir_add dir name inode;
               Inode.set_mtime dir (t.clock ());
+              note_mutation t dir;
               Ok inode
             end))
     | Error _ as e -> e
@@ -177,6 +226,7 @@ let mkdir t ~uid ~mode path =
          let child = Inode.make_dir ~ino:(alloc_ino t) ~uid ~mode ~now:(t.clock ()) in
          Inode.dir_add dir name child;
          Inode.set_mtime dir (t.clock ());
+         note_mutation t dir;
          Ok child
        end)
 
@@ -198,6 +248,7 @@ let rmdir t ~uid path =
          Inode.dir_remove dir name;
          Inode.decr_nlink child;
          Inode.set_mtime dir (t.clock ());
+         note_mutation t dir;
          Ok ()
        end)
 
@@ -216,6 +267,7 @@ let unlink t ~uid path =
          Inode.dir_remove dir name;
          Inode.decr_nlink child;
          Inode.set_mtime dir (t.clock ());
+         note_mutation t dir;
          Ok ()
        end)
 
@@ -236,6 +288,7 @@ let link t ~uid ~target path =
               Inode.dir_add dir name src;
               Inode.incr_nlink src;
               Inode.set_mtime dir (t.clock ());
+              note_mutation t dir;
               Ok ()
             end))
 
@@ -251,6 +304,7 @@ let symlink t ~uid ~target path =
          let l = Inode.make_symlink ~ino:(alloc_ino t) ~uid ~target ~now:(t.clock ()) in
          Inode.dir_add dir name l;
          Inode.set_mtime dir (t.clock ());
+         note_mutation t dir;
          Ok ()
        end)
 
@@ -295,6 +349,8 @@ let rename t ~uid ~src ~dst =
               Inode.dir_add ddir dname moving;
               Inode.set_mtime sdir (t.clock ());
               Inode.set_mtime ddir (t.clock ());
+              note_mutation t sdir;
+              note_mutation t ddir;
               Ok ()
             in
             (match Inode.dir_find ddir dname with
@@ -350,6 +406,7 @@ let chmod t ~uid ~mode path =
     else begin
       Inode.set_mode inode mode;
       Inode.set_ctime inode (t.clock ());
+      note_attr_change t path;
       Ok ()
     end
 
@@ -361,6 +418,7 @@ let chown t ~uid ~owner path =
     else begin
       Inode.set_uid inode owner;
       Inode.set_ctime inode (t.clock ());
+      note_attr_change t path;
       Ok ()
     end
 

@@ -52,6 +52,29 @@ val create : ?clock:(unit -> int64) -> unit -> t
 
 val root : t -> Inode.t
 
+(** {1 Mutation generations}
+
+    Monotonic counters that let caches revalidate without re-walking or
+    re-reading anything.  Every namespace- or ACL-relevant mutation —
+    create, unlink, rmdir, link, symlink, rename, chmod, chown, and a
+    successful open-for-write of the {!watch_basename} name — bumps the
+    global generation and the containing directory's generation. *)
+
+val generation : t -> int
+(** The global mutation generation (starts at 0). *)
+
+val dir_token : t -> string -> (int * int) option
+(** [(ino, gen)] of the directory the path resolves to (as root,
+    following symlinks), or [None] when it does not resolve to a
+    directory.  Host-side: performs no simulated syscalls. *)
+
+val watch_basename : t -> string -> unit
+(** Register a basename (the ACL file name) whose open-for-write counts
+    as a mutation of the containing directory.  File contents flow
+    through descriptors, bypassing this module, so the bump happens at
+    open time — sound here because opens and writes never interleave
+    with checks in the single-threaded simulation. *)
+
 val make_pipe : t -> Inode.t
 (** A fresh pipe inode (allocated from this filesystem's inode space,
     never linked into the tree). *)

@@ -30,9 +30,12 @@ and t = {
   mutable i_nlink : int;
   mutable i_mtime : int64;
   mutable i_ctime : int64;
+  mutable i_gen : int;
 }
 
 let ino t = t.i_ino
+let gen t = t.i_gen
+let bump_gen t = t.i_gen <- t.i_gen + 1
 
 let kind t =
   match t.payload with
@@ -58,7 +61,7 @@ let set_ctime t v = t.i_ctime <- v
 
 let make ~ino ~uid ~mode ~now payload =
   { i_ino = ino; payload; i_mode = mode; i_uid = uid; i_nlink = 1;
-    i_mtime = now; i_ctime = now }
+    i_mtime = now; i_ctime = now; i_gen = 0 }
 
 let make_file ~ino ~uid ~mode ~now =
   make ~ino ~uid ~mode ~now (File { data = Bytes.create 0; len = 0 })

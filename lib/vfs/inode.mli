@@ -17,6 +17,13 @@ type t
 val ino : t -> int
 (** Stable inode number, unique within one filesystem. *)
 
+val gen : t -> int
+(** Mutation generation, starting at 0.  Meaningful for directories:
+    [Fs] bumps it on every namespace- or ACL-relevant change under the
+    inode, so [(ino, gen)] pairs validate caches without re-reading. *)
+
+val bump_gen : t -> unit
+
 val kind : t -> kind
 
 val mode : t -> int

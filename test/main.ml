@@ -37,4 +37,5 @@ let () =
       ("world", Test_world.suite);
       ("ring", Test_ring.suite);
       ("cluster", Test_cluster.suite);
+      ("enforce-cache", Test_enforce_cache.suite);
     ]

@@ -485,6 +485,68 @@ let box_spawn_from_path () =
            (Kernel.exit_code k pid)
        | Error e -> Alcotest.failf "override failed: %s" (Errno.to_string e)))
 
+(* A mixed batch is one round trip, runs in order, and reports each
+   member's own verdict — including a mid-batch failure that does not
+   stop the rest. *)
+let batch_one_round_trip () =
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/fred");
+  let open Idbox_chirp.Protocol in
+  let m0 = Network.total_messages w.net in
+  let rs =
+    ok "batch"
+      (Client.batch c
+         [
+           Put { path = "/fred/a"; data = "alpha" };
+           Get "/fred/a";
+           Get "/fred/missing";
+           Put { path = "/fred/b"; data = "beta" };
+           Readdir "/fred";
+         ])
+  in
+  Alcotest.(check int) "one request, one response" 2
+    (Network.total_messages w.net - m0);
+  (match rs with
+   | [ R_ok; R_data "alpha"; R_error (Errno.ENOENT, _); R_ok; R_names names ]
+     ->
+     Alcotest.(check (list string)) "later members still ran" [ "a"; "b" ]
+       (List.sort String.compare names)
+   | _ -> Alcotest.failf "unexpected member results (%d)" (List.length rs));
+  (* Nested batches are refused client-side before touching the wire. *)
+  (match Client.batch c [ Batch [ Whoami ] ] with
+   | Error e -> Alcotest.(check errno) "nested rejected" Errno.EINVAL e
+   | Ok _ -> Alcotest.fail "nested batch accepted");
+  Alcotest.(check (list Alcotest.string)) "empty batch is free" []
+    (List.map (fun _ -> "") (ok "empty" (Client.batch c [])))
+
+(* Attribute leases: a repeated stat inside the lease window costs no
+   messages; any mutation through the client flushes, so the next stat
+   sees the new world. *)
+let lease_serves_and_flushes () =
+  let w = make_world () in
+  let c = connect_fred w in
+  ok "mkdir" (Client.mkdir c "/fred");
+  ok "put" (Client.put c ~path:"/fred/a" ~data:"alpha");
+  let st1 = ok "stat" (Client.stat c "/fred/a") in
+  let m0 = Network.total_messages w.net in
+  let st2 = ok "stat again" (Client.stat c "/fred/a") in
+  Alcotest.(check int) "leased stat costs no messages" 0
+    (Network.total_messages w.net - m0);
+  Alcotest.(check int) "same size" st1.Idbox_chirp.Protocol.ws_size
+    st2.Idbox_chirp.Protocol.ws_size;
+  ok "grow" (Client.put c ~path:"/fred/a" ~data:"alpha-and-more");
+  let st3 = ok "stat after write" (Client.stat c "/fred/a") in
+  Alcotest.(check int) "mutation flushed the lease" 14
+    st3.Idbox_chirp.Protocol.ws_size;
+  (* The lease also expires on its own clock. *)
+  let _ = ok "stat" (Client.stat c "/fred/a") in
+  Clock.advance (Network.clock w.net) 3_000_000_000L;
+  let m1 = Network.total_messages w.net in
+  let _ = ok "stat expired" (Client.stat c "/fred/a") in
+  Alcotest.(check int) "expired lease goes to the wire" 2
+    (Network.total_messages w.net - m1)
+
 let suite =
   [
     Alcotest.test_case "figure 3 full scenario" `Quick figure3_full_scenario;
@@ -503,4 +565,6 @@ let suite =
     Alcotest.test_case "catalog" `Quick catalog_register_list;
     Alcotest.test_case "shutdown" `Quick shutdown_stops_serving;
     Alcotest.test_case "remote mount through box" `Quick remote_mount_through_box;
+    Alcotest.test_case "batch one round trip" `Quick batch_one_round_trip;
+    Alcotest.test_case "lease serves and flushes" `Quick lease_serves_and_flushes;
   ]

@@ -187,13 +187,21 @@ let cache_counters () =
      so the first check below really goes to disk. *)
   Enforce.invalidate e ~dir:"/d";
   let misses0 = value "acl.cache.miss" and hits0 = value "acl.cache.hit" in
+  let dec_hits0 = value "enforce.decision.hit" in
   ignore (Enforce.check_in_dir e ~identity:fred ~dir:"/d" Right.Read);
   Alcotest.(check int) "first check misses" (misses0 + 1) (value "acl.cache.miss");
+  (* Repeating fred's exact check is served by the decision cache (it
+     never reaches the ACL layer); a different principal misses the
+     decision cache and hits the cached ACL. *)
   ignore (Enforce.check_in_dir e ~identity:fred ~dir:"/d" Right.Read);
+  Alcotest.(check int) "repeat check hits decisions" (dec_hits0 + 1)
+    (value "enforce.decision.hit");
   ignore (Enforce.check_in_dir e ~identity:jane ~dir:"/d" Right.Read);
-  Alcotest.(check int) "repeat checks hit" (hits0 + 2) (value "acl.cache.hit");
+  Alcotest.(check int) "new principal hits acl cache" (hits0 + 1)
+    (value "acl.cache.hit");
   Alcotest.(check int) "no further misses" (misses0 + 1) (value "acl.cache.miss");
-  (* Invalidation is counted and forces the next check back to disk. *)
+  (* Invalidation is counted, drops the cached decisions too, and forces
+     the next check back to disk. *)
   let inval0 = value "acl.cache.invalidate" in
   Enforce.invalidate e ~dir:"/d";
   Alcotest.(check int) "invalidation counted" (inval0 + 1) (value "acl.cache.invalidate");

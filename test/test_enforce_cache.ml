@@ -1,0 +1,166 @@
+(* Property suite for the generation-validated enforcement caches
+   (ISSUE 4): a long-lived cached engine and a long-lived cache-disabled
+   engine watch the same kernel while the namespace is mutated at
+   random — files written and unlinked, objects renamed, a symlink
+   retargeted, ACLs rewritten both through the engine and through raw
+   fd-path writes to [.__acl].  After every mutation, every
+   (path, principal, right) verdict must be byte-identical across the
+   two engines: the caches may only ever change the cost of an answer,
+   never the answer.  Seeded and deterministic. *)
+
+module Kernel = Idbox_kernel.Kernel
+module Metrics = Idbox_kernel.Metrics
+module Enforce = Idbox.Enforce
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Right = Idbox_acl.Right
+module Rights = Idbox_acl.Rights
+module Principal = Idbox_identity.Principal
+module Fs = Idbox_vfs.Fs
+module Errno = Idbox_vfs.Errno
+
+let seeds = [ 1; 7; 42; 2005; 90210 ]
+
+let fred = Principal.of_string "globus:/O=UnivNowhere/CN=Fred"
+let jane = Principal.of_string "globus:/O=UnivNowhere/CN=Jane"
+let alice = Principal.of_string "kerberos:alice@NOWHERE.EDU"
+let identities = [ fred; jane; alice ]
+let rights = [ Right.Read; Right.Write; Right.List; Right.Admin; Right.Delete ]
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+
+let dirs = [ "/w/a"; "/w/b"; "/w/c" ]
+
+(* The probe set deliberately includes objects that may or may not
+   exist at any moment, the symlink, and the directories themselves. *)
+let probes =
+  ("/w/ln" :: dirs)
+  @ List.concat_map
+      (fun d -> List.init 3 (fun i -> Printf.sprintf "%s/f%d" d i))
+      dirs
+
+let patterns =
+  [ "globus:/O=UnivNowhere/CN=Fred"; "globus:/O=UnivNowhere/*"; "kerberos:*" ]
+
+let random_acl st =
+  let n = 1 + Random.State.int st 3 in
+  let all = "rwlxad" in
+  Acl.of_entries
+    (List.init n (fun i ->
+         let pattern = List.nth patterns ((i + Random.State.int st 3) mod 3) in
+         let k = 1 + Random.State.int st (String.length all - 1) in
+         Entry.make ~pattern (Rights.of_string_exn (String.sub all 0 k))))
+
+let setup () =
+  let k = Kernel.create () in
+  let sup = Kernel.make_view k ~uid:0 () in
+  let cached = Enforce.create k ~supervisor:sup () in
+  let uncached = Enforce.create ~caching:false k ~supervisor:sup () in
+  List.iter
+    (fun d ->
+      ok "mkdir" (Fs.mkdir_p (Kernel.fs k) ~uid:0 d);
+      ok "seed file" (Fs.write_file (Kernel.fs k) ~uid:0 (d ^ "/f0") "seed"))
+    dirs;
+  ok "acl a"
+    (Enforce.write_acl cached ~dir:"/w/a"
+       (Acl.of_entries
+          [ Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+              (Rights.of_string_exn "rwl") ]));
+  ok "symlink" (Fs.symlink (Kernel.fs k) ~uid:0 ~target:"/w/a/f0" "/w/ln");
+  (k, cached, uncached)
+
+let verdict e identity path right =
+  match Enforce.check_object e ~identity ~path right with
+  | Ok () -> "ok"
+  | Error e -> Errno.to_string e
+
+let compare_engines cached uncached ~seed ~step =
+  List.iter
+    (fun path ->
+      List.iter
+        (fun identity ->
+          List.iter
+            (fun right ->
+              let want = verdict uncached identity path right in
+              let got = verdict cached identity path right in
+              if not (String.equal want got) then
+                Alcotest.failf
+                  "seed %d step %d: %s %s %c: uncached=%s cached=%s" seed step
+                  (Principal.to_string identity)
+                  path (Right.to_char right) want got)
+            rights)
+        identities)
+    probes
+
+let mutate st k cached =
+  let fs = Kernel.fs k in
+  let dir () = List.nth dirs (Random.State.int st 3) in
+  let file () = Printf.sprintf "%s/f%d" (dir ()) (Random.State.int st 3) in
+  match Random.State.int st 7 with
+  | 0 -> ignore (Fs.write_file fs ~uid:0 (file ()) "data")
+  | 1 -> ignore (Fs.unlink fs ~uid:0 (file ()))
+  | 2 -> ignore (Fs.rename fs ~uid:0 ~src:(file ()) ~dst:(file ()))
+  | 3 ->
+    (* Retarget the symlink: the governing directory of /w/ln moves. *)
+    ignore (Fs.unlink fs ~uid:0 "/w/ln");
+    ignore (Fs.symlink fs ~uid:0 ~target:(file ()) "/w/ln")
+  | 4 ->
+    (* ACL rewrite through the engine (primes + invalidates). *)
+    ignore (Enforce.write_acl cached ~dir:(dir ()) (random_acl st))
+  | 5 ->
+    (* ACL rewrite behind the engine's back, through the raw fd write
+       path — exactly what the .__acl open-for-write watch catches. *)
+    let d = dir () in
+    ignore
+      (Fs.write_file fs ~uid:0
+         (d ^ "/" ^ Enforce.acl_filename)
+         (Acl.to_string (random_acl st)))
+  | _ ->
+    let mode = if Random.State.bool st then 0o755 else 0o700 in
+    ignore (Fs.chmod fs ~uid:0 ~mode (file ()))
+
+let coherent_under_mutation () =
+  List.iter
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let k, cached, uncached = setup () in
+      compare_engines cached uncached ~seed ~step:(-1);
+      for step = 0 to 59 do
+        mutate st k cached;
+        compare_engines cached uncached ~seed ~step
+      done;
+      let value name = Metrics.counter_value_of (Kernel.metrics k) name in
+      if value "enforce.decision.hit" = 0 then
+        Alcotest.failf "seed %d: decision cache never hit" seed;
+      if value "enforce.name.hit" = 0 then
+        Alcotest.failf "seed %d: name cache never hit" seed;
+      if value "acl.cache.hit" = 0 then
+        Alcotest.failf "seed %d: ACL cache never hit" seed)
+    seeds
+
+(* The perf contract itself: a warm decision-cache hit makes zero
+   delegated syscalls — the whole point of generation validation. *)
+let warm_hit_is_free () =
+  let k, cached, _ = setup () in
+  ignore (Enforce.check_object cached ~identity:fred ~path:"/w/a/f0" Right.Read);
+  let value name = Metrics.counter_value_of (Kernel.metrics k) name in
+  let d0 = (Kernel.stats k).Kernel.delegated in
+  let hits0 = value "enforce.decision.hit" in
+  (match Enforce.check_object cached ~identity:fred ~path:"/w/a/f0" Right.Read with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "warm check: %s" (Errno.to_string e));
+  Alcotest.(check int)
+    "zero delegated syscalls on the warm hit" 0
+    ((Kernel.stats k).Kernel.delegated - d0);
+  Alcotest.(check int) "decision cache hit" (hits0 + 1)
+    (value "enforce.decision.hit")
+
+let suite =
+  [
+    Alcotest.test_case "cached = uncached under random mutation" `Quick
+      coherent_under_mutation;
+    Alcotest.test_case "warm hit: zero delegated syscalls" `Quick
+      warm_hit_is_free;
+  ]

@@ -131,6 +131,53 @@ let response_roundtrip () =
       | Error m -> Alcotest.fail m)
     responses
 
+let batch_roundtrip () =
+  let members =
+    [
+      Protocol.Get "/work/blob";
+      Protocol.Put { path = "/work/out"; data = "x" };
+      Protocol.Stat "/work";
+      Protocol.Whoami;
+    ]
+  in
+  let op = Protocol.Batch members in
+  Alcotest.(check bool) "mixed batch is not idempotent" false
+    (Protocol.idempotent op);
+  Alcotest.(check bool) "read-only batch is idempotent" true
+    (Protocol.idempotent
+       (Protocol.Batch [ Protocol.Get "/a"; Protocol.Stat "/b" ]));
+  Alcotest.(check string) "routes by first member" "/work/blob"
+    (Protocol.operation_path op);
+  let req = Protocol.Op { token = "tok"; req_id = "tok#1"; op } in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+   | Ok (Protocol.Op { op = Protocol.Batch members'; _ }) ->
+     Alcotest.(check bool) "members survive the wire" true (members = members')
+   | Ok _ -> Alcotest.fail "decoded to something else"
+   | Error m -> Alcotest.fail m);
+  let r =
+    Protocol.R_batch
+      [
+        Protocol.R_data "bulk";
+        Protocol.R_ok;
+        Protocol.R_error (Errno.EACCES, "denied");
+        Protocol.R_str "who";
+      ]
+  in
+  match Protocol.decode_response (Protocol.encode_response r) with
+  | Ok r' -> Alcotest.(check bool) "response roundtrip" true (r = r')
+  | Error m -> Alcotest.fail m
+
+let nested_batch_rejected () =
+  let nested = Protocol.Batch [ Protocol.Batch [ Protocol.Get "/a" ] ] in
+  let req = Protocol.Op { token = "tok"; req_id = ""; op = nested } in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "nested batch request accepted");
+  let r = Protocol.R_batch [ Protocol.R_batch [ Protocol.R_ok ] ] in
+  match Protocol.decode_response (Protocol.encode_response r) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested batch response accepted"
+
 let malformed_messages_rejected () =
   List.iter
     (fun text ->
@@ -154,4 +201,6 @@ let suite =
     Alcotest.test_case "auth roundtrip" `Quick auth_roundtrip_all_credentials;
     Alcotest.test_case "response roundtrip" `Quick response_roundtrip;
     Alcotest.test_case "malformed rejected" `Quick malformed_messages_rejected;
+    Alcotest.test_case "batch roundtrip" `Quick batch_roundtrip;
+    Alcotest.test_case "nested batch rejected" `Quick nested_batch_rejected;
   ]
