@@ -344,6 +344,295 @@ let cluster_block () =
         r.cr_speedup r.cr_failovers r.cr_drops)
     (cluster_rows ())
 
+(* Recovery: crash-restart MTTR as a function of WAL length (with and
+   without a checkpoint right before the crash), and anti-entropy
+   repair convergence as a function of how far a partitioned replica
+   drifted.  Both figures run on the simulated clock with seeded
+   faults, so they are exact and byte-identical across runs. *)
+type replay_row = {
+  rv_ops : int;  (* acknowledged mutations before the crash *)
+  rv_ckpt : bool;  (* checkpoint taken just before the crash *)
+  rv_wal_records : int;  (* records pending replay at crash time *)
+  rv_replayed : int;
+  rv_torn : int;  (* torn/corrupt records discarded on recovery *)
+  rv_mttr_ms : float;  (* simulated restart (checkpoint load + replay) *)
+}
+
+type repair_row = {
+  rp_divergence : int;  (* shard keys mutated while a replica was cut off *)
+  rp_pushes : int;  (* authoritative subtrees shipped to converge *)
+  rp_converge_ms : float;  (* heal -> identical digests on every holder *)
+  rp_p95_calm_ms : float;  (* client read p95 before the partition *)
+  rp_p95_repair_ms : float;  (* client read p95 during background repair *)
+}
+
+type recovery_report = {
+  rec_replay : replay_row list;
+  rec_repair : repair_row list;
+}
+
+let replay_run ~ops ~ckpt =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Account = Idbox_kernel.Account in
+  let module Clock = Idbox_kernel.Clock in
+  let module Metrics = Idbox_kernel.Metrics in
+  let module Network = Idbox_net.Network in
+  let module Fault = Idbox_net.Fault in
+  let module Ca = Idbox_auth.Ca in
+  let module Credential = Idbox_auth.Credential in
+  let module Negotiate = Idbox_auth.Negotiate in
+  let module Wal = Idbox_chirp.Wal in
+  let module Server = Idbox_chirp.Server in
+  let module Client = Idbox_chirp.Client in
+  let module Subject = Idbox_identity.Subject in
+  let clock = Clock.create () in
+  let kernel = Kernel.create ~clock () in
+  let net = Network.create ~clock () in
+  let owner =
+    match Account.add (Kernel.accounts kernel) "chirpuser" with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  Kernel.refresh_passwd kernel;
+  let ca = Ca.create ~name:"Bench CA" in
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+  let root_acl =
+    Idbox_acl.Acl.of_entries
+      [
+        Idbox_acl.Entry.make ~pattern:"globus:/O=Bench/*"
+          (Idbox_acl.Rights.of_string_exn "rwl");
+      ]
+  in
+  (* A torn in-flight write on every crash: recovery must discard it by
+     checksum without losing any acknowledged mutation. *)
+  let wal =
+    Wal.create ~seed:5L
+      ~profile:(Fault.storage_profile ~torn_write:1.0 ()) ()
+  in
+  let server =
+    match
+      Server.create ~kernel ~net ~addr:"bench.grid.edu:9094"
+        ~owner_uid:owner.Account.uid ~export:"/tmp/bench" ~acceptor ~root_acl
+        ~wal ~checkpoint_every:1_000_000 ()
+    with
+    | Ok s -> s
+    | Error e -> failwith (Idbox_vfs.Errno.message e)
+  in
+  let cert = Ca.issue ca (Subject.of_string_exn "/O=Bench/CN=Writer") in
+  let c =
+    match
+      Client.connect net ~addr:"bench.grid.edu:9094"
+        ~credentials:[ Credential.Gsi cert ]
+    with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  for i = 0 to ops - 1 do
+    match
+      Client.put c ~path:(Printf.sprintf "/w%04d" i)
+        ~data:(Printf.sprintf "payload-%04d" i)
+    with
+    | Ok () -> ()
+    | Error e -> failwith (Idbox_vfs.Errno.message e)
+  done;
+  if ckpt then (
+    match Server.checkpoint_now server with
+    | Ok () -> ()
+    | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let wal_records = Server.wal_records server in
+  let m name = Metrics.counter_value_of (Kernel.metrics kernel) name in
+  let replayed0 = m "chirp.recovery.replayed" in
+  let torn0 = m "chirp.recovery.torn" in
+  Server.crash server;
+  let t0 = Clock.now clock in
+  Server.restart server;
+  let mttr_ns = Int64.to_float (Int64.sub (Clock.now clock) t0) in
+  {
+    rv_ops = ops;
+    rv_ckpt = ckpt;
+    rv_wal_records = wal_records;
+    rv_replayed = m "chirp.recovery.replayed" - replayed0;
+    rv_torn = m "chirp.recovery.torn" - torn0;
+    rv_mttr_ms = mttr_ns /. 1e6;
+  }
+
+let repair_run ~divergence =
+  let module Clock = Idbox_kernel.Clock in
+  let module Metrics = Idbox_kernel.Metrics in
+  let module Network = Idbox_net.Network in
+  let module Fault = Idbox_net.Fault in
+  let module Client = Idbox_chirp.Client in
+  let module Server = Idbox_chirp.Server in
+  let module World = Idbox_cluster.World in
+  let module Router = Idbox_cluster.Router in
+  let okv ctx = function
+    | Ok v -> v
+    | Error e -> failwith (ctx ^ ": " ^ Idbox_vfs.Errno.message e)
+  in
+  let w = World.create () in
+  List.iter
+    (fun h ->
+      match World.add_node w ~host:h with
+      | Ok () -> ()
+      | Error m -> failwith m)
+    [ "alpha.grid.edu"; "beta.grid.edu"; "gamma.grid.edu" ];
+  World.settle w;
+  let policy =
+    { Client.default_policy with max_attempts = 12; retry_budget = 1_000_000 }
+  in
+  let r =
+    match World.connect ~policy w ~credentials:[ World.issue w "Bench" ] with
+    | Ok r -> r
+    | Error m -> failwith m
+  in
+  let clock = World.clock w in
+  let net = World.net w in
+  (* Divergence size = distinct shard keys mutated behind the cut:
+     repair work (digest checks, subtree pushes) is per key, so this is
+     the axis convergence cost scales on. *)
+  let dirs = List.init divergence (fun i -> Printf.sprintf "/r%02d" i) in
+  let ndirs = List.length dirs in
+  List.iter (fun d -> okv "mkdir" (Router.mkdir r d)) dirs;
+  let put_round tag =
+    List.iteri
+      (fun di d ->
+        for i = 0 to 3 do
+          okv "put"
+            (Router.put r
+               ~path:(Printf.sprintf "%s/f%d" d i)
+               ~data:(Printf.sprintf "%s-%02d-%d-%s" tag di i (String.make 200 'r')))
+        done)
+      dirs
+  in
+  put_round "base";
+  let pct latencies p =
+    let a = Array.of_list latencies in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (float_of_int n *. p)))
+  in
+  let read_latency i =
+    let d = List.nth dirs (i mod ndirs) in
+    let t0 = Clock.now clock in
+    ignore (okv "get" (Router.get r (Printf.sprintf "%s/f%d" d (i mod 4))));
+    Int64.to_float (Int64.sub (Clock.now clock) t0)
+  in
+  let calm = List.init 40 read_latency in
+  (* Cut gamma off from its peers (client and catalog still reach it:
+     membership stays stable, so divergence persists until anti-entropy
+     finds it — no ejection, no rebalance safety net). *)
+  let from_ns = Clock.now clock in
+  let until_ns = Int64.add from_ns 30_000_000_000L in
+  Network.set_fault_plan net
+    (Fault.plan ~seed:11L
+       ~partitions:
+         [
+           { Fault.from_ns; until_ns; between = ("gamma.grid.edu", "alpha.grid.edu") };
+           { Fault.from_ns; until_ns; between = ("gamma.grid.edu", "beta.grid.edu") };
+         ]
+       ());
+  put_round "diverged";
+  (* Tick out the rest of the partition window: heartbeats stay alive
+     (the catalog is reachable from everyone), so membership never
+     churns, and in-partition repair attempts fail and re-note their
+     keys.  Then heal: pending-set entries from the failed forwards
+     make the first post-heal anti-entropy pass repair every diverged
+     key, so convergence time is the simulated cost of shipping the
+     authoritative subtrees. *)
+  while
+    Int64.compare (Int64.add (Clock.now clock) 1_000_000_000L) until_ns < 0
+  do
+    Clock.advance clock 1_000_000_000L;
+    World.tick w
+  done;
+  Clock.advance clock (Int64.sub until_ns (Clock.now clock));
+  let t_heal = Clock.now clock in
+  let pushes0 =
+    Metrics.counter_value_of (Network.metrics net) "cluster.repair.push"
+  in
+  let converged () =
+    List.for_all
+      (fun d ->
+        let key = String.sub d 1 (String.length d - 1) in
+        let digests =
+          List.filter_map
+            (fun name ->
+              match Server.subtree_digest (World.server w name) key with
+              | Ok dg -> Some dg
+              | Error _ -> None)
+            (World.members w)
+        in
+        List.length digests >= World.replicas w
+        && List.for_all (String.equal (List.hd digests)) digests)
+      dirs
+  in
+  let converged_at = ref None in
+  let during = ref [] in
+  for step = 0 to 39 do
+    Clock.advance clock 1_000_000_000L;
+    World.tick w;
+    if !converged_at = None && converged () then
+      converged_at := Some (Clock.now clock);
+    during := read_latency step :: !during
+  done;
+  (match !converged_at with
+   | Some _ -> ()
+   | None -> failwith "repair bench: replicas did not converge");
+  let converge_ms =
+    match !converged_at with
+    | Some t -> Int64.to_float (Int64.sub t t_heal) /. 1e6
+    | None -> -1.
+  in
+  {
+    rp_divergence = divergence;
+    rp_pushes =
+      Metrics.counter_value_of (Network.metrics net) "cluster.repair.push"
+      - pushes0;
+    rp_converge_ms = converge_ms;
+    rp_p95_calm_ms = pct calm 0.95 /. 1e6;
+    rp_p95_repair_ms = pct !during 0.95 /. 1e6;
+  }
+
+let recovery_report () =
+  {
+    rec_replay =
+      [
+        replay_run ~ops:32 ~ckpt:false;
+        replay_run ~ops:128 ~ckpt:false;
+        replay_run ~ops:512 ~ckpt:false;
+        replay_run ~ops:512 ~ckpt:true;
+      ];
+    rec_repair =
+      List.map (fun d -> repair_run ~divergence:d) [ 2; 8; 32 ];
+  }
+
+let recovery_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline
+    "Recovery - WAL replay MTTR and anti-entropy repair convergence";
+  print_endline (String.make 78 '=');
+  let r = recovery_report () in
+  Printf.printf "%6s %6s %12s %10s %6s %12s\n" "ops" "ckpt" "wal records"
+    "replayed" "torn" "mttr (ms)";
+  print_endline (String.make 58 '-');
+  List.iter
+    (fun row ->
+      Printf.printf "%6d %6s %12d %10d %6d %12.3f\n" row.rv_ops
+        (if row.rv_ckpt then "yes" else "no")
+        row.rv_wal_records row.rv_replayed row.rv_torn row.rv_mttr_ms)
+    r.rec_replay;
+  print_newline ();
+  Printf.printf "%10s %8s %14s %14s %14s\n" "divergence" "pushes"
+    "converge (ms)" "p95 calm (ms)" "p95 repair(ms)";
+  print_endline (String.make 66 '-');
+  List.iter
+    (fun row ->
+      Printf.printf "%10d %8d %14.3f %14.3f %14.3f\n" row.rp_divergence
+        row.rp_pushes row.rp_converge_ms row.rp_p95_calm_ms
+        row.rp_p95_repair_ms)
+    r.rec_repair
+
 (* The cache ablation: the same warm ACL-heavy workload through a
    generation-cached enforcement engine and through one with caching
    off (the pre-cache behaviour, and what the paper's Parrot pays: a
@@ -590,14 +879,14 @@ let metrics_block () =
   let kernel = Idbox_report.Report.metrics_workload () in
   print_endline (Idbox_report.Report.metrics_json kernel)
 
-(* The deterministic machine-readable report (schema idbox-bench/1):
-   every simulated figure — resilience, cluster scaling, the metrics
-   registry — and nothing host-timed (Bechamel stays human-only), so
-   two runs on any machines are byte-identical. *)
+(* The deterministic machine-readable report (schema idbox-bench/3):
+   every simulated figure — resilience, cluster scaling, recovery, the
+   metrics registry — and nothing host-timed (Bechamel stays
+   human-only), so two runs on any machines are byte-identical. *)
 let json_report () =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
-  add "{\"schema\":\"idbox-bench/2\",\n \"resilience\":[";
+  add "{\"schema\":\"idbox-bench/3\",\n \"resilience\":[";
   List.iteri
     (fun i r ->
       if i > 0 then add ",\n   ";
@@ -619,7 +908,32 @@ let json_report () =
            r.cr_nodes r.cr_drop r.cr_ops r.cr_p50_ms r.cr_p95_ms
            r.cr_tput_kops r.cr_speedup r.cr_failovers r.cr_drops))
     (cluster_rows ());
-  add "],\n \"cache\":";
+  add "],\n \"recovery\":";
+  let rr = recovery_report () in
+  add "{\"replay\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"ops\":%d,\"checkpoint\":%b,\"wal_records\":%d,\
+            \"replayed\":%d,\"torn\":%d,\"mttr_ms\":%.3f}"
+           row.rv_ops row.rv_ckpt row.rv_wal_records row.rv_replayed
+           row.rv_torn row.rv_mttr_ms))
+    rr.rec_replay;
+  add "],\n  \"repair\":[";
+  List.iteri
+    (fun i row ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"divergence\":%d,\"pushes\":%d,\"converge_ms\":%.3f,\
+            \"p95_calm_ms\":%.3f,\"p95_repair_ms\":%.3f}"
+           row.rp_divergence row.rp_pushes row.rp_converge_ms
+           row.rp_p95_calm_ms row.rp_p95_repair_ms))
+    rr.rec_repair;
+  add "]}";
+  add ",\n \"cache\":";
   let cr = cache_report () in
   add "{\"enforce\":[";
   List.iteri
@@ -660,6 +974,7 @@ let () =
     bechamel_suite ();
     resilience_block ();
     cluster_block ();
+    recovery_block ();
     cache_block ();
     metrics_block ()
   | names ->
@@ -677,12 +992,13 @@ let () =
         | "bechamel" -> bechamel_suite ()
         | "resilience" -> resilience_block ()
         | "cluster" | "scaling" -> cluster_block ()
+        | "recovery" -> recovery_block ()
         | "cache" | "caches" -> cache_block ()
         | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
-             ablation bechamel resilience cluster cache metrics)\n"
+             ablation bechamel resilience cluster recovery cache metrics)\n"
             other;
           exit 2)
       names

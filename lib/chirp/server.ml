@@ -28,6 +28,16 @@ type done_op = {
   dd_response : string;  (* already encoded for the wire *)
 }
 
+(* A memoized per-directory digest, revalidated by the directory's
+   (ino, generation) token: namespace changes, ACL writes and content
+   writes all bump the directory generation, so a stale digest can
+   never validate. *)
+type digest_memo = {
+  dg_token : int * int;
+  dg_local : string;  (* digest over ACL text + direct children *)
+  dg_subdirs : string list;  (* absolute child-directory paths, sorted *)
+}
+
 type t = {
   sv_kernel : Kernel.t;
   sv_net : Network.t;
@@ -42,6 +52,10 @@ type t = {
   session_idle_ns : int64;
   dedup_window_ns : int64;
   boxes : (string, Box.t) Hashtbl.t;
+  wal : Wal.t;
+  checkpoint_every : int;
+  digests : (string, digest_memo) Hashtbl.t;
+  mutable ops_since_ckpt : int;
   mutable execs : int;
   mutable token_counter : int;
   mutable mutation_hook :
@@ -66,6 +80,42 @@ let delegate t req = Kernel.delegate t.sv_kernel t.sv_owner req
 let metric t name =
   Idbox_kernel.Metrics.incr
     (Idbox_kernel.Metrics.counter (Kernel.metrics t.sv_kernel) name)
+
+let metric_add t name n =
+  if n > 0 then
+    Idbox_kernel.Metrics.add
+      (Idbox_kernel.Metrics.counter (Kernel.metrics t.sv_kernel) name)
+      n
+
+let cost t = Kernel.cost t.sv_kernel
+let charge t ns = Kernel.charge t.sv_kernel ns
+
+(* {1 Write-ahead logging}
+
+   Every mutation is appended (and synced) to the WAL before it
+   executes; the dedup-journal entry for a request-ID-carrying mutation
+   is appended before the response leaves.  [restart] rebuilds the
+   whole server state from the checkpoint image plus these records —
+   nothing else survives a crash. *)
+
+let wal_record t fields =
+  let record = Wire.encode fields in
+  Wal.append t.wal record;
+  t.ops_since_ckpt <- t.ops_since_ckpt + 1;
+  metric t "chirp.wal.append";
+  charge t
+    (Int64.add (cost t).Idbox_kernel.Cost.wal_append_ns
+       (Idbox_kernel.Cost.copy_bytes (cost t) (String.length record)))
+
+let wal_sync t =
+  Wal.sync t.wal;
+  metric t "chirp.wal.sync";
+  charge t (cost t).Idbox_kernel.Cost.wal_sync_ns
+
+let rec contains_exec = function
+  | Protocol.Exec _ -> true
+  | Protocol.Batch ops -> List.exists contains_exec ops
+  | _ -> false
 
 (* Map a wire path into the export subtree, rejecting escapes.  Wire
    paths are absolute within the server's virtual namespace, so they are
@@ -347,6 +397,141 @@ let rec serve_op t identity op =
               | Some code -> R_exit code
               | None -> err Errno.EAGAIN))))
 
+(* {1 Subtree snapshots}
+
+   Used by replication (rebalance migration), by checkpoints, and by
+   anti-entropy repair.  Paths in the result are wire paths (relative
+   to the export root) so a receiving server can anchor them under its
+   own export. *)
+
+type snapshot_entry =
+  | Snap_dir of { path : string; acl : string }
+  | Snap_file of { path : string; data : string }
+
+let snapshot_path = function
+  | Snap_dir { path; _ } -> path
+  | Snap_file { path; _ } -> path
+
+(* Ship a subtree, ACLs included, as the deploying owner. *)
+let snapshot_subtree ?(recurse = true) t wire_prefix =
+  metric t "chirp.repl.snapshot";
+  let to_wire abs =
+    match Path.strip_prefix ~prefix:t.sv_export abs with
+    | Some rel -> rel
+    | None -> "/"
+  in
+  let rec walk abs acc =
+    match delegate t (Syscall.Stat abs) with
+    | Error Errno.ENOENT -> Ok acc  (* nothing under this prefix here *)
+    | Error e -> Error e
+    | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory ->
+      let acl =
+        match Enforce.dir_acl t.enforce abs with
+        | Some acl -> Acl.to_string acl
+        | None -> ""
+      in
+      let acc = Snap_dir { path = to_wire abs; acl } :: acc in
+      if not recurse then Ok acc
+      else
+        (match delegate t (Syscall.Readdir abs) with
+       | Error e -> Error e
+       | Ok (Syscall.Names names) ->
+         List.fold_left
+           (fun acc name ->
+             match acc with
+             | Error _ -> acc
+             | Ok acc ->
+               if String.equal name Acl.filename then Ok acc
+               else walk (Path.join abs name) acc)
+           (Ok acc)
+           (List.sort String.compare names)
+       | Ok _ -> Error Errno.EINVAL)
+    | Ok (Syscall.Stat_v _) ->
+      (match Fs.read_file (Kernel.fs t.sv_kernel) ~uid:t.sv_owner.View.uid abs with
+       | Ok data -> Ok (Snap_file { path = to_wire abs; data } :: acc)
+       | Error e -> Error e)
+    | Ok _ -> Error Errno.EINVAL
+  in
+  match map_path t wire_prefix with
+  | Error e -> Error e
+  | Ok abs -> Result.map List.rev (walk abs [])
+
+(* Install entries as the owner, without checkpointing — shared by the
+   public snapshot install and by recovery (which must not truncate the
+   log it is replaying). *)
+let install_entries t entries =
+  let uid = t.sv_owner.View.uid in
+  let fs = Kernel.fs t.sv_kernel in
+  let install entry =
+    match map_path t (snapshot_path entry) with
+    | Error e -> Error e
+    | Ok abs ->
+      (match entry with
+       | Snap_dir { acl; _ } ->
+         (match Fs.mkdir_p fs ~uid abs with
+          | Error e -> Error e
+          | Ok () ->
+            if String.equal acl "" then Ok ()
+            else
+              (match Acl.of_string acl with
+               | Error _ -> Error Errno.EINVAL
+               | Ok parsed -> Enforce.write_acl t.enforce ~dir:abs parsed))
+       | Snap_file { data; _ } ->
+         Fs.write_file fs ~uid ~mode:0o755 abs data)
+  in
+  List.fold_left
+    (fun acc entry -> match acc with Error _ -> acc | Ok () -> install entry)
+    (Ok ()) entries
+
+(* {1 Checkpoints}
+
+   A checkpoint is one atomic image on the WAL device: the dedup
+   journal plus a full subtree snapshot of the export.  Taking one
+   truncates the log, bounding replay time. *)
+
+let snap_encode = function
+  | Snap_dir { path; acl } -> Wire.encode [ "d"; path; acl ]
+  | Snap_file { path; data } -> Wire.encode [ "f"; path; data ]
+
+let snap_decode blob =
+  match Wire.decode blob with
+  | Ok [ "d"; path; acl ] -> Some (Snap_dir { path; acl })
+  | Ok [ "f"; path; data ] -> Some (Snap_file { path; data })
+  | Ok _ | Error _ -> None
+
+let dedup_image t =
+  Hashtbl.fold
+    (fun rid d acc -> (rid, d) :: acc)
+    t.dedup []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.concat_map (fun (rid, d) ->
+         [ rid; Int64.to_string d.dd_at; d.dd_response ])
+  |> Wire.encode
+
+let take_checkpoint t =
+  match snapshot_subtree t "/" with
+  | Error e -> Error e
+  | Ok entries ->
+    let blob = Wire.encode (dedup_image t :: List.map snap_encode entries) in
+    Wal.checkpoint t.wal blob;
+    t.ops_since_ckpt <- 0;
+    metric t "chirp.checkpoint";
+    charge t
+      (Int64.mul
+         (Int64.of_int (List.length entries))
+         (cost t).Idbox_kernel.Cost.checkpoint_entry_ns);
+    Ok ()
+
+(* Checkpoint when the log is long enough — and always right after an
+   exec: recovery replays the log through the serving path, and
+   replaying an exec would run the program a second time.  Truncating
+   the exec record away keeps remote execution exactly-once across a
+   crash (the dedup journal inside the checkpoint still replays the
+   recorded response to retries). *)
+let maybe_checkpoint t op =
+  if contains_exec op || t.ops_since_ckpt >= t.checkpoint_every then
+    ignore (take_checkpoint t)
+
 let fresh_token t principal =
   t.token_counter <- t.token_counter + 1;
   Digest.to_hex
@@ -427,7 +612,17 @@ let handle t payload =
        respond (Protocol.R_error (Errno.ESTALE, "session expired"))
      | Some s ->
        s.ss_last_used <- now;
+       let mutating = not (Protocol.idempotent op) in
        let serve () =
+         (* Write-ahead: a fresh mutation is logged and synced before
+            it executes, so no acknowledged effect can be lost to a
+            crash — recovery replays exactly this record. *)
+         if mutating then begin
+           wal_record t
+             [ "op"; Principal.to_string s.ss_principal;
+               Protocol.operation_to_wire op ];
+           wal_sync t
+         end;
          (* A handler bug must not unwind into the network: degrade to
             a wire-level error and keep serving everyone else. *)
          let r =
@@ -461,7 +656,11 @@ let handle t payload =
           | _ -> fire op r);
          r
        in
-       if String.equal req_id "" then respond (serve ())
+       if String.equal req_id "" then begin
+         let encoded = respond (serve ()) in
+         if mutating then maybe_checkpoint t op;
+         encoded
+       end
        else begin
          sweep_dedup t now;
          match Hashtbl.find_opt t.dedup req_id with
@@ -473,12 +672,20 @@ let handle t payload =
          | None ->
            let encoded = respond (serve ()) in
            Hashtbl.replace t.dedup req_id { dd_at = now; dd_response = encoded };
+           if mutating then begin
+             (* The dedup-journal entry is durable before the reply
+                leaves: a crash between execution and reply cannot turn
+                a client retry into a second execution. *)
+             wal_record t [ "done"; req_id; Int64.to_string now; encoded ];
+             wal_sync t;
+             maybe_checkpoint t op
+           end;
            encoded
        end)
 
 let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
     ?(max_sessions = 64) ?(session_idle_ns = 600_000_000_000L)
-    ?(dedup_window_ns = 60_000_000_000L) () =
+    ?(dedup_window_ns = 60_000_000_000L) ?wal ?(checkpoint_every = 128) () =
   let sv_owner = Kernel.make_view kernel ~uid:owner_uid () in
   let sv_export = Path.normalize export in
   let t =
@@ -496,6 +703,10 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
       session_idle_ns;
       dedup_window_ns;
       boxes = Hashtbl.create 8;
+      wal = (match wal with Some w -> w | None -> Wal.create ());
+      checkpoint_every = max 1 checkpoint_every;
+      digests = Hashtbl.create 32;
+      ops_since_ckpt = 0;
       execs = 0;
       token_counter = 0;
       mutation_hook = None;
@@ -512,23 +723,125 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
     (match install_acl with
      | Error e -> Error e
      | Ok () ->
-       Network.listen net ~addr (fun payload -> handle t payload);
-       Ok t)
+       (* Checkpoint zero: the freshly installed root ACL (and whatever
+          the export already held) is durable before the first request,
+          so recovery always has an image to anchor replay on. *)
+       (match take_checkpoint t with
+        | Error e -> Error e
+        | Ok () ->
+          Network.listen net ~addr (fun payload -> handle t payload);
+          Ok t))
 
 let shutdown t = Network.unlisten t.sv_net ~addr:t.sv_addr
 
 let crash t =
   metric t "chirp.crash";
+  (* The endpoint goes down and the stable-storage device takes its
+     seeded crash damage — possibly a torn fragment of a write that was
+     in flight (never acknowledged), never a synced byte. *)
+  Wal.crash t.wal;
   Network.crash t.sv_net ~addr:t.sv_addr
 
-(* A restart loses the in-memory session table (clients re-authenticate
-   and see [ESTALE] on their old tokens) but keeps the dedup journal:
-   real servers persist it precisely so a crash between execution and
-   reply cannot turn a retry into a second execution. *)
+(* Delete the export subtree as the owner: recovery rebuilds it from
+   the checkpoint and the log, so anything still in memory that never
+   reached stable storage must actually be gone. *)
+let wipe_export t =
+  let rec rm abs =
+    match delegate t (Syscall.Stat abs) with
+    | Error _ -> ()
+    | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory ->
+      (match delegate t (Syscall.Readdir abs) with
+       | Ok (Syscall.Names names) ->
+         List.iter
+           (fun name -> rm (Path.join abs name))
+           (List.sort String.compare names);
+         Enforce.invalidate t.enforce ~dir:abs;
+         ignore (delegate t (Syscall.Rmdir abs))
+       | Ok _ | Error _ -> ())
+    | Ok _ -> ignore (delegate t (Syscall.Unlink abs))
+  in
+  match delegate t (Syscall.Readdir t.sv_export) with
+  | Ok (Syscall.Names names) ->
+    List.iter
+      (fun name -> rm (Path.join t.sv_export name))
+      (List.sort String.compare names);
+    Enforce.invalidate t.enforce ~dir:t.sv_export
+  | Ok _ | Error _ -> ()
+
+(* Come back from a crash with only what stable storage holds: load the
+   latest checkpoint image, then replay the WAL through the serving
+   path — same principals, same ACL checks, same order.  The torn tail
+   (if the crash tore an in-flight write) fails its checksum and is
+   discarded: it was never acknowledged, so nobody is owed it.  Exec
+   records never appear here ([maybe_checkpoint] truncates them away),
+   so replay runs no program twice; a defensive skip covers the
+   impossible case anyway. *)
 let restart t =
   metric t "chirp.restart";
   Hashtbl.reset t.sessions;
+  Hashtbl.reset t.dedup;
+  Hashtbl.reset t.boxes;
+  Hashtbl.reset t.digests;
+  let rc = Wal.recover t.wal in
+  let c = cost t in
+  wipe_export t;
+  (match rc.Wal.rc_checkpoint with
+   | None -> ()
+   | Some blob ->
+     metric t "chirp.recovery.checkpoint_loads";
+     (match Wire.decode blob with
+      | Ok (dedup_blob :: entry_blobs) ->
+        let entries = List.filter_map snap_decode entry_blobs in
+        charge t
+          (Int64.mul
+             (Int64.of_int (List.length entries))
+             c.Idbox_kernel.Cost.checkpoint_entry_ns);
+        ignore (install_entries t entries);
+        (match Wire.decode dedup_blob with
+         | Ok fields ->
+           let rec restore = function
+             | rid :: at :: resp :: rest ->
+               (match Int64.of_string_opt at with
+                | Some dd_at ->
+                  Hashtbl.replace t.dedup rid { dd_at; dd_response = resp }
+                | None -> ());
+               restore rest
+             | _ -> ()
+           in
+           restore fields
+         | Error _ -> ())
+      | Ok [] | Error _ -> ()));
+  let replayed = ref 0 in
+  List.iter
+    (fun record ->
+      charge t
+        (Int64.add c.Idbox_kernel.Cost.wal_replay_ns
+           (Idbox_kernel.Cost.copy_bytes c (String.length record)));
+      match Wire.decode record with
+      | Ok [ "op"; principal; opblob ] ->
+        (match Protocol.operation_of_wire opblob with
+         | Ok op when contains_exec op -> metric t "chirp.recovery.exec_skipped"
+         | Ok op ->
+           incr replayed;
+           ignore
+             (try serve_op t (Principal.of_string principal) op
+              with _ -> err Errno.EIO)
+         | Error _ -> ())
+      | Ok [ "done"; rid; at; resp ] ->
+        (match Int64.of_string_opt at with
+         | Some dd_at ->
+           Hashtbl.replace t.dedup rid { dd_at; dd_response = resp }
+         | None -> ())
+      | Ok _ | Error _ -> ())
+    rc.Wal.rc_records;
+  t.ops_since_ckpt <- List.length rc.Wal.rc_records;
+  metric_add t "chirp.recovery.replayed" !replayed;
+  metric_add t "chirp.recovery.torn" rc.Wal.rc_torn_records;
   Network.restart t.sv_net ~addr:t.sv_addr
+
+let wal_records t = Wal.records t.wal
+let wal_bytes t = Wal.log_bytes t.wal
+let checkpoint_now t = take_checkpoint t
 
 (* {1 Replication hooks}
 
@@ -547,88 +860,204 @@ let clear_mutation_hook t = t.mutation_hook <- None
    re-fire (replicas do not re-forward). *)
 let apply_replicated t ~identity op =
   metric t "chirp.repl.apply";
-  try serve_op t identity op
-  with _ ->
-    metric t "chirp.handler.crash";
-    Protocol.R_error (Errno.EIO, "internal server error")
-
-type snapshot_entry =
-  | Snap_dir of { path : string; acl : string }
-  | Snap_file of { path : string; data : string }
-
-let snapshot_path = function
-  | Snap_dir { path; _ } -> path
-  | Snap_file { path; _ } -> path
-
-(* Ship a subtree, ACLs included, as the deploying owner.  Paths in the
-   result are wire paths (relative to the export root) so the receiving
-   server can anchor them under its own export. *)
-let snapshot_subtree ?(recurse = true) t wire_prefix =
-  metric t "chirp.repl.snapshot";
-  let to_wire abs =
-    match Path.strip_prefix ~prefix:t.sv_export abs with
-    | Some rel -> rel
-    | None -> "/"
+  (* A forwarded mutation is as durable here as a client's own: logged
+     and synced before it executes, so a replica crash loses nothing it
+     already applied. *)
+  wal_record t
+    [ "op"; Principal.to_string identity; Protocol.operation_to_wire op ];
+  wal_sync t;
+  let r =
+    try serve_op t identity op
+    with _ ->
+      metric t "chirp.handler.crash";
+      Protocol.R_error (Errno.EIO, "internal server error")
   in
-  let rec walk abs acc =
-    match delegate t (Syscall.Stat abs) with
-    | Error Errno.ENOENT -> Ok acc  (* nothing under this prefix here *)
-    | Error e -> Error e
-    | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory ->
-      let acl =
-        match Enforce.dir_acl t.enforce abs with
-        | Some acl -> Acl.to_string acl
-        | None -> ""
-      in
-      let acc = Snap_dir { path = to_wire abs; acl } :: acc in
-      if not recurse then Ok acc
-      else
-        (match delegate t (Syscall.Readdir abs) with
-       | Error e -> Error e
-       | Ok (Syscall.Names names) ->
-         List.fold_left
-           (fun acc name ->
-             match acc with
-             | Error _ -> acc
-             | Ok acc ->
-               if String.equal name Acl.filename then Ok acc
-               else walk (Path.join abs name) acc)
-           (Ok acc)
-           (List.sort String.compare names)
-       | Ok _ -> Error Errno.EINVAL)
-    | Ok (Syscall.Stat_v _) ->
-      (match Fs.read_file (Kernel.fs t.sv_kernel) ~uid:t.sv_owner.View.uid abs with
-       | Ok data -> Ok (Snap_file { path = to_wire abs; data } :: acc)
-       | Error e -> Error e)
-    | Ok _ -> Error Errno.EINVAL
-  in
-  match map_path t wire_prefix with
-  | Error e -> Error e
-  | Ok abs -> Result.map List.rev (walk abs [])
+  maybe_checkpoint t op;
+  r
 
 (* Install a shipped subtree as the owner: the ACL checks already
-   happened where the data was written the first time. *)
+   happened where the data was written the first time.  The install is
+   a bulk state change that the log does not describe, so it is made
+   durable by checkpointing — which also truncates any now-superseded
+   records. *)
 let install_snapshot t entries =
   metric t "chirp.repl.install";
-  let uid = t.sv_owner.View.uid in
-  let fs = Kernel.fs t.sv_kernel in
-  let install entry =
-    match map_path t (snapshot_path entry) with
-    | Error e -> Error e
-    | Ok abs ->
-      (match entry with
-       | Snap_dir { acl; _ } ->
-         (match Fs.mkdir_p fs ~uid abs with
-          | Error e -> Error e
-          | Ok () ->
-            if String.equal acl "" then Ok ()
-            else
-              (match Acl.of_string acl with
-               | Error _ -> Error Errno.EINVAL
-               | Ok parsed -> Enforce.write_acl t.enforce ~dir:abs parsed))
-       | Snap_file { data; _ } ->
-         Fs.write_file fs ~uid ~mode:0o755 abs data)
-  in
-  List.fold_left
-    (fun acc entry -> match acc with Error _ -> acc | Ok () -> install entry)
-    (Ok ()) entries
+  match install_entries t entries with
+  | Error e -> Error e
+  | Ok () ->
+    ignore (take_checkpoint t);
+    Ok ()
+
+(* Make the subtree under [prefix] exactly equal to [entries]: install
+   everything shipped, delete everything else.  Plain installs are
+   additive — good enough for rebalance, where the target starts empty,
+   but anti-entropy must also remove divergent extras or digests never
+   converge.  Deletion is safe because the entries come from the
+   shard's primary, which has seen every acknowledged write. *)
+let install_subtree_exact t ~prefix entries =
+  metric t "chirp.repair.install";
+  match snapshot_subtree t prefix with
+  | Error e -> Error e
+  | Ok current ->
+    let keep = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace keep (snapshot_path e) ()) entries;
+    (* Children precede parents in the reversed snapshot order, so a
+       stale directory is empty by the time its rmdir runs. *)
+    List.iter
+      (fun entry ->
+        let wire = snapshot_path entry in
+        if not (Hashtbl.mem keep wire) then
+          match map_path t wire with
+          | Error _ -> ()
+          | Ok abs ->
+            (match entry with
+             | Snap_dir _ ->
+               ignore (delegate t (Syscall.Unlink (Path.join abs Acl.filename)));
+               Enforce.invalidate t.enforce ~dir:abs;
+               ignore (delegate t (Syscall.Rmdir abs))
+             | Snap_file _ -> ignore (delegate t (Syscall.Unlink abs))))
+      (List.rev current);
+    (match install_entries t entries with
+     | Error e -> Error e
+     | Ok () ->
+       ignore (take_checkpoint t);
+       Ok ())
+
+(* {1 Anti-entropy digests}
+
+   Per-directory Merkle-style digests over names, kinds, file-content
+   hashes and ACL text.  The {e local} digest of a directory covers its
+   ACL and direct children only, and is memoized under the directory's
+   (ino, generation) token — PR 4's generation counters make the memo
+   sound, because namespace changes, ACL writes and content writes all
+   bump it.  Subtree digests fold children's subtree digests into the
+   local one, so any divergence anywhere below differs at the root.
+   Generations themselves are node-local counters and are never part of
+   the digest: replicas compare {e content}, not history. *)
+
+let local_digest t abs =
+  match Fs.dir_token (Kernel.fs t.sv_kernel) abs with
+  | None -> Error Errno.ENOENT
+  | Some token ->
+    (match Hashtbl.find_opt t.digests abs with
+     | Some m when m.dg_token = token ->
+       metric t "chirp.digest.hit";
+       charge t (cost t).Idbox_kernel.Cost.gen_check_ns;
+       Ok m
+     | _ ->
+       metric t "chirp.digest.miss";
+       (match delegate t (Syscall.Readdir abs) with
+        | Error e -> Error e
+        | Ok (Syscall.Names names) ->
+          let names =
+            List.sort String.compare
+              (List.filter (fun n -> not (String.equal n Acl.filename)) names)
+          in
+          let acl =
+            match Enforce.dir_acl t.enforce abs with
+            | Some acl -> Acl.to_string acl
+            | None -> ""
+          in
+          let rec fold fields subdirs = function
+            | [] -> Ok (List.rev fields, List.rev subdirs)
+            | name :: rest ->
+              let child = Path.join abs name in
+              (match delegate t (Syscall.Stat child) with
+               | Error _ -> fold fields subdirs rest
+               | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory ->
+                 fold (("d:" ^ name) :: fields) (child :: subdirs) rest
+               | Ok (Syscall.Stat_v _) ->
+                 (match
+                    Fs.read_file (Kernel.fs t.sv_kernel)
+                      ~uid:t.sv_owner.View.uid child
+                  with
+                  | Ok data ->
+                    charge t
+                      (Idbox_kernel.Cost.copy_bytes (cost t)
+                         (String.length data));
+                    fold
+                      (("f:" ^ name ^ ":" ^ Digest.to_hex (Digest.string data))
+                       :: fields)
+                      subdirs rest
+                  | Error _ -> fold fields subdirs rest)
+               | Ok _ -> fold fields subdirs rest)
+          in
+          (match fold [] [] names with
+           | Error e -> Error e
+           | Ok (fields, subdirs) ->
+             charge t (cost t).Idbox_kernel.Cost.digest_dir_ns;
+             let m =
+               {
+                 dg_token = token;
+                 dg_local =
+                   Digest.to_hex (Digest.string (Wire.encode (acl :: fields)));
+                 dg_subdirs = subdirs;
+               }
+             in
+             Hashtbl.replace t.digests abs m;
+             Ok m)
+        | Ok _ -> Error Errno.EINVAL))
+
+let rec subtree_digest_abs t abs =
+  match delegate t (Syscall.Stat abs) with
+  | Error e -> Error e
+  | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory ->
+    (match local_digest t abs with
+     | Error e -> Error e
+     | Ok m ->
+       let rec fold acc = function
+         | [] -> Ok (List.rev acc)
+         | child :: rest ->
+           (match subtree_digest_abs t child with
+            | Error e -> Error e
+            | Ok d -> fold ((Path.basename child ^ ":" ^ d) :: acc) rest)
+       in
+       (match fold [] m.dg_subdirs with
+        | Error e -> Error e
+        | Ok children ->
+          Ok
+            (Digest.to_hex
+               (Digest.string (Wire.encode (m.dg_local :: children))))))
+  | Ok (Syscall.Stat_v _) ->
+    (* A bare file at the prefix (a top-level file shards on its own
+       name): its digest is its content hash. *)
+    (match Fs.read_file (Kernel.fs t.sv_kernel) ~uid:t.sv_owner.View.uid abs with
+     | Ok data -> Ok (Digest.to_hex (Digest.string data))
+     | Error e -> Error e)
+  | Ok _ -> Error Errno.EINVAL
+
+let subtree_digest ?(recurse = true) t wire_prefix =
+  match map_path t wire_prefix with
+  | Error e -> Error e
+  | Ok abs ->
+    if recurse then subtree_digest_abs t abs
+    else Result.map (fun m -> m.dg_local) (local_digest t abs)
+
+let dir_digests t wire_prefix =
+  match map_path t wire_prefix with
+  | Error e -> Error e
+  | Ok abs0 ->
+    let to_wire abs =
+      match Path.strip_prefix ~prefix:t.sv_export abs with
+      | Some rel -> rel
+      | None -> "/"
+    in
+    let rec walk abs acc =
+      match subtree_digest_abs t abs with
+      | Error _ -> acc
+      | Ok d ->
+        let acc = (to_wire abs, d) :: acc in
+        (match local_digest t abs with
+         | Error _ -> acc
+         | Ok m -> List.fold_left (fun acc c -> walk c acc) acc m.dg_subdirs)
+    in
+    Ok (List.sort compare (walk abs0 []))
+
+let shard_roots t =
+  match delegate t (Syscall.Readdir t.sv_export) with
+  | Ok (Syscall.Names names) ->
+    Ok
+      (List.sort String.compare
+         (List.filter (fun n -> not (String.equal n Acl.filename)) names))
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e

@@ -26,17 +26,27 @@ val create :
   ?max_sessions:int ->
   ?session_idle_ns:int64 ->
   ?dedup_window_ns:int64 ->
+  ?wal:Wal.t ->
+  ?checkpoint_every:int ->
   unit ->
   (t, Idbox_vfs.Errno.t) result
 (** Create the export directory (if missing), install [root_acl] on it
-    when given, and start listening on [addr].
+    when given, take a checkpoint of the (near-empty) export so recovery
+    always has an image, and start listening on [addr].
 
     Degradation knobs: at most [max_sessions] (default 64) live
     sessions — further [Auth] requests are shed with [EAGAIN]; sessions
     idle longer than [session_idle_ns] (default 10 min) are expired
     (covering half-authenticated leftovers whose auth reply was lost);
     responses to request-ID-carrying operations are remembered for
-    [dedup_window_ns] (default 60 s) so client retries are exactly-once. *)
+    [dedup_window_ns] (default 60 s) so client retries are exactly-once.
+
+    Durability knobs: [wal] is the stable-storage device holding the
+    write-ahead log and checkpoint image (default a calm device — pass
+    one built with a {!Idbox_net.Fault.storage_profile} to inject crash
+    damage); a checkpoint is taken every [checkpoint_every] (default
+    128) logged records, and immediately after any [Exec] so program
+    runs are never replayed. *)
 
 val addr : t -> string
 val export : t -> string
@@ -58,13 +68,32 @@ val shutdown : t -> unit
 
 val crash : t -> unit
 (** Simulate a crash: the endpoint goes down ([ECONNREFUSED] to
-    callers) until {!restart}. *)
+    callers) until {!restart}, and the WAL device takes seeded crash
+    damage per its storage profile.  Volatile state — sessions, the
+    in-memory dedup table, identity boxes, every un-logged file — is
+    gone; only the checkpoint image and the synced log prefix survive. *)
 
 val restart : t -> unit
-(** Come back up after {!crash}: the session table is lost (old tokens
-    answer [ESTALE], forcing clients to re-authenticate) but the dedup
-    journal survives, as on stable storage — a retry of an operation
-    executed just before the crash still replays instead of re-running. *)
+(** Come back up after {!crash} by {e recovering from stable storage}:
+    the export is wiped, the latest checkpoint image is reinstalled, and
+    the surviving WAL records are replayed in order (a torn or corrupt
+    tail is discarded by checksum; it was never acknowledged).  The
+    session table is lost (old tokens answer [ESTALE], forcing clients
+    to re-authenticate), but the dedup journal is rebuilt from logged
+    ["done"] records — a retry of an operation acknowledged just before
+    the crash still replays instead of re-running.  Replay charges
+    calibrated time ([wal_replay_ns] per record plus byte-copy cost), so
+    recovery MTTR is measurable against log length.  Counted in
+    [chirp.recovery.{replayed,torn,checkpoint_loads}]. *)
+
+val wal_records : t -> int
+(** Records currently in the WAL (since the last checkpoint). *)
+
+val wal_bytes : t -> int
+(** Byte length of the current WAL. *)
+
+val checkpoint_now : t -> (unit, Idbox_vfs.Errno.t) result
+(** Force a checkpoint (snapshot the export, truncate the log). *)
 
 val handle : t -> string -> string
 (** The raw request handler (exposed for direct-dispatch tests). *)
@@ -109,4 +138,39 @@ val snapshot_subtree :
 val install_snapshot :
   t -> snapshot_entry list -> (unit, Idbox_vfs.Errno.t) result
 (** Install a shipped subtree as the owner (rebalance migration): ACL
-    enforcement already happened where the data was first written. *)
+    enforcement already happened where the data was first written.
+    Made durable by an immediate checkpoint (the WAL does not describe
+    bulk installs). *)
+
+val install_subtree_exact :
+  t -> prefix:string -> snapshot_entry list -> (unit, Idbox_vfs.Errno.t) result
+(** Make the subtree under the wire path [prefix] exactly equal to
+    [entries] — install everything shipped {e and delete everything
+    else} (anti-entropy repair).  An empty [entries] deletes the
+    subtree.  Checkpoints afterwards, like {!install_snapshot}. *)
+
+(** {1 Anti-entropy digests}
+
+    Merkle-style per-directory digests over ACL text, child names and
+    kinds, and file-content hashes.  Two replicas hold the same subtree
+    content if and only if their subtree digests match; node-local
+    bookkeeping (inode numbers, generation counters, timestamps) is
+    deliberately excluded.  Per-directory digests are memoized under the
+    directory's [(ino, generation)] token, so an unchanged directory
+    revalidates at [gen_check_ns] instead of re-hashing
+    ([chirp.digest.hit] / [chirp.digest.miss]). *)
+
+val subtree_digest :
+  ?recurse:bool -> t -> string -> (string, Idbox_vfs.Errno.t) result
+(** Digest of the subtree under a wire path.  With [recurse:false],
+    just the directory's local digest (ACL + direct children), not its
+    descendants.  [Error ENOENT] when the prefix does not exist here. *)
+
+val dir_digests : t -> string -> ((string * string) list, Idbox_vfs.Errno.t) result
+(** [(wire path, subtree digest)] for every directory under (and
+    including) the given wire prefix, sorted by path — the
+    byte-comparable summary the convergence tests assert on. *)
+
+val shard_roots : t -> (string list, Idbox_vfs.Errno.t) result
+(** The top-level entry names in the export (shard keys present on this
+    server), sorted.  The anti-entropy sweep iterates these. *)

@@ -40,6 +40,15 @@ let decode_entries blobs =
 
 (* {1 The attached node} *)
 
+(* A shard key known (or suspected) to be diverged on some peer: the
+   anti-entropy pass checks these first, without waiting for its sweep
+   cadence.  Fed by forward failures and by untrusted hints. *)
+type pending = {
+  pd_key : string;
+  pd_peer : string;  (* member name, or "" when unknown (a hint) *)
+  pd_errno : string;  (* why the forward failed, for the trace *)
+}
+
 type node = {
   nd_net : Network.t;
   nd_server : Server.t;
@@ -52,15 +61,56 @@ type node = {
   nd_refresh_ns : int64;
   nd_fwd_timeout_ns : int64;
   nd_trace : Trace.ring option;
+  nd_pending : (string, pending) Hashtbl.t;  (* keyed on key ^ "@" ^ peer *)
+  nd_pending_cap : int;
   mutable nd_ring : Ring.t;
   mutable nd_last_refresh : int64;
 }
 
 let name node = node.nd_name
 let ring node = node.nd_ring
+let server node = node.nd_server
+let membership node = node.nd_membership
+let src node = node.nd_src
+let net node = node.nd_net
+let replicas node = node.nd_replicas
+let fwd_timeout_ns node = node.nd_fwd_timeout_ns
 
 let metric node m =
   Metrics.incr (Metrics.counter (Network.metrics node.nd_net) m)
+
+(* {1 The pending-repair set}
+
+   Bounded: under a long partition every forward fails, and an
+   unbounded set would just be a second queue to lose.  Dropping is
+   safe — the cadence sweep covers every local shard key anyway; the
+   pending set only buys priority. *)
+
+let note_pending node ~key ~peer ~errno =
+  let id = key ^ "@" ^ peer in
+  if Hashtbl.mem node.nd_pending id then
+    Hashtbl.replace node.nd_pending id { pd_key = key; pd_peer = peer; pd_errno = errno }
+  else if Hashtbl.length node.nd_pending >= node.nd_pending_cap then
+    metric node "cluster.repair.pending.drop"
+  else begin
+    Hashtbl.replace node.nd_pending id
+      { pd_key = key; pd_peer = peer; pd_errno = errno };
+    metric node "cluster.repair.pending"
+  end
+
+let pending_count node = Hashtbl.length node.nd_pending
+
+(* Drain the set in deterministic (sorted) order. *)
+let take_pending node =
+  let all = Hashtbl.fold (fun _ p acc -> p :: acc) node.nd_pending [] in
+  Hashtbl.reset node.nd_pending;
+  List.sort
+    (fun a b ->
+      match String.compare a.pd_key b.pd_key with
+      | 0 -> String.compare a.pd_peer b.pd_peer
+      | c -> c)
+    all
+  |> List.map (fun p -> (p.pd_key, p.pd_peer, p.pd_errno))
 
 let span node ~identity ~syscall ~verdict ~cost_ns =
   match node.nd_trace with
@@ -131,8 +181,13 @@ let forward node ~identity op =
              | Ok _ | Error _ -> "EIO")
           | Error e -> Errno.to_string e
         in
-        if not (String.equal verdict "ok") then
+        if not (String.equal verdict "ok") then begin
           metric node "cluster.replica.fail";
+          (* The peer missed (or rejected) this mutation: its copy of
+             the key is now suspect.  Remember exactly which member and
+             why, so anti-entropy checks this range first. *)
+          note_pending node ~key ~peer ~errno:verdict
+        end;
         span node ~identity:principal ~syscall:"cluster.replicate"
           ~verdict:(peer ^ ":" ^ verdict)
           ~cost_ns:(Int64.sub (Clock.now (Network.clock node.nd_net)) t0))
@@ -162,11 +217,46 @@ let handle node payload =
        (match Server.install_snapshot node.nd_server entries with
         | Ok () -> Wire.encode [ "ok" ]
         | Error e -> Wire.encode [ "error"; Errno.to_string e ]))
+  | Ok [ "digest"; prefix; "acl" ] ->
+    (* ACL text alone — the root-key comparison, where child names
+       legitimately differ between members (each holds its own shards). *)
+    (match Server.snapshot_subtree ~recurse:false node.nd_server prefix with
+     | Ok (Server.Snap_dir { acl; _ } :: _) ->
+       Wire.encode [ "ok"; Digest.to_hex (Digest.string acl) ]
+     | Ok _ -> Wire.encode [ "ok"; "" ]
+     | Error e -> Wire.encode [ "error"; Errno.to_string e ])
+  | Ok [ "digest"; prefix; depth ] ->
+    (* The node computes (and vouches for) its own digest — a peer
+       never has to trust shipped metadata about local state. *)
+    let recurse = not (String.equal depth "dir") in
+    (match Server.subtree_digest ~recurse node.nd_server prefix with
+     | Ok d -> Wire.encode [ "ok"; d ]
+     | Error Errno.ENOENT -> Wire.encode [ "ok"; "" ]  (* absent = empty *)
+     | Error e -> Wire.encode [ "error"; Errno.to_string e ])
+  | Ok ("hint" :: key :: rest) ->
+    (* An untrusted nudge ("this key looked diverged from where I sat"):
+       it only schedules a digest check the node performs itself, so a
+       bogus hint costs one comparison, never an install.  An optional
+       origin names a member to include in the check — how a non-owner
+       stuck holding a key gets itself repaired. *)
+    metric node "cluster.repair.hint";
+    let peer = match rest with origin :: _ -> origin | [] -> "" in
+    note_pending node ~key ~peer ~errno:"hint";
+    Wire.encode [ "ok" ]
+  | Ok ("repair" :: prefix :: blobs) ->
+    (* Authoritative content from the shard's primary: make the local
+       subtree exactly equal, deletions included. *)
+    (match decode_entries blobs with
+     | Error _ -> Wire.encode [ "error"; "EINVAL" ]
+     | Ok entries ->
+       (match Server.install_subtree_exact node.nd_server ~prefix entries with
+        | Ok () -> Wire.encode [ "ok" ]
+        | Error e -> Wire.encode [ "error"; Errno.to_string e ]))
   | Ok _ | Error _ -> Wire.encode [ "error"; "EINVAL" ]
 
 let attach ~net ~server ~name ~catalog ?(replicas = 2) ?(vnodes = 64)
     ?(refresh_interval_ns = 5_000_000_000L) ?(fwd_timeout_ns = 50_000_000L)
-    ?trace () =
+    ?(pending_cap = 64) ?trace () =
   let addr = Server.addr server in
   let src = Fault.host_of addr in
   let node =
@@ -182,6 +272,8 @@ let attach ~net ~server ~name ~catalog ?(replicas = 2) ?(vnodes = 64)
       nd_refresh_ns = refresh_interval_ns;
       nd_fwd_timeout_ns = fwd_timeout_ns;
       nd_trace = trace;
+      nd_pending = Hashtbl.create 16;
+      nd_pending_cap = max 1 pending_cap;
       nd_ring = Ring.create ~vnodes [];
       nd_last_refresh = Int64.min_int;
     }

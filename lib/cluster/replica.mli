@@ -17,6 +17,13 @@
     (["/"], e.g. a root ACL change) fan out to {e every} member, since
     every node anchors its ACL inheritance at its own export root.
 
+    The channel speaks five verbs: [apply] (forwarded mutation),
+    [snapshot] / [install] (rebalance migration), and the anti-entropy
+    pair [digest] (report the node's {e self-computed} subtree digest
+    for a prefix) and [repair] (install the primary's authoritative
+    subtree {e exactly}, deletions included) — plus the untrusted
+    [hint], which merely schedules a digest check.
+
     Rebalance moves only affected ranges: {!rebalance} compares the
     replica sets of each known prefix under the old and new rings and
     ships subtree snapshots only to nodes that {e gained} a prefix,
@@ -28,6 +35,13 @@ type node
 
 val repl_addr : string -> string
 (** The replication endpoint address for a public server address. *)
+
+val encode_entry : Idbox_chirp.Server.snapshot_entry -> string
+(** Wire form of one snapshot entry (shared by rebalance and repair). *)
+
+val decode_entries :
+  string list -> (Idbox_chirp.Server.snapshot_entry list, string) result
+(** Decode a shipped snapshot; fails on the first malformed entry. *)
 
 val shard_key : string -> string
 (** The namespace prefix a path shards on: its first component, or
@@ -42,6 +56,7 @@ val attach :
   ?vnodes:int ->
   ?refresh_interval_ns:int64 ->
   ?fwd_timeout_ns:int64 ->
+  ?pending_cap:int ->
   ?trace:Idbox_kernel.Trace.ring ->
   unit ->
   node
@@ -52,13 +67,40 @@ val attach :
     every [refresh_interval_ns] (default 5 s) to track membership;
     forwards and the node's own catalog polls use the short
     [fwd_timeout_ns] (default 50 ms, an intra-cluster LAN budget) so a
-    partitioned peer or catalog costs bounded time per mutation. *)
+    partitioned peer or catalog costs bounded time per mutation.
+    [pending_cap] (default 64) bounds the pending-repair set. *)
 
 val detach : node -> unit
 (** Stop forwarding and close the replication endpoint. *)
 
 val name : node -> string
 val ring : node -> Ring.t
+val server : node -> Idbox_chirp.Server.t
+val membership : node -> Membership.t
+val src : node -> string
+val net : node -> Idbox_net.Network.t
+val replicas : node -> int
+val fwd_timeout_ns : node -> int64
+
+(** {1 The pending-repair set}
+
+    Shard keys known or suspected to be diverged somewhere, so
+    anti-entropy can check them {e before} its sweep cadence comes
+    around.  Fed by two sources: a failed forward records the failing
+    member and errno; an untrusted ["hint"] (e.g. from a router that
+    saw a hedged read fail over) records the key alone.  Bounded at
+    [pending_cap] — under a long partition every forward fails, and the
+    cadence sweep covers every key regardless; overflow just loses
+    priority, counted as [cluster.repair.pending.drop]. *)
+
+val note_pending : node -> key:string -> peer:string -> errno:string -> unit
+(** Record a suspect [(key, peer)] pair ([peer = ""] when unknown).
+    Re-noting an already-pending pair updates it in place. *)
+
+val take_pending : node -> (string * string * string) list
+(** Drain the set: [(key, peer, errno)] in sorted order, emptying it. *)
+
+val pending_count : node -> int
 
 val tick : node -> unit
 (** Refresh the node's membership view if its refresh interval has

@@ -4,6 +4,7 @@ module Metrics = Idbox_kernel.Metrics
 module Trace = Idbox_kernel.Trace
 module Client = Idbox_chirp.Client
 module Protocol = Idbox_chirp.Protocol
+module Wire = Idbox_chirp.Wire
 module Errno = Idbox_vfs.Errno
 module Path = Idbox_vfs.Path
 
@@ -182,14 +183,39 @@ let read_on t path f =
     in
     go None (route t (Replica.shard_key path))
   in
-  match attempt () with
-  | Error e when transient e ->
-    (* Every replica out of reach: the membership may have moved under
-       us.  Re-read the catalog, rebalance, try the new ring once. *)
-    metric t "cluster.route.retry";
-    sync t;
-    attempt ()
-  | r -> r
+  let failovers_before = t.rt_failovers in
+  let r =
+    match attempt () with
+    | Error e when transient e ->
+      (* Every replica out of reach: the membership may have moved under
+         us.  Re-read the catalog, rebalance, try the new ring once. *)
+      metric t "cluster.route.retry";
+      sync t;
+      attempt ()
+    | r -> r
+  in
+  (match r with
+   | Ok _ when t.rt_failovers > failovers_before ->
+     (* Read repair, hedged-read flavour: a later replica answered
+        after an earlier owner failed, so some copy of this key is
+        unreachable or behind.  Nudge the key's primary with an
+        untrusted hint — it schedules a digest check the primary
+        performs itself, so a wrong guess costs one comparison. *)
+     let key = Replica.shard_key path in
+     (match Ring.lookup t.rt_ring key with
+      | None -> ()
+      | Some primary ->
+        (match List.assoc_opt primary t.rt_view with
+         | None -> ()
+         | Some addr ->
+           metric t "cluster.read_repair.hint";
+           span t ~syscall:"cluster.read_repair" ~verdict:key;
+           ignore
+             (Network.call t.rt_net ~src:t.rt_src
+                ~addr:(Replica.repl_addr addr)
+                (Wire.encode [ "hint"; key ]))))
+   | _ -> ());
+  r
 
 (* A write goes through the primary alone; the primary's server-side
    hook fans it out to the other owners (Replica.forward). *)

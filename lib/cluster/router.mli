@@ -15,6 +15,13 @@
     the catalog, rebalances the affected ranges, and retries once on
     the new ring ([cluster.route.retry]).
 
+    A hedged read that succeeds only after failing over also sends the
+    key's primary an untrusted repair {e hint}
+    ([cluster.read_repair.hint]): some copy of that key is unreachable
+    or behind, so the primary schedules a digest check of its replicas
+    (see {!Repair}).  The hint carries no data — the primary verifies
+    divergence itself — so the router never becomes a write path.
+
     Every routing decision is counted ([cluster.route],
     [cluster.route.<node>]) and spanned in the trace ring when one is
     attached.  The consistent-hash lookup itself is served from a route

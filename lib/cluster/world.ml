@@ -21,6 +21,7 @@ type member = {
   m_host : string;
   m_server : Server.t;
   m_replica : Replica.node;
+  m_repair : Repair.t;
   m_heartbeat : Catalog.heartbeat;
   mutable m_beating : bool;
 }
@@ -36,6 +37,7 @@ type t = {
   w_vnodes : int;
   w_hb_interval_ns : int64;
   w_refresh_ns : int64;
+  w_repair_ns : int64;
   w_trace : Trace.ring option;
   mutable w_members : member list;
 }
@@ -52,7 +54,8 @@ let default_root_acl =
     ]
 
 let create ?staleness_ns ?(heartbeat_interval_ns = 60_000_000_000L)
-    ?(refresh_interval_ns = 5_000_000_000L) ?(replicas = 2) ?(vnodes = 64)
+    ?(refresh_interval_ns = 5_000_000_000L)
+    ?(repair_interval_ns = 30_000_000_000L) ?(replicas = 2) ?(vnodes = 64)
     ?(root_acl = default_root_acl) ?trace () =
   let clock = Clock.create () in
   let net = Network.create ~clock () in
@@ -69,6 +72,7 @@ let create ?staleness_ns ?(heartbeat_interval_ns = 60_000_000_000L)
     w_vnodes = vnodes;
     w_hb_interval_ns = heartbeat_interval_ns;
     w_refresh_ns = refresh_interval_ns;
+    w_repair_ns = repair_interval_ns;
     w_trace = trace;
     w_members = [];
   }
@@ -126,6 +130,7 @@ let add_node ?acceptor t ~host =
              m_host = host;
              m_server = server;
              m_replica = replica;
+             m_repair = Repair.attach ~interval_ns:t.w_repair_ns replica;
              m_heartbeat = heartbeat;
              m_beating = true;
            }
@@ -142,7 +147,10 @@ let tick t =
   List.iter
     (fun m ->
       if m.m_beating then ignore (Catalog.tick m.m_heartbeat);
-      Replica.tick m.m_replica)
+      Replica.tick m.m_replica;
+      (* Anti-entropy rides the same cooperative step, but only on live
+         members: a crashed server neither checks nor answers. *)
+      if m.m_beating then Repair.tick m.m_repair)
     t.w_members
 
 let members t = List.map (fun m -> m.m_name) t.w_members
@@ -154,6 +162,10 @@ let find t name =
 
 let server t name = (find t name).m_server
 let replica t name = (find t name).m_replica
+let repair t name = (find t name).m_repair
+
+let repair_sweep t =
+  List.iter (fun m -> if m.m_beating then Repair.sweep m.m_repair) t.w_members
 
 let crash t name =
   let m = find t name in

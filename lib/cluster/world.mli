@@ -15,6 +15,7 @@ val create :
   ?staleness_ns:int64 ->
   ?heartbeat_interval_ns:int64 ->
   ?refresh_interval_ns:int64 ->
+  ?repair_interval_ns:int64 ->
   ?replicas:int ->
   ?vnodes:int ->
   ?root_acl:Idbox_acl.Acl.t ->
@@ -51,8 +52,11 @@ val settle : t -> unit
     wants the nodes to see immediately). *)
 
 val tick : t -> unit
-(** One cooperative step: each beating member ticks its heartbeat, and
-    each member's replication node refreshes its view if due. *)
+(** One cooperative step: each beating member ticks its heartbeat, each
+    member's replication node refreshes its view if due, and each live
+    member's anti-entropy loop runs ({!Repair.tick} — pending checks
+    every step, full sweeps on the [repair_interval_ns] cadence and
+    one step after an observed membership change). *)
 
 val members : t -> string list
 (** Member names, sorted. *)
@@ -61,6 +65,12 @@ val server : t -> string -> Idbox_chirp.Server.t
 (** A member's server, by name.  Raises [Not_found] for unknown names. *)
 
 val replica : t -> string -> Replica.node
+val repair : t -> string -> Repair.t
+
+val repair_sweep : t -> unit
+(** Force a full anti-entropy sweep on every live member now — how
+    tests make convergence synchronous instead of waiting out the
+    cadence. *)
 
 val crash : t -> string -> unit
 (** Crash a member's server {e and} stop its heartbeat: the lease ages

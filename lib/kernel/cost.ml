@@ -18,6 +18,11 @@ type t = {
   io_byte_ns : float;
   spawn_ns : int64;
   misc_ns : int64;
+  wal_append_ns : int64;
+  wal_sync_ns : int64;
+  wal_replay_ns : int64;
+  checkpoint_entry_ns : int64;
+  digest_dir_ns : int64;
 }
 
 let default =
@@ -41,6 +46,11 @@ let default =
     io_byte_ns = 0.30;
     spawn_ns = 250_000L;
     misc_ns = 800L;
+    wal_append_ns = 1_200L;
+    wal_sync_ns = 150_000L;
+    wal_replay_ns = 900L;
+    checkpoint_entry_ns = 2_500L;
+    digest_dir_ns = 1_800L;
   }
 
 let ns_of_float f = Int64.of_float (Float.round f)

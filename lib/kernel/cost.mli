@@ -47,6 +47,25 @@ type t = {
   io_byte_ns : float;  (** Per-byte cost of a direct read/write. *)
   spawn_ns : int64;
   misc_ns : int64;  (** Any other call beyond [syscall_base]. *)
+  wal_append_ns : int64;
+      (** Per-record cost of formatting + checksumming a WAL append
+          (the byte copy is charged separately via {!copy_bytes}). *)
+  wal_sync_ns : int64;
+      (** One stable-storage sync (fsync of the log tail) — the price
+          of acknowledging a mutation durably.  Dominates the WAL's
+          contribution to write latency, as on a real disk. *)
+  wal_replay_ns : int64;
+      (** Per-record parse + checksum verification during recovery
+          (re-executing the logged operation is charged by the
+          operation itself). *)
+  checkpoint_entry_ns : int64;
+      (** Per-entry cost of writing or loading a checkpoint image
+          (besides the snapshot walk's own delegated syscalls). *)
+  digest_dir_ns : int64;
+      (** Per-directory cost of computing a fresh anti-entropy digest
+          (hashing names, kinds and ACL text; file-content bytes are
+          charged via {!copy_bytes}).  A generation-validated memo hit
+          costs {!t.gen_check_ns} instead. *)
 }
 
 val default : t

@@ -45,6 +45,31 @@ let profile ?(drop = 0.) ?(reset = 0.) ?(corrupt = 0.) ?(truncate = 0.)
     ?(jitter = 0.) ?(max_jitter_ns = 0L) () =
   { drop; reset; corrupt; truncate; jitter; max_jitter_ns }
 
+(* Crash damage for a simulated stable-storage device (the Chirp WAL):
+   the same seeded-stream discipline as the network profiles, but the
+   faults model what a power cut does to a disk, not what a router does
+   to a packet.  Damage is confined to bytes not yet fsync'd — that is
+   the contract a WAL buys — plus an optional torn fragment of a write
+   that was in flight when the power died. *)
+type storage_profile = {
+  torn_write : float;
+      (** Probability a crash leaves a torn tail: either the last
+          unsynced record cut mid-record, or (when everything was
+          synced) a partial fragment of an in-flight record appended
+          after the durable prefix. *)
+  lose_tail : float;
+      (** Probability the unsynced suffix loses whole records from the
+          end (the page cache never reached the platter). *)
+  flip : float;
+      (** Probability of flipped bytes somewhere in the unsynced
+          suffix (a sector written during the power dip). *)
+}
+
+let calm_storage = { torn_write = 0.; lose_tail = 0.; flip = 0. }
+
+let storage_profile ?(torn_write = 0.) ?(lose_tail = 0.) ?(flip = 0.) () =
+  { torn_write; lose_tail; flip }
+
 type window = {
   from_ns : int64;
   until_ns : int64;

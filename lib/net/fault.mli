@@ -62,6 +62,37 @@ val profile :
   profile
 (** {!calm} with the given fields overridden. *)
 
+(** {1 Storage fault profiles}
+
+    Crash damage for a simulated stable-storage device (the Chirp WAL,
+    {!Idbox_chirp.Wal}).  Damage is drawn from the same seeded-stream
+    discipline as the network profiles but models a power cut hitting a
+    disk: it is confined to bytes not yet synced — the contract a WAL
+    buys — plus, possibly, a torn fragment of a write that was in
+    flight when the power died. *)
+
+type storage_profile = {
+  torn_write : float;
+      (** Probability a crash leaves a torn tail: the last unsynced
+          record cut mid-record, or — when everything was synced — a
+          partial fragment of an in-flight record appended after the
+          durable prefix.  Recovery must discard it by checksum. *)
+  lose_tail : float;
+      (** Probability the unsynced suffix loses whole records from the
+          end (the page cache never reached the platter). *)
+  flip : float;
+      (** Probability of flipped bytes somewhere in the unsynced suffix
+          (a sector being written during the power dip). *)
+}
+
+val calm_storage : storage_profile
+(** All probabilities zero: an ideal disk. *)
+
+val storage_profile :
+  ?torn_write:float -> ?lose_tail:float -> ?flip:float -> unit ->
+  storage_profile
+(** {!calm_storage} with the given fields overridden. *)
+
 (** {1 Fault plans} *)
 
 type window = {

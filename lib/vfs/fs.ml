@@ -146,6 +146,19 @@ let note_watched_write t path =
   | Ok (dir, _) -> note_mutation t dir
   | Error _ -> note_global t
 
+(* Any other open-for-write of an existing file: the directory's
+   *content* is about to change even though its namespace is not.  Bump
+   only the containing directory's generation (not the global one):
+   per-directory digests over file contents must revalidate, but
+   whole-path name caches — which content cannot affect — keep their
+   hits.  Writes land through descriptors after the open, so open time
+   is the one choke point (opens and writes never interleave with
+   digest reads in the single-threaded simulation). *)
+let note_content_write t path =
+  match resolve_parent t ~uid:0 path with
+  | Ok (dir, _) -> Inode.bump_gen dir
+  | Error _ -> ()
+
 (* chmod/chown change who the Unix-permission fallback grants to; bump
    the containing directory so attribute-sensitive caches revalidate. *)
 let note_attr_change t path =
@@ -174,7 +187,9 @@ let rec open_file_depth t ~uid ~flags ~mode ~depth path =
             Inode.truncate inode ~len:0;
             Inode.set_mtime inode (t.clock ())
           end;
-          if flags.wr && watched_name t path then note_watched_write t path;
+          if flags.wr then
+            if watched_name t path then note_watched_write t path
+            else note_content_write t path;
           Ok inode
         end
     | Error Errno.ENOENT when flags.creat ->

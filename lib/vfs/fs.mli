@@ -58,7 +58,13 @@ val root : t -> Inode.t
     re-reading anything.  Every namespace- or ACL-relevant mutation —
     create, unlink, rmdir, link, symlink, rename, chmod, chown, and a
     successful open-for-write of the {!watch_basename} name — bumps the
-    global generation and the containing directory's generation. *)
+    global generation and the containing directory's generation.
+
+    A successful open-for-write of any {e other} existing file bumps
+    only the containing directory's generation: the directory's content
+    is about to change (anti-entropy digests over file contents must
+    revalidate) but its namespace is not, so whole-path name caches
+    keyed on the global generation keep their hits. *)
 
 val generation : t -> int
 (** The global mutation generation (starts at 0). *)

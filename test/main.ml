@@ -21,6 +21,7 @@ let () =
       ("auth", Test_auth.suite);
       ("net", Test_net.suite);
       ("chaos", Test_chaos.suite);
+      ("wal", Test_wal.suite);
       ("protocol", Test_protocol.suite);
       ("chirp", Test_chirp.suite);
       ("enforce", Test_enforce.suite);

@@ -448,6 +448,8 @@ let acl_holds_under_corruption () =
 
 module World = Idbox_cluster.World
 module Router = Idbox_cluster.Router
+module Ring = Idbox_cluster.Ring
+module Replica = Idbox_cluster.Replica
 
 let transient_errno = function
   | Errno.ETIMEDOUT | Errno.ECONNRESET | Errno.ECONNREFUSED
@@ -582,6 +584,233 @@ let cluster_oracle_transcript () =
   let w, alice, visitor = cluster_world [ "alpha.grid.edu" ] () in
   cluster_steps w alice visitor
 
+(* Tentpole scenario: split-brain divergence, then anti-entropy
+   convergence.  Gamma is partitioned from the clients, its peers and
+   the catalog; the majority keeps writing through the router while a
+   second client (on an unpartitioned host) keeps writing directly to
+   gamma, so both sides of the split accept acknowledged mutations for
+   the same keys.  After the heal, rebalance migrates the majority's
+   data back, and the repair loop (digest exchange + exact installs)
+   must converge every member — owners and stale non-owners alike — to
+   byte-identical per-key digests and identical ACL verdicts, for two
+   runs of the same seed. *)
+let partition_heal_repair_converges () =
+  let seed =
+    match Sys.getenv_opt "IDBOX_CHAOS_SEED" with
+    | Some s -> (try Int64.of_string s with _ -> 2005L)
+    | None -> 2005L
+  in
+  let run () =
+    let w, alice, _visitor =
+      cluster_world
+        [ "alpha.grid.edu"; "beta.grid.edu"; "gamma.grid.edu" ]
+        ~staleness_ns:8_000_000_000L ~heartbeat_interval_ns:2_000_000_000L ()
+    in
+    Network.set_fault_plan (World.net w)
+      (Fault.plan ~seed
+         ~partitions:
+           (List.map
+              (fun peer ->
+                { Fault.from_ns = 20_000_000_000L;
+                  until_ns = 90_000_000_000L;
+                  between = ("gamma.grid.edu", peer) })
+              [ "client"; "alpha.grid.edu"; "beta.grid.edu"; "catalog.grid.edu" ])
+         ());
+    let settled r op =
+      let rec go n =
+        match op () with
+        | Error e when transient_errno e && n < 12 ->
+          Clock.advance (World.clock w) 2_000_000_000L;
+          World.tick w;
+          Router.sync r;
+          go (n + 1)
+        | v -> v
+      in
+      go 0
+    in
+    (* Calm prelude: every key fully replicated before the split. *)
+    for i = 0 to 9 do
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      let dir = Printf.sprintf "/d%d" (i mod 6) in
+      ok "pre put"
+        (settled alice (fun () ->
+             Router.put alice ~path:(dir ^ "/f")
+               ~data:(Printf.sprintf "pre-%d" i)))
+    done;
+    (* The split is open (clock is past 20 s).  A client on an
+       unpartitioned host still reaches gamma directly and gets its
+       writes acknowledged — the minority side of the brain. *)
+    let gamma_direct =
+      match
+        Client.connect ~src:"minority.grid.edu" ~policy:chaos_policy
+          (World.net w) ~addr:"gamma.grid.edu:9094"
+          ~credentials:[ World.issue w "Alice" ]
+      with
+      | Ok c -> c
+      | Error m -> Alcotest.fail m
+    in
+    (* Keys gamma replicates (its ring is the stale full one): it holds
+       those dirs — and Alice's reserved ACL in them — so overlapping
+       minority writes are acknowledged there. *)
+    let gamma_ring = Replica.ring (World.replica w "gamma") in
+    let gamma_dirs =
+      List.filter
+        (fun j ->
+          List.mem "gamma"
+            (Ring.successors gamma_ring
+               (Printf.sprintf "d%d" j)
+               (World.replicas w)))
+        [ 0; 1; 2; 3; 4; 5 ]
+    in
+    Alcotest.(check bool) "gamma replicates some keys" true (gamma_dirs <> []);
+    (* And a key that exists only on the minority side: created on
+       gamma during the split, acknowledged there, known nowhere else. *)
+    ok "island mkdir" (Client.mkdir gamma_direct "/island");
+    for i = 10 to 19 do
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      let dir = Printf.sprintf "/d%d" (i mod 6) in
+      ok "major put"
+        (settled alice (fun () ->
+             Router.put alice ~path:(dir ^ "/f")
+               ~data:(Printf.sprintf "major-%d" i)));
+      let gdir =
+        Printf.sprintf "/d%d"
+          (List.nth gamma_dirs (i mod List.length gamma_dirs))
+      in
+      ok "minor put overlap"
+        (Client.put gamma_direct ~path:(gdir ^ "/f")
+           ~data:(Printf.sprintf "minor-%d" i));
+      ok "minor put extra"
+        (Client.put gamma_direct
+           ~path:(gdir ^ "/minority")
+           ~data:(Printf.sprintf "stray-%d" i));
+      ok "minor island put"
+        (Client.put gamma_direct
+           ~path:(Printf.sprintf "/island/i%d" i)
+           ~data:(Printf.sprintf "island-%d" i))
+    done;
+    (* Ride out the partition; reconverge the router's view. *)
+    let rec heal n =
+      Router.sync alice;
+      if List.length (Router.nodes alice) < 3 && n < 80 then begin
+        Clock.advance (World.clock w) 2_000_000_000L;
+        World.tick w;
+        heal (n + 1)
+      end
+    in
+    heal 0;
+    Alcotest.(check int) "view reconverged" 3 (List.length (Router.nodes alice));
+    (* Let the heal-triggered sweeps fire (one tick after each node
+       observes the membership change), then force sweeps so handoff
+       hints from non-owners get processed to completion. *)
+    for _ = 1 to 4 do
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      Router.sync alice
+    done;
+    for _ = 1 to 3 do
+      World.repair_sweep w;
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w
+    done;
+    (* Convergence: for every key, every member that holds a copy —
+       owner or stray — reports the same digest, and every ring owner
+       of the key does hold one (island included: its primary adopted
+       the minority's acknowledged creation). *)
+    let members = World.members w in
+    let ring = Replica.ring (World.replica w "alpha") in
+    let buf = ref [] in
+    let record fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+    List.iter
+      (fun key ->
+        let digest_of name =
+          match Server.subtree_digest (World.server w name) key with
+          | Ok d -> Some d
+          | Error _ -> None
+        in
+        let holders =
+          List.filter_map
+            (fun n -> Option.map (fun d -> (n, d)) (digest_of n))
+            members
+        in
+        let owners = Ring.successors ring key (World.replicas w) in
+        List.iter
+          (fun o ->
+            Alcotest.(check bool)
+              (Printf.sprintf "owner %s holds %s" o key)
+              true (List.mem_assoc o holders))
+          owners;
+        match holders with
+        | [] -> Alcotest.failf "no member holds %s" key
+        | (first, d) :: rest ->
+          List.iter
+            (fun (n, d') ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s digest: %s = %s" key first n)
+                d d')
+            rest;
+          record "%s %s holders=%s" key d
+            (String.concat "," (List.map fst holders)))
+      [ "d0"; "d1"; "d2"; "d3"; "d4"; "d5"; "island" ];
+    (* ACL verdicts are part of convergence: every owner of a key
+       reports the same ACL text for it and denies the read-only
+       visitor identically (the probe put is refused, so it mutates
+       nothing). *)
+    List.iter
+      (fun key ->
+        let probes =
+          List.map
+            (fun name ->
+              let addr = name ^ ".grid.edu:9094" in
+              let direct creds =
+                match
+                  Client.connect ~src:"probe.grid.edu" ~policy:chaos_policy
+                    (World.net w) ~addr ~credentials:creds
+                with
+                | Ok c -> c
+                | Error m -> Alcotest.failf "probe connect %s: %s" name m
+              in
+              let a = direct [ World.issue w "Alice" ] in
+              let v = direct [ Credential.Host "probe.grid.edu" ] in
+              let acl = gstr (Client.getacl a ("/" ^ key)) in
+              let deny =
+                vstr (Client.put v ~path:("/" ^ key ^ "/intruder") ~data:"evil")
+              in
+              record "%s@%s acl %s intrude %s" key name acl deny;
+              (name, acl, deny))
+            (Ring.successors ring key (World.replicas w))
+        in
+        match probes with
+        | [] -> Alcotest.failf "no owners for %s" key
+        | (first, acl0, deny0) :: rest ->
+          List.iter
+            (fun (name, acl, deny) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s ACL text: %s = %s" key first name)
+                acl0 acl;
+              Alcotest.(check string)
+                (Printf.sprintf "%s denial: %s = %s" key first name)
+                deny0 deny)
+            rest)
+      [ "d0"; "island" ];
+    let c name = Metrics.counter_value_of (Network.metrics (World.net w)) name in
+    Alcotest.(check bool) "forward failures noted" true
+      (c "cluster.repair.pending" > 0);
+    Alcotest.(check bool) "divergence detected" true
+      (c "cluster.repair.diverged" > 0);
+    Alcotest.(check bool) "repairs pushed" true (c "cluster.repair.push" > 0);
+    ( String.concat "\n" (List.rev !buf),
+      Metrics.to_json (Network.metrics (World.net w)),
+      Clock.now (World.clock w) )
+  in
+  let t1, m1, c1 = run () in
+  let t2, m2, c2 = run () in
+  Alcotest.(check string) "two seeded runs: digests + verdicts" t1 t2;
+  Alcotest.(check string) "two seeded runs: metrics byte-identical" m1 m2;
+  Alcotest.(check int64) "two seeded runs: clock" c1 c2
+
 let cluster_chaos_matches_oracle () =
   let t1, m1, tr1, c1 = cluster_chaos_run () in
   let t2, m2, tr2, c2 = cluster_chaos_run () in
@@ -616,4 +845,6 @@ let suite =
       acl_holds_under_corruption;
     Alcotest.test_case "3-node cluster chaos matches oracle, twice" `Quick
       cluster_chaos_matches_oracle;
+    Alcotest.test_case "partition-heal repair converges, twice" `Quick
+      partition_heal_repair_converges;
   ]
