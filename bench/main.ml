@@ -871,6 +871,157 @@ let cache_block () =
 
 (* The machine-readable block for BENCH_*.json trajectory tracking:
    run the representative boxed workload, print one JSON object. *)
+(* Concurrent sessions: N authenticated clients all issue one small
+   read at the same instant T0.  The blocking server serializes whole
+   round trips — client k's exchange cannot even start until k-1's
+   response has left — so latency grows linearly in N on both
+   percentiles.  The event-driven server accepts every request as an
+   event: the wire legs of all N exchanges overlap and only the
+   per-request service time serializes on the node, so the makespan
+   drops from N*(RTT+s) to RTT+N*s.  Setup (authentication) is
+   untimed; the measured window is submission to last completion.
+   Fully simulated and deterministic. *)
+type sessions_row = {
+  sn_sessions : int;
+  sn_sync_kops : float;  (* completed sessions per simulated second, k *)
+  sn_sync_p50_us : float;
+  sn_sync_p95_us : float;
+  sn_async_kops : float;
+  sn_async_p50_us : float;
+  sn_async_p95_us : float;
+}
+
+let sessions_run ~event_driven ~n =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Account = Idbox_kernel.Account in
+  let module Clock = Idbox_kernel.Clock in
+  let module Network = Idbox_net.Network in
+  let module Ca = Idbox_auth.Ca in
+  let module Credential = Idbox_auth.Credential in
+  let module Negotiate = Idbox_auth.Negotiate in
+  let module Server = Idbox_chirp.Server in
+  let module Client = Idbox_chirp.Client in
+  let module Protocol = Idbox_chirp.Protocol in
+  let module Subject = Idbox_identity.Subject in
+  let clock = Clock.create () in
+  let kernel = Kernel.create ~clock () in
+  let net = Network.create ~clock () in
+  let owner =
+    match Account.add (Kernel.accounts kernel) "chirpuser" with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  Kernel.refresh_passwd kernel;
+  let ca = Ca.create ~name:"Bench CA" in
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+  let root_acl =
+    Idbox_acl.Acl.of_entries
+      [
+        Idbox_acl.Entry.make ~pattern:"globus:/O=Bench/*"
+          (Idbox_acl.Rights.of_string_exn "rwl");
+      ]
+  in
+  (match
+     Server.create ~kernel ~net ~addr:"bench.grid.edu:9094"
+       ~owner_uid:owner.Account.uid ~export:"/tmp/bench" ~acceptor ~root_acl
+       ~max_sessions:4096 ~event_driven ()
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let connect k =
+    let cert =
+      Ca.issue ca (Subject.of_string_exn (Printf.sprintf "/O=Bench/CN=S%d" k))
+    in
+    match
+      Client.connect
+        ~src:(Printf.sprintf "host%d" k)
+        net ~addr:"bench.grid.edu:9094"
+        ~credentials:[ Credential.Gsi cert ]
+    with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let seeder = connect (-1) in
+  (match Client.put seeder ~path:"/blob" ~data:(String.make 256 'b') with
+   | Ok () -> ()
+   | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let clients = Array.init n connect in
+  let payloads =
+    Array.map (fun c -> Client.prepare c (Protocol.Get "/blob")) clients
+  in
+  let t0 = Clock.now clock in
+  let latencies =
+    if not event_driven then
+      (* The blocking server: exchanges serialize end to end, so the
+         k-th client's completion time already includes every earlier
+         round trip — exactly what N simultaneous arrivals see. *)
+      Array.map
+        (fun payload ->
+          match Network.call net ~addr:"bench.grid.edu:9094" payload with
+          | Ok _ -> Int64.to_float (Int64.sub (Clock.now clock) t0)
+          | Error e -> failwith (Idbox_vfs.Errno.message e))
+        payloads
+    else begin
+      (* The event-driven server: all N exchanges are in flight before
+         the first event runs. *)
+      let tokens =
+        Array.map
+          (fun payload -> Network.submit net ~addr:"bench.grid.edu:9094" payload)
+          payloads
+      in
+      Network.pump net;
+      Array.map
+        (fun tok ->
+          match (Network.poll tok, Network.completed_at tok) with
+          | Some (Ok _), Some at -> Int64.to_float (Int64.sub at t0)
+          | Some (Error e), _ -> failwith (Idbox_vfs.Errno.message e)
+          | _ -> failwith "sessions: exchange never completed")
+        tokens
+    end
+  in
+  let makespan_ns = Array.fold_left max 0.0 latencies in
+  Array.sort compare latencies;
+  let pct p = latencies.(min (n - 1) (int_of_float (float_of_int n *. p))) in
+  ( float_of_int n /. (makespan_ns /. 1e9) /. 1e3,
+    pct 0.50 /. 1e3,
+    pct 0.95 /. 1e3 )
+
+let sessions_rows () =
+  List.map
+    (fun n ->
+      let sync_kops, sync_p50, sync_p95 =
+        sessions_run ~event_driven:false ~n
+      in
+      let async_kops, async_p50, async_p95 =
+        sessions_run ~event_driven:true ~n
+      in
+      {
+        sn_sessions = n;
+        sn_sync_kops = sync_kops;
+        sn_sync_p50_us = sync_p50;
+        sn_sync_p95_us = sync_p95;
+        sn_async_kops = async_kops;
+        sn_async_p50_us = async_p50;
+        sn_async_p95_us = async_p95;
+      })
+    [ 8; 64; 256; 1024 ]
+
+let sessions_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline
+    "Sessions - blocking vs event-driven server, N simultaneous arrivals";
+  print_endline (String.make 78 '=');
+  Printf.printf "%9s %12s %11s %11s %12s %11s %11s\n" "sessions" "sync kops"
+    "p50 (us)" "p95 (us)" "async kops" "p50 (us)" "p95 (us)";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun r ->
+      Printf.printf "%9d %12.2f %11.1f %11.1f %12.2f %11.1f %11.1f\n"
+        r.sn_sessions r.sn_sync_kops r.sn_sync_p50_us r.sn_sync_p95_us
+        r.sn_async_kops r.sn_async_p50_us r.sn_async_p95_us)
+    (sessions_rows ())
+
 let metrics_block () =
   print_newline ();
   print_endline (String.make 78 '=');
@@ -879,14 +1030,15 @@ let metrics_block () =
   let kernel = Idbox_report.Report.metrics_workload () in
   print_endline (Idbox_report.Report.metrics_json kernel)
 
-(* The deterministic machine-readable report (schema idbox-bench/3):
-   every simulated figure — resilience, cluster scaling, recovery, the
-   metrics registry — and nothing host-timed (Bechamel stays
-   human-only), so two runs on any machines are byte-identical. *)
+(* The deterministic machine-readable report (schema idbox-bench/4):
+   every simulated figure — resilience, cluster scaling, recovery,
+   concurrent sessions, the metrics registry — and nothing host-timed
+   (Bechamel stays human-only), so two runs on any machines are
+   byte-identical. *)
 let json_report () =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
-  add "{\"schema\":\"idbox-bench/3\",\n \"resilience\":[";
+  add "{\"schema\":\"idbox-bench/4\",\n \"resilience\":[";
   List.iteri
     (fun i r ->
       if i > 0 then add ",\n   ";
@@ -955,7 +1107,19 @@ let json_report () =
        cr.cb_speedup cr.cb_acl_hits cr.cb_dec_hits cr.cb_name_hits
        cr.cb_lease_hits cr.cb_ops cr.cb_seq_msgs cr.cb_seq_ms cr.cb_batch_msgs
        cr.cb_batch_ms);
-  add ",\n \"metrics\":";
+  add ",\n \"sessions\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"sessions\":%d,\"sync_kops\":%.3f,\"sync_p50_us\":%.1f,\
+            \"sync_p95_us\":%.1f,\"async_kops\":%.3f,\"async_p50_us\":%.1f,\
+            \"async_p95_us\":%.1f}"
+           r.sn_sessions r.sn_sync_kops r.sn_sync_p50_us r.sn_sync_p95_us
+           r.sn_async_kops r.sn_async_p50_us r.sn_async_p95_us))
+    (sessions_rows ());
+  add "],\n \"metrics\":";
   add
     (Idbox_report.Report.metrics_json (Idbox_report.Report.metrics_workload ()));
   add "}";
@@ -976,6 +1140,7 @@ let () =
     cluster_block ();
     recovery_block ();
     cache_block ();
+    sessions_block ();
     metrics_block ()
   | names ->
     List.iter
@@ -994,11 +1159,13 @@ let () =
         | "cluster" | "scaling" -> cluster_block ()
         | "recovery" -> recovery_block ()
         | "cache" | "caches" -> cache_block ()
+        | "sessions" -> sessions_block ()
         | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
-             ablation bechamel resilience cluster recovery cache metrics)\n"
+             ablation bechamel resilience cluster recovery cache sessions \
+             metrics)\n"
             other;
           exit 2)
       names

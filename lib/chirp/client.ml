@@ -243,6 +243,26 @@ let call t op =
   if not (Protocol.idempotent op) then flush_leases t;
   r
 
+(* {1 Prepared exchanges}
+
+   The raw halves of one idempotent exchange, for callers that drive
+   the network themselves (the cluster router's hedged reads issue
+   several prepared requests concurrently via [Network.submit]).
+   Idempotent operations carry no request ID, so preparing is pure:
+   the same operation prepares to the same bytes, and sending it twice
+   is harmless by construction. *)
+
+let prepare t op =
+  Protocol.encode_request (Protocol.Op { token = t.cl_token; req_id = ""; op })
+
+let interpret text =
+  match Protocol.decode_response text with
+  | Error _ ->
+    (* Damaged frame: indistinguishable from a lost reply. *)
+    Error Errno.EIO
+  | Ok (Protocol.R_error (e, _)) -> Error e
+  | Ok r -> Ok r
+
 let expect_ok = function
   | Ok Protocol.R_ok -> Ok ()
   | Ok _ -> Error Errno.EINVAL

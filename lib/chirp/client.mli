@@ -100,6 +100,26 @@ val batch : t -> Protocol.operation list -> Protocol.response list r
     order.  [Ok []] for the empty list without touching the network;
     [EINVAL] on nested batches. *)
 
+(** {1 Prepared exchanges}
+
+    The raw halves of one exchange, for callers that drive the network
+    themselves — the cluster router submits several prepared requests
+    concurrently ({!Idbox_net.Network.submit}) to hedge a read across
+    replicas.  Only idempotent operations belong here: they carry no
+    request ID, so preparing is pure and sending the same bytes twice
+    is harmless by construction. *)
+
+val prepare : t -> Protocol.operation -> string
+(** The wire payload of [op] under this session's token, with no
+    request ID.  Pure: no network traffic, no client state change. *)
+
+val interpret : string -> (Protocol.response, Idbox_vfs.Errno.t) result
+(** Decode one response payload: a damaged frame becomes [EIO] (the
+    retry layers treat it as a transport fault), a server [R_error]
+    becomes its errno, anything else is the answer.  Performs no
+    retries and no re-authentication — a caller seeing [ESTALE] falls
+    back to {!val-call}-based paths, which do. *)
+
 val to_remote : t -> Idbox.Remote.t
 (** A {!Idbox.Remote} driver backed by this session, for mounting into
     an identity box. *)

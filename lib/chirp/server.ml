@@ -38,6 +38,23 @@ type digest_memo = {
   dg_subdirs : string list;  (* absolute child-directory paths, sorted *)
 }
 
+(* A mutation admitted by the event-driven server and parked until the
+   next batch tick.  The principal is copied out of the session at
+   admission: the operation was authorized then, so it executes even if
+   the session expires (or is swept) while parked — and slot accounting
+   stays with the session table alone, so a mid-batch expiry can never
+   double-release.  [pk_extras] holds connections of retries that
+   arrived (same request ID) while the original was still parked: they
+   all receive the one response. *)
+type parked = {
+  pk_conn : Idbox_net.Network.conn;
+  pk_principal : Principal.t;
+  pk_op : Protocol.operation;
+  pk_req_id : string;  (* "" when the client sent none *)
+  pk_now : int64;  (* admission time: the dedup timestamp *)
+  mutable pk_extras : Idbox_net.Network.conn list;
+}
+
 type t = {
   sv_kernel : Kernel.t;
   sv_net : Network.t;
@@ -55,6 +72,11 @@ type t = {
   wal : Wal.t;
   checkpoint_every : int;
   digests : (string, digest_memo) Hashtbl.t;
+  sv_event_driven : bool;
+  sv_flush_ns : int64;  (* batch-tick delay after the first parked op *)
+  pending_q : parked Queue.t;
+  parked_ids : (string, parked) Hashtbl.t;  (* req_id -> parked entry *)
+  mutable flush_armed : bool;
   mutable ops_since_ckpt : int;
   mutable execs : int;
   mutable token_counter : int;
@@ -68,6 +90,8 @@ let owner_uid t = t.sv_owner.View.uid
 let exec_count t = t.execs
 let session_count t = Hashtbl.length t.sessions
 let dedup_size t = Hashtbl.length t.dedup
+let event_driven t = t.sv_event_driven
+let parked_ops t = Queue.length t.pending_q
 
 let sessions t =
   Hashtbl.fold
@@ -574,6 +598,44 @@ let sweep_dedup t now =
       Hashtbl.remove t.dedup rid)
     dead
 
+(* Execute one operation under an identity: handler-crash containment
+   plus the replication hook on fresh successful mutations.  WAL
+   ordering is the caller's business — the sync path logs and syncs
+   before calling; the event-driven path logs at park time and
+   group-syncs at the batch tick. *)
+let execute_op t identity op =
+  (* A handler bug must not unwind into the network: degrade to a
+     wire-level error and keep serving everyone else. *)
+  let r =
+    try serve_op t identity op
+    with _ ->
+      metric t "chirp.handler.crash";
+      Protocol.R_error (Errno.EIO, "internal server error")
+  in
+  (* Replication hook: fresh successful mutations only — dedup replays
+     never re-fire it, so a retried write replicates once.  The hook
+     runs inside the request so the fan-out is deterministic, but its
+     failures are its own: they must not change this client's answer. *)
+  let fire op r =
+    match r with
+    | Protocol.R_error _ -> ()
+    | _ when Protocol.idempotent op -> ()
+    | _ ->
+      (match t.mutation_hook with
+       | None -> ()
+       | Some hook ->
+         (try hook ~identity op
+          with _ -> metric t "chirp.repl.hook_crash"))
+  in
+  (match (op, r) with
+   | Protocol.Batch ops, Protocol.R_batch rs
+     when List.length ops = List.length rs ->
+     (* Per member: replicas receive plain operations, exactly as for
+        singles, and failed members do not replicate. *)
+     List.iter2 fire ops rs
+   | _ -> fire op r);
+  r
+
 let handle t payload =
   let respond r = Protocol.encode_response r in
   let now = Kernel.now t.sv_kernel in
@@ -623,38 +685,7 @@ let handle t payload =
                Protocol.operation_to_wire op ];
            wal_sync t
          end;
-         (* A handler bug must not unwind into the network: degrade to
-            a wire-level error and keep serving everyone else. *)
-         let r =
-           try serve_op t s.ss_principal op
-           with _ ->
-             metric t "chirp.handler.crash";
-             Protocol.R_error (Errno.EIO, "internal server error")
-         in
-         (* Replication hook: fresh successful mutations only — dedup
-            replays below never re-fire it, so a retried write
-            replicates once.  The hook runs inside the request so the
-            fan-out is synchronous and deterministic, but its failures
-            are its own: they must not change this client's answer. *)
-         let fire op r =
-           match r with
-           | Protocol.R_error _ -> ()
-           | _ when Protocol.idempotent op -> ()
-           | _ ->
-             (match t.mutation_hook with
-              | None -> ()
-              | Some hook ->
-                (try hook ~identity:s.ss_principal op
-                 with _ -> metric t "chirp.repl.hook_crash"))
-         in
-         (match (op, r) with
-          | Protocol.Batch ops, Protocol.R_batch rs
-            when List.length ops = List.length rs ->
-            (* Per member: replicas receive plain operations, exactly as
-               for singles, and failed members do not replicate. *)
-            List.iter2 fire ops rs
-          | _ -> fire op r);
-         r
+         execute_op t s.ss_principal op
        in
        if String.equal req_id "" then begin
          let encoded = respond (serve ()) in
@@ -683,9 +714,172 @@ let handle t payload =
            encoded
        end)
 
+(* {1 Event-driven serving}
+
+   The same protocol over {!Network.listen_async}: requests are
+   delivered as events, each carrying a connection the server answers
+   with {!Network.respond}.  Reads (and every auth/error path) are
+   answered at delivery.  Fresh mutations park: their WAL "op" record
+   is appended immediately — arrival order {e is} log order — and a
+   batch tick armed [sv_flush_ns] ahead performs one group-commit sync
+   for everything parked, executes the batch FIFO, appends and syncs
+   the "done" records, and only then lets any response leave.  The
+   sync-before-ack ordering of the blocking server is preserved
+   exactly; what changes is that one sync can cover many operations,
+   and thousands of sessions can be in flight at once. *)
+
+let flush_batch t =
+  t.flush_armed <- false;
+  if not (Queue.is_empty t.pending_q) then begin
+    let items = List.of_seq (Queue.to_seq t.pending_q) in
+    Queue.clear t.pending_q;
+    Hashtbl.reset t.parked_ids;
+    metric t "chirp.async.batch";
+    metric_add t "chirp.async.batch_ops" (List.length items);
+    (* Group commit: one sync makes every parked "op" record durable
+       before any of them executes. *)
+    wal_sync t;
+    let served =
+      List.map
+        (fun pk ->
+          let encoded =
+            Protocol.encode_response (execute_op t pk.pk_principal pk.pk_op)
+          in
+          if not (String.equal pk.pk_req_id "") then begin
+            Hashtbl.replace t.dedup pk.pk_req_id
+              { dd_at = pk.pk_now; dd_response = encoded };
+            wal_record t
+              [ "done"; pk.pk_req_id; Int64.to_string pk.pk_now; encoded ]
+          end;
+          (pk, encoded))
+        items
+    in
+    (* The dedup-journal entries are durable before any reply leaves: a
+       crash between execution and reply cannot turn a client retry
+       into a second execution. *)
+    if List.exists (fun pk -> not (String.equal pk.pk_req_id "")) items then
+      wal_sync t;
+    List.iter
+      (fun (pk, encoded) ->
+        Network.respond t.sv_net pk.pk_conn encoded;
+        List.iter
+          (fun conn -> Network.respond t.sv_net conn encoded)
+          (List.rev pk.pk_extras))
+      served;
+    if
+      List.exists (fun pk -> contains_exec pk.pk_op) items
+      || t.ops_since_ckpt >= t.checkpoint_every
+    then ignore (take_checkpoint t)
+  end
+
+let arm_flush t =
+  if not t.flush_armed then begin
+    t.flush_armed <- true;
+    Network.at t.sv_net
+      (Int64.add (Kernel.now t.sv_kernel) t.sv_flush_ns)
+      (fun () -> flush_batch t)
+  end
+
+let handle_async t conn payload =
+  let respond_raw text = Network.respond t.sv_net conn text in
+  let respond r = respond_raw (Protocol.encode_response r) in
+  let now = Kernel.now t.sv_kernel in
+  match Protocol.decode_request payload with
+  | Error msg ->
+    metric t "chirp.bad_request";
+    respond (Protocol.R_error (Errno.ECONNRESET, "bad request: " ^ msg))
+  | Ok (Protocol.Auth creds) ->
+    sweep_sessions t now;
+    if Hashtbl.length t.sessions >= t.max_sessions then begin
+      metric t "chirp.session.reject";
+      respond (Protocol.R_error (Errno.EAGAIN, "session table full"))
+    end
+    else
+      (match Negotiate.negotiate t.acceptor ~now creds with
+       | Error msg ->
+         metric t "chirp.auth.fail";
+         respond (Protocol.R_error (Errno.EACCES, msg))
+       | Ok (principal, method_, _attempts) ->
+         metric t "chirp.auth.ok";
+         let token = fresh_token t principal in
+         Hashtbl.replace t.sessions token
+           { ss_principal = principal; ss_method = method_; ss_last_used = now };
+         respond
+           (Protocol.R_auth
+              { token; principal = Principal.to_string principal; method_ }))
+  | Ok (Protocol.Op { token; req_id; op }) ->
+    (match Hashtbl.find_opt t.sessions token with
+     | None -> respond (Protocol.R_error (Errno.ESTALE, "no such session"))
+     | Some s when Int64.sub now s.ss_last_used > t.session_idle_ns ->
+       metric t "chirp.session.expired";
+       Hashtbl.remove t.sessions token;
+       respond (Protocol.R_error (Errno.ESTALE, "session expired"))
+     | Some s ->
+       s.ss_last_used <- now;
+       let mutating = not (Protocol.idempotent op) in
+       let park () =
+         (* Log now (arrival order is log order), sync at the tick. *)
+         wal_record t
+           [ "op"; Principal.to_string s.ss_principal;
+             Protocol.operation_to_wire op ];
+         let pk =
+           {
+             pk_conn = conn;
+             pk_principal = s.ss_principal;
+             pk_op = op;
+             pk_req_id = req_id;
+             pk_now = now;
+             pk_extras = [];
+           }
+         in
+         Queue.add pk t.pending_q;
+         if not (String.equal req_id "") then
+           Hashtbl.replace t.parked_ids req_id pk;
+         metric t "chirp.async.parked";
+         arm_flush t
+       in
+       if not mutating then begin
+         (* Reads never park: serve at delivery, answer immediately. *)
+         if String.equal req_id "" then respond (execute_op t s.ss_principal op)
+         else begin
+           sweep_dedup t now;
+           match Hashtbl.find_opt t.dedup req_id with
+           | Some d ->
+             metric t "chirp.dedup_hit";
+             respond_raw d.dd_response
+           | None ->
+             let encoded =
+               Protocol.encode_response (execute_op t s.ss_principal op)
+             in
+             Hashtbl.replace t.dedup req_id { dd_at = now; dd_response = encoded };
+             respond_raw encoded
+         end
+       end
+       else if String.equal req_id "" then park ()
+       else begin
+         sweep_dedup t now;
+         match Hashtbl.find_opt t.dedup req_id with
+         | Some d ->
+           (* A retry of work already done: replay the recorded
+              response, execute nothing. *)
+           metric t "chirp.dedup_hit";
+           respond_raw d.dd_response
+         | None ->
+           (match Hashtbl.find_opt t.parked_ids req_id with
+            | Some pk ->
+              (* A retry racing its own original through the parked
+                 batch: no second execution, no second log record —
+                 both connections get the one response when the batch
+                 flushes. *)
+              metric t "chirp.async.coalesced";
+              pk.pk_extras <- conn :: pk.pk_extras
+            | None -> park ())
+       end)
+
 let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
     ?(max_sessions = 64) ?(session_idle_ns = 600_000_000_000L)
-    ?(dedup_window_ns = 60_000_000_000L) ?wal ?(checkpoint_every = 128) () =
+    ?(dedup_window_ns = 60_000_000_000L) ?wal ?(checkpoint_every = 128)
+    ?(event_driven = false) ?(flush_interval_ns = 50_000L) () =
   let sv_owner = Kernel.make_view kernel ~uid:owner_uid () in
   let sv_export = Path.normalize export in
   let t =
@@ -706,6 +900,11 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
       wal = (match wal with Some w -> w | None -> Wal.create ());
       checkpoint_every = max 1 checkpoint_every;
       digests = Hashtbl.create 32;
+      sv_event_driven = event_driven;
+      sv_flush_ns = Int64.max 1L flush_interval_ns;
+      pending_q = Queue.create ();
+      parked_ids = Hashtbl.create 8;
+      flush_armed = false;
       ops_since_ckpt = 0;
       execs = 0;
       token_counter = 0;
@@ -729,13 +928,23 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
        (match take_checkpoint t with
         | Error e -> Error e
         | Ok () ->
-          Network.listen net ~addr (fun payload -> handle t payload);
+          if event_driven then
+            Network.listen_async net ~addr (fun conn payload ->
+                handle_async t conn payload)
+          else Network.listen net ~addr (fun payload -> handle t payload);
           Ok t))
 
 let shutdown t = Network.unlisten t.sv_net ~addr:t.sv_addr
 
 let crash t =
   metric t "chirp.crash";
+  (* Parked mutations are volatile: never acknowledged, so a crash
+     drops them (their un-synced log records tear with the device).
+     Their sessions need no separate release — the session table is the
+     only slot accounting there is, and it resets on restart. *)
+  Queue.clear t.pending_q;
+  Hashtbl.reset t.parked_ids;
+  t.flush_armed <- false;
   (* The endpoint goes down and the stable-storage device takes its
      seeded crash damage — possibly a torn fragment of a write that was
      in flight (never acknowledged), never a synced byte. *)
@@ -782,6 +991,9 @@ let restart t =
   Hashtbl.reset t.dedup;
   Hashtbl.reset t.boxes;
   Hashtbl.reset t.digests;
+  Queue.clear t.pending_q;
+  Hashtbl.reset t.parked_ids;
+  t.flush_armed <- false;
   let rc = Wal.recover t.wal in
   let c = cost t in
   wipe_export t;

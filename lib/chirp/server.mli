@@ -28,11 +28,30 @@ val create :
   ?dedup_window_ns:int64 ->
   ?wal:Wal.t ->
   ?checkpoint_every:int ->
+  ?event_driven:bool ->
+  ?flush_interval_ns:int64 ->
   unit ->
   (t, Idbox_vfs.Errno.t) result
 (** Create the export directory (if missing), install [root_acl] on it
     when given, take a checkpoint of the (near-empty) export so recovery
     always has an image, and start listening on [addr].
+
+    With [event_driven:true] (default [false]) the server registers an
+    asynchronous endpoint ({!Idbox_net.Network.listen_async}) instead of
+    a blocking handler: reads, auth and every error path are answered at
+    delivery, while fresh mutations {e park} — the WAL ["op"] record is
+    appended at admission (arrival order is log order) and a batch tick
+    [flush_interval_ns] (default 50 µs) after the first parked operation
+    group-commits: one sync covers every parked record, the batch
+    executes FIFO, the ["done"] dedup records are appended and synced,
+    and only then do responses leave.  Sync-before-ack, exactly-once
+    dedup and in-order execution are preserved exactly; the difference
+    is that one sync amortizes over the batch and thousands of sessions
+    can be in flight at once.  A parked operation carries its principal
+    from admission, so a session expiring mid-batch does not lose the
+    response — and cannot double-release its slot, because the session
+    table is the only slot accounting there is.  Counted in
+    [chirp.async.{parked,batch,batch_ops,coalesced}].
 
     Degradation knobs: at most [max_sessions] (default 64) live
     sessions — further [Auth] requests are shed with [EAGAIN]; sessions
@@ -62,6 +81,13 @@ val exec_count : t -> int
 
 val dedup_size : t -> int
 (** Entries currently held in the dedup window. *)
+
+val event_driven : t -> bool
+(** Whether this server serves through the asynchronous endpoint. *)
+
+val parked_ops : t -> int
+(** Mutations parked and awaiting the next batch tick (always [0] on a
+    blocking server). *)
 
 val shutdown : t -> unit
 (** Stop listening. *)

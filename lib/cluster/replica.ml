@@ -162,36 +162,50 @@ let forward node ~identity op =
   let payload =
     Wire.encode [ "apply"; principal; Protocol.operation_to_wire op ]
   in
+  (* Fan out concurrently: every peer's forward is submitted before any
+     verdict is awaited, so the legs share the wire and the fan-out
+     costs one round trip, not one per peer.  Awaiting pumps the single
+     event loop, so all in-flight forwards progress together; verdicts
+     are collected in submission order, keeping metrics and the pending
+     set deterministic. *)
+  let flights =
+    List.filter_map
+      (fun peer ->
+        match Membership.addr_of node.nd_membership peer with
+        | None -> None
+        | Some addr ->
+          metric node "cluster.replicate";
+          let t0 = Clock.now (Network.clock node.nd_net) in
+          Some
+            ( peer,
+              t0,
+              Network.submit node.nd_net ~src:node.nd_src
+                ~timeout_ns:node.nd_fwd_timeout_ns ~addr:(repl_addr addr)
+                payload ))
+      peers
+  in
   List.iter
-    (fun peer ->
-      match Membership.addr_of node.nd_membership peer with
-      | None -> ()
-      | Some addr ->
-        metric node "cluster.replicate";
-        let t0 = Clock.now (Network.clock node.nd_net) in
-        let verdict =
-          match
-            Network.call node.nd_net ~src:node.nd_src
-              ~timeout_ns:node.nd_fwd_timeout_ns ~addr:(repl_addr addr) payload
-          with
-          | Ok reply ->
-            (match Wire.decode reply with
-             | Ok [ "ok" ] -> "ok"
-             | Ok ("error" :: e :: _) -> e
-             | Ok _ | Error _ -> "EIO")
-          | Error e -> Errno.to_string e
-        in
-        if not (String.equal verdict "ok") then begin
-          metric node "cluster.replica.fail";
-          (* The peer missed (or rejected) this mutation: its copy of
-             the key is now suspect.  Remember exactly which member and
-             why, so anti-entropy checks this range first. *)
-          note_pending node ~key ~peer ~errno:verdict
-        end;
-        span node ~identity:principal ~syscall:"cluster.replicate"
-          ~verdict:(peer ^ ":" ^ verdict)
-          ~cost_ns:(Int64.sub (Clock.now (Network.clock node.nd_net)) t0))
-    peers
+    (fun (peer, t0, tok) ->
+      let verdict =
+        match Network.await node.nd_net tok with
+        | Ok reply ->
+          (match Wire.decode reply with
+           | Ok [ "ok" ] -> "ok"
+           | Ok ("error" :: e :: _) -> e
+           | Ok _ | Error _ -> "EIO")
+        | Error e -> Errno.to_string e
+      in
+      if not (String.equal verdict "ok") then begin
+        metric node "cluster.replica.fail";
+        (* The peer missed (or rejected) this mutation: its copy of
+           the key is now suspect.  Remember exactly which member and
+           why, so anti-entropy checks this range first. *)
+        note_pending node ~key ~peer ~errno:verdict
+      end;
+      span node ~identity:principal ~syscall:"cluster.replicate"
+        ~verdict:(peer ^ ":" ^ verdict)
+        ~cost_ns:(Int64.sub (Clock.now (Network.clock node.nd_net)) t0))
+    flights
 
 let handle node payload =
   match Wire.decode payload with

@@ -8,6 +8,15 @@ module Wire = Idbox_chirp.Wire
 module Errno = Idbox_vfs.Errno
 module Path = Idbox_vfs.Path
 
+(* One hedged leg in flight.  [fl_counted] guards the in-flight gauge:
+   a leg is decremented exactly once, whether it is observed winning,
+   losing, or straggling in long after the read returned — a late
+   reply must never double-decrement. *)
+type flight = {
+  fl_tok : Network.token;
+  mutable fl_counted : bool;
+}
+
 type t = {
   rt_net : Network.t;
   rt_src : string;
@@ -16,6 +25,7 @@ type t = {
   rt_membership : Membership.t;
   rt_replicas : int;
   rt_vnodes : int;
+  rt_hedge_ns : int64 option;  (* None: serial failover reads *)
   rt_trace : Trace.ring option;
   rt_conns : (string, Client.t) Hashtbl.t;  (* keyed by node name *)
   mutable rt_ring : Ring.t;
@@ -24,6 +34,10 @@ type t = {
   mutable rt_prefixes : string list;  (* shard keys touched, for rebalance *)
   mutable rt_routes : int;
   mutable rt_failovers : int;
+  (* Hedged-read accounting.  The gauge is a plain field, not a
+     Metrics counter: counters saturate and cannot decrement. *)
+  mutable rt_inflight : int;
+  mutable rt_outstanding : flight list;  (* abandoned losers, un-reaped *)
   (* Route cache: shard key -> owner list, valid for one membership
      epoch.  Only the consistent-hash computation is cached — per-route
      metrics and trace spans still fire on every call, so transcripts
@@ -36,9 +50,32 @@ let principal t = t.rt_principal
 let nodes t = Ring.nodes t.rt_ring
 let routes t = t.rt_routes
 let failovers t = t.rt_failovers
+let inflight t = t.rt_inflight
 
 let metric t name =
   Metrics.incr (Metrics.counter (Network.metrics t.rt_net) name)
+
+let settle t fl =
+  if not fl.fl_counted then begin
+    fl.fl_counted <- true;
+    t.rt_inflight <- t.rt_inflight - 1
+  end
+
+(* Observe abandoned hedge legs that have since completed: their reply
+   is discarded — it already lost the race, so it must not surface as
+   a fresh result — and the in-flight gauge comes down exactly once
+   ([fl_counted]).  Runs at the head of every read and on demand. *)
+let reap t =
+  t.rt_outstanding <-
+    List.filter
+      (fun fl ->
+        match Network.poll fl.fl_tok with
+        | None -> true
+        | Some _ ->
+          metric t "cluster.hedge.late";
+          settle t fl;
+          false)
+      t.rt_outstanding
 
 let span t ~syscall ~verdict =
   match t.rt_trace with
@@ -150,12 +187,134 @@ let route t key =
    | [] -> ());
   owners
 
+(* A concurrently hedged read: the prepared request goes to the
+   primary at once; a timer [hedge_ns] ahead launches the identical
+   read on the next replica if the primary has not answered.  First
+   success wins.  The loser's exchange is abandoned, not cancelled —
+   its reply, whenever it arrives, is discarded by {!reap}
+   ([cluster.hedge.late]) and decrements the in-flight gauge exactly
+   once.  Only idempotent operations reach here (prepared requests
+   carry no request ID), so the duplicated execution is harmless.
+
+   [`Win] carries the winning leg and its response; [`Give e] hands
+   the errno to the caller ([ESTALE] falls back to the serial path,
+   whose {!Client.call} re-authenticates). *)
+let hedged t ~hedge_ns ~primary ~next ~op =
+  match Hashtbl.find_opt t.rt_conns primary with
+  | None -> `Unhedged  (* no live session: the serial path negotiates *)
+  | Some cp ->
+    reap t;
+    let launch c =
+      t.rt_inflight <- t.rt_inflight + 1;
+      {
+        fl_tok =
+          Network.submit t.rt_net ~src:t.rt_src
+            ~timeout_ns:t.rt_policy.Client.timeout_ns ~addr:(Client.addr c)
+            (Client.prepare c op);
+        fl_counted = false;
+      }
+    in
+    (* The loser is still in flight when the winner returns: remember
+       it so a later [reap] discards its reply and balances the
+       gauge. *)
+    let abandon fl =
+      if Network.poll fl.fl_tok = None then
+        t.rt_outstanding <- fl :: t.rt_outstanding
+      else begin
+        metric t "cluster.hedge.late";
+        settle t fl
+      end
+    in
+    let pf = launch cp in
+    let sf = ref None in
+    let try_hedge () =
+      if !sf = None then
+        match Hashtbl.find_opt t.rt_conns next with
+        | None -> ()
+        | Some cs ->
+          metric t "cluster.hedge.launched";
+          sf := Some (launch cs)
+    in
+    Network.at t.rt_net
+      (Int64.add (Clock.now (Network.clock t.rt_net)) hedge_ns)
+      (fun () -> if Network.poll pf.fl_tok = None then try_hedge ());
+    let outcome fl =
+      match Network.poll fl.fl_tok with
+      | None -> None
+      | Some (Ok text) -> Some (Client.interpret text)
+      | Some (Error e) -> Some (Error e)
+    in
+    let rec drive () =
+      match outcome pf with
+      | Some (Ok resp) ->
+        settle t pf;
+        (match !sf with Some fl -> abandon fl | None -> ());
+        `Win (`Primary, resp)
+      | Some (Error pe) when transient pe ->
+        settle t pf;
+        (* The primary is out: ride the hedge leg if one is flying,
+           launch the failover leg if not. *)
+        try_hedge ();
+        (match !sf with
+         | None -> `Give pe
+         | Some fl ->
+           (match outcome fl with
+            | Some (Ok resp) ->
+              settle t fl;
+              `Win (`Secondary, resp)
+            | Some (Error se) ->
+              settle t fl;
+              `Give se
+            | None ->
+              if Network.step t.rt_net then drive ()
+              else begin
+                settle t fl;
+                `Give pe
+              end))
+      | Some (Error pe) ->
+        (* An application verdict (or a stale session): final here —
+           abandon any hedge leg rather than shop for another answer. *)
+        settle t pf;
+        (match !sf with Some fl -> abandon fl | None -> ());
+        `Give pe
+      | None ->
+        (match !sf with
+         | Some fl when not fl.fl_counted ->
+           (match outcome fl with
+            | Some (Ok resp) ->
+              settle t fl;
+              abandon pf;
+              `Win (`Secondary, resp)
+            | Some (Error _) ->
+              (* The hedge lost its own race; keep riding the primary. *)
+              settle t fl;
+              if Network.step t.rt_net then drive ()
+              else begin
+                settle t pf;
+                `Give Errno.ETIMEDOUT
+              end
+            | None ->
+              if Network.step t.rt_net then drive ()
+              else begin
+                settle t pf;
+                settle t fl;
+                `Give Errno.ETIMEDOUT
+              end)
+         | _ ->
+           if Network.step t.rt_net then drive ()
+           else begin
+             settle t pf;
+             `Give Errno.ETIMEDOUT
+           end)
+    in
+    drive ()
+
 (* A read sweeps the replica set: primary first, hedged failover to the
    next replica on a transport fault.  An application verdict (EACCES,
    ENOENT...) from a live replica is final — replicas run the same ACL
    checks, so shopping for a different answer is both useless and
    wrong. *)
-let read_on t path f =
+let read_on t path ?hedge f =
   let attempt () =
     let rec go last = function
       | [] ->
@@ -181,7 +340,29 @@ let read_on t path f =
             | Error e when transient e -> failover e
             | r -> r))
     in
-    go None (route t (Replica.shard_key path))
+    let owners = route t (Replica.shard_key path) in
+    (* Hedging is opt-in ([hedge_ns] at connect) and applies to reads
+       that supplied their raw operation; anything it cannot settle —
+       no session yet, a stale token needing re-authentication — falls
+       back to the serial sweep below. *)
+    let hedged_r =
+      match (t.rt_hedge_ns, hedge, owners) with
+      | Some hedge_ns, Some (op, of_resp), primary :: next :: _ ->
+        (match hedged t ~hedge_ns ~primary ~next ~op with
+         | `Unhedged -> None
+         | `Win (`Primary, resp) -> Some (of_resp resp)
+         | `Win (`Secondary, resp) ->
+           t.rt_failovers <- t.rt_failovers + 1;
+           metric t "cluster.failover";
+           span t ~syscall:"cluster.failover" ~verdict:(primary ^ ":hedged");
+           Some (of_resp resp)
+         | `Give Errno.ESTALE -> None  (* the serial path re-authenticates *)
+         | `Give e -> Some (Error e))
+      | _ -> None
+    in
+    match hedged_r with
+    | Some r -> r
+    | None -> go None owners
   in
   let failovers_before = t.rt_failovers in
   let r =
@@ -237,7 +418,7 @@ let write_on t path f =
   | r -> r
 
 let connect ?(src = "client") ?(policy = Client.default_policy) ?(replicas = 2)
-    ?(vnodes = 64) ?trace net ~catalog ~credentials =
+    ?(vnodes = 64) ?hedge_ns ?trace net ~catalog ~credentials =
   let membership = Membership.create ~src net ~catalog in
   match Membership.refresh membership with
   | Error e -> Error ("cluster: catalog unreachable: " ^ e)
@@ -254,6 +435,7 @@ let connect ?(src = "client") ?(policy = Client.default_policy) ?(replicas = 2)
           rt_membership = membership;
           rt_replicas = max 1 replicas;
           rt_vnodes = vnodes;
+          rt_hedge_ns = hedge_ns;
           rt_trace = trace;
           rt_conns = Hashtbl.create 8;
           rt_ring = Ring.create ~vnodes (List.map fst view);
@@ -262,6 +444,8 @@ let connect ?(src = "client") ?(policy = Client.default_policy) ?(replicas = 2)
           rt_prefixes = [];
           rt_routes = 0;
           rt_failovers = 0;
+          rt_inflight = 0;
+          rt_outstanding = [];
           rt_route_cache = Hashtbl.create 32;
           rt_route_epoch = Membership.generation membership;
         }
@@ -304,10 +488,42 @@ let mkdir t path = write_on t path (fun c -> Client.mkdir c path)
 let rmdir t path = write_on t path (fun c -> Client.rmdir c path)
 let unlink t path = write_on t path (fun c -> Client.unlink c path)
 let put t ~path ~data = write_on t path (fun c -> Client.put c ~path ~data)
-let get t path = read_on t path (fun c -> Client.get c path)
-let stat t path = read_on t path (fun c -> Client.stat c path)
-let readdir t path = read_on t path (fun c -> Client.readdir c path)
-let getacl t path = read_on t path (fun c -> Client.getacl c path)
+
+let of_data = function
+  | Protocol.R_data d -> Ok d
+  | _ -> Error Errno.EINVAL
+
+let of_stat = function
+  | Protocol.R_stat st -> Ok st
+  | _ -> Error Errno.EINVAL
+
+let of_names = function
+  | Protocol.R_names names -> Ok names
+  | _ -> Error Errno.EINVAL
+
+let of_str = function
+  | Protocol.R_str s -> Ok s
+  | _ -> Error Errno.EINVAL
+
+let get t path =
+  read_on t path
+    ~hedge:(Protocol.Get path, of_data)
+    (fun c -> Client.get c path)
+
+let stat t path =
+  read_on t path
+    ~hedge:(Protocol.Stat path, of_stat)
+    (fun c -> Client.stat c path)
+
+let readdir t path =
+  read_on t path
+    ~hedge:(Protocol.Readdir path, of_names)
+    (fun c -> Client.readdir c path)
+
+let getacl t path =
+  read_on t path
+    ~hedge:(Protocol.Getacl path, of_str)
+    (fun c -> Client.getacl c path)
 
 let setacl t ~path ~entry =
   write_on t path (fun c -> Client.setacl c ~path ~entry)
@@ -334,5 +550,10 @@ let exec t ?cwd ~path ~args () =
     Error Errno.EXDEV
   end
 
-let checksum t path = read_on t path (fun c -> Client.checksum c path)
-let whoami t = read_on t "/" (fun c -> Client.whoami c)
+let checksum t path =
+  read_on t path
+    ~hedge:(Protocol.Checksum path, of_str)
+    (fun c -> Client.checksum c path)
+
+let whoami t =
+  read_on t "/" ~hedge:(Protocol.Whoami, of_str) (fun c -> Client.whoami c)

@@ -39,6 +39,7 @@ val connect :
   ?policy:Idbox_chirp.Client.retry_policy ->
   ?replicas:int ->
   ?vnodes:int ->
+  ?hedge_ns:int64 ->
   ?trace:Idbox_kernel.Trace.ring ->
   Idbox_net.Network.t ->
   catalog:string ->
@@ -49,7 +50,19 @@ val connect :
     everywhere.  Fails when the catalog is unreachable, no servers are
     advertised, or the identity invariant does not hold.  [replicas]
     (default 2) and [vnodes] (default 64) must match the values the
-    nodes were attached with. *)
+    nodes were attached with.
+
+    [hedge_ns], when given, turns reads into {e concurrently} hedged
+    exchanges: the prepared request ({!Idbox_chirp.Client.prepare})
+    goes to the key's primary immediately, and if no answer has
+    arrived [hedge_ns] later the identical read launches on the next
+    replica ([cluster.hedge.launched]) — first success wins.  The
+    losing leg is abandoned, never cancelled: its reply is discarded
+    when it straggles in ([cluster.hedge.late]) and balances the
+    in-flight gauge exactly once.  Anything the hedged path cannot
+    settle — no negotiated session yet, a stale token — falls back to
+    the serial failover sweep.  Without [hedge_ns] reads fail over
+    serially, as before. *)
 
 val principal : t -> string
 (** The single cluster-wide principal, verified across all shards. *)
@@ -71,6 +84,17 @@ val routes : t -> int
 
 val failovers : t -> int
 (** Hedged read failovers so far. *)
+
+val inflight : t -> int
+(** Hedge legs currently in flight (including abandoned losers whose
+    replies have not yet been reaped).  Returns to [0] once the world
+    quiesces and {!reap} has observed every straggler. *)
+
+val reap : t -> unit
+(** Observe abandoned hedge legs that have completed since: their
+    replies are discarded ([cluster.hedge.late]) and the in-flight
+    gauge balanced.  Runs implicitly at the head of every read; tests
+    call it after pumping the network to assert quiescence. *)
 
 (** {1 The Chirp client API, routed} *)
 

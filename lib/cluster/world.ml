@@ -180,6 +180,6 @@ let restart t name =
 let issue t cn =
   Credential.Gsi (Ca.issue t.w_ca (Subject.of_string_exn ("/O=Grid/CN=" ^ cn)))
 
-let connect ?src ?policy t ~credentials =
+let connect ?src ?policy ?hedge_ns t ~credentials =
   Router.connect ?src ?policy ~replicas:t.w_replicas ~vnodes:t.w_vnodes
-    ?trace:t.w_trace t.w_net ~catalog:catalog_address ~credentials
+    ?hedge_ns ?trace:t.w_trace t.w_net ~catalog:catalog_address ~credentials

@@ -85,8 +85,10 @@ val issue : t -> string -> Idbox_auth.Credential.t
 val connect :
   ?src:string ->
   ?policy:Idbox_chirp.Client.retry_policy ->
+  ?hedge_ns:int64 ->
   t ->
   credentials:Idbox_auth.Credential.t list ->
   (Router.t, string) result
 (** {!Router.connect} against this world's catalog, with the world's
-    replica count, vnode count and trace ring. *)
+    replica count, vnode count and trace ring.  [hedge_ns] enables
+    concurrently hedged reads (see {!Router.connect}). *)

@@ -8,6 +8,9 @@ let advance t d =
   if Int64.compare d 0L < 0 then invalid_arg "Clock.advance: negative duration";
   t.time <- Int64.add t.time d
 
+let advance_to t deadline =
+  if Int64.compare deadline t.time > 0 then t.time <- deadline
+
 let to_seconds ns = Int64.to_float ns /. 1e9
 
 let to_micros ns = Int64.to_float ns /. 1e3

@@ -17,6 +17,12 @@ val advance : t -> int64 -> unit
 (** Add a (non-negative) duration.  Raises [Invalid_argument] on a
     negative duration: costs can never be negative. *)
 
+val advance_to : t -> int64 -> unit
+(** Move the clock forward to an absolute time.  A deadline already in
+    the past is a no-op — time never moves backwards — which is what an
+    event loop wants when it dequeues an event scheduled before other
+    work already advanced the clock past it. *)
+
 val to_seconds : int64 -> float
 (** Convert a nanosecond duration to seconds. *)
 

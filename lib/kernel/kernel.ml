@@ -16,6 +16,11 @@ type stats = {
 
 type security_hook = pid:int -> View.t -> Syscall.request -> (unit, Errno.t) result
 
+type exec_outcome =
+  | Done of Syscall.result
+  | Blocks
+  | Exits of int
+
 type t = {
   k_clock : Clock.t;
   k_fs : Fs.t;
@@ -31,6 +36,12 @@ type t = {
   mutable identity_of : (int -> string option) option;
   pipe_waiters : (int, int list ref) Hashtbl.t;
       (* pipe ino -> pids blocked reading it *)
+  mutable sysent_tbl : (Proc.t, exec_outcome) Sysent.entry array;
+      (* the dispatch table; built lazily because its handlers close
+         over [t] ([[||]] = not built yet) *)
+  parked : (int, Syscall.result Sysent.sysmsg) Hashtbl.t;
+      (* pid -> the sysmsg of its parked (blocking) invocation; a fiber
+         has at most one syscall in flight, so pid is the right key *)
 }
 
 let clock t = t.k_clock
@@ -81,6 +92,8 @@ let create ?(cost = Cost.default) ?accounts ?clock () =
       security = None;
       identity_of = None;
       pipe_waiters = Hashtbl.create 8;
+      sysent_tbl = [||];
+      parked = Hashtbl.create 8;
     }
   in
   fail_errno "Kernel.create" (Fs.mkdir_p k_fs ~uid:0 "/etc");
@@ -327,6 +340,28 @@ let find_proc t pid = Hashtbl.find_opt t.procs pid
 
 let enqueue t pid = Queue.push pid t.runq
 
+(* --- sysmsg parking ------------------------------------------------- *)
+
+(* A blocking invocation parks its sysmsg here; the wakeup path that
+   eventually delivers the result completes it.  Single-completion is
+   enforced by the message itself: a second completion attempt (a
+   wakeup racing a kill) is counted, not applied. *)
+
+let park_sysmsg t (msg : Syscall.result Sysent.sysmsg) =
+  Hashtbl.replace t.parked msg.Sysent.sm_pid msg;
+  Metrics.incr (Metrics.counter t.k_metrics "kernel.sysmsg.parked")
+
+let complete_parked t pid result =
+  match Hashtbl.find_opt t.parked pid with
+  | None -> ()
+  | Some msg ->
+    Hashtbl.remove t.parked pid;
+    if Sysent.complete msg result then
+      Metrics.incr (Metrics.counter t.k_metrics "kernel.sysmsg.completed")
+    else Metrics.incr (Metrics.counter t.k_metrics "kernel.sysmsg.late")
+
+let parked_count t = Hashtbl.length t.parked
+
 let alloc_pid t =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
@@ -431,6 +466,7 @@ let wake_waiting_parent t (child : Proc.t) =
             | Trace.Keep -> result
             | Trace.Replace r -> r)
        in
+       complete_parked t parent.Proc.pid final;
        parent.Proc.run <- Proc.Deliver (wk, final);
        enqueue t parent.Proc.pid
      | _ -> ())
@@ -488,6 +524,7 @@ let wake_pipe_readers t inode =
                     | Trace.Keep -> result
                     | Trace.Replace r -> r)
                in
+               complete_parked t pid final;
                pcb.Proc.run <- Proc.Deliver (wk, final);
                enqueue t pid
              end
@@ -561,6 +598,9 @@ let terminate t (pcb : Proc.t) ~signal =
     Effect.Deep.discontinue k (Program.Killed signal);
     Ok ()
   | Proc.Waiting { wk; _ } ->
+    (* The parked invocation dies with the process: its sysmsg
+       completes as interrupted, exactly once. *)
+    complete_parked t pcb.Proc.pid (Error Errno.EINTR);
     pcb.Proc.run <- Proc.Running;
     Effect.Deep.discontinue wk (Program.Killed signal);
     Ok ()
@@ -576,11 +616,6 @@ let kill t ~pid ~signal =
 (* ------------------------------------------------------------------ *)
 (* System call service.                                                *)
 (* ------------------------------------------------------------------ *)
-
-type exec_outcome =
-  | Done of Syscall.result
-  | Blocks
-  | Exits of int
 
 let try_reap t (pcb : Proc.t) want =
   let zombie_child () =
@@ -686,80 +721,164 @@ let pipe_request t (pcb : Proc.t) req : exec_outcome option =
        done_charged (Ok Syscall.Unit))
   | _ -> None
 
-(* Execute a request in full process context.  Charges the direct cost
-   for everything except the blocking/exit control-flow cases. *)
+(* ------------------------------------------------------------------ *)
+(* The sysent table.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One entry per system call, each carrying the handler for its family
+   and the enforcement pre-check hook.  Handlers close over [t], so the
+   table is built lazily per kernel instance; the enforcement closure
+   reads [t.security] at call time, so installing a hook after the
+   table is built still takes effect.  Every handler charges the
+   direct cost for completing calls; the blocking/exit control-flow
+   cases charge nothing here (their wakeup paths do). *)
+let build_sysent t : (Proc.t, exec_outcome) Sysent.entry array =
+  let enforce (pcb : Proc.t) req =
+    match t.security with
+    | None -> Ok ()
+    | Some hook -> hook ~pid:pcb.Proc.pid pcb.Proc.view req
+  in
+  let done_charged req result =
+    charge t (Cost.direct t.k_cost req result);
+    Done result
+  in
+  (* Everything [impl_file] covers: plain file/metadata calls against
+     the caller's view. *)
+  let call_file (pcb : Proc.t) req =
+    match impl_file t pcb.Proc.view req with
+    | Some result -> done_charged req result
+    | None -> assert false
+  in
+  (* fd calls that may hit a pipe end: intercepted for pipe semantics
+     (including blocking reads), otherwise plain file calls. *)
+  let call_pipe_or_file pcb req =
+    match pipe_request t pcb req with
+    | Some outcome -> outcome
+    | None -> call_file pcb req
+  in
+  let call_pipe_only pcb req =
+    match pipe_request t pcb req with
+    | Some outcome -> outcome
+    | None -> assert false
+  in
+  (* The paper's call: the high-level identity of the caller, from the
+     installed provider when there is one. *)
+  let call_identity (pcb : Proc.t) req =
+    match t.identity_of with
+    | Some provider ->
+      let result =
+        match provider pcb.Proc.pid with
+        | Some identity -> Ok (Syscall.Str identity)
+        | None ->
+          Ok
+            (Syscall.Str
+               (Account.name_of_uid t.k_accounts pcb.Proc.view.View.uid))
+      in
+      done_charged req result
+    | None -> call_file pcb req
+  in
+  let call_getpid (pcb : Proc.t) req =
+    done_charged req (Ok (Syscall.Int pcb.Proc.pid))
+  in
+  let call_getppid (pcb : Proc.t) req =
+    done_charged req (Ok (Syscall.Int pcb.Proc.parent))
+  in
+  let call_compute _pcb req =
+    match req with
+    | Syscall.Compute ns ->
+      charge t ns;
+      Done (Ok Syscall.Unit)
+    | _ -> assert false
+  in
+  let call_exit _pcb req =
+    match req with Syscall.Exit code -> Exits code | _ -> assert false
+  in
+  let call_spawn (pcb : Proc.t) req =
+    match req with
+    | Syscall.Spawn { path; args } ->
+      let result =
+        match
+          spawn t ~parent:pcb.Proc.pid ~uid:pcb.Proc.view.View.uid
+            ~cwd:pcb.Proc.view.View.cwd
+            ~env:(View.env_bindings pcb.Proc.view)
+            ~path ~args ()
+        with
+        | Ok pid -> Ok (Syscall.Int pid)
+        | Error e -> Error e
+      in
+      done_charged req result
+    | _ -> assert false
+  in
+  let call_waitpid pcb req =
+    match req with
+    | Syscall.Waitpid want ->
+      (match try_reap t pcb want with
+       | Some result -> done_charged req result
+       | None -> Blocks)
+    | _ -> assert false
+  in
+  let call_kill (pcb : Proc.t) req =
+    match req with
+    | Syscall.Kill { pid; signal } ->
+      let result =
+        if pid = pcb.Proc.pid then Error Errno.EINVAL
+        else
+          match find_proc t pid with
+          | None -> Error Errno.ESRCH
+          | Some target ->
+            let self_uid = pcb.Proc.view.View.uid in
+            if self_uid <> 0 && self_uid <> target.Proc.view.View.uid then
+              Error Errno.EPERM
+            else
+              (match terminate t target ~signal with
+               | Ok () -> Ok Syscall.Unit
+               | Error e -> Error e)
+      in
+      done_charged req result
+    | _ -> assert false
+  in
+  let protos = Array.of_list Syscall.prototypes in
+  Sysent.table ~count:Syscall.count (fun n ->
+      let proto = protos.(n) in
+      let call =
+        match proto with
+        | Syscall.Pipe -> call_pipe_only
+        | Syscall.Read _ | Syscall.Write _ | Syscall.Close _ | Syscall.Pread _
+        | Syscall.Pwrite _ | Syscall.Lseek _ -> call_pipe_or_file
+        | Syscall.Get_user_name -> call_identity
+        | Syscall.Getpid -> call_getpid
+        | Syscall.Getppid -> call_getppid
+        | Syscall.Compute _ -> call_compute
+        | Syscall.Exit _ -> call_exit
+        | Syscall.Spawn _ -> call_spawn
+        | Syscall.Waitpid _ -> call_waitpid
+        | Syscall.Kill _ -> call_kill
+        | _ -> call_file
+      in
+      let enforce =
+        (* Compute never crosses the trap boundary, so it has no
+           pre-check — everything else does. *)
+        match proto with Syscall.Compute _ -> None | _ -> Some enforce
+      in
+      Sysent.entry ~number:n ~name:(Syscall.name proto)
+        ~narg:(Syscall.register_args proto) ?enforce call)
+
+let sysent t =
+  if Array.length t.sysent_tbl = 0 then t.sysent_tbl <- build_sysent t;
+  t.sysent_tbl
+
+let sysent_summary t =
+  Array.to_list
+    (Array.map
+       (fun (e : (Proc.t, exec_outcome) Sysent.entry) ->
+         (e.Sysent.se_number, e.Sysent.se_name, e.Sysent.se_narg,
+          Option.is_some e.Sysent.se_enforce))
+       (sysent t))
+
+(* Execute a request in full process context: dispatch through the
+   sysent table. *)
 let exec_process_call t (pcb : Proc.t) req : exec_outcome =
-  match pipe_request t pcb req with
-  | Some outcome -> outcome
-  | None ->
-  match (req, t.identity_of) with
-  | Syscall.Get_user_name, Some provider ->
-    let result =
-      match provider pcb.Proc.pid with
-      | Some identity -> Ok (Syscall.Str identity)
-      | None ->
-        Ok (Syscall.Str (Account.name_of_uid t.k_accounts pcb.Proc.view.View.uid))
-    in
-    charge t (Cost.direct t.k_cost req result);
-    Done result
-  | _ ->
-  match impl_file t pcb.Proc.view req with
-  | Some result ->
-    charge t (Cost.direct t.k_cost req result);
-    Done result
-  | None ->
-    (match req with
-     | Syscall.Getpid ->
-       let r = Ok (Syscall.Int pcb.Proc.pid) in
-       charge t (Cost.direct t.k_cost req r);
-       Done r
-     | Syscall.Getppid ->
-       let r = Ok (Syscall.Int pcb.Proc.parent) in
-       charge t (Cost.direct t.k_cost req r);
-       Done r
-     | Syscall.Compute ns ->
-       charge t ns;
-       Done (Ok Syscall.Unit)
-     | Syscall.Exit code -> Exits code
-     | Syscall.Spawn { path; args } ->
-       let result =
-         match
-           spawn t ~parent:pcb.Proc.pid ~uid:pcb.Proc.view.View.uid
-             ~cwd:pcb.Proc.view.View.cwd
-             ~env:(View.env_bindings pcb.Proc.view)
-             ~path ~args ()
-         with
-         | Ok pid -> Ok (Syscall.Int pid)
-         | Error e -> Error e
-       in
-       charge t (Cost.direct t.k_cost req result);
-       Done result
-     | Syscall.Waitpid want ->
-       (match try_reap t pcb want with
-        | Some result ->
-          charge t (Cost.direct t.k_cost req result);
-          Done result
-        | None -> Blocks)
-     | Syscall.Kill { pid; signal } ->
-       let result =
-         if pid = pcb.Proc.pid then Error Errno.EINVAL
-         else
-           match find_proc t pid with
-           | None -> Error Errno.ESRCH
-           | Some target ->
-             let self_uid = pcb.Proc.view.View.uid in
-             if self_uid <> 0 && self_uid <> target.Proc.view.View.uid then
-               Error Errno.EPERM
-             else
-               (match terminate t target ~signal with
-                | Ok () -> Ok Syscall.Unit
-                | Error e -> Error e)
-       in
-       charge t (Cost.direct t.k_cost req result);
-       Done result
-     | _ ->
-       (* impl_file covers every other constructor. *)
-       assert false)
+  (Sysent.dispatch (sysent t) req).Sysent.se_call pcb req
 
 let cs2 t =
   t.k_stats.context_switches <- t.k_stats.context_switches + 2;
@@ -777,14 +896,19 @@ let service t (pcb : Proc.t) req (k : Proc.continuation) =
     deliver (Ok Syscall.Unit)
   | _ ->
     t.k_stats.syscalls <- t.k_stats.syscalls + 1;
-    let sc = Syscall.name req in
+    let entry = Sysent.dispatch (sysent t) req in
+    let sc = entry.Sysent.se_name in
     let entry_time = now t in
+    (* One sysmsg per invocation: completed synchronously below, or
+       parked on [Blocks] and completed by the wakeup path. *)
+    let msg = Sysent.msg ~pid:pcb.Proc.pid ~at:entry_time entry in
     Metrics.incr (Metrics.counter t.k_metrics ("syscall." ^ sc));
     (* Shadow [deliver] so every completing call records its simulated
        latency and leaves a trace span.  Blocking calls are delivered
        elsewhere (pipe/waitpid wake-ups) and escape this accounting;
        the counter above still saw them. *)
     let deliver result =
+      ignore (Sysent.complete msg result);
       let elapsed = Int64.sub (now t) entry_time in
       Metrics.observe_ns
         (Metrics.histogram t.k_metrics ("syscall." ^ sc ^ ".ns"))
@@ -805,16 +929,18 @@ let service t (pcb : Proc.t) req (k : Proc.continuation) =
     (match pcb.Proc.tracer with
      | None ->
        let security_verdict =
-         match t.security with
+         match entry.Sysent.se_enforce with
          | None -> Ok ()
-         | Some hook -> hook ~pid:pcb.Proc.pid pcb.Proc.view req
+         | Some pre -> pre pcb req
        in
        (match security_verdict with
         | Error e -> deliver (Error e)
         | Ok () ->
-       match exec_process_call t pcb req with
+       match entry.Sysent.se_call pcb req with
         | Done result -> deliver result
-        | Blocks -> pcb.Proc.run <- Proc.Waiting { wk = k; wreq = req }
+        | Blocks ->
+          park_sysmsg t msg;
+          pcb.Proc.run <- Proc.Waiting { wk = k; wreq = req }
         | Exits code ->
           pcb.Proc.run <- Proc.Running;
           Effect.Deep.discontinue k (Program.Exited code))
@@ -847,7 +973,9 @@ let service t (pcb : Proc.t) req (k : Proc.continuation) =
                | Trace.Replace r -> r)
           in
           deliver final
-        | Blocks -> pcb.Proc.run <- Proc.Waiting { wk = k; wreq = req }
+        | Blocks ->
+          park_sysmsg t msg;
+          pcb.Proc.run <- Proc.Waiting { wk = k; wreq = req }
         | Exits code ->
           cs2 t;
           pcb.Proc.run <- Proc.Running;

@@ -164,6 +164,25 @@ val set_identity_provider : t -> (int -> string option) option -> unit
 (** When set, [get_user_name] for pid [p] returns the provider's answer
     (falling back to the account name when the provider returns [None]). *)
 
+(** {1 Sysent dispatch}
+
+    System calls dispatch through a per-kernel {!Sysent} table: one
+    entry per call carrying its handler, register arity, and the
+    enforcement pre-check ([None] only for [compute], which never
+    traps).  Each invocation is a sysmsg that completes synchronously
+    or parks on a blocking call ([kernel.sysmsg.parked]) until a
+    wakeup path completes it ([kernel.sysmsg.completed]) — exactly
+    once; a second completion attempt is discarded and counted
+    ([kernel.sysmsg.late]).  A parked invocation interrupted by a kill
+    completes as [EINTR]. *)
+
+val sysent_summary : t -> (int * string * int * bool) list
+(** The dispatch table as [(number, name, narg, has_enforce)] rows in
+    table order — for tests and diagnostics. *)
+
+val parked_count : t -> int
+(** How many invocations are currently parked on blocking calls. *)
+
 val with_fresh_programs : (unit -> 'a) -> 'a
 (** Run a thunk with the (global) program registry saved and restored —
     test isolation. *)

@@ -54,7 +54,16 @@ let observe h v =
   h.h_sum <- (if h.h_sum > max_int - v then max_int else h.h_sum + v);
   if v > h.h_max then h.h_max <- v
 
-let observe_ns h ns = observe h (Int64.to_int ns)
+(* Clamp in int64 space before converting: a duration beyond the int
+   range must saturate into the top bucket, not wrap negative and land
+   silently in bucket 0. *)
+let observe_ns h ns =
+  let v =
+    if Int64.compare ns 0L < 0 then 0
+    else if Int64.compare ns (Int64.of_int max_int) > 0 then max_int
+    else Int64.to_int ns
+  in
+  observe h v
 
 (* The representative value of bucket [i]: its geometric centre.  With
    log-scale buckets a percentile is only ever bucket-resolution

@@ -40,7 +40,10 @@ val observe : histogram -> int -> unit
 (** Record one sample (negative samples clamp to 0). *)
 
 val observe_ns : histogram -> int64 -> unit
-(** {!observe} for simulated-clock durations. *)
+(** {!observe} for simulated-clock durations.  Clamps to
+    [[0, max_int]] in int64 space, so a 0-duration sample lands in
+    bucket 0 and a duration beyond the int range saturates into the
+    top bucket instead of wrapping negative. *)
 
 val histogram_name : histogram -> string
 val count : histogram -> int

@@ -93,6 +93,111 @@ let name = function
   | Setacl _ -> "setacl"
   | Compute _ -> "compute"
 
+(* Stable syscall numbers, sysent-style: the dispatch table is indexed
+   by these, so the numbering is part of the kernel ABI — append only,
+   never renumber. *)
+let number = function
+  | Getpid -> 0
+  | Getppid -> 1
+  | Getuid -> 2
+  | Get_user_name -> 3
+  | Getcwd -> 4
+  | Chdir _ -> 5
+  | Open _ -> 6
+  | Close _ -> 7
+  | Read _ -> 8
+  | Write _ -> 9
+  | Pread _ -> 10
+  | Pwrite _ -> 11
+  | Lseek _ -> 12
+  | Stat _ -> 13
+  | Lstat _ -> 14
+  | Fstat _ -> 15
+  | Mkdir _ -> 16
+  | Rmdir _ -> 17
+  | Unlink _ -> 18
+  | Link _ -> 19
+  | Symlink _ -> 20
+  | Readlink _ -> 21
+  | Rename _ -> 22
+  | Readdir _ -> 23
+  | Chmod _ -> 24
+  | Chown _ -> 25
+  | Truncate _ -> 26
+  | Pipe -> 27
+  | Spawn _ -> 28
+  | Waitpid _ -> 29
+  | Exit _ -> 30
+  | Kill _ -> 31
+  | Getenv _ -> 32
+  | Setenv _ -> 33
+  | Getacl _ -> 34
+  | Setacl _ -> 35
+  | Compute _ -> 36
+
+let count = 37
+
+(* One representative value per constructor, in {!number} order: what a
+   table builder iterates to stamp out one sysent entry per call. *)
+let prototypes =
+  let no_flags =
+    { Idbox_vfs.Fs.rd = false; wr = false; creat = false; excl = false;
+      trunc = false; append = false }
+  in
+  [
+    Getpid;
+    Getppid;
+    Getuid;
+    Get_user_name;
+    Getcwd;
+    Chdir "/";
+    Open { path = "/"; flags = no_flags; mode = 0 };
+    Close 0;
+    Read { fd = 0; len = 0 };
+    Write { fd = 0; data = "" };
+    Pread { fd = 0; off = 0; len = 0 };
+    Pwrite { fd = 0; off = 0; data = "" };
+    Lseek { fd = 0; off = 0; whence = Seek_set };
+    Stat "/";
+    Lstat "/";
+    Fstat 0;
+    Mkdir { path = "/"; mode = 0 };
+    Rmdir "/";
+    Unlink "/";
+    Link { target = "/"; path = "/" };
+    Symlink { target = "/"; path = "/" };
+    Readlink "/";
+    Rename { src = "/"; dst = "/" };
+    Readdir "/";
+    Chmod { path = "/"; mode = 0 };
+    Chown { path = "/"; owner = 0 };
+    Truncate { path = "/"; len = 0 };
+    Pipe;
+    Spawn { path = "/"; args = [] };
+    Waitpid (-1);
+    Exit 0;
+    Kill { pid = 0; signal = 0 };
+    Getenv "";
+    Setenv { name = ""; value = "" };
+    Getacl "/";
+    Setacl { path = "/"; entry = "" };
+    Compute 0L;
+  ]
+
+(* The sysent arity: how many argument registers the call uses at the
+   trap boundary (DragonFly's [sy_narg]).  Static per call — unlike
+   {!argument_words}, which counts the words a tracer must PEEK and so
+   depends on path lengths. *)
+let register_args = function
+  | Getpid | Getppid | Getuid | Get_user_name | Getcwd | Pipe -> 0
+  | Chdir _ | Close _ | Stat _ | Lstat _ | Fstat _ | Rmdir _ | Unlink _
+  | Readlink _ | Readdir _ | Waitpid _ | Exit _ | Getenv _ | Getacl _ -> 1
+  | Mkdir _ | Chmod _ | Chown _ | Truncate _ | Link _ | Symlink _ | Rename _
+  | Kill _ | Setenv _ | Setacl _ | Spawn _ -> 2
+  | Open _ | Read _ | Write _ | Lseek _ -> 3
+  | Pread _ | Pwrite _ -> 4
+  | Compute _ -> 1
+
 let is_metadata = function
   | Stat _ | Lstat _ | Fstat _ | Open _ | Close _ | Mkdir _ | Rmdir _ | Unlink _
   | Link _ | Symlink _ | Readlink _ | Rename _ | Readdir _ | Chmod _ | Chown _

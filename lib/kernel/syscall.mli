@@ -78,6 +78,22 @@ val name : request -> string
 (** The syscall's conventional name ("open", "stat", ...), for
     accounting and diagnostics. *)
 
+val number : request -> int
+(** The call's stable sysent number in [[0, count)].  The dispatch
+    table is indexed by it, so the numbering is ABI: append only. *)
+
+val count : int
+(** How many system calls exist ([number] ranges over [[0, count)]). *)
+
+val prototypes : request list
+(** One representative value per constructor, in {!number} order —
+    what a sysent builder iterates to stamp out one entry per call. *)
+
+val register_args : request -> int
+(** Argument registers the call uses at the trap boundary (DragonFly's
+    [sy_narg]).  Static per call, unlike {!argument_words} which counts
+    PEEKed words and depends on path lengths. *)
+
 val is_metadata : request -> bool
 (** True for small metadata operations (stat, open, unlink, ...): the
     class whose per-call overhead dominates the [make] workload. *)

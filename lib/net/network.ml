@@ -15,11 +15,101 @@ type endpoint_stats = {
          endpoint's busy time, not the sum. *)
 }
 
+(* A completion token: the client half of an in-flight asynchronous
+   exchange.  Completed exactly once — by the response arriving or by
+   the timeout event, whichever fires first; whatever shows up second
+   is discarded and counted as a late reply. *)
+type token = {
+  tk_addr : string;
+  mutable tk_result : (string, Errno.t) result option;
+  mutable tk_done_at : int64;  (* meaningful once tk_result is set *)
+}
+
+(* The server half of an asynchronous exchange: handed to an async
+   endpoint's handler on delivery, consumed by [respond] — possibly
+   much later, after the server parked the request. *)
+type conn = {
+  cn_token : token;
+  cn_addr : string;
+  cn_deliver_at : int64;
+  cn_req_ns : int64;  (* request-leg transfer time, for busy accounting *)
+}
+
+type handler_kind =
+  | Sync of (string -> string)
+  | Async of (conn -> string -> unit)
+
 type endpoint = {
-  handler : string -> string;
+  hkind : handler_kind;
   ep_stats : endpoint_stats;
   mutable up : bool;
 }
+
+(* The event queue: a binary min-heap ordered by (time, seq).  Events
+   carry a liveness guard so a cancelled event — a timeout whose token
+   already completed — is skipped {e without} advancing the clock;
+   draining the queue after a burst of fast exchanges must not teleport
+   the world to the last armed timeout. *)
+type event = {
+  ev_time : int64;
+  ev_seq : int;
+  ev_live : unit -> bool;
+  ev_run : unit -> unit;  (* runs with the clock advanced to ev_time *)
+}
+
+module Heap = struct
+  type h = { mutable arr : event array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+
+  let before a b =
+    let c = Int64.compare a.ev_time b.ev_time in
+    if c <> 0 then c < 0 else a.ev_seq < b.ev_seq
+
+  let swap h i j =
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- tmp
+
+  let push h e =
+    if h.len = Array.length h.arr then begin
+      let arr = Array.make (max 16 (2 * Array.length h.arr)) e in
+      Array.blit h.arr 0 arr 0 h.len;
+      h.arr <- arr
+    end;
+    h.arr.(h.len) <- e;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    let parent i = (i - 1) / 2 in
+    while !i > 0 && before h.arr.(!i) h.arr.(parent !i) do
+      swap h !i (parent !i);
+      i := parent !i
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.arr.(0) <- h.arr.(h.len);
+        let i = ref 0 in
+        let continue = ref true in
+        while !continue do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let s = ref !i in
+          if l < h.len && before h.arr.(l) h.arr.(!s) then s := l;
+          if r < h.len && before h.arr.(r) h.arr.(!s) then s := r;
+          if !s = !i then continue := false
+          else begin
+            swap h !i !s;
+            i := !s
+          end
+        done
+      end;
+      Some top
+    end
+end
 
 type t = {
   nw_clock : Clock.t;
@@ -40,6 +130,9 @@ type t = {
   nw_counters : (string, Metrics.counter) Hashtbl.t;
   c_timeout : Metrics.counter;
   c_hedge : Metrics.counter;
+  c_late : Metrics.counter;
+  eventq : Heap.h;
+  mutable ev_seq : int;
 }
 
 let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.)
@@ -62,6 +155,9 @@ let create ~clock ?(latency_us = 100.) ?(bandwidth_mbps = 100.)
     nw_counters = Hashtbl.create 32;
     c_timeout = Metrics.counter m "net.timeout";
     c_hedge = Metrics.counter m "net.hedge";
+    c_late = Metrics.counter m "net.late_reply";
+    eventq = Heap.create ();
+    ev_seq = 0;
   }
 
 let clock t = t.nw_clock
@@ -75,11 +171,15 @@ let interned t name =
     Hashtbl.replace t.nw_counters name c;
     c
 
+let fresh_stats () = { calls = 0; bytes_in = 0; bytes_out = 0; busy_ns = 0L }
+
 let listen t ~addr handler =
   Hashtbl.replace t.endpoints addr
-    { handler;
-      ep_stats = { calls = 0; bytes_in = 0; bytes_out = 0; busy_ns = 0L };
-      up = true }
+    { hkind = Sync handler; ep_stats = fresh_stats (); up = true }
+
+let listen_async t ~addr handler =
+  Hashtbl.replace t.endpoints addr
+    { hkind = Async handler; ep_stats = fresh_stats (); up = true }
 
 let unlisten t ~addr = Hashtbl.remove t.endpoints addr
 
@@ -108,12 +208,14 @@ let is_up t ~addr =
   | Some ep -> ep.up
   | None -> false
 
+let transfer_ns t nbytes =
+  Int64.add t.latency_ns
+    (Int64.of_float (float_of_int nbytes *. t.ns_per_byte))
+
 let charge_transfer t nbytes =
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + nbytes;
-  Clock.advance t.nw_clock
-    (Int64.add t.latency_ns
-       (Int64.of_float (float_of_int nbytes *. t.ns_per_byte)))
+  Clock.advance t.nw_clock (transfer_ns t nbytes)
 
 (* Count a fault both network-wide and per destination, and leave a
    span in the trace ring so fault timelines are reconstructable. *)
@@ -125,6 +227,250 @@ let note_fault t ~addr ~kind ~verdict ~cost_ns =
   | Some ring ->
     Trace.span ring ~time:(Clock.now t.nw_clock) ~pid:0 ~identity:addr
       ~syscall:kind ~verdict ~cost_ns
+
+(* {1 Asynchronous exchanges}
+
+   [submit] consumes the request-leg fault stream immediately (in
+   submission order, so seeded runs stay deterministic) but advances
+   no clock: faults translate into what gets scheduled, not into
+   blocking.  Every submitted exchange arms exactly one timeout event;
+   the token is completed by whichever of {response, timeout} fires
+   first, and the loser is discarded — counted as [net.late_reply]
+   when a response loses.  Event execution moves the clock forward to
+   the event's time ([Clock.advance_to]); dead events are skipped
+   without touching the clock. *)
+
+let schedule t ~at ~live run =
+  let e = { ev_time = at; ev_seq = t.ev_seq; ev_live = live; ev_run = run } in
+  t.ev_seq <- t.ev_seq + 1;
+  Heap.push t.eventq e
+
+let at t time run = schedule t ~at:time ~live:(fun () -> true) run
+
+let note_late t addr =
+  Metrics.incr t.c_late;
+  Metrics.incr (interned t ("net.late_reply." ^ addr))
+
+(* Deliver [result] to [tok] at absolute time [at].  If the timeout
+   beat this event to the token, the arrival is a late reply. *)
+let schedule_completion t tok ~at result =
+  schedule t ~at ~live:(fun () -> true) (fun () ->
+      match tok.tk_result with
+      | Some _ -> note_late t tok.tk_addr
+      | None ->
+        tok.tk_result <- Some result;
+        tok.tk_done_at <- Clock.now t.nw_clock)
+
+let ep_busy t addr ns =
+  match Hashtbl.find_opt t.endpoints addr with
+  | None -> ()
+  | Some ep -> ep.ep_stats.busy_ns <- Int64.add ep.ep_stats.busy_ns ns
+
+let respond t conn response =
+  let tok = conn.cn_token in
+  let addr = conn.cn_addr in
+  let handler_ns = Int64.sub (Clock.now t.nw_clock) conn.cn_deliver_at in
+  match tok.tk_result with
+  | Some _ ->
+    (* The caller gave up (timeout, or a hedged race it lost) before
+       this response left the server: discard it without burning any
+       fault RNG — lateness is deterministic, the stream must be too.
+       The server still did the work, so it still gets charged. *)
+    ep_busy t addr (Int64.add conn.cn_req_ns handler_ns);
+    note_late t addr
+  | None ->
+    let prof =
+      match t.plan with
+      | None -> Fault.calm
+      | Some p -> Fault.profile_for p addr
+    in
+    let note_busy resp_ns =
+      ep_busy t addr
+        (Int64.add conn.cn_req_ns (Int64.add handler_ns resp_ns))
+    in
+    if Fault.chance t.rng prof.Fault.reset then begin
+      note_busy t.latency_ns;
+      note_fault t ~addr ~kind:"net.reset" ~verdict:"ECONNRESET"
+        ~cost_ns:t.latency_ns;
+      schedule_completion t tok
+        ~at:(Int64.add (Clock.now t.nw_clock) t.latency_ns)
+        (Error Errno.ECONNRESET)
+    end
+    else if Fault.chance t.rng prof.Fault.drop then begin
+      (* Response lost after the handler ran: nothing to schedule —
+         the timeout armed at submit completes the exchange. *)
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + String.length response;
+      note_busy (transfer_ns t (String.length response));
+      note_fault t ~addr ~kind:"net.drop" ~verdict:"ETIMEDOUT"
+        ~cost_ns:t.timeout_ns
+    end
+    else begin
+      let response =
+        if Fault.chance t.rng prof.Fault.truncate then begin
+          note_fault t ~addr ~kind:"net.truncate" ~verdict:"ok" ~cost_ns:0L;
+          Fault.truncate_string t.rng response
+        end
+        else if Fault.chance t.rng prof.Fault.corrupt then begin
+          note_fault t ~addr ~kind:"net.corrupt" ~verdict:"ok" ~cost_ns:0L;
+          Fault.flip_bytes t.rng response
+        end
+        else response
+      in
+      let resp_ns = transfer_ns t (String.length response) in
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + String.length response;
+      (match Hashtbl.find_opt t.endpoints addr with
+       | Some ep ->
+         ep.ep_stats.bytes_out <- ep.ep_stats.bytes_out + String.length response
+       | None -> ());
+      note_busy resp_ns;
+      schedule_completion t tok
+        ~at:(Int64.add (Clock.now t.nw_clock) resp_ns)
+        (Ok response)
+    end
+
+(* The handler blew up (or the endpoint died between submit and
+   delivery): contain it at the wire, surface a reset. *)
+let respond_reset t conn =
+  let tok = conn.cn_token in
+  let addr = conn.cn_addr in
+  let handler_ns = Int64.sub (Clock.now t.nw_clock) conn.cn_deliver_at in
+  ep_busy t addr
+    (Int64.add conn.cn_req_ns (Int64.add handler_ns t.latency_ns));
+  if tok.tk_result = None then begin
+    note_fault t ~addr ~kind:"net.reset" ~verdict:"ECONNRESET"
+      ~cost_ns:t.latency_ns;
+    schedule_completion t tok
+      ~at:(Int64.add (Clock.now t.nw_clock) t.latency_ns)
+      (Error Errno.ECONNRESET)
+  end
+  else note_late t addr
+
+let deliver t ~addr tok ~req_ns payload =
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + String.length payload;
+  let conn =
+    { cn_token = tok; cn_addr = addr;
+      cn_deliver_at = Clock.now t.nw_clock; cn_req_ns = req_ns }
+  in
+  match Hashtbl.find_opt t.endpoints addr with
+  | None | Some { up = false; _ } -> respond_reset t conn
+  | Some ep ->
+    ep.ep_stats.calls <- ep.ep_stats.calls + 1;
+    ep.ep_stats.bytes_in <- ep.ep_stats.bytes_in + String.length payload;
+    (match ep.hkind with
+     | Async h -> (try h conn payload with _ -> respond_reset t conn)
+     | Sync h ->
+       (match (try Ok (h payload) with _ -> Error ()) with
+        | Error () -> respond_reset t conn
+        | Ok response -> respond t conn response))
+
+let submit t ?(src = "client") ?timeout_ns ~addr payload =
+  let timeout = match timeout_ns with Some v -> v | None -> t.timeout_ns in
+  let tok = { tk_addr = addr; tk_result = None; tk_done_at = 0L } in
+  let prof =
+    match t.plan with
+    | None -> Fault.calm
+    | Some p -> Fault.profile_for p addr
+  in
+  let cut =
+    match t.plan with
+    | None -> false
+    | Some p -> Fault.partitioned p ~now:(Clock.now t.nw_clock) ~src ~dst:addr
+  in
+  let arm_timeout () =
+    schedule t ~at:(Int64.add (Clock.now t.nw_clock) timeout)
+      ~live:(fun () -> tok.tk_result = None)
+      (fun () ->
+        tok.tk_result <- Some (Error Errno.ETIMEDOUT);
+        tok.tk_done_at <- Clock.now t.nw_clock;
+        Metrics.incr t.c_timeout;
+        Metrics.incr (interned t ("net.timeout." ^ addr)))
+  in
+  let refused () =
+    note_fault t ~addr ~kind:"net.refused" ~verdict:"ECONNREFUSED" ~cost_ns:0L;
+    tok.tk_result <- Some (Error Errno.ECONNREFUSED);
+    tok.tk_done_at <- Clock.now t.nw_clock
+  in
+  if cut then begin
+    note_fault t ~addr ~kind:"net.partition" ~verdict:"ETIMEDOUT"
+      ~cost_ns:timeout;
+    arm_timeout ()
+  end
+  else begin
+    match Hashtbl.find_opt t.endpoints addr with
+    | None -> refused ()
+    | Some ep when not ep.up -> refused ()
+    | Some _ ->
+      let jitter_ns =
+        if Fault.chance t.rng prof.Fault.jitter then begin
+          let extra =
+            Int64.of_int
+              (Fault.int_below t.rng (Int64.to_int prof.Fault.max_jitter_ns))
+          in
+          note_fault t ~addr ~kind:"net.jitter" ~verdict:"ok" ~cost_ns:extra;
+          extra
+        end
+        else 0L
+      in
+      if Fault.chance t.rng prof.Fault.drop then begin
+        (* Request lost in flight: the bytes left the sender, the
+           handler never sees them; the timeout ends the wait. *)
+        t.messages <- t.messages + 1;
+        t.bytes <- t.bytes + String.length payload;
+        note_fault t ~addr ~kind:"net.drop" ~verdict:"ETIMEDOUT"
+          ~cost_ns:timeout;
+        arm_timeout ()
+      end
+      else begin
+        let req_ns =
+          Int64.add jitter_ns (transfer_ns t (String.length payload))
+        in
+        arm_timeout ();
+        schedule t ~at:(Int64.add (Clock.now t.nw_clock) req_ns)
+          ~live:(fun () -> true)
+          (fun () -> deliver t ~addr tok ~req_ns payload)
+      end
+  end;
+  tok
+
+let poll tok = tok.tk_result
+
+let completed_at tok =
+  match tok.tk_result with None -> None | Some _ -> Some tok.tk_done_at
+
+let token_addr tok = tok.tk_addr
+
+let rec step t =
+  match Heap.pop t.eventq with
+  | None -> false
+  | Some e ->
+    if e.ev_live () then begin
+      Clock.advance_to t.nw_clock e.ev_time;
+      e.ev_run ();
+      true
+    end
+    else step t
+
+let pump t = while step t do () done
+
+let pending_events t = t.eventq.Heap.len
+
+let rec await t tok =
+  match tok.tk_result with
+  | Some r -> r
+  | None ->
+    if step t then await t tok
+    else begin
+      (* Nothing left in the queue yet the exchange is open: the
+         server parked it and armed no wakeup.  Fail the wait rather
+         than spin forever. *)
+      tok.tk_result <- Some (Error Errno.ETIMEDOUT);
+      tok.tk_done_at <- Clock.now t.nw_clock;
+      Metrics.incr t.c_timeout;
+      Error Errno.ETIMEDOUT
+    end
 
 let call t ?(src = "client") ?timeout_ns ~addr payload =
   let timeout = match timeout_ns with Some v -> v | None -> t.timeout_ns in
@@ -155,7 +501,11 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
     | Some ep when not ep.up ->
       note_fault t ~addr ~kind:"net.refused" ~verdict:"ECONNREFUSED" ~cost_ns:0L;
       Error Errno.ECONNREFUSED
-    | Some ep ->
+    | Some { hkind = Async _; _ } ->
+      (* Synchronous bridge to an event-driven endpoint: submit and
+         pump the event loop until this exchange completes. *)
+      await t (submit t ~src ~timeout_ns:timeout ~addr payload)
+    | Some ({ hkind = Sync handler; _ } as ep) ->
       if Fault.chance t.rng prof.Fault.jitter then begin
         let extra =
           Int64.of_int (Fault.int_below t.rng (Int64.to_int prof.Fault.max_jitter_ns))
@@ -184,7 +534,7 @@ let call t ?(src = "client") ?timeout_ns ~addr payload =
         charge_transfer t (String.length payload);
         ep.ep_stats.calls <- ep.ep_stats.calls + 1;
         ep.ep_stats.bytes_in <- ep.ep_stats.bytes_in + String.length payload;
-        match (try Ok (ep.handler payload) with _ -> Error ()) with
+        match (try Ok (handler payload) with _ -> Error ()) with
         | Error () ->
           (* The handler blew up: contain the exception at the wire,
              charge the aborted response leg, surface a reset. *)

@@ -81,6 +81,84 @@ val call :
     counted ([net.reset]), and surfaced as this wire-level error, never
     propagated into the caller. *)
 
+(** {1 Asynchronous exchanges}
+
+    The event-driven half of the fabric.  [submit] starts an exchange
+    and returns immediately with a completion {!token}; the request
+    leg's faults are decided (deterministically, in submission order)
+    at submit time but the clock does not move.  Deliveries, responses
+    and timeouts become events on a queue ordered by (time, sequence);
+    executing an event moves the shared clock forward to the event's
+    time.  Every submitted exchange arms exactly one timeout; a token
+    is completed exactly once, by whichever of response/timeout fires
+    first — a response that loses the race is discarded and counted as
+    [net.late_reply] (globally and per endpoint), never delivered.
+
+    [listen_async] registers an endpoint whose handler receives a
+    {!conn} it may answer later with {!respond} — the hook an
+    event-driven server uses to park requests.  Submitting to a plain
+    {!listen} endpoint works too (the handler runs inline at delivery
+    and its answer is scheduled back), as does {!call}-ing an async
+    endpoint (the call pumps the event loop until its own exchange
+    completes). *)
+
+type token
+(** The client half of an in-flight exchange. *)
+
+type conn
+(** The server half: handed to an async handler, consumed by
+    {!respond}. *)
+
+val listen_async : t -> addr:string -> (conn -> string -> unit) -> unit
+(** Register an event-driven handler at an address (replacing any
+    previous listener).  The handler is invoked at request-delivery
+    time and may call {!respond} immediately or hold the [conn] and
+    respond from a later event. *)
+
+val submit :
+  t -> ?src:string -> ?timeout_ns:int64 -> addr:string -> string -> token
+(** Start an exchange without blocking.  Unreachable endpoints
+    complete the token immediately ([ECONNREFUSED]); partitions and
+    request drops leave it to the armed timeout; otherwise delivery is
+    scheduled one transfer time (plus any jitter) ahead. *)
+
+val respond : t -> conn -> string -> unit
+(** Answer a delivered request: response-leg faults are decided now,
+    and the completion (or reset) is scheduled one transfer time
+    ahead.  Responding to an exchange whose token already completed
+    discards the response and counts [net.late_reply] — it consumes no
+    fault randomness, so seeded runs stay deterministic. *)
+
+val at : t -> int64 -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute simulated time — the hook an
+    event-driven server uses to arm batch flushes and sweeps. *)
+
+val poll : token -> (string, Idbox_vfs.Errno.t) result option
+(** The exchange's result, or [None] while still in flight. *)
+
+val completed_at : token -> int64 option
+(** When the token completed (simulated clock), once it has. *)
+
+val token_addr : token -> string
+(** The address the exchange was submitted to. *)
+
+val step : t -> bool
+(** Execute the next live event: advance the clock to its time and run
+    it.  Dead events (a timeout whose token already completed) are
+    skipped without advancing the clock.  [false] when the queue is
+    empty. *)
+
+val pump : t -> unit
+(** Run {!step} until the queue is empty. *)
+
+val pending_events : t -> int
+(** Queue length, dead events included (for tests and introspection). *)
+
+val await : t -> token -> (string, Idbox_vfs.Errno.t) result
+(** Pump the event loop until this token completes.  If the queue
+    drains while the exchange is still open (a server parked it and
+    armed no wakeup), the wait fails with [ETIMEDOUT]. *)
+
 val stats : t -> addr:string -> endpoint_stats option
 
 val busy_ns : t -> addr:string -> int64

@@ -39,4 +39,5 @@ let () =
       ("ring", Test_ring.suite);
       ("cluster", Test_cluster.suite);
       ("enforce-cache", Test_enforce_cache.suite);
+      ("async", Test_async.suite);
     ]

@@ -84,6 +84,32 @@ let histogram_tiny_values () =
   Metrics.observe_ns h 2L;
   Alcotest.(check int) "int64 entry point" 3 (Metrics.count h)
 
+let histogram_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "edge" in
+  (* An empty histogram renders a stable, finite JSON object — no NaN
+     percentiles, no division by a zero count. *)
+  Alcotest.(check string) "empty histogram JSON"
+    "{\"count\":0,\"sum_ns\":0,\"max_ns\":0,\"mean_ns\":0.0,\"p50_ns\":0.0,\"p95_ns\":0.0,\"p99_ns\":0.0}"
+    (Metrics.histogram_json h);
+  (* A zero-duration sample lands in bucket 0, inside the table. *)
+  Metrics.observe_ns h 0L;
+  Alcotest.(check (float 0.01)) "zero duration in bucket 0" 1.0
+    (Metrics.percentile h 99.0);
+  (* A negative int64 clamps to 0 instead of indexing below the table. *)
+  Metrics.observe_ns h (-5L);
+  Alcotest.(check int) "negative counted, clamped" 2 (Metrics.count h);
+  Alcotest.(check int) "sum untouched by clamp" 0 (Metrics.sum_ns h);
+  (* A duration beyond the int range saturates into the top bucket —
+     it must not wrap negative and land silently in bucket 0. *)
+  Metrics.observe_ns h Int64.max_int;
+  Alcotest.(check int) "saturates at max_int" max_int (Metrics.max_ns h);
+  let p = Metrics.percentile h 99.9 in
+  Alcotest.(check bool) "tail lands in a defined bucket" true
+    (p > 1.0 && Float.is_finite p);
+  Alcotest.(check bool) "render survives extremes" true
+    (String.length (Metrics.histogram_json h) > 0)
+
 (* --- registry + JSON ------------------------------------------------- *)
 
 let registry_json () =
@@ -198,6 +224,7 @@ let suite =
     Alcotest.test_case "histogram basics" `Quick histogram_basics;
     Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles;
     Alcotest.test_case "histogram tiny values" `Quick histogram_tiny_values;
+    Alcotest.test_case "histogram edge samples" `Quick histogram_edges;
     Alcotest.test_case "registry JSON deterministic" `Quick registry_json;
     Alcotest.test_case "JSON escaping" `Quick json_escaping;
     Alcotest.test_case "ring wraparound" `Quick ring_wraparound;
