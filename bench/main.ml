@@ -1022,6 +1022,338 @@ let sessions_block () =
         r.sn_async_kops r.sn_async_p50_us r.sn_async_p95_us)
     (sessions_rows ())
 
+(* Elasticity: the control plane absorbing membership change under
+   load, and graceful degradation under overload.
+
+   Absorb: a cluster under a steady probe load has a node added (or
+   removed); the figure is how much simulated time passes until reads
+   are back under a fixed SLO *and* every shard is replicated at full
+   factor with byte-identical digests on its owners.
+
+   Goodput: one event-driven server whose batch tick drains a bounded
+   number of operations (its engineered service rate) is offered 2x
+   that rate.  With admission control (a small parked bound => brownout
+   sheds the excess with retry-after hints) the queue stays short and
+   every acknowledged mutation lands within the SLO.  Without it (a
+   practically unbounded queue) every mutation is accepted, the backlog
+   grows linearly, acks drift past the SLO and then past the client
+   timeout — the server keeps doing work nobody is waiting for
+   (counted as late replies).  Goodput is acknowledged-within-SLO
+   operations per simulated second.  All simulated, all seeded:
+   byte-identical across runs. *)
+type elastic_absorb_row = {
+  el_event : string;  (* "add" | "remove" *)
+  el_nodes : string;  (* "3->4" *)
+  el_p95_calm_ms : float;
+  el_p95_absorb_ms : float;  (* read p95 over the absorption window *)
+  el_absorb_ms : float;  (* time to SLO + full replication factor *)
+}
+
+type elastic_goodput_row = {
+  eg_mode : string;  (* "shed" | "unshed" *)
+  eg_offered : int;
+  eg_acked : int;
+  eg_in_slo : int;
+  eg_shed : int;
+  eg_timeout : int;
+  eg_late : int;  (* acks after the client gave up: wasted work *)
+  eg_goodput_ops : float;  (* in-SLO acks per simulated second *)
+  eg_p95_ms : float;  (* over acknowledged mutations *)
+}
+
+let elastic_slo_ms = 5.0
+
+let elastic_absorb_run ~event =
+  let module Clock = Idbox_kernel.Clock in
+  let module Client = Idbox_chirp.Client in
+  let module Server = Idbox_chirp.Server in
+  let module World = Idbox_cluster.World in
+  let module Router = Idbox_cluster.Router in
+  let module Replica = Idbox_cluster.Replica in
+  let module Ring = Idbox_cluster.Ring in
+  let okv ctx = function
+    | Ok v -> v
+    | Error e -> failwith (ctx ^ ": " ^ Idbox_vfs.Errno.message e)
+  in
+  let w = World.create () in
+  let nodes = match event with "add" -> 3 | _ -> 4 in
+  let hosts = List.init 4 (fun i -> Printf.sprintf "n%d.grid.edu" (i + 1)) in
+  List.iteri
+    (fun i h ->
+      if i < nodes then
+        match World.add_node w ~host:h with
+        | Ok () -> ()
+        | Error m -> failwith m)
+    hosts;
+  World.settle w;
+  let policy =
+    { Client.default_policy with Client.max_attempts = 8; retry_budget = 200 }
+  in
+  let r =
+    match World.connect ~policy w ~credentials:[ World.issue w "Bench" ] with
+    | Ok r -> r
+    | Error m -> failwith m
+  in
+  let clock = World.clock w in
+  let dirs = List.init 24 (fun i -> Printf.sprintf "/e%02d" i) in
+  List.iter
+    (fun d ->
+      okv "mkdir" (Router.mkdir r d);
+      okv "seed" (Router.put r ~path:(d ^ "/f") ~data:("seed" ^ d)))
+    dirs;
+  okv "mkdir churn" (Router.mkdir r "/churn");
+  let read_round () =
+    List.filteri (fun i _ -> i mod 3 = 0) dirs
+    |> List.map (fun d ->
+           let t0 = Clock.now clock in
+           ignore (okv "get" (Router.get r (d ^ "/f")));
+           Int64.to_float (Int64.sub (Clock.now clock) t0))
+  in
+  let pct latencies p =
+    let a = Array.of_list latencies in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (float_of_int n *. p)))
+  in
+  let calm = List.concat (List.init 5 (fun _ -> read_round ())) in
+  let p95_calm_ms = pct calm 0.95 /. 1e6 in
+  (* The membership event, mid-load. *)
+  (match event with
+   | "add" ->
+     (match World.add_node w ~host:(List.nth hosts 3) with
+      | Ok () -> ()
+      | Error m -> failwith m)
+   | _ ->
+     (match World.remove_node w "n4" with
+      | Ok () -> ()
+      | Error m -> failwith m));
+  World.settle w;
+  let t0 = Clock.now clock in
+  let want = List.length (World.members w) in
+  let converged () =
+    let ring = Replica.ring (World.replica w (List.hd (World.members w))) in
+    List.for_all
+      (fun d ->
+        let key = String.sub d 1 (String.length d - 1) in
+        let holders =
+          List.filter_map
+            (fun name ->
+              match Server.subtree_digest (World.server w name) key with
+              | Ok dg -> Some (name, dg)
+              | Error _ -> None)
+            (World.members w)
+        in
+        let owners =
+          Ring.successors ring key (min (World.replicas w) want)
+        in
+        List.for_all (fun o -> List.mem_assoc o holders) owners
+        && (match holders with
+            | [] -> false
+            | (_, d0) :: rest ->
+              List.for_all (fun (_, dg) -> String.equal d0 dg) rest))
+      dirs
+  in
+  let during = ref [] in
+  let absorbed_at = ref None in
+  let step = ref 0 in
+  while !absorbed_at = None && !step < 120 do
+    incr step;
+    Clock.advance clock 1_000_000_000L;
+    World.tick w;
+    Router.sync r;
+    (* Keep load on the cluster while it reshapes: reads over the
+       tracked shards, one write to a churn shard outside the digest
+       check. *)
+    okv "churn"
+      (Router.put r ~path:"/churn/f" ~data:(Printf.sprintf "c%d" !step));
+    let round = read_round () in
+    during := round @ !during;
+    let p95_ms = pct round 0.95 /. 1e6 in
+    if
+      List.length (Router.nodes r) = want
+      && p95_ms <= elastic_slo_ms
+      && converged ()
+    then absorbed_at := Some (Clock.now clock)
+  done;
+  (match !absorbed_at with
+   | Some _ -> ()
+   | None -> failwith ("elastic absorb (" ^ event ^ "): never converged"));
+  {
+    el_event = event;
+    el_nodes = Printf.sprintf "%d->%d" nodes want;
+    el_p95_calm_ms = p95_calm_ms;
+    el_p95_absorb_ms = pct !during 0.95 /. 1e6;
+    el_absorb_ms =
+      (match !absorbed_at with
+       | Some t -> Int64.to_float (Int64.sub t t0) /. 1e6
+       | None -> -1.);
+  }
+
+let elastic_goodput_run ~shed =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Account = Idbox_kernel.Account in
+  let module Clock = Idbox_kernel.Clock in
+  let module Metrics = Idbox_kernel.Metrics in
+  let module Network = Idbox_net.Network in
+  let module Ca = Idbox_auth.Ca in
+  let module Credential = Idbox_auth.Credential in
+  let module Negotiate = Idbox_auth.Negotiate in
+  let module Server = Idbox_chirp.Server in
+  let module Client = Idbox_chirp.Client in
+  let module Protocol = Idbox_chirp.Protocol in
+  let module Subject = Idbox_identity.Subject in
+  let clock = Clock.create () in
+  let kernel = Kernel.create ~clock () in
+  let net = Network.create ~clock () in
+  let owner =
+    match Account.add (Kernel.accounts kernel) "chirpuser" with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  Kernel.refresh_passwd kernel;
+  let ca = Ca.create ~name:"Bench CA" in
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+  let root_acl =
+    Idbox_acl.Acl.of_entries
+      [
+        Idbox_acl.Entry.make ~pattern:"globus:/O=Bench/*"
+          (Idbox_acl.Rights.of_string_exn "rwl");
+      ]
+  in
+  (* Service rate: 8 ops per 50 ms tick (160 ops/s).  Offered: 16 ops
+     per tick interval (320 ops/s) — a sustained 2x overload. *)
+  let flush_ns = 50_000_000L in
+  let drain = 8 in
+  let per_round = 16 in
+  let rounds = 40 in
+  (match
+     Server.create ~kernel ~net ~addr:"bench.grid.edu:9094"
+       ~owner_uid:owner.Account.uid ~export:"/tmp/bench_elastic" ~acceptor
+       ~root_acl ~event_driven:true ~flush_interval_ns:flush_ns
+       ~flush_batch_limit:drain
+       ~max_parked:(if shed then 2 * drain else 1_000_000)
+       ()
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Idbox_vfs.Errno.message e));
+  let cert = Ca.issue ca (Subject.of_string_exn "/O=Bench/CN=Writer") in
+  let c =
+    match
+      Client.connect net ~addr:"bench.grid.edu:9094"
+        ~credentials:[ Credential.Gsi cert ]
+    with
+    | Ok c -> c
+    | Error m -> failwith m
+  in
+  let t0 = Clock.now clock in
+  let slo_ns = Int64.of_float (elastic_slo_ms *. 1e6 *. 40.) in
+  (* 200 ms: 4 drain ticks *)
+  let timeout_ns = 1_000_000_000L in
+  let submissions = ref [] in
+  for round = 0 to rounds - 1 do
+    let round_end =
+      Int64.add t0 (Int64.mul (Int64.of_int (round + 1)) flush_ns)
+    in
+    for k = 0 to per_round - 1 do
+      let path = Printf.sprintf "/g%d_%d" round k in
+      let tok =
+        Network.submit net ~timeout_ns ~addr:"bench.grid.edu:9094"
+          (Client.prepare c (Protocol.Put { path; data = "x" }))
+      in
+      submissions := (tok, Clock.now clock) :: !submissions
+    done;
+    (* Run the simulation up to the end of this offered-load interval. *)
+    Network.at net round_end (fun () -> ());
+    while
+      Int64.compare (Clock.now clock) round_end < 0 && Network.step net
+    do
+      ()
+    done
+  done;
+  (* Drain: let every in-flight exchange finish or time out. *)
+  while Network.step net do
+    ()
+  done;
+  let offered = rounds * per_round in
+  let acked = ref 0 in
+  let in_slo = ref 0 in
+  let shed_n = ref 0 in
+  let timeouts = ref 0 in
+  let ack_lat = ref [] in
+  List.iter
+    (fun (tok, at) ->
+      match Network.poll tok with
+      | Some (Ok text) ->
+        (match Client.interpret text with
+         | Ok _ ->
+           incr acked;
+           (match Network.completed_at tok with
+            | Some done_at ->
+              let lat = Int64.sub done_at at in
+              ack_lat := Int64.to_float lat :: !ack_lat;
+              if Int64.compare lat slo_ns <= 0 then incr in_slo
+            | None -> ())
+         | Error Idbox_vfs.Errno.EAGAIN -> incr shed_n
+         | Error _ -> ())
+      | Some (Error Idbox_vfs.Errno.ETIMEDOUT) -> incr timeouts
+      | Some (Error _) | None -> ())
+    !submissions;
+  let makespan_s = Int64.to_float (Int64.sub (Clock.now clock) t0) /. 1e9 in
+  let p95 =
+    match !ack_lat with
+    | [] -> 0.
+    | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      a.(min (Array.length a - 1)
+           (int_of_float (float_of_int (Array.length a) *. 0.95)))
+  in
+  {
+    eg_mode = (if shed then "shed" else "unshed");
+    eg_offered = offered;
+    eg_acked = !acked;
+    eg_in_slo = !in_slo;
+    eg_shed = !shed_n;
+    eg_timeout = !timeouts;
+    eg_late =
+      Metrics.counter_value_of (Network.metrics net)
+        "net.late_reply.bench.grid.edu:9094";
+    eg_goodput_ops = float_of_int !in_slo /. makespan_s;
+    eg_p95_ms = p95 /. 1e6;
+  }
+
+let elastic_absorb_rows () =
+  [ elastic_absorb_run ~event:"add"; elastic_absorb_run ~event:"remove" ]
+
+let elastic_goodput_rows () =
+  [ elastic_goodput_run ~shed:true; elastic_goodput_run ~shed:false ]
+
+let elastic_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline
+    "Elasticity - absorbing membership change under load; goodput under \
+     overload";
+  print_endline (String.make 78 '=');
+  Printf.printf "%8s %8s %14s %15s %13s\n" "event" "nodes" "p95 calm (ms)"
+    "p95 absorb(ms)" "absorb (ms)";
+  print_endline (String.make 62 '-');
+  List.iter
+    (fun row ->
+      Printf.printf "%8s %8s %14.3f %15.3f %13.1f\n" row.el_event row.el_nodes
+        row.el_p95_calm_ms row.el_p95_absorb_ms row.el_absorb_ms)
+    (elastic_absorb_rows ());
+  print_newline ();
+  Printf.printf "%7s %8s %7s %7s %6s %8s %6s %13s %9s\n" "mode" "offered"
+    "acked" "in-SLO" "shed" "timeout" "late" "goodput ops/s" "p95 (ms)";
+  print_endline (String.make 78 '-');
+  List.iter
+    (fun row ->
+      Printf.printf "%7s %8d %7d %7d %6d %8d %6d %13.1f %9.1f\n" row.eg_mode
+        row.eg_offered row.eg_acked row.eg_in_slo row.eg_shed row.eg_timeout
+        row.eg_late row.eg_goodput_ops row.eg_p95_ms)
+    (elastic_goodput_rows ())
+
 let metrics_block () =
   print_newline ();
   print_endline (String.make 78 '=');
@@ -1030,7 +1362,7 @@ let metrics_block () =
   let kernel = Idbox_report.Report.metrics_workload () in
   print_endline (Idbox_report.Report.metrics_json kernel)
 
-(* The deterministic machine-readable report (schema idbox-bench/4):
+(* The deterministic machine-readable report (schema idbox-bench/5):
    every simulated figure — resilience, cluster scaling, recovery,
    concurrent sessions, the metrics registry — and nothing host-timed
    (Bechamel stays human-only), so two runs on any machines are
@@ -1038,7 +1370,7 @@ let metrics_block () =
 let json_report () =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
-  add "{\"schema\":\"idbox-bench/4\",\n \"resilience\":[";
+  add "{\"schema\":\"idbox-bench/5\",\n \"resilience\":[";
   List.iteri
     (fun i r ->
       if i > 0 then add ",\n   ";
@@ -1119,7 +1451,32 @@ let json_report () =
            r.sn_sessions r.sn_sync_kops r.sn_sync_p50_us r.sn_sync_p95_us
            r.sn_async_kops r.sn_async_p50_us r.sn_async_p95_us))
     (sessions_rows ());
-  add "],\n \"metrics\":";
+  add "],\n \"elastic\":{\"slo_ms\":";
+  add (Printf.sprintf "%.1f" elastic_slo_ms);
+  add ",\"absorb\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"event\":%S,\"nodes\":%S,\"p95_calm_ms\":%.3f,\
+            \"p95_absorb_ms\":%.3f,\"absorb_ms\":%.1f}"
+           r.el_event r.el_nodes r.el_p95_calm_ms r.el_p95_absorb_ms
+           r.el_absorb_ms))
+    (elastic_absorb_rows ());
+  add "],\"goodput\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"mode\":%S,\"offered\":%d,\"acked\":%d,\"in_slo\":%d,\
+            \"shed\":%d,\"timeout\":%d,\"late\":%d,\"goodput_ops\":%.1f,\
+            \"p95_ms\":%.1f}"
+           r.eg_mode r.eg_offered r.eg_acked r.eg_in_slo r.eg_shed
+           r.eg_timeout r.eg_late r.eg_goodput_ops r.eg_p95_ms))
+    (elastic_goodput_rows ());
+  add "]},\n \"metrics\":";
   add
     (Idbox_report.Report.metrics_json (Idbox_report.Report.metrics_workload ()));
   add "}";
@@ -1141,6 +1498,7 @@ let () =
     recovery_block ();
     cache_block ();
     sessions_block ();
+    elastic_block ();
     metrics_block ()
   | names ->
     List.iter
@@ -1160,12 +1518,13 @@ let () =
         | "recovery" -> recovery_block ()
         | "cache" | "caches" -> cache_block ()
         | "sessions" -> sessions_block ()
+        | "elastic" -> elastic_block ()
         | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
              ablation bechamel resilience cluster recovery cache sessions \
-             metrics)\n"
+             elastic metrics)\n"
             other;
           exit 2)
       names

@@ -270,6 +270,25 @@ let cluster_cmd =
     Printf.printf "cluster up: %s (catalog %s, R=%d)\n"
       (String.concat ", " (World.members w))
       (World.catalog_addr w) (World.replicas w);
+    (* An operator's membership view: per-node heartbeat age, remaining
+       lease and the liveness those imply.  Liveness keeps drifting
+       between refreshes — a dead node goes alive -> suspect -> dead
+       without another catalog round trip. *)
+    let module Mb = Idbox_cluster.Membership in
+    let mb = Mb.create (World.net w) ~catalog:(World.catalog_addr w) in
+    let print_health () =
+      ignore (Mb.refresh mb);
+      print_endline "node health:";
+      List.iter
+        (fun nh ->
+          Printf.printf "  %-8s %-22s %-8s hb_age=%6.1fs lease_left=%6.1fs\n"
+            nh.Mb.nh_name nh.Mb.nh_addr
+            (Mb.liveness_name nh.Mb.nh_liveness)
+            (Int64.to_float nh.Mb.nh_heartbeat_age_ns /. 1e9)
+            (Int64.to_float nh.Mb.nh_lease_left_ns /. 1e9))
+        (Mb.health mb)
+    in
+    print_health ();
     let r =
       match World.connect w ~credentials:[ World.issue w "Alice" ] with
       | Ok r -> r
@@ -311,11 +330,15 @@ let cluster_cmd =
            Printf.printf "  get %s/hello -> %S (failovers so far: %d)\n" d v
              (Router.failovers r))
          dirs;
-       Clock.advance (World.clock w) 400_000_000_000L (* past the lease *);
+       Clock.advance (World.clock w) 160_000_000_000L (* past half the lease *);
+       World.tick w (* survivors heartbeat; the crashed node cannot *);
+       print_health ();
+       Clock.advance (World.clock w) 240_000_000_000L (* past the lease *);
        World.tick w;
        Router.sync r;
        Printf.printf "after lease expiry: members = %s\n"
          (String.concat ", " (Router.nodes r));
+       print_health ();
        World.restart w victim;
        World.tick w;
        Router.sync r;

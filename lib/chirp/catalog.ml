@@ -68,10 +68,19 @@ let handle t payload =
     let fields =
       List.concat_map
         (fun e ->
-          [ e.name; e.server_addr; e.owner; Int64.to_string e.registered_at ])
+          [ e.name; e.server_addr; e.owner; Int64.to_string e.registered_at;
+            Int64.to_string e.last_heartbeat ])
         (entries t)
     in
     Wire.encode ("ok" :: fields)
+  | Ok [ "deregister"; name ] ->
+    (* A clean departure (scale-down): stop advertising now instead of
+       waiting out the lease, so routers rebalance on their next sync. *)
+    if Hashtbl.mem t.table name then begin
+      Hashtbl.remove t.table name;
+      metric t "catalog.deregister"
+    end;
+    Wire.encode [ "ok" ]
   | Ok _ | Error _ -> Wire.encode [ "error"; "bad catalog request" ]
 
 let create ?(staleness_ns = 300_000_000_000L) net ~addr =
@@ -96,6 +105,17 @@ let register ?(src = "client") net ~catalog ~name ~server_addr ~owner =
      | Ok ("error" :: msg :: _) -> Error msg
      | Ok _ | Error _ -> Error "bad catalog response")
 
+let deregister ?(src = "client") net ~catalog ~name =
+  match
+    Network.call net ~src ~addr:catalog (Wire.encode [ "deregister"; name ])
+  with
+  | Error e -> Error (Idbox_vfs.Errno.message e)
+  | Ok payload ->
+    (match Wire.decode payload with
+     | Ok [ "ok" ] -> Ok ()
+     | Ok ("error" :: msg :: _) -> Error msg
+     | Ok _ | Error _ -> Error "bad catalog response")
+
 let list ?(src = "client") ?timeout_ns net ~catalog =
   match
     Network.call net ~src ?timeout_ns ~addr:catalog (Wire.encode [ "list" ])
@@ -106,15 +126,14 @@ let list ?(src = "client") ?timeout_ns net ~catalog =
      | Ok ("ok" :: fields) ->
        let rec parse acc = function
          | [] -> Ok (List.rev acc)
-         | name :: server_addr :: owner :: stamp :: rest ->
-           (match Int64.of_string_opt stamp with
-            | Some registered_at ->
+         | name :: server_addr :: owner :: stamp :: beat :: rest ->
+           (match (Int64.of_string_opt stamp, Int64.of_string_opt beat) with
+            | Some registered_at, Some last_heartbeat ->
               parse
-                ({ name; server_addr; owner; registered_at;
-                   last_heartbeat = registered_at }
+                ({ name; server_addr; owner; registered_at; last_heartbeat }
                  :: acc)
                 rest
-            | None -> Error "bad catalog timestamp")
+            | _ -> Error "bad catalog timestamp")
          | _ -> Error "truncated catalog entry"
        in
        parse [] fields

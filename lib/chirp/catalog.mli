@@ -44,6 +44,16 @@ val register :
     periodically.  Re-registering the same name at the same address
     refreshes the lease without resetting [registered_at]. *)
 
+val deregister :
+  ?src:string ->
+  Idbox_net.Network.t ->
+  catalog:string ->
+  name:string ->
+  (unit, string) result
+(** A clean departure (scale-down): drop the lease now instead of
+    letting it age out, so the next [list] no longer advertises the
+    server (counted as [catalog.deregister]). *)
+
 val list :
   ?src:string ->
   ?timeout_ns:int64 ->

@@ -1,5 +1,6 @@
 module Network = Idbox_net.Network
 module Fault = Idbox_net.Fault
+module Breaker = Idbox_net.Breaker
 module Metrics = Idbox_kernel.Metrics
 module Clock = Idbox_kernel.Clock
 module Errno = Idbox_vfs.Errno
@@ -50,6 +51,11 @@ type t = {
   mutable cl_retries : int;
   mutable cl_req_counter : int;
   cl_leases : (string, lease) Hashtbl.t;
+  (* A circuit breaker over this client's one server: repeated
+     transport failures trip it, and while it is open calls fail fast
+     with the last seen errno instead of burning a timeout each.
+     Shed responses (EAGAIN) never feed it — an answer is liveness. *)
+  cl_breaker : Breaker.t;
 }
 
 let principal t = t.cl_principal
@@ -57,6 +63,7 @@ let auth_method t = t.cl_method
 let addr t = t.cl_addr
 let retries t = t.cl_retries
 let budget_left t = t.cl_budget
+let breaker t = t.cl_breaker
 
 let metric_on net name = Metrics.incr (Metrics.counter (Network.metrics net) name)
 let metric t name = metric_on t.cl_net name
@@ -118,8 +125,8 @@ let backoff_ns policy rng attempt =
 let auth_exchange net ~src ~policy ~rng ~addr ~credentials =
   let payload = Protocol.encode_request (Protocol.Auth credentials) in
   let rec go attempt =
-    let retry () =
-      metric_on net "chirp.retry";
+    let retry ?(shed = false) () =
+      metric_on net (if shed then "chirp.retry.shed" else "chirp.retry");
       Clock.advance (Network.clock net) (backoff_ns policy rng attempt);
       go (attempt + 1)
     in
@@ -132,6 +139,11 @@ let auth_exchange net ~src ~policy ~rng ~addr ~credentials =
        | Error msg -> Error (`Decode msg)
        | Ok (Protocol.R_auth { token; principal; method_ }) ->
          Ok (token, principal, method_)
+       | Ok (Protocol.R_error (Errno.EAGAIN, _))
+         when attempt < policy.max_attempts ->
+         (* The server shed us (session table full / brownout): a
+            distinct kind of retry — the peer is alive, just busy. *)
+         retry ~shed:true ()
        | Ok (Protocol.R_error (e, _))
          when transient e && attempt < policy.max_attempts -> retry ()
        | Ok (Protocol.R_error (_, msg)) -> Error (`Server msg)
@@ -162,6 +174,10 @@ let connect ?(src = "client") ?(policy = default_policy) net ~addr ~credentials 
         cl_retries = 0;
         cl_req_counter = 0;
         cl_leases = Hashtbl.create 16;
+        cl_breaker =
+          Breaker.create ~threshold:8 ~reset_ns:800_000_000L
+            ~prefix:"chirp.breaker" ~clock:(Network.clock net)
+            ~metrics:(Network.metrics net) addr;
       }
 
 (* The server forgot our session (restart, or idle expiry): negotiate a
@@ -203,13 +219,23 @@ let call t op =
     Protocol.encode_request (Protocol.Op { token = t.cl_token; req_id; op })
   in
   let rec go attempt reauthed =
-    let retry e =
+    let retry ?hint ?(shed = false) e =
       if attempt < t.cl_policy.max_attempts && t.cl_budget > 0 then begin
         t.cl_budget <- t.cl_budget - 1;
         t.cl_retries <- t.cl_retries + 1;
-        metric t "chirp.retry";
-        Clock.advance (Network.clock t.cl_net)
-          (backoff_ns t.cl_policy t.cl_rng attempt);
+        (* Shed retries are counted apart from timeout retries: they
+           mean "the cluster is saturated", not "the network is bad". *)
+        metric t (if shed then "chirp.retry.shed" else "chirp.retry");
+        let pause = backoff_ns t.cl_policy t.cl_rng attempt in
+        (* Honor the server's retry-after hint when it asks for longer
+           than our own backoff would wait — bounded by the call
+           timeout, so a bogus hint cannot park us forever. *)
+        let pause =
+          match hint with
+          | Some h -> Int64.max pause (Int64.min h t.cl_policy.timeout_ns)
+          | None -> pause
+        in
+        Clock.advance (Network.clock t.cl_net) pause;
         go (attempt + 1) reauthed
       end
       else begin
@@ -217,25 +243,40 @@ let call t op =
         Error e
       end
     in
-    match
-      Network.call t.cl_net ~src:t.cl_src ~timeout_ns:t.cl_policy.timeout_ns
-        ~addr:t.cl_addr (payload ())
-    with
-    | Error e when transient e -> retry e
-    | Error e -> Error e
-    | Ok text ->
-      (match Protocol.decode_response text with
-       | Error _ ->
-         (* Damaged frame (truncation/corruption caught by the protocol
-            checksum): indistinguishable from a lost reply, so retry. *)
-         retry Errno.EIO
-       | Ok (Protocol.R_error (Errno.ESTALE, _)) when not reauthed ->
-         (match reauth t with
-          | Ok () -> go attempt true
-          | Error e -> Error e)
-       | Ok (Protocol.R_error (e, _)) when transient e -> retry e
-       | Ok (Protocol.R_error (e, _)) -> Error e
-       | Ok r -> Ok r)
+    if not (Breaker.allow t.cl_breaker) then
+      (* The breaker is open: fail fast with the errno that tripped it
+         rather than burn a full timeout on a known-bad server.  The
+         backoff between attempts still runs, so a long-enough retry
+         schedule reaches the half-open probe. *)
+      retry (Breaker.last_errno t.cl_breaker)
+    else
+      match
+        Network.call t.cl_net ~src:t.cl_src ~timeout_ns:t.cl_policy.timeout_ns
+          ~addr:t.cl_addr (payload ())
+      with
+      | Error e when transient e ->
+        Breaker.failure ~errno:e t.cl_breaker;
+        retry e
+      | Error e -> Error e
+      | Ok text ->
+        (* Any reply — even an error verdict or a damaged frame — proves
+           the server is alive and answering. *)
+        Breaker.success t.cl_breaker;
+        (match Protocol.decode_response text with
+         | Error _ ->
+           (* Damaged frame (truncation/corruption caught by the protocol
+              checksum): indistinguishable from a lost reply, so retry. *)
+           retry Errno.EIO
+         | Ok (Protocol.R_error (Errno.ESTALE, _)) when not reauthed ->
+           (match reauth t with
+            | Ok () -> go attempt true
+            | Error e -> Error e)
+         | Ok (Protocol.R_error (Errno.EAGAIN, msg)) ->
+           retry ?hint:(Protocol.retry_after_of_message msg) ~shed:true
+             Errno.EAGAIN
+         | Ok (Protocol.R_error (e, _)) when transient e -> retry e
+         | Ok (Protocol.R_error (e, _)) -> Error e
+         | Ok r -> Ok r)
   in
   let r = go 1 false in
   (* Any mutation attempt through this client invalidates its leases —

@@ -68,6 +68,14 @@ val retries : t -> int
 val budget_left : t -> int
 (** Remaining session retry budget. *)
 
+val breaker : t -> Idbox_net.Breaker.t
+(** This session's circuit breaker over its one server: tripped by
+    consecutive transport failures (8, reset 800 ms), after which calls
+    fail fast with the tripping errno instead of burning a timeout
+    each; the retry backoff still runs, so the half-open probe is
+    reached and a recovered server closes it.  Shed responses
+    ([EAGAIN]) never feed it.  Counted under [chirp.breaker.*]. *)
+
 val mkdir : t -> string -> unit r
 val rmdir : t -> string -> unit r
 val unlink : t -> string -> unit r

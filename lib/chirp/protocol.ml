@@ -278,3 +278,33 @@ let decode_response text =
   match unseal "r" text with
   | Error e -> Error e
   | Ok body -> decode_response_body body
+
+(* {1 Shed responses}
+
+   An overloaded server answers EAGAIN with a machine-readable
+   retry-after hint riding the error message, so a client can wait
+   exactly as long as the server asked instead of guessing.  The hint
+   is plain text inside the message — old clients see a human-readable
+   reason and fall back to their own backoff. *)
+
+let shed_message ~retry_after_ns reason =
+  Printf.sprintf "%s; retry_after_ns=%Ld" reason retry_after_ns
+
+let retry_after_of_message msg =
+  let tag = "retry_after_ns=" in
+  let tlen = String.length tag in
+  let mlen = String.length msg in
+  let rec find i =
+    if i + tlen > mlen then None
+    else if String.equal (String.sub msg i tlen) tag then Some (i + tlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while !stop < mlen && msg.[!stop] >= '0' && msg.[!stop] <= '9' do
+      incr stop
+    done;
+    if !stop = start then None
+    else Int64.of_string_opt (String.sub msg start (!stop - start))

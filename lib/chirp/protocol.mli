@@ -88,3 +88,11 @@ val idempotent : operation -> bool
     ([get], [stat], [readdir], [getacl], [checksum], [whoami], and
     batches of only those); the rest need a request ID to retry
     safely. *)
+
+val shed_message : retry_after_ns:int64 -> string -> string
+(** The message an overloaded server sheds with: the human-readable
+    [reason] plus a machine-readable [retry_after_ns=<n>] hint. *)
+
+val retry_after_of_message : string -> int64 option
+(** Extract the retry-after hint from a shed error message, if one is
+    present — the client side of {!shed_message}. *)

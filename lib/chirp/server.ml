@@ -66,6 +66,7 @@ type t = {
   sessions : (string, session) Hashtbl.t;
   dedup : (string, done_op) Hashtbl.t;
   max_sessions : int;
+  max_parked : int;  (* admission bound on the parked-mutation queue *)
   session_idle_ns : int64;
   dedup_window_ns : int64;
   boxes : (string, Box.t) Hashtbl.t;
@@ -74,9 +75,11 @@ type t = {
   digests : (string, digest_memo) Hashtbl.t;
   sv_event_driven : bool;
   sv_flush_ns : int64;  (* batch-tick delay after the first parked op *)
+  sv_flush_limit : int;  (* max ops drained per batch tick (the drain rate) *)
   pending_q : parked Queue.t;
   parked_ids : (string, parked) Hashtbl.t;  (* req_id -> parked entry *)
   mutable flush_armed : bool;
+  mutable sv_brownout : bool;  (* overload mode: shed mutations, serve reads *)
   mutable ops_since_ckpt : int;
   mutable execs : int;
   mutable token_counter : int;
@@ -92,6 +95,9 @@ let session_count t = Hashtbl.length t.sessions
 let dedup_size t = Hashtbl.length t.dedup
 let event_driven t = t.sv_event_driven
 let parked_ops t = Queue.length t.pending_q
+let brownout t = t.sv_brownout
+let max_parked t = t.max_parked
+let max_sessions t = t.max_sessions
 
 let sessions t =
   Hashtbl.fold
@@ -598,6 +604,49 @@ let sweep_dedup t now =
       Hashtbl.remove t.dedup rid)
     dead
 
+(* {1 Admission control}
+
+   The parked-mutation queue is bounded ([max_parked]), and overload is
+   answered with a {e brownout} rather than silent queueing: when the
+   queue climbs past the high watermark (3/4 of the bound) the server
+   enters brownout and sheds every fresh mutation with [EAGAIN] plus a
+   machine-readable retry-after hint; reads, auth, dedup replays and
+   already-parked retries are still served — reads are admitted before
+   mutations, always.  Brownout exits only once the queue has drained
+   below the low watermark (1/4), so admission does not flap at the
+   threshold.  Session-table-full sheds carry the same hint. *)
+
+let queue_high t = t.max_parked * 3 / 4
+let queue_low t = t.max_parked / 4
+
+let update_brownout t =
+  let q = Queue.length t.pending_q in
+  if (not t.sv_brownout) && q >= queue_high t then begin
+    t.sv_brownout <- true;
+    metric t "chirp.brownout.enter"
+  end
+  else if t.sv_brownout && q <= queue_low t then begin
+    t.sv_brownout <- false;
+    metric t "chirp.brownout.exit"
+  end
+
+(* When may a shed client plausibly be admitted?  The batch tick drains
+   the whole queue, so two ticks out the backlog that caused the shed is
+   gone; session sheds wait on idle expiry, bounded at a second so
+   clients keep probing. *)
+let shed_retry_after t = Int64.mul t.sv_flush_ns 2L
+
+let session_retry_after t =
+  Int64.min (Int64.div t.session_idle_ns 8L) 1_000_000_000L
+
+let shed_session_error t =
+  metric t "chirp.session.reject";
+  metric t "chirp.shed.session";
+  Protocol.R_error
+    ( Errno.EAGAIN,
+      Protocol.shed_message ~retry_after_ns:(session_retry_after t)
+        "session table full" )
+
 (* Execute one operation under an identity: handler-crash containment
    plus the replication hook on fresh successful mutations.  WAL
    ordering is the caller's business — the sync path logs and syncs
@@ -648,10 +697,8 @@ let handle t payload =
     respond (Protocol.R_error (Errno.ECONNRESET, "bad request: " ^ msg))
   | Ok (Protocol.Auth creds) ->
     sweep_sessions t now;
-    if Hashtbl.length t.sessions >= t.max_sessions then begin
-      metric t "chirp.session.reject";
-      respond (Protocol.R_error (Errno.EAGAIN, "session table full"))
-    end
+    if Hashtbl.length t.sessions >= t.max_sessions then
+      respond (shed_session_error t)
     else
       (match Negotiate.negotiate t.acceptor ~now creds with
        | Error msg ->
@@ -728,12 +775,23 @@ let handle t payload =
    exactly; what changes is that one sync can cover many operations,
    and thousands of sessions can be in flight at once. *)
 
-let flush_batch t =
+let rec flush_batch t =
   t.flush_armed <- false;
   if not (Queue.is_empty t.pending_q) then begin
-    let items = List.of_seq (Queue.to_seq t.pending_q) in
-    Queue.clear t.pending_q;
-    Hashtbl.reset t.parked_ids;
+    (* Drain at most [sv_flush_limit] operations — the server's
+       engineered service rate.  A deeper backlog stays parked for
+       later ticks, which is exactly what makes unbounded admission
+       visible as latency (and what brownout exists to prevent). *)
+    let rec take acc n =
+      if n = 0 || Queue.is_empty t.pending_q then List.rev acc
+      else take (Queue.pop t.pending_q :: acc) (n - 1)
+    in
+    let items = take [] t.sv_flush_limit in
+    List.iter
+      (fun pk ->
+        if not (String.equal pk.pk_req_id "") then
+          Hashtbl.remove t.parked_ids pk.pk_req_id)
+      items;
     metric t "chirp.async.batch";
     metric_add t "chirp.async.batch_ops" (List.length items);
     (* Group commit: one sync makes every parked "op" record durable
@@ -769,10 +827,15 @@ let flush_batch t =
     if
       List.exists (fun pk -> contains_exec pk.pk_op) items
       || t.ops_since_ckpt >= t.checkpoint_every
-    then ignore (take_checkpoint t)
-  end
+    then ignore (take_checkpoint t);
+    (* Backlog beyond the drain limit: schedule the next tick. *)
+    if not (Queue.is_empty t.pending_q) then arm_flush t
+  end;
+  (* The drain is what ends a brownout: re-evaluate now rather than on
+     the next (possibly shed) admission. *)
+  update_brownout t
 
-let arm_flush t =
+and arm_flush t =
   if not t.flush_armed then begin
     t.flush_armed <- true;
     Network.at t.sv_net
@@ -790,10 +853,8 @@ let handle_async t conn payload =
     respond (Protocol.R_error (Errno.ECONNRESET, "bad request: " ^ msg))
   | Ok (Protocol.Auth creds) ->
     sweep_sessions t now;
-    if Hashtbl.length t.sessions >= t.max_sessions then begin
-      metric t "chirp.session.reject";
-      respond (Protocol.R_error (Errno.EAGAIN, "session table full"))
-    end
+    if Hashtbl.length t.sessions >= t.max_sessions then
+      respond (shed_session_error t)
     else
       (match Negotiate.negotiate t.acceptor ~now creds with
        | Error msg ->
@@ -818,25 +879,44 @@ let handle_async t conn payload =
        s.ss_last_used <- now;
        let mutating = not (Protocol.idempotent op) in
        let park () =
-         (* Log now (arrival order is log order), sync at the tick. *)
-         wal_record t
-           [ "op"; Principal.to_string s.ss_principal;
-             Protocol.operation_to_wire op ];
-         let pk =
-           {
-             pk_conn = conn;
-             pk_principal = s.ss_principal;
-             pk_op = op;
-             pk_req_id = req_id;
-             pk_now = now;
-             pk_extras = [];
-           }
-         in
-         Queue.add pk t.pending_q;
-         if not (String.equal req_id "") then
-           Hashtbl.replace t.parked_ids req_id pk;
-         metric t "chirp.async.parked";
-         arm_flush t
+         (* Admission control: a full queue — or brownout, entered at
+            the high watermark — sheds the mutation with a retry-after
+            hint instead of queueing it to death.  Reads never reach
+            here: they are admitted before mutations, always. *)
+         update_brownout t;
+         if t.sv_brownout || Queue.length t.pending_q >= t.max_parked then begin
+           metric t "chirp.shed.mutation";
+           respond
+             (Protocol.R_error
+                ( Errno.EAGAIN,
+                  Protocol.shed_message
+                    ~retry_after_ns:(shed_retry_after t)
+                    (if Queue.length t.pending_q >= t.max_parked then
+                       "mutation queue full"
+                     else "brownout") ))
+         end
+         else begin
+           (* Log now (arrival order is log order), sync at the tick. *)
+           wal_record t
+             [ "op"; Principal.to_string s.ss_principal;
+               Protocol.operation_to_wire op ];
+           let pk =
+             {
+               pk_conn = conn;
+               pk_principal = s.ss_principal;
+               pk_op = op;
+               pk_req_id = req_id;
+               pk_now = now;
+               pk_extras = [];
+             }
+           in
+           Queue.add pk t.pending_q;
+           if not (String.equal req_id "") then
+             Hashtbl.replace t.parked_ids req_id pk;
+           metric t "chirp.async.parked";
+           update_brownout t;
+           arm_flush t
+         end
        in
        if not mutating then begin
          (* Reads never park: serve at delivery, answer immediately. *)
@@ -877,9 +957,11 @@ let handle_async t conn payload =
        end)
 
 let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
-    ?(max_sessions = 64) ?(session_idle_ns = 600_000_000_000L)
+    ?(max_sessions = 64) ?(max_parked = 256)
+    ?(session_idle_ns = 600_000_000_000L)
     ?(dedup_window_ns = 60_000_000_000L) ?wal ?(checkpoint_every = 128)
-    ?(event_driven = false) ?(flush_interval_ns = 50_000L) () =
+    ?(event_driven = false) ?(flush_interval_ns = 50_000L)
+    ?(flush_batch_limit = max_int) () =
   let sv_owner = Kernel.make_view kernel ~uid:owner_uid () in
   let sv_export = Path.normalize export in
   let t =
@@ -894,6 +976,7 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
       sessions = Hashtbl.create 8;
       dedup = Hashtbl.create 8;
       max_sessions;
+      max_parked = max 1 max_parked;
       session_idle_ns;
       dedup_window_ns;
       boxes = Hashtbl.create 8;
@@ -902,9 +985,11 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
       digests = Hashtbl.create 32;
       sv_event_driven = event_driven;
       sv_flush_ns = Int64.max 1L flush_interval_ns;
+      sv_flush_limit = max 1 flush_batch_limit;
       pending_q = Queue.create ();
       parked_ids = Hashtbl.create 8;
       flush_armed = false;
+      sv_brownout = false;
       ops_since_ckpt = 0;
       execs = 0;
       token_counter = 0;
@@ -945,6 +1030,7 @@ let crash t =
   Queue.clear t.pending_q;
   Hashtbl.reset t.parked_ids;
   t.flush_armed <- false;
+  t.sv_brownout <- false;
   (* The endpoint goes down and the stable-storage device takes its
      seeded crash damage — possibly a torn fragment of a write that was
      in flight (never acknowledged), never a synced byte. *)
@@ -994,6 +1080,7 @@ let restart t =
   Queue.clear t.pending_q;
   Hashtbl.reset t.parked_ids;
   t.flush_armed <- false;
+  t.sv_brownout <- false;
   let rc = Wal.recover t.wal in
   let c = cost t in
   wipe_export t;

@@ -24,12 +24,14 @@ val create :
   acceptor:Idbox_auth.Negotiate.acceptor ->
   ?root_acl:Idbox_acl.Acl.t ->
   ?max_sessions:int ->
+  ?max_parked:int ->
   ?session_idle_ns:int64 ->
   ?dedup_window_ns:int64 ->
   ?wal:Wal.t ->
   ?checkpoint_every:int ->
   ?event_driven:bool ->
   ?flush_interval_ns:int64 ->
+  ?flush_batch_limit:int ->
   unit ->
   (t, Idbox_vfs.Errno.t) result
 (** Create the export directory (if missing), install [root_acl] on it
@@ -54,11 +56,25 @@ val create :
     [chirp.async.{parked,batch,batch_ops,coalesced}].
 
     Degradation knobs: at most [max_sessions] (default 64) live
-    sessions — further [Auth] requests are shed with [EAGAIN]; sessions
-    idle longer than [session_idle_ns] (default 10 min) are expired
-    (covering half-authenticated leftovers whose auth reply was lost);
-    responses to request-ID-carrying operations are remembered for
+    sessions — further [Auth] requests are shed with [EAGAIN] and a
+    retry-after hint ([chirp.shed.session]); sessions idle longer than
+    [session_idle_ns] (default 10 min) are expired (covering
+    half-authenticated leftovers whose auth reply was lost); responses
+    to request-ID-carrying operations are remembered for
     [dedup_window_ns] (default 60 s) so client retries are exactly-once.
+
+    Admission control (event-driven servers): the parked-mutation queue
+    is bounded at [max_parked] (default 256).  Past 3/4 of the bound the
+    server enters {e brownout} and sheds every fresh mutation with
+    [EAGAIN] plus a [retry_after_ns] hint ([chirp.shed.mutation],
+    [chirp.brownout.enter]); reads, dedup replays and parked retries are
+    still served — reads are admitted before mutations.  Brownout exits
+    once the queue drains below 1/4 ([chirp.brownout.exit]), so
+    admission does not flap at the threshold.  [flush_batch_limit]
+    (default unlimited) caps how many parked operations one batch tick
+    executes — the server's engineered drain rate; a deeper backlog
+    stays parked for later ticks, so sustained over-admission shows up
+    as queueing delay rather than being serviced for free.
 
     Durability knobs: [wal] is the stable-storage device holding the
     write-ahead log and checkpoint image (default a calm device — pass
@@ -88,6 +104,12 @@ val event_driven : t -> bool
 val parked_ops : t -> int
 (** Mutations parked and awaiting the next batch tick (always [0] on a
     blocking server). *)
+
+val brownout : t -> bool
+(** Whether the server is currently in brownout (shedding mutations). *)
+
+val max_parked : t -> int
+val max_sessions : t -> int
 
 val shutdown : t -> unit
 (** Stop listening. *)

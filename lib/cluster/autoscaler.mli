@@ -1,0 +1,65 @@
+(** A deterministic, clock-driven autoscaler over a {!World}.
+
+    Every [interval_ns] of simulated time, {!tick} samples each
+    member's health into a {!Health} scorer and compares the aggregate
+    against a hysteresis band: below [grow_below] it adds the next host
+    from the (ordered) pool; above [shrink_above] it removes the member
+    with the lowest score.  Between the two, it holds — and after any
+    action it holds through a [cooldown_ns] window, so one storm's
+    backlog cannot trigger a second node before the first has had any
+    effect.  Growth and shrinkage are clamped to the
+    [min_nodes]..[max_nodes] envelope.
+
+    Everything is driven by the simulated clock, nothing by wall time:
+    the same seed and workload produce the same decision history, which
+    is what the chaos tests replay. *)
+
+type decision =
+  | Grow of string  (** The host that was added. *)
+  | Shrink of string  (** The member that was removed. *)
+  | Hold of string  (** Why nothing was done. *)
+
+val decision_name : decision -> string
+
+type t
+
+val create :
+  ?health_config:Health.config ->
+  ?trace:Idbox_kernel.Trace.ring ->
+  ?sample:(string -> Health.sample) ->
+  ?min_nodes:int ->
+  ?max_nodes:int ->
+  ?interval_ns:int64 ->
+  ?cooldown_ns:int64 ->
+  ?grow_below:int ->
+  ?shrink_above:int ->
+  hosts:string list ->
+  World.t ->
+  t
+(** An autoscaler for [world] drawing from the ordered host pool
+    [hosts] (a host already in the world is skipped; growth picks the
+    first free one, deterministically).  [sample] overrides how a
+    member is measured — the default reads the server's own gauges via
+    {!Health.sample_server}; benches pass their own to add latency and
+    error signals.  Defaults: min 1, max [List.length hosts], interval
+    5 s, cooldown 30 s, grow below 55, shrink above 85.  The first
+    {!tick} is due immediately.
+
+    Decisions are counted as [cluster.scale.up] / [cluster.scale.down]
+    / [cluster.scale.hold] (cooldown) / [cluster.scale.clamp]
+    (envelope or pool edge) / [cluster.scale.error], and emitted as
+    [cluster.scale] trace spans when [trace] is given. *)
+
+val tick : t -> decision option
+(** Run the control loop if an interval has elapsed; [None] when not
+    yet due.  A [Grow]/[Shrink] has already been applied to the world
+    (including {!World.settle}) by the time it is returned. *)
+
+val health : t -> Health.t
+(** The scorer the loop feeds — for inspecting per-node scores. *)
+
+val decisions : t -> decision list
+(** Every decision taken, oldest first. *)
+
+val grows : t -> int
+val shrinks : t -> int

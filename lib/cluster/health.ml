@@ -1,0 +1,193 @@
+module Clock = Idbox_kernel.Clock
+module Metrics = Idbox_kernel.Metrics
+module Trace = Idbox_kernel.Trace
+module Server = Idbox_chirp.Server
+
+type level = Healthy | Degraded | Unhealthy
+
+let level_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Unhealthy -> "unhealthy"
+
+type sample = {
+  s_queue_pct : int;
+  s_session_pct : int;
+  s_brownout : bool;
+  s_error_pct : int;
+  s_hb_age_pct : int;
+  s_p95_slo_pct : int;
+}
+
+let idle_sample =
+  {
+    s_queue_pct = 0;
+    s_session_pct = 0;
+    s_brownout = false;
+    s_error_pct = 0;
+    s_hb_age_pct = 0;
+    s_p95_slo_pct = 0;
+  }
+
+(* A sample straight off a server's own gauges: queue and session-table
+   fullness plus the brownout flag.  Error rate, heartbeat age and
+   latency are the watcher's to supply — they live in different places
+   (metric deltas, the membership view, a bench's own histogram). *)
+let sample_server ?(error_pct = 0) ?(hb_age_pct = 0) ?(p95_slo_pct = 0) server
+    =
+  {
+    s_queue_pct =
+      (Server.parked_ops server * 100) / max 1 (Server.max_parked server);
+    s_session_pct =
+      (Server.session_count server * 100) / max 1 (Server.max_sessions server);
+    s_brownout = Server.brownout server;
+    s_error_pct = error_pct;
+    s_hb_age_pct = hb_age_pct;
+    s_p95_slo_pct = p95_slo_pct;
+  }
+
+type config = {
+  ewma_weight : int;
+  healthy_enter : int;
+  healthy_exit : int;
+  unhealthy_enter : int;
+  unhealthy_exit : int;
+}
+
+let default_config =
+  {
+    ewma_weight = 4;
+    healthy_enter = 70;
+    healthy_exit = 60;
+    unhealthy_enter = 35;
+    unhealthy_exit = 45;
+  }
+
+type node = {
+  mutable nd_score : int;  (* EWMA-smoothed, 0..100 *)
+  mutable nd_level : level;
+  mutable nd_samples : int;
+}
+
+type t = {
+  h_config : config;
+  h_metrics : Metrics.t;
+  h_clock : Clock.t;
+  h_trace : Trace.ring option;
+  h_nodes : (string, node) Hashtbl.t;
+}
+
+let create ?(config = default_config) ?trace ~clock ~metrics () =
+  {
+    h_config = config;
+    h_metrics = metrics;
+    h_clock = clock;
+    h_trace = trace;
+    h_nodes = Hashtbl.create 8;
+  }
+
+let metric t name = Metrics.incr (Metrics.counter t.h_metrics name)
+
+let span t ~name ~verdict =
+  match t.h_trace with
+  | None -> ()
+  | Some ring ->
+    Trace.span ring ~time:(Clock.now t.h_clock) ~pid:0 ~identity:name
+      ~syscall:"cluster.health" ~verdict ~cost_ns:0L
+
+let clamp lo hi v = max lo (min hi v)
+
+(* The raw (un-smoothed) score of one sample: start from 100 and charge
+   each pressure signal its own bounded penalty, so no single noisy
+   signal can swing the node across both thresholds alone — the queue
+   and error penalties dominate (they are what shedding responds to),
+   liveness and latency shade the rest. *)
+let raw_score s =
+  if s.s_hb_age_pct >= 100 then 0  (* lease exhausted: the node is gone *)
+  else begin
+    let queue = s.s_queue_pct * 35 / 100 in
+    let sessions = clamp 0 15 ((s.s_session_pct - 50) * 15 / 50) in
+    let brown = if s.s_brownout then 25 else 0 in
+    let errors = clamp 0 30 (s.s_error_pct * 30 / 100) in
+    let hb = s.s_hb_age_pct * 20 / 100 in
+    let lat = clamp 0 25 ((s.s_p95_slo_pct - 100) * 25 / 200) in
+    clamp 0 100 (100 - queue - sessions - brown - errors - hb - lat)
+  end
+
+(* Dual-threshold hysteresis: a level is left only through the {e far}
+   edge of its band (fall below [healthy_exit] to stop being healthy,
+   climb to [healthy_enter] to become healthy again), so a score
+   oscillating around one threshold cannot flap the level. *)
+let reclassify c level score =
+  match level with
+  | Healthy -> if score < c.healthy_exit then Degraded else Healthy
+  | Degraded ->
+    if score >= c.healthy_enter then Healthy
+    else if score < c.unhealthy_enter then Unhealthy
+    else Degraded
+  | Unhealthy -> if score >= c.unhealthy_exit then Degraded else Unhealthy
+
+let observe t ~name sample =
+  metric t "cluster.health.sample";
+  let raw = raw_score sample in
+  let nd =
+    match Hashtbl.find_opt t.h_nodes name with
+    | Some nd -> nd
+    | None ->
+      (* A node starts where its first sample puts it — no warm-up
+         grace that would hide a node born into overload. *)
+      let nd =
+        { nd_score = raw;
+          nd_level = reclassify t.h_config Healthy raw;
+          nd_samples = 0 }
+      in
+      Hashtbl.replace t.h_nodes name nd;
+      nd
+  in
+  let w = max 1 t.h_config.ewma_weight in
+  nd.nd_score <- ((nd.nd_score * (w - 1)) + raw) / w;
+  nd.nd_samples <- nd.nd_samples + 1;
+  let next = reclassify t.h_config nd.nd_level nd.nd_score in
+  if next <> nd.nd_level then begin
+    metric t
+      (if next > nd.nd_level then "cluster.health.down"
+       else "cluster.health.up");
+    span t ~name
+      ~verdict:
+        (Printf.sprintf "%s->%s score=%d" (level_name nd.nd_level)
+           (level_name next) nd.nd_score);
+    nd.nd_level <- next
+  end;
+  nd.nd_score
+
+let score t name =
+  match Hashtbl.find_opt t.h_nodes name with
+  | Some nd -> nd.nd_score
+  | None -> 100
+
+let samples t name =
+  match Hashtbl.find_opt t.h_nodes name with
+  | Some nd -> nd.nd_samples
+  | None -> 0
+
+let level t name =
+  match Hashtbl.find_opt t.h_nodes name with
+  | Some nd -> nd.nd_level
+  | None -> Healthy
+
+let forget t name = Hashtbl.remove t.h_nodes name
+
+let nodes t =
+  Hashtbl.fold (fun name nd acc -> (name, nd.nd_score, nd.nd_level) :: acc)
+    t.h_nodes []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+(* Aggregate cluster health: the mean smoothed score over known nodes
+   (100 when none are known yet — an empty cluster is not an emergency,
+   it is the autoscaler's min-envelope's business). *)
+let aggregate t =
+  let n, sum =
+    Hashtbl.fold (fun _ nd (n, sum) -> (n + 1, sum + nd.nd_score)) t.h_nodes
+      (0, 0)
+  in
+  if n = 0 then 100 else sum / n

@@ -14,13 +14,32 @@
 
 type t
 
+type liveness = Alive | Suspect | Dead
+
+val liveness_name : liveness -> string
+
+type node_health = {
+  nh_name : string;
+  nh_addr : string;
+  nh_heartbeat_age_ns : int64;  (** Since the node's last heartbeat. *)
+  nh_lease_left_ns : int64;  (** Until the catalog would evict it. *)
+  nh_liveness : liveness;
+}
+
 val create :
-  ?src:string -> ?timeout_ns:int64 -> Idbox_net.Network.t -> catalog:string -> t
+  ?src:string ->
+  ?timeout_ns:int64 ->
+  ?staleness_ns:int64 ->
+  Idbox_net.Network.t ->
+  catalog:string ->
+  t
 (** A view of the servers advertised by the catalog at [catalog].
     [src] (default ["client"]) names the observing host for partition
     matching; [timeout_ns] bounds each catalog read (cluster nodes
-    refreshing from inside a request handler pass a short one).  The
-    view starts empty; call {!refresh}. *)
+    refreshing from inside a request handler pass a short one);
+    [staleness_ns] (default 300 s) must match the catalog's lease
+    window — it is how {!health} converts heartbeat age into remaining
+    lease.  The view starts empty; call {!refresh}. *)
 
 val refresh : t -> (bool, string) result
 (** Re-read the catalog.  [Ok true] when the membership changed
@@ -39,3 +58,14 @@ val addr_of : t -> string -> string option
 
 val generation : t -> int
 (** Bumped on every change-observing {!refresh} (starts at 0). *)
+
+val health : t -> node_health list
+(** Per-node liveness, judged from the {e last refresh} snapshot
+    against the current clock: each node's heartbeat age and remaining
+    lease keep aging between refreshes, so a node that died since we
+    last looked drifts from [Alive] through [Suspect] (past half the
+    lease) to [Dead] (lease exhausted) without another catalog round
+    trip.  Sorted by name. *)
+
+val health_of : t -> string -> node_health option
+(** One member's health, by name. *)

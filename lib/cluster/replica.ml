@@ -1,5 +1,6 @@
 module Network = Idbox_net.Network
 module Fault = Idbox_net.Fault
+module Breaker = Idbox_net.Breaker
 module Clock = Idbox_kernel.Clock
 module Metrics = Idbox_kernel.Metrics
 module Trace = Idbox_kernel.Trace
@@ -63,6 +64,10 @@ type node = {
   nd_trace : Trace.ring option;
   nd_pending : (string, pending) Hashtbl.t;  (* keyed on key ^ "@" ^ peer *)
   nd_pending_cap : int;
+  (* Per-peer circuit breakers on the forward path: a peer that keeps
+     timing out is skipped (straight to the pending-repair set) instead
+     of charging every mutation a forward timeout. *)
+  nd_breakers : (string, Breaker.t) Hashtbl.t;
   mutable nd_ring : Ring.t;
   mutable nd_last_refresh : int64;
 }
@@ -119,6 +124,23 @@ let span node ~identity ~syscall ~verdict ~cost_ns =
     Trace.span ring ~time:(Clock.now (Network.clock node.nd_net)) ~pid:0
       ~identity ~syscall ~verdict ~cost_ns
 
+let breaker_for node peer =
+  match Hashtbl.find_opt node.nd_breakers peer with
+  | Some b -> b
+  | None ->
+    let b =
+      Breaker.create ~threshold:3 ~reset_ns:500_000_000L
+        ~prefix:"cluster.breaker"
+        ~on_transition:(fun subject state ->
+          span node ~identity:node.nd_name ~syscall:"cluster.breaker"
+            ~verdict:(subject ^ ":" ^ Breaker.state_name state) ~cost_ns:0L)
+        ~clock:(Network.clock node.nd_net)
+        ~metrics:(Network.metrics node.nd_net)
+        peer
+    in
+    Hashtbl.replace node.nd_breakers peer b;
+    b
+
 (* Track membership lazily: at most one catalog read per refresh
    interval, so a hot write path does not double the catalog's load. *)
 let maybe_refresh node =
@@ -174,14 +196,26 @@ let forward node ~identity op =
         match Membership.addr_of node.nd_membership peer with
         | None -> None
         | Some addr ->
-          metric node "cluster.replicate";
-          let t0 = Clock.now (Network.clock node.nd_net) in
-          Some
-            ( peer,
-              t0,
-              Network.submit node.nd_net ~src:node.nd_src
-                ~timeout_ns:node.nd_fwd_timeout_ns ~addr:(repl_addr addr)
-                payload ))
+          if not (Breaker.allow (breaker_for node peer)) then begin
+            (* Known-bad peer: skip the timeout, go straight to the
+               pending-repair set — anti-entropy will make it whole
+               once the breaker probes it back. *)
+            metric node "cluster.replica.skip";
+            note_pending node ~key ~peer ~errno:"short_circuit";
+            span node ~identity:principal ~syscall:"cluster.replicate"
+              ~verdict:(peer ^ ":short_circuit") ~cost_ns:0L;
+            None
+          end
+          else begin
+            metric node "cluster.replicate";
+            let t0 = Clock.now (Network.clock node.nd_net) in
+            Some
+              ( peer,
+                t0,
+                Network.submit node.nd_net ~src:node.nd_src
+                  ~timeout_ns:node.nd_fwd_timeout_ns ~addr:(repl_addr addr)
+                  payload )
+          end)
       peers
   in
   List.iter
@@ -189,11 +223,15 @@ let forward node ~identity op =
       let verdict =
         match Network.await node.nd_net tok with
         | Ok reply ->
+          (* Any decoded reply — even a rejection — proves liveness. *)
+          Breaker.success (breaker_for node peer);
           (match Wire.decode reply with
            | Ok [ "ok" ] -> "ok"
            | Ok ("error" :: e :: _) -> e
            | Ok _ | Error _ -> "EIO")
-        | Error e -> Errno.to_string e
+        | Error e ->
+          Breaker.failure ~errno:e (breaker_for node peer);
+          Errno.to_string e
       in
       if not (String.equal verdict "ok") then begin
         metric node "cluster.replica.fail";
@@ -288,6 +326,7 @@ let attach ~net ~server ~name ~catalog ?(replicas = 2) ?(vnodes = 64)
       nd_trace = trace;
       nd_pending = Hashtbl.create 16;
       nd_pending_cap = max 1 pending_cap;
+      nd_breakers = Hashtbl.create 8;
       nd_ring = Ring.create ~vnodes [];
       nd_last_refresh = Int64.min_int;
     }

@@ -7,14 +7,19 @@ module Protocol = Idbox_chirp.Protocol
 module Wire = Idbox_chirp.Wire
 module Errno = Idbox_vfs.Errno
 module Path = Idbox_vfs.Path
+module Breaker = Idbox_net.Breaker
 
 (* One hedged leg in flight.  [fl_counted] guards the in-flight gauge:
    a leg is decremented exactly once, whether it is observed winning,
    losing, or straggling in long after the read returned — a late
-   reply must never double-decrement. *)
+   reply must never double-decrement.  [fl_fed] likewise guards the
+   node's circuit breaker: a leg feeds it exactly one verdict, however
+   many times the flight is polled. *)
 type flight = {
   fl_tok : Network.token;
+  fl_node : string;
   mutable fl_counted : bool;
+  mutable fl_fed : bool;
 }
 
 type t = {
@@ -44,6 +49,11 @@ type t = {
      are byte-identical with the cache on. *)
   rt_route_cache : (string, string list) Hashtbl.t;
   mutable rt_route_epoch : int;
+  (* Per-node circuit breakers (transport faults only) and shed marks
+     (a node recently answering EAGAIN): both steer hedges and sweeps
+     away from known-bad or overloaded replicas. *)
+  rt_breakers : (string, Breaker.t) Hashtbl.t;
+  rt_shed_until : (string, int64) Hashtbl.t;
 }
 
 let principal t = t.rt_principal
@@ -61,6 +71,72 @@ let settle t fl =
     t.rt_inflight <- t.rt_inflight - 1
   end
 
+let span t ~syscall ~verdict =
+  match t.rt_trace with
+  | None -> ()
+  | Some ring ->
+    Trace.span ring ~time:(Clock.now (Network.clock t.rt_net)) ~pid:0
+      ~identity:t.rt_principal ~syscall ~verdict ~cost_ns:0L
+
+(* Transport-level failures that justify trying another replica — the
+   same set the Chirp client treats as retryable, minus EAGAIN (a live
+   server shedding load is an answer, not an absence). *)
+let transient = function
+  | Errno.ETIMEDOUT | Errno.ECONNRESET | Errno.ECONNREFUSED
+  | Errno.EHOSTUNREACH -> true
+  | _ -> false
+
+let breaker_for t name =
+  match Hashtbl.find_opt t.rt_breakers name with
+  | Some b -> b
+  | None ->
+    let b =
+      Breaker.create ~threshold:3 ~reset_ns:500_000_000L
+        ~prefix:"cluster.breaker"
+        ~on_transition:(fun subject state ->
+          span t ~syscall:"cluster.breaker"
+            ~verdict:(subject ^ ":" ^ Breaker.state_name state))
+        ~clock:(Network.clock t.rt_net) ~metrics:(Network.metrics t.rt_net)
+        name
+    in
+    Hashtbl.replace t.rt_breakers name b;
+    b
+
+(* A node that answered EAGAIN is alive but shedding: remember it for a
+   quarter timeout so hedges stop piling extra load onto it (the server
+   sheds hedged work first by never receiving it). *)
+let note_shed t name =
+  metric t "cluster.shed.observed";
+  Hashtbl.replace t.rt_shed_until name
+    (Int64.add
+       (Clock.now (Network.clock t.rt_net))
+       (Int64.div t.rt_policy.Client.timeout_ns 4L))
+
+let shedding t name =
+  match Hashtbl.find_opt t.rt_shed_until name with
+  | Some until ->
+    Int64.compare (Clock.now (Network.clock t.rt_net)) until < 0
+  | None -> false
+
+(* One breaker verdict per hedge leg ([fl_fed]): a transport fault
+   feeds [failure]; any in-band reply — even an error verdict — proves
+   liveness and feeds [success], with EAGAIN additionally marking the
+   node as shedding. *)
+let feed t fl r =
+  if not fl.fl_fed then begin
+    fl.fl_fed <- true;
+    let br = breaker_for t fl.fl_node in
+    match r with
+    | Ok text ->
+      Breaker.success br;
+      (match Client.interpret text with
+       | Error Errno.EAGAIN -> note_shed t fl.fl_node
+       | _ -> ())
+    | Error e ->
+      if transient e then Breaker.failure ~errno:e br
+      else Breaker.success br
+  end
+
 (* Observe abandoned hedge legs that have since completed: their reply
    is discarded — it already lost the race, so it must not surface as
    a fresh result — and the in-flight gauge comes down exactly once
@@ -71,18 +147,12 @@ let reap t =
       (fun fl ->
         match Network.poll fl.fl_tok with
         | None -> true
-        | Some _ ->
+        | Some r ->
+          feed t fl r;
           metric t "cluster.hedge.late";
           settle t fl;
           false)
       t.rt_outstanding
-
-let span t ~syscall ~verdict =
-  match t.rt_trace with
-  | None -> ()
-  | Some ring ->
-    Trace.span ring ~time:(Clock.now (Network.clock t.rt_net)) ~pid:0
-      ~identity:t.rt_principal ~syscall ~verdict ~cost_ns:0L
 
 let note_prefix t key =
   if not (List.mem key t.rt_prefixes) then
@@ -90,14 +160,6 @@ let note_prefix t key =
 
 let node_for t path =
   Ring.lookup t.rt_ring (Replica.shard_key path)
-
-(* Transport-level failures that justify trying another replica — the
-   same set the Chirp client treats as retryable, minus EAGAIN (a live
-   server shedding load is an answer, not an absence). *)
-let transient = function
-  | Errno.ETIMEDOUT | Errno.ECONNRESET | Errno.ECONNREFUSED
-  | Errno.EHOSTUNREACH -> true
-  | _ -> false
 
 (* An authenticated session with one shard, opened on demand and
    cached.  The identity invariant is enforced here: a shard that
@@ -154,10 +216,15 @@ let sync t =
       ~verdict:(Printf.sprintf "members=%d migrations=%d"
                   (List.length new_view) migrations);
     (* Sessions to departed nodes die with the view; a re-admitted node
-       gets a fresh authentication (and a fresh identity check). *)
+       gets a fresh authentication (and a fresh identity check), a
+       fresh breaker, and no lingering shed mark. *)
     Hashtbl.iter
       (fun name _ ->
-        if not (List.mem_assoc name new_view) then Hashtbl.remove t.rt_conns name)
+        if not (List.mem_assoc name new_view) then begin
+          Hashtbl.remove t.rt_conns name;
+          Hashtbl.remove t.rt_breakers name;
+          Hashtbl.remove t.rt_shed_until name
+        end)
       (Hashtbl.copy t.rt_conns);
     t.rt_ring <- after;
     t.rt_view <- new_view;
@@ -202,38 +269,50 @@ let route t key =
 let hedged t ~hedge_ns ~primary ~next ~op =
   match Hashtbl.find_opt t.rt_conns primary with
   | None -> `Unhedged  (* no live session: the serial path negotiates *)
+  | Some _ when Breaker.state (breaker_for t primary) <> Breaker.Closed ->
+    (* A tripped primary is the serial sweep's business — it knows how
+       to skip, probe, and fail over; racing a hedge adds nothing. *)
+    `Unhedged
   | Some cp ->
     reap t;
-    let launch c =
+    let launch node c =
       t.rt_inflight <- t.rt_inflight + 1;
       {
         fl_tok =
           Network.submit t.rt_net ~src:t.rt_src
             ~timeout_ns:t.rt_policy.Client.timeout_ns ~addr:(Client.addr c)
             (Client.prepare c op);
+        fl_node = node;
         fl_counted = false;
+        fl_fed = false;
       }
     in
     (* The loser is still in flight when the winner returns: remember
        it so a later [reap] discards its reply and balances the
        gauge. *)
     let abandon fl =
-      if Network.poll fl.fl_tok = None then
-        t.rt_outstanding <- fl :: t.rt_outstanding
-      else begin
+      match Network.poll fl.fl_tok with
+      | None -> t.rt_outstanding <- fl :: t.rt_outstanding
+      | Some r ->
+        feed t fl r;
         metric t "cluster.hedge.late";
         settle t fl
-      end
     in
-    let pf = launch cp in
+    let pf = launch primary cp in
     let sf = ref None in
     let try_hedge () =
       if !sf = None then
         match Hashtbl.find_opt t.rt_conns next with
         | None -> ()
+        | Some _
+          when shedding t next
+               || Breaker.state (breaker_for t next) <> Breaker.Closed ->
+          (* Hedged work is shed first: never launch the extra leg at a
+             node that is shedding or breaker-tripped. *)
+          metric t "cluster.hedge.skip"
         | Some cs ->
           metric t "cluster.hedge.launched";
-          sf := Some (launch cs)
+          sf := Some (launch next cs)
     in
     Network.at t.rt_net
       (Int64.add (Clock.now (Network.clock t.rt_net)) hedge_ns)
@@ -241,8 +320,11 @@ let hedged t ~hedge_ns ~primary ~next ~op =
     let outcome fl =
       match Network.poll fl.fl_tok with
       | None -> None
-      | Some (Ok text) -> Some (Client.interpret text)
-      | Some (Error e) -> Some (Error e)
+      | Some r ->
+        feed t fl r;
+        (match r with
+         | Ok text -> Some (Client.interpret text)
+         | Error e -> Some (Error e))
     in
     let rec drive () =
       match outcome pf with
@@ -316,6 +398,7 @@ let hedged t ~hedge_ns ~primary ~next ~op =
    wrong. *)
 let read_on t path ?hedge f =
   let attempt () =
+    let tried = ref false in
     let rec go last = function
       | [] ->
         (match last with
@@ -332,13 +415,56 @@ let read_on t path ?hedge f =
             go (Some e) rest
           end
         in
-        (match conn_for t name with
+        let br = breaker_for t name in
+        if not (Breaker.allow br) then begin
+          (* Short-circuit: skip the known-bad replica without spending
+             a timeout on it, surfacing why it was abandoned. *)
+          metric t "cluster.breaker.skip";
+          failover (Breaker.last_errno br)
+        end
+        else
+          (match conn_for t name with
+           | Error `Mismatch -> Error Errno.EPERM
+           | Error (`Down e) ->
+             Breaker.failure ~errno:e br;
+             failover e
+           | Ok c ->
+             tried := true;
+             (match f c with
+              | Error Errno.EAGAIN as r ->
+                (* Shedding is an answer, not an absence. *)
+                Breaker.success br;
+                note_shed t name;
+                r
+              | Error e when transient e ->
+                Breaker.failure ~errno:e br;
+                failover e
+              | r ->
+                Breaker.success br;
+                r))
+    in
+    (* If every owner was short-circuited by an open breaker, force one
+       request at the primary anyway: breakers must never be able to
+       brick a key, only to reorder who pays the timeouts. *)
+    let forced owners r =
+      match (r, owners) with
+      | Error e, primary :: _ when transient e && not !tried ->
+        metric t "cluster.breaker.forced";
+        let br = breaker_for t primary in
+        (match conn_for t primary with
          | Error `Mismatch -> Error Errno.EPERM
-         | Error (`Down e) -> failover e
+         | Error (`Down e2) ->
+           Breaker.failure ~errno:e2 br;
+           Error e2
          | Ok c ->
            (match f c with
-            | Error e when transient e -> failover e
-            | r -> r))
+            | Error e2 when transient e2 ->
+              Breaker.failure ~errno:e2 br;
+              Error e2
+            | r2 ->
+              Breaker.success br;
+              r2))
+      | _ -> r
     in
     let owners = route t (Replica.shard_key path) in
     (* Hedging is opt-in ([hedge_ns] at connect) and applies to reads
@@ -362,7 +488,7 @@ let read_on t path ?hedge f =
     in
     match hedged_r with
     | Some r -> r
-    | None -> go None owners
+    | None -> forced owners (go None owners)
   in
   let failovers_before = t.rt_failovers in
   let r =
@@ -405,10 +531,27 @@ let write_on t path f =
     match route t (Replica.shard_key path) with
     | [] -> Error Errno.EHOSTUNREACH
     | primary :: _ ->
+      (* Writes never skip the primary — there is no other correct
+         destination — but they still feed its breaker, so the read
+         side learns from write-path faults too. *)
+      let br = breaker_for t primary in
       (match conn_for t primary with
        | Error `Mismatch -> Error Errno.EPERM
-       | Error (`Down e) -> Error e
-       | Ok c -> f c)
+       | Error (`Down e) ->
+         Breaker.failure ~errno:e br;
+         Error e
+       | Ok c ->
+         (match f c with
+          | Error Errno.EAGAIN as r ->
+            Breaker.success br;
+            note_shed t primary;
+            r
+          | Error e when transient e ->
+            Breaker.failure ~errno:e br;
+            Error e
+          | r ->
+            Breaker.success br;
+            r))
   in
   match attempt () with
   | Error e when transient e ->
@@ -448,6 +591,8 @@ let connect ?(src = "client") ?(policy = Client.default_policy) ?(replicas = 2)
           rt_outstanding = [];
           rt_route_cache = Hashtbl.create 32;
           rt_route_epoch = Membership.generation membership;
+          rt_breakers = Hashtbl.create 8;
+          rt_shed_until = Hashtbl.create 8;
         }
       in
       (* Authenticate to every shard up front and require one

@@ -82,6 +82,7 @@ let kernel t = t.w_kernel
 let clock t = t.w_clock
 let ca t = t.w_ca
 let catalog_addr t = Catalog.addr t.w_catalog
+let catalog t = t.w_catalog
 let replicas t = t.w_replicas
 
 let default_acceptor t =
@@ -103,7 +104,17 @@ let add_node ?acceptor t ~host =
     let acceptor =
       match acceptor with Some a -> a | None -> default_acceptor t
     in
-    match Account.add (Kernel.accounts t.w_kernel) ("chirp_" ^ name) with
+    (* A host that was scaled down and re-added still owns its old
+       account — reuse it rather than refusing the node. *)
+    let account =
+      match Account.add (Kernel.accounts t.w_kernel) ("chirp_" ^ name) with
+      | Ok owner -> Ok owner
+      | Error _ as e ->
+        (match Account.find (Kernel.accounts t.w_kernel) ("chirp_" ^ name) with
+         | Some owner -> Ok owner
+         | None -> e)
+    in
+    match account with
     | Error m -> Error m
     | Ok owner ->
       Kernel.refresh_passwd t.w_kernel;
@@ -139,6 +150,27 @@ let add_node ?acceptor t ~host =
            List.sort (fun a b -> String.compare a.m_name b.m_name)
              (m :: t.w_members);
          Ok ())
+
+(* Scale-down, as opposed to {!crash}: the node announces its departure
+   (deregister drops the lease now instead of letting it age out) and
+   leaves the member set, but its server keeps listening as a zombie so
+   requests already in flight toward it complete while routers converge
+   on the new membership.  A later [add_node] of the same host replaces
+   the zombie's endpoint.  If the catalog is unreachable the departure
+   degrades to a crash-like exit: the lease ages out instead. *)
+let remove_node t name =
+  match List.find_opt (fun m -> String.equal m.m_name name) t.w_members with
+  | None -> Error (Printf.sprintf "world: no member %s" name)
+  | Some m ->
+    m.m_beating <- false;
+    (match
+       Catalog.deregister ~src:m.m_host t.w_net ~catalog:catalog_address ~name
+     with
+     | Ok () -> ()
+     | Error _ -> ());
+    t.w_members <-
+      List.filter (fun x -> not (String.equal x.m_name name)) t.w_members;
+    Ok ()
 
 let settle t =
   List.iter (fun m -> Replica.refresh_now m.m_replica) t.w_members

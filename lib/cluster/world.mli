@@ -31,6 +31,10 @@ val kernel : t -> Idbox_kernel.Kernel.t
 val clock : t -> Idbox_kernel.Clock.t
 val ca : t -> Idbox_auth.Ca.t
 val catalog_addr : t -> string
+
+val catalog : t -> Idbox_chirp.Catalog.t
+(** The world's catalog service (e.g. to inspect live entries). *)
+
 val replicas : t -> int
 
 val add_node :
@@ -45,6 +49,15 @@ val add_node :
     (trust the world CA; accept [hostname:*.grid.edu]) — e.g. to build
     a shard that negotiates a {e different} principal and trip the
     router's identity check. *)
+
+val remove_node : t -> string -> (unit, string) result
+(** Scale a member out, cleanly: deregister its catalog lease (so the
+    next refresh drops it from every view) and remove it from the
+    member set.  Unlike {!crash}, its server keeps listening as a
+    zombie so in-flight requests complete while routers converge; a
+    later {!add_node} of the same host replaces it.  When the catalog
+    is unreachable the departure degrades to a crash-like exit (the
+    lease ages out). *)
 
 val settle : t -> unit
 (** Force every member's membership refresh — call once after the last

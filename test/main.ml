@@ -40,4 +40,5 @@ let () =
       ("cluster", Test_cluster.suite);
       ("enforce-cache", Test_enforce_cache.suite);
       ("async", Test_async.suite);
+      ("control", Test_control.suite);
     ]

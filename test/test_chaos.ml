@@ -39,7 +39,8 @@ let server_addr = "alpha.grid.edu:9094"
 (* Like the chirp suite's world, but the network shares the kernel's
    metrics registry and trace ring so fault counters and spans land in
    one deterministic export. *)
-let make_world ?max_sessions ?session_idle_ns () =
+let make_world ?max_sessions ?session_idle_ns ?max_parked ?event_driven
+    ?flush_interval_ns () =
   let clock = Clock.create () in
   let kernel = Kernel.create ~clock () in
   let net =
@@ -72,7 +73,7 @@ let make_world ?max_sessions ?session_idle_ns () =
     match
       Server.create ~kernel ~net ~addr:server_addr ~owner_uid:owner.Account.uid
         ~export:"/tmp/export" ~acceptor ~root_acl ?max_sessions
-        ?session_idle_ns ()
+        ?session_idle_ns ?max_parked ?event_driven ?flush_interval_ns ()
     with
     | Ok s -> s
     | Error e -> Alcotest.fail (Errno.to_string e)
@@ -811,6 +812,370 @@ let partition_heal_repair_converges () =
   Alcotest.(check string) "two seeded runs: metrics byte-identical" m1 m2;
   Alcotest.(check int64) "two seeded runs: clock" c1 c2
 
+(* --- control-plane chaos (ISSUE 7) ----------------------------------- *)
+
+(* A deliberate scale-down racing a partition: gamma is cut off from
+   clients, peers and the catalog, and *while the partition is open*
+   delta is scaled out cleanly.  Writes keep landing on the survivors;
+   after the heal, rebalance and repair re-establish the replication
+   factor, and every mutation that was ever acknowledged is still
+   readable.  Two runs of the same seed are byte-identical. *)
+let scale_down_during_partition () =
+  let seed =
+    match Sys.getenv_opt "IDBOX_CHAOS_SEED" with
+    | Some s -> (try Int64.of_string s with _ -> 424242L)
+    | None -> 424242L
+  in
+  let run () =
+    let w, alice, _visitor =
+      cluster_world
+        [ "alpha.grid.edu"; "beta.grid.edu"; "gamma.grid.edu";
+          "delta.grid.edu" ]
+        ~staleness_ns:8_000_000_000L ~heartbeat_interval_ns:2_000_000_000L ()
+    in
+    Network.set_fault_plan (World.net w)
+      (Fault.plan ~seed
+         ~default_profile:(Fault.profile ~drop:0.05 ())
+         ~partitions:
+           (List.map
+              (fun peer ->
+                { Fault.from_ns = 20_000_000_000L; until_ns = 70_000_000_000L;
+                  between = ("gamma.grid.edu", peer) })
+              [ "client"; "alpha.grid.edu"; "beta.grid.edu"; "delta.grid.edu";
+                "catalog.grid.edu" ])
+         ());
+    let buf = ref [] in
+    let record fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+    let acked : (string, string) Hashtbl.t = Hashtbl.create 16 in
+    let settled op =
+      let rec go n =
+        match op () with
+        | Error e when transient_errno e && n < 12 ->
+          Clock.advance (World.clock w) 2_000_000_000L;
+          World.tick w;
+          Router.sync alice;
+          go (n + 1)
+        | v -> v
+      in
+      go 0
+    in
+    let put path data =
+      match settled (fun () -> Router.put alice ~path ~data) with
+      | Ok () ->
+        Hashtbl.replace acked path data;
+        record "put %s %s ok" path data
+      | Error e -> record "put %s %s %s" path data (Errno.to_string e)
+    in
+    (* Calm prelude: every key written (and replicated) before the split. *)
+    for i = 0 to 9 do
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      put (Printf.sprintf "/d%d/f" (i mod 6)) (Printf.sprintf "pre-%d" i)
+    done;
+    (* The partition is open.  Keep writing through it; halfway in,
+       scale delta out while gamma is still unreachable. *)
+    for i = 10 to 19 do
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      if i = 14 then begin
+        (match World.remove_node w "delta" with
+         | Ok () -> ()
+         | Error m -> Alcotest.failf "remove delta: %s" m);
+        World.settle w;
+        record "scale-down delta members=%s"
+          (String.concat "," (World.members w))
+      end;
+      put (Printf.sprintf "/d%d/f" (i mod 6)) (Printf.sprintf "storm-%d" i)
+    done;
+    (* Ride out the partition until the routers see the final membership
+       (alpha, beta and a re-admitted gamma — delta stays gone). *)
+    let survivors = [ "alpha"; "beta"; "gamma" ] in
+    let rec heal n =
+      Router.sync alice;
+      if Router.nodes alice <> survivors && n < 80 then begin
+        Clock.advance (World.clock w) 2_000_000_000L;
+        World.tick w;
+        heal (n + 1)
+      end
+    in
+    heal 0;
+    Alcotest.(check (list string)) "view reconverged on the survivors"
+      survivors (Router.nodes alice);
+    Alcotest.(check (list string)) "delta stayed out"
+      [ "alpha"; "beta"; "gamma" ] (World.members w);
+    for _ = 1 to 4 do
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      Router.sync alice
+    done;
+    for _ = 1 to 3 do
+      World.repair_sweep w;
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w
+    done;
+    (* Zero lost acked mutations: every acknowledged write is readable
+       with its last acknowledged value. *)
+    let paths =
+      List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) acked [])
+    in
+    List.iter
+      (fun path ->
+        let want = Hashtbl.find acked path in
+        (match settled (fun () -> Router.get alice path) with
+         | Ok got ->
+           Alcotest.(check string)
+             (Printf.sprintf "acked mutation survives: %s" path)
+             want got
+         | Error e ->
+           Alcotest.failf "acked mutation lost: %s (%s)" path
+             (Errno.to_string e));
+        record "final %s %s" path want)
+      paths;
+    let c name = Metrics.counter_value_of (Network.metrics (World.net w)) name in
+    Alcotest.(check bool) "partition hit" true (c "net.partition" > 0);
+    (* The deregister is itself a droppable message; when it is lost the
+       stopped heartbeat ages the lease out instead (a second ejection on
+       top of gamma's).  Either way delta's lease must end. *)
+    Alcotest.(check bool) "scale-down ended delta's lease" true
+      (c "catalog.deregister" >= 1 || c "cluster.member.leave" >= 2);
+    Alcotest.(check bool) "isolated node was ejected" true
+      (c "cluster.member.leave" > 0);
+    Alcotest.(check bool) "writes kept replicating" true
+      (c "cluster.replicate" > 0);
+    ( String.concat "\n" (List.rev !buf),
+      Metrics.to_json (Network.metrics (World.net w)),
+      Clock.now (World.clock w) )
+  in
+  let t1, m1, c1 = run () in
+  let t2, m2, c2 = run () in
+  Alcotest.(check string) "two seeded runs: transcript" t1 t2;
+  Alcotest.(check string) "two seeded runs: metrics byte-identical" m1 m2;
+  Alcotest.(check int64) "two seeded runs: clock" c1 c2
+
+(* A node that flaps faster than the membership layer can notice: the
+   breakers absorb it.  Each bounce trips gamma's breaker open (reads
+   fail over, further sweeps short-circuit), and each recovery is
+   probed half-open and re-closed — with zero membership churn and no
+   acknowledged write lost. *)
+let flapping_node_absorbed_by_breakers () =
+  let run () =
+    let w, alice, _visitor =
+      cluster_world
+        [ "alpha.grid.edu"; "beta.grid.edu"; "gamma.grid.edu" ]
+        ~staleness_ns:8_000_000_000L ~heartbeat_interval_ns:2_000_000_000L ()
+    in
+    let buf = ref [] in
+    let record fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+    let acked : (string, string) Hashtbl.t = Hashtbl.create 16 in
+    let settled op =
+      let rec go n =
+        match op () with
+        | Error e when transient_errno e && n < 12 ->
+          Clock.advance (World.clock w) 2_000_000_000L;
+          World.tick w;
+          Router.sync alice;
+          go (n + 1)
+        | v -> v
+      in
+      go 0
+    in
+    let put path data =
+      (match settled (fun () -> Router.put alice ~path ~data) with
+       | Ok () -> Hashtbl.replace acked path data
+       | Error e -> Alcotest.failf "put %s: %s" path (Errno.to_string e));
+      record "put %s %s" path data
+    in
+    let get path =
+      record "get %s %s" path
+        (gstr (settled (fun () -> Router.get alice path)))
+    in
+    for j = 0 to 5 do
+      put (Printf.sprintf "/d%d/f" j) (Printf.sprintf "seed-%d" j)
+    done;
+    (* A dir gamma owns (its sweeps feed gamma's breaker) and one it
+       does not (writes keep landing while gamma is down).  The sharding
+       is name-hashed, so probe dir names until both primaries appear;
+       dirs beyond the pre-created six are made on demand. *)
+    let dir_matching pred =
+      let rec go j =
+        if j > 40 then Alcotest.fail "no dir with a matching primary"
+        else
+          let d = Printf.sprintf "/d%d" j in
+          match Router.node_for alice d with
+          | Some n when pred n ->
+            if j > 5 then begin
+              (match settled (fun () -> Router.mkdir alice d) with
+               | Ok () -> ()
+               | Error e -> Alcotest.failf "mkdir %s: %s" d (Errno.to_string e));
+              put (d ^ "/f") (Printf.sprintf "seed-%d" j)
+            end;
+            d ^ "/f"
+          | _ -> go (j + 1)
+      in
+      go 0
+    in
+    let gdir = dir_matching (String.equal "gamma")
+    and sdir = dir_matching (fun n -> not (String.equal n "gamma")) in
+    for round = 1 to 3 do
+      World.crash w "gamma";
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      (* Three failed sweeps trip the breaker; the fourth short-circuits
+         straight to the surviving replica. *)
+      for _ = 1 to 4 do
+        get gdir
+      done;
+      put sdir (Printf.sprintf "flap-%d" round);
+      World.restart w "gamma";
+      Clock.advance (World.clock w) 2_000_000_000L;
+      World.tick w;
+      (* The next sweep is granted as the half-open probe; its success
+         re-closes the breaker. *)
+      get gdir;
+      get gdir;
+      put gdir (Printf.sprintf "healed-%d" round)
+    done;
+    let c name = Metrics.counter_value_of (Network.metrics (World.net w)) name in
+    Alcotest.(check bool) "breaker opened each bounce" true
+      (c "cluster.breaker.open" >= 3);
+    Alcotest.(check bool) "breaker re-closed each recovery" true
+      (c "cluster.breaker.close" >= 3);
+    Alcotest.(check bool) "open breaker short-circuited sweeps" true
+      (c "cluster.breaker.skip" >= 3);
+    Alcotest.(check int) "no membership churn" 0 (c "cluster.member.leave");
+    Hashtbl.fold (fun p v acc -> (p, v) :: acc) acked []
+    |> List.sort compare
+    |> List.iter (fun (path, want) ->
+           Alcotest.(check string)
+             (Printf.sprintf "acked mutation survives: %s" path)
+             want
+             (gstr (settled (fun () -> Router.get alice path))));
+    ( String.concat "\n" (List.rev !buf),
+      Metrics.to_json (Network.metrics (World.net w)),
+      Clock.now (World.clock w) )
+  in
+  let t1, m1, c1 = run () in
+  let t2, m2, c2 = run () in
+  Alcotest.(check string) "two runs: transcript" t1 t2;
+  Alcotest.(check string) "two runs: metrics byte-identical" m1 m2;
+  Alcotest.(check int64) "two runs: clock" c1 c2
+
+(* Thundering herd against a freshly restarted server: a stampede of
+   simultaneous retries overruns the parked-mutation bound, brownout
+   sheds the excess with retry-after hints, well-behaved clients wait
+   the hint out and land on the drained queue — nothing acknowledged is
+   lost and the server never collapses. *)
+let thundering_herd_recovery () =
+  let run () =
+    let w =
+      make_world ~event_driven:true ~max_parked:8
+        ~flush_interval_ns:500_000_000L ()
+    in
+    let c = connect_fred w in
+    let buf = ref [] in
+    let record fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+    ok "mkdir" (Client.mkdir c "/work");
+    for i = 1 to 4 do
+      ok "pre put"
+        (Client.put c
+           ~path:(Printf.sprintf "/work/pre%d" i)
+           ~data:(Printf.sprintf "pre-%d" i))
+    done;
+    (* The crash that provokes the herd; recovery replays the WAL. *)
+    Server.crash w.server;
+    Clock.advance w.clock 3_000_000_000L;
+    Server.restart w.server;
+    (* First retrier re-authenticates its session... *)
+    ok "reauth put" (Client.put c ~path:"/work/reauth" ~data:"back");
+    record "reauth ok";
+    (* ...and the herd arrives at once: 12 in-flight mutations against a
+       parked bound of 8 (brownout at 6). *)
+    let submit op =
+      Network.submit w.net ~src:"client" ~timeout_ns:2_000_000_000L
+        ~addr:server_addr (Client.prepare c op)
+    in
+    let toks =
+      List.init 12 (fun i ->
+          submit (Protocol.Put { path = Printf.sprintf "/work/h%d" i;
+                                 data = "herd" }))
+    in
+    let pump pred =
+      let rec go guard =
+        if pred () then ()
+        else if guard = 0 then Alcotest.fail "pump: no progress"
+        else if Network.step w.net then go (guard - 1)
+        else Alcotest.fail "pump: network idle before condition held"
+      in
+      go 100_000
+    in
+    pump (fun () -> counter w "chirp.shed.mutation" >= 6);
+    Alcotest.(check bool) "the stampede browned the server out" true
+      (Server.brownout w.server);
+    (* Reads are still served mid-stampede. *)
+    let rd = submit (Protocol.Readdir "/work") in
+    pump (fun () -> Network.poll rd <> None);
+    (match Network.poll rd with
+     | Some (Ok text) ->
+       (match Client.interpret text with
+        | Ok (Protocol.R_names _) -> record "mid-herd readdir ok"
+        | Ok _ -> Alcotest.fail "readdir: unexpected response"
+        | Error e ->
+          Alcotest.failf "readdir shed under herd: %s" (Errno.to_string e))
+     | _ -> Alcotest.fail "readdir got no reply");
+    (* Well-behaved herd members are shed now, wait the hint out (which
+       spans the flush tick draining the parked queue) and land on the
+       retry — counted distinctly from transport-fault retries. *)
+    for i = 1 to 6 do
+      ok "retry put"
+        (Client.put c
+           ~path:(Printf.sprintf "/work/r%d" i)
+           ~data:(Printf.sprintf "retried-%d" i))
+    done;
+    pump (fun () -> List.for_all (fun t -> Network.poll t <> None) toks);
+    let served, shed =
+      List.partition
+        (fun t ->
+          match Network.poll t with
+          | Some (Ok text) ->
+            (match Client.interpret text with Ok _ -> true | Error _ -> false)
+          | _ -> false)
+        toks
+    in
+    record "herd served=%d shed=%d" (List.length served) (List.length shed);
+    Alcotest.(check bool) "some of the herd was admitted" true
+      (List.length served >= 1);
+    Alcotest.(check bool) "the excess was shed, not dropped" true
+      (List.length shed >= 1);
+    Alcotest.(check bool) "shed retries counted distinctly" true
+      (counter w "chirp.retry.shed" >= 1);
+    Alcotest.(check bool) "brownout entered under the herd" true
+      (counter w "chirp.brownout.enter" >= 1);
+    Alcotest.(check bool) "brownout exited after the drain" true
+      (counter w "chirp.brownout.exit" >= 1);
+    Alcotest.(check bool) "server recovered" false (Server.brownout w.server);
+    (* Nothing acknowledged was lost: pre-crash state survived the WAL
+       replay, and every retried mutation is readable. *)
+    for i = 1 to 4 do
+      Alcotest.(check string) "pre-crash data survived"
+        (Printf.sprintf "pre-%d" i)
+        (ok "get" (Client.get c (Printf.sprintf "/work/pre%d" i)))
+    done;
+    for i = 1 to 6 do
+      Alcotest.(check string) "retried mutation landed"
+        (Printf.sprintf "retried-%d" i)
+        (ok "get" (Client.get c (Printf.sprintf "/work/r%d" i)))
+    done;
+    record "recovered";
+    ( String.concat "\n" (List.rev !buf),
+      Metrics.to_json (Kernel.metrics w.kernel),
+      Clock.now w.clock )
+  in
+  let t1, m1, c1 = run () in
+  let t2, m2, c2 = run () in
+  Alcotest.(check string) "two runs: transcript" t1 t2;
+  Alcotest.(check string) "two runs: metrics byte-identical" m1 m2;
+  Alcotest.(check int64) "two runs: clock" c1 c2
+
 let cluster_chaos_matches_oracle () =
   let t1, m1, tr1, c1 = cluster_chaos_run () in
   let t2, m2, tr2, c2 = cluster_chaos_run () in
@@ -847,4 +1212,10 @@ let suite =
       cluster_chaos_matches_oracle;
     Alcotest.test_case "partition-heal repair converges, twice" `Quick
       partition_heal_repair_converges;
+    Alcotest.test_case "scale-down races a partition, twice" `Quick
+      scale_down_during_partition;
+    Alcotest.test_case "flapping node absorbed by breakers" `Quick
+      flapping_node_absorbed_by_breakers;
+    Alcotest.test_case "thundering herd sheds then recovers" `Quick
+      thundering_herd_recovery;
   ]

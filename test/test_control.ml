@@ -1,0 +1,486 @@
+(* The self-healing control plane (ISSUE 7): the circuit-breaker state
+   machine (trip, short-circuit, half-open probe, re-close, re-open);
+   health scoring with EWMA smoothing and dual-threshold hysteresis;
+   server admission control (brownout sheds mutations with a
+   retry-after hint while reads keep flowing); the client treating shed
+   responses as retryable; and the autoscaler's full cycle — grow under
+   pressure, hold through cooldown, clamp at both envelope edges,
+   shrink the lowest-scoring member, and re-admit a previously removed
+   host. *)
+
+module Clock = Idbox_kernel.Clock
+module Kernel = Idbox_kernel.Kernel
+module Account = Idbox_kernel.Account
+module Metrics = Idbox_kernel.Metrics
+module Network = Idbox_net.Network
+module Breaker = Idbox_net.Breaker
+module Ca = Idbox_auth.Ca
+module Credential = Idbox_auth.Credential
+module Negotiate = Idbox_auth.Negotiate
+module Server = Idbox_chirp.Server
+module Client = Idbox_chirp.Client
+module Protocol = Idbox_chirp.Protocol
+module Catalog = Idbox_chirp.Catalog
+module Health = Idbox_cluster.Health
+module Autoscaler = Idbox_cluster.Autoscaler
+module World = Idbox_cluster.World
+module Acl = Idbox_acl.Acl
+module Entry = Idbox_acl.Entry
+module Rights = Idbox_acl.Rights
+module Subject = Idbox_identity.Subject
+module Errno = Idbox_vfs.Errno
+
+let ok ctx = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" ctx (Errno.to_string e)
+
+let ok_s ctx = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" ctx m
+
+(* --- retry-after hints on the wire ----------------------------------- *)
+
+let shed_hint_round_trip () =
+  let msg = Protocol.shed_message ~retry_after_ns:100_000L "brownout" in
+  Alcotest.(check (option int64))
+    "hint survives the message" (Some 100_000L)
+    (Protocol.retry_after_of_message msg);
+  Alcotest.(check bool)
+    "reason survives too" true
+    (String.length msg >= 8 && String.equal (String.sub msg 0 8) "brownout");
+  Alcotest.(check (option int64))
+    "no hint in a plain message" None
+    (Protocol.retry_after_of_message "session table full");
+  Alcotest.(check (option int64))
+    "garbage after the tag is not a hint" None
+    (Protocol.retry_after_of_message "x; retry_after_ns=abc")
+
+(* --- the breaker state machine --------------------------------------- *)
+
+let breaker_state_machine () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let transitions = ref [] in
+  let b =
+    Breaker.create ~threshold:3 ~reset_ns:1_000_000L ~prefix:"t.breaker"
+      ~on_transition:(fun subject st ->
+        transitions := (subject ^ ":" ^ Breaker.state_name st) :: !transitions)
+      ~clock ~metrics "beta"
+  in
+  let count name = Metrics.counter_value_of metrics ("t.breaker." ^ name) in
+  (* Closed: failures below threshold do not trip, a success resets the
+     consecutive count. *)
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b);
+  Breaker.failure ~errno:Errno.ETIMEDOUT b;
+  Breaker.failure ~errno:Errno.ETIMEDOUT b;
+  Breaker.success b;
+  Breaker.failure ~errno:Errno.ETIMEDOUT b;
+  Breaker.failure ~errno:Errno.ETIMEDOUT b;
+  Alcotest.(check bool) "still closed after reset" true (Breaker.allow b);
+  (* Third consecutive failure trips it open. *)
+  Breaker.failure ~errno:Errno.ECONNRESET b;
+  Alcotest.(check int) "tripped once" 1 (Breaker.trips b);
+  Alcotest.(check bool) "open short-circuits" false (Breaker.allow b);
+  Alcotest.(check bool) "and again" false (Breaker.allow b);
+  Alcotest.(check int) "short circuits counted" 2 (count "short_circuit");
+  Alcotest.(check string) "last errno surfaces" "ECONNRESET"
+    (Errno.to_string (Breaker.last_errno b));
+  (* One ns short of the reset window: still short-circuiting. *)
+  Clock.advance clock 999_999L;
+  Alcotest.(check bool) "window not yet elapsed" false (Breaker.allow b);
+  (* Window elapsed: half-open, and the first probe is granted to this
+     very request; the budget (1) is then spent. *)
+  Clock.advance clock 1L;
+  Alcotest.(check bool) "half-open grants the probe" true (Breaker.allow b);
+  Alcotest.(check bool) "probe budget spent" false (Breaker.allow b);
+  (* The probe fails: straight back to open with a fresh window. *)
+  Breaker.failure ~errno:Errno.ETIMEDOUT b;
+  Alcotest.(check int) "re-tripped" 2 (Breaker.trips b);
+  Alcotest.(check bool) "open again" false (Breaker.allow b);
+  (* Next window's probe succeeds: closed, history forgotten. *)
+  Clock.advance clock 1_000_000L;
+  Alcotest.(check bool) "second probe granted" true (Breaker.allow b);
+  Breaker.success b;
+  Alcotest.(check bool) "closed again" true (Breaker.allow b);
+  Breaker.failure ~errno:Errno.ETIMEDOUT b;
+  Breaker.failure ~errno:Errno.ETIMEDOUT b;
+  Alcotest.(check bool) "history was forgotten" true (Breaker.allow b);
+  Alcotest.(check int) "opens counted" 2 (count "open");
+  Alcotest.(check int) "closes counted" 1 (count "close");
+  Alcotest.(check int) "probes counted" 2 (count "probe");
+  Alcotest.(check bool) "transitions observed" true
+    (List.mem "beta:half_open" !transitions && List.mem "beta:open" !transitions
+     && List.mem "beta:closed" !transitions)
+
+(* --- health scoring: hysteresis and smoothing ------------------------ *)
+
+(* Weight-1 EWMA makes the smoothed score equal the raw score, so each
+   observation steers the level directly and the dual thresholds can be
+   probed edge by edge. *)
+let health_hysteresis () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let h =
+    Health.create
+      ~config:{ Health.default_config with Health.ewma_weight = 1 }
+      ~clock ~metrics ()
+  in
+  (* Craft samples by raw score: queue charges pct*35/100, brownout a
+     flat 25, errors up to 30. *)
+  let feed ?(q = 0) ?(err = 0) ?(brown = false) () =
+    Health.observe h ~name:"n1"
+      {
+        Health.idle_sample with
+        Health.s_queue_pct = q;
+        Health.s_error_pct = err;
+        Health.s_brownout = brown;
+      }
+  in
+  let lvl () = Health.level h "n1" in
+  Alcotest.(check int) "idle scores 100" 100 (feed ());
+  Alcotest.(check bool) "healthy" true (lvl () = Health.Healthy);
+  (* 65 is below healthy_enter (70) but above healthy_exit (60):
+     a healthy node stays healthy. *)
+  Alcotest.(check int) "score 65" 65 (feed ~q:100 ());
+  Alcotest.(check bool) "still healthy at 65" true (lvl () = Health.Healthy);
+  (* 59 crosses the exit edge. *)
+  Alcotest.(check int) "score 59" 59 (feed ~q:100 ~err:20 ());
+  Alcotest.(check bool) "degraded below 60" true (lvl () = Health.Degraded);
+  (* Recovery to 65 is not enough to re-enter healthy. *)
+  ignore (feed ~q:100 ());
+  Alcotest.(check bool) "65 does not re-enter" true (lvl () = Health.Degraded);
+  ignore (feed ~q:80 ());  (* 72 >= 70 *)
+  Alcotest.(check bool) "72 re-enters healthy" true (lvl () = Health.Healthy);
+  (* Down to 40: degraded but not yet unhealthy (>= 35). *)
+  ignore (feed ~q:100 ~brown:true ());
+  Alcotest.(check bool) "40 is degraded" true (lvl () = Health.Degraded);
+  ignore (feed ~q:100 ~brown:true ~err:34 ());  (* 30 < 35 *)
+  Alcotest.(check bool) "30 is unhealthy" true (lvl () = Health.Unhealthy);
+  (* 40 is above unhealthy_enter but below unhealthy_exit (45):
+     stays unhealthy. *)
+  ignore (feed ~q:100 ~brown:true ());
+  Alcotest.(check bool) "40 stays unhealthy" true (lvl () = Health.Unhealthy);
+  ignore (feed ~q:100 ~err:50 ());  (* 50 >= 45 *)
+  Alcotest.(check bool) "50 leaves unhealthy" true (lvl () = Health.Degraded);
+  Alcotest.(check bool) "level changes were counted" true
+    (Metrics.counter_value_of metrics "cluster.health.down" >= 2
+     && Metrics.counter_value_of metrics "cluster.health.up" >= 2)
+
+let health_ewma_smoothing () =
+  let clock = Clock.create () in
+  let metrics = Metrics.create () in
+  let h = Health.create ~clock ~metrics () in
+  ignore (Health.observe h ~name:"n1" Health.idle_sample);
+  (* One terrible sample (raw 10) against a healthy history moves the
+     default weight-4 EWMA only to (100*3 + 10)/4 = 77: still healthy,
+     no flap. *)
+  let awful =
+    {
+      Health.idle_sample with
+      Health.s_queue_pct = 100;
+      Health.s_brownout = true;
+      Health.s_error_pct = 100;
+    }
+  in
+  Alcotest.(check int) "one bad sample smooths to 77" 77
+    (Health.observe h ~name:"n1" awful);
+  Alcotest.(check bool) "still healthy" true
+    (Health.level h "n1" = Health.Healthy);
+  (* A lease-exhausted heartbeat floors the raw score to 0 outright. *)
+  let gone = { Health.idle_sample with Health.s_hb_age_pct = 100 } in
+  ignore (Health.observe h ~name:"n1" gone);
+  ignore (Health.observe h ~name:"n2" gone);
+  Alcotest.(check int) "first sample seeds directly" 0 (Health.score h "n2");
+  Alcotest.(check bool) "dead node is unhealthy at once" true
+    (Health.level h "n2" = Health.Unhealthy);
+  Alcotest.(check int) "aggregate averages known nodes"
+    ((Health.score h "n1" + Health.score h "n2") / 2)
+    (Health.aggregate h);
+  Health.forget h "n2";
+  Alcotest.(check int) "forget drops the node" 0 (Health.samples h "n2");
+  Alcotest.(check bool) "unknown node reads healthy" true
+    (Health.level h "n2" = Health.Healthy)
+
+(* --- server admission control ---------------------------------------- *)
+
+let addr = "alpha.grid.edu:9094"
+
+type sworld = {
+  sw_net : Network.t;
+  sw_server : Server.t;
+  sw_ca : Ca.t;
+  sw_metrics : Metrics.t;  (* the network's: client-side counters *)
+  sw_kmetrics : Metrics.t;  (* the kernel's: server-side counters *)
+}
+
+let make_server ?max_parked ?flush_interval_ns () =
+  let clock = Clock.create () in
+  let net = Network.create ~clock () in
+  let kernel = Kernel.create ~clock () in
+  let owner = ok_s "account" (Account.add (Kernel.accounts kernel) "chirpuser") in
+  Kernel.refresh_passwd kernel;
+  let ca = Ca.create ~name:"UnivNowhere CA" in
+  let root_acl =
+    Acl.of_entries
+      [ Entry.make ~pattern:"globus:/O=UnivNowhere/*"
+          (Rights.of_string_exn "rwlaxd") ]
+  in
+  let acceptor = Negotiate.acceptor ~trusted_cas:[ ca ] () in
+  let server =
+    ok "server"
+      (Server.create ~kernel ~net ~addr ~owner_uid:owner.Account.uid
+         ~export:"/tmp/export" ~acceptor ~root_acl ?max_parked
+         ~event_driven:true ?flush_interval_ns ())
+  in
+  { sw_net = net; sw_server = server; sw_ca = ca;
+    sw_metrics = Network.metrics net; sw_kmetrics = Kernel.metrics kernel }
+
+let connect_fred sw =
+  let cert =
+    Ca.issue sw.sw_ca (Subject.of_string_exn "/O=UnivNowhere/CN=Fred")
+  in
+  ok_s "connect"
+    (Client.connect sw.sw_net ~addr ~credentials:[ Credential.Gsi cert ])
+
+let pump_until sw pred =
+  let rec go guard =
+    if pred () then ()
+    else if guard = 0 then Alcotest.fail "pump: no progress"
+    else if Network.step sw.sw_net then go (guard - 1)
+    else begin
+      List.iter
+        (fun ctr ->
+          let v = Metrics.counter_value ctr in
+          if v > 0 then
+            Printf.eprintf "  %s = %d\n" (Metrics.counter_name ctr) v)
+        (Metrics.counters sw.sw_metrics);
+      Printf.eprintf "  parked=%d brownout=%b\n"
+        (Server.parked_ops sw.sw_server)
+        (Server.brownout sw.sw_server);
+      Alcotest.fail "pump: network idle before condition held"
+    end
+  in
+  go 100_000
+
+(* Flood an event-driven server past its queue watermarks: mutations
+   beyond the brownout threshold are shed with EAGAIN and a retry-after
+   hint, reads are served throughout, and draining the queue at the
+   group-commit tick exits brownout. *)
+let brownout_sheds_mutations_serves_reads () =
+  let sw = make_server ~max_parked:8 ~flush_interval_ns:500_000_000L () in
+  let c = connect_fred sw in
+  let count name = Metrics.counter_value_of sw.sw_kmetrics name in
+  let submit op =
+    Network.submit sw.sw_net ~src:"client" ~timeout_ns:2_000_000_000L ~addr
+      (Client.prepare c op)
+  in
+  let toks =
+    List.init 12 (fun i ->
+        submit (Protocol.Put { path = Printf.sprintf "/f%d" i; data = "x" }))
+  in
+  (* Deliver the flood (the flush tick is far away at 500 ms). *)
+  pump_until sw (fun () -> count "chirp.shed.mutation" >= 6);
+  Alcotest.(check int) "queue filled to the brownout watermark" 6
+    (Server.parked_ops sw.sw_server);
+  Alcotest.(check bool) "server is in brownout" true
+    (Server.brownout sw.sw_server);
+  Alcotest.(check int) "entered brownout once" 1 (count "chirp.brownout.enter");
+  (* A read while browned out: served, not shed. *)
+  let rd = submit (Protocol.Readdir "/") in
+  pump_until sw (fun () -> Network.poll rd <> None);
+  (match Network.poll rd with
+   | Some (Ok text) ->
+     (match Client.interpret text with
+      | Ok (Protocol.R_names _) -> ()
+      | Ok _ -> Alcotest.fail "readdir: unexpected response"
+      | Error e -> Alcotest.failf "readdir shed or failed: %s" (Errno.to_string e))
+   | _ -> Alcotest.fail "readdir got no reply");
+  (* Shed responses carry EAGAIN and the retry-after hint
+     (2 x flush interval). *)
+  let sheds =
+    List.filter_map
+      (fun tok ->
+        match Network.poll tok with
+        | Some (Ok text) ->
+          (match Protocol.decode_response text with
+           | Ok (Protocol.R_error (Errno.EAGAIN, msg)) -> Some msg
+           | _ -> None)
+        | _ -> None)
+      toks
+  in
+  Alcotest.(check int) "six mutations shed" 6 (List.length sheds);
+  List.iter
+    (fun msg ->
+      Alcotest.(check (option int64))
+        "shed response hints retry-after" (Some 1_000_000_000L)
+        (Protocol.retry_after_of_message msg))
+    sheds;
+  (* The flush tick drains the parked six and brownout ends. *)
+  pump_until sw (fun () ->
+      List.for_all (fun tok -> Network.poll tok <> None) toks);
+  Alcotest.(check int) "queue drained" 0 (Server.parked_ops sw.sw_server);
+  Alcotest.(check bool) "brownout exited" false (Server.brownout sw.sw_server);
+  Alcotest.(check int) "exit counted" 1 (count "chirp.brownout.exit");
+  let served =
+    List.filter
+      (fun tok ->
+        match Network.poll tok with
+        | Some (Ok text) ->
+          (match Client.interpret text with Ok _ -> true | Error _ -> false)
+        | _ -> false)
+      toks
+  in
+  Alcotest.(check int) "the parked six were acknowledged" 6
+    (List.length served)
+
+(* The client treats a shed response as retryable: it waits out the
+   hint and the retry lands after the drain — counted separately from
+   transport-fault retries. *)
+let client_retries_shed () =
+  let sw = make_server ~max_parked:8 ~flush_interval_ns:500_000_000L () in
+  let c = connect_fred sw in
+  let scount name = Metrics.counter_value_of sw.sw_kmetrics name in
+  let count name = Metrics.counter_value_of sw.sw_metrics name in
+  (* Fill the queue to the watermark with raw submissions. *)
+  let toks =
+    List.init 7 (fun i ->
+        Network.submit sw.sw_net ~src:"flood" ~timeout_ns:2_000_000_000L ~addr
+          (Client.prepare c
+             (Protocol.Put { path = Printf.sprintf "/f%d" i; data = "x" })))
+  in
+  pump_until sw (fun () -> scount "chirp.shed.mutation" >= 1);
+  Alcotest.(check bool) "browned out" true (Server.brownout sw.sw_server);
+  (* A well-behaved client call through the shed-and-retry path. *)
+  ok "put" (Client.put c ~path:"/r" ~data:"retried");
+  Alcotest.(check bool) "shed retries counted distinctly" true
+    (count "chirp.retry.shed" >= 1);
+  Alcotest.(check string) "the retried mutation landed" "retried"
+    (ok "get" (Client.get c "/r"));
+  ignore toks
+
+(* --- the autoscaler -------------------------------------------------- *)
+
+(* Drive the loop with a synthetic pressure signal so every decision is
+   deterministic: grow under sustained pressure, hold through cooldown,
+   clamp at the max envelope, shrink the lowest-scoring member once
+   healthy again, clamp at the min envelope, and re-admit a previously
+   removed host (reusing its account). *)
+let autoscaler_scales_with_hysteresis () =
+  let w = World.create () in
+  ok_s "alpha" (World.add_node w ~host:"alpha.grid.edu");
+  World.settle w;
+  let pressure = ref 100 in
+  let a =
+    Autoscaler.create
+      ~sample:(fun _ ->
+        {
+          Health.idle_sample with
+          Health.s_queue_pct = !pressure;
+          Health.s_brownout = !pressure > 75;
+        })
+      ~min_nodes:2 ~max_nodes:3 ~interval_ns:5_000_000_000L
+      ~cooldown_ns:30_000_000_000L
+      ~hosts:
+        [ "alpha.grid.edu"; "beta.grid.edu"; "gamma.grid.edu";
+          "delta.grid.edu" ]
+      w
+  in
+  let clock = World.clock w in
+  let counter name =
+    Metrics.counter_value_of (Network.metrics (World.net w)) name
+  in
+  let tick () =
+    World.tick w;
+    Autoscaler.tick a
+  in
+  let step_tick ns =
+    Clock.advance clock ns;
+    tick ()
+  in
+  (* t=0: one hurting node -> grow, deterministically to the first free
+     pool host. *)
+  (match tick () with
+   | Some (Autoscaler.Grow "beta.grid.edu") -> ()
+   | d ->
+     Alcotest.failf "expected grow beta, got %s"
+       (match d with Some d -> Autoscaler.decision_name d | None -> "none"));
+  Alcotest.(check (list string)) "beta admitted" [ "alpha"; "beta" ]
+    (World.members w);
+  (* Still hurting 5 s later, but the grow is cooling down. *)
+  (match step_tick 5_000_000_000L with
+   | Some (Autoscaler.Hold "cooldown") -> ()
+   | _ -> Alcotest.fail "expected a cooldown hold");
+  Alcotest.(check bool) "cooldown hold counted" true
+    (counter "cluster.scale.hold" >= 1);
+  (* Cooldown over: grow again. *)
+  (match step_tick 25_000_000_000L with
+   | Some (Autoscaler.Grow "gamma.grid.edu") -> ()
+   | _ -> Alcotest.fail "expected grow gamma");
+  (* Hurting at the envelope edge: clamp, not a fourth node. *)
+  (match step_tick 30_000_000_000L with
+   | Some (Autoscaler.Hold "at max envelope") -> ()
+   | _ -> Alcotest.fail "expected the max-envelope clamp");
+  Alcotest.(check bool) "clamp counted" true
+    (counter "cluster.scale.clamp" >= 1);
+  Alcotest.(check int) "grew twice" 2 (Autoscaler.grows a);
+  (* The storm passes: scores recover through the EWMA until the
+     aggregate crosses shrink_above, then the lowest-scoring member
+     (tie broken by name) is removed. *)
+  pressure := 0;
+  let rec until_shrink guard =
+    if guard = 0 then Alcotest.fail "no shrink within 20 intervals"
+    else
+      match step_tick 5_000_000_000L with
+      | Some (Autoscaler.Shrink name) -> name
+      | _ -> until_shrink (guard - 1)
+  in
+  Alcotest.(check string) "alpha shrunk first" "alpha" (until_shrink 20);
+  Alcotest.(check (list string)) "alpha gone" [ "beta"; "gamma" ]
+    (World.members w);
+  Alcotest.(check bool) "departure deregistered the lease" true
+    (counter "catalog.deregister" >= 1);
+  Alcotest.(check bool) "alpha no longer advertised" true
+    (not
+       (List.exists
+          (fun e -> String.equal e.Catalog.name "alpha")
+          (Catalog.entries (World.catalog w))));
+  (* Fully healthy but at the min envelope: never below. *)
+  (match step_tick 5_000_000_000L with
+   | Some (Autoscaler.Hold "at min envelope") -> ()
+   | _ -> Alcotest.fail "expected the min-envelope clamp");
+  (* Pressure returns: the freed pool slot (alpha) is re-admitted,
+     reusing its old account. *)
+  pressure := 100;
+  let rec until_grow guard =
+    if guard = 0 then Alcotest.fail "no regrow within 20 intervals"
+    else
+      match step_tick 5_000_000_000L with
+      | Some (Autoscaler.Grow host) -> host
+      | _ -> until_grow (guard - 1)
+  in
+  Alcotest.(check string) "alpha re-admitted" "alpha.grid.edu" (until_grow 20);
+  Alcotest.(check (list string)) "three members again"
+    [ "alpha"; "beta"; "gamma" ] (World.members w);
+  Alcotest.(check int) "decision history is complete"
+    (Autoscaler.grows a + Autoscaler.shrinks a)
+    (List.length
+       (List.filter
+          (function Autoscaler.Hold _ -> false | _ -> true)
+          (Autoscaler.decisions a)))
+
+let suite =
+  [
+    Alcotest.test_case "retry-after hints round-trip" `Quick
+      shed_hint_round_trip;
+    Alcotest.test_case "breaker state machine" `Quick breaker_state_machine;
+    Alcotest.test_case "health dual-threshold hysteresis" `Quick
+      health_hysteresis;
+    Alcotest.test_case "health EWMA smoothing + aggregate" `Quick
+      health_ewma_smoothing;
+    Alcotest.test_case "brownout sheds mutations, serves reads" `Quick
+      brownout_sheds_mutations_serves_reads;
+    Alcotest.test_case "client retries shed mutations" `Quick
+      client_retries_shed;
+    Alcotest.test_case "autoscaler hysteresis and envelope" `Quick
+      autoscaler_scales_with_hysteresis;
+  ]
