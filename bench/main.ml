@@ -545,7 +545,10 @@ let repair_run ~divergence =
     Clock.advance clock 1_000_000_000L;
     World.tick w
   done;
-  Clock.advance clock (Int64.sub until_ns (Clock.now clock));
+  (* Ticks can overshoot the window (a sweep's failed calls burn
+     simulated timeouts), so only advance if the heal is still ahead. *)
+  let rest = Int64.sub until_ns (Clock.now clock) in
+  if Int64.compare rest 0L > 0 then Clock.advance clock rest;
   let t_heal = Clock.now clock in
   let pushes0 =
     Metrics.counter_value_of (Network.metrics net) "cluster.repair.push"
@@ -1354,6 +1357,182 @@ let elastic_block () =
         row.eg_late row.eg_goodput_ops row.eg_p95_ms)
     (elastic_goodput_rows ())
 
+(* Delegation: the cost of certified chains.  (a) Chain-validation
+   ns/hop, cold (one chain_hop_ns charge per hop) vs warm through the
+   generation-validated memo (one gen_check_ns, independent of length).
+   (b) Delegated vs direct exec throughput on a 3-node cluster: the
+   same program run by its owner directly and by a two-hop delegatee
+   under attenuated identity.  Fully simulated and deterministic. *)
+type deleg_chain_row = {
+  dc_hops : int;
+  dc_cold_ns : float;  (* whole-chain cold validation *)
+  dc_cold_ns_per_hop : float;
+  dc_warm_ns : float;  (* per warm validation: one generation check *)
+  dc_warm_speedup : float;
+}
+
+type deleg_report = {
+  dl_chain : deleg_chain_row list;
+  dl_ops : int;
+  dl_direct_ms : float;
+  dl_direct_kops : float;  (* execs per simulated second, k *)
+  dl_deleg_ms : float;
+  dl_deleg_kops : float;
+  dl_overhead : float;  (* delegated time / direct time *)
+}
+
+let delegation_chain_rows () =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Clock = Idbox_kernel.Clock in
+  let module Enforce = Idbox.Enforce in
+  let module Ca = Idbox_auth.Ca in
+  let module Delegation = Idbox_auth.Delegation in
+  let kernel = Kernel.create () in
+  let sup = Kernel.make_view kernel ~uid:0 () in
+  let enforce = Enforce.create kernel ~supervisor:sup () in
+  let clock = Kernel.clock kernel in
+  let ca = Ca.create ~name:"Bench CA" in
+  let revocations = Delegation.Revocations.create () in
+  let principal i = Printf.sprintf "globus:/O=Bench/CN=hop%02d" i in
+  let chain_of hops =
+    List.init hops (fun i ->
+        Delegation.mint ca ~delegator:(principal i)
+          ~delegatee:(principal (i + 1))
+          ~rights:(Idbox_acl.Rights.of_string_exn "rwl")
+          ~prefix:"/" ~now:0L ~ttl_ns:3_600_000_000_000L ~hops:16 ())
+  in
+  List.map
+    (fun hops ->
+      let chain = chain_of hops in
+      let holder = principal hops in
+      let admit () =
+        match
+          Enforce.admit_chain enforce ~trusted:[ ca ] ~revocations
+            ~now:(Clock.now clock) ~holder chain
+        with
+        | Ok _ -> ()
+        | Error f -> failwith (Delegation.failure_message f)
+      in
+      let t0 = Clock.now clock in
+      admit ();
+      let cold_ns = Int64.to_float (Int64.sub (Clock.now clock) t0) in
+      let warm_rounds = 100 in
+      let t1 = Clock.now clock in
+      for _ = 1 to warm_rounds do
+        admit ()
+      done;
+      let warm_ns =
+        Int64.to_float (Int64.sub (Clock.now clock) t1)
+        /. float_of_int warm_rounds
+      in
+      {
+        dc_hops = hops;
+        dc_cold_ns = cold_ns;
+        dc_cold_ns_per_hop = cold_ns /. float_of_int hops;
+        dc_warm_ns = warm_ns;
+        dc_warm_speedup = cold_ns /. warm_ns;
+      })
+    [ 1; 2; 4; 8 ]
+
+let delegation_exec_run () =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Clock = Idbox_kernel.Clock in
+  let module Program = Idbox_kernel.Program in
+  let module World = Idbox_cluster.World in
+  let module Router = Idbox_cluster.Router in
+  Kernel.with_fresh_programs (fun () ->
+      let w = World.create () in
+      List.iter
+        (fun h ->
+          match World.add_node w ~host:h with
+          | Ok _ -> ()
+          | Error m -> failwith m)
+        [ "a.grid.edu"; "b.grid.edu"; "c.grid.edu" ];
+      World.settle w;
+      Program.register "noop" (fun _ -> 0);
+      let connect cn =
+        match World.connect w ~credentials:[ World.issue w cn ] with
+        | Ok r -> r
+        | Error m -> failwith m
+      in
+      let ra = connect "Alice" in
+      (match Router.mkdir ra "/work" with
+       | Ok () -> ()
+       | Error e -> failwith (Idbox_vfs.Errno.message e));
+      (match
+         Router.put ra ~path:"/work/noop.exe" ~data:(Program.marker "noop")
+       with
+       | Ok () -> ()
+       | Error e -> failwith (Idbox_vfs.Errno.message e));
+      let rights = Idbox_acl.Rights.of_string_exn in
+      let chain =
+        [
+          World.delegate w ~delegator:"Alice" ~delegatee:"Bob"
+            ~rights:(rights "rxl") ~prefix:"/work" ();
+          World.delegate w ~delegator:"Bob" ~delegatee:"Carol"
+            ~rights:(rights "rx") ~prefix:"/work" ();
+        ]
+      in
+      let rc = connect "Carol" in
+      let clock = World.clock w in
+      let ops = 64 in
+      let run label f =
+        let t0 = Clock.now clock in
+        for _ = 1 to ops do
+          match f () with
+          | Ok 0 -> ()
+          | Ok n -> failwith (Printf.sprintf "%s: exit %d" label n)
+          | Error e -> failwith (label ^ ": " ^ Idbox_vfs.Errno.message e)
+        done;
+        Int64.to_float (Int64.sub (Clock.now clock) t0) /. 1e6
+      in
+      let direct_ms =
+        run "direct" (fun () ->
+            Router.exec ra ~path:"/work/noop.exe" ~args:[ "noop.exe" ] ())
+      in
+      let deleg_ms =
+        run "delegated" (fun () ->
+            Router.exec_delegated rc ~chain ~path:"/work/noop.exe"
+              ~args:[ "noop.exe" ] ())
+      in
+      (ops, direct_ms, deleg_ms))
+
+let delegation_report () =
+  let chain = delegation_chain_rows () in
+  let ops, direct_ms, deleg_ms = delegation_exec_run () in
+  let kops ms = float_of_int ops /. ms in
+  {
+    dl_chain = chain;
+    dl_ops = ops;
+    dl_direct_ms = direct_ms;
+    dl_direct_kops = kops direct_ms;
+    dl_deleg_ms = deleg_ms;
+    dl_deleg_kops = kops deleg_ms;
+    dl_overhead = deleg_ms /. direct_ms;
+  }
+
+let delegation_block () =
+  print_newline ();
+  print_endline (String.make 78 '=');
+  print_endline
+    "Delegation - chain-validation memo + delegated vs direct exec";
+  print_endline (String.make 78 '=');
+  let r = delegation_report () in
+  Printf.printf "%6s %12s %14s %14s %13s\n" "hops" "cold (ns)" "cold ns/hop"
+    "warm (ns)" "warm speedup";
+  print_endline (String.make 62 '-');
+  List.iter
+    (fun row ->
+      Printf.printf "%6d %12.0f %14.0f %14.0f %12.1fx\n" row.dc_hops
+        row.dc_cold_ns row.dc_cold_ns_per_hop row.dc_warm_ns
+        row.dc_warm_speedup)
+    r.dl_chain;
+  Printf.printf
+    "exec: %d ops  direct %.3f ms (%.2f kops/s)   2-hop delegated %.3f ms \
+     (%.2f kops/s)  overhead %.2fx\n"
+    r.dl_ops r.dl_direct_ms r.dl_direct_kops r.dl_deleg_ms r.dl_deleg_kops
+    r.dl_overhead
+
 let metrics_block () =
   print_newline ();
   print_endline (String.make 78 '=');
@@ -1362,15 +1541,15 @@ let metrics_block () =
   let kernel = Idbox_report.Report.metrics_workload () in
   print_endline (Idbox_report.Report.metrics_json kernel)
 
-(* The deterministic machine-readable report (schema idbox-bench/5):
+(* The deterministic machine-readable report (schema idbox-bench/6):
    every simulated figure — resilience, cluster scaling, recovery,
-   concurrent sessions, the metrics registry — and nothing host-timed
+   concurrent sessions, delegation, the metrics registry — and nothing host-timed
    (Bechamel stays human-only), so two runs on any machines are
    byte-identical. *)
 let json_report () =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
-  add "{\"schema\":\"idbox-bench/5\",\n \"resilience\":[";
+  add "{\"schema\":\"idbox-bench/6\",\n \"resilience\":[";
   List.iteri
     (fun i r ->
       if i > 0 then add ",\n   ";
@@ -1476,7 +1655,25 @@ let json_report () =
            r.eg_mode r.eg_offered r.eg_acked r.eg_in_slo r.eg_shed
            r.eg_timeout r.eg_late r.eg_goodput_ops r.eg_p95_ms))
     (elastic_goodput_rows ());
-  add "]},\n \"metrics\":";
+  add "]},\n \"delegation\":{\"chain\":[";
+  let dr = delegation_report () in
+  List.iteri
+    (fun i row ->
+      if i > 0 then add ",\n   ";
+      add
+        (Printf.sprintf
+           "{\"hops\":%d,\"cold_ns\":%.0f,\"cold_ns_per_hop\":%.0f,\
+            \"warm_ns\":%.0f,\"warm_speedup\":%.1f}"
+           row.dc_hops row.dc_cold_ns row.dc_cold_ns_per_hop row.dc_warm_ns
+           row.dc_warm_speedup))
+    dr.dl_chain;
+  add
+    (Printf.sprintf
+       "],\"exec\":{\"ops\":%d,\"direct_ms\":%.3f,\"direct_kops\":%.3f,\
+        \"delegated_ms\":%.3f,\"delegated_kops\":%.3f,\"overhead\":%.2f}}"
+       dr.dl_ops dr.dl_direct_ms dr.dl_direct_kops dr.dl_deleg_ms
+       dr.dl_deleg_kops dr.dl_overhead);
+  add ",\n \"metrics\":";
   add
     (Idbox_report.Report.metrics_json (Idbox_report.Report.metrics_workload ()));
   add "}";
@@ -1499,6 +1696,7 @@ let () =
     cache_block ();
     sessions_block ();
     elastic_block ();
+    delegation_block ();
     metrics_block ()
   | names ->
     List.iter
@@ -1519,12 +1717,13 @@ let () =
         | "cache" | "caches" -> cache_block ()
         | "sessions" -> sessions_block ()
         | "elastic" -> elastic_block ()
+        | "delegation" -> delegation_block ()
         | "metrics" -> metrics_block ()
         | other ->
           Printf.eprintf
             "unknown artifact %S (try fig1 fig2 fig3 fig4 fig5a fig5b fig6 \
              ablation bechamel resilience cluster recovery cache sessions \
-             elastic metrics)\n"
+             elastic delegation metrics)\n"
             other;
           exit 2)
       names

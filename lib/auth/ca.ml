@@ -33,6 +33,19 @@ let sign t subject serial =
     (Printf.sprintf "%s|%s|%d|%s" t.secret (Subject.to_string subject) serial
        t.ca_name)
 
+(* A keyed digest over an arbitrary payload, bound to this CA's secret:
+   the signing primitive delegation tokens (and any future CA-mediated
+   artifact) reuse without ever seeing the secret itself. *)
+let attest t payload =
+  Digest.to_hex (Digest.string (Printf.sprintf "%s|attest|%s" t.secret payload))
+
+(* A fresh serial from the CA's counter, for artifacts (delegation
+   nonces) that need a unique, CA-scoped identifier. *)
+let fresh_serial t =
+  let serial = t.next_serial in
+  t.next_serial <- serial + 1;
+  serial
+
 let issue t subject =
   let serial = t.next_serial in
   t.next_serial <- serial + 1;

@@ -29,6 +29,17 @@ val issue : t -> Idbox_identity.Subject.t -> certificate
 val verify : t -> certificate -> bool
 (** Check issuer match and signature integrity. *)
 
+val attest : t -> string -> string
+(** A keyed digest over [payload] under this CA's secret — the signing
+    primitive behind {!Delegation} tokens.  Anyone holding the CA can
+    recompute and compare; nobody without the secret can forge.
+    Certificates themselves carry no expiry: where an attested artifact
+    does (delegation tokens), the {!Expiry} rule decides the boundary. *)
+
+val fresh_serial : t -> int
+(** The next value of the CA's serial counter (also advanced by
+    {!issue}); used to mint unique chain nonces. *)
+
 val revoke : t -> certificate -> unit
 (** Add the certificate's serial to the CA's revocation list. *)
 

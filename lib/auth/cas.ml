@@ -81,7 +81,7 @@ let issue t ~community ~holder ~now =
       }
 
 let verify t assertion ~now =
-  Int64.compare now assertion.as_expires <= 0
+  Expiry.valid_at ~now ~expires:assertion.as_expires
   && String.equal assertion.as_stamp
        (stamp_of t ~holder:assertion.as_holder ~community:assertion.as_community
           ~issued:assertion.as_issued ~expires:assertion.as_expires)

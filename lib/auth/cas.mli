@@ -39,7 +39,9 @@ val issue :
 
 val verify : t -> assertion -> now:int64 -> bool
 (** Stamp integrity, expiry, and — because membership can be revoked
-    faster than assertions expire — current membership. *)
+    faster than assertions expire — current membership.  Expiry follows
+    the {!Expiry} rule: the assertion is valid while
+    [now <= as_expires], boundary instant inclusive. *)
 
 val admit :
   t -> communities:string list -> now:int64 ->

@@ -1,0 +1,4 @@
+(* Inclusive boundary: a credential stamped "expires = T" is honored at
+   exactly T and refused at T+1.  Shared by every timed credential so
+   the rule cannot drift between kinds. *)
+let valid_at ~now ~expires = Int64.compare now expires <= 0

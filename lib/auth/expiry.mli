@@ -1,0 +1,13 @@
+(** The one expiry-boundary rule for every timed credential.
+
+    A credential carrying an [expires] timestamp is valid while
+    [now <= expires] — the boundary instant {e inclusive}.  A holder
+    told "valid until T" may present the credential at exactly T; the
+    first invalid instant is T+1ns.  {!Cas.verify},
+    {!Kerberos.verify} and {!Delegation.validate} all decide expiry
+    through this function, so the boundary cannot drift between
+    credential kinds. *)
+
+val valid_at : now:int64 -> expires:int64 -> bool
+(** [valid_at ~now ~expires] is [now <= expires]: true at the boundary
+    instant itself, false one nanosecond later. *)

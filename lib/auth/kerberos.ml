@@ -53,7 +53,7 @@ let login t ~user ~password ~now =
 
 let verify t ticket ~now =
   String.equal ticket.realm t.krb_realm
-  && Int64.compare now ticket.expires_at <= 0
+  && Expiry.valid_at ~now ~expires:ticket.expires_at
   && String.equal ticket.stamp
        (stamp_of t ~user:ticket.user ~issued_at:ticket.issued_at
           ~expires_at:ticket.expires_at)

@@ -25,7 +25,9 @@ val login :
 (** Obtain a ticket (10-hour lifetime, like the classic default). *)
 
 val verify : t -> ticket -> now:int64 -> bool
-(** Stamp integrity and expiry. *)
+(** Stamp integrity and expiry.  Expiry follows the {!Expiry} rule: the
+    ticket is valid while [now <= expires_at], boundary instant
+    inclusive. *)
 
 val ticket_principal : ticket -> Idbox_identity.Principal.t
 (** [kerberos:user\@realm]. *)

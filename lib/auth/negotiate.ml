@@ -15,6 +15,8 @@ type rejection =
 let acceptor ?(trusted_cas = []) ?realm ?unix_ok ?host_ok ?admit () =
   { trusted_cas; realm; unix_ok; host_ok; admit }
 
+let trusted_cas t = t.trusted_cas
+
 let methods t =
   List.concat
     [

@@ -35,6 +35,10 @@ val acceptor :
 val methods : acceptor -> string list
 (** Enabled method tokens, in the order tried. *)
 
+val trusted_cas : acceptor -> Ca.t list
+(** The CAs this acceptor trusts — also the trust anchors for
+    {!Delegation} chains presented to the accepting server. *)
+
 val verify :
   acceptor -> now:int64 -> Credential.t ->
   (Idbox_identity.Principal.t, rejection) result

@@ -366,6 +366,33 @@ let checksum t path =
   | Ok _ -> Error Errno.EINVAL
   | Error e -> Error e
 
+let exec_delegated t ~chain ?cwd ~path ~args () =
+  let cwd = match cwd with Some c -> c | None -> Path.dirname path in
+  match
+    call t
+      (Protocol.Delegated { chain; op = Protocol.Exec { path; args; cwd } })
+  with
+  | Ok (Protocol.R_exit code) -> Ok code
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let get_delegated t ~chain path =
+  match call t (Protocol.Delegated { chain; op = Protocol.Get path }) with
+  | Ok (Protocol.R_data data) -> Ok data
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let epoch_of_r_str = function
+  | Ok (Protocol.R_str s) ->
+    (match int_of_string_opt s with
+     | Some e -> Ok e
+     | None -> Error Errno.EINVAL)
+  | Ok _ -> Error Errno.EINVAL
+  | Error e -> Error e
+
+let revoke t who = epoch_of_r_str (call t (Protocol.Revoke who))
+let delegation_epoch t who = epoch_of_r_str (call t (Protocol.Epoch who))
+
 let batch t ops =
   match ops with
   | [] -> Ok []

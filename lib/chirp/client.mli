@@ -100,6 +100,32 @@ val checksum : t -> string -> string r
 
 val whoami : t -> string r
 
+val exec_delegated :
+  t ->
+  chain:Idbox_auth.Delegation.chain ->
+  ?cwd:string ->
+  path:string ->
+  args:string list ->
+  unit ->
+  int r
+(** {!exec} under a delegation chain whose last delegatee is this
+    session's principal: the server validates the chain and runs the
+    program as the chain's {e root} delegator, attenuated to the
+    chain's grant and scope.  Same retry/dedup guarantees as {!exec}. *)
+
+val get_delegated : t -> chain:Idbox_auth.Delegation.chain -> string -> string r
+(** {!get} under a delegation chain — delegated read access. *)
+
+val revoke : t -> string -> int r
+(** Revoke every chain through the named delegator (who must be this
+    session's principal — revocation is self-service): bumps the
+    delegator's revocation epoch on the server and returns the new
+    epoch.  Tokens minted under lower epochs are dead everywhere the
+    epoch reaches (replication fan-out now, gossip after partitions). *)
+
+val delegation_epoch : t -> string -> int r
+(** The server's current revocation epoch for the named delegator. *)
+
 val batch : t -> Protocol.operation list -> Protocol.response list r
 (** Run N operations in one round trip ({!Protocol.Batch}): one
     envelope, one checksum, one request ID — a retried mutation batch

@@ -1,6 +1,7 @@
 module Credential = Idbox_auth.Credential
 module Ca = Idbox_auth.Ca
 module Kerberos = Idbox_auth.Kerberos
+module Delegation = Idbox_auth.Delegation
 module Subject = Idbox_identity.Subject
 module Errno = Idbox_vfs.Errno
 
@@ -21,6 +22,16 @@ type operation =
   | Batch of operation list
       (* N operations pipelined in one envelope: one checksum, one
          request ID, executed in order server-side.  Never nested. *)
+  | Delegated of { chain : Delegation.token list; op : operation }
+      (* [op] performed under the presented delegation chain: the server
+         validates the chain against its trust anchors and runs [op] as
+         the root delegator under the attenuated grant.  Never nests and
+         never wraps a batch. *)
+  | Revoke of string
+      (* Bump the named delegator's revocation epoch.  Routes by ["/"]
+         so the cluster fans it to every member, like ACL metadata. *)
+  | Epoch of string
+      (* Read the named delegator's current revocation epoch. *)
 
 type request =
   | Auth of Credential.t list
@@ -47,10 +58,15 @@ type response =
    server state beyond what the first execution did.  Everything else
    must carry a request ID so the server can deduplicate retries. *)
 let rec idempotent = function
-  | Get _ | Stat _ | Readdir _ | Getacl _ | Checksum _ | Whoami -> true
-  | Mkdir _ | Rmdir _ | Unlink _ | Put _ | Setacl _ | Rename _ | Exec _ -> false
+  | Get _ | Stat _ | Readdir _ | Getacl _ | Checksum _ | Whoami | Epoch _ ->
+    true
+  | Mkdir _ | Rmdir _ | Unlink _ | Put _ | Setacl _ | Rename _ | Exec _
+  | Revoke _ -> false
   (* A batch is blindly re-sendable only when every member is. *)
   | Batch ops -> List.for_all idempotent ops
+  (* A delegated operation is as re-sendable as the operation itself:
+     chain validation has no server-side effect. *)
+  | Delegated { op; _ } -> idempotent op
 
 (* The path an operation is routed by: the object it names, or — for
    two-path operations — its primary (source) path.  [Whoami] has no
@@ -63,6 +79,10 @@ let rec operation_path = function
   | Whoami -> "/"
   | Batch (op :: _) -> operation_path op
   | Batch [] -> "/"
+  | Delegated { op; _ } -> operation_path op
+  (* Revocation epochs replicate everywhere: route by the root so the
+     cluster's root-key rule fans the write to every member. *)
+  | Revoke _ | Epoch _ -> "/"
 
 let operation_name = function
   | Mkdir _ -> "mkdir"
@@ -79,6 +99,9 @@ let operation_name = function
   | Checksum _ -> "checksum"
   | Whoami -> "whoami"
   | Batch _ -> "batch"
+  | Delegated _ -> "delegated"
+  | Revoke _ -> "revoke"
+  | Epoch _ -> "epoch"
 
 (* --- credentials ---------------------------------------------------- *)
 
@@ -146,6 +169,11 @@ let rec operation_fields = function
   | Checksum p -> [ "checksum"; p ]
   | Whoami -> [ "whoami" ]
   | Batch ops -> "batch" :: List.map operation_to_wire ops
+  | Delegated { chain; op } ->
+    "delegated" :: operation_to_wire op
+    :: List.map (fun tok -> Wire.encode (Delegation.token_fields tok)) chain
+  | Revoke p -> [ "revoke"; p ]
+  | Epoch p -> [ "epoch"; p ]
 
 (* A single self-contained blob for one operation, used by the cluster
    replication channel to forward a mutation verbatim, and by [Batch] to
@@ -187,10 +215,33 @@ let rec decode_operation = function
       | blob :: rest ->
         (match operation_of_wire blob with
          | Ok (Batch _) -> Error "nested batch"
+         | Ok (Delegated _) -> Error "delegated operation inside a batch"
          | Ok op -> members (op :: acc) rest
          | Error e -> Error e)
     in
     members [] blobs
+  | "delegated" :: op_blob :: token_blobs ->
+    (* One envelope, one chain, one operation.  Wrapping a batch or
+       another delegated envelope would give the per-hop audit and
+       dedup story ambiguous semantics — rejected at decode time. *)
+    (match operation_of_wire op_blob with
+     | Error e -> Error e
+     | Ok (Batch _) -> Error "batch inside a delegated operation"
+     | Ok (Delegated _) -> Error "nested delegated operation"
+     | Ok op ->
+       let rec tokens acc = function
+         | [] -> Ok (Delegated { chain = List.rev acc; op })
+         | blob :: rest ->
+           (match Wire.decode blob with
+            | Error e -> Error e
+            | Ok fields ->
+              (match Delegation.token_of_fields fields with
+               | Ok tok -> tokens (tok :: acc) rest
+               | Error e -> Error e))
+       in
+       tokens [] token_blobs)
+  | [ "revoke"; p ] -> Ok (Revoke p)
+  | [ "epoch"; p ] -> Ok (Epoch p)
   | op :: _ -> Error (Printf.sprintf "unknown operation %S" op)
   | [] -> Error "empty operation"
 

@@ -29,6 +29,27 @@ type operation =
           unit), executed in order server-side with per-member results
           in {!R_batch}.  Batches never nest — the decoder rejects a
           batch inside a batch. *)
+  | Delegated of {
+      chain : Idbox_auth.Delegation.token list;
+      op : operation;
+    }
+      (** [op] performed under a delegation chain (root first).  The
+          server validates the chain against its trust anchors with the
+          authenticated session principal as holder, then runs [op] as
+          the {e root delegator} under the chain's attenuated grant and
+          scope, recording every hop in the audit ring.  Servers accept
+          only [Exec] and read-only inner operations — a delegated
+          mutation in the WAL would re-validate its chain at replay
+          time, after the tokens may have expired, and diverge.  The
+          decoder rejects nesting and batches in either direction. *)
+  | Revoke of string
+      (** Bump the named delegator's revocation epoch: every chain with
+          a hop that delegator minted under a lower epoch dies
+          cluster-wide.  Routes by ["/"], so the cluster replicates it
+          to every member like ACL metadata. *)
+  | Epoch of string
+      (** Read the named delegator's current revocation epoch (as
+          {!R_str}); routes by ["/"]. *)
 
 type request =
   | Auth of Idbox_auth.Credential.t list

@@ -4,10 +4,13 @@ module Syscall = Idbox_kernel.Syscall
 module Clock = Idbox_kernel.Clock
 module Network = Idbox_net.Network
 module Negotiate = Idbox_auth.Negotiate
+module Delegation = Idbox_auth.Delegation
 module Principal = Idbox_identity.Principal
 module Acl = Idbox_acl.Acl
 module Right = Idbox_acl.Right
+module Rights = Idbox_acl.Rights
 module Enforce = Idbox.Enforce
+module Audit = Idbox.Audit
 module Box = Idbox.Box
 module Path = Idbox_vfs.Path
 module Errno = Idbox_vfs.Errno
@@ -63,6 +66,8 @@ type t = {
   sv_export : string;
   acceptor : Negotiate.acceptor;
   enforce : Enforce.t;
+  mutable sv_revocations : Delegation.Revocations.t;
+  sv_audit : Audit.t;
   sessions : (string, session) Hashtbl.t;
   dedup : (string, done_op) Hashtbl.t;
   max_sessions : int;
@@ -89,6 +94,8 @@ type t = {
 
 let addr t = t.sv_addr
 let export t = t.sv_export
+let revocations t = t.sv_revocations
+let audit t = t.sv_audit
 let owner_uid t = t.sv_owner.View.uid
 let exec_count t = t.execs
 let session_count t = Hashtbl.length t.sessions
@@ -145,6 +152,7 @@ let wal_sync t =
 let rec contains_exec = function
   | Protocol.Exec _ -> true
   | Protocol.Batch ops -> List.exists contains_exec ops
+  | Protocol.Delegated { op; _ } -> contains_exec op
   | _ -> false
 
 (* Map a wire path into the export subtree, rejecting escapes.  Wire
@@ -163,23 +171,58 @@ let map_path t wire_path =
 
 let err e = Protocol.R_error (e, Errno.message e)
 
-let check t identity path right k =
-  match Enforce.check_object t.enforce ~identity ~path right with
+(* The authority an operation runs under.  A directly authenticated
+   session holds its principal's full authority; a delegated operation
+   runs as the chain's {e root} delegator, attenuated to the chain's
+   intersected grant mask and narrowest path-prefix scope (absolute,
+   export-anchored).  Every check below intersects the grant and scope
+   with the principal's own ACL verdict, so a delegated caller can
+   never do what the delegator could not. *)
+type caller = {
+  cl_id : Principal.t;
+  cl_grant : Rights.t;
+  cl_scope : string;  (* absolute prefix; the export root = unscoped *)
+}
+
+let caller_of t identity =
+  { cl_id = identity; cl_grant = Rights.full; cl_scope = t.sv_export }
+
+let in_scope caller abs = Delegation.scope_contains ~prefix:caller.cl_scope abs
+
+let check t caller abs right k =
+  match
+    Enforce.check_delegated t.enforce ~identity:caller.cl_id
+      ~grant:caller.cl_grant ~prefix:caller.cl_scope ~path:abs right
+  with
   | Ok () -> k ()
   | Error e -> err e
 
-let check_dir t identity dir right k =
-  match Enforce.check_in_dir t.enforce ~identity ~dir right with
-  | Ok () -> k ()
-  | Error e -> err e
+let check_dir t caller dir right k =
+  if not (Rights.mem right caller.cl_grant && in_scope caller dir) then
+    err Errno.EACCES
+  else
+    match Enforce.check_in_dir t.enforce ~identity:caller.cl_id ~dir right with
+    | Ok () -> k ()
+    | Error e -> err e
 
-let check_delete t identity dir k =
-  match Enforce.check_in_dir t.enforce ~identity ~dir Right.Delete with
-  | Ok () -> k ()
-  | Error _ ->
-    (match Enforce.check_in_dir t.enforce ~identity ~dir Right.Write with
-     | Ok () -> k ()
-     | Error e -> err e)
+let check_delete t caller dir k =
+  if
+    not
+      ((Rights.mem Right.Delete caller.cl_grant
+        || Rights.mem Right.Write caller.cl_grant)
+       && in_scope caller dir)
+  then err Errno.EACCES
+  else
+    match
+      Enforce.check_in_dir t.enforce ~identity:caller.cl_id ~dir Right.Delete
+    with
+    | Ok () -> k ()
+    | Error _ ->
+      (match
+         Enforce.check_in_dir t.enforce ~identity:caller.cl_id ~dir Right.Write
+       with
+       | Ok () -> k ()
+       | Error e -> err e)
 
 let is_acl_file abs = String.equal (Path.basename abs) Acl.filename
 
@@ -207,27 +250,43 @@ let wire_stat_of (st : Fs.stat) =
     ws_mtime = st.Fs.st_mtime;
   }
 
-let rec serve_op t identity op =
+let rec serve_as t caller op =
   let open Protocol in
   metric t ("chirp.rpc." ^ Protocol.operation_name op);
   match op with
   | Batch ops ->
     (* The decoder already refuses nested batches on the wire; re-check
        here for directly constructed operations (replication applies). *)
-    if List.exists (function Batch _ -> true | _ -> false) ops then
-      err Errno.EINVAL
+    if
+      List.exists
+        (function Batch _ | Delegated _ -> true | _ -> false)
+        ops
+    then err Errno.EINVAL
     else
       (* In order, one envelope: each member is served exactly as if it
          had arrived alone (per-op metrics included), but the round trip
          and checksum are paid once. *)
-      R_batch (List.map (fun op -> serve_op t identity op) ops)
-  | Whoami -> R_str (Principal.to_string identity)
+      R_batch (List.map (fun op -> serve_as t caller op) ops)
+  | Whoami -> R_str (Principal.to_string caller.cl_id)
+  | Epoch who ->
+    R_str (string_of_int (Delegation.Revocations.epoch t.sv_revocations who))
+  | Revoke who ->
+    (* Only the delegator retires their own chains: revocation is an
+       assertion about tokens [who] minted, so only [who] may make it. *)
+    if not (String.equal (Principal.to_string caller.cl_id) who) then
+      err Errno.EACCES
+    else begin
+      let epoch = Delegation.Revocations.revoke t.sv_revocations who in
+      metric t "chirp.revocation.apply";
+      R_str (string_of_int epoch)
+    end
+  | Delegated { chain; op = inner } -> serve_delegated t caller chain inner
   | Mkdir wire_path ->
     (match map_path t wire_path with
      | Error e -> err e
      | Ok abs ->
        let parent = Path.dirname abs in
-       (match Enforce.plan_mkdir t.enforce ~identity ~parent with
+       (match Enforce.plan_mkdir t.enforce ~identity:caller.cl_id ~parent with
         | Error e -> err e
         | Ok plan ->
           (match delegate t (Syscall.Mkdir { path = abs; mode = 0o755 }) with
@@ -254,17 +313,17 @@ let rec serve_op t identity op =
             owns — delete inside the directory itself. *)
          let check_either k =
            match
-             Enforce.check_in_dir t.enforce ~identity ~dir:(Path.dirname abs)
-               Right.Delete
+             Enforce.check_in_dir t.enforce ~identity:caller.cl_id
+               ~dir:(Path.dirname abs) Right.Delete
            with
            | Ok () -> k ()
            | Error _ ->
              (match
-                Enforce.check_in_dir t.enforce ~identity ~dir:(Path.dirname abs)
-                  Right.Write
+                Enforce.check_in_dir t.enforce ~identity:caller.cl_id
+                  ~dir:(Path.dirname abs) Right.Write
               with
               | Ok () -> k ()
-              | Error _ -> check_delete t identity abs k)
+              | Error _ -> check_delete t caller abs k)
          in
          check_either (fun () ->
              match delegate t (Syscall.Readdir abs) with
@@ -288,7 +347,7 @@ let rec serve_op t identity op =
      | Ok abs ->
        if is_acl_file abs then err Errno.EACCES
        else
-         check_delete t identity (Enforce.governing_dir t.enforce abs) (fun () ->
+         check_delete t caller (Enforce.governing_dir t.enforce abs) (fun () ->
              match delegate t (Syscall.Unlink abs) with
              | Ok _ -> R_ok
              | Error e -> err e))
@@ -298,7 +357,7 @@ let rec serve_op t identity op =
      | Ok abs ->
        if is_acl_file abs then err Errno.EACCES
        else
-         check t identity abs Right.Write (fun () ->
+         check t caller abs Right.Write (fun () ->
              let flags = Fs.wronly_create in
              match delegate t (Syscall.Open { path = abs; flags; mode = 0o755 }) with
              | Error e -> err e
@@ -313,7 +372,7 @@ let rec serve_op t identity op =
      | Ok abs ->
        if is_acl_file abs then err Errno.EACCES
        else
-         check t identity abs Right.Read (fun () ->
+         check t caller abs Right.Read (fun () ->
              match delegate t (Syscall.Open { path = abs; flags = Fs.rdonly; mode = 0 }) with
              | Error e -> err e
              | Ok (Syscall.Int fd) ->
@@ -335,7 +394,7 @@ let rec serve_op t identity op =
     (match map_path t wire_path with
      | Error e -> err e
      | Ok abs ->
-       check t identity abs Right.List (fun () ->
+       check t caller abs Right.List (fun () ->
            match delegate t (Syscall.Stat abs) with
            | Ok (Syscall.Stat_v st) -> R_stat (wire_stat_of st)
            | Ok _ -> err Errno.EINVAL
@@ -344,7 +403,7 @@ let rec serve_op t identity op =
     (match map_path t wire_path with
      | Error e -> err e
      | Ok abs ->
-       check_dir t identity abs Right.List (fun () ->
+       check_dir t caller abs Right.List (fun () ->
            match delegate t (Syscall.Readdir abs) with
            | Ok (Syscall.Names names) ->
              R_names
@@ -360,7 +419,7 @@ let rec serve_op t identity op =
          | Ok (Syscall.Stat_v st) when st.Fs.st_kind = Inode.Directory -> abs
          | Ok _ | Error _ -> Enforce.governing_dir t.enforce abs
        in
-       check_dir t identity dir Right.List (fun () ->
+       check_dir t caller dir Right.List (fun () ->
            match Enforce.dir_acl t.enforce dir with
            | Some acl -> R_str (Acl.to_string acl)
            | None -> R_str ""))
@@ -371,7 +430,7 @@ let rec serve_op t identity op =
        (match Idbox_acl.Entry.of_line entry with
         | Error _ -> err Errno.EINVAL
         | Ok parsed ->
-          check_dir t identity abs Right.Admin (fun () ->
+          check_dir t caller abs Right.Admin (fun () ->
               let current =
                 match Enforce.dir_acl t.enforce abs with
                 | Some acl -> acl
@@ -386,8 +445,8 @@ let rec serve_op t identity op =
      | Ok asrc, Ok adst ->
        if is_acl_file asrc || is_acl_file adst then err Errno.EACCES
        else
-         check_delete t identity (Path.dirname asrc) (fun () ->
-             check_dir t identity (Path.dirname adst) Right.Write (fun () ->
+         check_delete t caller (Path.dirname asrc) (fun () ->
+             check_dir t caller (Path.dirname adst) Right.Write (fun () ->
                  match delegate t (Syscall.Rename { src = asrc; dst = adst }) with
                  | Ok _ -> R_ok
                  | Error e -> err e)))
@@ -397,7 +456,7 @@ let rec serve_op t identity op =
      | Ok abs ->
        if is_acl_file abs then err Errno.EACCES
        else
-         check t identity abs Right.Read (fun () ->
+         check t caller abs Right.Read (fun () ->
              (* The digest is computed server-side over the stored bytes:
                 one metadata-sized reply instead of re-fetching the file. *)
              match Fs.read_file (Kernel.fs t.sv_kernel) ~uid:t.sv_owner.View.uid abs with
@@ -412,20 +471,97 @@ let rec serve_op t identity op =
     (match (map_path t wire_path, map_path t cwd) with
      | Error e, _ | _, Error e -> err e
      | Ok abs, Ok acwd ->
-       (match box_for t identity with
-        | Error e -> err e
-        | Ok box ->
-          (match Box.spawn box ~check_exec:true ~path:abs ~args () with
-           | Error e -> err e
-           | Ok pid ->
-             t.execs <- t.execs + 1;
-             Box.set_cwd box ~pid acwd;
-             (* Drive the host to completion: the remote process runs
-                inside the identity box on the server's machine. *)
-             Kernel.run t.sv_kernel;
-             (match Kernel.exit_code t.sv_kernel pid with
-              | Some code -> R_exit code
-              | None -> err Errno.EAGAIN))))
+       (* The attenuation gate: a delegated caller must hold the execute
+          right in the chain's grant and the program must sit inside the
+          chain's scope.  The box's own ACL check (as the principal)
+          still runs inside [Box.spawn]. *)
+       if not (Rights.mem Right.Execute caller.cl_grant && in_scope caller abs)
+       then err Errno.EACCES
+       else
+         (match box_for t caller.cl_id with
+          | Error e -> err e
+          | Ok box ->
+            (match Box.spawn box ~check_exec:true ~path:abs ~args () with
+             | Error e -> err e
+             | Ok pid ->
+               t.execs <- t.execs + 1;
+               Box.set_cwd box ~pid acwd;
+               (* Drive the host to completion: the remote process runs
+                  inside the identity box on the server's machine. *)
+               Kernel.run t.sv_kernel;
+               (match Kernel.exit_code t.sv_kernel pid with
+                | Some code -> R_exit code
+                | None -> err Errno.EAGAIN))))
+
+(* A delegated operation: validate the chain presented by the
+   authenticated session principal (the holder), then run the inner
+   operation as the chain's {e root} delegator under the attenuated
+   grant and scope.  Only [Exec] and read-only operations are accepted:
+   a delegated mutation would land in the WAL and re-validate its chain
+   at {e replay} time — after the tokens may have expired — and
+   diverge; exec records are checkpoint-truncated immediately, so they
+   never replay at all. *)
+and serve_delegated t caller chain inner =
+  let open Protocol in
+  let now = Kernel.now t.sv_kernel in
+  let holder = Principal.to_string caller.cl_id in
+  let inner_ok =
+    match inner with
+    | Exec _ | Get _ | Stat _ | Readdir _ | Getacl _ | Checksum _ | Whoami
+    | Epoch _ -> true
+    | Mkdir _ | Rmdir _ | Unlink _ | Put _ | Setacl _ | Rename _ | Revoke _
+    | Batch _ | Delegated _ -> false
+  in
+  (* A caller already running under a chain cannot present another one:
+     re-delegation happens by extending the chain, not by nesting. *)
+  if (not inner_ok) || not (Rights.equal caller.cl_grant Rights.full) then
+    err Errno.EINVAL
+  else
+    match
+      Enforce.admit_chain t.enforce
+        ~trusted:(Negotiate.trusted_cas t.acceptor)
+        ~revocations:t.sv_revocations ~now ~holder chain
+    with
+    | Error failure ->
+      Audit.record t.sv_audit ~time:now ~pid:0 ~identity:holder ~op:"delegated"
+        ~path:(Protocol.operation_path inner)
+        (Audit.Denied Errno.EACCES);
+      Protocol.R_error (Errno.EACCES, Delegation.failure_message failure)
+    | Ok s ->
+      (match map_path t s.Delegation.sum_prefix with
+       | Error e -> err e
+       | Ok scope ->
+         (* Every hop on the record: who handed authority to whom, over
+            which scope — the per-hop forensic trail. *)
+         List.iter
+           (fun tok ->
+             Audit.record t.sv_audit ~time:now ~pid:0
+               ~identity:tok.Delegation.dg_delegator ~op:"delegate"
+               ~path:tok.Delegation.dg_prefix
+               ~path2:tok.Delegation.dg_delegatee Audit.Allowed)
+           chain;
+         let delegated =
+           {
+             cl_id = Principal.of_string s.Delegation.sum_root;
+             cl_grant = s.Delegation.sum_grant;
+             cl_scope = scope;
+           }
+         in
+         let r = serve_as t delegated inner in
+         (match (inner, r) with
+          | Exec _, R_exit _ -> metric t "chirp.delegated_exec"
+          | _ -> ());
+         Audit.record t.sv_audit ~time:now ~pid:0 ~identity:s.Delegation.sum_root
+           ~op:("delegated." ^ Protocol.operation_name inner)
+           ~path:(Protocol.operation_path inner)
+           (match r with
+            | Protocol.R_error (e, _) -> Audit.Denied e
+            | _ -> Audit.Allowed);
+         r)
+
+(* Direct (non-delegated) service: the session principal's own, full
+   authority. *)
+let serve_op t identity op = serve_as t (caller_of t identity) op
 
 (* {1 Subtree snapshots}
 
@@ -538,11 +674,24 @@ let dedup_image t =
          [ rid; Int64.to_string d.dd_at; d.dd_response ])
   |> Wire.encode
 
+(* Revocation epochs ride the checkpoint as a pseudo-entry: an old
+   decoder's [snap_decode] returns [None] for it (so it is skipped
+   harmlessly), while [restart] scans for it explicitly. *)
+let revocation_image t =
+  Wire.encode
+    ("revocations"
+    :: List.concat_map
+         (fun (delegator, epoch) -> [ delegator; string_of_int epoch ])
+         (Delegation.Revocations.entries t.sv_revocations))
+
 let take_checkpoint t =
   match snapshot_subtree t "/" with
   | Error e -> Error e
   | Ok entries ->
-    let blob = Wire.encode (dedup_image t :: List.map snap_encode entries) in
+    let blob =
+      Wire.encode
+        (dedup_image t :: revocation_image t :: List.map snap_encode entries)
+    in
     Wal.checkpoint t.wal blob;
     t.ops_since_ckpt <- 0;
     metric t "chirp.checkpoint";
@@ -973,6 +1122,8 @@ let create ~kernel ~net ~addr ~owner_uid ~export ~acceptor ?root_acl
       sv_export;
       acceptor;
       enforce = Enforce.create kernel ~supervisor:sv_owner ();
+      sv_revocations = Delegation.Revocations.create ();
+      sv_audit = Audit.create ();
       sessions = Hashtbl.create 8;
       dedup = Hashtbl.create 8;
       max_sessions;
@@ -1084,12 +1235,35 @@ let restart t =
   let rc = Wal.recover t.wal in
   let c = cost t in
   wipe_export t;
+  (* Rebuild the revocation store from stable storage alone: fresh
+     epochs from the checkpoint image, then WAL replay re-applies any
+     [Revoke] logged since.  The chain-verdict memo goes with the old
+     store — its generation counter no longer means anything. *)
+  t.sv_revocations <- Delegation.Revocations.create ();
+  Enforce.drop_chains t.enforce;
+  let restore_revocations blob =
+    match Wire.decode blob with
+    | Ok ("revocations" :: fields) ->
+      let rec pairs acc = function
+        | delegator :: epoch :: rest ->
+          (match int_of_string_opt epoch with
+           | Some e -> pairs ((delegator, e) :: acc) rest
+           | None -> acc)
+        | _ -> acc
+      in
+      ignore (Delegation.Revocations.merge t.sv_revocations (pairs [] fields));
+      true
+    | Ok _ | Error _ -> false
+  in
   (match rc.Wal.rc_checkpoint with
    | None -> ()
    | Some blob ->
      metric t "chirp.recovery.checkpoint_loads";
      (match Wire.decode blob with
       | Ok (dedup_blob :: entry_blobs) ->
+        let entry_blobs =
+          List.filter (fun b -> not (restore_revocations b)) entry_blobs
+        in
         let entries = List.filter_map snap_decode entry_blobs in
         charge t
           (Int64.mul
@@ -1152,6 +1326,19 @@ let checkpoint_now t = take_checkpoint t
 
 let set_mutation_hook t hook = t.mutation_hook <- Some hook
 let clear_mutation_hook t = t.mutation_hook <- None
+
+(* Anti-entropy for revocation epochs: a peer's (delegator, epoch) list
+   max-merges into the local store.  Merges are not WAL-logged (they are
+   not client operations); a crash loses them only until the next gossip
+   round, and monotonicity makes re-merging free.  Fail-closed either
+   way: a lost merge can only under-revoke until the gossip heals it,
+   never resurrect a chain the local store already killed. *)
+let merge_epochs t entries =
+  let changed = Delegation.Revocations.merge t.sv_revocations entries in
+  if changed then metric t "chirp.revocation.merge";
+  changed
+
+let epoch_entries t = Delegation.Revocations.entries t.sv_revocations
 
 (* Apply a mutation forwarded by a peer: same ACL enforcement path as a
    client request — the principal travelled with the operation, so a

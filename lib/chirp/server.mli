@@ -87,6 +87,19 @@ val addr : t -> string
 val export : t -> string
 val owner_uid : t -> int
 
+val revocations : t -> Idbox_auth.Delegation.Revocations.t
+(** The per-delegator revocation-epoch store.  Grown by [Revoke]
+    operations and by {!merge_epochs}; persisted inside checkpoints and
+    rebuilt on {!restart} (checkpoint image plus replayed [Revoke]
+    records). *)
+
+val audit : t -> Idbox.Audit.t
+(** The server's forensic trail.  Delegated operations record one event
+    per chain hop ([op = "delegate"], the delegator handing authority
+    toward the delegatee) plus one for the inner operation's verdict
+    ([op = "delegated.<name>"]) — or a single denial when the chain is
+    refused. *)
+
 val sessions : t -> (string * string) list
 (** [(principal, method)] for every authenticated session. *)
 
@@ -161,6 +174,17 @@ val set_mutation_hook :
     the client's answer. *)
 
 val clear_mutation_hook : t -> unit
+
+val merge_epochs : t -> (string * int) list -> bool
+(** Max-merge a peer's (delegator, revocation epoch) entries into the
+    local store; [true] iff anything grew ([chirp.revocation.merge]).
+    The anti-entropy side of revocation: [Revoke] fan-out covers the
+    connected case, gossip heals partitions.  Merges are monotone, so
+    delivery order and duplication are harmless. *)
+
+val epoch_entries : t -> (string * int) list
+(** The local (delegator, epoch) entries, sorted — the payload of a
+    gossip round. *)
 
 val apply_replicated :
   t ->

@@ -174,8 +174,52 @@ let dispatch t key ~extra =
     repair_key t key ~extra
   | Some p -> handoff t ~key ~primary:p
 
+(* Revocation-epoch gossip: exchange (delegator, epoch) entries with
+   every other member.  Merges are pointwise max — monotone — so the
+   exchange is idempotent and order-free; [Revoke] fan-out covers the
+   connected case, this sweep heals whatever a partition dropped.  The
+   reply carries the peer's entries back, so one successful exchange
+   converges the pair in a single round trip. *)
+let gossip_epochs t =
+  let self = Replica.name t.rp_node in
+  let server = Replica.server t.rp_node in
+  let flatten entries =
+    List.concat_map (fun (d, e) -> [ d; string_of_int e ]) entries
+  in
+  let rec pairs acc = function
+    | delegator :: epoch :: rest ->
+      (match int_of_string_opt epoch with
+       | Some e -> pairs ((delegator, e) :: acc) rest
+       | None -> acc)
+    | _ -> acc
+  in
+  List.iter
+    (fun peer ->
+      if not (String.equal peer self) then
+        match Membership.addr_of (Replica.membership t.rp_node) peer with
+        | None -> ()
+        | Some addr ->
+          metric t "cluster.revocation.gossip";
+          (match
+             call t ~addr
+               (Wire.encode ("epochs" :: flatten (Server.epoch_entries server)))
+           with
+           | Ok reply ->
+             (match Wire.decode reply with
+              | Ok ("ok" :: fields) ->
+                ignore (Server.merge_epochs server (pairs [] fields))
+              | Ok _ | Error _ -> metric t "cluster.repair.fail")
+           | Error _ -> metric t "cluster.repair.fail"))
+    (Ring.nodes (Replica.ring t.rp_node))
+
 let sweep t =
   metric t "cluster.repair.sweep";
+  (* Only nodes that know of a revocation push epochs on the sweep: a
+     node with an empty store has nothing to offer, and anything it is
+     missing will be pushed to it by a peer that does know.  The
+     zero-revocation steady state therefore costs no gossip traffic. *)
+  if Server.epoch_entries (Replica.server t.rp_node) <> [] then
+    gossip_epochs t;
   let keys =
     match Server.shard_roots (Replica.server t.rp_node) with
     | Ok ks -> ks

@@ -65,4 +65,19 @@ val tick : t -> unit
 
 val sweep : t -> unit
 (** Force a full sweep now (tests and the CLI use this to make
-    convergence synchronous). *)
+    convergence synchronous).  Includes a revocation-epoch gossip
+    round ({!gossip_epochs}) when the local store is non-empty — a
+    node that knows nothing has nothing to push, and anything it is
+    missing reaches it through a knowing peer's sweep. *)
+
+val gossip_epochs : t -> unit
+(** Exchange revocation epochs ({!Idbox_chirp.Server.epoch_entries})
+    with every other ring member and max-merge both directions — the
+    anti-entropy path that makes a [Revoke] issued during a partition
+    reach the minority side after the heal.  Runs as part of every
+    {!sweep} whose local store is non-empty; exposed so chaos tests can
+    heal revocation state without a full data sweep (the explicit call
+    always exchanges, even with an empty store — the bidirectional
+    merge is how a partitioned minority {e pulls} epochs it missed).
+    Counters: [cluster.revocation.gossip] per peer contacted,
+    [cluster.repair.fail] on unreachable peers. *)

@@ -295,6 +295,25 @@ let handle node payload =
     let peer = match rest with origin :: _ -> origin | [] -> "" in
     note_pending node ~key ~peer ~errno:"hint";
     Wire.encode [ "ok" ]
+  | Ok ("epochs" :: fields) ->
+    (* Bidirectional revocation gossip: max-merge the caller's
+       (delegator, epoch) entries, reply with the local ones.  Both
+       sides only grow, so one exchange converges the pair regardless
+       of who initiated or how often it repeats. *)
+    let rec pairs acc = function
+      | delegator :: epoch :: rest ->
+        (match int_of_string_opt epoch with
+         | Some e -> pairs ((delegator, e) :: acc) rest
+         | None -> acc)
+      | _ -> acc
+    in
+    if Server.merge_epochs node.nd_server (pairs [] fields) then
+      metric node "cluster.revocation.merge";
+    Wire.encode
+      ("ok"
+      :: List.concat_map
+           (fun (delegator, epoch) -> [ delegator; string_of_int epoch ])
+           (Server.epoch_entries node.nd_server))
   | Ok ("repair" :: prefix :: blobs) ->
     (* Authoritative content from the shard's primary: make the local
        subtree exactly equal, deletions included. *)

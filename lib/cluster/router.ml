@@ -695,6 +695,35 @@ let exec t ?cwd ~path ~args () =
     Error Errno.EXDEV
   end
 
+(* Delegated exec rides the write path like [exec]: the chain travels
+   inside the operation, the primary validates it, and the server-side
+   mutation hook forwards the whole delegated op to the other owners —
+   each replica revalidates the chain against its own revocation view,
+   so a replica that already heard a [Revoke] refuses the replay. *)
+let exec_delegated t ~chain ?cwd ~path ~args () =
+  let cwd = match cwd with Some c -> c | None -> Path.dirname path in
+  let cwd_key = Replica.shard_key cwd in
+  if
+    String.equal cwd_key (Replica.shard_key path)
+    || String.equal cwd_key "/"
+  then begin
+    metric t "cluster.delegated_exec";
+    write_on t path (fun c ->
+        Client.exec_delegated c ~chain ~cwd ~path ~args ())
+  end
+  else begin
+    metric t "cluster.exdev";
+    Error Errno.EXDEV
+  end
+
+(* Revocation is root-key state, like the export root's ACL: the write
+   goes to the root primary and the server-side hook fans it to every
+   member.  Partitioned members catch up by epoch gossip. *)
+let revoke t who = write_on t "/" (fun c -> Client.revoke c who)
+
+let delegation_epoch t who =
+  read_on t "/" (fun c -> Client.delegation_epoch c who)
+
 let checksum t path =
   read_on t path
     ~hedge:(Protocol.Checksum path, of_str)

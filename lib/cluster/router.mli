@@ -116,5 +116,31 @@ val exec : t -> ?cwd:string -> path:string -> args:string list -> unit -> int r
 (** Routed by the program's path; [cwd] (default the program's
     directory) must shard with it, else [EXDEV]. *)
 
+val exec_delegated :
+  t ->
+  chain:Idbox_auth.Delegation.chain ->
+  ?cwd:string ->
+  path:string ->
+  args:string list ->
+  unit ->
+  int r
+(** {!exec} under a delegation chain: routed like [exec], validated by
+    the primary, and replicated with the chain inside the operation so
+    every owner revalidates against its own revocation view.  This is
+    how node B submits delegated work to node C — the router picks the
+    shard, the chain carries the authority.
+    Counter: [cluster.delegated_exec]. *)
+
+val revoke : t -> string -> int r
+(** Bump the named delegator's revocation epoch cluster-wide.  Routed
+    to the root-key primary and fanned to every member by the
+    server-side replication hook (root-key state, like the export
+    root's ACL); members cut off by a partition converge later via
+    {!Repair.gossip_epochs}.  Returns the primary's new epoch. *)
+
+val delegation_epoch : t -> string -> int r
+(** The root-key primary's current revocation epoch for the named
+    delegator. *)
+
 val checksum : t -> string -> string r
 val whoami : t -> string r

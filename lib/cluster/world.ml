@@ -212,6 +212,18 @@ let restart t name =
 let issue t cn =
   Credential.Gsi (Ca.issue t.w_ca (Subject.of_string_exn ("/O=Grid/CN=" ^ cn)))
 
+let principal_of cn = "globus:/O=Grid/CN=" ^ cn
+
+let delegate ?(ttl_ns = 3_600_000_000_000L) ?(hops = 4) ?epoch t ~delegator
+    ~delegatee ~rights ~prefix () =
+  Idbox_kernel.Metrics.incr
+    (Idbox_kernel.Metrics.counter
+       (Kernel.metrics t.w_kernel)
+       "auth.delegation.mint");
+  Idbox_auth.Delegation.mint t.w_ca ~delegator:(principal_of delegator)
+    ~delegatee:(principal_of delegatee) ~rights ~prefix
+    ~now:(Clock.now t.w_clock) ~ttl_ns ~hops ?epoch ()
+
 let connect ?src ?policy ?hedge_ns t ~credentials =
   Router.connect ?src ?policy ~replicas:t.w_replicas ~vnodes:t.w_vnodes
     ?hedge_ns ?trace:t.w_trace t.w_net ~catalog:catalog_address ~credentials

@@ -95,6 +95,27 @@ val restart : t -> string -> unit
 val issue : t -> string -> Idbox_auth.Credential.t
 (** A GSI credential for [/O=Grid/CN=<name>], signed by the world CA. *)
 
+val principal_of : string -> string
+(** The principal string a CN negotiates to: ["globus:/O=Grid/CN=<cn>"]
+    — the form delegation tokens name principals in. *)
+
+val delegate :
+  ?ttl_ns:int64 ->
+  ?hops:int ->
+  ?epoch:int ->
+  t ->
+  delegator:string ->
+  delegatee:string ->
+  rights:Idbox_acl.Rights.t ->
+  prefix:string ->
+  unit ->
+  Idbox_auth.Delegation.token
+(** Mint one delegation hop, CN to CN, attested by the world CA and
+    stamped at the world clock's current time ([ttl_ns] default 1 h,
+    [hops] default 4).  [epoch] must be the delegator's current
+    revocation epoch if they have ever revoked ({!Router.revoke});
+    defaults to 0.  Counter: [auth.delegation.mint]. *)
+
 val connect :
   ?src:string ->
   ?policy:Idbox_chirp.Client.retry_policy ->

@@ -12,6 +12,8 @@ module Errno = Idbox_vfs.Errno
 module Fs = Idbox_vfs.Fs
 module Perm = Idbox_vfs.Perm
 module Account = Idbox_kernel.Account
+module Delegation = Idbox_auth.Delegation
+module Expiry = Idbox_auth.Expiry
 
 (* How a cached ACL is known to still be current.  With caching on, the
    token is the governing directory's (ino, generation): the VFS bumps
@@ -45,15 +47,27 @@ type decision_cached = {
   dc_allowed : bool;
 }
 
+(* A memoized delegation-chain verdict, valid while the revocation
+   store's generation is unchanged (any revoke or gossip merge bumps
+   it).  Only [Ok] summaries are cached: a rejected chain is rejected
+   again from scratch, so chaos counters stay honest, and expiry is
+   rechecked on every hit because time moves while generations don't. *)
+type chain_cached = {
+  cc_gen : int;
+  cc_summary : Delegation.summary;
+}
+
 type t = {
   kernel : Kernel.t;
   sup : View.t;
   cache : (string, cached) Hashtbl.t;
   names : (string, name_cached) Hashtbl.t;
   decisions : (string, decision_cached) Hashtbl.t;
+  chains : (string, chain_cached) Hashtbl.t;
   in_kernel : bool;
   caching : bool;
   c_gen_check : int64;
+  c_chain_hop : int64;
   (* Counter handles are interned once here: the check path must not pay
      a string-keyed registry lookup per call. *)
   m_acl_hit : Metrics.counter;
@@ -66,6 +80,9 @@ type t = {
   m_eval : Metrics.counter;
   m_eval_entries : Metrics.counter;
   m_read_fail : Metrics.counter;
+  m_chain_hit : Metrics.counter;
+  m_chain_miss : Metrics.counter;
+  m_deleg_ok : Metrics.counter;
 }
 
 let acl_filename = Acl.filename
@@ -81,9 +98,11 @@ let create ?(in_kernel = false) ?(caching = true) kernel ~supervisor () =
     cache = Hashtbl.create 64;
     names = Hashtbl.create 64;
     decisions = Hashtbl.create 64;
+    chains = Hashtbl.create 16;
     in_kernel;
     caching;
     c_gen_check = (Kernel.cost kernel).Cost.gen_check_ns;
+    c_chain_hop = (Kernel.cost kernel).Cost.chain_hop_ns;
     m_acl_hit = c "acl.cache.hit";
     m_acl_miss = c "acl.cache.miss";
     m_acl_inval = c "acl.cache.invalidate";
@@ -94,6 +113,9 @@ let create ?(in_kernel = false) ?(caching = true) kernel ~supervisor () =
     m_eval = c "acl.eval";
     m_eval_entries = c "acl.eval.entries";
     m_read_fail = c "acl.read.fail";
+    m_chain_hit = c "enforce.chain.hit";
+    m_chain_miss = c "enforce.chain.miss";
+    m_deleg_ok = c "auth.delegation.ok";
   }
 
 (* A user-level supervisor pays two context switches to make its own
@@ -396,3 +418,65 @@ let write_acl t ~dir acl =
        Ok ()
      | Error e -> Error e)
   | Ok _ -> Error Errno.EINVAL
+
+(* ------------------------------------------------------------------ *)
+(* Delegation chains.                                                  *)
+
+let reject_chain t failure =
+  Metrics.incr
+    (Metrics.counter (Kernel.metrics t.kernel)
+       ("auth.delegation.reject." ^ Delegation.failure_name failure));
+  Error failure
+
+let admit_ok t summary =
+  Metrics.incr t.m_deleg_ok;
+  Ok summary
+
+(* Cold validation pays one {!Cost.t.chain_hop_ns} per hop — the keyed
+   digest recompute plus structural checks; a memo hit pays one
+   generation check, exactly like the name/ACL/decision caches. *)
+let validate_cold t ~trusted ~revocations ~now ~holder chain =
+  Kernel.charge t.kernel
+    (Int64.mul (Int64.of_int (List.length chain)) t.c_chain_hop);
+  Delegation.validate ~trusted ~revocations ~now ~holder chain
+
+let admit_chain t ~trusted ~revocations ~now ~holder chain =
+  if not t.caching then (
+    match validate_cold t ~trusted ~revocations ~now ~holder chain with
+    | Ok s -> admit_ok t s
+    | Error f -> reject_chain t f)
+  else
+    let key = Delegation.chain_key ~holder chain in
+    let gen = Delegation.Revocations.generation revocations in
+    match Hashtbl.find_opt t.chains key with
+    | Some m when m.cc_gen = gen ->
+      Kernel.charge t.kernel t.c_gen_check;
+      if Expiry.valid_at ~now ~expires:m.cc_summary.Delegation.sum_expires
+      then begin
+        Metrics.incr t.m_chain_hit;
+        admit_ok t m.cc_summary
+      end
+      else begin
+        (* Time, unlike revocation, invalidates silently: drop the memo
+           so the next presentation re-pays the cold path. *)
+        Hashtbl.remove t.chains key;
+        reject_chain t Delegation.F_expired
+      end
+    | Some _ | None ->
+      Metrics.incr t.m_chain_miss;
+      (match validate_cold t ~trusted ~revocations ~now ~holder chain with
+       | Ok s ->
+         Hashtbl.replace t.chains key { cc_gen = gen; cc_summary = s };
+         admit_ok t s
+       | Error f -> reject_chain t f)
+
+(* After a crash-recovery the revocation store is rebuilt from stable
+   storage and its generation counter restarts: a pre-crash memo could
+   coincidentally validate against an unrelated generation value.  The
+   recovering server drops the memo outright — fail-closed and cheap. *)
+let drop_chains t = Hashtbl.reset t.chains
+
+let check_delegated t ~identity ~grant ~prefix ~path right =
+  if not (Rights.mem right grant) then Error Errno.EACCES
+  else if not (Delegation.scope_contains ~prefix path) then Error Errno.EACCES
+  else check_object t ~identity ~path right

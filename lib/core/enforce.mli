@@ -126,3 +126,43 @@ val invalidate : t -> dir:string -> unit
 
 val acl_filename : string
 (** Re-export of {!Idbox_acl.Acl.filename} for dispatch-layer filtering. *)
+
+val admit_chain :
+  t ->
+  trusted:Idbox_auth.Ca.t list ->
+  revocations:Idbox_auth.Delegation.Revocations.t ->
+  now:int64 ->
+  holder:string ->
+  Idbox_auth.Delegation.chain ->
+  (Idbox_auth.Delegation.summary, Idbox_auth.Delegation.failure) result
+(** Validate a delegation chain presented by the authenticated [holder],
+    memoized through the same generation-validated shape as the other
+    caches: the key covers every stamp in the chain plus the holder, and
+    a memo is valid while the {!Idbox_auth.Delegation.Revocations}
+    generation is unchanged {e and} the summary is unexpired
+    ({!Idbox_auth.Expiry} rule against the earliest hop expiry).  A cold
+    validation charges one {!Idbox_kernel.Cost.t.chain_hop_ns} per hop;
+    a warm hit charges one {!Idbox_kernel.Cost.t.gen_check_ns}.  Only
+    successful verdicts are memoized — every rejection re-validates from
+    scratch, fail-closed.  Counters: [enforce.chain.hit],
+    [enforce.chain.miss], [auth.delegation.ok],
+    [auth.delegation.reject.<reason>]. *)
+
+val drop_chains : t -> unit
+(** Drop every memoized chain verdict.  A recovering server calls this
+    after rebuilding its revocation store, whose fresh generation
+    counter could otherwise coincidentally validate a pre-crash memo. *)
+
+val check_delegated :
+  t ->
+  identity:Idbox_identity.Principal.t ->
+  grant:Idbox_acl.Rights.t ->
+  prefix:string ->
+  path:string ->
+  Idbox_acl.Right.t ->
+  (unit, Idbox_vfs.Errno.t) result
+(** {!check_object} under attenuated authority: the verdict is the
+    intersection of the delegated grant mask, the chain's path-prefix
+    scope ([prefix] and [path] both absolute, supervisor-side), and the
+    root delegator's own ACL verdict — a delegated caller can never do
+    what the delegator could not. *)

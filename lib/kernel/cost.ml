@@ -23,6 +23,7 @@ type t = {
   wal_replay_ns : int64;
   checkpoint_entry_ns : int64;
   digest_dir_ns : int64;
+  chain_hop_ns : int64;
 }
 
 let default =
@@ -51,6 +52,7 @@ let default =
     wal_replay_ns = 900L;
     checkpoint_entry_ns = 2_500L;
     digest_dir_ns = 1_800L;
+    chain_hop_ns = 2_000L;
   }
 
 let ns_of_float f = Int64.of_float (Float.round f)

@@ -66,6 +66,11 @@ type t = {
           (hashing names, kinds and ACL text; file-content bytes are
           charged via {!copy_bytes}).  A generation-validated memo hit
           costs {!t.gen_check_ns} instead. *)
+  chain_hop_ns : int64;
+      (** Per-hop cost of cold delegation-chain validation: one keyed
+          digest recompute plus the structural checks for a single hop.
+          A memoized chain verdict revalidated against the revocation
+          generation costs {!t.gen_check_ns} instead. *)
 }
 
 val default : t

@@ -8,6 +8,8 @@ module Box = Idbox.Box
 module Network = Idbox_net.Network
 module Fault = Idbox_net.Fault
 module Ca = Idbox_auth.Ca
+module Delegation = Idbox_auth.Delegation
+module Metrics = Idbox_kernel.Metrics
 module Credential = Idbox_auth.Credential
 module Negotiate = Idbox_auth.Negotiate
 module Server = Idbox_chirp.Server
@@ -455,7 +457,7 @@ let metrics_workload () =
     Acl.of_entries
       [
         Entry.make ~pattern:"globus:/O=UnivNowhere/*"
-          (Rights.of_string_exn "rwl");
+          (Rights.of_string_exn "rwlx");
       ]
   in
   let _server =
@@ -475,7 +477,39 @@ let metrics_workload () =
       let path = Printf.sprintf "/f%d" i in
       ignore (Client.put c ~path ~data:(String.make 32 'y'));
       ignore (Client.get c path)
-    done);
+    done;
+    (* Delegated exec, so the stats export also carries the delegation
+       counter families (auth.delegation.mint/ok/reject.*,
+       enforce.chain.*, chirp.delegated_exec, chirp.revocation.apply). *)
+    Program.register "dstat" (fun _ -> 0);
+    ignore (Client.put c ~path:"/dstat.exe" ~data:(Program.marker "dstat"));
+    let mint ~delegatee ~expires =
+      Metrics.incr (Metrics.counter (Kernel.metrics kernel) "auth.delegation.mint");
+      Delegation.mint ca ~delegator:"globus:/O=UnivNowhere/CN=Freddy"
+        ~delegatee ~rights:(Rights.of_string_exn "rxl") ~prefix:"/"
+        ~now:(Clock.now (Kernel.clock kernel))
+        ~ttl_ns:expires ~hops:2 ()
+    in
+    let gilda = "globus:/O=UnivNowhere/CN=Gilda" in
+    let cert_g = Ca.issue ca (Subject.of_string_exn "/O=UnivNowhere/CN=Gilda") in
+    (match
+       Client.connect ~src:"gilda" net ~addr:"stats.grid.edu:9094"
+         ~credentials:[ Credential.Gsi cert_g ]
+     with
+    | Error m -> failwith ("metrics delegatee: " ^ m)
+    | Ok cg ->
+      let chain = [ mint ~delegatee:gilda ~expires:60_000_000_000L ] in
+      ignore
+        (Client.exec_delegated cg ~chain ~path:"/dstat.exe"
+           ~args:[ "dstat.exe" ] ());
+      ignore (Client.get_delegated cg ~chain "/f1");
+      (* One refusal, so a reject counter family shows up too. *)
+      ignore
+        (Client.get_delegated cg
+           ~chain:[ mint ~delegatee:gilda ~expires:(-1L) ]
+           "/f1");
+      ignore (Client.revoke c "globus:/O=UnivNowhere/CN=Freddy");
+      ignore (Client.get_delegated cg ~chain "/f1")));
   kernel
 
 let metrics ?(trace = false) () =

@@ -39,6 +39,9 @@ let () =
       ("ring", Test_ring.suite);
       ("cluster", Test_cluster.suite);
       ("enforce-cache", Test_enforce_cache.suite);
+      ("delegation", Test_delegation.suite);
+      ("delegation-props", Test_delegation_props.suite);
+      ("delegation-chaos", Test_delegation_chaos.suite);
       ("async", Test_async.suite);
       ("control", Test_control.suite);
     ]

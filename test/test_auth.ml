@@ -68,6 +68,13 @@ let kerberos_expiry_and_forgery () =
     | Ok t -> t
     | Error m -> Alcotest.fail m
   in
+  (* The Expiry boundary rule: valid at exactly now = expires_at,
+     invalid one nanosecond later — the same rule as Cas assertions
+     and delegation tokens. *)
+  Alcotest.(check bool) "valid at the boundary instant" true
+    (Kerberos.verify realm ticket ~now:ticket.Kerberos.expires_at);
+  Alcotest.(check bool) "dead one ns past the boundary" false
+    (Kerberos.verify realm ticket ~now:(Int64.add ticket.Kerberos.expires_at 1L));
   (* 10 hours later it has expired. *)
   let eleven_hours = Int64.mul 39_600L 1_000_000_000L in
   Alcotest.(check bool) "expired" false (Kerberos.verify realm ticket ~now:eleven_hours);

@@ -34,6 +34,12 @@ let assertions_and_expiry () =
     | Error m -> Alcotest.fail m
   in
   Alcotest.(check bool) "fresh ok" true (Cas.verify cas assertion ~now:1L);
+  (* The Expiry boundary rule: valid at exactly now = expires,
+     invalid one nanosecond later. *)
+  Alcotest.(check bool) "valid at the boundary instant" true
+    (Cas.verify cas assertion ~now:assertion.Cas.as_expires);
+  Alcotest.(check bool) "dead one ns past the boundary" false
+    (Cas.verify cas assertion ~now:(Int64.add assertion.Cas.as_expires 1L));
   (* Expired after an hour. *)
   let later = Int64.mul 7200L 1_000_000_000L in
   Alcotest.(check bool) "expired" false (Cas.verify cas assertion ~now:later);

@@ -217,6 +217,38 @@ let kernel_records () =
   Alcotest.(check int) "failed open traced" 1 (List.length enoent);
   Alcotest.(check bool) "spans retained" true (Trace.length ring > 0)
 
+(* The `idbox stats` export is the operator's one window into the
+   counter registry: its workload must touch — and its JSON dump must
+   therefore carry — every counter family the instrumented layers
+   define, including the delegation subsystem's. *)
+let stats_dump_covers_delegation () =
+  let kernel = Idbox_report.Report.metrics_workload () in
+  let json = Idbox_report.Report.metrics_json kernel in
+  let contains needle =
+    let nh = String.length json and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh
+      && (String.equal (String.sub json i nn) needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun family ->
+      Alcotest.(check bool) ("dump carries " ^ family) true
+        (contains ("\"" ^ family ^ "\"")))
+    [
+      "auth.delegation.mint";
+      "auth.delegation.ok";
+      "auth.delegation.reject.expired";
+      "auth.delegation.reject.revoked";
+      "enforce.chain.hit";
+      "enforce.chain.miss";
+      "chirp.delegated_exec";
+      "chirp.revocation.apply";
+      "chirp.rpc.delegated";
+      "chirp.rpc.revoke";
+    ]
+
 let suite =
   [
     Alcotest.test_case "counter basics" `Quick counter_basics;
@@ -232,4 +264,6 @@ let suite =
     Alcotest.test_case "ring sinks see every span" `Quick ring_sinks;
     Alcotest.test_case "ring JSON" `Quick ring_json;
     Alcotest.test_case "kernel records syscall metrics" `Quick kernel_records;
+    Alcotest.test_case "stats dump covers the delegation counters" `Quick
+      stats_dump_covers_delegation;
   ]

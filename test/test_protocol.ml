@@ -178,6 +178,77 @@ let nested_batch_rejected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "nested batch response accepted"
 
+let delegated_roundtrip_and_guards () =
+  let ca = Ca.create ~name:"Grid CA" in
+  let tok =
+    Idbox_auth.Delegation.mint ca ~delegator:"globus:/O=Grid/CN=A"
+      ~delegatee:"globus:/O=Grid/CN=B"
+      ~rights:(Idbox_acl.Rights.of_string_exn "rx")
+      ~prefix:"/work" ~now:3L ~ttl_ns:100L ~hops:2 ()
+  in
+  let op =
+    Protocol.Delegated
+      { chain = [ tok ]; op = Protocol.Exec { path = "/work/sim.exe";
+                                              args = [ "sim.exe" ];
+                                              cwd = "/work" } }
+  in
+  Alcotest.(check bool) "delegated exec is not idempotent" false
+    (Protocol.idempotent op);
+  Alcotest.(check bool) "delegated read is idempotent" true
+    (Protocol.idempotent
+       (Protocol.Delegated { chain = [ tok ]; op = Protocol.Whoami }));
+  Alcotest.(check string) "routes by the inner operation" "/work/sim.exe"
+    (Protocol.operation_path op);
+  let req = Protocol.Op { token = "tok"; req_id = "tok#1"; op } in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+   | Ok (Protocol.Op { op = Protocol.Delegated { chain; op = inner }; _ }) ->
+     Alcotest.(check bool) "chain survives the wire" true (chain = [ tok ]);
+     Alcotest.(check bool) "inner op survives the wire" true
+       (inner = Protocol.Exec { path = "/work/sim.exe"; args = [ "sim.exe" ];
+                                cwd = "/work" })
+   | Ok _ -> Alcotest.fail "decoded to something else"
+   | Error m -> Alcotest.fail m);
+  (* Structural guards, enforced at decode: no delegation inside a
+     batch, no batch inside a delegation, no nested delegation. *)
+  List.iter
+    (fun (ctx, bad) ->
+      match
+        Protocol.decode_request
+          (Protocol.encode_request
+             (Protocol.Op { token = "tok"; req_id = ""; op = bad }))
+      with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s accepted" ctx)
+    [
+      ("delegated inside a batch",
+       Protocol.Batch
+         [ Protocol.Delegated { chain = [ tok ]; op = Protocol.Whoami } ]);
+      ("batch inside a delegated",
+       Protocol.Delegated
+         { chain = [ tok ]; op = Protocol.Batch [ Protocol.Whoami ] });
+      ("nested delegation",
+       Protocol.Delegated
+         { chain = [ tok ];
+           op = Protocol.Delegated { chain = [ tok ]; op = Protocol.Whoami } });
+    ];
+  (* Revoke routes by the root key and replicates; Epoch is a read. *)
+  Alcotest.(check string) "revoke routes by the root key" "/"
+    (Protocol.operation_path (Protocol.Revoke "globus:/O=Grid/CN=A"));
+  Alcotest.(check bool) "revoke is not idempotent" false
+    (Protocol.idempotent (Protocol.Revoke "globus:/O=Grid/CN=A"));
+  Alcotest.(check bool) "epoch is idempotent" true
+    (Protocol.idempotent (Protocol.Epoch "globus:/O=Grid/CN=A"));
+  match
+    Protocol.decode_request
+      (Protocol.encode_request
+         (Protocol.Op { token = "t"; req_id = "t#2";
+                        op = Protocol.Revoke "globus:/O=Grid/CN=A" }))
+  with
+  | Ok (Protocol.Op { op = Protocol.Revoke who; _ }) ->
+    Alcotest.(check string) "revoke roundtrip" "globus:/O=Grid/CN=A" who
+  | Ok _ -> Alcotest.fail "revoke decoded to something else"
+  | Error m -> Alcotest.fail m
+
 let malformed_messages_rejected () =
   List.iter
     (fun text ->
@@ -203,4 +274,6 @@ let suite =
     Alcotest.test_case "malformed rejected" `Quick malformed_messages_rejected;
     Alcotest.test_case "batch roundtrip" `Quick batch_roundtrip;
     Alcotest.test_case "nested batch rejected" `Quick nested_batch_rejected;
+    Alcotest.test_case "delegated roundtrip and structural guards" `Quick
+      delegated_roundtrip_and_guards;
   ]
