@@ -636,12 +636,15 @@ let recovery_block () =
         row.rp_p95_repair_ms)
     r.rec_repair
 
-(* The cache ablation: the same warm ACL-heavy workload through a
-   generation-cached enforcement engine and through one with caching
-   off (the pre-cache behaviour, and what the paper's Parrot pays: a
-   revalidation lstat per check).  Both phases are measured warm — one
-   priming pass first — so the figure isolates steady-state cost, and
-   the cached engine must clock {e zero} delegated syscalls.  Plus the
+(* The cache ablation: the same warm ACL-heavy workload through three
+   engine tiers — compiled-policy bytecode (perfect-hash decision
+   program consulted at syscall entry), the generation-validated
+   decision caches with bytecode pinned off, and caching off entirely
+   (the pre-cache behaviour, and what the paper's Parrot pays: a
+   revalidation lstat per check).  All phases are measured warm — one
+   priming pass first — so the figure isolates steady-state cost, the
+   cached tiers must clock {e zero} delegated syscalls, and the verdict
+   transcripts of all three tiers must be byte-identical.  Plus the
    batched-RPC figure: 64 reads as 64 round trips vs. one [Batch]
    envelope.  All simulated and seeded: byte-identical across runs. *)
 type cache_mode_row = {
@@ -654,10 +657,16 @@ type cache_mode_row = {
 
 type cache_report = {
   cb_modes : cache_mode_row list;
-  cb_speedup : float;  (* uncached simulated time / cached *)
+  cb_speedup : float;  (* uncached simulated time / decision-cached *)
+  cb_bc_speedup : float;  (* decision-cached simulated time / bytecode *)
+  cb_verdicts_identical : bool;  (* transcripts equal across all tiers *)
   cb_acl_hits : int;
   cb_dec_hits : int;
   cb_name_hits : int;
+  cb_bc_hits : int;
+  cb_bc_stale : int;
+  cb_bc_fallback : int;
+  cb_bc_recompile : int;
   cb_lease_hits : int;
   cb_ops : int;
   cb_seq_msgs : int;
@@ -666,7 +675,7 @@ type cache_report = {
   cb_batch_ms : float;
 }
 
-let cache_enforce_run ~caching =
+let cache_enforce_run ~mode =
   let module Kernel = Idbox_kernel.Kernel in
   let module Clock = Idbox_kernel.Clock in
   let module Metrics = Idbox_kernel.Metrics in
@@ -677,7 +686,13 @@ let cache_enforce_run ~caching =
   let module Right = Idbox_acl.Right in
   let kernel = Kernel.create () in
   let sup = Kernel.make_view kernel ~uid:0 () in
-  let enforce = Enforce.create ~caching kernel ~supervisor:sup () in
+  let caching, bytecode =
+    match mode with
+    | `Bytecode -> (true, true)
+    | `Cached -> (true, false)
+    | `Uncached -> (false, false)
+  in
+  let enforce = Enforce.create ~caching ~bytecode kernel ~supervisor:sup () in
   let dirs = List.init 8 (fun i -> Printf.sprintf "/proj/d%d" i) in
   List.iter
     (fun dir ->
@@ -707,41 +722,56 @@ let cache_enforce_run ~caching =
       ]
   in
   let rights = [ Right.Read; Right.Write; Right.List ] in
-  let pass () =
+  let transcript = Buffer.create 512 in
+  let pass ~record () =
     List.iter
       (fun dir ->
         List.iter
           (fun identity ->
             List.iter
               (fun right ->
-                ignore
-                  (Enforce.check_object enforce ~identity
-                     ~path:(dir ^ "/blob") right))
+                let v =
+                  Enforce.check_object enforce ~identity
+                    ~path:(dir ^ "/blob") right
+                in
+                if record then
+                  Buffer.add_char transcript
+                    (match v with Ok () -> 'A' | Error _ -> 'D'))
               rights)
           identities)
       dirs
   in
-  pass ();  (* prime every cache: the figure is the warm path *)
+  pass ~record:false ();  (* prime every cache: the figure is the warm path *)
   let clock = Kernel.clock kernel in
   let rounds = 50 in
   let t0 = Clock.now clock in
   let d0 = (Kernel.stats kernel).Kernel.delegated in
   for _ = 1 to rounds do
-    pass ()
+    pass ~record:false ()
   done;
   let total_ns = Int64.to_float (Int64.sub (Clock.now clock) t0) in
   let checks = rounds * List.length dirs * List.length identities
                * List.length rights in
+  (* One untimed recording pass: the verdict transcript the tiers must
+     agree on, byte for byte. *)
+  pass ~record:true ();
   let value name = Metrics.counter_value_of (Kernel.metrics kernel) name in
   ( {
-      cm_mode = (if caching then "cached" else "uncached");
+      cm_mode =
+        (match mode with
+         | `Bytecode -> "bytecode"
+         | `Cached -> "cached"
+         | `Uncached -> "uncached");
       cm_checks = checks;
       cm_ns_per_check = total_ns /. float_of_int checks;
       cm_total_ms = total_ns /. 1e6;
       cm_delegated = (Kernel.stats kernel).Kernel.delegated - d0;
     },
     (value "acl.cache.hit", value "enforce.decision.hit",
-     value "enforce.name.hit") )
+     value "enforce.name.hit"),
+    (value "kernel.bytecode.hit", value "kernel.bytecode.stale",
+     value "kernel.bytecode.fallback", value "kernel.bytecode.recompile"),
+    Buffer.contents transcript )
 
 let cache_batch_run () =
   let module Kernel = Idbox_kernel.Kernel in
@@ -827,19 +857,30 @@ let cache_batch_run () =
   (ops, seq_msgs, seq_ms, batch_msgs, batch_ms, lease_hits)
 
 let cache_report () =
-  let cached, (acl_hits, dec_hits, name_hits) =
-    cache_enforce_run ~caching:true
+  let bytecode, _, (bc_hits, bc_stale, bc_fallback, bc_recompile), bc_tx =
+    cache_enforce_run ~mode:`Bytecode
   in
-  let uncached, _ = cache_enforce_run ~caching:false in
+  let cached, (acl_hits, dec_hits, name_hits), _, cached_tx =
+    cache_enforce_run ~mode:`Cached
+  in
+  let uncached, _, _, uncached_tx = cache_enforce_run ~mode:`Uncached in
   let ops, seq_msgs, seq_ms, batch_msgs, batch_ms, lease_hits =
     cache_batch_run ()
   in
   {
-    cb_modes = [ cached; uncached ];
+    cb_modes = [ bytecode; cached; uncached ];
     cb_speedup = uncached.cm_total_ms /. cached.cm_total_ms;
+    cb_bc_speedup = cached.cm_total_ms /. bytecode.cm_total_ms;
+    cb_verdicts_identical =
+      String.equal bc_tx cached_tx && String.equal cached_tx uncached_tx
+      && String.length bc_tx > 0;
     cb_acl_hits = acl_hits;
     cb_dec_hits = dec_hits;
     cb_name_hits = name_hits;
+    cb_bc_hits = bc_hits;
+    cb_bc_stale = bc_stale;
+    cb_bc_fallback = bc_fallback;
+    cb_bc_recompile = bc_recompile;
     cb_lease_hits = lease_hits;
     cb_ops = ops;
     cb_seq_msgs = seq_msgs;
@@ -852,7 +893,7 @@ let cache_block () =
   print_newline ();
   print_endline (String.make 78 '=');
   print_endline
-    "Cache - generation-validated enforcement caches + batched Chirp RPC";
+    "Cache - compiled policy bytecode, generation caches, batched Chirp RPC";
   print_endline (String.make 78 '=');
   let r = cache_report () in
   Printf.printf "%10s %8s %14s %12s %10s\n" "mode" "checks" "ns/check"
@@ -864,13 +905,57 @@ let cache_block () =
         m.cm_ns_per_check m.cm_total_ms m.cm_delegated)
     r.cb_modes;
   Printf.printf
-    "warm speedup: %.2fx   (hits: acl %d, decision %d, name %d, lease %d)\n"
-    r.cb_speedup r.cb_acl_hits r.cb_dec_hits r.cb_name_hits r.cb_lease_hits;
+    "warm speedup: cache vs uncached %.2fx, bytecode vs cache %.2fx   \
+     verdicts identical: %b\n"
+    r.cb_speedup r.cb_bc_speedup r.cb_verdicts_identical;
+  Printf.printf
+    "hits: acl %d, decision %d, name %d, lease %d   bytecode: hit %d, \
+     stale %d, fallback %d, recompile %d\n"
+    r.cb_acl_hits r.cb_dec_hits r.cb_name_hits r.cb_lease_hits r.cb_bc_hits
+    r.cb_bc_stale r.cb_bc_fallback r.cb_bc_recompile;
   Printf.printf
     "batch rpc: %d reads  sequential %d msgs %.3f ms   batched %d msgs %.3f \
      ms  (%.0fx fewer messages)\n"
     r.cb_ops r.cb_seq_msgs r.cb_seq_ms r.cb_batch_msgs r.cb_batch_ms
     (float_of_int r.cb_seq_msgs /. float_of_int (max 1 r.cb_batch_msgs))
+
+(* The cache figure as one JSON object — embedded in the full report
+   and printed standalone by [bench cache --json] (the committed
+   BENCH_cache.json, asserted by CI's bytecode-speedup smoke). *)
+let cache_json_object () =
+  let b = Buffer.create 1024 in
+  let add = Buffer.add_string b in
+  let cr = cache_report () in
+  add "{\"enforce\":[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "{\"mode\":%S,\"checks\":%d,\"ns_per_check\":%.1f,\
+            \"total_ms\":%.3f,\"delegated\":%d}"
+           m.cm_mode m.cm_checks m.cm_ns_per_check m.cm_total_ms
+           m.cm_delegated))
+    cr.cb_modes;
+  add
+    (Printf.sprintf
+       "],\"speedup\":%.2f,\"bytecode_speedup\":%.2f,\
+        \"verdicts_identical\":%b,\"counters\":{\"acl_cache_hit\":%d,\
+        \"decision_hit\":%d,\"name_hit\":%d,\"lease_hit\":%d,\
+        \"bytecode_hit\":%d,\"bytecode_stale\":%d,\"bytecode_fallback\":%d,\
+        \"bytecode_recompile\":%d},\
+        \"batch\":{\"ops\":%d,\"seq_msgs\":%d,\"seq_ms\":%.3f,\
+        \"batch_msgs\":%d,\"batch_ms\":%.3f}}"
+       cr.cb_speedup cr.cb_bc_speedup cr.cb_verdicts_identical cr.cb_acl_hits
+       cr.cb_dec_hits cr.cb_name_hits cr.cb_lease_hits cr.cb_bc_hits
+       cr.cb_bc_stale cr.cb_bc_fallback cr.cb_bc_recompile cr.cb_ops
+       cr.cb_seq_msgs cr.cb_seq_ms cr.cb_batch_msgs cr.cb_batch_ms);
+  Buffer.contents b
+
+let cache_json () =
+  print_endline
+    (Printf.sprintf "{\"schema\":\"idbox-bench-cache/1\",\n \"cache\":%s}"
+       (cache_json_object ()))
 
 (* The machine-readable block for BENCH_*.json trajectory tracking:
    run the representative boxed workload, print one JSON object. *)
@@ -1541,7 +1626,7 @@ let metrics_block () =
   let kernel = Idbox_report.Report.metrics_workload () in
   print_endline (Idbox_report.Report.metrics_json kernel)
 
-(* The deterministic machine-readable report (schema idbox-bench/6):
+(* The deterministic machine-readable report (schema idbox-bench/7):
    every simulated figure — resilience, cluster scaling, recovery,
    concurrent sessions, delegation, the metrics registry — and nothing host-timed
    (Bechamel stays human-only), so two runs on any machines are
@@ -1549,7 +1634,7 @@ let metrics_block () =
 let json_report () =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
-  add "{\"schema\":\"idbox-bench/6\",\n \"resilience\":[";
+  add "{\"schema\":\"idbox-bench/7\",\n \"resilience\":[";
   List.iteri
     (fun i r ->
       if i > 0 then add ",\n   ";
@@ -1597,27 +1682,7 @@ let json_report () =
     rr.rec_repair;
   add "]}";
   add ",\n \"cache\":";
-  let cr = cache_report () in
-  add "{\"enforce\":[";
-  List.iteri
-    (fun i m ->
-      if i > 0 then add ",";
-      add
-        (Printf.sprintf
-           "{\"mode\":%S,\"checks\":%d,\"ns_per_check\":%.1f,\
-            \"total_ms\":%.3f,\"delegated\":%d}"
-           m.cm_mode m.cm_checks m.cm_ns_per_check m.cm_total_ms
-           m.cm_delegated))
-    cr.cb_modes;
-  add
-    (Printf.sprintf
-       "],\"speedup\":%.2f,\"counters\":{\"acl_cache_hit\":%d,\
-        \"decision_hit\":%d,\"name_hit\":%d,\"lease_hit\":%d},\
-        \"batch\":{\"ops\":%d,\"seq_msgs\":%d,\"seq_ms\":%.3f,\
-        \"batch_msgs\":%d,\"batch_ms\":%.3f}}"
-       cr.cb_speedup cr.cb_acl_hits cr.cb_dec_hits cr.cb_name_hits
-       cr.cb_lease_hits cr.cb_ops cr.cb_seq_msgs cr.cb_seq_ms cr.cb_batch_msgs
-       cr.cb_batch_ms);
+  add (cache_json_object ());
   add ",\n \"sessions\":[";
   List.iteri
     (fun i r ->
@@ -1714,7 +1779,7 @@ let () =
         | "resilience" -> resilience_block ()
         | "cluster" | "scaling" -> cluster_block ()
         | "recovery" -> recovery_block ()
-        | "cache" | "caches" -> cache_block ()
+        | "cache" | "caches" -> if json then cache_json () else cache_block ()
         | "sessions" -> sessions_block ()
         | "elastic" -> elastic_block ()
         | "delegation" -> delegation_block ()

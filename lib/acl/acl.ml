@@ -6,14 +6,22 @@ module Wildcard = Idbox_identity.Wildcard
    principal string to the union of their direct rights; genuinely wild
    entries stay as a (usually short) list scanned per principal.  A
    per-principal memo caches the final union, so a hot principal costs
-   one probe.  Built lazily on first [rights_of]; every update returns a
-   fresh value with [matcher = None], so a compiled matcher can never
-   outlive the entry list it was built from. *)
+   one probe.  The memo is bounded: a long-lived ACL probed by an
+   unbounded stream of distinct principals (a server fielding one-shot
+   sessions) must not grow without limit, so at [memo_capacity] entries
+   the memo is flushed and the eviction counted — the next probe per
+   principal just recomputes.  Built lazily on first [rights_of]; every
+   update returns a fresh value with [matcher = None], so a compiled
+   matcher can never outlive the entry list it was built from. *)
 type matcher = {
   mx_exact : (string, Rights.t) Hashtbl.t;
   mx_wild : Entry.t list;
   mx_memo : (string, Rights.t) Hashtbl.t;
 }
+
+let memo_capacity = 512
+let memo_evicted = ref 0
+let memo_evictions () = !memo_evicted
 
 type t = {
   rev_entries : Entry.t list;  (* reverse display order: O(1) append *)
@@ -69,6 +77,10 @@ let rights_of t who =
           if Entry.covers e who then Rights.union acc e.rights else acc)
         base m.mx_wild
     in
+    if Hashtbl.length m.mx_memo >= memo_capacity then begin
+      memo_evicted := !memo_evicted + Hashtbl.length m.mx_memo;
+      Hashtbl.reset m.mx_memo
+    end;
     Hashtbl.replace m.mx_memo key r;
     r
 

@@ -35,6 +35,17 @@ val rights_of : t -> Idbox_identity.Principal.t -> Rights.t
 val check : t -> Idbox_identity.Principal.t -> Right.t -> bool
 (** [check t who r] — does [who] hold right [r] here? *)
 
+val memo_capacity : int
+(** The per-matcher memo bound: once a matcher has memoized this many
+    distinct principals, the memo is flushed before the next insert (a
+    server fielding an unbounded stream of one-shot principals must not
+    grow memory without limit).  Flushed principals simply recompute on
+    their next probe — verdicts never change. *)
+
+val memo_evictions : unit -> int
+(** Total memo entries discarded by capacity flushes, across all ACLs
+    (process-wide, monotone) — observability for the bound above. *)
+
 val reserve_for : t -> Idbox_identity.Principal.t -> Rights.t option
 (** The union of reserve grants of all entries covering the principal,
     or [None] if no covering entry carries a reserve right. *)

@@ -855,6 +855,10 @@ let handle t payload =
          respond (Protocol.R_error (Errno.EACCES, msg))
        | Ok (principal, method_, _attempts) ->
          metric t "chirp.auth.ok";
+         (* A fresh session is about to issue checks: make sure the
+            compiled-policy program matches the current generation so
+            its first operations already ride the bytecode fast path. *)
+         Enforce.refresh_bytecode t.enforce;
          let token = fresh_token t principal in
          Hashtbl.replace t.sessions token
            { ss_principal = principal; ss_method = method_; ss_last_used = now };
@@ -1011,6 +1015,10 @@ let handle_async t conn payload =
          respond (Protocol.R_error (Errno.EACCES, msg))
        | Ok (principal, method_, _attempts) ->
          metric t "chirp.auth.ok";
+         (* A fresh session is about to issue checks: make sure the
+            compiled-policy program matches the current generation so
+            its first operations already ride the bytecode fast path. *)
+         Enforce.refresh_bytecode t.enforce;
          let token = fresh_token t principal in
          Hashtbl.replace t.sessions token
            { ss_principal = principal; ss_method = method_; ss_last_used = now };

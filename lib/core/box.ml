@@ -61,6 +61,12 @@ type t = {
   small_io : int;
   bx_audit : Audit.t option;
   mutable bx_handler : Trace.handler option;
+  m_delegate : Metrics.counter;
+  m_trap : Metrics.counter;
+  m_pass : Metrics.counter;
+  m_deny : Metrics.counter;
+  m_nullify : Metrics.counter;
+  m_rewrite : Metrics.counter;
 }
 
 let identity t = t.bx_identity
@@ -76,10 +82,8 @@ let member t pid = Hashtbl.mem t.vprocs pid
 let handler t =
   match t.bx_handler with Some h -> h | None -> assert false
 
-let metric t name = Metrics.incr (Metrics.counter (Kernel.metrics t.bx_kernel) name)
-
 let delegate t req =
-  metric t "box.delegate";
+  Metrics.incr t.m_delegate;
   Kernel.delegate t.bx_kernel t.sup req
 
 (* ------------------------------------------------------------------ *)
@@ -664,13 +668,13 @@ let audit_record t ~pid vp req action =
    to inject — the emulation idiom) / rewrite (a genuine substitution,
    e.g. the I/O-channel coercion). *)
 let metric_action t ~pid action =
-  metric t "box.trap";
+  Metrics.incr t.m_trap;
   match action with
-  | Trace.Pass -> metric t "box.pass"
-  | Trace.Deny _ -> metric t "box.deny"
+  | Trace.Pass -> Metrics.incr t.m_pass
+  | Trace.Deny _ -> Metrics.incr t.m_deny
   | Trace.Rewrite Syscall.Getpid when Hashtbl.mem t.pending pid ->
-    metric t "box.nullify"
-  | Trace.Rewrite _ -> metric t "box.rewrite"
+    Metrics.incr t.m_nullify
+  | Trace.Rewrite _ -> Metrics.incr t.m_rewrite
 
 let rec on_entry t ~pid req =
   let vp = vproc_of t pid in
@@ -787,7 +791,7 @@ let on_event t event =
 let box_counter = ref 0
 
 let create kernel_ ~supervisor_uid ~identity ?(mounts = []) ?(small_io_threshold = 512)
-    ?(audit = false) ?(caching = true) () =
+    ?(audit = false) ?(caching = true) ?bytecode () =
   incr box_counter;
   let sup = Kernel.make_view kernel_ ~uid:supervisor_uid () in
   let bx_base = Printf.sprintf "/tmp/box_%d" !box_counter in
@@ -826,7 +830,8 @@ let create kernel_ ~supervisor_uid ~identity ?(mounts = []) ?(small_io_threshold
     | Error e -> Error e
   in
   let* channel = Iochannel.create kernel_ ~supervisor:sup () in
-  let enforce = Enforce.create ~caching kernel_ ~supervisor:sup () in
+  let enforce = Enforce.create ~caching ?bytecode kernel_ ~supervisor:sup () in
+  let registry = Kernel.metrics kernel_ in
   let t =
     {
       bx_kernel = kernel_;
@@ -843,6 +848,12 @@ let create kernel_ ~supervisor_uid ~identity ?(mounts = []) ?(small_io_threshold
       small_io = small_io_threshold;
       bx_audit = (if audit then Some (Audit.create ()) else None);
       bx_handler = None;
+      m_delegate = Metrics.counter registry "box.delegate";
+      m_trap = Metrics.counter registry "box.trap";
+      m_pass = Metrics.counter registry "box.pass";
+      m_deny = Metrics.counter registry "box.deny";
+      m_nullify = Metrics.counter registry "box.nullify";
+      m_rewrite = Metrics.counter registry "box.rewrite";
     }
   in
   let* () = Enforce.write_acl enforce ~dir:bx_home (Acl.for_owner identity) in

@@ -28,6 +28,7 @@ val create :
   ?small_io_threshold:int ->
   ?audit:bool ->
   ?caching:bool ->
+  ?bytecode:bool ->
   unit ->
   (t, Idbox_vfs.Errno.t) result
 (** Build a box: creates the per-box working area under [/tmp] (fresh

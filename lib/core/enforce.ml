@@ -12,6 +12,7 @@ module Errno = Idbox_vfs.Errno
 module Fs = Idbox_vfs.Fs
 module Perm = Idbox_vfs.Perm
 module Account = Idbox_kernel.Account
+module Policy = Idbox_kernel.Policy
 module Delegation = Idbox_auth.Delegation
 module Expiry = Idbox_auth.Expiry
 
@@ -66,8 +67,18 @@ type t = {
   chains : (string, chain_cached) Hashtbl.t;
   in_kernel : bool;
   caching : bool;
+  bytecode : bool;
+  (* The installed decision program, its compile latch (one compile
+     attempt per generation — a rejected compile must not retry until
+     the filesystem actually changes), and the test-only corruption
+     hook for proving the verifier fails closed. *)
+  mutable bc_prog : Policy.t option;
+  mutable bc_attempt_gen : int;
+  mutable bc_tamper : (Policy.t -> Policy.t) option;
   c_gen_check : int64;
   c_chain_hop : int64;
+  c_bc_check : int64;
+  c_bc_compile : int64;
   (* Counter handles are interned once here: the check path must not pay
      a string-keyed registry lookup per call. *)
   m_acl_hit : Metrics.counter;
@@ -83,11 +94,17 @@ type t = {
   m_chain_hit : Metrics.counter;
   m_chain_miss : Metrics.counter;
   m_deleg_ok : Metrics.counter;
+  m_bc_hit : Metrics.counter;
+  m_bc_stale : Metrics.counter;
+  m_bc_fallback : Metrics.counter;
+  m_bc_recompile : Metrics.counter;
+  m_bc_reject : Metrics.counter;
 }
 
 let acl_filename = Acl.filename
 
-let create ?(in_kernel = false) ?(caching = true) kernel ~supervisor () =
+let create ?(in_kernel = false) ?(caching = true) ?bytecode kernel ~supervisor
+    () =
   (* Register the ACL basename with the VFS: content writes land through
      file descriptors, so the generation bump happens at open time. *)
   Fs.watch_basename (Kernel.fs kernel) acl_filename;
@@ -101,8 +118,16 @@ let create ?(in_kernel = false) ?(caching = true) kernel ~supervisor () =
     chains = Hashtbl.create 16;
     in_kernel;
     caching;
+    (* Bytecode rides the same generation infrastructure the caches
+       do; it defaults on exactly when they are. *)
+    bytecode = (match bytecode with Some b -> b | None -> caching);
+    bc_prog = None;
+    bc_attempt_gen = -1;
+    bc_tamper = None;
     c_gen_check = (Kernel.cost kernel).Cost.gen_check_ns;
     c_chain_hop = (Kernel.cost kernel).Cost.chain_hop_ns;
+    c_bc_check = (Kernel.cost kernel).Cost.bytecode_check_ns;
+    c_bc_compile = (Kernel.cost kernel).Cost.bytecode_compile_ns;
     m_acl_hit = c "acl.cache.hit";
     m_acl_miss = c "acl.cache.miss";
     m_acl_inval = c "acl.cache.invalidate";
@@ -116,7 +141,98 @@ let create ?(in_kernel = false) ?(caching = true) kernel ~supervisor () =
     m_chain_hit = c "enforce.chain.hit";
     m_chain_miss = c "enforce.chain.miss";
     m_deleg_ok = c "auth.delegation.ok";
+    m_bc_hit = c "kernel.bytecode.hit";
+    m_bc_stale = c "kernel.bytecode.stale";
+    m_bc_fallback = c "kernel.bytecode.fallback";
+    m_bc_recompile = c "kernel.bytecode.recompile";
+    m_bc_reject = c "kernel.bytecode.reject";
   }
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-policy bytecode.                                           *)
+
+(* One compile attempt per generation: compilation is charged flat at
+   [bytecode_compile_ns] and its outcome — installed program or
+   verifier rejection (fail closed to the interpreter) — is latched
+   until the filesystem actually changes again. *)
+let recompile_bytecode t ~gen =
+  if t.bc_attempt_gen <> gen then begin
+    t.bc_attempt_gen <- gen;
+    Kernel.charge t.kernel t.c_bc_compile;
+    match
+      Policy_compile.compile ?tamper:t.bc_tamper (Kernel.fs t.kernel)
+        ~uid:t.sup.View.uid
+    with
+    | Ok p ->
+      Metrics.incr t.m_bc_recompile;
+      t.bc_prog <- Some p;
+      Kernel.set_policy t.kernel (Some p)
+    | Error _ ->
+      Metrics.incr t.m_bc_reject;
+      t.bc_prog <- None;
+      Kernel.set_policy t.kernel None
+  end
+
+let refresh_bytecode t =
+  if t.bytecode then begin
+    let gen = Fs.generation (Kernel.fs t.kernel) in
+    match t.bc_prog with
+    | Some p when Policy.generation p = gen -> ()
+    | Some _ | None -> recompile_bytecode t ~gen
+  end
+
+let set_bytecode_tamper t f =
+  t.bc_tamper <- f;
+  (* Drop the resident program and the latch so the next consult
+     recompiles under the new corruption. *)
+  t.bc_prog <- None;
+  t.bc_attempt_gen <- -1;
+  Kernel.set_policy t.kernel None
+
+let bytecode_program t = t.bc_prog
+
+(* The syscall-entry fast path: one generation compare, then the
+   program answers without touching the interpreter.  [None] sends the
+   check to the interpreter — because bytecode is off, the program is
+   stale or rejected, or it honestly answered [Unknown]. *)
+let bytecode_consult t kind ~identity right =
+  if not t.bytecode then None
+  else begin
+    let gen = Fs.generation (Kernel.fs t.kernel) in
+    let evaluate p =
+      Kernel.charge t.kernel t.c_bc_check;
+      let principal = Principal.to_string identity in
+      let right_bit = Policy_compile.right_bit right in
+      let v =
+        match kind with
+        | `Object path -> Policy.eval_object p ~principal ~path ~right_bit
+        | `Dir dir -> Policy.eval_in_dir p ~principal ~dir ~right_bit
+      in
+      match v with
+      | Policy.Allow ->
+        Metrics.incr t.m_bc_hit;
+        Some (Ok ())
+      | Policy.Deny ->
+        Metrics.incr t.m_bc_hit;
+        Some (Error Errno.EACCES)
+      | Policy.Unknown ->
+        Metrics.incr t.m_bc_fallback;
+        None
+    in
+    match t.bc_prog with
+    | Some p when Policy.generation p = gen -> evaluate p
+    | Some _ ->
+      (* Stale: the interpreter serves this check; the recompile
+         happens here, off the per-check fast path. *)
+      Metrics.incr t.m_bc_stale;
+      recompile_bytecode t ~gen;
+      None
+    | None ->
+      recompile_bytecode t ~gen;
+      (match t.bc_prog with
+       | Some p when Policy.generation p = gen -> evaluate p
+       | Some _ | None -> None)
+  end
 
 (* A user-level supervisor pays two context switches to make its own
    system calls; an in-kernel implementation (the Fig. 6 ablation) pays
@@ -346,9 +462,14 @@ let check_with_fallback t ~identity ~dir ~object_stat right =
 
 let check_in_dir t ~identity ~dir right =
   let dir = Path.normalize dir in
-  check_with_fallback t ~identity ~dir ~object_stat:(fun () -> stat_of t dir) right
+  match bytecode_consult t (`Dir dir) ~identity right with
+  | Some verdict -> verdict
+  | None ->
+    check_with_fallback t ~identity ~dir
+      ~object_stat:(fun () -> stat_of t dir)
+      right
 
-let check_object t ~identity ~path right =
+let check_object_interp t ~identity ~path right =
   let final, st, authoritative = resolved t path in
   let dir = Path.dirname final in
   let object_stat () =
@@ -362,6 +483,11 @@ let check_object t ~identity ~path right =
     | None -> (match stat_of t final with Some s -> Some s | None -> stat_of t dir)
   in
   check_with_fallback t ~identity ~dir ~object_stat right
+
+let check_object t ~identity ~path right =
+  match bytecode_consult t (`Object (Path.normalize path)) ~identity right with
+  | Some verdict -> verdict
+  | None -> check_object_interp t ~identity ~path right
 
 let reserve_in_dir t ~identity ~dir =
   match dir_acl t (Path.normalize dir) with
@@ -415,6 +541,12 @@ let write_acl t ~dir acl =
           directory's generation, so stale decisions self-invalidate
           while the fresh ACL is served from cache. *)
        Hashtbl.replace t.cache dir { token = dir_token t dir; acl = Some acl };
+       (* An ACL write is the canonical policy change (and the shape a
+          replicated write arrives in): recompile eagerly, so the very
+          next check is already on the fast path instead of paying a
+          stale fallback first. *)
+       if t.bytecode then
+         recompile_bytecode t ~gen:(Fs.generation (Kernel.fs t.kernel));
        Ok ()
      | Error e -> Error e)
   | Ok _ -> Error Errno.EINVAL

@@ -34,6 +34,7 @@ type t
 val create :
   ?in_kernel:bool ->
   ?caching:bool ->
+  ?bytecode:bool ->
   Idbox_kernel.Kernel.t ->
   supervisor:Idbox_kernel.View.t ->
   unit ->
@@ -42,7 +43,41 @@ val create :
     charged at direct kernel cost — no supervisor context switches.
     With [~caching:false] every check revalidates through delegated
     syscalls (the pre-cache behaviour) — the honest baseline for the
-    [bench cache] ablation. *)
+    [bench cache] ablation.  [bytecode] (default: the [caching] value)
+    enables the compiled-policy fast path: checks consult the installed
+    {!Idbox_kernel.Policy} program before any cache or interpreter work
+    and charge only {!Idbox_kernel.Cost.t.bytecode_check_ns} when it
+    answers.  Pin [~bytecode:false] to measure the decision-cache tier
+    in isolation. *)
+
+(** {1 Compiled-policy bytecode}
+
+    The box's reachable ACL set, compiled by {!Policy_compile} into a
+    verified decision program and consulted at syscall entry before the
+    interpreter.  Invalidation rides the existing generation tokens: any
+    namespace/ACL mutation bumps the VFS generation, the resident
+    program goes stale, the next check falls back to the interpreter
+    and triggers one recompile (charged
+    {!Idbox_kernel.Cost.t.bytecode_compile_ns}, latched per
+    generation).  A program the verifier rejects is never installed —
+    the engine fails closed to the interpreter, and the rejection is
+    latched until the filesystem changes again.  Counters:
+    [kernel.bytecode.{hit,stale,fallback,recompile,reject}]. *)
+
+val refresh_bytecode : t -> unit
+(** Ensure the resident program matches the current generation,
+    compiling if needed.  Servers call this when a session
+    authenticates, so the session's first checks are already on the
+    fast path.  No-op when bytecode is disabled. *)
+
+val bytecode_program : t -> Idbox_kernel.Policy.t option
+(** The resident program, if any — for stats and tests. *)
+
+val set_bytecode_tamper :
+  t -> (Idbox_kernel.Policy.t -> Idbox_kernel.Policy.t) option -> unit
+(** Test hook: corrupt every freshly compiled program before
+    verification (and drop the resident one), to prove the verifier
+    rejects and the engine keeps answering via the interpreter. *)
 
 val canonical_parents : t -> string -> string
 (** Resolve every {e ancestor} symlink of [path] (the final component is

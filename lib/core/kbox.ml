@@ -17,6 +17,9 @@ type t = {
   grid : Hierarchy.domain;  (* root:<operator>:grid *)
   domains : (string, Hierarchy.domain) Hashtbl.t;
       (* canonical principal -> its protection domain *)
+  m_check : Idbox_kernel.Metrics.counter;
+  m_allow : Idbox_kernel.Metrics.counter;
+  m_deny : Idbox_kernel.Metrics.counter;
 }
 
 (* Hierarchy node names cannot contain ':'; principals can. *)
@@ -117,10 +120,6 @@ let verdict t ~identity (view : View.t) req =
   | Syscall.Setenv _ | Syscall.Compute _ ->
     Ok ()
 
-let metric t name =
-  Idbox_kernel.Metrics.incr
-    (Idbox_kernel.Metrics.counter (Kernel.metrics t.kb_kernel) name)
-
 let hook t ~pid view req =
   match Hashtbl.find_opt t.identities pid, identity_of t pid with
   | None, None -> Ok ()  (* not a boxed process *)
@@ -128,15 +127,15 @@ let hook t ~pid view req =
     (* Children inherit the domain: memoize the inherited binding. *)
     if not (Hashtbl.mem t.identities pid) then
       Hashtbl.replace t.identities pid identity;
-    metric t "kbox.check";
+    Idbox_kernel.Metrics.incr t.m_check;
     let v = verdict t ~identity view req in
     (match v with
-     | Ok () -> metric t "kbox.allow"
-     | Error _ -> metric t "kbox.deny");
+     | Ok () -> Idbox_kernel.Metrics.incr t.m_allow
+     | Error _ -> Idbox_kernel.Metrics.incr t.m_deny);
     v
   | Some _, None -> assert false
 
-let install kernel ~supervisor_uid ?(caching = true) () =
+let install kernel ~supervisor_uid ?(caching = true) ?bytecode () =
   let kb_sup = Kernel.make_view kernel ~uid:supervisor_uid () in
   let ns = Hierarchy.create () in
   let operator_name =
@@ -152,15 +151,20 @@ let install kernel ~supervisor_uid ?(caching = true) () =
     | Ok d -> d
     | Error m -> invalid_arg m
   in
+  let registry = Kernel.metrics kernel in
   let t =
     {
       kb_kernel = kernel;
-      kb_enforce = Enforce.create ~in_kernel:true ~caching kernel ~supervisor:kb_sup ();
+      kb_enforce =
+        Enforce.create ~in_kernel:true ~caching ?bytecode kernel ~supervisor:kb_sup ();
       kb_sup;
       identities = Hashtbl.create 16;
       ns;
       grid;
       domains = Hashtbl.create 16;
+      m_check = Idbox_kernel.Metrics.counter registry "kbox.check";
+      m_allow = Idbox_kernel.Metrics.counter registry "kbox.allow";
+      m_deny = Idbox_kernel.Metrics.counter registry "kbox.deny";
     }
   in
   Kernel.set_security_hook kernel (Some (fun ~pid view req -> hook t ~pid view req));

@@ -19,10 +19,16 @@
 type t
 
 val install :
-  Idbox_kernel.Kernel.t -> supervisor_uid:int -> ?caching:bool -> unit -> t
+  Idbox_kernel.Kernel.t ->
+  supervisor_uid:int ->
+  ?caching:bool ->
+  ?bytecode:bool ->
+  unit ->
+  t
 (** Register the security hook and identity provider on a kernel,
     replacing any previously installed ones.  [caching] (default true)
-    toggles the engine's generation-validated caches, as in
+    toggles the engine's generation-validated caches and [bytecode]
+    (default: the [caching] value) the compiled-policy fast path, as in
     {!Idbox.Enforce.create}. *)
 
 val uninstall : t -> unit

@@ -1,0 +1,41 @@
+(** The policy compiler: snapshot the reachable ACL universe into a
+    verified {!Idbox_kernel.Policy} decision program.
+
+    Compilation walks the filesystem host-side with the supervisor's
+    [uid], mirroring the enforcement engine's resolution semantics
+    (ancestor symlinks, the shared expansion budget, unparseable ACLs
+    compiled as deny-all, unreadable ones as "no ACL"), builds the
+    perfect-hash tables by seed trial, then runs the verifier: the
+    structural check ({!Idbox_kernel.Policy.check_program}) plus a
+    seeded semantic sample that re-derives verdicts from the live
+    filesystem and rejects any disagreement.  A rejected or oversized
+    program is an [Error] — the caller keeps the interpreter (fail
+    closed, never open).
+
+    Anything that is not a pure function of (governing ACL, principal,
+    right) — nobody-fallback directories, unresolvable symlinks,
+    unenumerable subtrees — is compiled as "not answerable", so the
+    program returns [Unknown] there and the interpreter decides. *)
+
+val right_bit : Idbox_acl.Right.t -> int
+(** The bit position a right occupies in program masks: its index in
+    {!Idbox_acl.Right.all}.  The VM itself is rights-agnostic. *)
+
+val rights_mask : Idbox_acl.Rights.t -> int
+(** A rights set as a program mask. *)
+
+val compile :
+  ?tamper:(Idbox_kernel.Policy.t -> Idbox_kernel.Policy.t) ->
+  ?verify_seed:int ->
+  ?verify_samples:int ->
+  Idbox_vfs.Fs.t ->
+  uid:int ->
+  (Idbox_kernel.Policy.t, string) result
+(** Compile the current filesystem state as seen by [uid] (the
+    supervisor's uid — access the engine could not make must not leak
+    into the program).  [tamper], applied between construction and
+    verification, exists so tests can prove the verifier rejects
+    corrupted programs.  [verify_seed] / [verify_samples] parameterize
+    the semantic sample.  The returned program carries the VFS
+    generation it snapshot; it is valid exactly while that generation
+    holds. *)

@@ -24,6 +24,8 @@ type t = {
   checkpoint_entry_ns : int64;
   digest_dir_ns : int64;
   chain_hop_ns : int64;
+  bytecode_check_ns : int64;
+  bytecode_compile_ns : int64;
 }
 
 let default =
@@ -53,6 +55,8 @@ let default =
     checkpoint_entry_ns = 2_500L;
     digest_dir_ns = 1_800L;
     chain_hop_ns = 2_000L;
+    bytecode_check_ns = 12L;
+    bytecode_compile_ns = 40_000L;
   }
 
 let ns_of_float f = Int64.of_float (Float.round f)

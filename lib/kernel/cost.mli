@@ -71,6 +71,17 @@ type t = {
           digest recompute plus the structural checks for a single hop.
           A memoized chain verdict revalidated against the revocation
           generation costs {!t.gen_check_ns} instead. *)
+  bytecode_check_ns : int64;
+      (** One compiled-policy bytecode evaluation at syscall entry: a
+          generation compare, one or two perfect-hash probes and a
+          bounded automaton step — no interpreter, no cache walk.  Far
+          below {!t.gen_check_ns} because the program is immutable and
+          collision-free once installed. *)
+  bytecode_compile_ns : int64;
+      (** One policy compilation: walking the reachable ACL set,
+          building the perfect-hash tables and running the seeded
+          verifier.  Charged off the hot path (on the first interpreted
+          check after an invalidation), never per syscall. *)
 }
 
 val default : t

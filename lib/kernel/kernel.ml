@@ -42,6 +42,17 @@ type t = {
   parked : (int, Syscall.result Sysent.sysmsg) Hashtbl.t;
       (* pid -> the sysmsg of its parked (blocking) invocation; a fiber
          has at most one syscall in flight, so pid is the right key *)
+  mutable k_policy : Policy.t option;
+      (* the installed compiled-policy program consulted at syscall
+         entry, if any (see Policy); owned by the enforcement engine *)
+  mutable sc_counters : Metrics.counter array;
+      (* per-syscall counter/histogram handles indexed by syscall
+         number, interned when the sysent table is built: the dispatch
+         path must not pay a string-keyed registry lookup per call *)
+  mutable sc_hists : Metrics.histogram array;
+  c_sysmsg_parked : Metrics.counter;
+  c_sysmsg_completed : Metrics.counter;
+  c_sysmsg_late : Metrics.counter;
 }
 
 let clock t = t.k_clock
@@ -68,6 +79,7 @@ let create ?(cost = Cost.default) ?accounts ?clock () =
   let k_clock = match clock with Some c -> c | None -> Clock.create () in
   let k_fs = Fs.create ~clock:(Clock.reading k_clock) () in
   let k_accounts = match accounts with Some a -> a | None -> Account.create () in
+  let k_metrics = Metrics.create () in
   let t =
     {
       k_clock;
@@ -84,7 +96,7 @@ let create ?(cost = Cost.default) ?accounts ?clock () =
           channel_bytes = 0;
           spawns = 0;
         };
-      k_metrics = Metrics.create ();
+      k_metrics;
       k_trace = Trace.ring ();
       procs = Hashtbl.create 32;
       runq = Queue.create ();
@@ -94,6 +106,12 @@ let create ?(cost = Cost.default) ?accounts ?clock () =
       pipe_waiters = Hashtbl.create 8;
       sysent_tbl = [||];
       parked = Hashtbl.create 8;
+      k_policy = None;
+      sc_counters = [||];
+      sc_hists = [||];
+      c_sysmsg_parked = Metrics.counter k_metrics "kernel.sysmsg.parked";
+      c_sysmsg_completed = Metrics.counter k_metrics "kernel.sysmsg.completed";
+      c_sysmsg_late = Metrics.counter k_metrics "kernel.sysmsg.late";
     }
   in
   fail_errno "Kernel.create" (Fs.mkdir_p k_fs ~uid:0 "/etc");
@@ -349,16 +367,15 @@ let enqueue t pid = Queue.push pid t.runq
 
 let park_sysmsg t (msg : Syscall.result Sysent.sysmsg) =
   Hashtbl.replace t.parked msg.Sysent.sm_pid msg;
-  Metrics.incr (Metrics.counter t.k_metrics "kernel.sysmsg.parked")
+  Metrics.incr t.c_sysmsg_parked
 
 let complete_parked t pid result =
   match Hashtbl.find_opt t.parked pid with
   | None -> ()
   | Some msg ->
     Hashtbl.remove t.parked pid;
-    if Sysent.complete msg result then
-      Metrics.incr (Metrics.counter t.k_metrics "kernel.sysmsg.completed")
-    else Metrics.incr (Metrics.counter t.k_metrics "kernel.sysmsg.late")
+    if Sysent.complete msg result then Metrics.incr t.c_sysmsg_completed
+    else Metrics.incr t.c_sysmsg_late
 
 let parked_count t = Hashtbl.length t.parked
 
@@ -864,7 +881,22 @@ let build_sysent t : (Proc.t, exec_outcome) Sysent.entry array =
         ~narg:(Syscall.register_args proto) ?enforce call)
 
 let sysent t =
-  if Array.length t.sysent_tbl = 0 then t.sysent_tbl <- build_sysent t;
+  if Array.length t.sysent_tbl = 0 then begin
+    t.sysent_tbl <- build_sysent t;
+    (* Intern one counter/histogram handle per syscall number, so the
+       dispatch path below indexes an array instead of hashing a
+       "syscall.<name>" string on every invocation. *)
+    t.sc_counters <-
+      Array.map
+        (fun (e : (Proc.t, exec_outcome) Sysent.entry) ->
+          Metrics.counter t.k_metrics ("syscall." ^ e.Sysent.se_name))
+        t.sysent_tbl;
+    t.sc_hists <-
+      Array.map
+        (fun (e : (Proc.t, exec_outcome) Sysent.entry) ->
+          Metrics.histogram t.k_metrics ("syscall." ^ e.Sysent.se_name ^ ".ns"))
+        t.sysent_tbl
+  end;
   t.sysent_tbl
 
 let sysent_summary t =
@@ -902,7 +934,7 @@ let service t (pcb : Proc.t) req (k : Proc.continuation) =
     (* One sysmsg per invocation: completed synchronously below, or
        parked on [Blocks] and completed by the wakeup path. *)
     let msg = Sysent.msg ~pid:pcb.Proc.pid ~at:entry_time entry in
-    Metrics.incr (Metrics.counter t.k_metrics ("syscall." ^ sc));
+    Metrics.incr t.sc_counters.(entry.Sysent.se_number);
     (* Shadow [deliver] so every completing call records its simulated
        latency and leaves a trace span.  Blocking calls are delivered
        elsewhere (pipe/waitpid wake-ups) and escape this accounting;
@@ -910,9 +942,7 @@ let service t (pcb : Proc.t) req (k : Proc.continuation) =
     let deliver result =
       ignore (Sysent.complete msg result);
       let elapsed = Int64.sub (now t) entry_time in
-      Metrics.observe_ns
-        (Metrics.histogram t.k_metrics ("syscall." ^ sc ^ ".ns"))
-        elapsed;
+      Metrics.observe_ns t.sc_hists.(entry.Sysent.se_number) elapsed;
       let identity =
         match t.identity_of with
         | Some provider ->
@@ -1045,6 +1075,13 @@ let process_states t =
 let set_security_hook t hook = t.security <- hook
 
 let set_identity_provider t provider = t.identity_of <- provider
+
+(* The compiled-policy slot.  The enforcement engine installs a fresh
+   program here after each successful compile and clears it on
+   rejection; sysent-level consumers (and `idbox stats`) can inspect
+   what is currently resident. *)
+let set_policy t p = t.k_policy <- p
+let policy t = t.k_policy
 
 let with_fresh_programs f =
   let saved = Program.snapshot () in

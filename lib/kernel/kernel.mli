@@ -164,6 +164,17 @@ val set_identity_provider : t -> (int -> string option) option -> unit
 (** When set, [get_user_name] for pid [p] returns the provider's answer
     (falling back to the account name when the provider returns [None]). *)
 
+val set_policy : t -> Policy.t option -> unit
+(** Install (or clear) the compiled-policy bytecode program the
+    security hook's enforcement engine consults at syscall entry.
+    Owned by the engine: it installs after each successful compile +
+    verify, and clears on verifier rejection (fail closed to the
+    interpreter). *)
+
+val policy : t -> Policy.t option
+(** The currently resident program, if any — for [idbox stats] and
+    tests. *)
+
 (** {1 Sysent dispatch}
 
     System calls dispatch through a per-kernel {!Sysent} table: one

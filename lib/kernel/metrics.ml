@@ -96,12 +96,19 @@ let mean_ns h =
 type t = {
   m_counters : (string, counter) Hashtbl.t;
   m_histograms : (string, histogram) Hashtbl.t;
+  mutable m_lookups : int;
+      (* Every by-name registry probe.  Hot paths are expected to hold
+         handles; tests pin this to zero across a warm check. *)
 }
 
 let create () =
-  { m_counters = Hashtbl.create 64; m_histograms = Hashtbl.create 64 }
+  { m_counters = Hashtbl.create 64; m_histograms = Hashtbl.create 64;
+    m_lookups = 0 }
+
+let lookups t = t.m_lookups
 
 let counter t name =
+  t.m_lookups <- t.m_lookups + 1;
   match Hashtbl.find_opt t.m_counters name with
   | Some c -> c
   | None ->
@@ -110,6 +117,7 @@ let counter t name =
     c
 
 let histogram t name =
+  t.m_lookups <- t.m_lookups + 1;
   match Hashtbl.find_opt t.m_histograms name with
   | Some h -> h
   | None ->
@@ -120,8 +128,13 @@ let histogram t name =
     Hashtbl.replace t.m_histograms name h;
     h
 
-let find_counter t name = Hashtbl.find_opt t.m_counters name
-let find_histogram t name = Hashtbl.find_opt t.m_histograms name
+let find_counter t name =
+  t.m_lookups <- t.m_lookups + 1;
+  Hashtbl.find_opt t.m_counters name
+
+let find_histogram t name =
+  t.m_lookups <- t.m_lookups + 1;
+  Hashtbl.find_opt t.m_histograms name
 
 let counter_value_of t name =
   match find_counter t name with Some c -> c.c_value | None -> 0

@@ -64,6 +64,12 @@ val find_histogram : t -> string -> histogram option
 val counter_value_of : t -> string -> int
 (** The counter's value, or [0] when it was never created. *)
 
+val lookups : t -> int
+(** How many by-name registry probes ({!counter}, {!histogram},
+    {!find_counter}, {!find_histogram}) have run since {!create}.
+    Hot paths must hold handles instead of probing; tests assert this
+    stays flat across a warm check. *)
+
 val counters : t -> counter list
 (** All counters, sorted by name (deterministic output order). *)
 

@@ -39,6 +39,7 @@ let () =
       ("ring", Test_ring.suite);
       ("cluster", Test_cluster.suite);
       ("enforce-cache", Test_enforce_cache.suite);
+      ("policy-compile", Test_policy_compile.suite);
       ("delegation", Test_delegation.suite);
       ("delegation-props", Test_delegation_props.suite);
       ("delegation-chaos", Test_delegation_chaos.suite);

@@ -199,6 +199,33 @@ let prop_acl_roundtrip =
       | Ok acl' -> Acl.equal acl acl'
       | Error _ -> false)
 
+(* The matcher memo is bounded: a stream of distinct principals far
+   past [memo_capacity] triggers capacity flushes (counted), and a
+   flushed principal's next probe still answers identically. *)
+let memo_capped_and_coherent () =
+  let acl =
+    Acl.of_string_exn
+      "globus:/O=UnivNowhere/* rl\nglobus:/O=UnivNowhere/CN=Fred wxad\n"
+  in
+  let who i =
+    Principal.of_string (Printf.sprintf "globus:/O=UnivNowhere/CN=user%05d" i)
+  in
+  let ev0 = Acl.memo_evictions () in
+  let n = (2 * Acl.memo_capacity) + 7 in
+  for i = 0 to n - 1 do
+    ignore (Acl.rights_of acl (who i))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d distinct principals forced a flush" n)
+    true
+    (Acl.memo_evictions () > ev0);
+  (* Early principals were flushed; their recomputed rights must not
+     have changed, and fred's literal entry still unions in. *)
+  Alcotest.(check string) "flushed principal recomputes identically" "rl"
+    (Rights.to_string (Acl.rights_of acl (who 0)));
+  Alcotest.(check string) "literal + wildcard union survives" "rwlxad"
+    (Rights.to_string (Acl.rights_of acl fred))
+
 let prop_check_is_union =
   let right_gen = QCheck.oneofl Idbox_acl.Right.all in
   QCheck.Test.make ~name:"check = mem of rights_of" ~count:100
@@ -230,6 +257,7 @@ let suite =
     Alcotest.test_case "comments and blanks" `Quick comments_and_blanks;
     Alcotest.test_case "for_owner full" `Quick for_owner_full;
     Alcotest.test_case "empty denies" `Quick empty_denies_everything;
+    Alcotest.test_case "matcher memo capped" `Quick memo_capped_and_coherent;
     QCheck_alcotest.to_alcotest prop_acl_roundtrip;
     QCheck_alcotest.to_alcotest prop_check_is_union;
   ]

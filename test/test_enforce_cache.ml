@@ -56,7 +56,10 @@ let random_acl st =
 let setup () =
   let k = Kernel.create () in
   let sup = Kernel.make_view k ~uid:0 () in
-  let cached = Enforce.create k ~supervisor:sup () in
+  (* Bytecode pinned off on both: this suite proves the decision-cache
+     tier coherent on its own (test_policy_compile covers the compiled
+     tier with the same harness shape). *)
+  let cached = Enforce.create ~bytecode:false k ~supervisor:sup () in
   let uncached = Enforce.create ~caching:false k ~supervisor:sup () in
   List.iter
     (fun d ->

@@ -247,7 +247,52 @@ let stats_dump_covers_delegation () =
       "chirp.revocation.apply";
       "chirp.rpc.delegated";
       "chirp.rpc.revoke";
+      "kernel.bytecode.hit";
+      "kernel.bytecode.stale";
+      "kernel.bytecode.fallback";
+      "kernel.bytecode.recompile";
+      "kernel.bytecode.reject";
     ]
+
+(* The warm check path must be allocation- and lookup-free in the
+   registry: every counter it touches was interned at create time, so a
+   steady-state check performs zero by-name registry lookups (the
+   [Metrics.lookups] probe counts [counter]/[histogram]/[find_*]
+   calls). *)
+let warm_check_zero_registry_lookups () =
+  let module Kernel = Idbox_kernel.Kernel in
+  let module Enforce = Idbox.Enforce in
+  let module Fs = Idbox_vfs.Fs in
+  let module Acl = Idbox_acl.Acl in
+  let module Entry = Idbox_acl.Entry in
+  let module Rights = Idbox_acl.Rights in
+  let module Right = Idbox_acl.Right in
+  let kernel = Kernel.create () in
+  let sup = Kernel.make_view kernel ~uid:0 () in
+  let e = Enforce.create kernel ~supervisor:sup () in
+  (match Fs.mkdir_p (Kernel.fs kernel) ~uid:0 "/d" with
+   | Ok () -> ()
+   | Error err -> Alcotest.fail (Idbox_vfs.Errno.message err));
+  (match
+     Enforce.write_acl e ~dir:"/d"
+       (Idbox_acl.Acl.of_entries
+          [ Entry.make ~pattern:"globus:/O=UnivNowhere/CN=Fred"
+              (Rights.of_string_exn "rl") ])
+   with
+   | Ok () -> ()
+   | Error err -> Alcotest.fail (Idbox_vfs.Errno.message err));
+  let fred = Idbox_identity.Principal.of_string "globus:/O=UnivNowhere/CN=Fred" in
+  let check () =
+    ignore (Enforce.check_object e ~identity:fred ~path:"/d/blob" Right.Read)
+  in
+  check ();  (* prime: compile + first answers *)
+  let m = Kernel.metrics kernel in
+  let l0 = Metrics.lookups m in
+  for _ = 1 to 100 do
+    check ()
+  done;
+  Alcotest.(check int) "zero registry lookups across 100 warm checks" 0
+    (Metrics.lookups m - l0)
 
 let suite =
   [
@@ -264,6 +309,8 @@ let suite =
     Alcotest.test_case "ring sinks see every span" `Quick ring_sinks;
     Alcotest.test_case "ring JSON" `Quick ring_json;
     Alcotest.test_case "kernel records syscall metrics" `Quick kernel_records;
+    Alcotest.test_case "warm check: zero registry lookups" `Quick
+      warm_check_zero_registry_lookups;
     Alcotest.test_case "stats dump covers the delegation counters" `Quick
       stats_dump_covers_delegation;
   ]
